@@ -1,0 +1,58 @@
+//! §V-D ablation: hybrid MPI-OpenMP vs pure MPI on the MIC, and the
+//! §VI-B3 interconnect-latency sweep for the dual-card configuration.
+//!
+//! Run: `cargo run --release -p phylo-bench --bin ablation_hybrid`
+
+use micsim::model::{predict_time, ExecMode, Interconnect, MachineConfig};
+use micsim::platform::XEON_PHI_5110P_1S;
+use micsim::systems::SystemId;
+use phylo_bench::{fmt_size, fmt_time, standard_trace};
+
+fn main() {
+    eprintln!("recording workload trace (instrumented replicated search)...");
+    let trace = standard_trace();
+
+    println!("Rank/thread decomposition on one Xeon Phi (100K patterns, §V-D)");
+    println!();
+    let scaled = trace.scaled_to(100_000);
+    println!("{:>8} {:>9} {:>12}", "ranks", "threads", "time");
+    for (ranks, threads) in [(120u32, 1u32), (60, 2), (8, 29), (4, 59), (2, 118), (1, 236)] {
+        let cfg = MachineConfig {
+            platform: XEON_PHI_5110P_1S,
+            ranks_per_device: ranks,
+            threads_per_rank: threads,
+            mode: ExecMode::Native,
+            interconnect: Interconnect::SharedMemory,
+        };
+        let t = predict_time(&cfg, &scaled).total();
+        println!("{:>8} {:>9} {:>11}s", ranks, threads, fmt_time(t));
+    }
+    println!();
+    println!("Paper: 120 pure-MPI ranks gave a \"substantial slowdown\"; 2 ranks x 118");
+    println!("threads was best for almost all datasets.");
+
+    println!();
+    println!("Dual-MIC AllReduce latency sweep (§VI-B3): 20 us PCIe (Intel MPI 4.1.2),");
+    println!("35 us PCIe (old 4.0.3), 5 us InfiniBand-class");
+    println!();
+    print!("{:>8}", "size");
+    for name in ["PCIe 20us", "old MPI 35us", "IB 5us"] {
+        print!(" {:>14}", name);
+    }
+    println!();
+    for &size in &[100_000u64, 1_000_000, 4_000_000] {
+        let scaled = trace.scaled_to(size);
+        print!("{:>8}", fmt_size(size));
+        for ic in [
+            Interconnect::PciePeerToPeer,
+            Interconnect::PcieOldMpi,
+            Interconnect::InfiniBand,
+        ] {
+            let mut cfg = SystemId::Phi2.config();
+            cfg.interconnect = ic;
+            let t = predict_time(&cfg, &scaled).total();
+            print!(" {:>13}s", fmt_time(t));
+        }
+        println!();
+    }
+}

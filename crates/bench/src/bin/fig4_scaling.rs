@@ -1,0 +1,29 @@
+//! Regenerates Figure 4: relative speedup of 2 MICs vs 1 MIC as a
+//! function of alignment size.
+//!
+//! Run: `cargo run --release -p phylo-bench --bin fig4_scaling`
+
+use micsim::systems::fig4_dual_mic_scaling;
+use phylo_bench::{fmt_size, standard_trace};
+
+/// Approximate paper values read off Figure 4.
+const PAPER: [f64; 8] = [0.69, 0.93, 1.21, 1.40, 1.44, 1.62, 1.75, 1.84];
+
+fn main() {
+    eprintln!("recording workload trace (instrumented replicated search)...");
+    let trace = standard_trace();
+    println!("Figure 4: relative speedup of 2 MICs vs 1 MIC by alignment size");
+    println!();
+    println!("{:>8} {:>8} {:>8}  ", "size", "model", "paper");
+    for (i, (size, ratio)) in fig4_dual_mic_scaling(&trace).into_iter().enumerate() {
+        println!(
+            "{:>8} {:>8.2} {:>8.2}  {}",
+            fmt_size(size),
+            ratio,
+            PAPER[i],
+            "#".repeat((ratio * 20.0).round() as usize)
+        );
+    }
+    println!();
+    println!("Expected shape: monotone growth, below 1 at 10K, 1.7-2.0 at 4000K.");
+}

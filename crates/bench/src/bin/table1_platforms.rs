@@ -1,0 +1,44 @@
+//! Regenerates Table I (platform specifications) and echoes the
+//! Table II software configuration the paper lists.
+//!
+//! Run: `cargo run -p phylo-bench --bin table1_platforms`
+
+use micsim::platform::TABLE1;
+
+fn main() {
+    println!("Table I: Specifications of CPUs and accelerators used for performance evaluation");
+    println!();
+    println!(
+        "{:<20} {:>14} {:>8} {:>10} {:>8} {:>12} {:>8} {:>13}",
+        "(Co-)processor",
+        "Peak DP GFLOPS",
+        "Cores",
+        "Clock",
+        "Memory",
+        "Memory BW",
+        "Max TDP",
+        "Approx. price"
+    );
+    for p in TABLE1 {
+        println!(
+            "{:<20} {:>14} {:>8} {:>7.3} GHz {:>5} GB {:>9.1} GB/s {:>6} W {:>12}",
+            p.name,
+            p.peak_dp_gflops,
+            p.cores,
+            p.clock_ghz,
+            p.memory_gb,
+            p.memory_bw_gbs,
+            p.max_tdp_w,
+            format!("$ {}", p.price_usd),
+        );
+    }
+    println!();
+    println!("1S = single slot, 2S = dual slot; NVIDIA K20 listed for reference only");
+    println!();
+    println!("Table II: Software configuration of the paper's test systems (informational —");
+    println!("this reproduction replaces the toolchain with stable Rust and the MPI layer");
+    println!("with the in-process communicator of phylo-parallel):");
+    println!("  Xeon E5-2630:  Linux 2.6.32, gcc 4.7.0, Intel MPI 4.1.2.040");
+    println!("  Xeon E5-2680:  Linux 3.0.93, gcc 4.7.3, Intel MPI 4.1.1.036");
+    println!("  Xeon Phi:      Linux 2.6.32, icc 13.1.3, Intel MPI 4.1.2.040");
+}

@@ -1,0 +1,93 @@
+//! Regenerates Table III: ExaML execution times and speedups on the
+//! four systems across the eight alignment sizes.
+//!
+//! A real instrumented replicated-scheme search is executed first; its
+//! kernel/AllReduce counts parameterize the `micsim` platform model,
+//! which is evaluated at every Table III size. Paper reference values
+//! are printed alongside for comparison.
+//!
+//! Run: `cargo run --release -p phylo-bench --bin table3_examl`
+
+use micsim::systems::{table3, SystemId};
+use phylo_bench::{fmt_size, fmt_time, standard_trace};
+use plf_core::KernelId;
+
+/// The paper's Table III speedup values, for reference output.
+const PAPER_SPEEDUPS: [(SystemId, [f64; 8]); 4] = [
+    (
+        SystemId::E5_2630,
+        [0.73, 0.74, 0.72, 0.81, 0.84, 0.84, 0.84, 0.84],
+    ),
+    (
+        SystemId::E5_2680,
+        [1.00, 1.00, 1.00, 1.00, 1.00, 1.00, 1.00, 1.00],
+    ),
+    (
+        SystemId::Phi1,
+        [0.32, 0.81, 1.02, 1.47, 1.77, 1.93, 2.00, 2.03],
+    ),
+    (
+        SystemId::Phi2,
+        [0.22, 0.75, 1.23, 2.06, 2.56, 3.12, 3.49, 3.74],
+    ),
+];
+
+fn main() {
+    eprintln!("recording workload trace (instrumented replicated search)...");
+    let trace = standard_trace();
+    eprintln!(
+        "trace: {} patterns, {} allreduces, kernel calls: {}",
+        trace.patterns,
+        trace.allreduces,
+        KernelId::ALL
+            .iter()
+            .map(|&k| format!("{}={}", k.paper_name(), trace.stats.get(k).calls))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    println!();
+    println!("Table III: ExaML execution times and speedups on CPUs and MIC");
+    println!("(model-predicted seconds and speedup vs 2S E5-2680; paper speedups in parens)");
+    println!();
+
+    let grid = table3(&trace);
+    print!("{:<20}", "System");
+    for (size, _) in &grid {
+        print!(" {:>16}", fmt_size(*size));
+    }
+    println!();
+
+    for (row_idx, &sys) in SystemId::ALL.iter().enumerate() {
+        print!("{:<20}", sys.paper_name());
+        for (col, (_size, row)) in grid.iter().enumerate() {
+            let cell = row.iter().find(|(s, _)| *s == sys).unwrap().1;
+            let paper = PAPER_SPEEDUPS[row_idx].1[col];
+            print!(
+                " {:>7} {:>4.2}({:.2})",
+                fmt_time(cell.time_s),
+                cell.speedup,
+                paper
+            );
+        }
+        println!();
+    }
+
+    println!();
+    println!("Shape checks (paper bands):");
+    let last = &grid[grid.len() - 1].1;
+    let get = |row: &Vec<(SystemId, micsim::systems::Table3Cell)>, s| {
+        row.iter().find(|(x, _)| *x == s).unwrap().1.speedup
+    };
+    println!(
+        "  1-MIC plateau   {:.2} (paper 2.03, band 1.8-2.2)",
+        get(last, SystemId::Phi1)
+    );
+    println!(
+        "  2-MIC plateau   {:.2} (paper 3.74, band 3.3-4.1)",
+        get(last, SystemId::Phi2)
+    );
+    match micsim::systems::crossover_patterns(&trace, SystemId::Phi1) {
+        Some(x) => println!("  crossover       {:.0} patterns (paper ~100K)", x),
+        None => println!("  crossover       not reached (MODEL SHAPE VIOLATION)"),
+    }
+}

@@ -1,0 +1,187 @@
+//! 20-bit encoded amino-acid alphabet with IUPAC ambiguity support.
+//!
+//! The protein counterpart of [`crate::alphabet`], supporting the
+//! paper's §VII extension. Each residue is a 20-bit mask in the
+//! canonical ARNDCQEGHILKMFPSTWYV order; `B` (Asx) is D|N, `Z` (Glx)
+//! is E|Q, `J` is I|L, and `X`/`-`/`?`/`*` are fully undetermined.
+
+use crate::error::BioError;
+
+/// Number of amino-acid states.
+pub const NUM_AA_STATES: usize = 20;
+
+/// Canonical residue order (matches PAML/RAxML conventions).
+pub const AA_CHARS: [char; NUM_AA_STATES] = [
+    'A', 'R', 'N', 'D', 'C', 'Q', 'E', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W',
+    'Y', 'V',
+];
+
+/// Mask of all 20 states.
+const ALL: u32 = (1 << NUM_AA_STATES) - 1;
+
+/// A 20-bit encoded amino-acid character (possibly ambiguous). The
+/// wrapped mask is always non-zero and within 20 bits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AaCode(u32);
+
+impl AaCode {
+    /// Creates a code from a raw bitmask.
+    pub fn from_bits(bits: u32) -> Result<Self, BioError> {
+        if bits == 0 || bits > ALL {
+            Err(BioError::InvalidCode((bits & 0xff) as u8))
+        } else {
+            Ok(AaCode(bits))
+        }
+    }
+
+    /// The unambiguous code of state index `s`.
+    ///
+    /// # Panics
+    /// Panics when `s >= 20`.
+    pub fn from_state(s: usize) -> Self {
+        assert!(s < NUM_AA_STATES);
+        AaCode(1 << s)
+    }
+
+    /// Parses a one-letter amino-acid code (case-insensitive).
+    pub fn from_char(c: char) -> Result<Self, BioError> {
+        let upper = c.to_ascii_uppercase();
+        if let Some(s) = AA_CHARS.iter().position(|&a| a == upper) {
+            return Ok(AaCode(1 << s));
+        }
+        let state_bit = |ch: char| 1u32 << AA_CHARS.iter().position(|&a| a == ch).unwrap();
+        let bits = match upper {
+            'B' => state_bit('D') | state_bit('N'),
+            'Z' => state_bit('E') | state_bit('Q'),
+            'J' => state_bit('I') | state_bit('L'),
+            'X' | '-' | '?' | '*' | '.' => ALL,
+            other => return Err(BioError::InvalidChar(other)),
+        };
+        Ok(AaCode(bits))
+    }
+
+    /// The canonical character: the residue letter when unambiguous,
+    /// `B`/`Z`/`J` for the standard two-fold ambiguities, `X`
+    /// otherwise.
+    pub fn to_char(self) -> char {
+        if let Some(s) = self.state() {
+            return AA_CHARS[s];
+        }
+        let of = |ch: char| 1u32 << AA_CHARS.iter().position(|&a| a == ch).unwrap();
+        match self.0 {
+            b if b == of('D') | of('N') => 'B',
+            b if b == of('E') | of('Q') => 'Z',
+            b if b == of('I') | of('L') => 'J',
+            _ => 'X',
+        }
+    }
+
+    /// Raw 20-bit mask.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Whether exactly one residue is compatible.
+    #[inline]
+    pub fn is_unambiguous(self) -> bool {
+        self.0.count_ones() == 1
+    }
+
+    /// Whether the code is fully undetermined.
+    #[inline]
+    pub fn is_gap(self) -> bool {
+        self.0 == ALL
+    }
+
+    /// State index for an unambiguous code.
+    #[inline]
+    pub fn state(self) -> Option<usize> {
+        if self.is_unambiguous() {
+            Some(self.0.trailing_zeros() as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Whether state `s` is compatible with this code.
+    #[inline]
+    pub fn allows(self, s: usize) -> bool {
+        debug_assert!(s < NUM_AA_STATES);
+        self.0 & (1 << s) != 0
+    }
+
+    /// Iterator over compatible state indices.
+    pub fn states(self) -> impl Iterator<Item = usize> {
+        let bits = self.0;
+        (0..NUM_AA_STATES).filter(move |&s| bits & (1 << s) != 0)
+    }
+}
+
+impl std::fmt::Debug for AaCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AaCode({})", self.to_char())
+    }
+}
+
+/// Parses a protein sequence string into codes (whitespace ignored).
+pub fn parse_aa_sequence(s: &str) -> Result<Vec<AaCode>, BioError> {
+    s.chars()
+        .filter(|c| !c.is_whitespace())
+        .map(AaCode::from_char)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_residues_roundtrip() {
+        for (i, &c) in AA_CHARS.iter().enumerate() {
+            let code = AaCode::from_char(c).unwrap();
+            assert_eq!(code.state(), Some(i));
+            assert_eq!(code.to_char(), c);
+            assert_eq!(AaCode::from_state(i), code);
+        }
+    }
+
+    #[test]
+    fn ambiguity_codes() {
+        let b = AaCode::from_char('B').unwrap();
+        assert!(b.allows(2) && b.allows(3)); // N=2, D=3
+        assert_eq!(b.states().count(), 2);
+        assert_eq!(b.to_char(), 'B');
+        let z = AaCode::from_char('z').unwrap();
+        assert_eq!(z.states().count(), 2);
+        assert_eq!(z.to_char(), 'Z');
+        let j = AaCode::from_char('J').unwrap();
+        assert!(j.allows(9) && j.allows(10)); // I, L
+    }
+
+    #[test]
+    fn gap_aliases() {
+        for c in ['X', '-', '?', '*', '.'] {
+            let code = AaCode::from_char(c).unwrap();
+            assert!(code.is_gap());
+            assert_eq!(code.states().count(), 20);
+            assert_eq!(code.to_char(), 'X');
+        }
+    }
+
+    #[test]
+    fn invalid_rejected() {
+        assert!(AaCode::from_char('U').is_err()); // selenocysteine unsupported
+        assert!(AaCode::from_char('1').is_err());
+        assert!(AaCode::from_bits(0).is_err());
+        assert!(AaCode::from_bits(1 << 20).is_err());
+    }
+
+    #[test]
+    fn parse_sequence() {
+        let codes = parse_aa_sequence("ARND CQEG").unwrap();
+        assert_eq!(codes.len(), 8);
+        assert_eq!(codes[0].state(), Some(0));
+        assert!(parse_aa_sequence("AR#").is_err());
+    }
+}

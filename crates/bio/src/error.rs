@@ -1,0 +1,84 @@
+//! Error type shared by the sequence substrate.
+
+/// Errors produced while constructing or parsing sequence data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BioError {
+    /// A character that is not a valid IUPAC nucleotide code.
+    InvalidChar(char),
+    /// A raw bitmask outside `1..=15`.
+    InvalidCode(u8),
+    /// Sequences of unequal length were combined into an alignment.
+    RaggedAlignment {
+        /// Name of the offending sequence.
+        name: String,
+        /// Its length.
+        len: usize,
+        /// The expected alignment width.
+        expected: usize,
+    },
+    /// An alignment with no taxa or no sites.
+    EmptyAlignment,
+    /// Two sequences in one alignment share a name.
+    DuplicateName(String),
+    /// A malformed input file.
+    Parse {
+        /// 1-based line number where the problem was detected.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// An I/O failure while reading or writing.
+    Io(String),
+}
+
+impl std::fmt::Display for BioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BioError::InvalidChar(c) => write!(f, "invalid nucleotide character {c:?}"),
+            BioError::InvalidCode(b) => write!(f, "invalid 4-bit nucleotide mask {b:#06b}"),
+            BioError::RaggedAlignment {
+                name,
+                len,
+                expected,
+            } => write!(
+                f,
+                "sequence {name:?} has length {len}, expected {expected} (ragged alignment)"
+            ),
+            BioError::EmptyAlignment => write!(f, "alignment has no taxa or no sites"),
+            BioError::DuplicateName(n) => write!(f, "duplicate taxon name {n:?}"),
+            BioError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            BioError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BioError {}
+
+impl From<std::io::Error> for BioError {
+    fn from(e: std::io::Error) -> Self {
+        BioError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BioError::RaggedAlignment {
+            name: "taxon1".into(),
+            len: 5,
+            expected: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("taxon1") && s.contains('5') && s.contains("10"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: BioError = io.into();
+        assert!(matches!(e, BioError::Io(_)));
+    }
+}

@@ -1,0 +1,153 @@
+//! FASTA reading and writing.
+
+use crate::alignment::Alignment;
+use crate::error::BioError;
+use crate::sequence::Sequence;
+use std::io::{BufRead, Write};
+
+/// Parses FASTA text into an [`Alignment`].
+///
+/// Header lines start with `>`; the taxon name is the first whitespace
+/// separated token after it. Sequence data may span multiple lines.
+pub fn parse<R: BufRead>(reader: R) -> Result<Alignment, BioError> {
+    let mut sequences = Vec::new();
+    let mut name: Option<String> = None;
+    let mut data = String::new();
+
+    let mut flush = |name: &mut Option<String>, data: &mut String, line: usize| {
+        if let Some(n) = name.take() {
+            if data.is_empty() {
+                return Err(BioError::Parse {
+                    line,
+                    msg: format!("record {n:?} has no sequence data"),
+                });
+            }
+            sequences.push(Sequence::from_str_named(n, data)?);
+            data.clear();
+        }
+        Ok(())
+    };
+
+    let mut lineno = 0usize;
+    for line in reader.lines() {
+        lineno += 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('>') {
+            flush(&mut name, &mut data, lineno)?;
+            let n = rest.split_whitespace().next().unwrap_or("").to_string();
+            if n.is_empty() {
+                return Err(BioError::Parse {
+                    line: lineno,
+                    msg: "empty FASTA header".into(),
+                });
+            }
+            name = Some(n);
+        } else {
+            if name.is_none() {
+                return Err(BioError::Parse {
+                    line: lineno,
+                    msg: "sequence data before first header".into(),
+                });
+            }
+            data.push_str(trimmed);
+        }
+    }
+    flush(&mut name, &mut data, lineno)?;
+    Alignment::new(sequences)
+}
+
+/// Parses FASTA from a string.
+pub fn parse_str(s: &str) -> Result<Alignment, BioError> {
+    parse(std::io::Cursor::new(s))
+}
+
+/// Writes an alignment as FASTA, wrapping sequence lines at `width`
+/// characters (a `width` of 0 means no wrapping).
+pub fn write<W: Write>(aln: &Alignment, mut out: W, width: usize) -> Result<(), BioError> {
+    for s in aln.sequences() {
+        writeln!(out, ">{}", s.name())?;
+        let rendered = s.to_iupac_string();
+        if width == 0 {
+            writeln!(out, "{rendered}")?;
+        } else {
+            for chunk in rendered.as_bytes().chunks(width) {
+                out.write_all(chunk)?;
+                out.write_all(b"\n")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders an alignment to a FASTA string with 70-column wrapping.
+pub fn to_string(aln: &Alignment) -> String {
+    let mut buf = Vec::new();
+    write(aln, &mut buf, 70).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("FASTA output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let a = parse_str(">a\nACGT\n>b\nAC\nGT\n").unwrap();
+        assert_eq!(a.num_taxa(), 2);
+        assert_eq!(a.sequence(1).to_iupac_string(), "ACGT");
+    }
+
+    #[test]
+    fn header_takes_first_token() {
+        let a = parse_str(">taxon_1 some description here\nACGT\n>b\nACGT\n").unwrap();
+        assert_eq!(a.names().next().unwrap(), "taxon_1");
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let a = parse_str("\n>a\n\nAC\nGT\n\n>b\nACGT\n").unwrap();
+        assert_eq!(a.num_sites(), 4);
+    }
+
+    #[test]
+    fn data_before_header_rejected() {
+        assert!(matches!(
+            parse_str("ACGT\n>a\nACGT\n"),
+            Err(BioError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_record_rejected() {
+        assert!(parse_str(">a\n>b\nACGT\n").is_err());
+        assert!(parse_str(">a\nACGT\n>b\n").is_err());
+    }
+
+    #[test]
+    fn empty_header_rejected() {
+        assert!(parse_str(">\nACGT\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = parse_str(">a\nACGTRYKM\n>b\nNNNNACGT\n").unwrap();
+        let text = to_string(&a);
+        let b = parse_str(&text).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wrapping_at_width() {
+        let a = parse_str(">a\nACGTACGT\n>b\nACGTACGT\n").unwrap();
+        let mut buf = Vec::new();
+        write(&a, &mut buf, 4).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("ACGT\nACGT"));
+        let b = parse_str(&text).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,172 @@
+//! 64-byte aligned `f64` buffers.
+//!
+//! §V-B2 of the paper: "Vectorized instructions can only operate on
+//! memory addresses which are aligned to 64-byte boundaries." Rust's
+//! `Vec<f64>` only guarantees 8-byte alignment, so CLAs and summation
+//! buffers use this type instead. Alignment also matters on the host:
+//! AVX loads are fastest when they never straddle a cache line.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ops::{Deref, DerefMut};
+
+/// Cache-line alignment in bytes (one MIC/AVX-512 vector register).
+pub const ALIGNMENT: usize = 64;
+
+/// A heap buffer of `f64` whose base address is 64-byte aligned.
+///
+/// The length is fixed at construction (CLAs never grow); contents are
+/// zero-initialized. Dereferences to `[f64]`.
+pub struct AlignedVec {
+    ptr: std::ptr::NonNull<f64>,
+    len: usize,
+}
+
+// SAFETY: AlignedVec owns its allocation exclusively, like Vec<f64>.
+unsafe impl Send for AlignedVec {}
+unsafe impl Sync for AlignedVec {}
+
+impl AlignedVec {
+    /// Allocates a zeroed, 64-byte aligned buffer of `len` doubles.
+    ///
+    /// A `len` of zero is allowed and performs no allocation.
+    pub fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return AlignedVec {
+                ptr: std::ptr::NonNull::dangling(),
+                len: 0,
+            };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size (len > 0 checked above).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = std::ptr::NonNull::new(raw as *mut f64) else {
+            handle_alloc_error(layout);
+        };
+        AlignedVec { ptr, len }
+    }
+
+    fn layout(len: usize) -> Layout {
+        Layout::from_size_align(len * std::mem::size_of::<f64>(), ALIGNMENT)
+            .expect("allocation size overflow")
+    }
+
+    /// Number of doubles.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The raw base address (for alignment assertions in tests).
+    pub fn as_ptr(&self) -> *const f64 {
+        self.ptr.as_ptr()
+    }
+
+    /// Overwrites every element with `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.as_mut().fill(value);
+    }
+}
+
+impl Deref for AlignedVec {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        // SAFETY: ptr/len describe our exclusive allocation (or a
+        // dangling ptr with len 0, for which from_raw_parts is fine).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl DerefMut for AlignedVec {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        // SAFETY: as above, and &mut self guarantees uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for AlignedVec {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // SAFETY: allocated with the identical layout in `zeroed`.
+            unsafe { dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.len)) };
+        }
+    }
+}
+
+impl Clone for AlignedVec {
+    fn clone(&self) -> Self {
+        let mut out = AlignedVec::zeroed(self.len);
+        out.copy_from_slice(self);
+        out
+    }
+}
+
+impl std::fmt::Debug for AlignedVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AlignedVec(len={})", self.len)
+    }
+}
+
+impl PartialEq for AlignedVec {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_address_is_64_byte_aligned() {
+        for len in [1usize, 7, 16, 1000, 4096] {
+            let v = AlignedVec::zeroed(len);
+            assert_eq!(v.as_ptr() as usize % ALIGNMENT, 0, "len={len}");
+        }
+    }
+
+    #[test]
+    fn zero_initialized() {
+        let v = AlignedVec::zeroed(123);
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(v.len(), 123);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let v = AlignedVec::zeroed(0);
+        assert!(v.is_empty());
+        assert_eq!(&v[..], &[] as &[f64]);
+        let _ = v.clone();
+    }
+
+    #[test]
+    fn mutation_and_clone() {
+        let mut v = AlignedVec::zeroed(16);
+        for (i, x) in v.iter_mut().enumerate() {
+            *x = i as f64;
+        }
+        let w = v.clone();
+        assert_eq!(v, w);
+        assert_eq!(w[15], 15.0);
+        assert_eq!(w.as_ptr() as usize % ALIGNMENT, 0);
+    }
+
+    #[test]
+    fn fill_overwrites() {
+        let mut v = AlignedVec::zeroed(8);
+        v.fill(2.5);
+        assert!(v.iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn many_allocations_stay_aligned() {
+        let all: Vec<AlignedVec> = (1..200).map(AlignedVec::zeroed).collect();
+        for v in &all {
+            assert_eq!(v.as_ptr() as usize % ALIGNMENT, 0);
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! The CAT model of rate heterogeneity (§VII extension).
+//!
+//! Under CAT (Stamatakis 2006) every site evolves at a single rate
+//! drawn from a small set of categories, instead of integrating over
+//! four Γ categories. The per-site CLA stride shrinks from 16 to 4
+//! doubles (32 bytes) — which is why §V-B2 warns that "under the CAT
+//! model ... special care must be taken to keep accesses aligned": a
+//! 4-double site no longer starts at a 64-byte boundary.
+//!
+//! This engine is the correctness-first implementation of that model:
+//! per-branch transition matrices are precomputed per rate *category*
+//! (as RAxML does), each site selects its category's matrix, and the
+//! branch-length derivatives carry a per-site `e^{λ_j r_i t}` (the
+//! exponential table can no longer be shared across sites, another
+//! CAT cost the paper's Γ-only kernels avoid).
+
+use crate::aligned::AlignedVec;
+use crate::scaling::{LN_SCALE, SCALE_FACTOR, SCALE_THRESHOLD};
+use crate::NUM_STATES;
+use phylo_models::{CatRates, Eigensystem};
+use phylo_tree::traverse::{children, full_schedule};
+use phylo_tree::{EdgeId, NodeId, Tree};
+
+/// CLA stride per site under CAT: 4 doubles (32 bytes).
+pub const CAT_STRIDE: usize = NUM_STATES;
+
+/// A likelihood engine under the CAT approximation.
+pub struct CatEngine {
+    eigen: Eigensystem,
+    rates: CatRates,
+    /// Per tree-tip-id rows of 4-bit codes over patterns.
+    tips: Vec<Vec<u8>>,
+    weights: Vec<u32>,
+    num_patterns: usize,
+    num_taxa: usize,
+    clas: Vec<AlignedVec>,
+    scales: Vec<Vec<u32>>,
+    sumtable: AlignedVec,
+    sum_ready: bool,
+}
+
+impl CatEngine {
+    /// Builds a CAT engine. `rates` assigns every pattern a category.
+    pub fn new(
+        tree: &Tree,
+        eigen: Eigensystem,
+        rates: CatRates,
+        tips: Vec<Vec<u8>>,
+        weights: Vec<u32>,
+    ) -> Self {
+        let num_patterns = weights.len();
+        assert_eq!(rates.num_sites(), num_patterns, "one rate per pattern");
+        assert_eq!(tips.len(), tree.num_taxa(), "one tip row per taxon");
+        for row in &tips {
+            assert_eq!(row.len(), num_patterns);
+            assert!(row.iter().all(|&c| (1..16).contains(&c)));
+        }
+        CatEngine {
+            eigen,
+            rates,
+            tips,
+            weights,
+            num_patterns,
+            num_taxa: tree.num_taxa(),
+            clas: (0..tree.num_inner())
+                .map(|_| AlignedVec::zeroed(num_patterns * CAT_STRIDE))
+                .collect(),
+            scales: vec![vec![0; num_patterns]; tree.num_inner()],
+            sumtable: AlignedVec::zeroed(num_patterns * CAT_STRIDE),
+            sum_ready: false,
+        }
+    }
+
+    /// The per-site rate assignment.
+    pub fn rates(&self) -> &CatRates {
+        &self.rates
+    }
+
+    fn inner_idx(&self, node: NodeId) -> usize {
+        node - self.num_taxa
+    }
+
+    /// Per-category transition matrices for one branch.
+    fn pmats(&self, t: f64) -> Vec<[[f64; NUM_STATES]; NUM_STATES]> {
+        self.rates
+            .rates()
+            .iter()
+            .map(|&r| self.eigen.prob_matrix(t, r))
+            .collect()
+    }
+
+    fn newview(&mut self, tree: &Tree, node: NodeId, toward: EdgeId) {
+        let ch = children(tree, node, toward);
+        let pm = [
+            self.pmats(tree.length(ch[0].0)),
+            self.pmats(tree.length(ch[1].0)),
+        ];
+        let idx = self.inner_idx(node);
+        let mut out = std::mem::replace(&mut self.clas[idx], AlignedVec::zeroed(0));
+        let mut scale = std::mem::take(&mut self.scales[idx]);
+
+        for i in 0..self.num_patterns {
+            let cat = self.rates.site_category(i);
+            let site = &mut out[i * CAT_STRIDE..(i + 1) * CAT_STRIDE];
+            let mut scale_in = 0u32;
+            for (c, &(_, child)) in ch.iter().enumerate() {
+                let p = &pm[c][cat];
+                if tree.is_tip(child) {
+                    let code = self.tips[child][i];
+                    for a in 0..NUM_STATES {
+                        let mut v = 0.0;
+                        for b in 0..NUM_STATES {
+                            if code & (1 << b) != 0 {
+                                v += p[a][b];
+                            }
+                        }
+                        if c == 0 {
+                            site[a] = v;
+                        } else {
+                            site[a] *= v;
+                        }
+                    }
+                } else {
+                    let cidx = self.inner_idx(child);
+                    scale_in += self.scales[cidx][i];
+                    let cv = &self.clas[cidx][i * CAT_STRIDE..(i + 1) * CAT_STRIDE];
+                    for a in 0..NUM_STATES {
+                        let mut v = 0.0;
+                        for b in 0..NUM_STATES {
+                            v += p[a][b] * cv[b];
+                        }
+                        if c == 0 {
+                            site[a] = v;
+                        } else {
+                            site[a] *= v;
+                        }
+                    }
+                }
+            }
+            let max = site.iter().cloned().fold(0.0f64, f64::max);
+            if max < SCALE_THRESHOLD {
+                for v in site.iter_mut() {
+                    *v *= SCALE_FACTOR;
+                }
+                scale_in += 1;
+            }
+            scale[i] = scale_in;
+        }
+
+        self.clas[idx] = out;
+        self.scales[idx] = scale;
+    }
+
+    /// Recomputes all CLAs oriented toward `root_edge`.
+    pub fn update_partials(&mut self, tree: &Tree, root_edge: EdgeId) {
+        for d in full_schedule(tree, root_edge) {
+            self.newview(tree, d.node, d.toward_edge);
+        }
+        self.sum_ready = false;
+    }
+
+    /// Log-likelihood with the virtual root on `root_edge`.
+    pub fn log_likelihood(&mut self, tree: &Tree, root_edge: EdgeId) -> f64 {
+        self.site_log_likelihoods(tree, root_edge)
+            .iter()
+            .zip(&self.weights)
+            .map(|(l, &w)| w as f64 * l)
+            .sum()
+    }
+
+    /// Per-pattern log-likelihoods (unweighted) — the quantity the CAT
+    /// rate-estimation procedure maximizes site by site.
+    pub fn site_log_likelihoods(&mut self, tree: &Tree, root_edge: EdgeId) -> Vec<f64> {
+        self.update_partials(tree, root_edge);
+        let (a, b) = tree.endpoints(root_edge);
+        let (q, r) = if tree.is_tip(a) { (a, b) } else { (b, a) };
+        let pm = self.pmats(tree.length(root_edge));
+        let pi = self.eigen.freqs();
+        let ridx = self.inner_idx(r);
+
+        let mut out = Vec::with_capacity(self.num_patterns);
+        for i in 0..self.num_patterns {
+            let cat = self.rates.site_category(i);
+            let p = &pm[cat];
+            let rv = &self.clas[ridx][i * CAT_STRIDE..(i + 1) * CAT_STRIDE];
+            let mut sc = self.scales[ridx][i] as f64;
+            let mut site = 0.0;
+            if tree.is_tip(q) {
+                let code = self.tips[q][i];
+                for a_state in 0..NUM_STATES {
+                    if code & (1 << a_state) == 0 {
+                        continue;
+                    }
+                    let mut x = 0.0;
+                    for b_state in 0..NUM_STATES {
+                        x += p[a_state][b_state] * rv[b_state];
+                    }
+                    site += pi[a_state] * x;
+                }
+            } else {
+                let qidx = self.inner_idx(q);
+                sc += self.scales[qidx][i] as f64;
+                let qv = &self.clas[qidx][i * CAT_STRIDE..(i + 1) * CAT_STRIDE];
+                for a_state in 0..NUM_STATES {
+                    let mut x = 0.0;
+                    for b_state in 0..NUM_STATES {
+                        x += p[a_state][b_state] * rv[b_state];
+                    }
+                    site += pi[a_state] * qv[a_state] * x;
+                }
+            }
+            out.push(site.max(f64::MIN_POSITIVE).ln() - sc * LN_SCALE);
+        }
+        out
+    }
+
+    /// Prepares the eigen-space sum table for `edge` (CAT
+    /// `derivativeSum`).
+    pub fn prepare_branch(&mut self, tree: &Tree, edge: EdgeId) {
+        self.update_partials(tree, edge);
+        let (a, b) = tree.endpoints(edge);
+        let (q, r) = if tree.is_tip(a) { (a, b) } else { (b, a) };
+        let pi = *self.eigen.freqs();
+        let u = *self.eigen.u();
+        let ui = *self.eigen.u_inv();
+        let ridx = self.inner_idx(r);
+
+        let mut sum = std::mem::replace(&mut self.sumtable, AlignedVec::zeroed(0));
+        for i in 0..self.num_patterns {
+            let rv = &self.clas[ridx][i * CAT_STRIDE..(i + 1) * CAT_STRIDE];
+            let site = &mut sum[i * CAT_STRIDE..(i + 1) * CAT_STRIDE];
+            for j in 0..NUM_STATES {
+                let mut le = 0.0;
+                if tree.is_tip(q) {
+                    let code = self.tips[q][i];
+                    for a_state in 0..NUM_STATES {
+                        if code & (1 << a_state) != 0 {
+                            le += pi[a_state] * u[a_state][j];
+                        }
+                    }
+                } else {
+                    let qidx = self.inner_idx(q);
+                    let qv = &self.clas[qidx][i * CAT_STRIDE..(i + 1) * CAT_STRIDE];
+                    for a_state in 0..NUM_STATES {
+                        le += qv[a_state] * pi[a_state] * u[a_state][j];
+                    }
+                }
+                let mut re = 0.0;
+                for b_state in 0..NUM_STATES {
+                    re += ui[j][b_state] * rv[b_state];
+                }
+                site[j] = le * re;
+            }
+        }
+        self.sumtable = sum;
+        self.sum_ready = true;
+    }
+
+    /// First and second derivatives at branch length `t` for the
+    /// prepared branch. Unlike the Γ kernels, the exponentials carry a
+    /// per-site rate.
+    pub fn branch_derivatives(&self, t: f64) -> (f64, f64) {
+        assert!(self.sum_ready, "prepare_branch must run first");
+        let vals = self.eigen.values();
+        // Per-category exponential tables (categories are few).
+        let tables: Vec<[[f64; NUM_STATES]; 3]> = self
+            .rates
+            .rates()
+            .iter()
+            .map(|&r| {
+                let mut e = [0.0; NUM_STATES];
+                let mut d1 = [0.0; NUM_STATES];
+                let mut d2 = [0.0; NUM_STATES];
+                for j in 0..NUM_STATES {
+                    let lr = vals[j] * r;
+                    let ex = (lr * t).exp();
+                    e[j] = ex;
+                    d1[j] = lr * ex;
+                    d2[j] = lr * lr * ex;
+                }
+                [e, d1, d2]
+            })
+            .collect();
+
+        let mut dlnl = 0.0;
+        let mut d2lnl = 0.0;
+        for i in 0..self.num_patterns {
+            let cat = self.rates.site_category(i);
+            let [e, d1, d2] = &tables[cat];
+            let s = &self.sumtable[i * CAT_STRIDE..(i + 1) * CAT_STRIDE];
+            let mut l = 0.0;
+            let mut l1 = 0.0;
+            let mut l2 = 0.0;
+            for j in 0..NUM_STATES {
+                l += s[j] * e[j];
+                l1 += s[j] * d1[j];
+                l2 += s[j] * d2[j];
+            }
+            let l = l.max(f64::MIN_POSITIVE);
+            let w = self.weights[i] as f64;
+            let r1 = l1 / l;
+            dlnl += w * r1;
+            d2lnl += w * (l2 / l - r1 * r1);
+        }
+        (dlnl, d2lnl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use phylo_models::{Gtr, GtrParams};
+    use phylo_tree::newick;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fixture(seed: u64) -> (Tree, Vec<Vec<u8>>, Vec<u32>, CatRates, Gtr) {
+        let tree = newick::parse("((a:0.2,b:0.35):0.1,c:0.15,(d:0.25,e:0.05):0.3);").unwrap();
+        let gtr = Gtr::new(GtrParams {
+            rates: [1.4, 2.2, 0.7, 1.3, 3.0, 1.0],
+            freqs: [0.27, 0.23, 0.25, 0.25],
+        });
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let patterns = 30;
+        let tips: Vec<Vec<u8>> = (0..5)
+            .map(|_| {
+                (0..patterns)
+                    .map(|_| [1u8, 2, 4, 8, 15, 5][rng.random_range(0..6)])
+                    .collect()
+            })
+            .collect();
+        let cats = CatRates::new(
+            vec![0.2, 0.7, 1.4, 3.1],
+            (0..patterns).map(|_| rng.random_range(0..4)).collect(),
+        );
+        (tree, tips, vec![1; patterns as usize], cats, gtr)
+    }
+
+    /// Brute-force CAT oracle: each pattern is evaluated by the Γ
+    /// brute-forcer with all four category rates pinned to the site's
+    /// own rate (averaging identical categories is the identity).
+    fn naive_cat(
+        tree: &Tree,
+        gtr: &Gtr,
+        cats: &CatRates,
+        tips: &[Vec<u8>],
+        weights: &[u32],
+    ) -> f64 {
+        let mut total = 0.0;
+        for i in 0..weights.len() {
+            let r = cats.site_rate(i);
+            let one_pattern: Vec<Vec<u8>> = tips.iter().map(|row| vec![row[i]]).collect();
+            total += naive::log_likelihood(
+                tree,
+                gtr.eigen(),
+                &[r, r, r, r],
+                &one_pattern,
+                &[weights[i]],
+            );
+        }
+        total
+    }
+
+    #[test]
+    fn matches_brute_force_every_root_edge() {
+        let (tree, tips, weights, cats, gtr) = fixture(11);
+        let reference = naive_cat(&tree, &gtr, &cats, &tips, &weights);
+        let mut engine = CatEngine::new(
+            &tree,
+            gtr.eigen().clone(),
+            cats,
+            tips,
+            weights,
+        );
+        for e in tree.edge_ids() {
+            let ll = engine.log_likelihood(&tree, e);
+            assert!((ll - reference).abs() < 1e-8, "edge {e}: {ll} vs {reference}");
+        }
+    }
+
+    #[test]
+    fn homogeneous_cat_equals_single_rate() {
+        // CAT with one rate-1 category: per-site likelihood is the
+        // plain no-heterogeneity PLF; cross-check with brute force.
+        let (tree, tips, weights, _, gtr) = fixture(13);
+        let cats = CatRates::homogeneous(weights.len());
+        let reference = naive_cat(&tree, &gtr, &cats, &tips, &weights);
+        let mut engine =
+            CatEngine::new(&tree, gtr.eigen().clone(), cats, tips, weights);
+        let ll = engine.log_likelihood(&tree, 0);
+        assert!((ll - reference).abs() < 1e-8, "{ll} vs {reference}");
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let (tree, tips, weights, cats, gtr) = fixture(17);
+        let mut engine =
+            CatEngine::new(&tree, gtr.eigen().clone(), cats, tips, weights);
+        for edge in [0usize, 4] {
+            engine.prepare_branch(&tree, edge);
+            let t0 = tree.length(edge);
+            let (d1, d2) = engine.branch_derivatives(t0);
+            let h = 1e-5;
+            let mut ll = |t: f64| {
+                let mut tt = tree.clone();
+                tt.set_length(edge, t).unwrap();
+                engine.log_likelihood(&tt, edge)
+            };
+            let (lp, lm, l0) = (ll(t0 + h), ll(t0 - h), ll(t0));
+            let fd1 = (lp - lm) / (2.0 * h);
+            let fd2 = (lp - 2.0 * l0 + lm) / (h * h);
+            assert!((d1 - fd1).abs() < 1e-3 * (1.0 + fd1.abs()), "edge {edge}");
+            assert!((d2 - fd2).abs() < 1e-2 * (1.0 + fd2.abs()), "edge {edge}");
+        }
+    }
+
+    #[test]
+    fn rate_assignment_mismatch_rejected() {
+        let (tree, tips, weights, _, gtr) = fixture(19);
+        let bad = CatRates::homogeneous(weights.len() + 1);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            CatEngine::new(&tree, gtr.eigen().clone(), bad, tips, weights)
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn faster_sites_lose_more_likelihood_on_long_trees() {
+        // Sanity: with identical data per site, high-rate sites are
+        // "more evolved" and (for identical tip characters) less
+        // likely.
+        let tree = newick::parse("(a:0.5,b:0.5,c:0.5);").unwrap();
+        let tips: Vec<Vec<u8>> = vec![vec![1, 1], vec![1, 1], vec![1, 1]]; // all 'A'
+        let gtr = Gtr::new(GtrParams::jc69());
+        let cats = CatRates::new(vec![0.1, 4.0], vec![0, 1]);
+        let mut engine =
+            CatEngine::new(&tree, gtr.eigen().clone(), cats, tips, vec![1, 1]);
+        engine.update_partials(&tree, 0);
+        // Compare per-site contributions by weighting tricks: weight
+        // only site 0, then only site 1.
+        let slow = {
+            let (tree2, tips2) = (tree.clone(), vec![vec![1u8], vec![1], vec![1]]);
+            let cats = CatRates::new(vec![0.1], vec![0]);
+            let mut e = CatEngine::new(&tree2, gtr.eigen().clone(), cats, tips2, vec![1]);
+            e.log_likelihood(&tree2, 0)
+        };
+        let fast = {
+            let (tree2, tips2) = (tree.clone(), vec![vec![1u8], vec![1], vec![1]]);
+            let cats = CatRates::new(vec![4.0], vec![0]);
+            let mut e = CatEngine::new(&tree2, gtr.eigen().clone(), cats, tips2, vec![1]);
+            e.log_likelihood(&tree2, 0)
+        };
+        assert!(slow > fast, "slow {slow} fast {fast}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Conditional likelihood arrays (CLAs).
+
+use crate::aligned::AlignedVec;
+use crate::SITE_STRIDE;
+
+/// One inner node's conditional likelihood array: `SITE_STRIDE` doubles
+/// per pattern (4 Γ categories × 4 states, 128 bytes — two cache
+/// lines), 64-byte aligned, plus a per-pattern underflow scaling
+/// counter.
+#[derive(Clone, Debug)]
+pub struct Cla {
+    values: AlignedVec,
+    scale: Vec<u32>,
+    num_patterns: usize,
+}
+
+impl Cla {
+    /// Allocates a zeroed CLA over `num_patterns` patterns.
+    pub fn new(num_patterns: usize) -> Self {
+        Cla {
+            values: AlignedVec::zeroed(num_patterns * SITE_STRIDE),
+            scale: vec![0; num_patterns],
+            num_patterns,
+        }
+    }
+
+    /// Number of patterns covered.
+    pub fn num_patterns(&self) -> usize {
+        self.num_patterns
+    }
+
+    /// The flat value buffer, `pattern-major`: entry `(i, k, a)` lives
+    /// at `i * SITE_STRIDE + k * 4 + a`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable value buffer.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Per-pattern scaling counters.
+    pub fn scale(&self) -> &[u32] {
+        &self.scale
+    }
+
+    /// Mutable scaling counters.
+    pub fn scale_mut(&mut self) -> &mut [u32] {
+        &mut self.scale
+    }
+
+    /// Both buffers mutably (the kernels fill them together).
+    pub fn buffers_mut(&mut self) -> (&mut [f64], &mut [u32]) {
+        (&mut self.values, &mut self.scale)
+    }
+
+    /// One pattern's 16 values.
+    pub fn site(&self, i: usize) -> &[f64] {
+        &self.values[i * SITE_STRIDE..(i + 1) * SITE_STRIDE]
+    }
+
+    /// Resets values to zero and scaling to zero.
+    pub fn clear(&mut self) {
+        self.values.fill(0.0);
+        self.scale.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_and_alignment() {
+        let c = Cla::new(10);
+        assert_eq!(c.values().len(), 10 * SITE_STRIDE);
+        assert_eq!(c.scale().len(), 10);
+        assert_eq!(c.values.as_ptr() as usize % 64, 0);
+        // Per-site offset is 128 bytes, preserving 64-byte alignment of
+        // every site start (§V-B2: "the offset is 16 DP numbers or 128
+        // bytes").
+        assert_eq!(SITE_STRIDE * std::mem::size_of::<f64>(), 128);
+    }
+
+    #[test]
+    fn site_slicing() {
+        let mut c = Cla::new(3);
+        c.values_mut()[SITE_STRIDE + 5] = 42.0;
+        assert_eq!(c.site(1)[5], 42.0);
+        assert_eq!(c.site(0)[5], 0.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = Cla::new(2);
+        c.values_mut()[0] = 1.0;
+        c.scale_mut()[1] = 3;
+        c.clear();
+        assert!(c.values().iter().all(|&v| v == 0.0));
+        assert!(c.scale().iter().all(|&s| s == 0));
+    }
+}

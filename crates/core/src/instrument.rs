@@ -1,0 +1,178 @@
+//! Kernel-level instrumentation.
+//!
+//! The paper's Figure 3 and Table III are driven by how much work each
+//! kernel performs. [`KernelStats`] counts invocations and
+//! pattern-sites processed per kernel during a real run; the `micsim`
+//! crate turns those counts into platform time predictions using
+//! per-site operation models.
+
+/// The four PLF kernels of §IV.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelId {
+    /// Conditional likelihood array update.
+    Newview,
+    /// Log-likelihood at the virtual root.
+    Evaluate,
+    /// Derivative precomputation (element-wise products).
+    DerivativeSum,
+    /// First/second derivative accumulation per Newton step.
+    DerivativeCore,
+}
+
+impl KernelId {
+    /// All kernels, in paper order.
+    pub const ALL: [KernelId; 4] = [
+        KernelId::Newview,
+        KernelId::Evaluate,
+        KernelId::DerivativeSum,
+        KernelId::DerivativeCore,
+    ];
+
+    /// The paper's name for the kernel.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            KernelId::Newview => "newview",
+            KernelId::Evaluate => "evaluate",
+            KernelId::DerivativeSum => "derivativeSum",
+            KernelId::DerivativeCore => "derivativeCore",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            KernelId::Newview => 0,
+            KernelId::Evaluate => 1,
+            KernelId::DerivativeSum => 2,
+            KernelId::DerivativeCore => 3,
+        }
+    }
+}
+
+/// Counter for one kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelCount {
+    /// Number of kernel invocations.
+    pub calls: u64,
+    /// Total pattern-sites processed across all invocations.
+    pub sites: u64,
+}
+
+/// Per-kernel work counters for one engine (single-threaded; workers
+/// merge their stats after a parallel region).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    counts: [KernelCount; 4],
+}
+
+impl KernelStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one invocation over `sites` pattern-sites.
+    #[inline]
+    pub fn record(&mut self, kernel: KernelId, sites: usize) {
+        let c = &mut self.counts[kernel.index()];
+        c.calls += 1;
+        c.sites += sites as u64;
+    }
+
+    /// Counter for one kernel.
+    pub fn get(&self, kernel: KernelId) -> KernelCount {
+        self.counts[kernel.index()]
+    }
+
+    /// Adds another stats block into this one.
+    pub fn merge(&mut self, other: &KernelStats) {
+        for i in 0..4 {
+            self.counts[i].calls += other.counts[i].calls;
+            self.counts[i].sites += other.counts[i].sites;
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        self.counts = [KernelCount::default(); 4];
+    }
+
+    /// Total invocations across all kernels (the offload-latency
+    /// multiplier in the paper's §V-C analysis).
+    pub fn total_calls(&self) -> u64 {
+        self.counts.iter().map(|c| c.calls).sum()
+    }
+
+    /// Total pattern-sites across all kernels.
+    pub fn total_sites(&self) -> u64 {
+        self.counts.iter().map(|c| c.sites).sum()
+    }
+
+    /// Returns a copy with every `sites` count scaled by `factor`,
+    /// keeping `calls` unchanged. This is how a trace measured on a
+    /// small alignment is extrapolated to a larger one (same search,
+    /// proportionally more sites per invocation).
+    pub fn scale_sites(&self, factor: f64) -> KernelStats {
+        assert!(factor.is_finite() && factor > 0.0);
+        let mut out = self.clone();
+        for c in out.counts.iter_mut() {
+            c.sites = (c.sites as f64 * factor).round() as u64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_get() {
+        let mut s = KernelStats::new();
+        s.record(KernelId::Newview, 100);
+        s.record(KernelId::Newview, 50);
+        s.record(KernelId::Evaluate, 10);
+        assert_eq!(s.get(KernelId::Newview).calls, 2);
+        assert_eq!(s.get(KernelId::Newview).sites, 150);
+        assert_eq!(s.get(KernelId::Evaluate).sites, 10);
+        assert_eq!(s.get(KernelId::DerivativeSum).calls, 0);
+        assert_eq!(s.total_calls(), 3);
+        assert_eq!(s.total_sites(), 160);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = KernelStats::new();
+        a.record(KernelId::DerivativeCore, 7);
+        let mut b = KernelStats::new();
+        b.record(KernelId::DerivativeCore, 3);
+        b.record(KernelId::Newview, 1);
+        a.merge(&b);
+        assert_eq!(a.get(KernelId::DerivativeCore).sites, 10);
+        assert_eq!(a.get(KernelId::DerivativeCore).calls, 2);
+        assert_eq!(a.get(KernelId::Newview).calls, 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = KernelStats::new();
+        s.record(KernelId::Evaluate, 5);
+        s.reset();
+        assert_eq!(s, KernelStats::new());
+    }
+
+    #[test]
+    fn scale_sites_preserves_calls() {
+        let mut s = KernelStats::new();
+        s.record(KernelId::Newview, 100);
+        s.record(KernelId::Newview, 100);
+        let scaled = s.scale_sites(10.0);
+        assert_eq!(scaled.get(KernelId::Newview).calls, 2);
+        assert_eq!(scaled.get(KernelId::Newview).sites, 2000);
+    }
+
+    #[test]
+    fn paper_names() {
+        assert_eq!(KernelId::DerivativeSum.paper_name(), "derivativeSum");
+        assert_eq!(KernelId::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,157 @@
+//! The four PLF kernels, in scalar and vectorized variants.
+//!
+//! All kernels operate on pattern-major buffers with
+//! [`crate::SITE_STRIDE`] doubles per pattern. Tip sides are always
+//! canonicalized to the *left* operand by the engine (legal under
+//! time-reversibility, where the likelihood of a branch is symmetric in
+//! its endpoints).
+
+pub mod scalar;
+pub mod vector;
+
+use crate::layout::{EigenBasis, FusedPmat, Lut16x16};
+use crate::SITE_STRIDE;
+
+/// Which kernel implementation an engine uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Straightforward nested-loop reference implementation.
+    Scalar,
+    /// MIC-style fused-loop, site-blocked implementation (§V-B).
+    Vector,
+}
+
+impl KernelKind {
+    /// The implementation behind this kind.
+    pub fn kernels(self) -> &'static dyn Kernels {
+        match self {
+            KernelKind::Scalar => &scalar::ScalarKernels,
+            KernelKind::Vector => &vector::VectorKernels,
+        }
+    }
+}
+
+/// The kernel interface (paper §IV).
+///
+/// Buffer conventions: `v_*` are CLA value buffers (`n·16` doubles),
+/// `scale_*` are per-pattern scaling counters (`n` entries), `codes_*`
+/// are 4-bit tip codes (`n` entries), `out` buffers follow the same
+/// shapes, and `weights` are pattern multiplicities.
+pub trait Kernels: Send + Sync {
+    /// `newview`, both children tips.
+    fn newview_tt(
+        &self,
+        lut_l: &Lut16x16,
+        lut_r: &Lut16x16,
+        codes_l: &[u8],
+        codes_r: &[u8],
+        out: &mut [f64],
+        scale_out: &mut [u32],
+    );
+
+    /// `newview`, left child tip, right child inner.
+    #[allow(clippy::too_many_arguments)]
+    fn newview_ti(
+        &self,
+        lut_l: &Lut16x16,
+        codes_l: &[u8],
+        p_r: &FusedPmat,
+        v_r: &[f64],
+        scale_r: &[u32],
+        out: &mut [f64],
+        scale_out: &mut [u32],
+    );
+
+    /// `newview`, both children inner.
+    #[allow(clippy::too_many_arguments)]
+    fn newview_ii(
+        &self,
+        p_l: &FusedPmat,
+        v_l: &[f64],
+        scale_l: &[u32],
+        p_r: &FusedPmat,
+        v_r: &[f64],
+        scale_r: &[u32],
+        out: &mut [f64],
+        scale_out: &mut [u32],
+    );
+
+    /// `evaluate` with a tip at the virtual root's left end. Returns
+    /// the log-likelihood over all patterns.
+    fn evaluate_ti(
+        &self,
+        pi_tip: &Lut16x16,
+        codes_q: &[u8],
+        p: &FusedPmat,
+        v_r: &[f64],
+        scale_r: &[u32],
+        weights: &[u32],
+    ) -> f64;
+
+    /// `evaluate` between two inner nodes. `pi_w[m] = w_k · π_a`.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_ii(
+        &self,
+        pi_w: &[f64; SITE_STRIDE],
+        v_q: &[f64],
+        scale_q: &[u32],
+        p: &FusedPmat,
+        v_r: &[f64],
+        scale_r: &[u32],
+        weights: &[u32],
+    ) -> f64;
+
+    /// `derivativeSum` with a tip on the left: writes the
+    /// branch-invariant site table `out[i][m] = left̂[m] · right̂[m]`
+    /// in eigen coordinates.
+    fn derivative_sum_ti(
+        &self,
+        basis: &EigenBasis,
+        codes_q: &[u8],
+        v_r: &[f64],
+        out: &mut [f64],
+    );
+
+    /// `derivativeSum` between two inner nodes.
+    fn derivative_sum_ii(&self, basis: &EigenBasis, v_q: &[f64], v_r: &[f64], out: &mut [f64]);
+
+    /// `derivativeCore`: first and second derivative of the
+    /// log-likelihood with respect to the branch length, evaluated at
+    /// `t`, from a `derivativeSum` table.
+    fn derivative_core(
+        &self,
+        sumtable: &[f64],
+        lambda_rate: &[f64; SITE_STRIDE],
+        t: f64,
+        weights: &[u32],
+    ) -> (f64, f64);
+}
+
+/// Shared helper: the per-branch exponential tables of
+/// `derivativeCore` — `e^{λ_j r_k t}`, `λ_j r_k e^{…}`, and
+/// `(λ_j r_k)² e^{…}` — computed once per call, shared by all sites.
+#[inline]
+pub(crate) fn derivative_exp_tables(
+    lambda_rate: &[f64; SITE_STRIDE],
+    t: f64,
+) -> ([f64; SITE_STRIDE], [f64; SITE_STRIDE], [f64; SITE_STRIDE]) {
+    let mut e = [0.0; SITE_STRIDE];
+    let mut d1 = [0.0; SITE_STRIDE];
+    let mut d2 = [0.0; SITE_STRIDE];
+    for m in 0..SITE_STRIDE {
+        let lr = lambda_rate[m];
+        let ex = (lr * t).exp();
+        e[m] = ex;
+        d1[m] = lr * ex;
+        d2[m] = lr * lr * ex;
+    }
+    (e, d1, d2)
+}
+
+/// Guard against a zero site likelihood (possible only when scaling has
+/// been defeated by pathological inputs); keeps `ln` finite.
+#[inline]
+pub(crate) fn positive(l: f64) -> f64 {
+    debug_assert!(l >= 0.0, "negative site likelihood {l}");
+    l.max(f64::MIN_POSITIVE)
+}

@@ -1,0 +1,243 @@
+//! Reference (scalar) kernel implementations.
+//!
+//! Deliberately written the way the pre-port C code computes: nested
+//! loops over rate categories and states, per-(k, a) dot products over
+//! child states, no fused multiply-add, no layout tricks. This is the
+//! baseline the paper's §V optimizations are measured against, and the
+//! oracle the vector variant is tested against.
+
+use super::{derivative_exp_tables, positive, Kernels};
+use crate::layout::{EigenBasis, FusedPmat, Lut16x16};
+use crate::scaling::{scale_site, LN_SCALE};
+use crate::{NUM_RATES, NUM_STATES, SITE_STRIDE};
+
+/// Scalar kernel set.
+pub struct ScalarKernels;
+
+/// P_k[a][b] from the fused layout (the scalar code un-fuses it).
+#[inline]
+fn p_entry(p: &FusedPmat, k: usize, a: usize, b: usize) -> f64 {
+    p.cols[b][4 * k + a]
+}
+
+impl Kernels for ScalarKernels {
+    fn newview_tt(
+        &self,
+        lut_l: &Lut16x16,
+        lut_r: &Lut16x16,
+        codes_l: &[u8],
+        codes_r: &[u8],
+        out: &mut [f64],
+        scale_out: &mut [u32],
+    ) {
+        let n = scale_out.len();
+        debug_assert_eq!(out.len(), n * SITE_STRIDE);
+        for i in 0..n {
+            let l = &lut_l.rows[codes_l[i] as usize];
+            let r = &lut_r.rows[codes_r[i] as usize];
+            let site = &mut out[i * SITE_STRIDE..(i + 1) * SITE_STRIDE];
+            for m in 0..SITE_STRIDE {
+                site[m] = l[m] * r[m];
+            }
+            scale_out[i] = scale_site(site);
+        }
+    }
+
+    fn newview_ti(
+        &self,
+        lut_l: &Lut16x16,
+        codes_l: &[u8],
+        p_r: &FusedPmat,
+        v_r: &[f64],
+        scale_r: &[u32],
+        out: &mut [f64],
+        scale_out: &mut [u32],
+    ) {
+        let n = scale_out.len();
+        for i in 0..n {
+            let l = &lut_l.rows[codes_l[i] as usize];
+            let vr = &v_r[i * SITE_STRIDE..(i + 1) * SITE_STRIDE];
+            let site = &mut out[i * SITE_STRIDE..(i + 1) * SITE_STRIDE];
+            for k in 0..NUM_RATES {
+                for a in 0..NUM_STATES {
+                    let mut r = 0.0;
+                    for b in 0..NUM_STATES {
+                        r += p_entry(p_r, k, a, b) * vr[4 * k + b];
+                    }
+                    site[4 * k + a] = l[4 * k + a] * r;
+                }
+            }
+            scale_out[i] = scale_r[i] + scale_site(site);
+        }
+    }
+
+    fn newview_ii(
+        &self,
+        p_l: &FusedPmat,
+        v_l: &[f64],
+        scale_l: &[u32],
+        p_r: &FusedPmat,
+        v_r: &[f64],
+        scale_r: &[u32],
+        out: &mut [f64],
+        scale_out: &mut [u32],
+    ) {
+        let n = scale_out.len();
+        for i in 0..n {
+            let vl = &v_l[i * SITE_STRIDE..(i + 1) * SITE_STRIDE];
+            let vr = &v_r[i * SITE_STRIDE..(i + 1) * SITE_STRIDE];
+            let site = &mut out[i * SITE_STRIDE..(i + 1) * SITE_STRIDE];
+            for k in 0..NUM_RATES {
+                for a in 0..NUM_STATES {
+                    let mut l = 0.0;
+                    let mut r = 0.0;
+                    for b in 0..NUM_STATES {
+                        l += p_entry(p_l, k, a, b) * vl[4 * k + b];
+                        r += p_entry(p_r, k, a, b) * vr[4 * k + b];
+                    }
+                    site[4 * k + a] = l * r;
+                }
+            }
+            scale_out[i] = scale_l[i] + scale_r[i] + scale_site(site);
+        }
+    }
+
+    fn evaluate_ti(
+        &self,
+        pi_tip: &Lut16x16,
+        codes_q: &[u8],
+        p: &FusedPmat,
+        v_r: &[f64],
+        scale_r: &[u32],
+        weights: &[u32],
+    ) -> f64 {
+        let n = weights.len();
+        let mut log_l = 0.0;
+        for i in 0..n {
+            let piq = &pi_tip.rows[codes_q[i] as usize];
+            let vr = &v_r[i * SITE_STRIDE..(i + 1) * SITE_STRIDE];
+            let mut site = 0.0;
+            for k in 0..NUM_RATES {
+                for a in 0..NUM_STATES {
+                    let mut x = 0.0;
+                    for b in 0..NUM_STATES {
+                        x += p_entry(p, k, a, b) * vr[4 * k + b];
+                    }
+                    site += piq[4 * k + a] * x;
+                }
+            }
+            let w = weights[i] as f64;
+            log_l += w * (positive(site).ln() - scale_r[i] as f64 * LN_SCALE);
+        }
+        log_l
+    }
+
+    fn evaluate_ii(
+        &self,
+        pi_w: &[f64; SITE_STRIDE],
+        v_q: &[f64],
+        scale_q: &[u32],
+        p: &FusedPmat,
+        v_r: &[f64],
+        scale_r: &[u32],
+        weights: &[u32],
+    ) -> f64 {
+        let n = weights.len();
+        let mut log_l = 0.0;
+        for i in 0..n {
+            let vq = &v_q[i * SITE_STRIDE..(i + 1) * SITE_STRIDE];
+            let vr = &v_r[i * SITE_STRIDE..(i + 1) * SITE_STRIDE];
+            let mut site = 0.0;
+            for k in 0..NUM_RATES {
+                for a in 0..NUM_STATES {
+                    let mut x = 0.0;
+                    for b in 0..NUM_STATES {
+                        x += p_entry(p, k, a, b) * vr[4 * k + b];
+                    }
+                    site += pi_w[4 * k + a] * vq[4 * k + a] * x;
+                }
+            }
+            let w = weights[i] as f64;
+            let sc = (scale_q[i] + scale_r[i]) as f64;
+            log_l += w * (positive(site).ln() - sc * LN_SCALE);
+        }
+        log_l
+    }
+
+    fn derivative_sum_ti(
+        &self,
+        basis: &EigenBasis,
+        codes_q: &[u8],
+        v_r: &[f64],
+        out: &mut [f64],
+    ) {
+        let n = out.len() / SITE_STRIDE;
+        for i in 0..n {
+            let le = &basis.tip_left.rows[codes_q[i] as usize];
+            let vr = &v_r[i * SITE_STRIDE..(i + 1) * SITE_STRIDE];
+            let site = &mut out[i * SITE_STRIDE..(i + 1) * SITE_STRIDE];
+            for k in 0..NUM_RATES {
+                for j in 0..NUM_STATES {
+                    let m = 4 * k + j;
+                    let mut re = 0.0;
+                    for b in 0..NUM_STATES {
+                        re += basis.uinv[b][m] * vr[4 * k + b];
+                    }
+                    site[m] = le[m] * re;
+                }
+            }
+        }
+    }
+
+    fn derivative_sum_ii(&self, basis: &EigenBasis, v_q: &[f64], v_r: &[f64], out: &mut [f64]) {
+        let n = out.len() / SITE_STRIDE;
+        for i in 0..n {
+            let vq = &v_q[i * SITE_STRIDE..(i + 1) * SITE_STRIDE];
+            let vr = &v_r[i * SITE_STRIDE..(i + 1) * SITE_STRIDE];
+            let site = &mut out[i * SITE_STRIDE..(i + 1) * SITE_STRIDE];
+            for k in 0..NUM_RATES {
+                for j in 0..NUM_STATES {
+                    let m = 4 * k + j;
+                    let mut le = 0.0;
+                    let mut re = 0.0;
+                    for ab in 0..NUM_STATES {
+                        le += basis.piu[ab][m] * vq[4 * k + ab];
+                        re += basis.uinv[ab][m] * vr[4 * k + ab];
+                    }
+                    site[m] = le * re;
+                }
+            }
+        }
+    }
+
+    fn derivative_core(
+        &self,
+        sumtable: &[f64],
+        lambda_rate: &[f64; SITE_STRIDE],
+        t: f64,
+        weights: &[u32],
+    ) -> (f64, f64) {
+        let n = weights.len();
+        debug_assert_eq!(sumtable.len(), n * SITE_STRIDE);
+        let (e, d1, d2) = derivative_exp_tables(lambda_rate, t);
+        let mut dlnl = 0.0;
+        let mut d2lnl = 0.0;
+        for i in 0..n {
+            let s = &sumtable[i * SITE_STRIDE..(i + 1) * SITE_STRIDE];
+            let mut l = 0.0;
+            let mut l1 = 0.0;
+            let mut l2 = 0.0;
+            for m in 0..SITE_STRIDE {
+                l += s[m] * e[m];
+                l1 += s[m] * d1[m];
+                l2 += s[m] * d2[m];
+            }
+            let l = positive(l);
+            let w = weights[i] as f64;
+            let ratio1 = l1 / l;
+            dlnl += w * ratio1;
+            d2lnl += w * (l2 / l - ratio1 * ratio1);
+        }
+        (dlnl, d2lnl)
+    }
+}

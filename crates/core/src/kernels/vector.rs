@@ -1,0 +1,279 @@
+//! Vectorized kernel implementations (§V-B of the paper).
+//!
+//! Portable Rust rendering of the paper's MIC optimizations:
+//!
+//! * §V-B3 *re-organized loops* — the four per-category 1×4 · 4×4
+//!   products are executed simultaneously as one fused 16-wide loop
+//!   (`fused_matvec`), expressed with fixed-size arrays and
+//!   `mul_add` so LLVM lowers it to broadcast + FMA vector code;
+//! * §V-B2 *memory alignment* — all CLA inputs come from 64-byte
+//!   aligned [`crate::AlignedVec`] storage with a 128-byte site stride;
+//! * §V-B4 *site blocking* — `evaluate` and `derivativeCore` process
+//!   sites in groups of [`crate::SITE_BLOCK`] so the per-site scalar
+//!   tail (log, divisions) runs over 8-wide blocks;
+//! * §V-B5 *streaming stores* — output CLAs and sumtables are written
+//!   exactly once per site, never read back (store-only traffic).
+
+use super::{derivative_exp_tables, positive, Kernels};
+use crate::layout::{EigenBasis, FusedPmat, Lut16x16};
+use crate::scaling::{scale_site, LN_SCALE};
+use crate::{NUM_RATES, NUM_STATES, SITE_BLOCK, SITE_STRIDE};
+
+/// Vectorized kernel set.
+pub struct VectorKernels;
+
+/// One fused 16-wide matrix application: `acc[4k + a] = Σ_b
+/// P_k[a][b] · v[4k + b]`, computed as four broadcast-FMA passes over
+/// the fused columns.
+#[inline(always)]
+fn fused_matvec(p: &FusedPmat, v: &[f64]) -> [f64; SITE_STRIDE] {
+    let mut acc = [0.0; SITE_STRIDE];
+    for b in 0..NUM_STATES {
+        let col = &p.cols[b];
+        for k in 0..NUM_RATES {
+            let x = v[4 * k + b];
+            for a in 0..NUM_STATES {
+                let m = 4 * k + a;
+                acc[m] = col[m].mul_add(x, acc[m]);
+            }
+        }
+    }
+    acc
+}
+
+/// Fused eigen-basis projection: `acc[4k + j] = Σ_s table[s][4k + j] ·
+/// v[4k + s]`.
+#[inline(always)]
+fn fused_project(table: &[[f64; SITE_STRIDE]; NUM_STATES], v: &[f64]) -> [f64; SITE_STRIDE] {
+    let mut acc = [0.0; SITE_STRIDE];
+    for s in 0..NUM_STATES {
+        let col = &table[s];
+        for k in 0..NUM_RATES {
+            let x = v[4 * k + s];
+            for j in 0..NUM_STATES {
+                let m = 4 * k + j;
+                acc[m] = col[m].mul_add(x, acc[m]);
+            }
+        }
+    }
+    acc
+}
+
+impl Kernels for VectorKernels {
+    fn newview_tt(
+        &self,
+        lut_l: &Lut16x16,
+        lut_r: &Lut16x16,
+        codes_l: &[u8],
+        codes_r: &[u8],
+        out: &mut [f64],
+        scale_out: &mut [u32],
+    ) {
+        for (i, site) in out.chunks_exact_mut(SITE_STRIDE).enumerate() {
+            let l = &lut_l.rows[codes_l[i] as usize];
+            let r = &lut_r.rows[codes_r[i] as usize];
+            // The Figure 2 loop: one fused 16-wide elementwise product.
+            for m in 0..SITE_STRIDE {
+                site[m] = l[m] * r[m];
+            }
+            scale_out[i] = scale_site(site);
+        }
+    }
+
+    fn newview_ti(
+        &self,
+        lut_l: &Lut16x16,
+        codes_l: &[u8],
+        p_r: &FusedPmat,
+        v_r: &[f64],
+        scale_r: &[u32],
+        out: &mut [f64],
+        scale_out: &mut [u32],
+    ) {
+        for (i, site) in out.chunks_exact_mut(SITE_STRIDE).enumerate() {
+            let l = &lut_l.rows[codes_l[i] as usize];
+            let vr = &v_r[i * SITE_STRIDE..(i + 1) * SITE_STRIDE];
+            let r = fused_matvec(p_r, vr);
+            for m in 0..SITE_STRIDE {
+                site[m] = l[m] * r[m];
+            }
+            scale_out[i] = scale_r[i] + scale_site(site);
+        }
+    }
+
+    fn newview_ii(
+        &self,
+        p_l: &FusedPmat,
+        v_l: &[f64],
+        scale_l: &[u32],
+        p_r: &FusedPmat,
+        v_r: &[f64],
+        scale_r: &[u32],
+        out: &mut [f64],
+        scale_out: &mut [u32],
+    ) {
+        for (i, site) in out.chunks_exact_mut(SITE_STRIDE).enumerate() {
+            let vl = &v_l[i * SITE_STRIDE..(i + 1) * SITE_STRIDE];
+            let vr = &v_r[i * SITE_STRIDE..(i + 1) * SITE_STRIDE];
+            let l = fused_matvec(p_l, vl);
+            let r = fused_matvec(p_r, vr);
+            for m in 0..SITE_STRIDE {
+                site[m] = l[m] * r[m];
+            }
+            scale_out[i] = scale_l[i] + scale_r[i] + scale_site(site);
+        }
+    }
+
+    fn evaluate_ti(
+        &self,
+        pi_tip: &Lut16x16,
+        codes_q: &[u8],
+        p: &FusedPmat,
+        v_r: &[f64],
+        scale_r: &[u32],
+        weights: &[u32],
+    ) -> f64 {
+        let n = weights.len();
+        let mut log_l = 0.0;
+        let mut block = [0.0f64; SITE_BLOCK];
+        let mut i = 0;
+        while i < n {
+            let len = SITE_BLOCK.min(n - i);
+            // Phase 1 (vectorizable): per-site 16-wide reductions.
+            for (bi, slot) in block[..len].iter_mut().enumerate() {
+                let s = i + bi;
+                let piq = &pi_tip.rows[codes_q[s] as usize];
+                let vr = &v_r[s * SITE_STRIDE..(s + 1) * SITE_STRIDE];
+                let x = fused_matvec(p, vr);
+                let mut site = 0.0;
+                for m in 0..SITE_STRIDE {
+                    site = piq[m].mul_add(x[m], site);
+                }
+                *slot = site;
+            }
+            // Phase 2 (site-blocked scalar tail): logs + accumulation.
+            for (bi, &site) in block[..len].iter().enumerate() {
+                let s = i + bi;
+                let w = weights[s] as f64;
+                log_l += w * (positive(site).ln() - scale_r[s] as f64 * LN_SCALE);
+            }
+            i += len;
+        }
+        log_l
+    }
+
+    fn evaluate_ii(
+        &self,
+        pi_w: &[f64; SITE_STRIDE],
+        v_q: &[f64],
+        scale_q: &[u32],
+        p: &FusedPmat,
+        v_r: &[f64],
+        scale_r: &[u32],
+        weights: &[u32],
+    ) -> f64 {
+        let n = weights.len();
+        let mut log_l = 0.0;
+        let mut block = [0.0f64; SITE_BLOCK];
+        let mut i = 0;
+        while i < n {
+            let len = SITE_BLOCK.min(n - i);
+            for (bi, slot) in block[..len].iter_mut().enumerate() {
+                let s = i + bi;
+                let vq = &v_q[s * SITE_STRIDE..(s + 1) * SITE_STRIDE];
+                let vr = &v_r[s * SITE_STRIDE..(s + 1) * SITE_STRIDE];
+                let x = fused_matvec(p, vr);
+                let mut site = 0.0;
+                for m in 0..SITE_STRIDE {
+                    site = (pi_w[m] * vq[m]).mul_add(x[m], site);
+                }
+                *slot = site;
+            }
+            for (bi, &site) in block[..len].iter().enumerate() {
+                let s = i + bi;
+                let w = weights[s] as f64;
+                let sc = (scale_q[s] + scale_r[s]) as f64;
+                log_l += w * (positive(site).ln() - sc * LN_SCALE);
+            }
+            i += len;
+        }
+        log_l
+    }
+
+    fn derivative_sum_ti(
+        &self,
+        basis: &EigenBasis,
+        codes_q: &[u8],
+        v_r: &[f64],
+        out: &mut [f64],
+    ) {
+        for (i, site) in out.chunks_exact_mut(SITE_STRIDE).enumerate() {
+            let le = &basis.tip_left.rows[codes_q[i] as usize];
+            let vr = &v_r[i * SITE_STRIDE..(i + 1) * SITE_STRIDE];
+            let re = fused_project(&basis.uinv, vr);
+            for m in 0..SITE_STRIDE {
+                site[m] = le[m] * re[m];
+            }
+        }
+    }
+
+    fn derivative_sum_ii(&self, basis: &EigenBasis, v_q: &[f64], v_r: &[f64], out: &mut [f64]) {
+        for (i, site) in out.chunks_exact_mut(SITE_STRIDE).enumerate() {
+            let vq = &v_q[i * SITE_STRIDE..(i + 1) * SITE_STRIDE];
+            let vr = &v_r[i * SITE_STRIDE..(i + 1) * SITE_STRIDE];
+            let le = fused_project(&basis.piu, vq);
+            let re = fused_project(&basis.uinv, vr);
+            for m in 0..SITE_STRIDE {
+                site[m] = le[m] * re[m];
+            }
+        }
+    }
+
+    fn derivative_core(
+        &self,
+        sumtable: &[f64],
+        lambda_rate: &[f64; SITE_STRIDE],
+        t: f64,
+        weights: &[u32],
+    ) -> (f64, f64) {
+        let n = weights.len();
+        debug_assert_eq!(sumtable.len(), n * SITE_STRIDE);
+        let (e, d1, d2) = derivative_exp_tables(lambda_rate, t);
+        let mut dlnl = 0.0;
+        let mut d2lnl = 0.0;
+        let mut bl = [0.0f64; SITE_BLOCK];
+        let mut bl1 = [0.0f64; SITE_BLOCK];
+        let mut bl2 = [0.0f64; SITE_BLOCK];
+        let mut i = 0;
+        while i < n {
+            let len = SITE_BLOCK.min(n - i);
+            // Phase 1 (§V-B4): vectorizable 16-wide preprocessing per
+            // site within the block.
+            for bi in 0..len {
+                let s = &sumtable[(i + bi) * SITE_STRIDE..(i + bi + 1) * SITE_STRIDE];
+                let mut l = 0.0;
+                let mut l1 = 0.0;
+                let mut l2 = 0.0;
+                for m in 0..SITE_STRIDE {
+                    l = s[m].mul_add(e[m], l);
+                    l1 = s[m].mul_add(d1[m], l1);
+                    l2 = s[m].mul_add(d2[m], l2);
+                }
+                bl[bi] = l;
+                bl1[bi] = l1;
+                bl2[bi] = l2;
+            }
+            // Phase 2: the formerly scalar operations, executed on the
+            // whole 8-site block at once.
+            for bi in 0..len {
+                let l = positive(bl[bi]);
+                let w = weights[i + bi] as f64;
+                let r1 = bl1[bi] / l;
+                dlnl += w * r1;
+                d2lnl += w * (bl2[bi] / l - r1 * r1);
+            }
+            i += len;
+        }
+        (dlnl, d2lnl)
+    }
+}

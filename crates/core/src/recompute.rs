@@ -1,0 +1,496 @@
+//! Memory-saving likelihood evaluation by CLA recomputation.
+//!
+//! §V-A lists "advanced memory saving techniques, which rely on CLA
+//! recomputations [Izquierdo-Carrasco et al. 2012]" as unsupported in
+//! the paper's MIC port — relevant because the Phi's 8 GB is the
+//! binding constraint at 4000K sites (§VI-B2). This module implements
+//! the technique: instead of one conditional likelihood array per
+//! inner node, a fixed pool of `K < n_inner` slots is maintained and
+//! evicted CLAs are recomputed on demand, trading running time for
+//! memory.
+//!
+//! During the post-order traversal a child CLA is pinned only until
+//! its parent has consumed it; slots whose nodes are no longer needed
+//! in the current traversal are reusable. The minimum viable pool size
+//! is the maximum number of simultaneously-live CLAs, which is bounded
+//! by the tree height (≈ log₂ n for balanced trees, the paper's 15-taxon
+//! trees need 4).
+
+use crate::cla::Cla;
+use crate::engine::EngineConfig;
+use crate::instrument::{KernelId, KernelStats};
+use crate::kernels::Kernels;
+use crate::layout::{FusedPmat, Lut16x16};
+use crate::SITE_STRIDE;
+use phylo_bio::CompressedAlignment;
+use phylo_models::{DiscreteGamma, Eigensystem, Gtr, GtrParams, ProbMatrix};
+use phylo_tree::traverse::{children, full_schedule};
+use phylo_tree::{EdgeId, NodeId, Tree};
+
+/// The smallest CLA pool that can evaluate `tree` at `root_edge`:
+/// the maximum number of simultaneously pinned CLAs in the post-order
+/// traversal (computed-but-unconsumed nodes plus the two root-adjacent
+/// ones). Bounded by the tree height plus a constant.
+pub fn min_pool_slots(tree: &Tree, root_edge: EdgeId) -> usize {
+    let (ra, rb) = tree.endpoints(root_edge);
+    let num_taxa = tree.num_taxa();
+    let mut pinned = vec![false; tree.num_inner()];
+    let mut live = 0usize;
+    let mut peak = 0usize;
+    for d in full_schedule(tree, root_edge) {
+        let idx = d.node - num_taxa;
+        if !pinned[idx] {
+            pinned[idx] = true;
+            live += 1;
+            peak = peak.max(live);
+        }
+        for (_, c) in children(tree, d.node, d.toward_edge) {
+            if !tree.is_tip(c) && c != ra && c != rb {
+                let cidx = c - num_taxa;
+                if pinned[cidx] {
+                    pinned[cidx] = false;
+                    live -= 1;
+                }
+            }
+        }
+    }
+    peak.max(3)
+}
+
+/// The smallest pool that works for *any* virtual-root placement on
+/// this tree.
+pub fn min_pool_slots_any_root(tree: &Tree) -> usize {
+    tree.edge_ids()
+        .map(|e| min_pool_slots(tree, e))
+        .max()
+        .unwrap_or(3)
+}
+
+/// A likelihood engine with a bounded CLA pool.
+pub struct RecomputingEngine {
+    kernel: &'static dyn Kernels,
+    eigen: Eigensystem,
+    gamma: DiscreteGamma,
+    pi_w: [f64; SITE_STRIDE],
+    tip_pi: Lut16x16,
+    tips: Vec<Vec<u8>>,
+    weights: Vec<u32>,
+    num_patterns: usize,
+    num_taxa: usize,
+    /// The bounded slot pool.
+    slots: Vec<Cla>,
+    /// Which inner node currently occupies each slot (`usize::MAX` =
+    /// free).
+    slot_owner: Vec<NodeId>,
+    /// Inner-node → slot index (`usize::MAX` = evicted).
+    resident: Vec<usize>,
+    /// The directed orientation each resident CLA was computed for.
+    orientation: Vec<(EdgeId, u64)>,
+    /// Version bump for orientations (topology/branch changes are not
+    /// tracked here — every `log_likelihood` call recomputes stale
+    /// entries; callers invalidate explicitly on mutation).
+    version: u64,
+    stats: KernelStats,
+}
+
+const FREE: usize = usize::MAX;
+
+impl RecomputingEngine {
+    /// Builds an engine whose CLA memory is capped at `pool_slots`
+    /// arrays (the full engine uses `tree.num_inner()`).
+    ///
+    /// # Panics
+    /// Panics when `pool_slots < 3` — a post-order step needs two
+    /// resident children plus the node being computed.
+    pub fn new(
+        tree: &Tree,
+        aln: &CompressedAlignment,
+        config: EngineConfig,
+        pool_slots: usize,
+    ) -> Self {
+        assert!(pool_slots >= 3, "pool needs at least 3 slots");
+        let num_taxa = tree.num_taxa();
+        let mut tips = Vec::with_capacity(num_taxa);
+        for tip_id in 0..num_taxa {
+            let name = tree.tip_name(tip_id);
+            let row = aln
+                .taxon_index(name)
+                .unwrap_or_else(|| panic!("taxon {name:?} missing from alignment"));
+            tips.push(aln.row(row).iter().map(|c| c.bits()).collect());
+        }
+        let weights: Vec<u32> = aln.weights().to_vec();
+        let num_patterns = weights.len();
+        let params = GtrParams {
+            rates: [1.0; 6],
+            freqs: aln.empirical_frequencies(),
+        };
+        let gtr = Gtr::new(params);
+        let gamma = DiscreteGamma::new(config.alpha);
+        let mut pi_w = [0.0; SITE_STRIDE];
+        for k in 0..crate::NUM_RATES {
+            for a in 0..crate::NUM_STATES {
+                pi_w[4 * k + a] = 0.25 * params.freqs[a];
+            }
+        }
+        let pool = pool_slots.min(tree.num_inner());
+        RecomputingEngine {
+            kernel: config.kernel.kernels(),
+            eigen: gtr.eigen().clone(),
+            gamma,
+            pi_w,
+            tip_pi: Lut16x16::tip_pi(&params.freqs),
+            tips,
+            weights,
+            num_patterns,
+            num_taxa,
+            slots: (0..pool).map(|_| Cla::new(num_patterns)).collect(),
+            slot_owner: vec![FREE; pool],
+            resident: vec![FREE; tree.num_inner()],
+            orientation: vec![(usize::MAX, 0); tree.num_inner()],
+            version: 1,
+            stats: KernelStats::new(),
+        }
+    }
+
+    /// Number of CLA slots (the memory bound).
+    pub fn pool_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Approximate CLA memory in bytes (the quantity the pool caps).
+    pub fn cla_bytes(&self) -> usize {
+        self.slots.len() * self.num_patterns * SITE_STRIDE * 8
+    }
+
+    /// Kernel counters (recomputation overhead shows up as extra
+    /// `newview` calls).
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// Clears counters.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Invalidates every cached CLA (call after mutating the tree).
+    pub fn invalidate_all(&mut self) {
+        self.version += 1;
+    }
+
+    fn inner_idx(&self, node: NodeId) -> usize {
+        node - self.num_taxa
+    }
+
+    fn fused_pmat(&self, t: f64) -> FusedPmat {
+        FusedPmat::from_prob(&ProbMatrix::new(&self.eigen, self.gamma.rates(), t))
+    }
+
+    /// Finds a slot for `node`, evicting an unpinned resident if
+    /// necessary.
+    fn acquire_slot(&mut self, node: NodeId, pinned: &[bool]) -> usize {
+        let node_idx = self.inner_idx(node);
+        if let Some(s) = self.slot_owner.iter().position(|&o| o == FREE) {
+            self.slot_owner[s] = node;
+            self.resident[node_idx] = s;
+            return s;
+        }
+        let victim_slot = self
+            .slot_owner
+            .iter()
+            .position(|&o| o != FREE && !pinned[self.inner_idx(o)])
+            .unwrap_or_else(|| {
+                panic!(
+                    "CLA pool of {} slots too small for this traversal",
+                    self.slots.len()
+                )
+            });
+        let victim = self.slot_owner[victim_slot];
+        let victim_idx = self.inner_idx(victim);
+        self.resident[victim_idx] = FREE;
+        self.slot_owner[victim_slot] = node;
+        self.resident[node_idx] = victim_slot;
+        victim_slot
+    }
+
+    /// Ensures all CLAs needed at `root_edge` are resident and valid,
+    /// recomputing evicted or stale ones. Returns with both
+    /// root-adjacent inner CLAs resident.
+    pub fn update_partials(&mut self, tree: &Tree, root_edge: EdgeId) {
+        debug_assert_eq!(tree.num_inner(), self.resident.len(), "tree shape changed");
+        let schedule = full_schedule(tree, root_edge);
+        // Pin state: a node is pinned from the moment it is computed
+        // until its parent consumes it; root-adjacent nodes stay
+        // pinned to the end.
+        let mut pinned = vec![false; tree.num_inner()];
+        let (ra, rb) = tree.endpoints(root_edge);
+
+        for d in &schedule {
+            let idx = self.inner_idx(d.node);
+            let ch = children(tree, d.node, d.toward_edge);
+            let valid = self.resident[idx] != FREE
+                && self.orientation[idx] == (d.toward_edge, self.version);
+            if !valid {
+                self.run_newview(tree, d.node, ch, d.toward_edge, &pinned);
+            }
+            pinned[idx] = true;
+            // Children are consumed now.
+            for &(_, c) in &ch {
+                if !tree.is_tip(c) && c != ra && c != rb {
+                    pinned[self.inner_idx(c)] = false;
+                }
+            }
+        }
+        // Keep the root-adjacent CLAs pinned for evaluate/derivatives.
+        let _ = (ra, rb);
+    }
+
+    fn run_newview(
+        &mut self,
+        tree: &Tree,
+        node: NodeId,
+        mut ch: [(EdgeId, NodeId); 2],
+        toward: EdgeId,
+        pinned: &[bool],
+    ) {
+        // Canonicalize: tip first.
+        let tipness = |n: NodeId| usize::from(!tree.is_tip(n));
+        if (tipness(ch[0].1), ch[0].1) > (tipness(ch[1].1), ch[1].1) {
+            ch.swap(0, 1);
+        }
+        let [(e_l, n_l), (e_r, n_r)] = ch;
+        let idx = self.inner_idx(node);
+        let slot = if self.resident[idx] != FREE {
+            self.resident[idx]
+        } else {
+            self.acquire_slot(node, pinned)
+        };
+        let mut out = std::mem::replace(&mut self.slots[slot], Cla::new(0));
+        let (ov, os) = out.buffers_mut();
+        match (tree.is_tip(n_l), tree.is_tip(n_r)) {
+            (true, true) => {
+                let lut_l = Lut16x16::tip_prob(&self.fused_pmat(tree.length(e_l)));
+                let lut_r = Lut16x16::tip_prob(&self.fused_pmat(tree.length(e_r)));
+                self.kernel
+                    .newview_tt(&lut_l, &lut_r, &self.tips[n_l], &self.tips[n_r], ov, os);
+            }
+            (true, false) => {
+                let lut_l = Lut16x16::tip_prob(&self.fused_pmat(tree.length(e_l)));
+                let p_r = self.fused_pmat(tree.length(e_r));
+                let cr = &self.slots[self.slot_of(n_r)];
+                self.kernel
+                    .newview_ti(&lut_l, &self.tips[n_l], &p_r, cr.values(), cr.scale(), ov, os);
+            }
+            (false, false) => {
+                let p_l = self.fused_pmat(tree.length(e_l));
+                let p_r = self.fused_pmat(tree.length(e_r));
+                let cl = &self.slots[self.slot_of(n_l)];
+                let cr = &self.slots[self.slot_of(n_r)];
+                self.kernel.newview_ii(
+                    &p_l,
+                    cl.values(),
+                    cl.scale(),
+                    &p_r,
+                    cr.values(),
+                    cr.scale(),
+                    ov,
+                    os,
+                );
+            }
+            (false, true) => unreachable!("children canonicalized tip-first"),
+        }
+        self.slots[slot] = out;
+        self.orientation[idx] = (toward, self.version);
+        self.stats.record(KernelId::Newview, self.num_patterns);
+    }
+
+    fn slot_of(&self, node: NodeId) -> usize {
+        let s = self.resident[self.inner_idx(node)];
+        assert_ne!(s, FREE, "child CLA evicted mid-traversal (pool too small)");
+        s
+    }
+
+    /// Log-likelihood with the virtual root on `root_edge`, under the
+    /// memory cap.
+    pub fn log_likelihood(&mut self, tree: &Tree, root_edge: EdgeId) -> f64 {
+        self.update_partials(tree, root_edge);
+        let (a, b) = tree.endpoints(root_edge);
+        let t = tree.length(root_edge);
+        let p = self.fused_pmat(t);
+        let (q, r) = if tree.is_tip(a) { (a, b) } else { (b, a) };
+        let ll = if tree.is_tip(q) {
+            let cr = &self.slots[self.slot_of(r)];
+            self.kernel
+                .evaluate_ti(&self.tip_pi, &self.tips[q], &p, cr.values(), cr.scale(), &self.weights)
+        } else {
+            let cq = &self.slots[self.slot_of(q)];
+            let cr = &self.slots[self.slot_of(r)];
+            self.kernel.evaluate_ii(
+                &self.pi_w,
+                cq.values(),
+                cq.scale(),
+                &p,
+                cr.values(),
+                cr.scale(),
+                &self.weights,
+            )
+        };
+        self.stats.record(KernelId::Evaluate, self.num_patterns);
+        ll
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::LikelihoodEngine;
+    use phylo_models::{DiscreteGamma as _DG, Gtr as _G};
+    use phylo_tree::build::{balanced, caterpillar, default_names, random_tree};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn dataset(taxa: usize, seed: u64) -> (Tree, CompressedAlignment) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let names = default_names(taxa);
+        let tree = random_tree(&names, 0.15, &mut rng).unwrap();
+        let g = phylo_models::Gtr::new(phylo_models::GtrParams::jc69());
+        let gamma = phylo_models::DiscreteGamma::new(0.9);
+        let aln = phylo_seqgen_sim(&tree, &g, &gamma, 120, &mut rng);
+        (tree, aln)
+    }
+
+    // Local tiny simulator shim to avoid a dev-dependency cycle with
+    // phylo-seqgen: random unambiguous codes are sufficient here.
+    fn phylo_seqgen_sim(
+        tree: &Tree,
+        _g: &_G,
+        _gamma: &_DG,
+        patterns: usize,
+        rng: &mut SmallRng,
+    ) -> CompressedAlignment {
+        use rand::Rng;
+        let names: Vec<String> = tree.tip_names().to_vec();
+        let rows = (0..tree.num_taxa())
+            .map(|_| {
+                (0..patterns)
+                    .map(|_| {
+                        phylo_bio::DnaCode::from_state(rng.random_range(0..4))
+                    })
+                    .collect()
+            })
+            .collect();
+        CompressedAlignment::from_parts(names, rows, vec![1; patterns]).unwrap()
+    }
+
+    #[test]
+    fn matches_full_engine_at_every_viable_pool_size() {
+        let (tree, aln) = dataset(12, 5);
+        let cfg = EngineConfig::default();
+        let mut full = LikelihoodEngine::new(&tree, &aln, cfg);
+        for root in [0usize, 5, 11] {
+            let expect = full.log_likelihood(&tree, root);
+            let min = min_pool_slots(&tree, root);
+            assert!(min < tree.num_inner(), "memory saving must be possible");
+            for pool in min..=tree.num_inner() {
+                let mut rec = RecomputingEngine::new(&tree, &aln, cfg, pool);
+                let got = rec.log_likelihood(&tree, root);
+                assert!(
+                    (got - expect).abs() < 1e-10,
+                    "pool {pool} root {root}: {got} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_is_actually_bounded() {
+        let (tree, aln) = dataset(20, 6);
+        let cfg = EngineConfig::default();
+        let full_bytes =
+            tree.num_inner() * aln.num_patterns() * SITE_STRIDE * 8;
+        let rec = RecomputingEngine::new(&tree, &aln, cfg, 4);
+        assert_eq!(rec.pool_slots(), 4);
+        assert!(rec.cla_bytes() < full_bytes / 4);
+    }
+
+    #[test]
+    fn small_pool_costs_more_newview_calls() {
+        let (tree, aln) = dataset(14, 7);
+        let cfg = EngineConfig::default();
+        // Generous pool: repeated evaluation at alternating roots keeps
+        // most CLAs resident.
+        let mut big = RecomputingEngine::new(&tree, &aln, cfg, tree.num_inner());
+        let small_pool = min_pool_slots_any_root(&tree);
+        let mut small = RecomputingEngine::new(&tree, &aln, cfg, small_pool);
+        for _ in 0..4 {
+            for root in [0usize, 10] {
+                big.log_likelihood(&tree, root);
+                small.log_likelihood(&tree, root);
+            }
+        }
+        let big_calls = big.stats().get(KernelId::Newview).calls;
+        let small_calls = small.stats().get(KernelId::Newview).calls;
+        assert!(
+            small_calls > big_calls,
+            "expected recomputation overhead: {small_calls} vs {big_calls}"
+        );
+    }
+
+    #[test]
+    fn caterpillar_needs_only_constant_pool() {
+        // A pectinate tree is the deep-traversal worst case for naive
+        // strategies, but post-order pinning keeps the live set tiny.
+        let names = default_names(24);
+        let tree = caterpillar(&names, 0.1).unwrap();
+        let aln = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            phylo_seqgen_sim(
+                &tree,
+                &phylo_models::Gtr::new(phylo_models::GtrParams::jc69()),
+                &phylo_models::DiscreteGamma::new(1.0),
+                60,
+                &mut rng,
+            )
+        };
+        let cfg = EngineConfig::default();
+        let mut full = LikelihoodEngine::new(&tree, &aln, cfg);
+        let expect = full.log_likelihood(&tree, 0);
+        let min = min_pool_slots(&tree, 0);
+        assert!(min <= 5, "caterpillar live set stays small, got {min}");
+        let mut rec = RecomputingEngine::new(&tree, &aln, cfg, min);
+        let got = rec.log_likelihood(&tree, 0);
+        assert!((got - expect).abs() < 1e-10, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn balanced_tree_with_minimal_pool() {
+        let names = default_names(16);
+        let tree = balanced(&names, 0.1).unwrap();
+        let aln = {
+            let mut rng = SmallRng::seed_from_u64(10);
+            phylo_seqgen_sim(
+                &tree,
+                &phylo_models::Gtr::new(phylo_models::GtrParams::jc69()),
+                &phylo_models::DiscreteGamma::new(1.0),
+                40,
+                &mut rng,
+            )
+        };
+        let cfg = EngineConfig::default();
+        let mut full = LikelihoodEngine::new(&tree, &aln, cfg);
+        let expect = full.log_likelihood(&tree, 0);
+        // Balanced 16-taxon tree: live set grows with depth (~log n).
+        let min = min_pool_slots(&tree, 0);
+        assert!(min <= 8, "balanced live set is logarithmic, got {min}");
+        let mut rec = RecomputingEngine::new(&tree, &aln, cfg, min);
+        let got = rec.log_likelihood(&tree, 0);
+        assert!((got - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 slots")]
+    fn tiny_pool_rejected() {
+        let (tree, aln) = dataset(8, 11);
+        RecomputingEngine::new(&tree, &aln, EngineConfig::default(), 2);
+    }
+}

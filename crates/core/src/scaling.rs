@@ -1,0 +1,80 @@
+//! Numerical underflow scaling for conditional likelihoods.
+//!
+//! Per-site conditional likelihoods shrink geometrically with tree
+//! depth; on large trees they underflow `f64`. Following RAxML, when
+//! all 16 entries of a site fall below 2⁻²⁵⁶ after a `newview`, the
+//! site is multiplied by 2²⁵⁶ and a per-site scaling counter is
+//! incremented. `evaluate` subtracts `count · 256 · ln 2` from the
+//! site's log-likelihood; branch-length derivatives need no correction
+//! because the constant factor cancels in `L'/L`.
+
+/// Threshold below which a site gets rescaled (2⁻²⁵⁶).
+pub const SCALE_THRESHOLD: f64 = 8.636168555094445e-78;
+
+/// The rescaling multiplier (2²⁵⁶).
+pub const SCALE_FACTOR: f64 = 1.157920892373162e77;
+
+/// Natural log of the rescaling multiplier (256 · ln 2), subtracted per
+/// scaling event in `evaluate`.
+pub const LN_SCALE: f64 = 177.445_678_223_346;
+
+/// Applies the scaling rule to one site's 16 CLA entries in place.
+/// Returns 1 when the site was rescaled (to add to its counter), else
+/// 0.
+#[inline]
+pub fn scale_site(site: &mut [f64]) -> u32 {
+    debug_assert_eq!(site.len(), crate::SITE_STRIDE);
+    let mut max = 0.0f64;
+    for &v in site.iter() {
+        if v > max {
+            max = v;
+        }
+    }
+    if max < SCALE_THRESHOLD {
+        for v in site.iter_mut() {
+            *v *= SCALE_FACTOR;
+        }
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_consistent() {
+        assert!((SCALE_THRESHOLD - 2f64.powi(-256)).abs() < 1e-90);
+        assert!((SCALE_FACTOR - 2f64.powi(256)).abs() / SCALE_FACTOR < 1e-15);
+        assert!((LN_SCALE - 256.0 * std::f64::consts::LN_2).abs() < 1e-12);
+        assert!((SCALE_THRESHOLD * SCALE_FACTOR - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_site_rescaled() {
+        let mut site = vec![1e-100; 16];
+        let bumps = scale_site(&mut site);
+        assert_eq!(bumps, 1);
+        for &v in &site {
+            assert!((v - 1e-100 * SCALE_FACTOR).abs() / v < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normal_site_untouched() {
+        let mut site = vec![1e-5; 16];
+        site[3] = 0.5;
+        let orig = site.clone();
+        assert_eq!(scale_site(&mut site), 0);
+        assert_eq!(site, orig);
+    }
+
+    #[test]
+    fn one_large_entry_prevents_scaling() {
+        let mut site = vec![1e-300; 16];
+        site[7] = 1e-10;
+        assert_eq!(scale_site(&mut site), 0);
+    }
+}

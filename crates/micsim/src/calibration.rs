@@ -1,0 +1,130 @@
+//! Calibrated model constants, each pinned to a paper observation.
+//!
+//! Everything Table I does not provide lives here. Constants were
+//! chosen once so the model reproduces the paper's reported *shapes*
+//! (Figure 3 kernel speedups, Table III crossover and plateaus,
+//! Figure 4 scaling, §V-C offload slowdown) and are validated by the
+//! shape tests in [`crate::systems`] — they are not refit per run.
+
+use crate::platform::PlatformKind;
+
+/// Fraction of peak DP flops the PLF's mixed mat-vec code attains.
+///
+/// CPU (AVX, out-of-order): ~35 % of peak is typical for well-blocked
+/// small-matrix code. MIC (in-order, 512-bit): ~11 % — the paper's
+/// §VI-B2 notes real applications attain far below the theoretical 3×
+/// advantage, with typical whole-app speedups of 1.7–2.8×.
+pub fn flop_efficiency(kind: PlatformKind) -> f64 {
+    match kind {
+        PlatformKind::Cpu => 0.35,
+        PlatformKind::Mic => 0.109,
+        PlatformKind::Gpu => 0.20,
+    }
+}
+
+/// Fraction of peak memory bandwidth attained by streaming kernels.
+///
+/// CPU: ~78 % (STREAM-like). MIC: ~70 % of the 320 GB/s GDDR5 peak —
+/// together these put the memory-bound `derivativeSum` speedup at
+/// (320·0.70)/(102.4·0.78) ≈ 2.8×, the value Figure 3 reports.
+pub fn bandwidth_efficiency(kind: PlatformKind) -> f64 {
+    match kind {
+        PlatformKind::Cpu => 0.78,
+        PlatformKind::Mic => 0.70,
+        PlatformKind::Gpu => 0.65,
+    }
+}
+
+/// OpenMP parallel-region overhead per thread, seconds (barrier +
+/// fork/join bookkeeping scales ~linearly in threads on the MIC's
+/// in-order cores over the ring interconnect). 118 threads ≈ 20 µs per
+/// region; together with [`GRANULARITY_SITES`] this is what buries the
+/// MIC on small alignments (Table III, 10K row: 12.9 s vs 4.1 s).
+pub const OMP_REGION_OVERHEAD_PER_THREAD_S: f64 = 170e-9;
+
+/// Per-kernel-call fixed overhead on a CPU MPI rank (ExaML's scheme
+/// has no cross-rank barrier per kernel; this charges loop setup and
+/// cache warm-up only).
+pub const CPU_CALL_OVERHEAD_S: f64 = 1.0e-6;
+
+/// Per-thread fixed work per kernel invocation, expressed in
+/// site-equivalents: with S sites per thread the effective compute
+/// time is inflated by (1 + GRANULARITY_SITES / S). 300
+/// site-equivalents ≈ 0.7 µs per thread per region — a handful of
+/// uncovered GDDR5 misses, the "memory access latencies" §VI-B2 blames
+/// for small-alignment losses when each of the 236 threads gets only a
+/// few dozen sites.
+pub const GRANULARITY_SITES: f64 = 300.0;
+
+/// AllReduce latencies by interconnect, seconds (§VI-B3, measured by
+/// the authors): 20 µs between two MIC cards over PCIe with Intel MPI
+/// 4.1.2, ~35 µs with the older 4.0.3 release, <5 µs between cluster
+/// nodes over QLogic InfiniBand; shared-memory CPU AllReduce ≈ 1.5 µs.
+pub fn allreduce_latency_s(ic: crate::model::Interconnect) -> f64 {
+    use crate::model::Interconnect::*;
+    match ic {
+        SharedMemory => 1.5e-6,
+        PciePeerToPeer => 20e-6,
+        PcieOldMpi => 35e-6,
+        InfiniBand => 5e-6,
+    }
+}
+
+/// Offload-mode invocation latency, seconds: the full per-invocation
+/// round trip of the offload runtime — runtime call, PCIe doorbell,
+/// argument/result marshalling for P-matrices and reduced values, and
+/// host-side completion wait. §V-C observes this overhead "is
+/// comparable to and partially exceeds the time required for the
+/// actual computation"; 300 µs reproduces the ≥2× whole-program
+/// slowdown the paper measured for the offload prototype.
+pub const OFFLOAD_INVOCATION_LATENCY_S: f64 = 300e-6;
+
+/// Pure-MPI-on-MIC penalty: an AllReduce across R ranks *on one card*
+/// traverses the software loopback stack rank-by-rank, costing
+/// `INTRA_MIC_MPI_BASE_S · R` per operation (~2.4 ms at 120 ranks —
+/// the MIC's MPI stack predates shared-memory collectives, cf. the
+/// MVAPICH2 intra-MIC work the paper cites as reference 36). With 120 ExaML ranks
+/// this is what made the rank-per-core configuration "substantially"
+/// slower (§V-D).
+pub const INTRA_MIC_MPI_BASE_S: f64 = 20e-6;
+
+/// Fixed per-run startup/serial time, seconds (I/O, tree setup).
+pub const SERIAL_OVERHEAD_S: f64 = 0.05;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::PlatformKind::*;
+
+    #[test]
+    fn efficiencies_are_fractions() {
+        for k in [Cpu, Mic, Gpu] {
+            assert!((0.0..=1.0).contains(&flop_efficiency(k)));
+            assert!((0.0..=1.0).contains(&bandwidth_efficiency(k)));
+        }
+    }
+
+    #[test]
+    fn mic_attains_lower_flop_fraction_than_cpu() {
+        assert!(flop_efficiency(Mic) < flop_efficiency(Cpu));
+    }
+
+    #[test]
+    fn latency_ordering_matches_section_6b3() {
+        use crate::model::Interconnect::*;
+        assert!(allreduce_latency_s(SharedMemory) < allreduce_latency_s(InfiniBand));
+        assert!(allreduce_latency_s(InfiniBand) < allreduce_latency_s(PciePeerToPeer));
+        assert!(allreduce_latency_s(PciePeerToPeer) < allreduce_latency_s(PcieOldMpi));
+        assert_eq!(allreduce_latency_s(PciePeerToPeer), 20e-6);
+        assert_eq!(allreduce_latency_s(PcieOldMpi), 35e-6);
+    }
+
+    #[test]
+    fn derivative_sum_speedup_lands_at_2_8() {
+        // The constant choice documented above, verified numerically.
+        let mic = 320.0 * bandwidth_efficiency(Mic);
+        let cpu = 102.4 * bandwidth_efficiency(Cpu);
+        let ratio = mic / cpu;
+        assert!((2.7..2.9).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Energy model (§VI-B4).
+//!
+//! The paper estimates `E[Wh] = MaxTDP[W] × RunTime[s] / 3600` and
+//! normalizes against the CPU baseline to obtain relative savings
+//! (Figure 5).
+
+use crate::systems::{table3, SystemId};
+use crate::workload::WorkloadTrace;
+
+/// Energy in watt-hours for a run of `seconds` on hardware with the
+/// given TDP.
+pub fn energy_wh(max_tdp_w: f64, seconds: f64) -> f64 {
+    max_tdp_w * seconds / 3600.0
+}
+
+/// Figure 5 series: per size, the relative energy savings of each
+/// system vs the E5-2680 baseline (`E_baseline / E_system`; >1 means
+/// the system is more energy-efficient).
+pub fn fig5_energy_savings(trace: &WorkloadTrace) -> Vec<(u64, Vec<(SystemId, f64)>)> {
+    table3(trace)
+        .into_iter()
+        .map(|(size, row)| {
+            let e_base = row
+                .iter()
+                .find(|(s, _)| *s == SystemId::E5_2680)
+                .map(|(s, c)| energy_wh(s.config().platform.max_tdp_w, c.time_s))
+                .expect("baseline present");
+            let savings = row
+                .into_iter()
+                .map(|(s, c)| {
+                    let e = energy_wh(s.config().platform.max_tdp_w, c.time_s);
+                    (s, e_base / e)
+                })
+                .collect();
+            (size, savings)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_formula_matches_paper() {
+        // 225 W for 3600 s is exactly 225 Wh.
+        assert!((energy_wh(225.0, 3600.0) - 225.0).abs() < 1e-12);
+        assert!((energy_wh(260.0, 1800.0) - 130.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_mic_reaches_large_savings_on_big_data() {
+        // Figure 5: up to ≈2.3× less energy on the largest datasets.
+        let trace = WorkloadTrace::synthetic_search(10_000);
+        let series = fig5_energy_savings(&trace);
+        let (_, last) = series.last().unwrap();
+        let phi1 = last.iter().find(|(s, _)| *s == SystemId::Phi1).unwrap().1;
+        assert!((2.0..2.7).contains(&phi1), "Phi1 savings {phi1}");
+    }
+
+    #[test]
+    fn second_card_reduces_energy_efficiency() {
+        // Figure 5: "Adding a second MIC card reduces the energy
+        // efficiency on all datasets."
+        let trace = WorkloadTrace::synthetic_search(10_000);
+        for (size, row) in fig5_energy_savings(&trace) {
+            let get = |id| row.iter().find(|(s, _)| *s == id).unwrap().1;
+            assert!(
+                get(SystemId::Phi2) <= get(SystemId::Phi1) + 1e-9,
+                "size {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn dual_mic_still_beats_cpus_on_large_data() {
+        // Figure 5: "for alignments over 500K sites, the double-MIC
+        // configuration is still significantly more efficient than
+        // both CPU systems".
+        let trace = WorkloadTrace::synthetic_search(10_000);
+        for (size, row) in fig5_energy_savings(&trace) {
+            if size >= 500_000 {
+                let get = |id| row.iter().find(|(s, _)| *s == id).unwrap().1;
+                assert!(get(SystemId::Phi2) > get(SystemId::E5_2680), "size {size}");
+                assert!(get(SystemId::Phi2) > get(SystemId::E5_2630), "size {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_savings_is_one() {
+        let trace = WorkloadTrace::synthetic_search(10_000);
+        for (_, row) in fig5_energy_savings(&trace) {
+            let b = row.iter().find(|(s, _)| *s == SystemId::E5_2680).unwrap().1;
+            assert!((b - 1.0).abs() < 1e-12);
+        }
+    }
+}

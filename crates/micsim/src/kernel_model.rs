@@ -1,0 +1,87 @@
+//! Per-site operation counts of the four PLF kernels (DNA, GTR+Γ).
+//!
+//! Derived from the kernel structure in `plf-core` (and §IV/§V of the
+//! paper): a CLA site is 16 doubles (128 B), `newview` reads two child
+//! CLAs and streams one out, etc. `derivativeSum` is charged as the
+//! paper characterizes it — a pure element-wise multiply (Figure 2) —
+//! because in RAxML the eigen-basis projection that our Rust kernel
+//! folds in is amortized into `newview`'s transformed storage.
+
+use plf_core::KernelId;
+
+/// Static cost model of one kernel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelModel {
+    /// Floating-point operations per pattern-site.
+    pub flops_per_site: f64,
+    /// Bytes moved to/from memory per pattern-site (CLA traffic;
+    /// P-matrices and LUTs stay cache-resident).
+    pub bytes_per_site: f64,
+}
+
+/// Cost model for a kernel:
+///
+/// * `newview` — two fused 4×4 mat-vecs per category (256 flops) plus
+///   16 multiplies; reads 2 CLAs (256 B), streams 1 CLA out (128 B).
+/// * `evaluate` — one mat-vec (128 flops), 32 reduction flops, one
+///   `log` (~40 flop-equivalents); reads 2 CLAs.
+/// * `derivativeSum` — 16 multiplies; reads 2 CLAs, streams the
+///   sumtable out.
+/// * `derivativeCore` — three 16-wide weighted reductions (96 flops)
+///   plus divisions (~4 flop-equivalents ×1); reads the sumtable plus
+///   the weight vector.
+pub fn kernel_model(kernel: KernelId) -> KernelModel {
+    match kernel {
+        KernelId::Newview => KernelModel {
+            flops_per_site: 280.0,
+            bytes_per_site: 384.0,
+        },
+        KernelId::Evaluate => KernelModel {
+            flops_per_site: 200.0,
+            bytes_per_site: 256.0,
+        },
+        KernelId::DerivativeSum => KernelModel {
+            flops_per_site: 16.0,
+            bytes_per_site: 384.0,
+        },
+        KernelId::DerivativeCore => KernelModel {
+            flops_per_site: 100.0,
+            bytes_per_site: 136.0,
+        },
+    }
+}
+
+/// Arithmetic intensity (flops per byte) of a kernel.
+pub fn arithmetic_intensity(kernel: KernelId) -> f64 {
+    let m = kernel_model(kernel);
+    m.flops_per_site / m.bytes_per_site
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivative_sum_is_most_memory_bound() {
+        // The paper's Figure 3 rationale: derivativeSum is a "simple
+        // element-wise multiplication ... which can be efficiently
+        // vectorized" and is purely bandwidth-limited.
+        let ds = arithmetic_intensity(KernelId::DerivativeSum);
+        for k in [
+            KernelId::Newview,
+            KernelId::Evaluate,
+            KernelId::DerivativeCore,
+        ] {
+            assert!(ds < arithmetic_intensity(k), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn cla_traffic_consistent_with_site_stride() {
+        // newview reads 2 CLAs and writes 1: 3 × 128 B.
+        let m = kernel_model(KernelId::Newview);
+        assert_eq!(m.bytes_per_site, 3.0 * 128.0);
+        let e = kernel_model(KernelId::Evaluate);
+        assert_eq!(e.bytes_per_site, 2.0 * 128.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! The execution-time model.
+
+use crate::calibration as cal;
+use crate::kernel_model::kernel_model;
+use crate::platform::{Platform, PlatformKind};
+use crate::workload::WorkloadTrace;
+use plf_core::KernelId;
+
+/// How kernels reach the coprocessor (§III-B / §V-C).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The whole program runs on the device; kernel invocations are
+    /// plain function calls.
+    Native,
+    /// The host invokes each kernel through the offload runtime,
+    /// paying the PCIe + runtime latency per invocation.
+    Offload,
+}
+
+/// Transport behind cross-rank AllReduce operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Interconnect {
+    /// Ranks in one coherent memory domain.
+    SharedMemory,
+    /// MIC-to-MIC over PCIe, Intel MPI 4.1.2 (20 µs measured).
+    PciePeerToPeer,
+    /// MIC-to-MIC over PCIe, Intel MPI 4.0.3 (35 µs measured).
+    PcieOldMpi,
+    /// Node-to-node QLogic InfiniBand (<5 µs measured).
+    InfiniBand,
+}
+
+/// A complete machine configuration for one Table III row.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Hardware description (Table I row).
+    pub platform: Platform,
+    /// MPI ranks per device (per card for MICs, total for CPU boxes).
+    pub ranks_per_device: u32,
+    /// OpenMP threads per rank (1 = pure MPI).
+    pub threads_per_rank: u32,
+    /// Native or offload execution.
+    pub mode: ExecMode,
+    /// Transport for cross-device AllReduces.
+    pub interconnect: Interconnect,
+}
+
+impl MachineConfig {
+    /// Total ranks across all devices.
+    pub fn total_ranks(&self) -> u32 {
+        self.ranks_per_device * self.platform.num_devices()
+    }
+
+    /// Workers (rank × thread) per device.
+    pub fn workers_per_device(&self) -> u32 {
+        self.ranks_per_device * self.threads_per_rank
+    }
+}
+
+/// Where the predicted time goes.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TimeBreakdown {
+    /// Roofline kernel compute time (includes the granularity
+    /// inflation for under-filled threads).
+    pub compute_s: f64,
+    /// Parallel-region synchronization (OpenMP barriers / call
+    /// overhead).
+    pub sync_s: f64,
+    /// AllReduce communication.
+    pub comm_s: f64,
+    /// Offload invocation latency (zero in native mode).
+    pub offload_s: f64,
+    /// Fixed serial startup.
+    pub serial_s: f64,
+}
+
+impl TimeBreakdown {
+    /// Total predicted wall time in seconds.
+    pub fn total(&self) -> f64 {
+        self.compute_s + self.sync_s + self.comm_s + self.offload_s + self.serial_s
+    }
+}
+
+/// Roofline time per pattern-site of `kernel` on one device of
+/// `platform`, in seconds.
+pub fn site_time(platform: &Platform, kernel: KernelId) -> f64 {
+    let m = kernel_model(kernel);
+    let flops = platform.per_device_gflops() * 1e9 * cal::flop_efficiency(platform.kind);
+    let bw = platform.per_device_bw() * 1e9 * cal::bandwidth_efficiency(platform.kind);
+    (m.flops_per_site / flops).max(m.bytes_per_site / bw)
+}
+
+/// Per-kernel speedup of one platform over another (Figure 3 when the
+/// pair is Phi vs E5-2680).
+pub fn kernel_speedup(fast: &Platform, baseline: &Platform, kernel: KernelId) -> f64 {
+    site_time(baseline, kernel) / site_time(fast, kernel)
+}
+
+/// Predicts the wall time of executing `trace` on `config`.
+pub fn predict_time(config: &MachineConfig, trace: &WorkloadTrace) -> TimeBreakdown {
+    let p = &config.platform;
+    let devices = p.num_devices() as f64;
+    let workers_dev = config.workers_per_device() as f64;
+
+    // Compute: every kernel's sites are split across devices; threads
+    // within a device share its roofline. Granularity inflates the
+    // time when per-thread shares shrink (§VI-B2).
+    let mut compute_s = 0.0;
+    for k in KernelId::ALL {
+        let c = trace.stats.get(k);
+        if c.calls == 0 {
+            continue;
+        }
+        let sites_per_call = c.sites as f64 / c.calls as f64;
+        let sites_per_thread = (sites_per_call / (devices * workers_dev)).max(1e-9);
+        let granularity = 1.0 + cal::GRANULARITY_SITES / sites_per_thread;
+        compute_s += c.sites as f64 / devices * site_time(p, k) * granularity;
+    }
+
+    // Synchronization: each invocation is one parallel region.
+    let regions = trace.stats.total_calls() as f64;
+    let sync_s = match p.kind {
+        PlatformKind::Mic if config.threads_per_rank > 1 => {
+            regions * cal::OMP_REGION_OVERHEAD_PER_THREAD_S * config.threads_per_rank as f64
+        }
+        PlatformKind::Mic => {
+            // Pure MPI on the card: no OpenMP barrier, but every rank
+            // pays the per-call overhead and the AllReduce below grows
+            // with the rank count.
+            regions * cal::CPU_CALL_OVERHEAD_S
+        }
+        _ => regions * cal::CPU_CALL_OVERHEAD_S,
+    };
+
+    // Communication: AllReduce cost = latency × log2(total ranks),
+    // with the intra-MIC penalty for pure-MPI rank counts.
+    let total_ranks = config.total_ranks() as f64;
+    let comm_s = if total_ranks > 1.0 {
+        let per_op = if p.kind == PlatformKind::Mic && config.threads_per_rank == 1 {
+            // Pure MPI on the card: the software loopback stack
+            // serializes the reduction across all on-card ranks.
+            cal::INTRA_MIC_MPI_BASE_S * config.ranks_per_device as f64
+        } else {
+            let hops = total_ranks.log2().ceil().max(1.0);
+            cal::allreduce_latency_s(config.interconnect) * hops
+        };
+        trace.allreduces as f64 * per_op
+    } else {
+        0.0
+    };
+
+    let offload_s = match config.mode {
+        ExecMode::Native => 0.0,
+        ExecMode::Offload => regions * cal::OFFLOAD_INVOCATION_LATENCY_S,
+    };
+
+    TimeBreakdown {
+        compute_s,
+        sync_s,
+        comm_s,
+        offload_s,
+        serial_s: cal::SERIAL_OVERHEAD_S,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{XEON_E5_2680_2S, XEON_PHI_5110P_1S};
+
+    fn phi_native() -> MachineConfig {
+        MachineConfig {
+            platform: XEON_PHI_5110P_1S,
+            ranks_per_device: 2,
+            threads_per_rank: 118,
+            mode: ExecMode::Native,
+            interconnect: Interconnect::SharedMemory,
+        }
+    }
+
+    #[test]
+    fn fig3_kernel_speedups_in_paper_bands() {
+        let f = |k| kernel_speedup(&XEON_PHI_5110P_1S, &XEON_E5_2680_2S, k);
+        let ds = f(KernelId::DerivativeSum);
+        assert!((2.5..3.1).contains(&ds), "derivativeSum {ds}");
+        for (k, name) in [
+            (KernelId::Newview, "newview"),
+            (KernelId::Evaluate, "evaluate"),
+            (KernelId::DerivativeCore, "derivativeCore"),
+        ] {
+            let s = f(k);
+            assert!((1.7..2.2).contains(&s), "{name} speedup {s}");
+            assert!(s < ds, "{name} must trail derivativeSum");
+        }
+    }
+
+    #[test]
+    fn offload_mode_at_least_doubles_small_run_time() {
+        // §V-C: offload overhead comparable to / exceeding compute.
+        let trace = WorkloadTrace::synthetic_search(50_000);
+        let native = predict_time(&phi_native(), &trace);
+        let mut off_cfg = phi_native();
+        off_cfg.mode = ExecMode::Offload;
+        let off = predict_time(&off_cfg, &trace);
+        assert!(
+            off.total() > 1.8 * native.total(),
+            "offload {} vs native {}",
+            off.total(),
+            native.total()
+        );
+        assert!(off.offload_s > 0.0 && native.offload_s == 0.0);
+    }
+
+    #[test]
+    fn compute_scales_linearly_with_sites() {
+        let cfg = phi_native();
+        let t1 = predict_time(&cfg, &WorkloadTrace::synthetic_search(1_000_000));
+        let t2 = predict_time(&cfg, &WorkloadTrace::synthetic_search(2_000_000));
+        // Compute scales ~linearly; the small constant offset is the
+        // per-thread granularity term, which does not grow with sites.
+        let ratio = t2.compute_s / t1.compute_s;
+        assert!((1.85..2.05).contains(&ratio), "ratio {ratio}");
+        // Sync does not scale with sites.
+        assert!((t1.sync_s - t2.sync_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_mpi_on_mic_is_much_slower_than_hybrid() {
+        // §V-D: "An attempt to run ExaML in this configuration
+        // resulted in a substantial slowdown".
+        let trace = WorkloadTrace::synthetic_search(100_000);
+        let hybrid = predict_time(&phi_native(), &trace);
+        let pure_mpi = MachineConfig {
+            platform: XEON_PHI_5110P_1S,
+            ranks_per_device: 120,
+            threads_per_rank: 1,
+            mode: ExecMode::Native,
+            interconnect: Interconnect::SharedMemory,
+        };
+        let pm = predict_time(&pure_mpi, &trace);
+        assert!(
+            pm.total() > 2.0 * hybrid.total(),
+            "pure MPI {} vs hybrid {}",
+            pm.total(),
+            hybrid.total()
+        );
+    }
+
+    #[test]
+    fn breakdown_total_is_sum() {
+        let t = predict_time(&phi_native(), &WorkloadTrace::synthetic_search(10_000));
+        let sum = t.compute_s + t.sync_s + t.comm_s + t.offload_s + t.serial_s;
+        assert!((t.total() - sum).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,189 @@
+//! Platform specifications — the paper's Table I, verbatim.
+
+/// Broad architecture class (selects efficiency constants in
+/// [`crate::calibration`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PlatformKind {
+    /// Out-of-order Xeon server CPU (AVX).
+    Cpu,
+    /// Xeon Phi / MIC coprocessor (in-order, 512-bit vectors).
+    Mic,
+    /// GPU — listed in Table I for reference only; never simulated.
+    Gpu,
+}
+
+/// One row of Table I.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Platform {
+    /// Display name as printed in the paper.
+    pub name: &'static str,
+    /// Peak double-precision GFLOPS.
+    pub peak_dp_gflops: f64,
+    /// Physical cores (sockets/cards combined).
+    pub cores: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Memory capacity in GB.
+    pub memory_gb: f64,
+    /// Peak memory bandwidth in GB/s.
+    pub memory_bw_gbs: f64,
+    /// Max thermal design power in W.
+    pub max_tdp_w: f64,
+    /// Approximate price in USD (2013).
+    pub price_usd: f64,
+    /// Architecture class.
+    pub kind: PlatformKind,
+    /// Number of discrete devices aggregated in this row (2 for the
+    /// dual-socket/dual-card rows).
+    pub devices: u32,
+}
+
+/// 2S Xeon E5-2630.
+pub const XEON_E5_2630_2S: Platform = Platform {
+    name: "2S Xeon E5-2630",
+    peak_dp_gflops: 220.0,
+    cores: 12,
+    clock_ghz: 2.30,
+    memory_gb: 32.0,
+    memory_bw_gbs: 85.2,
+    max_tdp_w: 190.0,
+    price_usd: 1224.0,
+    kind: PlatformKind::Cpu,
+    devices: 2,
+};
+
+/// 2S Xeon E5-2680 — the paper's primary baseline.
+pub const XEON_E5_2680_2S: Platform = Platform {
+    name: "2S Xeon E5-2680",
+    peak_dp_gflops: 346.0,
+    cores: 16,
+    clock_ghz: 2.70,
+    memory_gb: 32.0,
+    memory_bw_gbs: 102.4,
+    max_tdp_w: 260.0,
+    price_usd: 3486.0,
+    kind: PlatformKind::Cpu,
+    devices: 2,
+};
+
+/// One Xeon Phi 5110P card.
+pub const XEON_PHI_5110P_1S: Platform = Platform {
+    name: "1S Xeon Phi 5110P",
+    peak_dp_gflops: 1074.0,
+    cores: 60,
+    clock_ghz: 1.053,
+    memory_gb: 8.0,
+    memory_bw_gbs: 320.0,
+    max_tdp_w: 225.0,
+    price_usd: 2649.0,
+    kind: PlatformKind::Mic,
+    devices: 1,
+};
+
+/// Two Xeon Phi 5110P cards in one host.
+pub const XEON_PHI_5110P_2S: Platform = Platform {
+    name: "2S Xeon Phi 5110P",
+    peak_dp_gflops: 2148.0,
+    cores: 120,
+    clock_ghz: 1.053,
+    memory_gb: 16.0,
+    memory_bw_gbs: 640.0,
+    max_tdp_w: 450.0,
+    price_usd: 5298.0,
+    kind: PlatformKind::Mic,
+    devices: 2,
+};
+
+/// NVIDIA K20, for reference only (never simulated).
+pub const NVIDIA_K20: Platform = Platform {
+    name: "NVIDIA K20 (ref.)",
+    peak_dp_gflops: 1170.0,
+    cores: 2496,
+    clock_ghz: 0.706,
+    memory_gb: 5.0,
+    memory_bw_gbs: 208.0,
+    max_tdp_w: 225.0,
+    price_usd: 2800.0,
+    kind: PlatformKind::Gpu,
+    devices: 1,
+};
+
+/// All Table I rows, in paper order.
+pub const TABLE1: [Platform; 5] = [
+    XEON_E5_2630_2S,
+    XEON_E5_2680_2S,
+    XEON_PHI_5110P_1S,
+    XEON_PHI_5110P_2S,
+    NVIDIA_K20,
+];
+
+impl Platform {
+    /// Bandwidth and compute of a single device of this row (per-card
+    /// values for the dual-card row; dual-socket CPUs share one
+    /// coherent memory system and are treated as one device group).
+    pub fn per_device_bw(&self) -> f64 {
+        match self.kind {
+            PlatformKind::Mic => self.memory_bw_gbs / self.devices as f64,
+            _ => self.memory_bw_gbs,
+        }
+    }
+
+    /// Peak GFLOPS of a single device (see [`Platform::per_device_bw`]).
+    pub fn per_device_gflops(&self) -> f64 {
+        match self.kind {
+            PlatformKind::Mic => self.peak_dp_gflops / self.devices as f64,
+            _ => self.peak_dp_gflops,
+        }
+    }
+
+    /// Number of independent devices for data decomposition (MIC cards;
+    /// 1 for coherent CPU boxes).
+    pub fn num_devices(&self) -> u32 {
+        match self.kind {
+            PlatformKind::Mic => self.devices,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_rows() {
+        assert_eq!(TABLE1.len(), 5);
+        assert_eq!(XEON_E5_2680_2S.peak_dp_gflops, 346.0);
+        assert_eq!(XEON_PHI_5110P_1S.memory_bw_gbs, 320.0);
+        assert_eq!(XEON_PHI_5110P_2S.price_usd, 5298.0);
+        assert_eq!(XEON_E5_2630_2S.max_tdp_w, 190.0);
+    }
+
+    #[test]
+    fn dual_card_is_twice_single() {
+        assert_eq!(
+            XEON_PHI_5110P_2S.peak_dp_gflops,
+            2.0 * XEON_PHI_5110P_1S.peak_dp_gflops
+        );
+        assert_eq!(XEON_PHI_5110P_2S.num_devices(), 2);
+        assert_eq!(
+            XEON_PHI_5110P_2S.per_device_bw(),
+            XEON_PHI_5110P_1S.memory_bw_gbs
+        );
+    }
+
+    #[test]
+    fn cpu_counts_as_one_device_group() {
+        assert_eq!(XEON_E5_2680_2S.num_devices(), 1);
+        assert_eq!(XEON_E5_2680_2S.per_device_bw(), 102.4);
+    }
+
+    #[test]
+    fn phi_theoretical_advantage_is_about_3x() {
+        // §VI-B2: "~3x in both peak GFLOPS and memory bandwidth".
+        let gf = XEON_PHI_5110P_1S.peak_dp_gflops / XEON_E5_2680_2S.peak_dp_gflops;
+        let bw = XEON_PHI_5110P_1S.memory_bw_gbs / XEON_E5_2680_2S.memory_bw_gbs;
+        assert!((2.9..3.3).contains(&gf), "gflops ratio {gf}");
+        assert!((2.9..3.3).contains(&bw), "bw ratio {bw}");
+    }
+}

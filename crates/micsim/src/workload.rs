@@ -1,0 +1,119 @@
+//! Workload traces: what a real search run did, scaled across sizes.
+
+use plf_core::{KernelId, KernelStats};
+
+/// The workload description consumed by the performance model:
+/// per-kernel invocation/site counts plus the AllReduce count, for one
+/// complete ML tree search over `patterns` alignment patterns.
+#[derive(Clone, Debug)]
+pub struct WorkloadTrace {
+    /// Per-kernel work counters (whole run, all ranks merged).
+    pub stats: KernelStats,
+    /// Number of AllReduce operations the run performed.
+    pub allreduces: u64,
+    /// Alignment patterns the run covered.
+    pub patterns: u64,
+}
+
+impl WorkloadTrace {
+    /// Wraps counters measured from an instrumented run.
+    pub fn from_run(stats: KernelStats, allreduces: u64, patterns: u64) -> Self {
+        assert!(patterns > 0);
+        WorkloadTrace {
+            stats,
+            allreduces,
+            patterns,
+        }
+    }
+
+    /// Extrapolates the trace to a different alignment size: invocation
+    /// and AllReduce counts stay fixed (the search does the same moves;
+    /// taxon count is fixed at 15 in the paper), per-invocation sites
+    /// scale linearly.
+    pub fn scaled_to(&self, patterns: u64) -> WorkloadTrace {
+        assert!(patterns > 0);
+        let factor = patterns as f64 / self.patterns as f64;
+        WorkloadTrace {
+            stats: self.stats.scale_sites(factor),
+            allreduces: self.allreduces,
+            patterns,
+        }
+    }
+
+    /// Average pattern-sites per invocation of `kernel`.
+    pub fn sites_per_call(&self, kernel: KernelId) -> f64 {
+        let c = self.stats.get(kernel);
+        if c.calls == 0 {
+            0.0
+        } else {
+            c.sites as f64 / c.calls as f64
+        }
+    }
+
+    /// A synthetic trace with the call mix of a full 15-taxon ML search
+    /// (used by tests; the benchmark harness records real traces).
+    /// Counts follow the structure of our search: every SPR candidate
+    /// costs a handful of `newview`s plus one `evaluate`; every branch
+    /// optimization costs one `derivativeSum` and a few
+    /// `derivativeCore` Newton steps; every `evaluate` and
+    /// `derivativeCore` ends in an AllReduce.
+    pub fn synthetic_search(patterns: u64) -> WorkloadTrace {
+        let mut stats = KernelStats::new();
+        let mix: [(KernelId, u64); 4] = [
+            (KernelId::Newview, 2600),
+            (KernelId::Evaluate, 1400),
+            (KernelId::DerivativeSum, 700),
+            (KernelId::DerivativeCore, 2900),
+        ];
+        for (k, calls) in mix {
+            for _ in 0..calls {
+                stats.record(k, patterns as usize);
+            }
+        }
+        let allreduces = 1400 + 2900;
+        WorkloadTrace {
+            stats,
+            allreduces,
+            patterns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_preserves_calls_and_scales_sites() {
+        let t = WorkloadTrace::synthetic_search(10_000);
+        let s = t.scaled_to(40_000);
+        assert_eq!(
+            s.stats.get(KernelId::Newview).calls,
+            t.stats.get(KernelId::Newview).calls
+        );
+        assert_eq!(
+            s.stats.get(KernelId::Newview).sites,
+            4 * t.stats.get(KernelId::Newview).sites
+        );
+        assert_eq!(s.allreduces, t.allreduces);
+        assert_eq!(s.patterns, 40_000);
+    }
+
+    #[test]
+    fn sites_per_call_matches_patterns() {
+        let t = WorkloadTrace::synthetic_search(5_000);
+        assert_eq!(t.sites_per_call(KernelId::Evaluate), 5_000.0);
+        let s = t.scaled_to(50_000);
+        assert_eq!(s.sites_per_call(KernelId::Evaluate), 50_000.0);
+    }
+
+    #[test]
+    fn synthetic_mix_has_derivative_core_dominant_in_calls() {
+        // Newton iterations outnumber branch preparations.
+        let t = WorkloadTrace::synthetic_search(1_000);
+        assert!(
+            t.stats.get(KernelId::DerivativeCore).calls
+                > t.stats.get(KernelId::DerivativeSum).calls
+        );
+    }
+}

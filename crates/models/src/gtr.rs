@@ -1,0 +1,306 @@
+//! The general time-reversible (GTR) DNA substitution model.
+//!
+//! GTR is the model RAxML, ExaML, and the paper's kernels operate
+//! under. It is parameterized by six exchangeability rates (AC, AG, AT,
+//! CG, CT, GT — GT conventionally fixed to 1) and four stationary base
+//! frequencies. The instantaneous rate matrix is
+//! `Q[i][j] = s_ij * π_j` (i ≠ j), normalized so the expected number of
+//! substitutions per unit time is 1, which makes branch lengths directly
+//! interpretable as expected substitutions per site.
+//!
+//! Reversibility makes `diag(π)^{1/2} Q diag(π)^{-1/2}` symmetric, so Q
+//! is diagonalized with the Jacobi solver and `P(t) = U exp(Λt) U⁻¹`
+//! with real eigenvalues — the decomposition the `derivativeCore` kernel
+//! relies on.
+
+use crate::math::jacobi::jacobi_eigen;
+use crate::pmatrix::Eigensystem;
+use crate::NUM_STATES;
+
+/// Indices into the six GTR exchangeability rates.
+pub const RATE_NAMES: [&str; 6] = ["AC", "AG", "AT", "CG", "CT", "GT"];
+
+/// Raw GTR parameters: exchangeabilities and stationary frequencies.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GtrParams {
+    /// Exchangeability rates in order AC, AG, AT, CG, CT, GT.
+    pub rates: [f64; 6],
+    /// Stationary base frequencies in order A, C, G, T.
+    pub freqs: [f64; NUM_STATES],
+}
+
+impl GtrParams {
+    /// The Jukes-Cantor special case: all rates 1, uniform frequencies.
+    pub fn jc69() -> Self {
+        GtrParams {
+            rates: [1.0; 6],
+            freqs: [0.25; NUM_STATES],
+        }
+    }
+
+    /// HKY-style parameters with transition/transversion ratio `kappa`
+    /// and the given frequencies (transitions: AG and CT).
+    pub fn hky(kappa: f64, freqs: [f64; NUM_STATES]) -> Self {
+        GtrParams {
+            rates: [1.0, kappa, 1.0, 1.0, kappa, 1.0],
+            freqs,
+        }
+    }
+
+    /// Validates positivity and that frequencies sum to 1 (±1e-6).
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, &r) in self.rates.iter().enumerate() {
+            if !(r.is_finite() && r > 0.0) {
+                return Err(format!("rate {} must be positive, got {r}", RATE_NAMES[i]));
+            }
+        }
+        let sum: f64 = self.freqs.iter().sum();
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(format!("frequencies sum to {sum}, expected 1"));
+        }
+        for &f in &self.freqs {
+            if !(f.is_finite() && f > 0.0) {
+                return Err(format!("frequencies must be positive, got {f}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A fully constructed GTR model: normalized rate matrix plus its
+/// eigendecomposition, ready for P-matrix exponentiation.
+#[derive(Clone, Debug)]
+pub struct Gtr {
+    params: GtrParams,
+    /// Normalized instantaneous rate matrix, row-major.
+    q: [[f64; NUM_STATES]; NUM_STATES],
+    eigen: Eigensystem,
+}
+
+impl Gtr {
+    /// Builds the model: assembles Q, normalizes it to one expected
+    /// substitution per unit time, and eigendecomposes it.
+    ///
+    /// # Panics
+    /// Panics when `params.validate()` fails; use `try_new` to handle
+    /// parameter errors gracefully.
+    pub fn new(params: GtrParams) -> Self {
+        Self::try_new(params).expect("invalid GTR parameters")
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(params: GtrParams) -> Result<Self, String> {
+        params.validate()?;
+        let pi = params.freqs;
+
+        // Symmetric exchangeability matrix S (zero diagonal).
+        let mut s = [[0.0f64; NUM_STATES]; NUM_STATES];
+        let idx = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        for (k, &(i, j)) in idx.iter().enumerate() {
+            s[i][j] = params.rates[k];
+            s[j][i] = params.rates[k];
+        }
+
+        // Q = S diag(pi) with diagonal fixed so rows sum to zero.
+        let mut q = [[0.0f64; NUM_STATES]; NUM_STATES];
+        for i in 0..NUM_STATES {
+            let mut row = 0.0;
+            for j in 0..NUM_STATES {
+                if i != j {
+                    q[i][j] = s[i][j] * pi[j];
+                    row += q[i][j];
+                }
+            }
+            q[i][i] = -row;
+        }
+
+        // Normalize: expected rate = -sum_i pi_i Q_ii = 1.
+        let scale: f64 = -(0..NUM_STATES).map(|i| pi[i] * q[i][i]).sum::<f64>();
+        if scale <= 0.0 {
+            return Err("degenerate rate matrix (zero total rate)".into());
+        }
+        for row in q.iter_mut() {
+            for entry in row.iter_mut() {
+                *entry /= scale;
+            }
+        }
+
+        // Symmetrize: B = D^{1/2} Q D^{-1/2}, D = diag(pi).
+        let sq: [f64; NUM_STATES] = pi.map(f64::sqrt);
+        let b: Vec<Vec<f64>> = (0..NUM_STATES)
+            .map(|i| {
+                (0..NUM_STATES)
+                    .map(|j| sq[i] * q[i][j] / sq[j])
+                    .collect()
+            })
+            .collect();
+        let sym = jacobi_eigen(&b);
+
+        // U = D^{-1/2} V, U^{-1} = V^T D^{1/2}.
+        let mut u = [[0.0f64; NUM_STATES]; NUM_STATES];
+        let mut u_inv = [[0.0f64; NUM_STATES]; NUM_STATES];
+        let mut values = [0.0f64; NUM_STATES];
+        for j in 0..NUM_STATES {
+            values[j] = sym.values[j];
+            for i in 0..NUM_STATES {
+                u[i][j] = sym.vectors[i][j] / sq[i];
+                u_inv[j][i] = sym.vectors[i][j] * sq[i];
+            }
+        }
+
+        // The zero eigenvalue (stationarity) comes out as ~1e-16 noise;
+        // snap it exactly to zero so P(t) rows sum to 1 for huge t.
+        let (zi, _) = values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .expect("non-empty");
+        values[zi] = 0.0;
+
+        let eigen = Eigensystem::new(values, u, u_inv, pi);
+        Ok(Gtr { params, q, eigen })
+    }
+
+    /// The raw parameters this model was built from.
+    pub fn params(&self) -> &GtrParams {
+        &self.params
+    }
+
+    /// The normalized rate matrix Q.
+    pub fn q(&self) -> &[[f64; NUM_STATES]; NUM_STATES] {
+        &self.q
+    }
+
+    /// Stationary frequencies π.
+    pub fn freqs(&self) -> [f64; NUM_STATES] {
+        self.params.freqs
+    }
+
+    /// The eigendecomposition (shared with the PLF kernels).
+    pub fn eigen(&self) -> &Eigensystem {
+        &self.eigen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn typical() -> Gtr {
+        Gtr::new(GtrParams {
+            rates: [1.3, 3.9, 0.7, 0.9, 4.2, 1.0],
+            freqs: [0.31, 0.19, 0.22, 0.28],
+        })
+    }
+
+    #[test]
+    fn q_rows_sum_to_zero() {
+        let g = typical();
+        for row in g.q() {
+            let s: f64 = row.iter().sum();
+            assert!(s.abs() < 1e-12, "row sum {s}");
+        }
+    }
+
+    #[test]
+    fn q_normalized_to_unit_rate() {
+        let g = typical();
+        let pi = g.freqs();
+        let rate: f64 = -(0..4).map(|i| pi[i] * g.q()[i][i]).sum::<f64>();
+        assert!((rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detailed_balance() {
+        // Reversibility: pi_i Q_ij = pi_j Q_ji.
+        let g = typical();
+        let pi = g.freqs();
+        for i in 0..4 {
+            for j in 0..4 {
+                let lhs = pi[i] * g.q()[i][j];
+                let rhs = pi[j] * g.q()[j][i];
+                assert!((lhs - rhs).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_reconstructs_q() {
+        let g = typical();
+        let e = g.eigen();
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut sum = 0.0;
+                for k in 0..4 {
+                    sum += e.u()[i][k] * e.values()[k] * e.u_inv()[k][j];
+                }
+                assert!((sum - g.q()[i][j]).abs() < 1e-10, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn one_zero_eigenvalue_rest_negative() {
+        let g = typical();
+        let vals = g.eigen().values();
+        let zeros = vals.iter().filter(|v| **v == 0.0).count();
+        assert_eq!(zeros, 1);
+        assert_eq!(vals.iter().filter(|v| **v < 0.0).count(), 3);
+    }
+
+    #[test]
+    fn u_uinv_are_inverses() {
+        let g = typical();
+        let e = g.eigen();
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut sum = 0.0;
+                for k in 0..4 {
+                    sum += e.u()[i][k] * e.u_inv()[k][j];
+                }
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((sum - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn jc69_eigenvalues() {
+        // JC69 normalized Q has eigenvalues {0, -4/3, -4/3, -4/3}.
+        let g = Gtr::new(GtrParams::jc69());
+        let vals = g.eigen().values();
+        assert!((vals[0]).abs() < 1e-12 || (vals[0] + 4.0 / 3.0).abs() < 1e-12);
+        let negs: Vec<f64> = vals.iter().copied().filter(|v| *v < -1e-9).collect();
+        assert_eq!(negs.len(), 3);
+        for v in negs {
+            assert!((v + 4.0 / 3.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn hky_is_gtr_special_case() {
+        let p = GtrParams::hky(4.0, [0.25; 4]);
+        assert_eq!(p.rates[1], 4.0);
+        assert_eq!(p.rates[4], 4.0);
+        assert!(Gtr::try_new(p).is_ok());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut p = GtrParams::jc69();
+        p.rates[0] = 0.0;
+        assert!(Gtr::try_new(p).is_err());
+
+        let mut p = GtrParams::jc69();
+        p.freqs = [0.5, 0.5, 0.5, 0.5];
+        assert!(Gtr::try_new(p).is_err());
+
+        let mut p = GtrParams::jc69();
+        p.freqs = [1.0, -0.1, 0.05, 0.05];
+        assert!(Gtr::try_new(p).is_err());
+
+        let mut p = GtrParams::jc69();
+        p.rates[2] = f64::NAN;
+        assert!(Gtr::try_new(p).is_err());
+    }
+}

@@ -1,0 +1,9 @@
+//! From-scratch numerical building blocks.
+
+pub mod brent;
+pub mod gammafn;
+pub mod jacobi;
+
+pub use brent::minimize as brent_minimize;
+pub use gammafn::{inv_reg_gamma_p, lgamma, reg_gamma_p, reg_gamma_q};
+pub use jacobi::jacobi_eigen;

@@ -1,0 +1,179 @@
+//! Brent's method for 1-D function minimization.
+//!
+//! RAxML optimizes the Γ shape parameter α and the GTR exchangeability
+//! rates one at a time with Brent's parabolic-interpolation/golden-
+//! section minimizer; this is a from-scratch implementation of the same
+//! algorithm (Brent 1973, as in Numerical Recipes `brent`).
+
+/// Result of a Brent minimization.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BrentResult {
+    /// Location of the minimum.
+    pub xmin: f64,
+    /// Function value at the minimum.
+    pub fmin: f64,
+    /// Number of function evaluations performed.
+    pub evals: usize,
+}
+
+const GOLD: f64 = 0.381_966_011_250_105; // (3 - sqrt 5) / 2
+const ZEPS: f64 = 1e-11;
+
+/// Minimizes `f` over the bracket `[a, b]` to relative tolerance `tol`,
+/// using at most `max_iter` iterations.
+///
+/// The bracket need not contain an interior minimum; in that case the
+/// minimizer converges to the appropriate endpoint.
+///
+/// # Panics
+/// Panics when `a >= b` or `tol <= 0`.
+pub fn minimize<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> BrentResult {
+    assert!(a < b, "invalid bracket [{a}, {b}]");
+    assert!(tol > 0.0, "tolerance must be positive");
+
+    let (mut lo, mut hi) = (a, b);
+    let mut x = lo + GOLD * (hi - lo);
+    let mut w = x;
+    let mut v = x;
+    let mut fx = f(x);
+    let mut fw = fx;
+    let mut fv = fx;
+    let mut evals = 1usize;
+
+    let mut d: f64 = 0.0;
+    let mut e: f64 = 0.0;
+
+    for _ in 0..max_iter {
+        let xm = 0.5 * (lo + hi);
+        let tol1 = tol * x.abs() + ZEPS;
+        let tol2 = 2.0 * tol1;
+        if (x - xm).abs() <= tol2 - 0.5 * (hi - lo) {
+            break;
+        }
+
+        let mut use_golden = true;
+        if e.abs() > tol1 {
+            // Parabolic fit through (v, fv), (w, fw), (x, fx).
+            let r = (x - w) * (fx - fv);
+            let q0 = (x - v) * (fx - fw);
+            let mut p = (x - v) * q0 - (x - w) * r;
+            let mut q = 2.0 * (q0 - r);
+            if q > 0.0 {
+                p = -p;
+            }
+            q = q.abs();
+            let e_prev = e;
+            e = d;
+            if p.abs() < (0.5 * q * e_prev).abs() && p > q * (lo - x) && p < q * (hi - x) {
+                d = p / q;
+                let u = x + d;
+                if u - lo < tol2 || hi - u < tol2 {
+                    d = if xm > x { tol1 } else { -tol1 };
+                }
+                use_golden = false;
+            }
+        }
+        if use_golden {
+            e = if x >= xm { lo - x } else { hi - x };
+            d = GOLD * e;
+        }
+
+        let u = if d.abs() >= tol1 {
+            x + d
+        } else if d > 0.0 {
+            x + tol1
+        } else {
+            x - tol1
+        };
+        let fu = f(u);
+        evals += 1;
+
+        if fu <= fx {
+            if u >= x {
+                lo = x;
+            } else {
+                hi = x;
+            }
+            (v, fv) = (w, fw);
+            (w, fw) = (x, fx);
+            (x, fx) = (u, fu);
+        } else {
+            if u < x {
+                lo = u;
+            } else {
+                hi = u;
+            }
+            if fu <= fw || w == x {
+                (v, fv) = (w, fw);
+                (w, fw) = (u, fu);
+            } else if fu <= fv || v == x || v == w {
+                (v, fv) = (u, fu);
+            }
+        }
+    }
+
+    BrentResult {
+        xmin: x,
+        fmin: fx,
+        evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_minimum() {
+        let r = minimize(|x| (x - 3.0) * (x - 3.0) + 2.0, 0.0, 10.0, 1e-10, 200);
+        assert!((r.xmin - 3.0).abs() < 1e-6, "xmin={}", r.xmin);
+        assert!((r.fmin - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn asymmetric_function() {
+        // min of x - ln x at x = 1.
+        let r = minimize(|x| x - x.ln(), 0.01, 50.0, 1e-10, 200);
+        assert!((r.xmin - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monotone_function_converges_to_endpoint() {
+        let r = minimize(|x| x, 1.0, 2.0, 1e-9, 200);
+        assert!((r.xmin - 1.0).abs() < 1e-4, "xmin={}", r.xmin);
+    }
+
+    #[test]
+    fn narrow_well() {
+        let r = minimize(|x: f64| ((x - 0.123).abs() + 1.0).ln(), 0.0, 1.0, 1e-12, 300);
+        assert!((r.xmin - 0.123).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eval_count_reported() {
+        let mut n = 0;
+        let r = minimize(
+            |x| {
+                n += 1;
+                x * x
+            },
+            -1.0,
+            1.0,
+            1e-8,
+            100,
+        );
+        assert_eq!(r.evals, n);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_bracket_panics() {
+        minimize(|x| x, 2.0, 1.0, 1e-8, 10);
+    }
+}

@@ -1,0 +1,239 @@
+//! Cyclic Jacobi eigensolver for small symmetric matrices.
+//!
+//! The GTR rate matrix is diagonalizable through a symmetric similarity
+//! transform, so a symmetric eigensolver is all the likelihood machinery
+//! needs. Matrices here are tiny (4×4 for DNA, 20×20 for proteins), so
+//! the classic cyclic Jacobi rotation scheme is both simple and
+//! effectively exact.
+
+/// Result of a symmetric eigendecomposition: `a = V diag(λ) Vᵀ`.
+#[derive(Clone, Debug)]
+pub struct SymEigen {
+    /// Eigenvalues, sorted ascending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns: `vectors[r][c]` = component `r` of the
+    /// eigenvector belonging to `values[c]`. Orthonormal.
+    pub vectors: Vec<Vec<f64>>,
+}
+
+/// Diagonalizes the symmetric `n×n` matrix `a` (row-major, `a[i][j]`).
+///
+/// # Panics
+/// Panics when the matrix is not square, is empty, or is not symmetric
+/// to within `1e-9` (absolute).
+pub fn jacobi_eigen(a: &[Vec<f64>]) -> SymEigen {
+    let n = a.len();
+    assert!(n > 0, "empty matrix");
+    for row in a {
+        assert_eq!(row.len(), n, "matrix is not square");
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            assert!(
+                (a[i][j] - a[j][i]).abs() < 1e-9,
+                "matrix not symmetric at ({i},{j}): {} vs {}",
+                a[i][j],
+                a[j][i]
+            );
+        }
+    }
+
+    let mut m: Vec<Vec<f64>> = a.to_vec();
+    let mut v: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| if i == j { 1.0 } else { 0.0 }).collect())
+        .collect();
+
+    const MAX_SWEEPS: usize = 100;
+    for _sweep in 0..MAX_SWEEPS {
+        let off: f64 = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .map(|(i, j)| m[i][j] * m[i][j])
+            .sum();
+        if off < 1e-30 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p][q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                // Rotation angle: tan(2θ) = 2 a_pq / (a_qq - a_pp).
+                let theta = (m[q][q] - m[p][p]) / (2.0 * apq);
+                let t = {
+                    let sign = if theta >= 0.0 { 1.0 } else { -1.0 };
+                    sign / (theta.abs() + (theta * theta + 1.0).sqrt())
+                };
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                let tau = s / (1.0 + c);
+
+                let app = m[p][p];
+                let aqq = m[q][q];
+                m[p][p] = app - t * apq;
+                m[q][q] = aqq + t * apq;
+                m[p][q] = 0.0;
+                m[q][p] = 0.0;
+                for i in 0..n {
+                    if i != p && i != q {
+                        let aip = m[i][p];
+                        let aiq = m[i][q];
+                        m[i][p] = aip - s * (aiq + tau * aip);
+                        m[p][i] = m[i][p];
+                        m[i][q] = aiq + s * (aip - tau * aiq);
+                        m[q][i] = m[i][q];
+                    }
+                }
+                for row in v.iter_mut() {
+                    let vip = row[p];
+                    let viq = row[q];
+                    row[p] = vip - s * (viq + tau * vip);
+                    row[q] = viq + s * (vip - tau * viq);
+                }
+            }
+        }
+    }
+
+    // Sort eigenpairs ascending by eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[i][i].partial_cmp(&m[j][j]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| m[i][i]).collect();
+    let vectors: Vec<Vec<f64>> = (0..n)
+        .map(|r| order.iter().map(|&c| v[r][c]).collect())
+        .collect();
+
+    SymEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &SymEigen) -> Vec<Vec<f64>> {
+        let n = e.values.len();
+        (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        (0..n)
+                            .map(|k| e.vectors[i][k] * e.values[k] * e.vectors[j][k])
+                            .sum()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = vec![
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ];
+        let e = jacobi_eigen(&a);
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = vec![vec![2.0, 1.0], vec![1.0, 2.0]];
+        let e = jacobi_eigen(&a);
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_4x4() {
+        let a = vec![
+            vec![4.0, 1.0, 0.5, 0.2],
+            vec![1.0, 3.0, 0.7, 0.1],
+            vec![0.5, 0.7, 2.0, 0.3],
+            vec![0.2, 0.1, 0.3, 1.0],
+        ];
+        let e = jacobi_eigen(&a);
+        let r = reconstruct(&e);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((r[i][j] - a[i][j]).abs() < 1e-10, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = vec![
+            vec![1.0, 0.4, 0.3],
+            vec![0.4, 2.0, 0.6],
+            vec![0.3, 0.6, 3.0],
+        ];
+        let e = jacobi_eigen(&a);
+        for c1 in 0..3 {
+            for c2 in 0..3 {
+                let dot: f64 = (0..3).map(|r| e.vectors[r][c1] * e.vectors[r][c2]).sum();
+                let expect = if c1 == c2 { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-10, "({c1},{c2}): {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let a = vec![
+            vec![5.0, -1.0, 2.0, 0.0],
+            vec![-1.0, 4.0, 1.0, -0.5],
+            vec![2.0, 1.0, 3.0, 0.8],
+            vec![0.0, -0.5, 0.8, 2.0],
+        ];
+        let e = jacobi_eigen(&a);
+        let trace: f64 = (0..4).map(|i| a[i][i]).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    fn larger_20x20_random_symmetric() {
+        // Deterministic pseudo-random symmetric matrix (protein-sized).
+        let n = 20;
+        let mut seed = 12345u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        let mut a = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in i..n {
+                let x = next();
+                a[i][j] = x;
+                a[j][i] = x;
+            }
+            a[i][i] += n as f64; // diagonally dominant
+        }
+        let e = jacobi_eigen(&a);
+        let r = reconstruct(&e);
+        for i in 0..n {
+            for j in 0..n {
+                assert!((r[i][j] - a[i][j]).abs() < 1e-8);
+            }
+        }
+        // Ascending order.
+        for k in 1..n {
+            assert!(e.values[k] >= e.values[k - 1]);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn asymmetric_rejected() {
+        jacobi_eigen(&[vec![1.0, 2.0], vec![0.0, 1.0]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_rejected() {
+        jacobi_eigen(&[]);
+    }
+}

@@ -1,0 +1,288 @@
+//! Generic N-state reversible substitution models.
+//!
+//! The DNA stack ([`crate::gtr`]) is hard-wired to 4 states for kernel
+//! efficiency. This module provides the runtime-N generalization the
+//! paper lists as future work (§VII: "support protein data"): a
+//! reversible rate matrix over any alphabet size, eigendecomposed
+//! through the same symmetrization trick, with heap-backed matrices.
+//!
+//! [`protein_poisson`] builds the 20-state Poisson+F model (uniform
+//! exchangeabilities, empirical frequencies) — the standard minimal
+//! protein model; richer empirical matrices drop in as exchangeability
+//! tables.
+
+use crate::math::jacobi::jacobi_eigen;
+
+/// Eigendecomposition of an N-state reversible rate matrix.
+#[derive(Clone, Debug)]
+pub struct NEigensystem {
+    n: usize,
+    values: Vec<f64>,
+    /// `u[i][j]`: right eigenvectors as columns.
+    u: Vec<Vec<f64>>,
+    /// `u_inv[j][i]`.
+    u_inv: Vec<Vec<f64>>,
+    freqs: Vec<f64>,
+}
+
+impl NEigensystem {
+    /// Builds a reversible model from a symmetric exchangeability
+    /// matrix `s` (diagonal ignored) and stationary frequencies,
+    /// normalized to one expected substitution per unit time.
+    pub fn new(s: &[Vec<f64>], freqs: &[f64]) -> Result<Self, String> {
+        let n = freqs.len();
+        if n < 2 {
+            return Err("need at least 2 states".into());
+        }
+        if s.len() != n || s.iter().any(|row| row.len() != n) {
+            return Err("exchangeability matrix shape mismatch".into());
+        }
+        let fsum: f64 = freqs.iter().sum();
+        // NaN must fail these checks, hence the `.. <= 0.0 || !finite`
+        // formulation rather than a bare `> 0.0` test.
+        if (fsum - 1.0).abs() > 1e-6 || freqs.iter().any(|&f| f <= 0.0 || !f.is_finite()) {
+            return Err(format!("invalid frequencies (sum {fsum})"));
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let bad = !(s[i][j] - s[j][i]).abs().is_finite()
+                    || s[i][j] <= 0.0
+                    || s[i][j].is_nan()
+                    || (s[i][j] - s[j][i]).abs() > 1e-9;
+                if bad {
+                    return Err(format!("invalid exchangeability at ({i},{j})"));
+                }
+            }
+        }
+
+        // Q = S diag(pi), zero row sums, unit expected rate.
+        let mut q = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            let mut row = 0.0;
+            for j in 0..n {
+                if i != j {
+                    q[i][j] = s[i][j] * freqs[j];
+                    row += q[i][j];
+                }
+            }
+            q[i][i] = -row;
+        }
+        let scale: f64 = -(0..n).map(|i| freqs[i] * q[i][i]).sum::<f64>();
+        if scale <= 0.0 {
+            return Err("degenerate rate matrix".into());
+        }
+        for row in q.iter_mut() {
+            for v in row.iter_mut() {
+                *v /= scale;
+            }
+        }
+
+        // Symmetrize and diagonalize.
+        let sq: Vec<f64> = freqs.iter().map(|f| f.sqrt()).collect();
+        let b: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| sq[i] * q[i][j] / sq[j]).collect())
+            .collect();
+        let sym = jacobi_eigen(&b);
+
+        let mut values = sym.values.clone();
+        let mut u = vec![vec![0.0; n]; n];
+        let mut u_inv = vec![vec![0.0; n]; n];
+        for j in 0..n {
+            for i in 0..n {
+                u[i][j] = sym.vectors[i][j] / sq[i];
+                u_inv[j][i] = sym.vectors[i][j] * sq[i];
+            }
+        }
+        // Snap the stationary eigenvalue to exactly zero.
+        let (zi, _) = values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .expect("non-empty");
+        values[zi] = 0.0;
+
+        Ok(NEigensystem {
+            n,
+            values,
+            u,
+            u_inv,
+            freqs: freqs.to_vec(),
+        })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.n
+    }
+
+    /// Eigenvalues (one exactly zero, the rest negative).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Right eigenvector matrix U.
+    pub fn u(&self) -> &[Vec<f64>] {
+        &self.u
+    }
+
+    /// Inverse eigenvector matrix U⁻¹.
+    pub fn u_inv(&self) -> &[Vec<f64>] {
+        &self.u_inv
+    }
+
+    /// Stationary frequencies.
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Transition probability matrix over branch `t` scaled by `rate`,
+    /// entries clamped to `[0, 1]`.
+    pub fn prob_matrix(&self, t: f64, rate: f64) -> Vec<Vec<f64>> {
+        let n = self.n;
+        let expo: Vec<f64> = self.values.iter().map(|&l| (l * rate * t).exp()).collect();
+        (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        let mut sum = 0.0;
+                        for k in 0..n {
+                            sum += self.u[i][k] * expo[k] * self.u_inv[k][j];
+                        }
+                        sum.clamp(0.0, 1.0)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Number of amino-acid states.
+pub const NUM_AA_STATES: usize = 20;
+
+/// The Poisson+F protein model: uniform exchangeabilities with the
+/// given stationary amino-acid frequencies.
+pub fn protein_poisson(freqs: &[f64; NUM_AA_STATES]) -> Result<NEigensystem, String> {
+    let s = vec![vec![1.0; NUM_AA_STATES]; NUM_AA_STATES];
+    NEigensystem::new(&s, freqs)
+}
+
+/// The 4-state DNA model expressed through the generic machinery
+/// (used as a cross-check oracle against [`crate::gtr::Gtr`]).
+pub fn dna_as_nstate(params: &crate::gtr::GtrParams) -> Result<NEigensystem, String> {
+    let idx = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+    let mut s = vec![vec![0.0; 4]; 4];
+    for (k, &(i, j)) in idx.iter().enumerate() {
+        s[i][j] = params.rates[k];
+        s[j][i] = params.rates[k];
+    }
+    NEigensystem::new(&s, &params.freqs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gtr::{Gtr, GtrParams};
+
+    fn uniform_aa() -> [f64; 20] {
+        [0.05; 20]
+    }
+
+    fn skewed_aa() -> [f64; 20] {
+        let mut f = [0.0f64; 20];
+        let mut total = 0.0;
+        for (i, v) in f.iter_mut().enumerate() {
+            *v = 1.0 + (i as f64) * 0.3;
+            total += *v;
+        }
+        f.map(|v| v / total)
+    }
+
+    #[test]
+    fn poisson_rows_sum_to_one() {
+        let m = protein_poisson(&skewed_aa()).unwrap();
+        for &t in &[0.01, 0.3, 2.0, 50.0] {
+            let p = m.prob_matrix(t, 1.0);
+            for (i, row) in p.iter().enumerate() {
+                let s: f64 = row.iter().sum();
+                assert!((s - 1.0).abs() < 1e-8, "t={t} row {i}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_converges_to_frequencies() {
+        let f = skewed_aa();
+        let m = protein_poisson(&f).unwrap();
+        let p = m.prob_matrix(500.0, 1.0);
+        for row in &p {
+            for j in 0..20 {
+                assert!((row[j] - f[j]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_identity_at_zero() {
+        let m = protein_poisson(&uniform_aa()).unwrap();
+        let p = m.prob_matrix(0.0, 1.0);
+        for i in 0..20 {
+            for j in 0..20 {
+                let e = if i == j { 1.0 } else { 0.0 };
+                assert!((p[i][j] - e).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn chapman_kolmogorov_20_states() {
+        let m = protein_poisson(&skewed_aa()).unwrap();
+        let (s, t) = (0.21, 0.43);
+        let ps = m.prob_matrix(s, 1.0);
+        let pt = m.prob_matrix(t, 1.0);
+        let pst = m.prob_matrix(s + t, 1.0);
+        for i in 0..20 {
+            for j in 0..20 {
+                let prod: f64 = (0..20).map(|k| ps[i][k] * pt[k][j]).sum();
+                assert!((prod - pst[i][j]).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn dna_special_case_matches_gtr() {
+        let params = GtrParams {
+            rates: [1.3, 2.7, 0.6, 1.1, 3.8, 1.0],
+            freqs: [0.3, 0.2, 0.22, 0.28],
+        };
+        let g = Gtr::new(params);
+        let n = dna_as_nstate(&params).unwrap();
+        for &t in &[0.05, 0.4, 1.7] {
+            let p4 = g.eigen().prob_matrix(t, 1.3);
+            let pn = n.prob_matrix(t, 1.3);
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert!((p4[i][j] - pn[i][j]).abs() < 1e-10, "({i},{j}) t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(NEigensystem::new(&[vec![1.0]], &[1.0]).is_err()); // 1 state
+        let s = vec![vec![1.0; 3]; 3];
+        assert!(NEigensystem::new(&s, &[0.5, 0.5, 0.5]).is_err()); // bad freqs
+        let mut asym = vec![vec![1.0; 3]; 3];
+        asym[0][1] = 2.0;
+        assert!(NEigensystem::new(&asym, &[0.3, 0.3, 0.4]).is_err());
+        let zero = vec![vec![0.0; 3]; 3];
+        assert!(NEigensystem::new(&zero, &[0.3, 0.3, 0.4]).is_err());
+    }
+
+    #[test]
+    fn one_zero_eigenvalue() {
+        let m = protein_poisson(&skewed_aa()).unwrap();
+        assert_eq!(m.values().iter().filter(|v| **v == 0.0).count(), 1);
+        assert_eq!(m.values().iter().filter(|v| **v < 0.0).count(), 19);
+    }
+}

@@ -1,0 +1,212 @@
+//! Transition probability matrices from the GTR eigendecomposition.
+
+use crate::{NUM_RATES, NUM_STATES};
+
+/// The eigendecomposition `Q = U diag(λ) U⁻¹` of a reversible rate
+/// matrix, plus the stationary frequencies. This is the object the PLF
+/// kernels consume: `newview`/`evaluate` need `P(t)` matrices built from
+/// it, while `derivativeSum`/`derivativeCore` use `U`, `U⁻¹`, and λ
+/// directly (the branch-length derivative is a sum of `λ_j r_k`-weighted
+/// exponentials).
+#[derive(Clone, Debug)]
+pub struct Eigensystem {
+    values: [f64; NUM_STATES],
+    u: [[f64; NUM_STATES]; NUM_STATES],
+    u_inv: [[f64; NUM_STATES]; NUM_STATES],
+    freqs: [f64; NUM_STATES],
+}
+
+impl Eigensystem {
+    /// Assembles an eigensystem from its parts (normally produced by
+    /// [`crate::gtr::Gtr::try_new`]).
+    pub fn new(
+        values: [f64; NUM_STATES],
+        u: [[f64; NUM_STATES]; NUM_STATES],
+        u_inv: [[f64; NUM_STATES]; NUM_STATES],
+        freqs: [f64; NUM_STATES],
+    ) -> Self {
+        Eigensystem {
+            values,
+            u,
+            u_inv,
+            freqs,
+        }
+    }
+
+    /// Eigenvalues λ (one exactly zero, the rest negative).
+    pub fn values(&self) -> &[f64; NUM_STATES] {
+        &self.values
+    }
+
+    /// Right eigenvector matrix U (columns are eigenvectors).
+    pub fn u(&self) -> &[[f64; NUM_STATES]; NUM_STATES] {
+        &self.u
+    }
+
+    /// Inverse eigenvector matrix U⁻¹.
+    pub fn u_inv(&self) -> &[[f64; NUM_STATES]; NUM_STATES] {
+        &self.u_inv
+    }
+
+    /// Stationary frequencies π.
+    pub fn freqs(&self) -> &[f64; NUM_STATES] {
+        &self.freqs
+    }
+
+    /// Computes `P(r·t)` for a single rate multiplier: the transition
+    /// probability matrix over branch length `t` scaled by rate `r`.
+    ///
+    /// Entries are clamped to `[0, 1]`: exact arithmetic guarantees the
+    /// range, but floating-point noise can produce values like `-1e-18`
+    /// which would poison log-likelihoods downstream.
+    pub fn prob_matrix(&self, t: f64, rate: f64) -> [[f64; NUM_STATES]; NUM_STATES] {
+        debug_assert!(t >= 0.0 && rate >= 0.0, "negative branch or rate");
+        let expo: [f64; NUM_STATES] = {
+            let mut e = [0.0; NUM_STATES];
+            for j in 0..NUM_STATES {
+                e[j] = (self.values[j] * rate * t).exp();
+            }
+            e
+        };
+        let mut p = [[0.0f64; NUM_STATES]; NUM_STATES];
+        for i in 0..NUM_STATES {
+            for j in 0..NUM_STATES {
+                let mut sum = 0.0;
+                for k in 0..NUM_STATES {
+                    sum += self.u[i][k] * expo[k] * self.u_inv[k][j];
+                }
+                p[i][j] = sum.clamp(0.0, 1.0);
+            }
+        }
+        p
+    }
+}
+
+/// The full set of per-rate-category transition matrices for one branch:
+/// what `newview` consumes for one child edge under Γ.
+#[derive(Clone, Debug)]
+pub struct ProbMatrix {
+    /// `per_rate[k][a][b]` = P(state a → b over branch `t` at rate r_k).
+    pub per_rate: [[[f64; NUM_STATES]; NUM_STATES]; NUM_RATES],
+    /// The branch length this matrix was computed for.
+    pub branch_length: f64,
+}
+
+impl ProbMatrix {
+    /// Builds the Γ-category transition matrices for branch length `t`.
+    pub fn new(eigen: &Eigensystem, rates: &[f64; NUM_RATES], t: f64) -> Self {
+        let mut per_rate = [[[0.0; NUM_STATES]; NUM_STATES]; NUM_RATES];
+        for (k, &r) in rates.iter().enumerate() {
+            per_rate[k] = eigen.prob_matrix(t, r);
+        }
+        ProbMatrix {
+            per_rate,
+            branch_length: t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gtr::{Gtr, GtrParams};
+
+    fn eigen() -> Eigensystem {
+        Gtr::new(GtrParams {
+            rates: [1.1, 2.7, 0.6, 1.4, 3.8, 1.0],
+            freqs: [0.27, 0.23, 0.24, 0.26],
+        })
+        .eigen()
+        .clone()
+    }
+
+    #[test]
+    fn identity_at_zero() {
+        let e = eigen();
+        let p = e.prob_matrix(0.0, 1.0);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((p[i][j] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_sum_to_one() {
+        let e = eigen();
+        for &t in &[0.001, 0.1, 1.0, 10.0, 500.0] {
+            let p = e.prob_matrix(t, 1.0);
+            for (i, row) in p.iter().enumerate() {
+                let s: f64 = row.iter().sum();
+                assert!((s - 1.0).abs() < 1e-9, "t={t} row {i}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn entries_are_probabilities() {
+        let e = eigen();
+        for &t in &[0.01, 0.5, 3.0] {
+            let p = e.prob_matrix(t, 1.7);
+            for row in &p {
+                for &v in row {
+                    assert!((0.0..=1.0).contains(&v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chapman_kolmogorov() {
+        // P(s+t) = P(s) P(t).
+        let e = eigen();
+        let (s, t) = (0.13, 0.57);
+        let ps = e.prob_matrix(s, 1.0);
+        let pt = e.prob_matrix(t, 1.0);
+        let pst = e.prob_matrix(s + t, 1.0);
+        for i in 0..4 {
+            for j in 0..4 {
+                let prod: f64 = (0..4).map(|k| ps[i][k] * pt[k][j]).sum();
+                assert!((prod - pst[i][j]).abs() < 1e-10, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn converges_to_stationary() {
+        let e = eigen();
+        let p = e.prob_matrix(1e4, 1.0);
+        for row in &p {
+            for j in 0..4 {
+                assert!((row[j] - e.freqs()[j]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn rate_scales_time() {
+        let e = eigen();
+        let a = e.prob_matrix(2.0, 0.5);
+        let b = e.prob_matrix(1.0, 1.0);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((a[i][j] - b[i][j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn prob_matrix_set_per_category() {
+        let e = eigen();
+        let rates = [0.2, 0.6, 1.2, 2.0];
+        let pm = ProbMatrix::new(&e, &rates, 0.3);
+        assert_eq!(pm.branch_length, 0.3);
+        // Faster categories move further from identity.
+        let self_prob =
+            |k: usize| -> f64 { (0..4).map(|i| pm.per_rate[k][i][i]).sum::<f64>() };
+        assert!(self_prob(0) > self_prob(1));
+        assert!(self_prob(1) > self_prob(2));
+        assert!(self_prob(2) > self_prob(3));
+    }
+}

@@ -1,0 +1,286 @@
+//! An MPI-like communicator over threads.
+//!
+//! ExaML's communication pattern is dominated by `MPI_Allreduce` calls
+//! with tiny payloads — "usually just one or several doubles, for
+//! instance, to sum over partial tree likelihoods after evaluate()"
+//! (§VI-B3). [`Comm`] reproduces that interface; [`ThreadCommGroup`]
+//! backs it with shared memory and the sense-reversing barrier.
+//!
+//! Reductions are *deterministic*: contributions are deposited into
+//! per-rank slots and every rank sums them in rank order, so all ranks
+//! compute bit-identical results regardless of arrival order (the
+//! property ExaML relies on to keep its replicated searches in
+//! lockstep).
+
+use crate::barrier::{BarrierToken, SenseBarrier};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Communication statistics, the input to `micsim`'s interconnect
+/// model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Number of AllReduce operations.
+    pub allreduces: u64,
+    /// Total payload bytes reduced (per rank).
+    pub bytes: u64,
+    /// Number of bare barriers.
+    pub barriers: u64,
+}
+
+/// Minimal MPI-flavored collective interface.
+pub trait Comm {
+    /// This participant's rank in `0..size()`.
+    fn rank(&self) -> usize;
+    /// Number of participants.
+    fn size(&self) -> usize;
+    /// In-place sum-AllReduce over `buf`; all ranks receive identical
+    /// results.
+    fn allreduce_sum(&mut self, buf: &mut [f64]);
+    /// Synchronization barrier.
+    fn barrier(&mut self);
+    /// Statistics accumulated by this participant.
+    fn stats(&self) -> CommStats;
+}
+
+/// The trivial single-rank communicator.
+#[derive(Debug, Default)]
+pub struct SelfComm {
+    stats: CommStats,
+}
+
+impl SelfComm {
+    /// Creates a size-1 communicator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Comm for SelfComm {
+    fn rank(&self) -> usize {
+        0
+    }
+    fn size(&self) -> usize {
+        1
+    }
+    fn allreduce_sum(&mut self, buf: &mut [f64]) {
+        self.stats.allreduces += 1;
+        self.stats.bytes += (buf.len() * 8) as u64;
+    }
+    fn barrier(&mut self) {
+        self.stats.barriers += 1;
+    }
+    fn stats(&self) -> CommStats {
+        self.stats
+    }
+}
+
+/// Shared state of a thread communicator group.
+struct Shared {
+    barrier: SenseBarrier,
+    /// One deposit slot per rank. Each slot is only written by its
+    /// owner between the deposit and read barriers, so the UnsafeCell
+    /// access pattern is race-free.
+    slots: Vec<SlotCell>,
+    total_allreduces: AtomicU64,
+}
+
+/// A cache-line padded, interior-mutable deposit slot.
+#[repr(align(64))]
+struct SlotCell(std::cell::UnsafeCell<Vec<f64>>);
+
+// SAFETY: slot i is written only by rank i, and reads happen strictly
+// between the two barriers that bracket every write window.
+unsafe impl Sync for SlotCell {}
+
+/// Factory for a group of `n` thread-backed communicator handles.
+pub struct ThreadCommGroup {
+    shared: Arc<Shared>,
+    next_rank: usize,
+    size: usize,
+}
+
+impl ThreadCommGroup {
+    /// Creates a group for `n` ranks with reduce payloads up to
+    /// `max_len` doubles.
+    pub fn new(n: usize, max_len: usize) -> Self {
+        assert!(n >= 1);
+        let shared = Arc::new(Shared {
+            barrier: SenseBarrier::new(n),
+            slots: (0..n)
+                .map(|_| SlotCell(std::cell::UnsafeCell::new(vec![0.0; max_len])))
+                .collect(),
+            total_allreduces: AtomicU64::new(0),
+        });
+        ThreadCommGroup {
+            shared,
+            next_rank: 0,
+            size: n,
+        }
+    }
+
+    /// Takes the next rank's handle. Call exactly `n` times and move
+    /// each handle into its thread.
+    pub fn take(&mut self) -> ThreadComm {
+        assert!(self.next_rank < self.size, "all ranks already taken");
+        let rank = self.next_rank;
+        self.next_rank += 1;
+        ThreadComm {
+            shared: Arc::clone(&self.shared),
+            rank,
+            size: self.size,
+            token: BarrierToken::new(),
+            stats: CommStats::default(),
+        }
+    }
+
+    /// Total AllReduce operations across the group's lifetime.
+    pub fn total_allreduces(&self) -> u64 {
+        self.shared.total_allreduces.load(Ordering::Relaxed)
+    }
+}
+
+/// One rank's handle to a [`ThreadCommGroup`].
+pub struct ThreadComm {
+    shared: Arc<Shared>,
+    rank: usize,
+    size: usize,
+    token: BarrierToken,
+    stats: CommStats,
+}
+
+impl Comm for ThreadComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn allreduce_sum(&mut self, buf: &mut [f64]) {
+        let len = buf.len();
+        // Deposit into our slot.
+        {
+            // SAFETY: only rank `self.rank` writes slot `self.rank`,
+            // and no rank reads it until after the barrier below.
+            let slot = unsafe { &mut *self.shared.slots[self.rank].0.get() };
+            assert!(len <= slot.len(), "allreduce payload exceeds max_len");
+            slot[..len].copy_from_slice(buf);
+        }
+        self.shared.barrier.wait(&mut self.token);
+        // Every rank sums the slots in rank order: deterministic and
+        // identical everywhere.
+        buf.fill(0.0);
+        for r in 0..self.size {
+            // SAFETY: between the two barriers all slots are read-only.
+            let slot = unsafe { &*self.shared.slots[r].0.get() };
+            for (o, &v) in buf.iter_mut().zip(&slot[..len]) {
+                *o += v;
+            }
+        }
+        self.shared.barrier.wait(&mut self.token);
+        self.stats.allreduces += 1;
+        self.stats.bytes += (len * 8) as u64;
+        if self.rank == 0 {
+            self.shared.total_allreduces.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn barrier(&mut self) {
+        self.shared.barrier.wait(&mut self.token);
+        self.stats.barriers += 1;
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_comm_is_identity() {
+        let mut c = SelfComm::new();
+        let mut buf = [1.5, -2.0];
+        c.allreduce_sum(&mut buf);
+        assert_eq!(buf, [1.5, -2.0]);
+        assert_eq!(c.stats().allreduces, 1);
+        assert_eq!(c.stats().bytes, 16);
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        const N: usize = 6;
+        let mut group = ThreadCommGroup::new(N, 4);
+        let handles: Vec<_> = (0..N)
+            .map(|_| group.take())
+            .map(|mut comm| {
+                std::thread::spawn(move || {
+                    let r = comm.rank() as f64;
+                    let mut buf = [r, 2.0 * r, 1.0];
+                    comm.allreduce_sum(&mut buf);
+                    buf
+                })
+            })
+            .collect();
+        let expect_r: f64 = (0..N).map(|r| r as f64).sum();
+        for h in handles {
+            let buf = h.join().unwrap();
+            assert_eq!(buf[0], expect_r);
+            assert_eq!(buf[1], 2.0 * expect_r);
+            assert_eq!(buf[2], N as f64);
+        }
+        assert_eq!(group.total_allreduces(), 1);
+    }
+
+    #[test]
+    fn repeated_allreduces_stay_consistent() {
+        const N: usize = 4;
+        const ROUNDS: usize = 500;
+        let mut group = ThreadCommGroup::new(N, 1);
+        let handles: Vec<_> = (0..N)
+            .map(|_| group.take())
+            .map(|mut comm| {
+                std::thread::spawn(move || {
+                    let mut acc = 0.0;
+                    for round in 0..ROUNDS {
+                        let mut buf = [comm.rank() as f64 + round as f64];
+                        comm.allreduce_sum(&mut buf);
+                        acc += buf[0];
+                    }
+                    acc
+                })
+            })
+            .collect();
+        let results: Vec<f64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1], "ranks disagree");
+        }
+        assert_eq!(group.total_allreduces(), ROUNDS as u64);
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let mut group = ThreadCommGroup::new(1, 8);
+        let mut c = group.take();
+        let mut buf = [0.0; 5];
+        c.allreduce_sum(&mut buf);
+        c.allreduce_sum(&mut buf);
+        c.barrier();
+        let s = c.stats();
+        assert_eq!(s.allreduces, 2);
+        assert_eq!(s.bytes, 80);
+        assert_eq!(s.barriers, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "all ranks already taken")]
+    fn overtaking_rejected() {
+        let mut group = ThreadCommGroup::new(1, 1);
+        let _a = group.take();
+        let _b = group.take();
+    }
+}

@@ -1,0 +1,349 @@
+//! The fork-join (RAxML-Light PThreads) scheme.
+//!
+//! A single master runs the search; persistent worker threads each own
+//! a [`LikelihoodEngine`] over one contiguous slice of the alignment
+//! patterns. Every likelihood operation becomes a parallel region:
+//! the master broadcasts a job, the workers compute their partial
+//! results, and the master reduces the replies — "master and worker
+//! processes have to communicate at least twice per parallel
+//! region/kernel" (§V-D), which is exactly the synchronization cost
+//! `micsim` charges this scheme.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use phylo_bio::CompressedAlignment;
+use phylo_models::GtrParams;
+use phylo_search::Evaluator;
+use phylo_tree::{EdgeId, Tree};
+use plf_core::{EngineConfig, KernelStats, LikelihoodEngine};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Splits `n` items into `k` contiguous, balanced ranges.
+pub fn split_ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(k >= 1);
+    (0..k)
+        .map(|i| (i * n / k)..((i + 1) * n / k))
+        .collect()
+}
+
+enum Job {
+    Eval(Arc<Tree>, EdgeId),
+    Prepare(Arc<Tree>, EdgeId),
+    Derivatives(f64),
+    SetAlpha(f64),
+    SetModel(GtrParams),
+    TakeStats,
+    Shutdown,
+}
+
+enum Reply {
+    Scalar(f64),
+    Pair(f64, f64),
+    Stats(Box<KernelStats>),
+    Done,
+}
+
+struct Worker {
+    jobs: Sender<Job>,
+    replies: Receiver<Reply>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Master handle of the fork-join scheme; implements
+/// [`phylo_search::Evaluator`] so the unmodified search drives it.
+pub struct ForkJoinEvaluator {
+    workers: Vec<Worker>,
+    alpha: f64,
+    params: GtrParams,
+    /// Parallel regions dispatched (each costs one fork + one join
+    /// synchronization).
+    regions: u64,
+}
+
+impl ForkJoinEvaluator {
+    /// Spawns `num_workers` workers over balanced pattern slices.
+    pub fn new(
+        tree: &Tree,
+        aln: &CompressedAlignment,
+        config: EngineConfig,
+        num_workers: usize,
+    ) -> Self {
+        assert!(num_workers >= 1);
+        let ranges = split_ranges(aln.num_patterns(), num_workers);
+        let workers = ranges
+            .into_iter()
+            .map(|range| {
+                let (job_tx, job_rx) = bounded::<Job>(1);
+                let (reply_tx, reply_rx) = bounded::<Reply>(1);
+                let mut engine = LikelihoodEngine::with_range(tree, aln, config, range);
+                let handle = std::thread::spawn(move || {
+                    while let Ok(job) = job_rx.recv() {
+                        let reply = match job {
+                            Job::Eval(tree, edge) => {
+                                Reply::Scalar(engine.log_likelihood(&tree, edge))
+                            }
+                            Job::Prepare(tree, edge) => {
+                                engine.prepare_branch(&tree, edge);
+                                Reply::Done
+                            }
+                            Job::Derivatives(t) => {
+                                let (d1, d2) = engine.branch_derivatives(t);
+                                Reply::Pair(d1, d2)
+                            }
+                            Job::SetAlpha(a) => {
+                                engine.set_alpha(a);
+                                Reply::Done
+                            }
+                            Job::SetModel(p) => {
+                                engine.set_model(p);
+                                Reply::Done
+                            }
+                            Job::TakeStats => {
+                                let s = engine.stats().clone();
+                                engine.reset_stats();
+                                Reply::Stats(Box::new(s))
+                            }
+                            Job::Shutdown => break,
+                        };
+                        reply_tx.send(reply).expect("master alive");
+                    }
+                });
+                Worker {
+                    jobs: job_tx,
+                    replies: reply_rx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        ForkJoinEvaluator {
+            workers,
+            alpha: config.alpha,
+            params: GtrParams {
+                rates: [1.0; 6],
+                freqs: aln.empirical_frequencies(),
+            },
+            regions: 0,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Parallel regions dispatched so far.
+    pub fn regions(&self) -> u64 {
+        self.regions
+    }
+
+    fn broadcast(&mut self, make: impl Fn() -> Job) -> Vec<Reply> {
+        self.regions += 1;
+        for w in &self.workers {
+            w.jobs.send(make()).expect("worker alive");
+        }
+        self.workers
+            .iter()
+            .map(|w| w.replies.recv().expect("worker alive"))
+            .collect()
+    }
+
+    /// Collects and resets per-worker kernel statistics, merged.
+    pub fn take_stats(&mut self) -> KernelStats {
+        let mut total = KernelStats::new();
+        for r in self.broadcast(|| Job::TakeStats) {
+            match r {
+                Reply::Stats(s) => total.merge(&s),
+                _ => unreachable!("stats job returns stats"),
+            }
+        }
+        total
+    }
+}
+
+impl Evaluator for ForkJoinEvaluator {
+    fn log_likelihood(&mut self, tree: &Tree, root_edge: EdgeId) -> f64 {
+        let snapshot = Arc::new(tree.clone());
+        self.broadcast(|| Job::Eval(Arc::clone(&snapshot), root_edge))
+            .into_iter()
+            .map(|r| match r {
+                Reply::Scalar(x) => x,
+                _ => unreachable!("eval returns scalar"),
+            })
+            .sum()
+    }
+
+    fn prepare_branch(&mut self, tree: &Tree, edge: EdgeId) {
+        let snapshot = Arc::new(tree.clone());
+        self.broadcast(|| Job::Prepare(Arc::clone(&snapshot), edge));
+    }
+
+    fn branch_derivatives(&mut self, t: f64) -> (f64, f64) {
+        let mut d1 = 0.0;
+        let mut d2 = 0.0;
+        for r in self.broadcast(|| Job::Derivatives(t)) {
+            match r {
+                Reply::Pair(a, b) => {
+                    d1 += a;
+                    d2 += b;
+                }
+                _ => unreachable!("derivatives return a pair"),
+            }
+        }
+        (d1, d2)
+    }
+
+    fn set_alpha(&mut self, alpha: f64) {
+        self.alpha = alpha;
+        self.broadcast(|| Job::SetAlpha(alpha));
+    }
+
+    fn set_model(&mut self, params: GtrParams) {
+        self.params = params;
+        self.broadcast(|| Job::SetModel(params));
+    }
+
+    fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    fn model(&self) -> GtrParams {
+        self.params
+    }
+}
+
+impl Drop for ForkJoinEvaluator {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let _ = w.jobs.send(Job::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_models::{DiscreteGamma, Gtr};
+    use phylo_tree::build::{default_names, random_tree};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn dataset() -> (Tree, CompressedAlignment) {
+        let mut rng = SmallRng::seed_from_u64(60);
+        let names = default_names(9);
+        let tree = random_tree(&names, 0.15, &mut rng).unwrap();
+        let g = Gtr::new(GtrParams::jc69());
+        let gamma = DiscreteGamma::new(0.9);
+        let aln = phylo_seqgen::simulate_alignment(&tree, g.eigen(), &gamma, 700, &mut rng);
+        (tree, CompressedAlignment::from_alignment(&aln))
+    }
+
+    #[test]
+    fn split_ranges_cover_everything() {
+        for (n, k) in [(10, 3), (7, 7), (100, 8), (5, 1), (3, 5)] {
+            let ranges = split_ranges(n, k);
+            assert_eq!(ranges.len(), k);
+            let total: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(total, n);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges[k - 1].end, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_single_engine_likelihood() {
+        let (tree, aln) = dataset();
+        let cfg = EngineConfig::default();
+        let mut single = LikelihoodEngine::new(&tree, &aln, cfg);
+        for workers in [1, 2, 4] {
+            let mut fj = ForkJoinEvaluator::new(&tree, &aln, cfg, workers);
+            for e in [0usize, 3, 7] {
+                let a = single.log_likelihood(&tree, e);
+                let b = fj.log_likelihood(&tree, e);
+                assert!((a - b).abs() < 1e-9, "workers={workers} edge={e}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_single_engine_derivatives() {
+        let (tree, aln) = dataset();
+        let cfg = EngineConfig::default();
+        let mut single = LikelihoodEngine::new(&tree, &aln, cfg);
+        let mut fj = ForkJoinEvaluator::new(&tree, &aln, cfg, 3);
+        for e in [1usize, 5] {
+            Evaluator::prepare_branch(&mut single, &tree, e);
+            fj.prepare_branch(&tree, e);
+            let t = tree.length(e);
+            let (a1, a2) = Evaluator::branch_derivatives(&mut single, t);
+            let (b1, b2) = fj.branch_derivatives(t);
+            assert!((a1 - b1).abs() < 1e-8, "{a1} vs {b1}");
+            assert!((a2 - b2).abs() < 1e-8, "{a2} vs {b2}");
+        }
+    }
+
+    #[test]
+    fn model_updates_propagate() {
+        let (tree, aln) = dataset();
+        let cfg = EngineConfig::default();
+        let mut fj = ForkJoinEvaluator::new(&tree, &aln, cfg, 2);
+        let l1 = fj.log_likelihood(&tree, 0);
+        fj.set_alpha(0.2);
+        let l2 = fj.log_likelihood(&tree, 0);
+        assert!((l1 - l2).abs() > 1e-6, "alpha change must shift likelihood");
+        assert_eq!(fj.alpha(), 0.2);
+    }
+
+    #[test]
+    fn stats_account_all_workers() {
+        let (tree, aln) = dataset();
+        let mut fj = ForkJoinEvaluator::new(&tree, &aln, EngineConfig::default(), 4);
+        fj.log_likelihood(&tree, 0);
+        let stats = fj.take_stats();
+        // All pattern-sites processed exactly once per newview level:
+        // total evaluate sites equals the full pattern count.
+        assert_eq!(
+            stats.get(plf_core::KernelId::Evaluate).sites as usize,
+            aln.num_patterns()
+        );
+        assert_eq!(stats.get(plf_core::KernelId::Evaluate).calls, 4);
+        // Regions: eval + stats = 2 so far.
+        assert_eq!(fj.regions(), 2);
+    }
+
+    #[test]
+    fn full_search_under_forkjoin_matches_serial() {
+        let (tree0, aln) = dataset();
+        let names = tree0.tip_names().to_vec();
+        let start = random_tree(&names, 0.1, &mut SmallRng::seed_from_u64(2)).unwrap();
+        let cfg = EngineConfig::default();
+        let search = phylo_search::MlSearch::new(phylo_search::SearchConfig {
+            max_rounds: 3,
+            optimize_model: false,
+            ..Default::default()
+        });
+
+        let mut t_serial = start.clone();
+        let mut serial = LikelihoodEngine::new(&t_serial, &aln, cfg);
+        let r_serial = search.run(&mut serial, &mut t_serial);
+
+        let mut t_fj = start.clone();
+        let mut fj = ForkJoinEvaluator::new(&t_fj, &aln, cfg, 3);
+        let r_fj = search.run(&mut fj, &mut t_fj);
+
+        assert_eq!(t_serial.rf_distance(&t_fj), 0);
+        assert!(
+            (r_serial.log_likelihood - r_fj.log_likelihood).abs() < 1e-7,
+            "{} vs {}",
+            r_serial.log_likelihood,
+            r_fj.log_likelihood
+        );
+    }
+}

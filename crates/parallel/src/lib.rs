@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! Parallelization schemes for the PLF.
+//!
+//! The paper contrasts two schemes (§V-C/§V-D):
+//!
+//! * **fork-join** (RAxML-Light, PThreads): one master runs the tree
+//!   search; persistent workers each own a slice of the alignment and
+//!   execute kernel jobs on demand, with two synchronizations per
+//!   parallel region. Implemented in [`forkjoin`].
+//! * **replicated search** (ExaML, MPI): every rank runs its own
+//!   consistent copy of the search algorithm over its alignment slice
+//!   and communicates only where information must be exchanged — tiny
+//!   `AllReduce`s after `evaluate` and the derivative kernels.
+//!   Implemented in [`replicated`] over the MPI-like [`comm::Comm`]
+//!   abstraction.
+//!
+//! Both schemes implement `phylo_search::Evaluator`, so the identical
+//! search code runs under either — the property that lets the paper
+//! reuse one code base across PThreads, MPI, and hybrid MPI/OpenMP
+//! configurations.
+//!
+//! Communication statistics (AllReduce counts and payload bytes) are
+//! recorded by the communicator; `micsim` prices them with the paper's
+//! measured latencies (20 µs MIC–MIC over PCIe, 5 µs InfiniBand,
+//! §VI-B3).
+
+pub mod balance;
+pub mod barrier;
+pub mod comm;
+pub mod forkjoin;
+pub mod replicated;
+
+pub use barrier::SenseBarrier;
+pub use comm::{Comm, CommStats, SelfComm, ThreadCommGroup};
+pub use forkjoin::ForkJoinEvaluator;
+pub use replicated::{run_replicated, ReplicatedEvaluator, ReplicatedOutcome};

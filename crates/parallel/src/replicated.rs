@@ -1,0 +1,228 @@
+//! The replicated-search (ExaML) scheme.
+//!
+//! "Each process runs its own consistent (with all other processes)
+//! copy of the tree search algorithm, and they only communicate if
+//! information needs to be exchanged" (§V-D). Every rank owns an
+//! alignment slice and a full copy of the tree; the only communication
+//! is a tiny AllReduce inside `log_likelihood` (1 double) and
+//! `branch_derivatives` (2 doubles). Because the communicator's
+//! reductions are deterministic, all ranks take bit-identical search
+//! decisions and stay in lockstep without any coordination messages.
+
+use crate::comm::{Comm, CommStats, ThreadCommGroup};
+use phylo_bio::CompressedAlignment;
+use phylo_models::GtrParams;
+use phylo_search::{Evaluator, MlSearch, SearchResult};
+use phylo_tree::{EdgeId, Tree};
+use plf_core::{EngineConfig, KernelStats, LikelihoodEngine};
+
+/// An ExaML-style rank: a local engine plus a communicator. Implements
+/// [`Evaluator`]; reductions happen transparently inside.
+pub struct ReplicatedEvaluator<C: Comm> {
+    engine: LikelihoodEngine,
+    comm: C,
+}
+
+impl<C: Comm> ReplicatedEvaluator<C> {
+    /// Wraps a rank-local engine and its communicator handle.
+    pub fn new(engine: LikelihoodEngine, comm: C) -> Self {
+        ReplicatedEvaluator { engine, comm }
+    }
+
+    /// The rank-local engine (for stats collection).
+    pub fn engine(&self) -> &LikelihoodEngine {
+        &self.engine
+    }
+
+    /// Communicator statistics of this rank.
+    pub fn comm_stats(&self) -> CommStats {
+        self.comm.stats()
+    }
+
+    /// Consumes the evaluator, returning its parts.
+    pub fn into_parts(self) -> (LikelihoodEngine, C) {
+        (self.engine, self.comm)
+    }
+}
+
+impl<C: Comm> Evaluator for ReplicatedEvaluator<C> {
+    fn log_likelihood(&mut self, tree: &Tree, root_edge: EdgeId) -> f64 {
+        let mut buf = [self.engine.log_likelihood(tree, root_edge)];
+        self.comm.allreduce_sum(&mut buf);
+        buf[0]
+    }
+
+    fn prepare_branch(&mut self, tree: &Tree, edge: EdgeId) {
+        // Purely local: the sumtable is a per-slice object.
+        self.engine.prepare_branch(tree, edge);
+    }
+
+    fn branch_derivatives(&mut self, t: f64) -> (f64, f64) {
+        let (d1, d2) = self.engine.branch_derivatives(t);
+        let mut buf = [d1, d2];
+        self.comm.allreduce_sum(&mut buf);
+        (buf[0], buf[1])
+    }
+
+    fn set_alpha(&mut self, alpha: f64) {
+        // Every rank executes the same deterministic search, so the
+        // argument is already identical everywhere — no broadcast.
+        self.engine.set_alpha(alpha);
+    }
+
+    fn set_model(&mut self, params: GtrParams) {
+        self.engine.set_model(params);
+    }
+
+    fn alpha(&self) -> f64 {
+        self.engine.alpha()
+    }
+
+    fn model(&self) -> GtrParams {
+        *self.engine.model()
+    }
+}
+
+/// Result of a replicated run.
+#[derive(Clone, Debug)]
+pub struct ReplicatedOutcome {
+    /// Search result from rank 0 (identical on all ranks).
+    pub result: SearchResult,
+    /// Per-rank final log-likelihoods (must all agree; exposed so
+    /// tests can assert lockstep).
+    pub rank_likelihoods: Vec<f64>,
+    /// Kernel statistics merged over all ranks.
+    pub kernel_stats: KernelStats,
+    /// Communication statistics of rank 0.
+    pub comm_stats: CommStats,
+}
+
+/// Runs the full ML search under the replicated scheme with
+/// `num_ranks` threads, starting from `tree`.
+pub fn run_replicated(
+    tree: &Tree,
+    aln: &CompressedAlignment,
+    config: EngineConfig,
+    search: MlSearch,
+    num_ranks: usize,
+) -> ReplicatedOutcome {
+    assert!(num_ranks >= 1);
+    let ranges = crate::forkjoin::split_ranges(aln.num_patterns(), num_ranks);
+    let mut group = ThreadCommGroup::new(num_ranks, 8);
+
+    let outcomes: Vec<(SearchResult, f64, KernelStats, CommStats)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| {
+                    let comm = group.take();
+                    let mut local_tree = tree.clone();
+                    scope.spawn(move || {
+                        let engine = LikelihoodEngine::with_range(&local_tree, aln, config, range);
+                        let mut eval = ReplicatedEvaluator::new(engine, comm);
+                        let result = search.run(&mut eval, &mut local_tree);
+                        let final_ll = eval.log_likelihood(&local_tree, 0);
+                        let comm_stats = eval.comm_stats();
+                        let (engine, _) = eval.into_parts();
+                        (result, final_ll, engine.stats().clone(), comm_stats)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+    let mut kernel_stats = KernelStats::new();
+    for (_, _, s, _) in &outcomes {
+        kernel_stats.merge(s);
+    }
+    let rank_likelihoods: Vec<f64> = outcomes.iter().map(|o| o.1).collect();
+    let comm_stats = outcomes[0].3;
+    let result = outcomes.into_iter().next().expect("≥1 rank").0;
+
+    ReplicatedOutcome {
+        result,
+        rank_likelihoods,
+        kernel_stats,
+        comm_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_models::{DiscreteGamma, Gtr};
+    use phylo_search::SearchConfig;
+    use phylo_tree::build::{default_names, random_tree};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn dataset() -> (Tree, CompressedAlignment) {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let names = default_names(8);
+        let tree = random_tree(&names, 0.12, &mut rng).unwrap();
+        let g = Gtr::new(GtrParams::jc69());
+        let gamma = DiscreteGamma::new(1.1);
+        let aln = phylo_seqgen::simulate_alignment(&tree, g.eigen(), &gamma, 900, &mut rng);
+        (tree, CompressedAlignment::from_alignment(&aln))
+    }
+
+    #[test]
+    fn replicated_equals_serial_search() {
+        let (tree0, aln) = dataset();
+        let names = tree0.tip_names().to_vec();
+        let start = random_tree(&names, 0.1, &mut SmallRng::seed_from_u64(6)).unwrap();
+        let cfg = EngineConfig::default();
+        let search = MlSearch::new(SearchConfig {
+            max_rounds: 3,
+            optimize_model: false,
+            ..Default::default()
+        });
+
+        let mut t_serial = start.clone();
+        let mut serial = LikelihoodEngine::new(&t_serial, &aln, cfg);
+        let r_serial = search.run(&mut serial, &mut t_serial);
+
+        for ranks in [1usize, 2, 5] {
+            let out = run_replicated(&start, &aln, cfg, search, ranks);
+            assert!(
+                (out.result.log_likelihood - r_serial.log_likelihood).abs() < 1e-7,
+                "ranks={ranks}: {} vs {}",
+                out.result.log_likelihood,
+                r_serial.log_likelihood
+            );
+            let parsed = phylo_tree::newick::parse(&out.result.newick).unwrap();
+            assert_eq!(parsed.rf_distance(&t_serial), 0, "ranks={ranks}");
+        }
+    }
+
+    #[test]
+    fn all_ranks_in_lockstep() {
+        let (tree, aln) = dataset();
+        let cfg = EngineConfig::default();
+        let search = MlSearch::new(SearchConfig {
+            max_rounds: 2,
+            optimize_model: true,
+            ..Default::default()
+        });
+        let out = run_replicated(&tree, &aln, cfg, search, 4);
+        for w in out.rank_likelihoods.windows(2) {
+            assert_eq!(w[0], w[1], "ranks diverged: {:?}", out.rank_likelihoods);
+        }
+        assert!(out.comm_stats.allreduces > 0);
+    }
+
+    #[test]
+    fn communication_is_tiny_per_operation() {
+        // The ExaML signature: bytes per allreduce is 8 or 16.
+        let (tree, aln) = dataset();
+        let cfg = EngineConfig::default();
+        let search = MlSearch::new(SearchConfig {
+            max_rounds: 1,
+            optimize_model: false,
+            ..Default::default()
+        });
+        let out = run_replicated(&tree, &aln, cfg, search, 3);
+        let per_op = out.comm_stats.bytes as f64 / out.comm_stats.allreduces as f64;
+        assert!(per_op <= 16.0, "bytes per allreduce = {per_op}");
+    }
+}

@@ -1,0 +1,285 @@
+//! Nonparametric bootstrap support values.
+//!
+//! The standard Felsenstein bootstrap: resample alignment columns with
+//! replacement, repeat the (fast) search on each pseudo-replicate, and
+//! report for every split of the best tree the fraction of replicates
+//! containing it. With pattern-compressed data, resampling is a
+//! multinomial redraw of the pattern *weights* — no sequence data
+//! moves, which is also how RAxML implements it.
+
+use crate::{MlSearch, SearchConfig};
+use phylo_bio::CompressedAlignment;
+use phylo_tree::consensus::split_frequencies;
+use phylo_tree::Tree;
+use plf_core::{EngineConfig, LikelihoodEngine};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Bootstrap run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BootstrapConfig {
+    /// Number of pseudo-replicates.
+    pub replicates: usize,
+    /// Search effort per replicate (bootstrap searches are
+    /// conventionally faster/shallower than the primary search).
+    pub search: SearchConfig,
+    /// Engine options per replicate.
+    pub engine: EngineConfig,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> Self {
+        BootstrapConfig {
+            replicates: 20,
+            search: SearchConfig {
+                max_rounds: 3,
+                optimize_model: false,
+                smoothing_passes: 4,
+                ..Default::default()
+            },
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// Result of a bootstrap analysis.
+#[derive(Clone, Debug)]
+pub struct BootstrapResult {
+    /// Split → fraction of replicates containing it.
+    pub split_frequencies: HashMap<Vec<String>, f64>,
+    /// The replicate trees (for consensus building).
+    pub trees: Vec<Tree>,
+}
+
+impl BootstrapResult {
+    /// Support of a split in percent (0 when never seen).
+    pub fn support_percent(&self, split: &[String]) -> f64 {
+        100.0 * self.split_frequencies.get(split).copied().unwrap_or(0.0)
+    }
+}
+
+/// Draws one bootstrap weight vector: a multinomial redistribution of
+/// the original `total` sites over the patterns, proportional to their
+/// original weights.
+pub fn bootstrap_weights<R: Rng>(weights: &[u32], rng: &mut R) -> Vec<u32> {
+    let total: u64 = weights.iter().map(|&w| w as u64).sum();
+    // Inverse-CDF sampling over the cumulative weights.
+    let cum: Vec<u64> = weights
+        .iter()
+        .scan(0u64, |acc, &w| {
+            *acc += w as u64;
+            Some(*acc)
+        })
+        .collect();
+    let mut out = vec![0u32; weights.len()];
+    for _ in 0..total {
+        let x = rng.random_range(0..total);
+        let idx = cum.partition_point(|&c| c <= x);
+        out[idx] += 1;
+    }
+    out
+}
+
+/// Replaces an alignment's pattern weights (same patterns, resampled
+/// multiplicities).
+fn with_weights(aln: &CompressedAlignment, weights: Vec<u32>) -> CompressedAlignment {
+    CompressedAlignment::from_parts(
+        aln.names().to_vec(),
+        (0..aln.num_taxa()).map(|t| aln.row(t).to_vec()).collect(),
+        weights,
+    )
+    .expect("same shape as the source alignment")
+}
+
+/// Runs `config.replicates` bootstrap searches from `start_tree` and
+/// collects split frequencies.
+pub fn run_bootstrap<R: Rng>(
+    aln: &CompressedAlignment,
+    start_tree: &Tree,
+    config: BootstrapConfig,
+    rng: &mut R,
+) -> BootstrapResult {
+    assert!(config.replicates > 0);
+    let search = MlSearch::new(config.search);
+    let mut trees = Vec::with_capacity(config.replicates);
+    for _ in 0..config.replicates {
+        let weights = bootstrap_weights(aln.weights(), rng);
+        let replicate = with_weights(aln, weights);
+        let mut tree = start_tree.clone();
+        let mut engine = LikelihoodEngine::new(&tree, &replicate, config.engine);
+        let _ = search.run(&mut engine, &mut tree);
+        trees.push(tree);
+    }
+    BootstrapResult {
+        split_frequencies: split_frequencies(&trees),
+        trees,
+    }
+}
+
+/// Annotates a Newick string with bootstrap support values as inner
+/// labels (the format RAxML writes): `(A,B)87:0.1` means the AB split
+/// appeared in 87 % of replicates.
+pub fn annotate_newick(tree: &Tree, result: &BootstrapResult) -> String {
+    // Render with supports: reuse the writer but inject labels.
+    // Simplest correct approach: rebuild the newick manually here.
+    fn write_subtree(
+        tree: &Tree,
+        node: usize,
+        in_edge: usize,
+        result: &BootstrapResult,
+        out: &mut String,
+    ) {
+        if tree.is_tip(node) {
+            out.push_str(tree.tip_name(node));
+        } else {
+            out.push('(');
+            let mut first = true;
+            for (e, child) in tree.neighbors(node) {
+                if e == in_edge {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                write_subtree(tree, child, e, result, out);
+            }
+            out.push(')');
+            // Support label for the split this edge induces.
+            let (a, b) = tree.endpoints(in_edge);
+            if !tree.is_tip(a) && !tree.is_tip(b) {
+                let side = {
+                    let mut names: Vec<String> = tree
+                        .tips_behind(in_edge, node)
+                        .into_iter()
+                        .map(|t| tree.tip_name(t).to_string())
+                        .collect();
+                    names.sort();
+                    let mut comp: Vec<String> = tree
+                        .tip_names()
+                        .iter()
+                        .filter(|n| !names.contains(n))
+                        .cloned()
+                        .collect();
+                    comp.sort();
+                    if names < comp {
+                        names
+                    } else {
+                        comp
+                    }
+                };
+                let support = result.support_percent(&side).round() as u32;
+                out.push_str(&support.to_string());
+            }
+        }
+        out.push(':');
+        out.push_str(&format!("{}", tree.length(in_edge)));
+    }
+
+    let anchor = tree.other_end(tree.incident(0)[0], 0);
+    let mut out = String::new();
+    out.push('(');
+    let mut first = true;
+    for (e, child) in tree.neighbors(anchor) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        write_subtree(tree, child, e, result, &mut out);
+    }
+    out.push_str(");");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_models::{DiscreteGamma, Gtr, GtrParams};
+    use phylo_tree::build::{default_names, random_tree};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bootstrap_weights_preserve_total() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let weights = vec![3u32, 1, 7, 2, 10];
+        for _ in 0..10 {
+            let b = bootstrap_weights(&weights, &mut rng);
+            assert_eq!(
+                b.iter().map(|&w| w as u64).sum::<u64>(),
+                weights.iter().map(|&w| w as u64).sum::<u64>()
+            );
+            assert_eq!(b.len(), weights.len());
+        }
+    }
+
+    #[test]
+    fn bootstrap_weights_follow_multiplicities() {
+        // A pattern with 90% of the mass keeps roughly 90% after
+        // resampling.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let weights = vec![900u32, 50, 50];
+        let mut acc = [0u64; 3];
+        for _ in 0..20 {
+            let b = bootstrap_weights(&weights, &mut rng);
+            for (i, &w) in b.iter().enumerate() {
+                acc[i] += w as u64;
+            }
+        }
+        let total: u64 = acc.iter().sum();
+        let frac = acc[0] as f64 / total as f64;
+        assert!((0.85..0.95).contains(&frac), "heavy pattern fraction {frac}");
+    }
+
+    #[test]
+    fn strong_signal_gets_high_support() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let names = default_names(6);
+        let truth = random_tree(&names, 0.12, &mut rng).unwrap();
+        let g = Gtr::new(GtrParams::jc69());
+        let gamma = DiscreteGamma::new(5.0);
+        let sim = phylo_seqgen::simulate_alignment(&truth, g.eigen(), &gamma, 3000, &mut rng);
+        let aln = phylo_bio::CompressedAlignment::from_alignment(&sim);
+        let start = random_tree(&names, 0.1, &mut SmallRng::seed_from_u64(8)).unwrap();
+        let result = run_bootstrap(
+            &aln,
+            &start,
+            BootstrapConfig {
+                replicates: 8,
+                ..Default::default()
+            },
+            &mut SmallRng::seed_from_u64(9),
+        );
+        assert_eq!(result.trees.len(), 8);
+        // Clean data: every true split appears in most replicates.
+        for split in truth.splits() {
+            let s = result.support_percent(&split);
+            assert!(s >= 75.0, "split {split:?} support {s}%");
+        }
+    }
+
+    #[test]
+    fn annotated_newick_parses_and_matches_topology() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        let names = default_names(6);
+        let truth = random_tree(&names, 0.12, &mut rng).unwrap();
+        let g = Gtr::new(GtrParams::jc69());
+        let gamma = DiscreteGamma::new(5.0);
+        let sim = phylo_seqgen::simulate_alignment(&truth, g.eigen(), &gamma, 1000, &mut rng);
+        let aln = phylo_bio::CompressedAlignment::from_alignment(&sim);
+        let result = run_bootstrap(
+            &aln,
+            &truth,
+            BootstrapConfig {
+                replicates: 3,
+                ..Default::default()
+            },
+            &mut SmallRng::seed_from_u64(2),
+        );
+        let annotated = annotate_newick(&truth, &result);
+        // Inner labels must not break parsing, and the topology
+        // round-trips.
+        let parsed = phylo_tree::newick::parse(&annotated).unwrap();
+        assert_eq!(parsed.rf_distance(&truth), 0);
+    }
+}

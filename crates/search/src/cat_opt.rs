@@ -1,0 +1,227 @@
+//! Per-site rate estimation for the CAT model (Stamatakis 2006).
+//!
+//! The CAT procedure: for each site, find the evolutionary rate that
+//! maximizes that site's likelihood on the current tree (scanned over
+//! a log-spaced candidate grid), then cluster the per-site optima into
+//! a small number of categories and normalize so the weighted mean
+//! rate is 1. This is the estimation half of the §VII "CAT model"
+//! future-work item; the evaluation half is `plf_core::cat`.
+
+use phylo_models::{CatRates, Eigensystem};
+use phylo_tree::Tree;
+use plf_core::cat::CatEngine;
+
+/// Configuration of the CAT estimation procedure.
+#[derive(Clone, Copy, Debug)]
+pub struct CatEstimateConfig {
+    /// Number of candidate rates scanned per site.
+    pub grid_size: usize,
+    /// Smallest candidate rate.
+    pub rate_min: f64,
+    /// Largest candidate rate.
+    pub rate_max: f64,
+    /// Number of final categories (RAxML default: 25).
+    pub categories: usize,
+}
+
+impl Default for CatEstimateConfig {
+    fn default() -> Self {
+        CatEstimateConfig {
+            grid_size: 16,
+            rate_min: 0.05,
+            rate_max: 8.0,
+            categories: 4,
+        }
+    }
+}
+
+/// Estimates per-site CAT rates on `tree`.
+///
+/// `tips[tip_id][pattern]` are 4-bit codes in the tree's tip-id order;
+/// the returned assignment is normalized to weighted mean rate 1.
+pub fn estimate_cat_rates(
+    tree: &Tree,
+    eigen: &Eigensystem,
+    tips: &[Vec<u8>],
+    weights: &[u32],
+    config: CatEstimateConfig,
+) -> CatRates {
+    assert!(config.grid_size >= 2 && config.categories >= 1);
+    assert!(config.rate_min > 0.0 && config.rate_max > config.rate_min);
+    let n = weights.len();
+
+    // Candidate rates, log-spaced.
+    let grid: Vec<f64> = (0..config.grid_size)
+        .map(|i| {
+            let t = i as f64 / (config.grid_size - 1) as f64;
+            (config.rate_min.ln() + t * (config.rate_max / config.rate_min).ln()).exp()
+        })
+        .collect();
+
+    // For every candidate rate, evaluate all sites at that rate in one
+    // pass (a homogeneous single-category CAT engine) and keep the
+    // argmax per site.
+    let mut best_rate_idx = vec![0usize; n];
+    let mut best_ll = vec![f64::NEG_INFINITY; n];
+    for (gi, &r) in grid.iter().enumerate() {
+        let rates = CatRates::new(vec![r], vec![0; n]);
+        let mut engine = CatEngine::new(
+            tree,
+            eigen.clone(),
+            rates,
+            tips.to_vec(),
+            weights.to_vec(),
+        );
+        let site_ll = engine.site_log_likelihoods(tree, 0);
+        for i in 0..n {
+            if site_ll[i] > best_ll[i] {
+                best_ll[i] = site_ll[i];
+                best_rate_idx[i] = gi;
+            }
+        }
+    }
+
+    // Cluster: quantile-bucket the per-site optimal rates into
+    // `categories` groups and use each group's weighted geometric mean
+    // as the category rate.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| best_rate_idx[a].cmp(&best_rate_idx[b]));
+    let categories = config.categories.min(n);
+    let mut site_category = vec![0u32; n];
+    let mut cat_rates = Vec::with_capacity(categories);
+    for c in 0..categories {
+        let lo = c * n / categories;
+        let hi = ((c + 1) * n / categories).max(lo + 1).min(n);
+        let members = &order[lo..hi];
+        let mut wsum = 0.0;
+        let mut lsum = 0.0;
+        for &site in members {
+            let w = weights[site].max(1) as f64;
+            wsum += w;
+            lsum += w * grid[best_rate_idx[site]].ln();
+        }
+        cat_rates.push((lsum / wsum).exp());
+        for &site in members {
+            site_category[site] = c as u32;
+        }
+    }
+    // Merge numerically identical neighbors is unnecessary: CatRates
+    // tolerates duplicates. Normalize the weighted mean to 1.
+    let mut rates = CatRates::new(cat_rates, site_category);
+    rates.normalize(weights);
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_models::{DiscreteGamma, Gtr, GtrParams};
+    use phylo_tree::newick;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Simulates data where the first half of the sites evolve slowly
+    /// and the second half fast, returning (tree, tips, weights).
+    fn two_speed_dataset(sites_per_class: usize) -> (Tree, Vec<Vec<u8>>, Vec<u32>, Gtr) {
+        let tree =
+            newick::parse("((a:0.2,b:0.3):0.1,c:0.25,(d:0.15,e:0.35):0.2);").unwrap();
+        let gtr = Gtr::new(GtrParams::jc69());
+        let mut rng = SmallRng::seed_from_u64(42);
+        // Slow sites: shrink all branches; fast: stretch them.
+        let scale_tree = |f: f64| {
+            let mut t = tree.clone();
+            for e in 0..t.num_edges() {
+                let l = t.length(e);
+                t.set_length(e, l * f).unwrap();
+            }
+            t
+        };
+        let gamma = DiscreteGamma::new(50.0); // nearly homogeneous within class
+        let slow =
+            phylo_seqgen::simulate_states(&scale_tree(0.1), gtr.eigen(), &gamma, sites_per_class, &mut rng);
+        let fast =
+            phylo_seqgen::simulate_states(&scale_tree(3.0), gtr.eigen(), &gamma, sites_per_class, &mut rng);
+        let tips: Vec<Vec<u8>> = (0..5)
+            .map(|t| {
+                let mut row: Vec<u8> = slow[t].iter().map(|&s| 1u8 << s).collect();
+                row.extend(fast[t].iter().map(|&s| 1u8 << s));
+                row
+            })
+            .collect();
+        let weights = vec![1u32; 2 * sites_per_class];
+        (tree, tips, weights, gtr)
+    }
+
+    #[test]
+    fn recovers_two_speed_structure() {
+        let (tree, tips, weights, gtr) = two_speed_dataset(300);
+        let cats = estimate_cat_rates(
+            &tree,
+            gtr.eigen(),
+            &tips,
+            &weights,
+            CatEstimateConfig {
+                categories: 2,
+                ..Default::default()
+            },
+        );
+        // Mean estimated rate in the fast half must clearly exceed the
+        // slow half.
+        let n = weights.len();
+        let mean_rate = |range: std::ops::Range<usize>| -> f64 {
+            range.clone().map(|i| cats.site_rate(i)).sum::<f64>() / range.len() as f64
+        };
+        let slow = mean_rate(0..n / 2);
+        let fast = mean_rate(n / 2..n);
+        assert!(
+            fast > 2.0 * slow,
+            "slow mean {slow}, fast mean {fast} — classes not separated"
+        );
+        // Normalization: weighted mean rate 1.
+        let mean: f64 = (0..n).map(|i| cats.site_rate(i)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 1e-9, "mean {mean}");
+    }
+
+    #[test]
+    fn estimated_cat_beats_homogeneous_fit() {
+        let (tree, tips, weights, gtr) = two_speed_dataset(200);
+        let cats = estimate_cat_rates(&tree, gtr.eigen(), &tips, &weights, Default::default());
+        let mut cat_engine = CatEngine::new(
+            &tree,
+            gtr.eigen().clone(),
+            cats,
+            tips.clone(),
+            weights.clone(),
+        );
+        let ll_cat = cat_engine.log_likelihood(&tree, 0);
+        let mut homog = CatEngine::new(
+            &tree,
+            gtr.eigen().clone(),
+            CatRates::homogeneous(weights.len()),
+            tips,
+            weights,
+        );
+        let ll_homog = homog.log_likelihood(&tree, 0);
+        assert!(
+            ll_cat > ll_homog + 10.0,
+            "CAT {ll_cat} vs homogeneous {ll_homog}"
+        );
+    }
+
+    #[test]
+    fn single_category_degenerates_to_homogeneous() {
+        let (tree, tips, weights, gtr) = two_speed_dataset(50);
+        let cats = estimate_cat_rates(
+            &tree,
+            gtr.eigen(),
+            &tips,
+            &weights,
+            CatEstimateConfig {
+                categories: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(cats.num_categories(), 1);
+        assert!((cats.rates()[0] - 1.0).abs() < 1e-9, "normalized to 1");
+    }
+}

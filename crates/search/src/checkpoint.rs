@@ -1,0 +1,259 @@
+//! Search checkpointing and restart.
+//!
+//! RAxML-Light bills itself as "a tool for computing terabyte
+//! phylogenies": week-long searches on supercomputers survive job time
+//! limits by checkpointing. This module provides the same capability
+//! for our search driver — the complete optimizer state (topology,
+//! branch lengths, model parameters, progress counters) round-trips
+//! through a small, versioned, human-readable text format.
+//!
+//! Restarting is deterministic: resuming the same checkpoint twice
+//! yields identical results. It is *trajectory-equivalent* rather than
+//! bit-identical to the uninterrupted run — the Newick round-trip
+//! re-anchors the tree arena, which permutes the (arbitrary but
+//! trajectory-relevant) edge enumeration order, so the hill-climb may
+//! take a different path to an equally good optimum.
+
+use phylo_models::GtrParams;
+use phylo_tree::{newick, Tree, TreeError};
+
+/// A complete, restartable snapshot of an ML search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Current tree with branch lengths, as Newick.
+    pub newick: String,
+    /// Γ shape parameter.
+    pub alpha: f64,
+    /// GTR parameters.
+    pub params: GtrParams,
+    /// Completed improvement rounds.
+    pub rounds_done: usize,
+    /// Best log-likelihood so far.
+    pub log_likelihood: f64,
+    /// Cumulative SPR/NNI candidates scored.
+    pub moves_evaluated: usize,
+    /// Cumulative accepted rearrangements.
+    pub moves_accepted: usize,
+}
+
+/// Format tag; bump on breaking changes.
+const MAGIC: &str = "phylomic-checkpoint v1";
+
+impl Checkpoint {
+    /// Serializes to the versioned text format.
+    pub fn to_text(&self) -> String {
+        let r = &self.params.rates;
+        let f = &self.params.freqs;
+        format!(
+            "{MAGIC}\n\
+             tree {}\n\
+             alpha {:.17e}\n\
+             rates {:.17e} {:.17e} {:.17e} {:.17e} {:.17e} {:.17e}\n\
+             freqs {:.17e} {:.17e} {:.17e} {:.17e}\n\
+             rounds_done {}\n\
+             log_likelihood {:.17e}\n\
+             moves_evaluated {}\n\
+             moves_accepted {}\n",
+            self.newick,
+            self.alpha,
+            r[0],
+            r[1],
+            r[2],
+            r[3],
+            r[4],
+            r[5],
+            f[0],
+            f[1],
+            f[2],
+            f[3],
+            self.rounds_done,
+            self.log_likelihood,
+            self.moves_evaluated,
+            self.moves_accepted,
+        )
+    }
+
+    /// Parses the text format, validating the tree and model.
+    pub fn from_text(text: &str) -> Result<Checkpoint, String> {
+        let mut lines = text.lines();
+        let magic = lines.next().ok_or("empty checkpoint")?;
+        if magic.trim() != MAGIC {
+            return Err(format!("unrecognized checkpoint header {magic:?}"));
+        }
+        let mut newick_s = None;
+        let mut alpha = None;
+        let mut rates: Option<[f64; 6]> = None;
+        let mut freqs: Option<[f64; 4]> = None;
+        let mut rounds_done = None;
+        let mut log_likelihood = None;
+        let mut moves_evaluated = None;
+        let mut moves_accepted = None;
+
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, rest) = line.split_once(' ').ok_or_else(|| {
+                format!("malformed checkpoint line {line:?}")
+            })?;
+            let floats = |s: &str, n: usize| -> Result<Vec<f64>, String> {
+                let v: Result<Vec<f64>, _> =
+                    s.split_whitespace().map(str::parse::<f64>).collect();
+                let v = v.map_err(|e| format!("bad number in {key}: {e}"))?;
+                if v.len() != n {
+                    return Err(format!("{key}: expected {n} values, got {}", v.len()));
+                }
+                Ok(v)
+            };
+            match key {
+                "tree" => newick_s = Some(rest.to_string()),
+                "alpha" => alpha = Some(floats(rest, 1)?[0]),
+                "rates" => {
+                    let v = floats(rest, 6)?;
+                    rates = Some([v[0], v[1], v[2], v[3], v[4], v[5]]);
+                }
+                "freqs" => {
+                    let v = floats(rest, 4)?;
+                    freqs = Some([v[0], v[1], v[2], v[3]]);
+                }
+                "rounds_done" => {
+                    rounds_done =
+                        Some(rest.parse().map_err(|e| format!("rounds_done: {e}"))?)
+                }
+                "log_likelihood" => log_likelihood = Some(floats(rest, 1)?[0]),
+                "moves_evaluated" => {
+                    moves_evaluated =
+                        Some(rest.parse().map_err(|e| format!("moves_evaluated: {e}"))?)
+                }
+                "moves_accepted" => {
+                    moves_accepted =
+                        Some(rest.parse().map_err(|e| format!("moves_accepted: {e}"))?)
+                }
+                other => return Err(format!("unknown checkpoint key {other:?}")),
+            }
+        }
+
+        let cp = Checkpoint {
+            newick: newick_s.ok_or("missing tree")?,
+            alpha: alpha.ok_or("missing alpha")?,
+            params: GtrParams {
+                rates: rates.ok_or("missing rates")?,
+                freqs: freqs.ok_or("missing freqs")?,
+            },
+            rounds_done: rounds_done.ok_or("missing rounds_done")?,
+            log_likelihood: log_likelihood.ok_or("missing log_likelihood")?,
+            moves_evaluated: moves_evaluated.ok_or("missing moves_evaluated")?,
+            moves_accepted: moves_accepted.ok_or("missing moves_accepted")?,
+        };
+        cp.validate()?;
+        Ok(cp)
+    }
+
+    /// Sanity-checks the restored state.
+    pub fn validate(&self) -> Result<(), String> {
+        self.tree().map_err(|e| format!("invalid tree: {e}"))?;
+        self.params.validate()?;
+        if !(self.alpha.is_finite() && self.alpha > 0.0) {
+            return Err(format!("invalid alpha {}", self.alpha));
+        }
+        if !self.log_likelihood.is_finite() {
+            return Err("non-finite log-likelihood".into());
+        }
+        Ok(())
+    }
+
+    /// The checkpointed tree.
+    pub fn tree(&self) -> Result<Tree, TreeError> {
+        newick::parse(&self.newick)
+    }
+
+    /// Writes the checkpoint atomically (temp file + rename), the only
+    /// safe pattern when the scheduler may kill the job mid-write.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_text())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads and validates a checkpoint file.
+    pub fn load(path: &std::path::Path) -> Result<Checkpoint, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        Checkpoint::from_text(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            newick: "((a:0.1,b:0.2):0.3,c:0.05,(d:0.21,e:0.07):0.4);".into(),
+            alpha: 0.734,
+            params: GtrParams {
+                rates: [1.2, 2.8123456789, 0.9, 1.1, 3.3, 1.0],
+                freqs: [0.3, 0.2, 0.2, 0.3],
+            },
+            rounds_done: 3,
+            log_likelihood: -12345.678901234567,
+            moves_evaluated: 420,
+            moves_accepted: 7,
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_is_exact() {
+        let cp = sample();
+        let back = Checkpoint::from_text(&cp.to_text()).unwrap();
+        assert_eq!(cp, back);
+        // Float precision survives (17 significant digits).
+        assert_eq!(cp.log_likelihood.to_bits(), back.log_likelihood.to_bits());
+        assert_eq!(cp.params.rates[1].to_bits(), back.params.rates[1].to_bits());
+    }
+
+    #[test]
+    fn file_roundtrip_atomic() {
+        let dir = std::env::temp_dir().join("phylomic-cp-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run1.ckp");
+        let cp = sample();
+        cp.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(cp, back);
+        assert!(!path.with_extension("tmp").exists(), "temp file cleaned up");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_inputs_rejected() {
+        assert!(Checkpoint::from_text("").is_err());
+        assert!(Checkpoint::from_text("wrong header\n").is_err());
+        let cp = sample();
+        // Truncated: drop the last line.
+        let text = cp.to_text();
+        let truncated: String = text
+            .lines()
+            .take(text.lines().count() - 1)
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(Checkpoint::from_text(&truncated).is_err());
+        // Corrupted tree.
+        let bad = text.replace("tree (", "tree [");
+        assert!(Checkpoint::from_text(&bad).is_err());
+        // Unknown key.
+        let evil = format!("{text}surprise 1\n");
+        assert!(Checkpoint::from_text(&evil).is_err());
+        // Invalid model.
+        let bad_alpha = text.replace("alpha 7", "alpha -7");
+        assert!(Checkpoint::from_text(&bad_alpha).is_err());
+    }
+
+    #[test]
+    fn tree_restores_topology_and_lengths() {
+        let cp = sample();
+        let t = cp.tree().unwrap();
+        assert_eq!(t.num_taxa(), 5);
+        assert!((t.total_length() - 1.33).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,325 @@
+//! Bayesian MCMC sampling over trees — the PLF's other consumer.
+//!
+//! §I of the paper: probabilistic tree inference divides into Maximum
+//! Likelihood *and Bayesian* methods (MrBayes, PhyloBayes), and both
+//! spend their time in the same four kernels. This module provides a
+//! Metropolis-Hastings sampler over topology and branch lengths so the
+//! kernel stack is exercised by the second inference paradigm as well:
+//! every proposal costs one `evaluate` plus the `newview`s its change
+//! invalidates — the Bayesian workload profile.
+//!
+//! Model: uniform prior over topologies, i.i.d. Exponential(λ) prior
+//! on branch lengths. Proposals: the standard branch-length multiplier
+//! move (Hastings ratio = multiplier) and NNI topology moves
+//! (symmetric).
+
+use crate::Evaluator;
+use phylo_tree::moves::{nni_swap, NniVariant};
+use phylo_tree::tree::{BL_MAX, BL_MIN};
+use phylo_tree::Tree;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Sampler configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct McmcConfig {
+    /// Total iterations.
+    pub iterations: usize,
+    /// Iterations discarded before sampling statistics.
+    pub burnin: usize,
+    /// Record a sample every this many iterations.
+    pub sample_every: usize,
+    /// Probability of proposing a topology (NNI) move; otherwise a
+    /// branch-length move.
+    pub topology_move_prob: f64,
+    /// Tuning constant of the branch multiplier proposal
+    /// (`m = exp(λ_tune (u − ½))`).
+    pub multiplier_tuning: f64,
+    /// Rate of the Exponential branch-length prior.
+    pub branch_prior_rate: f64,
+}
+
+impl Default for McmcConfig {
+    fn default() -> Self {
+        McmcConfig {
+            iterations: 10_000,
+            burnin: 2_000,
+            sample_every: 10,
+            topology_move_prob: 0.25,
+            multiplier_tuning: 2.0 * std::f64::consts::LN_2,
+            branch_prior_rate: 10.0,
+        }
+    }
+}
+
+/// One recorded posterior sample.
+#[derive(Clone, Debug)]
+pub struct McmcSample {
+    /// Iteration index.
+    pub iteration: usize,
+    /// Log-likelihood of the sampled state.
+    pub log_likelihood: f64,
+    /// Log posterior (up to the constant topology prior).
+    pub log_posterior: f64,
+    /// Total tree length of the sampled state.
+    pub tree_length: f64,
+}
+
+/// Chain outcome.
+#[derive(Clone, Debug)]
+pub struct McmcResult {
+    /// Recorded samples, post-burn-in.
+    pub samples: Vec<McmcSample>,
+    /// Accepted / proposed branch-length moves.
+    pub branch_moves: (usize, usize),
+    /// Accepted / proposed topology moves.
+    pub topology_moves: (usize, usize),
+    /// Posterior frequency of every split seen after burn-in
+    /// (keyed by the canonical name set, as in `Tree::splits`).
+    pub split_frequencies: HashMap<Vec<String>, f64>,
+    /// The final state of the chain.
+    pub final_newick: String,
+}
+
+impl McmcResult {
+    /// Posterior support of one split (0 when never sampled).
+    pub fn split_support(&self, split: &[String]) -> f64 {
+        self.split_frequencies.get(split).copied().unwrap_or(0.0)
+    }
+}
+
+fn log_prior(tree: &Tree, rate: f64) -> f64 {
+    // Σ ln(λ e^{-λ b}) over branches.
+    let n = tree.num_edges() as f64;
+    n * rate.ln() - rate * tree.total_length()
+}
+
+/// Runs one Metropolis-Hastings chain starting from `tree`.
+pub fn run_mcmc<E: Evaluator + ?Sized, R: Rng>(
+    evaluator: &mut E,
+    tree: &mut Tree,
+    config: McmcConfig,
+    rng: &mut R,
+) -> McmcResult {
+    assert!(config.iterations > 0 && config.sample_every > 0);
+    assert!((0.0..=1.0).contains(&config.topology_move_prob));
+    assert!(config.branch_prior_rate > 0.0);
+
+    let mut log_l = evaluator.log_likelihood(tree, 0);
+    let mut log_post = log_l + log_prior(tree, config.branch_prior_rate);
+
+    let mut samples = Vec::new();
+    let mut branch_acc = (0usize, 0usize);
+    let mut topo_acc = (0usize, 0usize);
+    let mut split_counts: HashMap<Vec<String>, usize> = HashMap::new();
+    let mut recorded = 0usize;
+
+    let internal: Vec<usize> = tree.internal_edges().collect();
+
+    for iter in 0..config.iterations {
+        let do_topology = !internal.is_empty() && rng.random::<f64>() < config.topology_move_prob;
+        if do_topology {
+            topo_acc.1 += 1;
+            // Symmetric NNI proposal.
+            let e = internal[rng.random_range(0..internal.len())];
+            let variant = if rng.random::<bool>() {
+                NniVariant::First
+            } else {
+                NniVariant::Second
+            };
+            let Ok((x, y)) = phylo_tree::moves::nni(tree, e, variant) else {
+                continue;
+            };
+            let new_l = evaluator.log_likelihood(tree, 0);
+            let new_post = new_l + log_prior(tree, config.branch_prior_rate);
+            if (new_post - log_post) >= rng.random::<f64>().ln() {
+                log_l = new_l;
+                log_post = new_post;
+                topo_acc.0 += 1;
+            } else {
+                nni_swap(tree, e, x, y).expect("NNI swap-back");
+            }
+        } else {
+            branch_acc.1 += 1;
+            // Branch multiplier move.
+            let edge = rng.random_range(0..tree.num_edges());
+            let old = tree.length(edge);
+            let m = (config.multiplier_tuning * (rng.random::<f64>() - 0.5)).exp();
+            let proposed = (old * m).clamp(BL_MIN, BL_MAX);
+            tree.set_length(edge, proposed).expect("clamped length");
+            let new_l = evaluator.log_likelihood(tree, 0);
+            let new_post = new_l + log_prior(tree, config.branch_prior_rate);
+            // Hastings ratio of the multiplier move is m.
+            if (new_post - log_post + m.ln()) >= rng.random::<f64>().ln() {
+                log_l = new_l;
+                log_post = new_post;
+                branch_acc.0 += 1;
+            } else {
+                tree.set_length(edge, old).expect("restoring length");
+            }
+        }
+
+        if iter >= config.burnin && iter % config.sample_every == 0 {
+            samples.push(McmcSample {
+                iteration: iter,
+                log_likelihood: log_l,
+                log_posterior: log_post,
+                tree_length: tree.total_length(),
+            });
+            for split in tree.splits() {
+                *split_counts.entry(split).or_insert(0) += 1;
+            }
+            recorded += 1;
+        }
+    }
+
+    let split_frequencies = split_counts
+        .into_iter()
+        .map(|(k, v)| (k, v as f64 / recorded.max(1) as f64))
+        .collect();
+
+    McmcResult {
+        samples,
+        branch_moves: branch_acc,
+        topology_moves: topo_acc,
+        split_frequencies,
+        final_newick: phylo_tree::newick::to_newick(tree),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_bio::CompressedAlignment;
+    use phylo_models::{DiscreteGamma, Gtr, GtrParams};
+    use phylo_tree::build::{default_names, random_tree};
+    use plf_core::{EngineConfig, LikelihoodEngine};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn dataset(seed: u64, taxa: usize, sites: usize) -> (Tree, CompressedAlignment) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let names = default_names(taxa);
+        let tree = random_tree(&names, 0.12, &mut rng).unwrap();
+        let g = Gtr::new(GtrParams::jc69());
+        let gamma = DiscreteGamma::new(5.0);
+        let aln = phylo_seqgen::simulate_alignment(&tree, g.eigen(), &gamma, sites, &mut rng);
+        (tree, CompressedAlignment::from_alignment(&aln))
+    }
+
+    #[test]
+    fn chain_moves_and_mixes() {
+        let (true_tree, ca) = dataset(808, 6, 2000);
+        let names = true_tree.tip_names().to_vec();
+        let mut tree = random_tree(&names, 0.1, &mut SmallRng::seed_from_u64(3)).unwrap();
+        let mut engine = LikelihoodEngine::new(&tree, &ca, EngineConfig::default());
+        let start_ll = phylo_search_ll(&mut engine, &tree);
+        let mut rng = SmallRng::seed_from_u64(99);
+        let r = run_mcmc(
+            &mut engine,
+            &mut tree,
+            McmcConfig {
+                iterations: 4000,
+                burnin: 1000,
+                sample_every: 5,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert!(!r.samples.is_empty());
+        // Both move types were proposed; some of each accepted.
+        assert!(r.branch_moves.1 > 0 && r.topology_moves.1 > 0);
+        assert!(r.branch_moves.0 > 0, "no branch moves accepted");
+        // Acceptance rates are genuine probabilities.
+        let br = r.branch_moves.0 as f64 / r.branch_moves.1 as f64;
+        assert!((0.01..0.99).contains(&br), "branch acceptance {br}");
+        // The chain climbed far above the random start.
+        let mean_ll: f64 =
+            r.samples.iter().map(|s| s.log_likelihood).sum::<f64>() / r.samples.len() as f64;
+        assert!(mean_ll > start_ll + 10.0, "mean {mean_ll} vs start {start_ll}");
+    }
+
+    fn phylo_search_ll(e: &mut LikelihoodEngine, t: &Tree) -> f64 {
+        crate::Evaluator::log_likelihood(e, t, 0)
+    }
+
+    #[test]
+    fn posterior_concentrates_on_true_splits() {
+        let (true_tree, ca) = dataset(909, 6, 4000);
+        let names = true_tree.tip_names().to_vec();
+        let mut tree = random_tree(&names, 0.1, &mut SmallRng::seed_from_u64(4)).unwrap();
+        let mut engine = LikelihoodEngine::new(&tree, &ca, EngineConfig::default());
+        let mut rng = SmallRng::seed_from_u64(5);
+        let r = run_mcmc(
+            &mut engine,
+            &mut tree,
+            McmcConfig {
+                iterations: 6000,
+                burnin: 2000,
+                sample_every: 5,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        // Every true split has strong posterior support on clean data.
+        for split in true_tree.splits() {
+            let support = r.split_support(&split);
+            assert!(
+                support > 0.8,
+                "split {split:?} support {support} (frequencies: {:?})",
+                r.split_frequencies
+            );
+        }
+    }
+
+    #[test]
+    fn samples_respect_burnin_and_thinning() {
+        let (_, ca) = dataset(111, 5, 300);
+        let names = default_names(5);
+        let mut tree = random_tree(&names, 0.1, &mut SmallRng::seed_from_u64(8)).unwrap();
+        let mut engine = LikelihoodEngine::new(&tree, &ca, EngineConfig::default());
+        let mut rng = SmallRng::seed_from_u64(10);
+        let cfg = McmcConfig {
+            iterations: 1000,
+            burnin: 500,
+            sample_every: 50,
+            ..Default::default()
+        };
+        let r = run_mcmc(&mut engine, &mut tree, cfg, &mut rng);
+        assert!(r.samples.iter().all(|s| s.iteration >= cfg.burnin));
+        for w in r.samples.windows(2) {
+            assert_eq!(w[1].iteration - w[0].iteration, cfg.sample_every);
+        }
+        let parsed = phylo_tree::newick::parse(&r.final_newick).unwrap();
+        parsed.validate().unwrap();
+    }
+
+    #[test]
+    fn branch_prior_pulls_lengths_down_without_data() {
+        // All-gap data carries no signal: the posterior equals the
+        // prior, so sampled tree lengths must match the Exponential
+        // prior mean (n_edges / rate).
+        let names = default_names(4);
+        let mut tree = random_tree(&names, 0.5, &mut SmallRng::seed_from_u64(2)).unwrap();
+        let rows = vec![vec![phylo_bio::DnaCode::from_char('N').unwrap(); 4]; 4];
+        let ca = CompressedAlignment::from_parts(names.clone(), rows, vec![1; 4]).unwrap();
+        let mut engine = LikelihoodEngine::new(&tree, &ca, EngineConfig::default());
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cfg = McmcConfig {
+            iterations: 20_000,
+            burnin: 5_000,
+            sample_every: 10,
+            topology_move_prob: 0.0,
+            branch_prior_rate: 10.0,
+            ..Default::default()
+        };
+        let r = run_mcmc(&mut engine, &mut tree, cfg, &mut rng);
+        let mean_len: f64 =
+            r.samples.iter().map(|s| s.tree_length).sum::<f64>() / r.samples.len() as f64;
+        let expect = tree.num_edges() as f64 / cfg.branch_prior_rate;
+        assert!(
+            (mean_len - expect).abs() < 0.35 * expect,
+            "sampled mean length {mean_len}, prior mean {expect}"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Model-parameter optimization (Γ shape α and GTR exchangeabilities).
+//!
+//! RAxML optimizes the continuous model parameters one dimension at a
+//! time with Brent's method, re-evaluating the tree likelihood at each
+//! trial point. The GT rate stays fixed at 1 (only relative
+//! exchangeabilities are identifiable); base frequencies are empirical.
+
+use crate::Evaluator;
+use phylo_models::math::brent::minimize;
+use phylo_models::DiscreteGamma;
+use phylo_tree::Tree;
+
+/// Bounds for a single exchangeability rate during optimization.
+pub const RATE_MIN: f64 = 1e-3;
+/// Upper bound for a single exchangeability rate.
+pub const RATE_MAX: f64 = 100.0;
+
+/// Result of a model-optimization sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModelOptResult {
+    /// Log-likelihood after the sweep.
+    pub log_likelihood: f64,
+    /// Optimized Γ shape.
+    pub alpha: f64,
+}
+
+/// Optimizes α by Brent search on `log α` (the likelihood surface in α
+/// spans orders of magnitude, so the log parameterization brackets
+/// robustly).
+pub fn optimize_alpha<E: Evaluator + ?Sized>(evaluator: &mut E, tree: &Tree, tol: f64) -> f64 {
+    let (lo, hi) = (DiscreteGamma::MIN_ALPHA.ln(), DiscreteGamma::MAX_ALPHA.ln());
+    let r = minimize(
+        |la| {
+            evaluator.set_alpha(la.exp());
+            -evaluator.log_likelihood(tree, 0)
+        },
+        lo,
+        hi,
+        tol,
+        64,
+    );
+    let alpha = r.xmin.exp();
+    evaluator.set_alpha(alpha);
+    alpha
+}
+
+/// Optimizes the five free GTR exchangeabilities (GT ≡ 1), one Brent
+/// pass each, in log space.
+pub fn optimize_rates<E: Evaluator + ?Sized>(evaluator: &mut E, tree: &Tree, tol: f64) {
+    for idx in 0..5 {
+        let mut params = evaluator.model();
+        let r = minimize(
+            |lr| {
+                params.rates[idx] = lr.exp();
+                evaluator.set_model(params);
+                -evaluator.log_likelihood(tree, 0)
+            },
+            RATE_MIN.ln(),
+            RATE_MAX.ln(),
+            tol,
+            48,
+        );
+        params.rates[idx] = r.xmin.exp();
+        evaluator.set_model(params);
+    }
+}
+
+/// One full model sweep: α, then the exchangeabilities.
+pub fn optimize_model<E: Evaluator + ?Sized>(
+    evaluator: &mut E,
+    tree: &Tree,
+    tol: f64,
+) -> ModelOptResult {
+    let alpha = optimize_alpha(evaluator, tree, tol);
+    optimize_rates(evaluator, tree, tol);
+    ModelOptResult {
+        log_likelihood: evaluator.log_likelihood(tree, 0),
+        alpha,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_bio::CompressedAlignment;
+    use phylo_models::{Gtr, GtrParams};
+    use phylo_tree::build::{default_names, random_tree};
+    use plf_core::{EngineConfig, LikelihoodEngine};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn simulated(alpha: f64, seed: u64, sites: usize) -> (phylo_tree::Tree, CompressedAlignment) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let names = default_names(8);
+        let tree = random_tree(&names, 0.2, &mut rng).unwrap();
+        let g = Gtr::new(GtrParams::jc69());
+        let gamma = DiscreteGamma::new(alpha);
+        let aln = phylo_seqgen::simulate_alignment(&tree, g.eigen(), &gamma, sites, &mut rng);
+        (tree, CompressedAlignment::from_alignment(&aln))
+    }
+
+    #[test]
+    fn alpha_optimization_improves_likelihood() {
+        let (tree, ca) = simulated(0.3, 17, 3000);
+        let mut engine = LikelihoodEngine::new(
+            &tree,
+            &ca,
+            EngineConfig {
+                alpha: 5.0, // start far from truth
+                ..Default::default()
+            },
+        );
+        let before = engine.log_likelihood(&tree, 0);
+        let alpha = optimize_alpha(&mut engine, &tree, 1e-4);
+        let after = engine.log_likelihood(&tree, 0);
+        assert!(after >= before, "{after} < {before}");
+        // Recovered alpha should be in the low-heterogeneity regime.
+        assert!(alpha < 1.5, "alpha = {alpha}");
+    }
+
+    #[test]
+    fn rate_optimization_does_not_degrade() {
+        let (tree, ca) = simulated(1.0, 23, 2000);
+        let mut engine = LikelihoodEngine::new(&tree, &ca, EngineConfig::default());
+        let before = engine.log_likelihood(&tree, 0);
+        optimize_rates(&mut engine, &tree, 1e-3);
+        let after = engine.log_likelihood(&tree, 0);
+        assert!(after >= before - 1e-6, "{after} < {before}");
+    }
+
+    #[test]
+    fn full_model_sweep_runs() {
+        let (tree, ca) = simulated(0.7, 31, 1000);
+        let mut engine = LikelihoodEngine::new(&tree, &ca, EngineConfig::default());
+        let before = engine.log_likelihood(&tree, 0);
+        let r = optimize_model(&mut engine, &tree, 1e-3);
+        assert!(r.log_likelihood >= before - 1e-6);
+        assert!(r.alpha >= DiscreteGamma::MIN_ALPHA && r.alpha <= DiscreteGamma::MAX_ALPHA);
+    }
+}

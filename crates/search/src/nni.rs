@@ -1,0 +1,123 @@
+//! NNI polishing rounds.
+//!
+//! Lazy SPR with bounded local smoothing can stall one
+//! nearest-neighbor interchange away from a better topology (the
+//! classic local optimum of hill-climbing tree search). An NNI pass
+//! with thorough local branch optimization around each internal edge
+//! escapes exactly those optima; RAxML's slow descent phase plays the
+//! same role.
+
+use crate::newton::optimize_branch;
+use crate::Evaluator;
+use phylo_tree::moves::{nni, nni_swap, NniVariant};
+use phylo_tree::{EdgeId, Tree};
+
+/// Result of one NNI round.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NniRoundResult {
+    /// Log-likelihood after the round.
+    pub log_likelihood: f64,
+    /// Accepted interchanges.
+    pub accepted: usize,
+    /// Scored interchanges.
+    pub evaluated: usize,
+}
+
+/// The five edges incident to the endpoints of internal edge `e`
+/// (including `e` itself): the neighborhood an NNI perturbs.
+fn local_edges(tree: &Tree, e: EdgeId) -> Vec<EdgeId> {
+    let (u, v) = tree.endpoints(e);
+    let mut out = vec![e];
+    out.extend(tree.incident(u).iter().copied().filter(|&x| x != e));
+    out.extend(tree.incident(v).iter().copied().filter(|&x| x != e));
+    out
+}
+
+/// One NNI round over all internal edges, both variants each, with
+/// local 5-branch re-optimization before accepting.
+pub fn nni_round<E: Evaluator + ?Sized>(
+    evaluator: &mut E,
+    tree: &mut Tree,
+    epsilon: f64,
+) -> NniRoundResult {
+    let mut current = evaluator.log_likelihood(tree, 0);
+    let mut accepted = 0;
+    let mut evaluated = 0;
+
+    let internal: Vec<EdgeId> = tree.internal_edges().collect();
+    for e in internal {
+        for variant in [NniVariant::First, NniVariant::Second] {
+            let saved: Vec<(EdgeId, f64)> = local_edges(tree, e)
+                .into_iter()
+                .map(|x| (x, tree.length(x)))
+                .collect();
+            let Ok((x, y)) = nni(tree, e, variant) else {
+                continue;
+            };
+            for &(le, _) in &saved {
+                optimize_branch(evaluator, tree, le);
+            }
+            let ll = evaluator.log_likelihood(tree, e);
+            evaluated += 1;
+            if ll > current + epsilon {
+                current = ll;
+                accepted += 1;
+            } else {
+                nni_swap(tree, e, x, y).expect("NNI swap-back");
+                for (le, len) in saved {
+                    tree.set_length(le, len).expect("restoring a valid length");
+                }
+            }
+        }
+    }
+
+    NniRoundResult {
+        log_likelihood: current,
+        accepted,
+        evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_bio::CompressedAlignment;
+    use phylo_models::{DiscreteGamma, Gtr, GtrParams};
+    use phylo_tree::build::{default_names, random_tree};
+    use phylo_tree::newick;
+    use plf_core::{EngineConfig, LikelihoodEngine};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn local_edges_are_five_for_internal() {
+        let t = newick::parse("((a:0.1,b:0.1):0.1,c:0.1,(d:0.1,e:0.1):0.1);").unwrap();
+        let e = t.internal_edges().next().unwrap();
+        assert_eq!(local_edges(&t, e).len(), 5);
+    }
+
+    #[test]
+    fn nni_round_fixes_a_single_swap() {
+        // Simulate on a known 6-taxon tree, start from that tree with
+        // one NNI applied: one round must swap it back.
+        let mut rng = SmallRng::seed_from_u64(300);
+        let names = default_names(6);
+        let true_tree = random_tree(&names, 0.15, &mut rng).unwrap();
+        let g = Gtr::new(GtrParams::jc69());
+        let gamma = DiscreteGamma::new(5.0);
+        let aln =
+            phylo_seqgen::simulate_alignment(&true_tree, g.eigen(), &gamma, 4000, &mut rng);
+        let ca = CompressedAlignment::from_alignment(&aln);
+
+        let mut tree = true_tree.clone();
+        let e = tree.internal_edges().next().unwrap();
+        nni(&mut tree, e, NniVariant::First).unwrap();
+        assert!(tree.rf_distance(&true_tree) > 0);
+
+        let mut engine = LikelihoodEngine::new(&tree, &ca, EngineConfig::default());
+        crate::branch_opt::smooth_branches(&mut engine, &mut tree, 1e-3, 6);
+        let r = nni_round(&mut engine, &mut tree, 1e-3);
+        assert!(r.accepted >= 1, "{r:?}");
+        assert_eq!(tree.rf_distance(&true_tree), 0);
+    }
+}

@@ -1,0 +1,341 @@
+//! Partitioned (multi-gene) alignments with per-partition models.
+//!
+//! §V-A of the paper: "multiple data partitions are supported" but
+//! "for a large number of partitions, performance will degrade due to
+//! decreasing parallel block size". This module supplies the
+//! functional side of that feature: an evaluator over a partitioned
+//! alignment where every partition carries its own GTR parameters and
+//! Γ shape, while branch lengths are shared across partitions (the
+//! standard linked-branch-length model RAxML uses by default). The
+//! load-balancing side lives in `phylo-parallel::balance`.
+
+use crate::Evaluator;
+use phylo_bio::CompressedAlignment;
+use phylo_models::GtrParams;
+use phylo_tree::{EdgeId, Tree};
+use plf_core::{EngineConfig, LikelihoodEngine};
+
+/// A contiguous pattern range forming one partition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionDef {
+    /// Display name (gene name).
+    pub name: String,
+    /// Pattern range `[start, end)` within the alignment.
+    pub range: std::ops::Range<usize>,
+}
+
+/// An evaluator over a partitioned alignment: one engine per
+/// partition, independent substitution models, shared topology and
+/// branch lengths.
+pub struct PartitionedEngine {
+    names: Vec<String>,
+    engines: Vec<LikelihoodEngine>,
+}
+
+impl PartitionedEngine {
+    /// Builds one engine per partition. Ranges must be non-empty,
+    /// sorted, non-overlapping, and cover the whole alignment.
+    pub fn new(
+        tree: &Tree,
+        aln: &CompressedAlignment,
+        config: EngineConfig,
+        partitions: &[PartitionDef],
+    ) -> Self {
+        assert!(!partitions.is_empty(), "need at least one partition");
+        let mut expected = 0usize;
+        for p in partitions {
+            assert_eq!(
+                p.range.start, expected,
+                "partition {:?} does not start where the previous ended",
+                p.name
+            );
+            assert!(p.range.end > p.range.start, "empty partition {:?}", p.name);
+            expected = p.range.end;
+        }
+        assert_eq!(
+            expected,
+            aln.num_patterns(),
+            "partitions must cover the whole alignment"
+        );
+        PartitionedEngine {
+            names: partitions.iter().map(|p| p.name.clone()).collect(),
+            engines: partitions
+                .iter()
+                .map(|p| LikelihoodEngine::with_range(tree, aln, config, p.range.clone()))
+                .collect(),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Partition names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Per-partition engine access (model inspection, stats).
+    pub fn partition(&self, i: usize) -> &LikelihoodEngine {
+        &self.engines[i]
+    }
+
+    /// Sets one partition's Γ shape.
+    pub fn set_partition_alpha(&mut self, i: usize, alpha: f64) {
+        self.engines[i].set_alpha(alpha);
+    }
+
+    /// Sets one partition's GTR parameters.
+    pub fn set_partition_model(&mut self, i: usize, params: GtrParams) {
+        self.engines[i].set_model(params);
+    }
+
+    /// Log-likelihood of a single partition at `root_edge`.
+    pub fn partition_log_likelihood(
+        &mut self,
+        i: usize,
+        tree: &Tree,
+        root_edge: EdgeId,
+    ) -> f64 {
+        self.engines[i].log_likelihood(tree, root_edge)
+    }
+
+    /// Optimizes each partition's α independently by Brent search (the
+    /// per-partition model optimization step of a partitioned
+    /// analysis). Returns the per-partition α values.
+    pub fn optimize_partition_alphas(&mut self, tree: &Tree, tol: f64) -> Vec<f64> {
+        use phylo_models::math::brent::minimize;
+        use phylo_models::DiscreteGamma;
+        let mut out = Vec::with_capacity(self.engines.len());
+        for engine in self.engines.iter_mut() {
+            let r = minimize(
+                |la| {
+                    engine.set_alpha(la.exp());
+                    -engine.log_likelihood(tree, 0)
+                },
+                DiscreteGamma::MIN_ALPHA.ln(),
+                DiscreteGamma::MAX_ALPHA.ln(),
+                tol,
+                64,
+            );
+            let alpha = r.xmin.exp();
+            engine.set_alpha(alpha);
+            out.push(alpha);
+        }
+        out
+    }
+}
+
+impl Evaluator for PartitionedEngine {
+    fn log_likelihood(&mut self, tree: &Tree, root_edge: EdgeId) -> f64 {
+        self.engines
+            .iter_mut()
+            .map(|e| e.log_likelihood(tree, root_edge))
+            .sum()
+    }
+
+    fn prepare_branch(&mut self, tree: &Tree, edge: EdgeId) {
+        for e in self.engines.iter_mut() {
+            e.prepare_branch(tree, edge);
+        }
+    }
+
+    fn branch_derivatives(&mut self, t: f64) -> (f64, f64) {
+        let mut d1 = 0.0;
+        let mut d2 = 0.0;
+        for e in self.engines.iter_mut() {
+            let (a, b) = e.branch_derivatives(t);
+            d1 += a;
+            d2 += b;
+        }
+        (d1, d2)
+    }
+
+    fn set_alpha(&mut self, alpha: f64) {
+        for e in self.engines.iter_mut() {
+            e.set_alpha(alpha);
+        }
+    }
+
+    fn set_model(&mut self, params: GtrParams) {
+        for e in self.engines.iter_mut() {
+            e.set_model(params);
+        }
+    }
+
+    fn alpha(&self) -> f64 {
+        self.engines[0].alpha()
+    }
+
+    fn model(&self) -> GtrParams {
+        *self.engines[0].model()
+    }
+}
+
+/// Splits an alignment into `k` equal partitions (test/bench helper).
+pub fn equal_partitions(aln: &CompressedAlignment, k: usize) -> Vec<PartitionDef> {
+    let n = aln.num_patterns();
+    assert!(k >= 1 && k <= n);
+    (0..k)
+        .map(|i| PartitionDef {
+            name: format!("part{i}"),
+            range: (i * n / k)..((i + 1) * n / k),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch_opt::smooth_branches;
+    use phylo_models::{DiscreteGamma, Gtr};
+    use phylo_tree::build::{default_names, random_tree};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn dataset(seed: u64, sites: usize) -> (Tree, CompressedAlignment) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let names = default_names(8);
+        let tree = random_tree(&names, 0.15, &mut rng).unwrap();
+        let g = Gtr::new(GtrParams::jc69());
+        let gamma = DiscreteGamma::new(1.0);
+        let aln = phylo_seqgen::simulate_compressed(&tree, g.eigen(), &gamma, sites, &mut rng);
+        (tree, aln)
+    }
+
+    #[test]
+    fn partitioned_sum_equals_monolithic_when_models_match() {
+        let (tree, aln) = dataset(50, 600);
+        let cfg = EngineConfig::default();
+        let mut single = LikelihoodEngine::new(&tree, &aln, cfg);
+        let mut parts = PartitionedEngine::new(&tree, &aln, cfg, &equal_partitions(&aln, 3));
+        for e in [0usize, 4, 9] {
+            let a = single.log_likelihood(&tree, e);
+            let b = parts.log_likelihood(&tree, e);
+            assert!((a - b).abs() < 1e-9, "edge {e}: {a} vs {b}");
+        }
+        // Derivatives too.
+        crate::Evaluator::prepare_branch(&mut single, &tree, 2);
+        parts.prepare_branch(&tree, 2);
+        let (a1, a2) = crate::Evaluator::branch_derivatives(&mut single, tree.length(2));
+        let (b1, b2) = parts.branch_derivatives(tree.length(2));
+        assert!((a1 - b1).abs() < 1e-8 && (a2 - b2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn per_partition_models_improve_on_heterogeneous_data() {
+        // Two genes with very different rate heterogeneity: a linked
+        // single-alpha model must score below per-partition alphas.
+        let mut rng = SmallRng::seed_from_u64(60);
+        let names = default_names(8);
+        let tree = random_tree(&names, 0.2, &mut rng).unwrap();
+        let g = Gtr::new(GtrParams::jc69());
+        let a1 = phylo_seqgen::simulate_compressed(
+            &tree,
+            g.eigen(),
+            &DiscreteGamma::new(0.1),
+            1500,
+            &mut rng,
+        );
+        let a2 = phylo_seqgen::simulate_compressed(
+            &tree,
+            g.eigen(),
+            &DiscreteGamma::new(30.0),
+            1500,
+            &mut rng,
+        );
+        // Concatenate.
+        let names_s: Vec<String> = a1.names().to_vec();
+        let rows: Vec<Vec<phylo_bio::DnaCode>> = (0..a1.num_taxa())
+            .map(|t| {
+                let mut r = a1.row(t).to_vec();
+                r.extend_from_slice(a2.row(t));
+                r
+            })
+            .collect();
+        let weights = vec![1u32; 3000];
+        let concat = CompressedAlignment::from_parts(names_s, rows, weights).unwrap();
+
+        let cfg = EngineConfig::default();
+        let defs = vec![
+            PartitionDef {
+                name: "slow-gene".into(),
+                range: 0..1500,
+            },
+            PartitionDef {
+                name: "fast-gene".into(),
+                range: 1500..3000,
+            },
+        ];
+        let mut tree_l = tree.clone();
+        let mut linked = LikelihoodEngine::new(&tree_l, &concat, cfg);
+        smooth_branches(&mut linked, &mut tree_l, 1e-3, 6);
+        let alpha_linked =
+            crate::model_opt::optimize_alpha(&mut linked, &tree_l, 1e-4);
+        let ll_linked = linked.log_likelihood(&tree_l, 0);
+
+        let mut parts = PartitionedEngine::new(&tree_l, &concat, cfg, &defs);
+        let alphas = parts.optimize_partition_alphas(&tree_l, 1e-4);
+        let ll_parts = Evaluator::log_likelihood(&mut parts, &tree_l, 0);
+
+        assert!(
+            ll_parts > ll_linked + 2.0,
+            "per-partition {ll_parts} vs linked {ll_linked}"
+        );
+        assert!(
+            alphas[0] < alpha_linked && alphas[1] > alpha_linked,
+            "alphas {alphas:?} should straddle linked {alpha_linked}"
+        );
+    }
+
+    #[test]
+    fn search_runs_under_partitioned_evaluator() {
+        let (true_tree, aln) = dataset(70, 1000);
+        let names = true_tree.tip_names().to_vec();
+        let mut tree = random_tree(&names, 0.1, &mut SmallRng::seed_from_u64(3)).unwrap();
+        let mut parts = PartitionedEngine::new(
+            &tree,
+            &aln,
+            EngineConfig::default(),
+            &equal_partitions(&aln, 4),
+        );
+        let search = crate::MlSearch::new(crate::SearchConfig {
+            max_rounds: 3,
+            optimize_model: false,
+            ..Default::default()
+        });
+        let r = search.run(&mut parts, &mut tree);
+        assert!(r.log_likelihood.is_finite());
+        assert!(tree.rf_distance(&true_tree) <= 2);
+    }
+
+    #[test]
+    fn invalid_partitions_rejected() {
+        let (tree, aln) = dataset(80, 100);
+        let cfg = EngineConfig::default();
+        let bad = vec![PartitionDef {
+            name: "p".into(),
+            range: 0..50,
+        }];
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            PartitionedEngine::new(&tree, &aln, cfg, &bad)
+        }));
+        assert!(r.is_err(), "gap at the end must be rejected");
+
+        let overlapping = vec![
+            PartitionDef {
+                name: "a".into(),
+                range: 0..60,
+            },
+            PartitionDef {
+                name: "b".into(),
+                range: 50..100,
+            },
+        ];
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            PartitionedEngine::new(&tree, &aln, cfg, &overlapping)
+        }));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Lazy SPR rounds with bounded regraft radius.
+//!
+//! The RAxML-Light strategy: for every candidate subtree, try regraft
+//! positions within a hop radius of its current location, score each
+//! with a *lazy* evaluation (no branch re-optimization during
+//! scoring), keep the best improvement, and re-smooth branch lengths
+//! once per round. Scoring a candidate is exactly one `evaluate` plus
+//! the `newview`s invalidated by the rearrangement — the invocation
+//! pattern whose latency sensitivity §V-C analyzes.
+
+use crate::Evaluator;
+use phylo_tree::moves::{spr, spr_undo};
+use phylo_tree::traverse::edges_within;
+use phylo_tree::{EdgeId, NodeId, Tree};
+
+/// Result of one SPR improvement round.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SprRoundResult {
+    /// Best log-likelihood after the round.
+    pub log_likelihood: f64,
+    /// Number of accepted rearrangements.
+    pub accepted: usize,
+    /// Number of candidate rearrangements scored.
+    pub evaluated: usize,
+}
+
+/// All (prune_edge, subtree_root) candidates: every directed edge
+/// whose far end is an inner node (so there is an attachment point to
+/// travel with the subtree).
+fn prune_candidates(tree: &Tree) -> Vec<(EdgeId, NodeId)> {
+    let mut out = Vec::new();
+    for e in tree.edge_ids() {
+        let (a, b) = tree.endpoints(e);
+        if !tree.is_tip(b) {
+            out.push((e, a));
+        }
+        if !tree.is_tip(a) {
+            out.push((e, b));
+        }
+    }
+    out
+}
+
+/// Performs one SPR round over all prune candidates with the given
+/// regraft `radius`. Each candidate's best regraft is applied
+/// immediately when it improves the current score by more than
+/// `epsilon` (first-improvement hill climbing, as in RAxML's fast
+/// phase).
+pub fn spr_round<E: Evaluator + ?Sized>(
+    evaluator: &mut E,
+    tree: &mut Tree,
+    radius: usize,
+    epsilon: f64,
+) -> SprRoundResult {
+    let mut current = evaluator.log_likelihood(tree, 0);
+    let mut accepted = 0;
+    let mut evaluated = 0;
+
+    for (prune_edge, subtree_root) in prune_candidates(tree) {
+        // Accepted moves re-wire edges, so a candidate computed at
+        // round start may have gone stale: re-validate it against the
+        // current tree before use.
+        {
+            let (a, b) = tree.endpoints(prune_edge);
+            if a != subtree_root && b != subtree_root {
+                continue;
+            }
+            let far = if a == subtree_root { b } else { a };
+            if tree.is_tip(far) {
+                continue;
+            }
+        }
+        let targets = edges_within(tree, prune_edge, radius);
+        let mut best: Option<(f64, EdgeId)> = None;
+        for target in targets {
+            let undo = match spr(tree, prune_edge, subtree_root, target) {
+                Ok(u) => u,
+                Err(_) => continue, // invalid placement, skip
+            };
+            let ll = evaluator.log_likelihood(tree, prune_edge);
+            evaluated += 1;
+            spr_undo(tree, undo).expect("undo of a just-applied SPR");
+            if ll > best.map_or(f64::NEG_INFINITY, |(b, _)| b) {
+                best = Some((ll, target));
+            }
+        }
+        // Apply the best lazy candidate, then re-optimize the three
+        // branches around the new attachment point (RAxML's local
+        // smoothing): the lazy score underestimates good placements
+        // because the regraft splits its target edge naively.
+        if let Some((lazy_ll, target)) = best {
+            if lazy_ll <= current - 2.0 {
+                continue; // hopeless even before local smoothing
+            }
+            let undo = spr(tree, prune_edge, subtree_root, target)
+                .expect("best candidate was applicable during scoring");
+            let p = {
+                let (a, b) = tree.endpoints(prune_edge);
+                if a == subtree_root {
+                    b
+                } else {
+                    a
+                }
+            };
+            let local: Vec<EdgeId> = tree.incident(p).to_vec();
+            let saved: Vec<(EdgeId, f64)> =
+                local.iter().map(|&e| (e, tree.length(e))).collect();
+            for &e in &local {
+                crate::newton::optimize_branch(evaluator, tree, e);
+            }
+            let ll = evaluator.log_likelihood(tree, prune_edge);
+            evaluated += 1;
+            if ll > current + epsilon {
+                current = ll;
+                accepted += 1;
+            } else {
+                for (e, len) in saved {
+                    tree.set_length(e, len).expect("restoring a valid length");
+                }
+                spr_undo(tree, undo).expect("undo of a just-applied SPR");
+            }
+        }
+    }
+
+    SprRoundResult {
+        log_likelihood: current,
+        accepted,
+        evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_bio::CompressedAlignment;
+    use phylo_models::{DiscreteGamma, Gtr, GtrParams};
+    use phylo_tree::build::{default_names, random_tree};
+    use plf_core::{EngineConfig, LikelihoodEngine};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prune_candidates_cover_directed_inner_edges() {
+        let t = phylo_tree::newick::parse(
+            "((a:0.1,b:0.1):0.1,c:0.1,(d:0.1,e:0.1):0.1);",
+        )
+        .unwrap();
+        let cands = prune_candidates(&t);
+        // Every edge has ≥1 inner endpoint in a binary tree, pendant
+        // edges contribute 1 candidate, internal edges 2.
+        let internal = t.internal_edges().count();
+        let pendant = t.num_edges() - internal;
+        assert_eq!(cands.len(), pendant + 2 * internal);
+    }
+
+    #[test]
+    fn spr_round_recovers_true_topology_on_easy_data() {
+        // Simulate clean data on a known tree, start from a random
+        // topology, and check that SPR rounds reach the true topology
+        // (or at least strictly improve and leave a valid tree).
+        let mut rng = SmallRng::seed_from_u64(77);
+        let names = default_names(7);
+        let true_tree = random_tree(&names, 0.12, &mut rng).unwrap();
+        let g = Gtr::new(GtrParams::jc69());
+        let gamma = DiscreteGamma::new(5.0);
+        let aln =
+            phylo_seqgen::simulate_alignment(&true_tree, g.eigen(), &gamma, 5000, &mut rng);
+        let ca = CompressedAlignment::from_alignment(&aln);
+
+        let mut tree = random_tree(&names, 0.1, &mut SmallRng::seed_from_u64(123)).unwrap();
+        let mut engine = LikelihoodEngine::new(&tree, &ca, EngineConfig::default());
+        let start = engine.log_likelihood(&tree, 0);
+
+        let mut last = start;
+        for _ in 0..6 {
+            let r = spr_round(&mut engine, &mut tree, 5, 1e-3);
+            crate::branch_opt::smooth_branches(&mut engine, &mut tree, 1e-2, 4);
+            let n = crate::nni::nni_round(&mut engine, &mut tree, 1e-3);
+            let now = engine.log_likelihood(&tree, 0);
+            assert!(now >= last - 1e-6);
+            if r.accepted == 0 && n.accepted == 0 {
+                break;
+            }
+            last = now;
+        }
+        tree.validate().unwrap();
+        assert!(last > start, "no improvement from SPR search");
+        assert_eq!(
+            tree.rf_distance(&true_tree),
+            0,
+            "did not recover the true topology (got RF {})",
+            tree.rf_distance(&true_tree)
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Tree error type.
+
+/// Errors from tree construction, parsing, and topology moves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeError {
+    /// Fewer than three taxa: no unrooted binary topology exists.
+    TooFewTaxa(usize),
+    /// Newick syntax problem at a byte offset.
+    Newick {
+        /// Byte position in the input.
+        pos: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// A multifurcating (non-binary) input topology.
+    NotBinary,
+    /// A move was requested on an edge where it is undefined
+    /// (e.g. NNI on a terminal edge).
+    InvalidMove(String),
+    /// A node or edge id outside the arena.
+    BadId(String),
+    /// A non-finite or negative branch length.
+    BadBranchLength(f64),
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::TooFewTaxa(n) => write!(f, "need at least 3 taxa, got {n}"),
+            TreeError::Newick { pos, msg } => write!(f, "newick error at byte {pos}: {msg}"),
+            TreeError::NotBinary => write!(f, "tree is not binary (multifurcation found)"),
+            TreeError::InvalidMove(m) => write!(f, "invalid move: {m}"),
+            TreeError::BadId(m) => write!(f, "bad id: {m}"),
+            TreeError::BadBranchLength(x) => write!(f, "bad branch length {x}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}

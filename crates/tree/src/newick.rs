@@ -1,0 +1,400 @@
+//! Newick parsing and printing for unrooted binary trees.
+//!
+//! Rooted inputs (top level with two children) are accepted and the
+//! degree-2 root is suppressed by merging its two incident branches,
+//! which is the standard convention for unrooted likelihood programs.
+//! Multifurcations anywhere else are rejected — the PLF arena is
+//! strictly binary.
+
+use crate::error::TreeError;
+use crate::tree::{NodeId, Tree};
+
+/// Default branch length used when the input omits one.
+pub const DEFAULT_LENGTH: f64 = 0.1;
+
+/// Intermediate rooted node produced by the parser.
+struct RNode {
+    name: Option<String>,
+    length: Option<f64>,
+    children: Vec<RNode>,
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, TreeError> {
+        Err(TreeError::Newick {
+            pos: self.pos,
+            msg: msg.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), TreeError> {
+        let found = self.peek();
+        if found == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!(
+                "expected {:?}, found {:?}",
+                c as char,
+                found.map(|b| b as char)
+            ))
+        }
+    }
+
+    fn subtree(&mut self) -> Result<RNode, TreeError> {
+        let mut node = if self.peek() == Some(b'(') {
+            self.pos += 1;
+            let mut children = vec![self.subtree()?];
+            while self.peek() == Some(b',') {
+                self.pos += 1;
+                children.push(self.subtree()?);
+            }
+            self.expect(b')')?;
+            RNode {
+                name: None,
+                length: None,
+                children,
+            }
+        } else {
+            RNode {
+                name: None,
+                length: None,
+                children: Vec::new(),
+            }
+        };
+        // Optional label (tip name or ignored support value).
+        let label = self.label();
+        if node.children.is_empty() {
+            match label {
+                Some(l) if !l.is_empty() => node.name = Some(l),
+                _ => return self.err("tip without a name"),
+            }
+        }
+        // Optional branch length.
+        if self.peek() == Some(b':') {
+            self.pos += 1;
+            node.length = Some(self.number()?);
+        }
+        Ok(node)
+    }
+
+    fn label(&mut self) -> Option<String> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'\'') {
+            // Quoted label.
+            self.pos += 1;
+            let s = self.pos;
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                self.pos += 1;
+            }
+            let label = String::from_utf8_lossy(&self.bytes[s..self.pos]).into_owned();
+            self.pos = (self.pos + 1).min(self.bytes.len());
+            return Some(label);
+        }
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b":,();".contains(&b) || b.is_ascii_whitespace() {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos > start {
+            Some(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+        } else {
+            None
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, TreeError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_digit() || b"+-.eE".contains(&b) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return self.err("expected a number");
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or(TreeError::Newick {
+                pos: start,
+                msg: "malformed number".into(),
+            })
+    }
+}
+
+/// Parses a Newick string into an unrooted binary [`Tree`].
+///
+/// Tip ids are assigned in order of first appearance in the input.
+pub fn parse(input: &str) -> Result<Tree, TreeError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let root = p.subtree()?;
+    p.expect(b';')?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters after ';'");
+    }
+
+    // Collect tips in appearance order.
+    let mut names = Vec::new();
+    collect_names(&root, &mut names)?;
+    let n = names.len();
+    if n < 3 {
+        return Err(TreeError::TooFewTaxa(n));
+    }
+    let name_id = |name: &str| -> NodeId {
+        names.iter().position(|x| x == name).expect("collected")
+    };
+    {
+        // Duplicate tip names would silently merge leaves.
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        if sorted.len() != n {
+            return Err(TreeError::Newick {
+                pos: 0,
+                msg: "duplicate tip names".into(),
+            });
+        }
+    }
+
+    struct Builder {
+        adj: Vec<Vec<usize>>,
+        edges: Vec<crate::tree::Edge>,
+        next_inner: NodeId,
+    }
+    impl Builder {
+        fn link(&mut self, a: NodeId, b: NodeId, length: f64) -> Result<(), TreeError> {
+            let length = Tree::check_length(length)?;
+            let id = self.edges.len();
+            self.edges.push(crate::tree::Edge { a, b, length });
+            self.adj[a].push(id);
+            self.adj[b].push(id);
+            Ok(())
+        }
+    }
+
+    let mut b = Builder {
+        adj: vec![Vec::new(); 2 * n - 2],
+        edges: Vec::with_capacity(2 * n - 3),
+        next_inner: n,
+    };
+
+    // Recursively converts a rooted node to an arena node id.
+    fn convert(
+        node: &RNode,
+        b: &mut Builder,
+        name_id: &dyn Fn(&str) -> NodeId,
+    ) -> Result<NodeId, TreeError> {
+        if node.children.is_empty() {
+            return Ok(name_id(node.name.as_ref().expect("tips are named")));
+        }
+        if node.children.len() != 2 {
+            return Err(TreeError::NotBinary);
+        }
+        let inner = b.next_inner;
+        b.next_inner += 1;
+        for ch in &node.children {
+            let cid = convert(ch, b, name_id)?;
+            b.link(inner, cid, ch.length.unwrap_or(DEFAULT_LENGTH))?;
+        }
+        Ok(inner)
+    }
+
+    match root.children.len() {
+        0 | 1 => {
+            return Err(TreeError::Newick {
+                pos: 0,
+                msg: "top level must have 2 or 3 children".into(),
+            })
+        }
+        2 => {
+            // Rooted input: suppress the root by joining the two child
+            // subtrees with one edge of summed length.
+            let c0 = convert(&root.children[0], &mut b, &name_id)?;
+            let c1 = convert(&root.children[1], &mut b, &name_id)?;
+            let l = root.children[0].length.unwrap_or(DEFAULT_LENGTH)
+                + root.children[1].length.unwrap_or(DEFAULT_LENGTH);
+            b.link(c0, c1, l)?;
+        }
+        3 => {
+            let inner = b.next_inner;
+            b.next_inner += 1;
+            for ch in &root.children {
+                let cid = convert(ch, &mut b, &name_id)?;
+                b.link(inner, cid, ch.length.unwrap_or(DEFAULT_LENGTH))?;
+            }
+        }
+        _ => return Err(TreeError::NotBinary),
+    }
+
+    Tree::from_parts(names, b.adj, b.edges)
+}
+
+fn collect_names(node: &RNode, names: &mut Vec<String>) -> Result<(), TreeError> {
+    if node.children.is_empty() {
+        names.push(node.name.clone().expect("parser names all tips"));
+    }
+    for ch in &node.children {
+        collect_names(ch, names)?;
+    }
+    Ok(())
+}
+
+/// Renders the tree as an unrooted Newick string with three top-level
+/// children, rooted for display at the inner node adjacent to tip 0.
+pub fn to_newick(tree: &Tree) -> String {
+    let start_tip = 0;
+    let anchor = tree.other_end(tree.incident(start_tip)[0], start_tip);
+    let mut out = String::with_capacity(tree.num_taxa() * 16);
+    out.push('(');
+    let mut first = true;
+    for (e, child) in tree.neighbors(anchor) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        write_subtree(tree, child, e, &mut out);
+    }
+    out.push_str(");");
+    out
+}
+
+fn write_subtree(tree: &Tree, node: NodeId, in_edge: usize, out: &mut String) {
+    if tree.is_tip(node) {
+        out.push_str(tree.tip_name(node));
+    } else {
+        out.push('(');
+        let mut first = true;
+        for (e, child) in tree.neighbors(node) {
+            if e == in_edge {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write_subtree(tree, child, e, out);
+        }
+        out.push(')');
+    }
+    out.push(':');
+    // f64 Display prints the shortest representation that round-trips
+    // exactly — checkpoint/restart depends on this.
+    out.push_str(&format!("{}", tree.length(in_edge)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_unrooted_triplet() {
+        let t = parse("(a:0.1,b:0.2,c:0.3);").unwrap();
+        assert_eq!(t.num_taxa(), 3);
+        assert!((t.total_length() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_rooted_input_suppresses_root() {
+        let t = parse("((a:0.1,b:0.1):0.05,(c:0.1,d:0.1):0.05);").unwrap();
+        assert_eq!(t.num_taxa(), 4);
+        assert_eq!(t.num_edges(), 5);
+        // The two root-adjacent half-branches merge: 0.05 + 0.05.
+        let splits = t.splits();
+        assert_eq!(splits.len(), 1);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn missing_lengths_get_default() {
+        let t = parse("(a,b,(c,d));").unwrap();
+        assert_eq!(t.num_taxa(), 4);
+        for e in t.edge_ids() {
+            assert!(t.length(e) > 0.0);
+        }
+    }
+
+    #[test]
+    fn inner_labels_ignored() {
+        let t = parse("((a:0.1,b:0.1)95:0.1,c:0.1,d:0.1);").unwrap();
+        assert_eq!(t.num_taxa(), 4);
+    }
+
+    #[test]
+    fn quoted_names() {
+        let t = parse("('taxon one':0.1,'b b':0.1,c:0.1);").unwrap();
+        assert!(t.tip_by_name("taxon one").is_some());
+        assert!(t.tip_by_name("b b").is_some());
+    }
+
+    #[test]
+    fn scientific_notation_lengths() {
+        let t = parse("(a:1e-3,b:2.5E-2,c:1.0e0);").unwrap();
+        assert!((t.total_length() - (0.001 + 0.025 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multifurcation_rejected() {
+        assert!(matches!(
+            parse("((a:1,b:1,c:1):1,d:1,e:1);"),
+            Err(TreeError::NotBinary)
+        ));
+        assert!(parse("(a:1,b:1,c:1,d:1);").is_err());
+    }
+
+    #[test]
+    fn syntax_errors_rejected() {
+        assert!(parse("(a:0.1,b:0.2,c:0.3)").is_err()); // no ';'
+        assert!(parse("(a:0.1,b:0.2,c:0.3); junk").is_err());
+        assert!(parse("(a:0.1,b:0.2,c:);").is_err());
+        assert!(parse("(a,b,(c,));").is_err());
+        assert!(parse("(a:0.1,b:0.2);").is_err()); // 2 taxa
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        assert!(parse("(a:1,a:1,b:1);").is_err());
+    }
+
+    #[test]
+    fn roundtrip_topology_and_lengths() {
+        let s = "((a:0.11,b:0.07):0.31,c:0.05,(d:0.2,(e:0.17,f:0.13):0.09):0.41);";
+        let t = parse(s).unwrap();
+        let t2 = parse(&to_newick(&t)).unwrap();
+        assert_eq!(t.rf_distance(&t2), 0);
+        assert!((t.total_length() - t2.total_length()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn negative_length_clamped_or_rejected() {
+        // Negative lengths are invalid; parser raises BadBranchLength.
+        assert!(parse("(a:-0.5,b:0.1,c:0.1);").is_err());
+    }
+}

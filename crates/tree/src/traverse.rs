@@ -1,0 +1,184 @@
+//! Directed traversals.
+//!
+//! The PLF computes conditional likelihood arrays *toward* a virtual
+//! root: for the root edge `(a, b)` every inner node's CLA must be
+//! oriented away from the root edge. These traversals produce the
+//! post-order schedules that drive `newview` calls.
+
+use crate::tree::{EdgeId, NodeId, Tree};
+
+/// A directed view of a node: `node` looking away from `toward_edge`
+/// (i.e. `toward_edge` leads toward the virtual root).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Directed {
+    /// The node whose subtree is described.
+    pub node: NodeId,
+    /// The incident edge pointing toward the root side.
+    pub toward_edge: EdgeId,
+}
+
+/// The two children of an inner node seen from direction `toward_edge`:
+/// each child is `(connecting edge, child node)`.
+///
+/// # Panics
+/// Panics when `node` is a tip or `toward_edge` is not incident.
+pub fn children(tree: &Tree, node: NodeId, toward_edge: EdgeId) -> [(EdgeId, NodeId); 2] {
+    assert!(!tree.is_tip(node), "tips have no children");
+    let mut out = [(usize::MAX, usize::MAX); 2];
+    let mut k = 0;
+    for &e in tree.incident(node) {
+        if e == toward_edge {
+            continue;
+        }
+        assert!(k < 2, "toward_edge {toward_edge} not incident to {node}");
+        out[k] = (e, tree.other_end(e, node));
+        k += 1;
+    }
+    assert_eq!(k, 2, "toward_edge {toward_edge} not incident to {node}");
+    out
+}
+
+/// Post-order sequence of *inner* nodes in the subtree hanging off
+/// `side` when edge `e` is cut; each entry is directed toward `e`.
+///
+/// Children always precede parents, so executing `newview` in this
+/// order yields valid CLAs for every listed node. Tips are omitted:
+/// their "CLA" is the encoded sequence data itself.
+pub fn postorder_inner(tree: &Tree, e: EdgeId, side: NodeId) -> Vec<Directed> {
+    let mut order = Vec::new();
+    // Iterative post-order: stack of (node, toward_edge, expanded?).
+    let mut stack = vec![(side, e, false)];
+    while let Some((node, toward, expanded)) = stack.pop() {
+        if tree.is_tip(node) {
+            continue;
+        }
+        if expanded {
+            order.push(Directed {
+                node,
+                toward_edge: toward,
+            });
+        } else {
+            stack.push((node, toward, true));
+            for (ce, child) in children(tree, node, toward) {
+                stack.push((child, ce, false));
+            }
+        }
+    }
+    order
+}
+
+/// Post-order schedule for evaluating the likelihood at virtual-root
+/// edge `root`: all inner nodes of both sides, children first.
+pub fn full_schedule(tree: &Tree, root: EdgeId) -> Vec<Directed> {
+    let (a, b) = tree.endpoints(root);
+    let mut order = postorder_inner(tree, root, a);
+    order.extend(postorder_inner(tree, root, b));
+    order
+}
+
+/// Breadth-first list of edges within `radius` hops of `start`
+/// (excluding `start` itself). Distance counts nodes crossed. Used for
+/// RAxML-style bounded SPR regrafting.
+pub fn edges_within(tree: &Tree, start: EdgeId, radius: usize) -> Vec<EdgeId> {
+    let mut dist = vec![usize::MAX; tree.num_edges()];
+    dist[start] = 0;
+    let mut queue = std::collections::VecDeque::from([start]);
+    let mut result = Vec::new();
+    while let Some(e) = queue.pop_front() {
+        if dist[e] >= radius {
+            continue;
+        }
+        let (a, b) = tree.endpoints(e);
+        for node in [a, b] {
+            for &e2 in tree.incident(node) {
+                if dist[e2] == usize::MAX {
+                    dist[e2] = dist[e] + 1;
+                    result.push(e2);
+                    queue.push_back(e2);
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::newick::parse;
+
+    fn six_taxon() -> Tree {
+        parse("((a:0.1,b:0.1):0.1,c:0.1,(d:0.1,(e:0.1,f:0.1):0.1):0.1);").unwrap()
+    }
+
+    #[test]
+    fn children_excludes_root_direction() {
+        let t = six_taxon();
+        let a = t.tip_by_name("a").unwrap();
+        let e = t.incident(a)[0];
+        let inner = t.other_end(e, a);
+        // From the inner node joining a and b, looking toward a's edge:
+        let kids = children(&t, inner, e);
+        let kid_nodes: Vec<_> = kids.iter().map(|(_, n)| *n).collect();
+        assert!(kid_nodes.contains(&t.tip_by_name("b").unwrap()));
+        assert!(!kid_nodes.contains(&a));
+    }
+
+    #[test]
+    fn postorder_children_before_parents() {
+        let t = six_taxon();
+        // Root on a's pendant edge: the far side contains all 4 inner
+        // nodes.
+        let a = t.tip_by_name("a").unwrap();
+        let e = t.incident(a)[0];
+        let side = t.other_end(e, a);
+        let order = postorder_inner(&t, e, side);
+        assert_eq!(order.len(), t.num_inner());
+        // Every node's children (inner ones) must appear earlier.
+        let pos: std::collections::HashMap<_, _> = order
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.node, i))
+            .collect();
+        for d in &order {
+            for (_, child) in children(&t, d.node, d.toward_edge) {
+                if !t.is_tip(child) {
+                    assert!(pos[&child] < pos[&d.node]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_schedule_covers_all_inner_nodes_once() {
+        let t = six_taxon();
+        for root in t.edge_ids() {
+            let sched = full_schedule(&t, root);
+            let mut nodes: Vec<_> = sched.iter().map(|d| d.node).collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            assert_eq!(nodes.len(), t.num_inner(), "root edge {root}");
+        }
+    }
+
+    #[test]
+    fn tip_side_is_empty() {
+        let t = six_taxon();
+        let a = t.tip_by_name("a").unwrap();
+        let e = t.incident(a)[0];
+        assert!(postorder_inner(&t, e, a).is_empty());
+    }
+
+    #[test]
+    fn edges_within_radius_grows() {
+        let t = six_taxon();
+        let e0 = 0;
+        let r1 = edges_within(&t, e0, 1);
+        let r3 = edges_within(&t, e0, 3);
+        assert!(r1.len() < r3.len());
+        assert!(!r1.contains(&e0));
+        // Radius large enough reaches all other edges.
+        let all = edges_within(&t, e0, 100);
+        assert_eq!(all.len(), t.num_edges() - 1);
+    }
+}

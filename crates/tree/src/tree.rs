@@ -1,0 +1,495 @@
+//! The unrooted binary tree arena.
+
+use crate::error::TreeError;
+
+/// Node identifier. Tips are `0..num_taxa`, inner nodes follow.
+pub type NodeId = usize;
+
+/// Edge identifier, `0..(2·num_taxa − 3)` on a complete tree.
+pub type EdgeId = usize;
+
+/// Minimum branch length accepted anywhere (matches RAxML's
+/// `zmin`-style clamping).
+pub const BL_MIN: f64 = 1e-8;
+
+/// Maximum branch length accepted anywhere.
+pub const BL_MAX: f64 = 100.0;
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct Edge {
+    pub a: NodeId,
+    pub b: NodeId,
+    pub length: f64,
+}
+
+/// An unrooted binary tree over `n ≥ 3` named tips.
+///
+/// Invariants (checked by [`Tree::validate`] and preserved by all
+/// public operations): tips have degree 1, inner nodes degree 3, the
+/// graph is connected with `2n − 2` nodes and `2n − 3` edges, and all
+/// branch lengths lie in `[BL_MIN, BL_MAX]`.
+#[derive(Clone, Debug)]
+pub struct Tree {
+    num_taxa: usize,
+    names: Vec<String>,
+    /// `adj[node]` = edge ids incident to `node`.
+    adj: Vec<Vec<EdgeId>>,
+    edges: Vec<Edge>,
+}
+
+impl Tree {
+    /// Creates the unique 3-taxon star tree with the given branch
+    /// lengths from each tip to the single inner node (id 3).
+    pub fn triplet(names: [&str; 3], lengths: [f64; 3]) -> Result<Self, TreeError> {
+        let mut t = Tree {
+            num_taxa: 3,
+            names: names.iter().map(|s| s.to_string()).collect(),
+            adj: vec![Vec::new(); 4],
+            edges: Vec::with_capacity(3),
+        };
+        for (tip, &length) in lengths.iter().enumerate() {
+            t.push_edge(tip, 3, length)?;
+        }
+        t.validate()?;
+        Ok(t)
+    }
+
+    pub(crate) fn push_edge(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        length: f64,
+    ) -> Result<EdgeId, TreeError> {
+        let length = Self::check_length(length)?;
+        let id = self.edges.len();
+        self.edges.push(Edge { a, b, length });
+        self.adj[a].push(id);
+        self.adj[b].push(id);
+        Ok(id)
+    }
+
+    pub(crate) fn check_length(length: f64) -> Result<f64, TreeError> {
+        if !length.is_finite() || length < 0.0 {
+            return Err(TreeError::BadBranchLength(length));
+        }
+        Ok(length.clamp(BL_MIN, BL_MAX))
+    }
+
+    /// Creates a partially built tree whose node arena is sized for the
+    /// full taxon set (`2n − 2` slots), containing only the initial
+    /// triplet of tips 0, 1, 2 joined at inner node `n`. Used by the
+    /// stepwise builder; the result does NOT satisfy [`Tree::validate`]
+    /// until all taxa are attached.
+    pub(crate) fn star_in_arena(
+        names: Vec<String>,
+        initial_length: f64,
+    ) -> Result<Self, TreeError> {
+        let n = names.len();
+        if n < 3 {
+            return Err(TreeError::TooFewTaxa(n));
+        }
+        let mut t = Tree {
+            num_taxa: n,
+            names,
+            adj: vec![Vec::new(); 2 * n - 2],
+            edges: Vec::with_capacity(2 * n - 3),
+        };
+        for tip in 0..3 {
+            t.push_edge(tip, n, initial_length)?;
+        }
+        Ok(t)
+    }
+
+    /// Splits `edge` = (a, b) at a fresh inner node and hangs a fresh
+    /// tip off it. The kept edge id becomes (a, inner) with half the
+    /// original length, a new edge (inner, b) gets the other half, and
+    /// the pendant edge (inner, tip) gets `pendant_length`.
+    pub(crate) fn split_edge_attach(
+        &mut self,
+        edge: EdgeId,
+        inner: NodeId,
+        tip: NodeId,
+        pendant_length: f64,
+    ) -> Result<(), TreeError> {
+        if inner >= self.adj.len() || tip >= self.num_taxa {
+            return Err(TreeError::BadId(format!(
+                "split ids out of range: inner={inner}, tip={tip}"
+            )));
+        }
+        if !self.adj[inner].is_empty() || !self.adj[tip].is_empty() {
+            return Err(TreeError::BadId(format!(
+                "split targets already attached: inner={inner}, tip={tip}"
+            )));
+        }
+        let (a, b) = self.endpoints(edge);
+        let half = Self::check_length(self.edges[edge].length / 2.0)?;
+        // Re-point the kept edge's `b` endpoint at the new inner node.
+        self.reattach_edge(edge, b, inner);
+        self.edges[edge].length = half;
+        let _ = a;
+        self.push_edge(inner, b, half)?;
+        self.push_edge(inner, tip, pendant_length)?;
+        Ok(())
+    }
+
+    /// Builds a tree from raw parts (used by the Newick parser and the
+    /// constructors in [`crate::build`]); validates all invariants.
+    pub(crate) fn from_parts(
+        names: Vec<String>,
+        adj: Vec<Vec<EdgeId>>,
+        edges: Vec<Edge>,
+    ) -> Result<Self, TreeError> {
+        let t = Tree {
+            num_taxa: names.len(),
+            names,
+            adj,
+            edges,
+        };
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// Number of tips.
+    pub fn num_taxa(&self) -> usize {
+        self.num_taxa
+    }
+
+    /// Total number of nodes (`2n − 2`).
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of inner nodes (`n − 2`).
+    pub fn num_inner(&self) -> usize {
+        self.num_nodes() - self.num_taxa
+    }
+
+    /// Number of edges (`2n − 3`).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether `node` is a tip.
+    pub fn is_tip(&self, node: NodeId) -> bool {
+        node < self.num_taxa
+    }
+
+    /// Name of tip `node`.
+    ///
+    /// # Panics
+    /// Panics when `node` is not a tip.
+    pub fn tip_name(&self, node: NodeId) -> &str {
+        assert!(self.is_tip(node), "node {node} is not a tip");
+        &self.names[node]
+    }
+
+    /// All tip names in id order.
+    pub fn tip_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Id of the tip with the given name.
+    pub fn tip_by_name(&self, name: &str) -> Option<NodeId> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// The two endpoints of an edge.
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        let edge = &self.edges[e];
+        (edge.a, edge.b)
+    }
+
+    /// Branch length of an edge.
+    pub fn length(&self, e: EdgeId) -> f64 {
+        self.edges[e].length
+    }
+
+    /// Sets the branch length of an edge, clamped to `[BL_MIN, BL_MAX]`.
+    pub fn set_length(&mut self, e: EdgeId, length: f64) -> Result<(), TreeError> {
+        self.edges[e].length = Self::check_length(length)?;
+        Ok(())
+    }
+
+    /// The endpoint of `e` that is not `node`.
+    ///
+    /// # Panics
+    /// Panics when `node` is not an endpoint of `e`.
+    pub fn other_end(&self, e: EdgeId, node: NodeId) -> NodeId {
+        let edge = &self.edges[e];
+        if edge.a == node {
+            edge.b
+        } else {
+            assert_eq!(edge.b, node, "node {node} not on edge {e}");
+            edge.a
+        }
+    }
+
+    /// Edges incident to `node` (1 for tips, 3 for inner nodes).
+    pub fn incident(&self, node: NodeId) -> &[EdgeId] {
+        &self.adj[node]
+    }
+
+    /// Neighbor nodes of `node` with the connecting edge.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        self.adj[node].iter().map(move |&e| (e, self.other_end(e, node)))
+    }
+
+    /// All edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> {
+        0..self.edges.len()
+    }
+
+    /// All internal edges (both endpoints inner nodes).
+    pub fn internal_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edge_ids().filter(move |&e| {
+            let (a, b) = self.endpoints(e);
+            !self.is_tip(a) && !self.is_tip(b)
+        })
+    }
+
+    /// The edge connecting `a` and `b`, if any.
+    pub fn edge_between(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
+        self.adj[a]
+            .iter()
+            .copied()
+            .find(|&e| self.other_end(e, a) == b)
+    }
+
+    /// Sum of all branch lengths.
+    pub fn total_length(&self) -> f64 {
+        self.edges.iter().map(|e| e.length).sum()
+    }
+
+    /// Checks every structural invariant; returns a description of the
+    /// first violation.
+    pub fn validate(&self) -> Result<(), TreeError> {
+        if self.num_taxa < 3 {
+            return Err(TreeError::TooFewTaxa(self.num_taxa));
+        }
+        let n = self.num_taxa;
+        if self.adj.len() != 2 * n - 2 {
+            return Err(TreeError::BadId(format!(
+                "expected {} nodes, found {}",
+                2 * n - 2,
+                self.adj.len()
+            )));
+        }
+        if self.edges.len() != 2 * n - 3 {
+            return Err(TreeError::BadId(format!(
+                "expected {} edges, found {}",
+                2 * n - 3,
+                self.edges.len()
+            )));
+        }
+        for (node, inc) in self.adj.iter().enumerate() {
+            let want = if node < n { 1 } else { 3 };
+            if inc.len() != want {
+                return Err(TreeError::BadId(format!(
+                    "node {node} has degree {}, expected {want}",
+                    inc.len()
+                )));
+            }
+            for &e in inc {
+                let edge = self.edges.get(e).ok_or_else(|| {
+                    TreeError::BadId(format!("node {node} references missing edge {e}"))
+                })?;
+                if edge.a != node && edge.b != node {
+                    return Err(TreeError::BadId(format!(
+                        "edge {e} does not touch node {node}"
+                    )));
+                }
+            }
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            if !(BL_MIN..=BL_MAX).contains(&e.length) {
+                return Err(TreeError::BadBranchLength(e.length));
+            }
+            if e.a == e.b {
+                return Err(TreeError::BadId(format!("edge {i} is a self-loop")));
+            }
+        }
+        // Connectivity via DFS.
+        let mut seen = vec![false; self.adj.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &e in &self.adj[v] {
+                let w = self.other_end(e, v);
+                if !seen[w] {
+                    seen[w] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        if count != self.adj.len() {
+            return Err(TreeError::BadId(format!(
+                "tree is disconnected: reached {count} of {} nodes",
+                self.adj.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Replaces one endpoint of an edge; internal helper for moves.
+    pub(crate) fn reattach_edge(&mut self, e: EdgeId, from: NodeId, to: NodeId) {
+        let edge = &mut self.edges[e];
+        if edge.a == from {
+            edge.a = to;
+        } else {
+            debug_assert_eq!(edge.b, from);
+            edge.b = to;
+        }
+        let pos = self.adj[from]
+            .iter()
+            .position(|&x| x == e)
+            .expect("edge not in adjacency of endpoint");
+        self.adj[from].swap_remove(pos);
+        self.adj[to].push(e);
+    }
+
+    /// Removes edge `e` from `node`'s adjacency list only; the edge
+    /// record stays allocated so its id can be re-used by a later
+    /// [`Tree::attach_edge`]. Internal helper for SPR.
+    pub(crate) fn detach_edge(&mut self, e: EdgeId, node: NodeId) {
+        let pos = self.adj[node]
+            .iter()
+            .position(|&x| x == e)
+            .expect("edge not attached to node");
+        self.adj[node].swap_remove(pos);
+    }
+
+    /// Re-purposes a detached edge record to connect `a` and `b`.
+    pub(crate) fn attach_edge(
+        &mut self,
+        e: EdgeId,
+        a: NodeId,
+        b: NodeId,
+        length: f64,
+    ) -> Result<(), TreeError> {
+        let length = Self::check_length(length)?;
+        self.edges[e] = Edge { a, b, length };
+        self.adj[a].push(e);
+        self.adj[b].push(e);
+        Ok(())
+    }
+
+    /// Computes the unrooted topology's set of non-trivial splits
+    /// (bipartitions), each represented as the lexicographically
+    /// smaller side's sorted tip *names* — name-based so trees with
+    /// different internal tip numbering (e.g. after a Newick
+    /// round-trip) compare correctly. Used for Robinson-Foulds
+    /// distances in tests and the search.
+    pub fn splits(&self) -> Vec<Vec<String>> {
+        let mut result = Vec::new();
+        for e in self.internal_edges() {
+            let (a, _b) = self.endpoints(e);
+            let mut side: Vec<String> = self
+                .tips_behind(e, a)
+                .into_iter()
+                .map(|t| self.names[t].clone())
+                .collect();
+            side.sort_unstable();
+            let mut complement: Vec<String> = self
+                .names
+                .iter()
+                .filter(|n| !side.contains(n))
+                .cloned()
+                .collect();
+            complement.sort_unstable();
+            let canon = if side < complement { side } else { complement };
+            result.push(canon);
+        }
+        result.sort();
+        result
+    }
+
+    /// Tip ids in the component containing `side` after removing edge
+    /// `e`.
+    pub fn tips_behind(&self, e: EdgeId, side: NodeId) -> Vec<NodeId> {
+        let mut tips = Vec::new();
+        let mut stack = vec![side];
+        let mut seen = vec![false; self.num_nodes()];
+        seen[side] = true;
+        while let Some(v) = stack.pop() {
+            if self.is_tip(v) {
+                tips.push(v);
+            }
+            for &e2 in &self.adj[v] {
+                if e2 == e {
+                    continue;
+                }
+                let w = self.other_end(e2, v);
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        tips
+    }
+
+    /// Robinson-Foulds distance to another tree over the same taxa.
+    pub fn rf_distance(&self, other: &Tree) -> usize {
+        let a = self.splits();
+        let b = other.splits();
+        let in_both = a.iter().filter(|s| b.contains(s)).count();
+        (a.len() - in_both) + (b.len() - in_both)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplet_structure() {
+        let t = Tree::triplet(["a", "b", "c"], [0.1, 0.2, 0.3]).unwrap();
+        assert_eq!(t.num_taxa(), 3);
+        assert_eq!(t.num_nodes(), 4);
+        assert_eq!(t.num_edges(), 3);
+        assert_eq!(t.num_inner(), 1);
+        assert!(t.is_tip(0) && t.is_tip(2) && !t.is_tip(3));
+        assert_eq!(t.tip_name(1), "b");
+        assert_eq!(t.tip_by_name("c"), Some(2));
+        assert!((t.total_length() - 0.6).abs() < 1e-12);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn other_end_and_neighbors() {
+        let t = Tree::triplet(["a", "b", "c"], [0.1, 0.1, 0.1]).unwrap();
+        let e = t.incident(0)[0];
+        assert_eq!(t.other_end(e, 0), 3);
+        assert_eq!(t.other_end(e, 3), 0);
+        let nbrs: Vec<NodeId> = t.neighbors(3).map(|(_, n)| n).collect();
+        assert_eq!(nbrs.len(), 3);
+        assert!(nbrs.contains(&0) && nbrs.contains(&1) && nbrs.contains(&2));
+    }
+
+    #[test]
+    fn set_length_clamps() {
+        let mut t = Tree::triplet(["a", "b", "c"], [0.1, 0.1, 0.1]).unwrap();
+        t.set_length(0, 1e-30).unwrap();
+        assert_eq!(t.length(0), BL_MIN);
+        t.set_length(0, 1e9).unwrap();
+        assert_eq!(t.length(0), BL_MAX);
+        assert!(t.set_length(0, f64::NAN).is_err());
+        assert!(t.set_length(0, -1.0).is_err());
+    }
+
+    #[test]
+    fn edge_between() {
+        let t = Tree::triplet(["a", "b", "c"], [0.1, 0.1, 0.1]).unwrap();
+        assert!(t.edge_between(0, 3).is_some());
+        assert!(t.edge_between(0, 1).is_none());
+    }
+
+    #[test]
+    fn triplet_has_no_internal_edges_or_splits() {
+        let t = Tree::triplet(["a", "b", "c"], [0.1, 0.1, 0.1]).unwrap();
+        assert_eq!(t.internal_edges().count(), 0);
+        assert!(t.splits().is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! Evolutionary placement of query sequences — the paper's §VII
+//! future-work application (EPA, Berger et al. 2011), built from the
+//! public API.
+//!
+//! Given a fixed reference tree and alignment, each query sequence is
+//! attached to every branch of the reference tree in turn; the pendant
+//! branch length is optimized by Newton-Raphson and the placement with
+//! the best log-likelihood wins. Placements of different queries (and
+//! different branches) are independent, which is why the paper calls
+//! EPA "a promising candidate" for accelerator offloading.
+//!
+//! Run: `cargo run --release --example epa_placement`
+
+use phylomic::bio::{Alignment, CompressedAlignment, Sequence};
+use phylomic::models::{DiscreteGamma, Gtr, GtrParams};
+use phylomic::plf::{EngineConfig, LikelihoodEngine};
+use phylomic::search::newton::optimize_branch;
+use phylomic::tree::moves::{spr, spr_undo};
+use phylomic::tree::{newick, NodeId, Tree};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// A placement candidate, identified topologically: the sorted tip
+/// names on the smaller side of the reference branch the query was
+/// grafted into.
+#[derive(Clone, Debug)]
+struct Placement {
+    key: Vec<String>,
+    log_likelihood: f64,
+    pendant_length: f64,
+}
+
+fn main() {
+    // Reference data: 10 taxa, simulated.
+    let mut rng = SmallRng::seed_from_u64(77);
+    let ref_names = phylomic::tree::build::default_names(10);
+    let ref_tree = phylomic::tree::build::random_tree(&ref_names, 0.15, &mut rng).unwrap();
+    let gtr = Gtr::new(GtrParams::jc69());
+    let gamma = DiscreteGamma::new(1.0);
+    let sites = 2_000;
+    let ref_aln =
+        phylomic::seqgen::simulate_alignment(&ref_tree, gtr.eigen(), &gamma, sites, &mut rng);
+
+    // Queries: ~5% point divergence away from two reference taxa, so
+    // the correct placements (the source taxon's pendant branch) are
+    // known.
+    let queries = [("query_near_t3", "t3"), ("query_near_t7", "t7")];
+    let query_seqs: Vec<Sequence> = queries
+        .iter()
+        .map(|(qname, src)| {
+            let src_row = ref_aln.taxon_index(src).unwrap();
+            let codes: Vec<_> = ref_aln
+                .sequence(src_row)
+                .codes()
+                .iter()
+                .map(|&c| {
+                    if rand::Rng::random::<f64>(&mut rng) < 0.05 {
+                        phylomic::bio::alphabet::UNAMBIGUOUS
+                            [rand::Rng::random_range(&mut rng, 0..4)]
+                    } else {
+                        c
+                    }
+                })
+                .collect();
+            Sequence::new(*qname, codes)
+        })
+        .collect();
+
+    println!("reference: {} taxa x {sites} sites", ref_tree.num_taxa());
+    println!("reference tree: {}", newick::to_newick(&ref_tree));
+    println!();
+
+    for (qi, (qname, true_src)) in queries.iter().enumerate() {
+        let placements = place_query(&ref_tree, &ref_aln, &query_seqs[qi]);
+        let mut sorted: Vec<&Placement> = placements.values().collect();
+        sorted.sort_by(|a, b| b.log_likelihood.partial_cmp(&a.log_likelihood).unwrap());
+        let best = sorted[0];
+        println!(
+            "{qname}: best branch = split {{{}}}, logL {:.3}, pendant {:.4}",
+            best.key.join(","),
+            best.log_likelihood,
+            best.pendant_length
+        );
+        // Likelihood-weight ratios of the top 3 placements.
+        let max_ll = best.log_likelihood;
+        let total: f64 = sorted
+            .iter()
+            .map(|p| (p.log_likelihood - max_ll).exp())
+            .sum();
+        for p in sorted.iter().take(3) {
+            println!(
+                "    {{{}}}  logL {:>10.3}  LWR {:.3}",
+                p.key.join(","),
+                p.log_likelihood,
+                (p.log_likelihood - max_ll).exp() / total
+            );
+        }
+        let recovered = best.key == vec![true_src.to_string()];
+        println!(
+            "    true placement (pendant branch of {true_src}): {}",
+            if recovered { "RECOVERED" } else { "MISSED" }
+        );
+        assert!(recovered, "EPA failed to place {qname} next to {true_src}");
+        println!();
+    }
+}
+
+/// Scores the query against every reference branch; returns the best
+/// placement per branch, keyed topologically.
+fn place_query(
+    ref_tree: &Tree,
+    ref_aln: &Alignment,
+    query: &Sequence,
+) -> HashMap<Vec<String>, Placement> {
+    // Extended alignment: reference rows + the query row.
+    let mut seqs: Vec<Sequence> = ref_aln.sequences().to_vec();
+    seqs.push(query.clone());
+    let ext_aln = CompressedAlignment::from_alignment(&Alignment::new(seqs).unwrap());
+
+    // Extended tree: query grafted anywhere (next to the newick's
+    // first top-level subtree).
+    let mut tree = attach_query(ref_tree, query.name());
+    let q_tip = tree.tip_by_name(query.name()).unwrap();
+    let mut engine = LikelihoodEngine::new(&tree, &ext_aln, EngineConfig::default());
+
+    let mut placements: HashMap<Vec<String>, Placement> = HashMap::new();
+    // Two passes from different attachment points cover the edges that
+    // are SPR-excluded (adjacent to the current attachment) in either
+    // pass.
+    for pass in 0..2 {
+        let prune = tree.incident(q_tip)[0];
+        // Record the current position too: it is itself a placement
+        // (the one SPR cannot score because the target would be
+        // adjacent).
+        record_current(&mut engine, &mut tree, q_tip, &mut placements);
+        let n_edges = tree.num_edges();
+        for target in 0..n_edges {
+            let undo = match spr(&mut tree, prune, q_tip, target) {
+                Ok(u) => u,
+                Err(_) => continue,
+            };
+            record_current(&mut engine, &mut tree, q_tip, &mut placements);
+            spr_undo(&mut tree, undo).expect("undo placement trial");
+        }
+        if pass == 0 {
+            // Move the query to a distant valid edge for the second
+            // pass (the last edge that accepts it).
+            for target in (0..tree.num_edges()).rev() {
+                if spr(&mut tree, prune, q_tip, target).is_ok() {
+                    break;
+                }
+            }
+        }
+    }
+    placements
+}
+
+/// Optimizes the pendant branch at the query's current position and
+/// records the placement under its topological key.
+fn record_current(
+    engine: &mut LikelihoodEngine,
+    tree: &mut Tree,
+    q_tip: NodeId,
+    placements: &mut HashMap<Vec<String>, Placement>,
+) {
+    let prune = tree.incident(q_tip)[0];
+    let saved = tree.length(prune);
+    optimize_branch(engine, tree, prune);
+    let ll = engine.log_likelihood(tree, prune);
+    let key = placement_key(tree, q_tip);
+    let better = placements
+        .get(&key)
+        .is_none_or(|p| ll > p.log_likelihood);
+    if better {
+        placements.insert(
+            key,
+            Placement {
+                key: Vec::new(), // filled below
+                log_likelihood: ll,
+                pendant_length: tree.length(prune),
+            },
+        );
+        let k = placement_key(tree, q_tip);
+        placements.get_mut(&k).unwrap().key = k.clone();
+    }
+    tree.set_length(prune, saved).unwrap();
+}
+
+/// Topological identity of the query's current position: the sorted
+/// reference-tip names of the smaller side of the branch it subdivides
+/// (the two non-pendant edges at the attachment point reconnect that
+/// branch).
+fn placement_key(tree: &Tree, q_tip: NodeId) -> Vec<String> {
+    let prune = tree.incident(q_tip)[0];
+    let p = tree.other_end(prune, q_tip);
+    // One of p's other edges; the tips behind it (away from p) are one
+    // side of the subdivided reference branch.
+    let e = tree
+        .incident(p)
+        .iter()
+        .copied()
+        .find(|&x| x != prune)
+        .expect("attachment point has degree 3");
+    let far = tree.other_end(e, p);
+    let mut side: Vec<String> = tree
+        .tips_behind(e, far)
+        .into_iter()
+        .map(|t| tree.tip_name(t).to_string())
+        .collect();
+    side.sort();
+    let mut other: Vec<String> = tree
+        .tip_names()
+        .iter()
+        .filter(|n| *n != tree.tip_name(q_tip) && !side.contains(n))
+        .cloned()
+        .collect();
+    other.sort();
+    if side.len() < other.len() || (side.len() == other.len() && side < other) {
+        side
+    } else {
+        other
+    }
+}
+
+/// Attaches a fresh tip named `qname` next to the first top-level
+/// subtree of `t`'s Newick rendering.
+fn attach_query(t: &Tree, qname: &str) -> Tree {
+    let s = newick::to_newick(t);
+    let inner = &s[1..s.len() - 2]; // strip outer parens and ";"
+    let mut depth = 0;
+    let mut cut = 0;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth -= 1,
+            ',' if depth == 0 => {
+                cut = i;
+                break;
+            }
+            _ => {}
+        }
+    }
+    let (first, rest) = inner.split_at(cut);
+    let glued = format!("(({first},{qname}:0.1):0.05{rest});");
+    newick::parse(&glued).unwrap()
+}

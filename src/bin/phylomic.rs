@@ -1,0 +1,322 @@
+//! `phylomic` — command-line interface to the library.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! phylomic simulate --taxa 15 --sites 10000 --out data.phy [--alpha 0.85] [--seed 42]
+//! phylomic evaluate --alignment data.phy --tree tree.nwk [--alpha 0.85] [--kernel vector]
+//! phylomic search   --alignment data.phy [--tree start.nwk] [--scheme serial|forkjoin|replicated]
+//!                   [--threads 4] [--rounds 20] [--checkpoint run.ckp] [--out best.nwk]
+//! ```
+//!
+//! Alignments are PHYLIP (`.phy`) or FASTA (anything else); trees are
+//! Newick. Argument parsing is deliberately dependency-free.
+
+use phylomic::bio::{fasta, phylip, Alignment, CompressedAlignment};
+use phylomic::models::{DiscreteGamma, Gtr, GtrParams};
+use phylomic::parallel::{run_replicated, ForkJoinEvaluator};
+use phylomic::plf::{EngineConfig, KernelKind, LikelihoodEngine};
+use phylomic::search::{MlSearch, SearchConfig};
+use phylomic::tree::build::{default_names, random_tree};
+use phylomic::tree::{newick, Tree};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "simulate" => cmd_simulate(&opts),
+        "evaluate" => cmd_evaluate(&opts),
+        "search" => cmd_search(&opts),
+        "bootstrap" => cmd_bootstrap(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "phylomic — phylogenetic likelihood toolkit (PLF-on-MIC reproduction)
+
+USAGE:
+  phylomic simulate --taxa N --sites M --out FILE [--alpha A] [--seed S]
+  phylomic evaluate --alignment FILE --tree FILE [--alpha A] [--kernel scalar|vector]
+  phylomic search   --alignment FILE [--tree FILE | --start random|parsimony]
+                    [--scheme serial|forkjoin|replicated] [--threads N] [--rounds R]
+                    [--alpha A] [--kernel K] [--checkpoint FILE] [--out FILE]
+                    [--seed S] [--no-model-opt]
+  phylomic bootstrap --alignment FILE [--replicates N] [--rounds R] [--seed S]
+                    [--out FILE]
+
+Alignments: PHYLIP when the path ends in .phy, FASTA otherwise.";
+
+type Opts = HashMap<String, String>;
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --option, found {key:?}"));
+        };
+        if name == "no-model-opt" {
+            opts.insert(name.to_string(), "true".to_string());
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} requires a value"))?;
+        opts.insert(name.to_string(), value.clone());
+    }
+    Ok(opts)
+}
+
+fn get<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+    }
+}
+
+fn require<'a>(opts: &'a Opts, key: &str) -> Result<&'a str, String> {
+    opts.get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("--{key} is required"))
+}
+
+fn kernel_of(opts: &Opts) -> Result<KernelKind, String> {
+    match opts.get("kernel").map(String::as_str).unwrap_or("vector") {
+        "vector" => Ok(KernelKind::Vector),
+        "scalar" => Ok(KernelKind::Scalar),
+        other => Err(format!("--kernel must be scalar or vector, got {other:?}")),
+    }
+}
+
+fn load_alignment(path: &str) -> Result<Alignment, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let aln = if path.ends_with(".phy") {
+        phylip::parse_str(&text)
+    } else {
+        fasta::parse_str(&text)
+    };
+    aln.map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_tree(path: &str) -> Result<Tree, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    newick::parse(text.trim()).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_simulate(opts: &Opts) -> Result<(), String> {
+    let taxa: usize = get(opts, "taxa", 15)?;
+    let sites: usize = get(opts, "sites", 10_000)?;
+    let alpha: f64 = get(opts, "alpha", 0.85)?;
+    let seed: u64 = get(opts, "seed", 42)?;
+    let out = require(opts, "out")?;
+    if taxa < 3 {
+        return Err("--taxa must be at least 3".into());
+    }
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let names = default_names(taxa);
+    let tree = random_tree(&names, 0.12, &mut rng).map_err(|e| e.to_string())?;
+    let gtr = Gtr::new(GtrParams {
+        rates: [1.1, 2.6, 0.8, 1.2, 3.4, 1.0],
+        freqs: [0.29, 0.21, 0.22, 0.28],
+    });
+    let gamma = DiscreteGamma::new(alpha);
+    let aln = phylomic::seqgen::simulate_alignment(&tree, gtr.eigen(), &gamma, sites, &mut rng);
+
+    let rendered = if out.ends_with(".phy") {
+        phylip::to_string(&aln)
+    } else {
+        fasta::to_string(&aln)
+    };
+    std::fs::write(out, rendered).map_err(|e| e.to_string())?;
+    std::fs::write(format!("{out}.tree"), format!("{}\n", newick::to_newick(&tree)))
+        .map_err(|e| e.to_string())?;
+    println!("wrote {out} ({taxa} taxa x {sites} sites) and {out}.tree (true tree)");
+    Ok(())
+}
+
+fn cmd_evaluate(opts: &Opts) -> Result<(), String> {
+    let aln = load_alignment(require(opts, "alignment")?)?;
+    let tree = load_tree(require(opts, "tree")?)?;
+    let alpha: f64 = get(opts, "alpha", 1.0)?;
+    let compressed = CompressedAlignment::from_alignment(&aln);
+    let mut engine = LikelihoodEngine::new(
+        &tree,
+        &compressed,
+        EngineConfig {
+            kernel: kernel_of(opts)?,
+            alpha,
+        },
+    );
+    let ll = engine.log_likelihood(&tree, 0);
+    println!(
+        "patterns {} (from {} sites)  alpha {alpha}  logL {ll:.6}",
+        compressed.num_patterns(),
+        aln.num_sites()
+    );
+    Ok(())
+}
+
+fn cmd_search(opts: &Opts) -> Result<(), String> {
+    let aln = load_alignment(require(opts, "alignment")?)?;
+    let compressed = CompressedAlignment::from_alignment(&aln);
+    let seed: u64 = get(opts, "seed", 1)?;
+    let alpha: f64 = get(opts, "alpha", 1.0)?;
+    let rounds: usize = get(opts, "rounds", 20)?;
+    let threads: usize = get(opts, "threads", 1)?;
+    let scheme = opts.get("scheme").map(String::as_str).unwrap_or("serial");
+
+    let mut tree = match opts.get("tree") {
+        Some(path) => load_tree(path)?,
+        None => match opts.get("start").map(String::as_str).unwrap_or("random") {
+            "parsimony" => phylomic::search::parsimony::stepwise_addition_tree(
+                &compressed,
+                0.05,
+                &mut SmallRng::seed_from_u64(seed),
+            )
+            .map_err(|e| e.to_string())?,
+            "random" => {
+                let names: Vec<String> = aln.names().map(str::to_string).collect();
+                random_tree(&names, 0.1, &mut SmallRng::seed_from_u64(seed))
+                    .map_err(|e| e.to_string())?
+            }
+            other => return Err(format!("--start must be random or parsimony, got {other:?}")),
+        },
+    };
+    let config = EngineConfig {
+        kernel: kernel_of(opts)?,
+        alpha,
+    };
+    let search = MlSearch::new(SearchConfig {
+        max_rounds: rounds,
+        optimize_model: !opts.contains_key("no-model-opt"),
+        ..Default::default()
+    });
+
+    let start = std::time::Instant::now();
+    let result = match scheme {
+        "serial" => {
+            let mut engine = LikelihoodEngine::new(&tree, &compressed, config);
+            match opts.get("checkpoint") {
+                Some(path) => search
+                    .run_checkpointed(&mut engine, &mut tree, std::path::Path::new(path))?,
+                None => search.run(&mut engine, &mut tree),
+            }
+        }
+        "forkjoin" => {
+            let mut fj = ForkJoinEvaluator::new(&tree, &compressed, config, threads.max(1));
+            match opts.get("checkpoint") {
+                Some(path) => {
+                    search.run_checkpointed(&mut fj, &mut tree, std::path::Path::new(path))?
+                }
+                None => search.run(&mut fj, &mut tree),
+            }
+        }
+        "replicated" => {
+            if opts.contains_key("checkpoint") {
+                return Err("--checkpoint is only supported for serial/forkjoin schemes".into());
+            }
+            let out = run_replicated(&tree, &compressed, config, search, threads.max(1));
+            out.result
+        }
+        other => return Err(format!("unknown --scheme {other:?}")),
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+
+    println!(
+        "logL {:.6}  rounds {}  moves {}/{}  time {elapsed:.2}s",
+        result.log_likelihood, result.rounds, result.spr_accepted, result.spr_evaluated
+    );
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, format!("{}\n", result.newick)).map_err(|e| e.to_string())?;
+            println!("best tree written to {path}");
+        }
+        None => println!("{}", result.newick),
+    }
+    Ok(())
+}
+
+fn cmd_bootstrap(opts: &Opts) -> Result<(), String> {
+    use phylomic::search::bootstrap::{annotate_newick, run_bootstrap, BootstrapConfig};
+    let aln = load_alignment(require(opts, "alignment")?)?;
+    let compressed = CompressedAlignment::from_alignment(&aln);
+    let seed: u64 = get(opts, "seed", 1)?;
+    let replicates: usize = get(opts, "replicates", 20)?;
+    let rounds: usize = get(opts, "rounds", 3)?;
+
+    // Primary search from a parsimony start.
+    let mut tree = phylomic::search::parsimony::stepwise_addition_tree(
+        &compressed,
+        0.05,
+        &mut SmallRng::seed_from_u64(seed),
+    )
+    .map_err(|e| e.to_string())?;
+    let config = EngineConfig {
+        kernel: kernel_of(opts)?,
+        alpha: get(opts, "alpha", 1.0)?,
+    };
+    let search = MlSearch::new(SearchConfig {
+        max_rounds: rounds.max(3),
+        ..Default::default()
+    });
+    let mut engine = LikelihoodEngine::new(&tree, &compressed, config);
+    let best = search.run(&mut engine, &mut tree);
+    println!("best tree logL {:.6}", best.log_likelihood);
+
+    // Replicates.
+    println!("running {replicates} bootstrap replicates...");
+    let bs_cfg = BootstrapConfig {
+        replicates,
+        search: SearchConfig {
+            max_rounds: rounds,
+            optimize_model: false,
+            smoothing_passes: 4,
+            ..Default::default()
+        },
+        engine: config,
+    };
+    let result = run_bootstrap(
+        &compressed,
+        &tree,
+        bs_cfg,
+        &mut SmallRng::seed_from_u64(seed ^ 0xb007),
+    );
+    let annotated = annotate_newick(&tree, &result);
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, format!("{annotated}\n")).map_err(|e| e.to_string())?;
+            println!("support-annotated tree written to {path}");
+        }
+        None => println!("{annotated}"),
+    }
+    Ok(())
+}

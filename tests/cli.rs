@@ -1,0 +1,179 @@
+//! End-to-end tests of the `phylomic` command-line binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_phylomic"))
+}
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("phylomic-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn simulate_evaluate_search_roundtrip() {
+    let dir = tmpdir();
+    let phy = dir.join("sim.phy");
+
+    // simulate
+    let out = bin()
+        .args([
+            "simulate",
+            "--taxa",
+            "8",
+            "--sites",
+            "400",
+            "--seed",
+            "5",
+            "--out",
+            phy.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(phy.exists());
+    let true_tree = format!("{}.tree", phy.display());
+    assert!(std::path::Path::new(&true_tree).exists());
+
+    // evaluate against the true tree
+    let out = bin()
+        .args([
+            "evaluate",
+            "--alignment",
+            phy.to_str().unwrap(),
+            "--tree",
+            &true_tree,
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("logL -"), "unexpected output: {text}");
+
+    // search with a parsimony start and checkpoint
+    let ckp = dir.join("run.ckp");
+    let best = dir.join("best.nwk");
+    let out = bin()
+        .args([
+            "search",
+            "--alignment",
+            phy.to_str().unwrap(),
+            "--start",
+            "parsimony",
+            "--rounds",
+            "2",
+            "--no-model-opt",
+            "--checkpoint",
+            ckp.to_str().unwrap(),
+            "--out",
+            best.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(ckp.exists(), "checkpoint written");
+    assert!(best.exists(), "best tree written");
+    // The written tree parses and covers the right taxa.
+    let newick = std::fs::read_to_string(&best).unwrap();
+    let tree = phylomic::tree::newick::parse(newick.trim()).unwrap();
+    assert_eq!(tree.num_taxa(), 8);
+
+    // Resume from the checkpoint must succeed and not regress.
+    let first: f64 = String::from_utf8_lossy(&out.stdout)
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    let out = bin()
+        .args([
+            "search",
+            "--alignment",
+            phy.to_str().unwrap(),
+            "--rounds",
+            "4",
+            "--no-model-opt",
+            "--checkpoint",
+            ckp.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let resumed: f64 = String::from_utf8_lossy(&out.stdout)
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        resumed >= first - 1e-6,
+        "resume regressed: {resumed} < {first}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    // Unknown subcommand.
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    // Missing required option.
+    let out = bin().args(["evaluate", "--tree", "x.nwk"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--alignment"), "{err}");
+    // Nonexistent file.
+    let out = bin()
+        .args(["evaluate", "--alignment", "/nonexistent.phy", "--tree", "/nonexistent.nwk"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // No args at all prints usage.
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn bootstrap_produces_annotated_tree() {
+    let dir = tmpdir();
+    let phy = dir.join("bs.phy");
+    bin()
+        .args([
+            "simulate",
+            "--taxa",
+            "6",
+            "--sites",
+            "300",
+            "--seed",
+            "9",
+            "--out",
+            phy.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let out_file = dir.join("annotated.nwk");
+    let out = bin()
+        .args([
+            "bootstrap",
+            "--alignment",
+            phy.to_str().unwrap(),
+            "--replicates",
+            "3",
+            "--rounds",
+            "1",
+            "--out",
+            out_file.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let annotated = std::fs::read_to_string(&out_file).unwrap();
+    let tree = phylomic::tree::newick::parse(annotated.trim()).unwrap();
+    assert_eq!(tree.num_taxa(), 6);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,192 @@
+//! Failure injection: malformed inputs, degenerate parameters, and
+//! pathological data must fail loudly or degrade gracefully — never
+//! return silently wrong likelihoods.
+
+use phylomic::bio::{fasta, phylip, Alignment, CompressedAlignment, Sequence};
+use phylomic::models::{DiscreteGamma, Gtr, GtrParams};
+use phylomic::plf::{EngineConfig, KernelKind, LikelihoodEngine};
+use phylomic::tree::{newick, tree::BL_MAX, tree::BL_MIN};
+
+fn toy_aln(width: usize) -> CompressedAlignment {
+    let mk = |name: &str, pat: &str| {
+        Sequence::from_str_named(name, &pat.repeat(width / pat.len() + 1)[..width]).unwrap()
+    };
+    CompressedAlignment::from_alignment(
+        &Alignment::new(vec![
+            mk("a", "ACGT"),
+            mk("b", "ACGA"),
+            mk("c", "TCGT"),
+            mk("d", "ACTT"),
+        ])
+        .unwrap(),
+    )
+}
+
+#[test]
+fn malformed_files_are_rejected_not_mangled() {
+    // FASTA.
+    for bad in [
+        "no header at all\nACGT\n",
+        ">x\nACGZ\n>y\nACGT\n", // invalid character
+        ">x\n>y\nAC\n",          // empty record
+    ] {
+        assert!(fasta::parse_str(bad).is_err(), "accepted: {bad:?}");
+    }
+    // PHYLIP.
+    for bad in [
+        "",
+        "notanumber 4\na ACGT\n",
+        "2 4\na ACGT\n",          // missing taxon
+        "1 4\na ACGTACGT\n",      // overlong
+        "2 4\na ACGT\nb AC\n",    // truncated
+    ] {
+        assert!(phylip::parse_str(bad).is_err(), "accepted: {bad:?}");
+    }
+    // Newick.
+    for bad in [
+        "(a:0.1,b:0.2,c:0.3)",        // missing semicolon
+        "(a:0.1,b:0.2);",             // two taxa
+        "((a,b),(c,d),(e,f),(g,h));", // top-level multifurcation
+        "(a:xyz,b:0.1,c:0.1);",       // bad number
+        "(a:0.1,a:0.1,b:0.1);",       // duplicate names
+    ] {
+        assert!(newick::parse(bad).is_err(), "accepted: {bad:?}");
+    }
+}
+
+#[test]
+fn branch_length_extremes_keep_likelihood_finite() {
+    let aln = toy_aln(64);
+    let mut tree = newick::parse("(a:0.1,b:0.1,(c:0.1,d:0.1):0.1);").unwrap();
+    for kernel in [KernelKind::Scalar, KernelKind::Vector] {
+        let mut engine = LikelihoodEngine::new(&tree, &aln, EngineConfig { kernel, alpha: 1.0 });
+        for e in 0..tree.num_edges() {
+            tree.set_length(e, BL_MIN).unwrap();
+        }
+        let ll_min = engine.log_likelihood(&tree, 0);
+        assert!(ll_min.is_finite(), "{kernel:?}: min-branch logL {ll_min}");
+        for e in 0..tree.num_edges() {
+            tree.set_length(e, BL_MAX).unwrap();
+        }
+        let ll_max = engine.log_likelihood(&tree, 0);
+        assert!(ll_max.is_finite(), "{kernel:?}: max-branch logL {ll_max}");
+        // Saturated branches: every site's likelihood approaches the
+        // product of stationary frequencies; still a valid number.
+        assert!(ll_max < 0.0);
+    }
+}
+
+#[test]
+fn all_gap_alignment_has_zero_loglikelihood() {
+    let aln = CompressedAlignment::from_alignment(
+        &Alignment::new(vec![
+            Sequence::from_str_named("a", "----").unwrap(),
+            Sequence::from_str_named("b", "NNNN").unwrap(),
+            Sequence::from_str_named("c", "????").unwrap(),
+        ])
+        .unwrap(),
+    );
+    let tree = newick::parse("(a:0.3,b:0.4,c:0.5);").unwrap();
+    let mut engine = LikelihoodEngine::new(&tree, &aln, EngineConfig::default());
+    let ll = engine.log_likelihood(&tree, 0);
+    // P(anything) summed over all states = 1 per site → logL = 0.
+    assert!(ll.abs() < 1e-9, "logL = {ll}");
+}
+
+#[test]
+fn extreme_alpha_values_work_at_bounds_and_panic_beyond() {
+    let aln = toy_aln(32);
+    let tree = newick::parse("(a:0.1,b:0.1,(c:0.1,d:0.1):0.1);").unwrap();
+    for alpha in [DiscreteGamma::MIN_ALPHA, DiscreteGamma::MAX_ALPHA] {
+        let mut engine = LikelihoodEngine::new(&tree, &aln, EngineConfig { kernel: KernelKind::Vector, alpha });
+        assert!(engine.log_likelihood(&tree, 0).is_finite(), "alpha {alpha}");
+    }
+    let r = std::panic::catch_unwind(|| DiscreteGamma::new(0.0001));
+    assert!(r.is_err(), "alpha below MIN_ALPHA must panic");
+}
+
+#[test]
+fn invalid_gtr_parameters_rejected_everywhere() {
+    assert!(Gtr::try_new(GtrParams {
+        rates: [1.0, 1.0, 1.0, 1.0, 1.0, 0.0],
+        freqs: [0.25; 4],
+    })
+    .is_err());
+    assert!(Gtr::try_new(GtrParams {
+        rates: [1.0; 6],
+        freqs: [0.7, 0.1, 0.1, 0.2],
+    })
+    .is_err());
+
+    let aln = toy_aln(16);
+    let tree = newick::parse("(a:0.1,b:0.1,(c:0.1,d:0.1):0.1);").unwrap();
+    let engine = std::panic::catch_unwind(|| {
+        let mut e = LikelihoodEngine::new(&tree, &aln, EngineConfig::default());
+        e.set_model(GtrParams {
+            rates: [f64::NAN; 6],
+            freqs: [0.25; 4],
+        });
+    });
+    assert!(engine.is_err(), "NaN rates must be rejected");
+}
+
+#[test]
+fn mismatched_tree_and_alignment_panic() {
+    let aln = toy_aln(16); // taxa a, b, c, d
+    let tree = newick::parse("(x:0.1,y:0.1,z:0.1);").unwrap();
+    let r = std::panic::catch_unwind(|| LikelihoodEngine::new(&tree, &aln, EngineConfig::default()));
+    assert!(r.is_err(), "unknown taxa must be detected at construction");
+}
+
+#[test]
+fn deep_tree_underflow_is_scaled_not_zeroed() {
+    // 30 taxa, long branches: per-site likelihood magnitudes are far
+    // below f64::MIN_POSITIVE without the scaling machinery.
+    use phylomic::tree::build::{caterpillar, default_names};
+    let names = default_names(30);
+    let tree = caterpillar(&names, 2.0).unwrap();
+    let seqs: Vec<Sequence> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let pat = ["ACGT", "CGTA", "GTAC", "TACG"][i % 4];
+            Sequence::from_str_named(n.clone(), &pat.repeat(8)).unwrap()
+        })
+        .collect();
+    let aln = CompressedAlignment::from_alignment(&Alignment::new(seqs).unwrap());
+    for kernel in [KernelKind::Scalar, KernelKind::Vector] {
+        let mut engine = LikelihoodEngine::new(&tree, &aln, EngineConfig { kernel, alpha: 0.5 });
+        let ll = engine.log_likelihood(&tree, 0);
+        assert!(ll.is_finite() && ll < 0.0, "{kernel:?}: logL {ll}");
+    }
+}
+
+#[test]
+fn weights_of_zero_are_tolerated() {
+    // Zero-weight patterns contribute nothing but must not break the
+    // kernels (RAxML generates them when partitions mask sites).
+    use phylomic::bio::DnaCode;
+    let a = DnaCode::from_char('A').unwrap();
+    let g = DnaCode::from_char('G').unwrap();
+    let ca = CompressedAlignment::from_parts(
+        vec!["a".into(), "b".into(), "c".into()],
+        vec![vec![a, g], vec![a, a], vec![g, a]],
+        vec![3, 0],
+    )
+    .unwrap();
+    let tree = newick::parse("(a:0.2,b:0.2,c:0.2);").unwrap();
+    let mut engine = LikelihoodEngine::new(&tree, &ca, EngineConfig::default());
+    let ll = engine.log_likelihood(&tree, 0);
+    assert!(ll.is_finite());
+
+    // Must equal the same data without the zero-weight pattern.
+    let ca2 = CompressedAlignment::from_parts(
+        vec!["a".into(), "b".into(), "c".into()],
+        vec![vec![a], vec![a], vec![g]],
+        vec![3],
+    )
+    .unwrap();
+    let mut engine2 = LikelihoodEngine::new(&tree, &ca2, EngineConfig::default());
+    let ll2 = engine2.log_likelihood(&tree, 0);
+    assert!((ll - ll2).abs() < 1e-10, "{ll} vs {ll2}");
+}

@@ -1,0 +1,232 @@
+//! Property-based tests over the core invariants.
+
+use phylomic::bio::{alphabet::UNAMBIGUOUS, CompressedAlignment, DnaCode};
+use phylomic::models::{DiscreteGamma, Gtr, GtrParams, ProbMatrix};
+use phylomic::plf::cla::Cla;
+use phylomic::plf::layout::{EigenBasis, FusedPmat, Lut16x16};
+use phylomic::plf::{AlignedVec, EngineConfig, KernelKind, LikelihoodEngine, SITE_STRIDE};
+use phylomic::tree::build::{default_names, random_tree};
+use phylomic::tree::Tree;
+use proptest::prelude::*;
+
+/// Strategy: a valid GTR parameter set.
+fn gtr_params() -> impl Strategy<Value = GtrParams> {
+    (
+        proptest::array::uniform6(0.05f64..8.0),
+        (0.05f64..1.0, 0.05f64..1.0, 0.05f64..1.0, 0.05f64..1.0),
+    )
+        .prop_map(|(rates, (a, c, g, t))| {
+            let sum = a + c + g + t;
+            GtrParams {
+                rates,
+                freqs: [a / sum, c / sum, g / sum, t / sum],
+            }
+        })
+}
+
+/// Strategy: a random CLA-like value buffer for `n` sites.
+fn cla_values(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1e-6f64..1.0, n * SITE_STRIDE)
+}
+
+/// Strategy: valid tip codes.
+fn tip_codes(n: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(1u8..16, n)
+}
+
+const N: usize = 23; // deliberately not a multiple of the site block
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prob_matrix_rows_sum_to_one(params in gtr_params(), t in 0.0f64..20.0, alpha in 0.05f64..20.0) {
+        let gtr = Gtr::new(params);
+        let gamma = DiscreteGamma::new(alpha);
+        let pm = ProbMatrix::new(gtr.eigen(), gamma.rates(), t);
+        for k in 0..4 {
+            for a in 0..4 {
+                let s: f64 = pm.per_rate[k][a].iter().sum();
+                prop_assert!((s - 1.0).abs() < 1e-8, "k={k} a={a} sum={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_vector_newview_ii_equivalent(
+        params in gtr_params(),
+        vl in cla_values(N),
+        vr in cla_values(N),
+        (tl, tr) in (0.001f64..3.0, 0.001f64..3.0),
+    ) {
+        let gtr = Gtr::new(params);
+        let rates = *DiscreteGamma::new(0.9).rates();
+        let pl = FusedPmat::from_prob(&ProbMatrix::new(gtr.eigen(), &rates, tl));
+        let pr = FusedPmat::from_prob(&ProbMatrix::new(gtr.eigen(), &rates, tr));
+        let scale = vec![0u32; N];
+        let mut outs = Vec::new();
+        for kind in [KernelKind::Scalar, KernelKind::Vector] {
+            let mut cla = Cla::new(N);
+            let (v, s) = cla.buffers_mut();
+            kind.kernels().newview_ii(&pl, &vl, &scale, &pr, &vr, &scale, v, s);
+            outs.push(cla);
+        }
+        for (a, b) in outs[0].values().iter().zip(outs[1].values()) {
+            prop_assert!((a - b).abs() <= 1e-12 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+        prop_assert_eq!(outs[0].scale(), outs[1].scale());
+    }
+
+    #[test]
+    fn scalar_vector_evaluate_equivalent(
+        params in gtr_params(),
+        vq in cla_values(N),
+        vr in cla_values(N),
+        codes in tip_codes(N),
+        t in 0.001f64..3.0,
+    ) {
+        let gtr = Gtr::new(params);
+        let rates = *DiscreteGamma::new(1.2).rates();
+        let p = FusedPmat::from_prob(&ProbMatrix::new(gtr.eigen(), &rates, t));
+        let pi_tip = Lut16x16::tip_pi(&gtr.freqs());
+        let mut pi_w = [0.0; SITE_STRIDE];
+        for k in 0..4 {
+            for a in 0..4 {
+                pi_w[4 * k + a] = 0.25 * gtr.freqs()[a];
+            }
+        }
+        let scale = vec![0u32; N];
+        let weights = vec![1u32; N];
+        let s_k = KernelKind::Scalar.kernels();
+        let v_k = KernelKind::Vector.kernels();
+        let a = s_k.evaluate_ii(&pi_w, &vq, &scale, &p, &vr, &scale, &weights);
+        let b = v_k.evaluate_ii(&pi_w, &vq, &scale, &p, &vr, &scale, &weights);
+        prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()), "{a} vs {b}");
+        let a = s_k.evaluate_ti(&pi_tip, &codes, &p, &vr, &scale, &weights);
+        let b = v_k.evaluate_ti(&pi_tip, &codes, &p, &vr, &scale, &weights);
+        prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()), "{a} vs {b}");
+    }
+
+    #[test]
+    fn scalar_vector_derivatives_equivalent(
+        params in gtr_params(),
+        vq in cla_values(N),
+        vr in cla_values(N),
+        t in 0.001f64..2.0,
+    ) {
+        let gtr = Gtr::new(params);
+        let rates = *DiscreteGamma::new(0.6).rates();
+        let basis = EigenBasis::new(gtr.eigen(), &rates);
+        let weights = vec![1u32; N];
+        let mut sum_s = AlignedVec::zeroed(N * SITE_STRIDE);
+        let mut sum_v = AlignedVec::zeroed(N * SITE_STRIDE);
+        KernelKind::Scalar.kernels().derivative_sum_ii(&basis, &vq, &vr, &mut sum_s);
+        KernelKind::Vector.kernels().derivative_sum_ii(&basis, &vq, &vr, &mut sum_v);
+        for (a, b) in sum_s.iter().zip(sum_v.iter()) {
+            prop_assert!((a - b).abs() <= 1e-12 * (1.0 + a.abs()));
+        }
+        let (d1s, d2s) = KernelKind::Scalar.kernels()
+            .derivative_core(&sum_s, &basis.lambda_rate, t, &weights);
+        let (d1v, d2v) = KernelKind::Vector.kernels()
+            .derivative_core(&sum_v, &basis.lambda_rate, t, &weights);
+        prop_assert!((d1s - d1v).abs() < 1e-8 * (1.0 + d1s.abs()));
+        prop_assert!((d2s - d2v).abs() < 1e-8 * (1.0 + d2s.abs()));
+    }
+
+    #[test]
+    fn pattern_weights_equal_repeated_columns(
+        cols in proptest::collection::vec((0usize..4, 0usize..4, 0usize..4, 1u32..4), 2..10)
+    ) {
+        // Expanding weighted patterns into repeated columns must give
+        // an identical likelihood.
+        let tree = phylomic::tree::newick::parse("(x:0.2,y:0.3,z:0.4);").unwrap();
+        let names: Vec<String> = vec!["x".into(), "y".into(), "z".into()];
+        let mut rows_w: Vec<Vec<DnaCode>> = vec![Vec::new(); 3];
+        let mut rows_e: Vec<Vec<DnaCode>> = vec![Vec::new(); 3];
+        let mut weights = Vec::new();
+        for &(a, b, c, w) in &cols {
+            let col = [UNAMBIGUOUS[a], UNAMBIGUOUS[b], UNAMBIGUOUS[c]];
+            for t in 0..3 {
+                rows_w[t].push(col[t]);
+                for _ in 0..w {
+                    rows_e[t].push(col[t]);
+                }
+            }
+            weights.push(w);
+        }
+        let weighted = CompressedAlignment::from_parts(names.clone(), rows_w, weights).unwrap();
+        let expanded_w = vec![1; rows_e[0].len()];
+        let expanded = CompressedAlignment::from_parts(names, rows_e, expanded_w).unwrap();
+        let cfg = EngineConfig::default();
+        let mut e1 = LikelihoodEngine::new(&tree, &weighted, cfg);
+        let mut e2 = LikelihoodEngine::new(&tree, &expanded, cfg);
+        let a = e1.log_likelihood(&tree, 0);
+        let b = e2.log_likelihood(&tree, 0);
+        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn random_trees_satisfy_invariants(n in 4usize..20, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let t = random_tree(&default_names(n), 0.1, &mut rng).unwrap();
+        t.validate().unwrap();
+        prop_assert_eq!(t.num_edges(), 2 * n - 3);
+        prop_assert_eq!(t.splits().len(), n - 3);
+        // Newick round trip preserves the topology.
+        let back = phylomic::tree::newick::parse(&phylomic::tree::newick::to_newick(&t)).unwrap();
+        prop_assert_eq!(t.rf_distance(&back), 0);
+    }
+
+    #[test]
+    fn spr_preserves_invariants_and_undoes(
+        n in 5usize..12,
+        seed in 0u64..500,
+        prune_pick in 0usize..100,
+        target_pick in 0usize..100,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let t0 = random_tree(&default_names(n), 0.1, &mut rng).unwrap();
+        let mut t = t0.clone();
+        let prune = prune_pick % t.num_edges();
+        let (a, b) = t.endpoints(prune);
+        let root = if t.is_tip(a) { a } else { b };
+        let target = target_pick % t.num_edges();
+        match phylomic::tree::moves::spr(&mut t, prune, root, target) {
+            Ok(undo) => {
+                t.validate().unwrap();
+                phylomic::tree::moves::spr_undo(&mut t, undo).unwrap();
+                prop_assert_eq!(t.rf_distance(&t0), 0);
+                prop_assert!((t.total_length() - t0.total_length()).abs() < 1e-9);
+            }
+            Err(_) => {
+                // Rejected moves must leave the tree untouched.
+                prop_assert_eq!(t.rf_distance(&t0), 0);
+            }
+        }
+    }
+}
+
+// Engine-level property: the virtual-root pulley principle on random
+// data. Kept at a modest case count — each case builds a full engine.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pulley_principle_random_engine(seed in 0u64..200, alpha in 0.1f64..5.0) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let names = default_names(6);
+        let tree: Tree = random_tree(&names, 0.2, &mut rng).unwrap();
+        let gtr = Gtr::new(GtrParams::jc69());
+        let gamma = DiscreteGamma::new(alpha);
+        let aln = phylomic::seqgen::simulate_compressed(&tree, gtr.eigen(), &gamma, 64, &mut rng);
+        let mut engine = LikelihoodEngine::new(&tree, &aln, EngineConfig { kernel: KernelKind::Vector, alpha });
+        let reference = engine.log_likelihood(&tree, 0);
+        for e in tree.edge_ids() {
+            let ll = engine.log_likelihood(&tree, e);
+            prop_assert!((ll - reference).abs() < 1e-8, "edge {e}: {ll} vs {reference}");
+        }
+    }
+}
