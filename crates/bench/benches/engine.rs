@@ -48,10 +48,7 @@ fn bench_engine(c: &mut Criterion) {
     g.throughput(Throughput::Elements(PATTERNS as u64));
     g.sample_size(20);
     let min_pool = min_pool_slots_any_root(&tree);
-    for (label, pool) in [
-        ("full_pool", tree.num_inner()),
-        ("minimal_pool", min_pool),
-    ] {
+    for (label, pool) in [("full_pool", tree.num_inner()), ("minimal_pool", min_pool)] {
         g.bench_with_input(BenchmarkId::from_parameter(label), &pool, |b, &pool| {
             let mut engine = RecomputingEngine::new(&tree, &aln, cfg, pool);
             // Alternate between two distant roots: the minimal pool

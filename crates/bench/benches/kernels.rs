@@ -40,11 +40,15 @@ fn fixture() -> Fixture {
     let mut rng = SmallRng::seed_from_u64(7);
     let mut v_l = Cla::new(PATTERNS);
     let mut v_r = Cla::new(PATTERNS);
-    for v in v_l.values_mut().iter_mut().chain(v_r.values_mut().iter_mut()) {
+    for v in v_l
+        .values_mut()
+        .iter_mut()
+        .chain(v_r.values_mut().iter_mut())
+    {
         *v = rng.random::<f64>() * 0.5 + 0.25;
     }
     let codes: Vec<u8> = (0..PATTERNS)
-        .map(|_| [1u8, 2, 4, 8, 15][rng.random_range(0..5)])
+        .map(|_| [1u8, 2, 4, 8, 15][rng.random_range(0..5usize)])
         .collect();
     let mut pi_w = [0.0; SITE_STRIDE];
     for k in 0..4 {
@@ -77,21 +81,25 @@ fn bench_kernels(c: &mut Criterion) {
     for kind in variants {
         let k = kind.kernels();
         let mut out = Cla::new(PATTERNS);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &(), |b, ()| {
-            b.iter(|| {
-                let (v, s) = out.buffers_mut();
-                k.newview_ii(
-                    &fx.p_l,
-                    fx.v_l.values(),
-                    fx.v_l.scale(),
-                    &fx.p_r,
-                    fx.v_r.values(),
-                    fx.v_r.scale(),
-                    v,
-                    s,
-                );
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let (v, s) = out.buffers_mut();
+                    k.newview_ii(
+                        &fx.p_l,
+                        fx.v_l.values(),
+                        fx.v_l.scale(),
+                        &fx.p_r,
+                        fx.v_r.values(),
+                        fx.v_r.scale(),
+                        v,
+                        s,
+                    );
+                })
+            },
+        );
     }
     g.finish();
 
@@ -100,20 +108,24 @@ fn bench_kernels(c: &mut Criterion) {
     for kind in variants {
         let k = kind.kernels();
         let mut out = Cla::new(PATTERNS);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &(), |b, ()| {
-            b.iter(|| {
-                let (v, s) = out.buffers_mut();
-                k.newview_ti(
-                    &fx.lut_l,
-                    &fx.codes,
-                    &fx.p_r,
-                    fx.v_r.values(),
-                    fx.v_r.scale(),
-                    v,
-                    s,
-                );
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let (v, s) = out.buffers_mut();
+                    k.newview_ti(
+                        &fx.lut_l,
+                        &fx.codes,
+                        &fx.p_r,
+                        fx.v_r.values(),
+                        fx.v_r.scale(),
+                        v,
+                        s,
+                    );
+                })
+            },
+        );
     }
     g.finish();
 
@@ -122,12 +134,16 @@ fn bench_kernels(c: &mut Criterion) {
     for kind in variants {
         let k = kind.kernels();
         let mut out = Cla::new(PATTERNS);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &(), |b, ()| {
-            b.iter(|| {
-                let (v, s) = out.buffers_mut();
-                k.newview_tt(&fx.lut_l, &fx.lut_r, &fx.codes, &fx.codes, v, s);
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let (v, s) = out.buffers_mut();
+                    k.newview_tt(&fx.lut_l, &fx.lut_r, &fx.codes, &fx.codes, v, s);
+                })
+            },
+        );
     }
     g.finish();
 
@@ -135,19 +151,23 @@ fn bench_kernels(c: &mut Criterion) {
     g.throughput(Throughput::Elements(PATTERNS as u64));
     for kind in variants {
         let k = kind.kernels();
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &(), |b, ()| {
-            b.iter(|| {
-                k.evaluate_ii(
-                    &fx.pi_w,
-                    fx.v_l.values(),
-                    fx.v_l.scale(),
-                    &fx.p_r,
-                    fx.v_r.values(),
-                    fx.v_r.scale(),
-                    &fx.weights,
-                )
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    k.evaluate_ii(
+                        &fx.pi_w,
+                        fx.v_l.values(),
+                        fx.v_l.scale(),
+                        &fx.p_r,
+                        fx.v_r.values(),
+                        fx.v_r.scale(),
+                        &fx.weights,
+                    )
+                })
+            },
+        );
     }
     g.finish();
 
@@ -155,18 +175,22 @@ fn bench_kernels(c: &mut Criterion) {
     g.throughput(Throughput::Elements(PATTERNS as u64));
     for kind in variants {
         let k = kind.kernels();
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &(), |b, ()| {
-            b.iter(|| {
-                k.evaluate_ti(
-                    &fx.pi_tip,
-                    &fx.codes,
-                    &fx.p_r,
-                    fx.v_r.values(),
-                    fx.v_r.scale(),
-                    &fx.weights,
-                )
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    k.evaluate_ti(
+                        &fx.pi_tip,
+                        &fx.codes,
+                        &fx.p_r,
+                        fx.v_r.values(),
+                        fx.v_r.scale(),
+                        &fx.weights,
+                    )
+                })
+            },
+        );
     }
     g.finish();
 
@@ -174,16 +198,20 @@ fn bench_kernels(c: &mut Criterion) {
     g.throughput(Throughput::Elements(PATTERNS as u64));
     for kind in variants {
         let k = kind.kernels();
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &(), |b, ()| {
-            b.iter(|| {
-                k.derivative_sum_ii(
-                    &fx.basis,
-                    fx.v_l.values(),
-                    fx.v_r.values(),
-                    &mut fx.sumtable,
-                )
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    k.derivative_sum_ii(
+                        &fx.basis,
+                        fx.v_l.values(),
+                        fx.v_r.values(),
+                        &mut fx.sumtable,
+                    )
+                })
+            },
+        );
     }
     g.finish();
 
@@ -198,11 +226,13 @@ fn bench_kernels(c: &mut Criterion) {
     g.throughput(Throughput::Elements(PATTERNS as u64));
     for kind in variants {
         let k = kind.kernels();
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &(), |b, ()| {
-            b.iter(|| {
-                k.derivative_core(&fx.sumtable, &fx.basis.lambda_rate, 0.2, &fx.weights)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &(),
+            |b, ()| {
+                b.iter(|| k.derivative_core(&fx.sumtable, &fx.basis.lambda_rate, 0.2, &fx.weights))
+            },
+        );
     }
     g.finish();
 }

@@ -16,7 +16,14 @@ fn main() {
     println!();
     let scaled = trace.scaled_to(100_000);
     println!("{:>8} {:>9} {:>12}", "ranks", "threads", "time");
-    for (ranks, threads) in [(120u32, 1u32), (60, 2), (8, 29), (4, 59), (2, 118), (1, 236)] {
+    for (ranks, threads) in [
+        (120u32, 1u32),
+        (60, 2),
+        (8, 29),
+        (4, 59),
+        (2, 118),
+        (1, 236),
+    ] {
         let cfg = MachineConfig {
             platform: XEON_PHI_5110P_1S,
             ranks_per_device: ranks,

@@ -41,7 +41,10 @@ fn main() {
     let workers = cfg.workers_per_device() as usize;
 
     println!("Partitioned 1000K-pattern run on one Xeon Phi (236 workers)");
-    println!("predicted time = imbalance x compute + sync/comm (unpartitioned: {:.1}s)", base.total());
+    println!(
+        "predicted time = imbalance x compute + sync/comm (unpartitioned: {:.1}s)",
+        base.total()
+    );
     println!();
     println!(
         "{:>11} {:>22} {:>22} {:>22}",

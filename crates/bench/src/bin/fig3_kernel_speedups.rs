@@ -54,7 +54,11 @@ fn main() {
             engine.log_likelihood(&tree, edge);
         }
         let dt = start.elapsed().as_secs_f64() / reps as f64;
-        println!("  {:<8} {:>8.3} ms per full round", format!("{kind:?}"), dt * 1e3);
+        println!(
+            "  {:<8} {:>8.3} ms per full round",
+            format!("{kind:?}"),
+            dt * 1e3
+        );
     }
 }
 

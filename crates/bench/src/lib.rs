@@ -68,11 +68,7 @@ pub fn record_trace(patterns: usize, ranks: usize, seed: u64) -> WorkloadTrace {
     };
     let search = MlSearch::new(trace_search_config());
     let out = phylo_parallel::run_replicated(&start, &aln, config, search, ranks);
-    WorkloadTrace::from_run(
-        out.kernel_stats,
-        out.comm_stats.allreduces,
-        patterns as u64,
-    )
+    WorkloadTrace::from_run(out.kernel_stats, out.comm_stats.allreduces, patterns as u64)
 }
 
 /// The default trace used by all generator binaries (overridable via

@@ -12,8 +12,8 @@ pub const NUM_AA_STATES: usize = 20;
 
 /// Canonical residue order (matches PAML/RAxML conventions).
 pub const AA_CHARS: [char; NUM_AA_STATES] = [
-    'A', 'R', 'N', 'D', 'C', 'Q', 'E', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W',
-    'Y', 'V',
+    'A', 'R', 'N', 'D', 'C', 'Q', 'E', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W', 'Y',
+    'V',
 ];
 
 /// Mask of all 20 states.

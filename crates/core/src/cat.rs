@@ -326,7 +326,7 @@ mod tests {
         let tips: Vec<Vec<u8>> = (0..5)
             .map(|_| {
                 (0..patterns)
-                    .map(|_| [1u8, 2, 4, 8, 15, 5][rng.random_range(0..6)])
+                    .map(|_| [1u8, 2, 4, 8, 15, 5][rng.random_range(0..6usize)])
                     .collect()
             })
             .collect();
@@ -366,16 +366,13 @@ mod tests {
     fn matches_brute_force_every_root_edge() {
         let (tree, tips, weights, cats, gtr) = fixture(11);
         let reference = naive_cat(&tree, &gtr, &cats, &tips, &weights);
-        let mut engine = CatEngine::new(
-            &tree,
-            gtr.eigen().clone(),
-            cats,
-            tips,
-            weights,
-        );
+        let mut engine = CatEngine::new(&tree, gtr.eigen().clone(), cats, tips, weights);
         for e in tree.edge_ids() {
             let ll = engine.log_likelihood(&tree, e);
-            assert!((ll - reference).abs() < 1e-8, "edge {e}: {ll} vs {reference}");
+            assert!(
+                (ll - reference).abs() < 1e-8,
+                "edge {e}: {ll} vs {reference}"
+            );
         }
     }
 
@@ -386,8 +383,7 @@ mod tests {
         let (tree, tips, weights, _, gtr) = fixture(13);
         let cats = CatRates::homogeneous(weights.len());
         let reference = naive_cat(&tree, &gtr, &cats, &tips, &weights);
-        let mut engine =
-            CatEngine::new(&tree, gtr.eigen().clone(), cats, tips, weights);
+        let mut engine = CatEngine::new(&tree, gtr.eigen().clone(), cats, tips, weights);
         let ll = engine.log_likelihood(&tree, 0);
         assert!((ll - reference).abs() < 1e-8, "{ll} vs {reference}");
     }
@@ -395,8 +391,7 @@ mod tests {
     #[test]
     fn derivatives_match_finite_differences() {
         let (tree, tips, weights, cats, gtr) = fixture(17);
-        let mut engine =
-            CatEngine::new(&tree, gtr.eigen().clone(), cats, tips, weights);
+        let mut engine = CatEngine::new(&tree, gtr.eigen().clone(), cats, tips, weights);
         for edge in [0usize, 4] {
             engine.prepare_branch(&tree, edge);
             let t0 = tree.length(edge);
@@ -434,8 +429,7 @@ mod tests {
         let tips: Vec<Vec<u8>> = vec![vec![1, 1], vec![1, 1], vec![1, 1]]; // all 'A'
         let gtr = Gtr::new(GtrParams::jc69());
         let cats = CatRates::new(vec![0.1, 4.0], vec![0, 1]);
-        let mut engine =
-            CatEngine::new(&tree, gtr.eigen().clone(), cats, tips, vec![1, 1]);
+        let mut engine = CatEngine::new(&tree, gtr.eigen().clone(), cats, tips, vec![1, 1]);
         engine.update_partials(&tree, 0);
         // Compare per-site contributions by weighting tricks: weight
         // only site 0, then only site 1.

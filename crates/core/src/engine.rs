@@ -133,7 +133,10 @@ impl LikelihoodEngine {
             params,
             eigen: Gtr::new(params).eigen().clone(),
             gamma: DiscreteGamma::new(config.alpha),
-            basis: EigenBasis::new(Gtr::new(params).eigen(), DiscreteGamma::new(config.alpha).rates()),
+            basis: EigenBasis::new(
+                Gtr::new(params).eigen(),
+                DiscreteGamma::new(config.alpha).rates(),
+            ),
             pi_w: [0.0; SITE_STRIDE],
             tip_pi: Lut16x16::tip_pi(&params.freqs),
             tips,
@@ -143,7 +146,9 @@ impl LikelihoodEngine {
             weights,
             num_patterns,
             num_taxa,
-            clas: (0..tree.num_inner()).map(|_| Cla::new(num_patterns)).collect(),
+            clas: (0..tree.num_inner())
+                .map(|_| Cla::new(num_patterns))
+                .collect(),
             valid: vec![None; tree.num_inner()],
             stamps: vec![0; tree.num_inner()],
             next_stamp: 1,
@@ -296,10 +301,7 @@ impl LikelihoodEngine {
                 child_edges: [ch[0].0, ch[1].0],
                 child_nodes: [ch[0].1, ch[1].1],
                 child_lengths: [tree.length(ch[0].0), tree.length(ch[1].0)],
-                child_stamps: [
-                    self.stamp_of(tree, ch[0].1),
-                    self.stamp_of(tree, ch[1].1),
-                ],
+                child_stamps: [self.stamp_of(tree, ch[0].1), self.stamp_of(tree, ch[1].1)],
                 model_version: self.model_version,
             };
             let idx = self.inner_idx(d.node);
@@ -325,6 +327,7 @@ impl LikelihoodEngine {
         ch: [(EdgeId, NodeId); 2],
         key: &CacheKey,
     ) {
+        let t0 = std::time::Instant::now();
         let idx = self.inner_idx(node);
         let mut out = std::mem::replace(&mut self.clas[idx], Cla::new(0));
         let (out_v, out_s) = out.buffers_mut();
@@ -335,14 +338,8 @@ impl LikelihoodEngine {
             (true, true) => {
                 let lut_l = Lut16x16::tip_prob(&self.fused_pmat(t_l));
                 let lut_r = Lut16x16::tip_prob(&self.fused_pmat(t_r));
-                self.kernel.newview_tt(
-                    &lut_l,
-                    &lut_r,
-                    self.tip(n_l),
-                    self.tip(n_r),
-                    out_v,
-                    out_s,
-                );
+                self.kernel
+                    .newview_tt(&lut_l, &lut_r, self.tip(n_l), self.tip(n_r), out_v, out_s);
             }
             (true, false) => {
                 let lut_l = Lut16x16::tip_prob(&self.fused_pmat(t_l));
@@ -380,13 +377,20 @@ impl LikelihoodEngine {
         self.stamps[idx] = self.next_stamp;
         self.next_stamp += 1;
         self.valid[idx] = Some(key.clone());
-        self.stats.record(KernelId::Newview, self.num_patterns);
+        self.stats
+            .record_timed(KernelId::Newview, self.num_patterns, elapsed_ns(t0));
     }
 
     /// Log-likelihood (partial, over this engine's pattern slice) with
     /// the virtual root on `root_edge`.
     pub fn log_likelihood(&mut self, tree: &Tree, root_edge: EdgeId) -> f64 {
+        if self.num_patterns == 0 {
+            // An empty pattern slice (a fork-join worker whose range is
+            // empty) contributes the additive identity.
+            return 0.0;
+        }
         self.update_partials(tree, root_edge);
+        let t0 = std::time::Instant::now();
         let (a, b) = tree.endpoints(root_edge);
         let t = tree.length(root_edge);
         let p = self.fused_pmat(t);
@@ -415,7 +419,8 @@ impl LikelihoodEngine {
                 &self.weights,
             )
         };
-        self.stats.record(KernelId::Evaluate, self.num_patterns);
+        self.stats
+            .record_timed(KernelId::Evaluate, self.num_patterns, elapsed_ns(t0));
         ll
     }
 
@@ -423,7 +428,14 @@ impl LikelihoodEngine {
     /// partials oriented toward it and fills the branch-invariant
     /// `derivativeSum` table.
     pub fn prepare_branch(&mut self, tree: &Tree, edge: EdgeId) {
+        if self.num_patterns == 0 {
+            // Nothing to precompute, but the edge still counts as
+            // prepared so `branch_derivatives` keeps its contract.
+            self.sum_edge = Some((edge, self.model_version));
+            return;
+        }
         self.update_partials(tree, edge);
+        let t0 = std::time::Instant::now();
         let (a, b) = tree.endpoints(edge);
         let (q, r) = if tree.is_tip(a) { (a, b) } else { (b, a) };
         // Re-borrow pieces to satisfy the borrow checker: the sumtable
@@ -446,7 +458,8 @@ impl LikelihoodEngine {
         }
         self.sumtable = sumtable;
         self.sum_edge = Some((edge, self.model_version));
-        self.stats.record(KernelId::DerivativeSum, self.num_patterns);
+        self.stats
+            .record_timed(KernelId::DerivativeSum, self.num_patterns, elapsed_ns(t0));
     }
 
     /// First and second derivative of the (partial) log-likelihood with
@@ -460,12 +473,23 @@ impl LikelihoodEngine {
             .sum_edge
             .expect("prepare_branch must be called before branch_derivatives");
         assert_eq!(mv, self.model_version, "model changed since prepare_branch");
+        if self.num_patterns == 0 {
+            return (0.0, 0.0);
+        }
+        let t0 = std::time::Instant::now();
         let out =
             self.kernel
                 .derivative_core(&self.sumtable, &self.basis.lambda_rate, t, &self.weights);
-        self.stats.record(KernelId::DerivativeCore, self.num_patterns);
+        self.stats
+            .record_timed(KernelId::DerivativeCore, self.num_patterns, elapsed_ns(t0));
         out
     }
+}
+
+/// Nanoseconds elapsed since `t0`, saturated into `u64`.
+#[inline]
+fn elapsed_ns(t0: std::time::Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -486,8 +510,7 @@ mod tests {
     }
 
     fn five_taxon() -> (Tree, CompressedAlignment) {
-        let tree =
-            newick::parse("((a:0.11,b:0.23):0.31,c:0.08,(d:0.19,e:0.27):0.14);").unwrap();
+        let tree = newick::parse("((a:0.11,b:0.23):0.31,c:0.08,(d:0.19,e:0.27):0.14);").unwrap();
         let aln = aln(&[
             ("a", "ACGTACGTNACGTRYAC"),
             ("b", "ACGTTCGAAACGTRYAC"),
@@ -500,8 +523,22 @@ mod tests {
 
     fn engines(tree: &Tree, aln: &CompressedAlignment) -> [LikelihoodEngine; 2] {
         [
-            LikelihoodEngine::new(tree, aln, EngineConfig { kernel: KernelKind::Scalar, alpha: 0.7 }),
-            LikelihoodEngine::new(tree, aln, EngineConfig { kernel: KernelKind::Vector, alpha: 0.7 }),
+            LikelihoodEngine::new(
+                tree,
+                aln,
+                EngineConfig {
+                    kernel: KernelKind::Scalar,
+                    alpha: 0.7,
+                },
+            ),
+            LikelihoodEngine::new(
+                tree,
+                aln,
+                EngineConfig {
+                    kernel: KernelKind::Vector,
+                    alpha: 0.7,
+                },
+            ),
         ]
     }
 
@@ -562,10 +599,8 @@ mod tests {
         // 6 taxa: inner nodes are P_ab, center, P_def, P_ef. Rooting at
         // a's pendant edge and perturbing d's pendant branch must leave
         // P_ef untouched (it is not an ancestor of the change).
-        let mut tree = newick::parse(
-            "((a:0.1,b:0.1):0.1,c:0.1,(d:0.1,(e:0.1,f:0.1):0.1):0.1);",
-        )
-        .unwrap();
+        let mut tree =
+            newick::parse("((a:0.1,b:0.1):0.1,c:0.1,(d:0.1,(e:0.1,f:0.1):0.1):0.1);").unwrap();
         let aln = aln(&[
             ("a", "ACGTAC"),
             ("b", "ACGTTC"),
@@ -598,7 +633,10 @@ mod tests {
         let l2 = engine.log_likelihood(&tree, e);
         let after = engine.stats().get(KernelId::Newview).calls;
         assert_eq!((after - before) as usize, tree.num_inner());
-        assert!((l1 - l2).abs() > 1e-9, "alpha change must move the likelihood");
+        assert!(
+            (l1 - l2).abs() > 1e-9,
+            "alpha change must move the likelihood"
+        );
     }
 
     #[test]

@@ -2,9 +2,13 @@
 //!
 //! The paper's Figure 3 and Table III are driven by how much work each
 //! kernel performs. [`KernelStats`] counts invocations and
-//! pattern-sites processed per kernel during a real run; the `micsim`
-//! crate turns those counts into platform time predictions using
-//! per-site operation models.
+//! pattern-sites processed per kernel during a real run — and, since
+//! the measured-timing calibration work, also *measures* each
+//! invocation's wall time into per-kernel [`LatencyHistogram`]s and
+//! records per-parallel-region fork/join latencies ([`RegionStats`]).
+//! The `micsim` crate fits its machine model against these measured
+//! timings (exported as a JSONL trace by [`crate::trace`]) instead of
+//! operation counts alone.
 
 /// The four PLF kernels of §IV.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -57,11 +61,142 @@ pub struct KernelCount {
     pub sites: u64,
 }
 
-/// Per-kernel work counters for one engine (single-threaded; workers
-/// merge their stats after a parallel region).
+/// Number of log₂ buckets in a [`LatencyHistogram`] (bucket `i` counts
+/// samples in `[2^i, 2^(i+1))` ns; the last bucket absorbs the tail).
+pub const HIST_BUCKETS: usize = 32;
+
+/// A log₂-bucketed wall-clock latency histogram in nanoseconds.
+///
+/// Bucket `i` counts samples whose duration lies in `[2^i, 2^(i+1))`
+/// ns (zero-duration samples land in bucket 0; everything beyond
+/// ~4.3 s in the last bucket). Alongside the buckets it tracks count,
+/// sum, min and max, which is what the `micsim` calibration fit and
+/// the region-overhead ablation consume.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample of `ns` nanoseconds.
+    #[inline]
+    pub fn record_ns(&mut self, ns: u64) {
+        let bucket = (63 - (ns | 1).leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns
+    }
+
+    /// Smallest sample, if any was recorded.
+    pub fn min_ns(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min_ns)
+    }
+
+    /// Largest sample, if any was recorded.
+    pub fn max_ns(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max_ns)
+    }
+
+    /// Mean sample in nanoseconds (0.0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// The raw log₂ buckets.
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Adds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// Fork/join synchronization latencies of parallel regions, as seen by
+/// the master thread: `fork` is the time to release the workers into a
+/// region (the fork barrier), `join` the time until the slowest worker
+/// deposits its partial result (the join barrier). "Master and worker
+/// processes have to communicate at least twice per parallel region"
+/// (§V-D) — these histograms measure exactly those two points.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegionStats {
+    /// Number of parallel regions dispatched.
+    pub count: u64,
+    /// Fork-barrier latency per region.
+    pub fork: LatencyHistogram,
+    /// Join-barrier latency per region.
+    pub join: LatencyHistogram,
+}
+
+impl RegionStats {
+    /// Records one region's fork and join latencies.
+    #[inline]
+    pub fn record(&mut self, fork_ns: u64, join_ns: u64) {
+        self.count += 1;
+        self.fork.record_ns(fork_ns);
+        self.join.record_ns(join_ns);
+    }
+
+    /// Adds another block of region stats into this one.
+    pub fn merge(&mut self, other: &RegionStats) {
+        self.count += other.count;
+        self.fork.merge(&other.fork);
+        self.join.merge(&other.join);
+    }
+}
+
+/// Per-kernel work counters and wall-clock timings for one engine
+/// (single-threaded; workers merge their stats after a parallel
+/// region).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct KernelStats {
     counts: [KernelCount; 4],
+    timing: [LatencyHistogram; 4],
+    regions: RegionStats,
 }
 
 impl KernelStats {
@@ -70,7 +205,9 @@ impl KernelStats {
         Self::default()
     }
 
-    /// Records one invocation over `sites` pattern-sites.
+    /// Records one invocation over `sites` pattern-sites (no timing
+    /// sample; use [`KernelStats::record_timed`] when the wall time is
+    /// known).
     #[inline]
     pub fn record(&mut self, kernel: KernelId, sites: usize) {
         let c = &mut self.counts[kernel.index()];
@@ -78,9 +215,34 @@ impl KernelStats {
         c.sites += sites as u64;
     }
 
+    /// Records one invocation over `sites` pattern-sites that took
+    /// `ns` nanoseconds of wall time.
+    #[inline]
+    pub fn record_timed(&mut self, kernel: KernelId, sites: usize, ns: u64) {
+        self.record(kernel, sites);
+        self.timing[kernel.index()].record_ns(ns);
+    }
+
+    /// Records one parallel region's fork/join latencies.
+    #[inline]
+    pub fn record_region(&mut self, fork_ns: u64, join_ns: u64) {
+        self.regions.record(fork_ns, join_ns);
+    }
+
     /// Counter for one kernel.
     pub fn get(&self, kernel: KernelId) -> KernelCount {
         self.counts[kernel.index()]
+    }
+
+    /// Wall-clock histogram of one kernel's invocations.
+    pub fn timing(&self, kernel: KernelId) -> &LatencyHistogram {
+        &self.timing[kernel.index()]
+    }
+
+    /// Fork/join latency statistics of the parallel regions this
+    /// stats block has seen (all zero for serial engines).
+    pub fn regions(&self) -> &RegionStats {
+        &self.regions
     }
 
     /// Adds another stats block into this one.
@@ -88,12 +250,14 @@ impl KernelStats {
         for i in 0..4 {
             self.counts[i].calls += other.counts[i].calls;
             self.counts[i].sites += other.counts[i].sites;
+            self.timing[i].merge(&other.timing[i]);
         }
+        self.regions.merge(&other.regions);
     }
 
     /// Resets all counters to zero.
     pub fn reset(&mut self) {
-        self.counts = [KernelCount::default(); 4];
+        *self = KernelStats::default();
     }
 
     /// Total invocations across all kernels (the offload-latency
@@ -174,5 +338,54 @@ mod tests {
     fn paper_names() {
         assert_eq!(KernelId::DerivativeSum.paper_name(), "derivativeSum");
         assert_eq!(KernelId::ALL.len(), 4);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = LatencyHistogram::new();
+        h.record_ns(0); // bucket 0
+        h.record_ns(1); // bucket 0
+        h.record_ns(2); // bucket 1
+        h.record_ns(3); // bucket 1
+        h.record_ns(1024); // bucket 10
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.total_ns(), 1030);
+        assert_eq!(h.min_ns(), Some(0));
+        assert_eq!(h.max_ns(), Some(1024));
+        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.buckets()[1], 2);
+        assert_eq!(h.buckets()[10], 1);
+        assert!((h.mean_ns() - 206.0).abs() < 1e-9);
+        // The tail bucket absorbs out-of-range samples.
+        h.record_ns(u64::MAX);
+        assert_eq!(h.buckets()[HIST_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extremes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.min_ns(), None);
+        assert_eq!(h.max_ns(), None);
+        assert_eq!(h.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn timed_records_fill_histograms_and_merge() {
+        let mut a = KernelStats::new();
+        a.record_timed(KernelId::Newview, 100, 500);
+        a.record_timed(KernelId::Newview, 100, 700);
+        a.record_region(50, 3000);
+        let mut b = KernelStats::new();
+        b.record_timed(KernelId::Newview, 10, 900);
+        b.record_region(70, 1000);
+        a.merge(&b);
+        assert_eq!(a.get(KernelId::Newview).calls, 3);
+        assert_eq!(a.timing(KernelId::Newview).count(), 3);
+        assert_eq!(a.timing(KernelId::Newview).total_ns(), 2100);
+        assert_eq!(a.regions().count, 2);
+        assert_eq!(a.regions().fork.total_ns(), 120);
+        assert_eq!(a.regions().join.max_ns(), Some(3000));
+        a.reset();
+        assert_eq!(a, KernelStats::new());
     }
 }

@@ -104,13 +104,7 @@ pub trait Kernels: Send + Sync {
     /// `derivativeSum` with a tip on the left: writes the
     /// branch-invariant site table `out[i][m] = left̂[m] · right̂[m]`
     /// in eigen coordinates.
-    fn derivative_sum_ti(
-        &self,
-        basis: &EigenBasis,
-        codes_q: &[u8],
-        v_r: &[f64],
-        out: &mut [f64],
-    );
+    fn derivative_sum_ti(&self, basis: &EigenBasis, codes_q: &[u8], v_r: &[f64], out: &mut [f64]);
 
     /// `derivativeSum` between two inner nodes.
     fn derivative_sum_ii(&self, basis: &EigenBasis, v_q: &[f64], v_r: &[f64], out: &mut [f64]);

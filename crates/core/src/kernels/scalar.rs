@@ -164,13 +164,7 @@ impl Kernels for ScalarKernels {
         log_l
     }
 
-    fn derivative_sum_ti(
-        &self,
-        basis: &EigenBasis,
-        codes_q: &[u8],
-        v_r: &[f64],
-        out: &mut [f64],
-    ) {
+    fn derivative_sum_ti(&self, basis: &EigenBasis, codes_q: &[u8], v_r: &[f64], out: &mut [f64]) {
         let n = out.len() / SITE_STRIDE;
         for i in 0..n {
             let le = &basis.tip_left.rows[codes_q[i] as usize];

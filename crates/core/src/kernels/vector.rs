@@ -200,13 +200,7 @@ impl Kernels for VectorKernels {
         log_l
     }
 
-    fn derivative_sum_ti(
-        &self,
-        basis: &EigenBasis,
-        codes_q: &[u8],
-        v_r: &[f64],
-        out: &mut [f64],
-    ) {
+    fn derivative_sum_ti(&self, basis: &EigenBasis, codes_q: &[u8], v_r: &[f64], out: &mut [f64]) {
         for (i, site) in out.chunks_exact_mut(SITE_STRIDE).enumerate() {
             let le = &basis.tip_left.rows[codes_q[i] as usize];
             let vr = &v_r[i * SITE_STRIDE..(i + 1) * SITE_STRIDE];

@@ -244,9 +244,8 @@ mod tests {
                     let mut sum = 0.0;
                     for j in 0..NUM_STATES {
                         let m = 4 * k + j;
-                        sum += basis.piu[a][m]
-                            * (basis.lambda_rate[m] * t).exp()
-                            * basis.uinv[b][m];
+                        sum +=
+                            basis.piu[a][m] * (basis.lambda_rate[m] * t).exp() * basis.uinv[b][m];
                     }
                     let direct = g.freqs()[a] * pm.per_rate[k][a][b];
                     assert!((sum - direct).abs() < 1e-10, "k={k} a={a} b={b}");

@@ -44,11 +44,13 @@ pub mod naive;
 pub mod nstate;
 pub mod recompute;
 pub mod scaling;
+pub mod trace;
 
 pub use aligned::AlignedVec;
 pub use engine::{EngineConfig, LikelihoodEngine};
-pub use instrument::{KernelId, KernelStats};
+pub use instrument::{KernelId, KernelStats, LatencyHistogram, RegionStats};
 pub use kernels::{KernelKind, Kernels};
+pub use trace::TraceEvent;
 
 /// Number of DNA states.
 pub const NUM_STATES: usize = phylo_models::NUM_STATES;

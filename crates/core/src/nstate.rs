@@ -49,7 +49,10 @@ impl NStateEngine {
         weights: Vec<u32>,
     ) -> Self {
         let n = eigen.num_states();
-        assert!((2..=32).contains(&n), "mask encoding supports 2..=32 states");
+        assert!(
+            (2..=32).contains(&n),
+            "mask encoding supports 2..=32 states"
+        );
         assert_eq!(tips.len(), tree.num_taxa(), "one tip row per taxon");
         let num_patterns = weights.len();
         let all = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
@@ -361,8 +364,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn dna_fixture() -> (Tree, CompressedAlignment, GtrParams) {
-        let tree =
-            newick::parse("((a:0.11,b:0.23):0.31,c:0.08,(d:0.19,e:0.27):0.14);").unwrap();
+        let tree = newick::parse("((a:0.11,b:0.23):0.31,c:0.08,(d:0.19,e:0.27):0.14);").unwrap();
         let aln = CompressedAlignment::from_alignment(
             &Alignment::new(vec![
                 Sequence::from_str_named("a", "ACGTACGTNACGTRYAC").unwrap(),
@@ -405,7 +407,14 @@ mod tests {
     fn four_state_matches_dna_engine_exactly() {
         let (tree, aln, params) = dna_fixture();
         let alpha = 0.7;
-        let mut dna = LikelihoodEngine::new(&tree, &aln, EngineConfig { kernel: crate::KernelKind::Vector, alpha });
+        let mut dna = LikelihoodEngine::new(
+            &tree,
+            &aln,
+            EngineConfig {
+                kernel: crate::KernelKind::Vector,
+                alpha,
+            },
+        );
         dna.set_model(params);
         let mut gen = nstate_from_dna(&tree, &aln, params, alpha);
         for e in tree.edge_ids() {
@@ -419,7 +428,14 @@ mod tests {
     fn four_state_derivatives_match_dna_engine() {
         let (tree, aln, params) = dna_fixture();
         let alpha = 0.7;
-        let mut dna = LikelihoodEngine::new(&tree, &aln, EngineConfig { kernel: crate::KernelKind::Scalar, alpha });
+        let mut dna = LikelihoodEngine::new(
+            &tree,
+            &aln,
+            EngineConfig {
+                kernel: crate::KernelKind::Scalar,
+                alpha,
+            },
+        );
         dna.set_model(params);
         let mut gen = nstate_from_dna(&tree, &aln, params, alpha);
         for e in [0usize, 3, 6] {
@@ -458,13 +474,15 @@ mod tests {
     #[test]
     fn protein_root_invariance() {
         let (tree, tips, weights, eigen) = protein_fixture(5);
-        let mut engine =
-            NStateEngine::new(&tree, eigen, DiscreteGamma::new(0.9), tips, weights);
+        let mut engine = NStateEngine::new(&tree, eigen, DiscreteGamma::new(0.9), tips, weights);
         let reference = engine.log_likelihood(&tree, 0);
         assert!(reference.is_finite() && reference < 0.0);
         for e in tree.edge_ids().skip(1) {
             let ll = engine.log_likelihood(&tree, e);
-            assert!((ll - reference).abs() < 1e-8, "edge {e}: {ll} vs {reference}");
+            assert!(
+                (ll - reference).abs() < 1e-8,
+                "edge {e}: {ll} vs {reference}"
+            );
         }
     }
 
@@ -481,8 +499,7 @@ mod tests {
     #[test]
     fn protein_derivatives_match_finite_differences() {
         let (tree, tips, weights, eigen) = protein_fixture(7);
-        let mut engine =
-            NStateEngine::new(&tree, eigen, DiscreteGamma::new(0.8), tips, weights);
+        let mut engine = NStateEngine::new(&tree, eigen, DiscreteGamma::new(0.8), tips, weights);
         let edge = 2;
         engine.prepare_branch(&tree, edge);
         let t0 = tree.length(edge);
@@ -496,8 +513,14 @@ mod tests {
         let (lp, lm, l0) = (ll(t0 + h), ll(t0 - h), ll(t0));
         let fd1 = (lp - lm) / (2.0 * h);
         let fd2 = (lp - 2.0 * l0 + lm) / (h * h);
-        assert!((d1 - fd1).abs() < 1e-3 * (1.0 + fd1.abs()), "d1 {d1} fd {fd1}");
-        assert!((d2 - fd2).abs() < 1e-2 * (1.0 + fd2.abs()), "d2 {d2} fd {fd2}");
+        assert!(
+            (d1 - fd1).abs() < 1e-3 * (1.0 + fd1.abs()),
+            "d1 {d1} fd {fd1}"
+        );
+        assert!(
+            (d2 - fd2).abs() < 1e-2 * (1.0 + fd2.abs()),
+            "d2 {d2} fd {fd2}"
+        );
     }
 
     #[test]

@@ -278,8 +278,15 @@ impl RecomputingEngine {
                 let lut_l = Lut16x16::tip_prob(&self.fused_pmat(tree.length(e_l)));
                 let p_r = self.fused_pmat(tree.length(e_r));
                 let cr = &self.slots[self.slot_of(n_r)];
-                self.kernel
-                    .newview_ti(&lut_l, &self.tips[n_l], &p_r, cr.values(), cr.scale(), ov, os);
+                self.kernel.newview_ti(
+                    &lut_l,
+                    &self.tips[n_l],
+                    &p_r,
+                    cr.values(),
+                    cr.scale(),
+                    ov,
+                    os,
+                );
             }
             (false, false) => {
                 let p_l = self.fused_pmat(tree.length(e_l));
@@ -320,8 +327,14 @@ impl RecomputingEngine {
         let (q, r) = if tree.is_tip(a) { (a, b) } else { (b, a) };
         let ll = if tree.is_tip(q) {
             let cr = &self.slots[self.slot_of(r)];
-            self.kernel
-                .evaluate_ti(&self.tip_pi, &self.tips[q], &p, cr.values(), cr.scale(), &self.weights)
+            self.kernel.evaluate_ti(
+                &self.tip_pi,
+                &self.tips[q],
+                &p,
+                cr.values(),
+                cr.scale(),
+                &self.weights,
+            )
         } else {
             let cq = &self.slots[self.slot_of(q)];
             let cr = &self.slots[self.slot_of(r)];
@@ -373,9 +386,7 @@ mod tests {
         let rows = (0..tree.num_taxa())
             .map(|_| {
                 (0..patterns)
-                    .map(|_| {
-                        phylo_bio::DnaCode::from_state(rng.random_range(0..4))
-                    })
+                    .map(|_| phylo_bio::DnaCode::from_state(rng.random_range(0..4)))
                     .collect()
             })
             .collect();
@@ -406,8 +417,7 @@ mod tests {
     fn memory_is_actually_bounded() {
         let (tree, aln) = dataset(20, 6);
         let cfg = EngineConfig::default();
-        let full_bytes =
-            tree.num_inner() * aln.num_patterns() * SITE_STRIDE * 8;
+        let full_bytes = tree.num_inner() * aln.num_patterns() * SITE_STRIDE * 8;
         let rec = RecomputingEngine::new(&tree, &aln, cfg, 4);
         assert_eq!(rec.pool_slots(), 4);
         assert!(rec.cla_bytes() < full_bytes / 4);

@@ -21,6 +21,16 @@ pub const LN_SCALE: f64 = 177.445_678_223_346;
 /// Applies the scaling rule to one site's 16 CLA entries in place.
 /// Returns 1 when the site was rescaled (to add to its counter), else
 /// 0.
+///
+/// # Panics
+/// Panics when the site contains a non-finite or negative entry.
+/// Conditional likelihoods are probabilities scaled by a positive
+/// power of two — NaN, ±∞ and negatives can only come from a model or
+/// kernel defect, and multiplying such a site by 2²⁵⁶ would launder
+/// the corruption into finite-looking downstream likelihoods (the
+/// all-NaN site leaves `max == 0.0` because every NaN comparison is
+/// false). The failure-injection contract demands a loud error
+/// instead.
 #[inline]
 pub fn scale_site(site: &mut [f64]) -> u32 {
     debug_assert_eq!(site.len(), crate::SITE_STRIDE);
@@ -31,6 +41,21 @@ pub fn scale_site(site: &mut [f64]) -> u32 {
         }
     }
     if max < SCALE_THRESHOLD {
+        // Cold path: validate before touching anything. A corrupted
+        // entry must never be rescaled into a plausible value.
+        for &v in site.iter() {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "non-finite or negative conditional likelihood {v} in site {site:?}; \
+                 refusing to rescale corrupted data"
+            );
+        }
+        if max == 0.0 {
+            // A genuinely all-zero site: scaling cannot resurrect it,
+            // and 0 · 2²⁵⁶ = 0 would just burn a scaling counter.
+            // Leave it; `evaluate` turns it into -inf, which is loud.
+            return 0;
+        }
         for v in site.iter_mut() {
             *v *= SCALE_FACTOR;
         }
@@ -75,6 +100,45 @@ mod tests {
     fn one_large_entry_prevents_scaling() {
         let mut site = vec![1e-300; 16];
         site[7] = 1e-10;
+        assert_eq!(scale_site(&mut site), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite or negative")]
+    fn all_nan_site_errors_instead_of_rescaling() {
+        let mut site = vec![f64::NAN; 16];
+        scale_site(&mut site);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite or negative")]
+    fn negative_only_site_errors_instead_of_rescaling() {
+        let mut site = vec![-1e-100; 16];
+        scale_site(&mut site);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite or negative")]
+    fn nan_mixed_into_tiny_site_errors() {
+        let mut site = vec![1e-300; 16];
+        site[3] = f64::NAN;
+        scale_site(&mut site);
+    }
+
+    #[test]
+    fn all_zero_site_left_untouched() {
+        let mut site = vec![0.0; 16];
+        assert_eq!(scale_site(&mut site), 0);
+        assert!(site.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn nan_in_normal_range_site_is_not_scalings_problem() {
+        // A NaN next to a healthy entry above the threshold never
+        // reaches the rescale path; the evaluate kernel surfaces it as
+        // a NaN log-likelihood instead.
+        let mut site = vec![0.5; 16];
+        site[2] = f64::NAN;
         assert_eq!(scale_site(&mut site), 0);
     }
 }

@@ -1,0 +1,481 @@
+//! JSONL kernel-timing traces.
+//!
+//! A trace is a flat JSON-lines file: one event per line, each a small
+//! flat object. Two event kinds exist:
+//!
+//! * `kernel` — one source's (a worker thread's or the serial
+//!   engine's) accumulated invocations of one kernel: call count,
+//!   total pattern-sites, and total/min/max wall time in nanoseconds.
+//! * `region` — one source's parallel-region synchronization totals:
+//!   region count plus total/max fork- and join-barrier latencies.
+//!
+//! The format is deliberately trivial — flat objects, string and
+//! integer values only — so it round-trips through the hand-rolled
+//! writer/parser below without a serde dependency, and any external
+//! tool (`jq`, pandas) reads it directly. `micsim::calibration` loads
+//! these events to fit measured per-call and per-site kernel costs,
+//! replacing its hardware-derived defaults with numbers observed on
+//! the actual host (`phylomic --trace-out` writes them).
+
+use crate::instrument::{KernelId, KernelStats};
+use std::fmt::Write as _;
+
+/// One line of a trace file.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// Accumulated timing of one kernel at one source.
+    Kernel {
+        /// Where the stats came from (e.g. `"serial"`, `"worker3"`).
+        source: String,
+        /// Which kernel.
+        kernel: KernelId,
+        /// Invocation count.
+        calls: u64,
+        /// Total pattern-sites across the invocations.
+        sites: u64,
+        /// Summed wall time of the invocations, nanoseconds.
+        total_ns: u64,
+        /// Fastest single invocation, nanoseconds.
+        min_ns: u64,
+        /// Slowest single invocation, nanoseconds.
+        max_ns: u64,
+    },
+    /// Accumulated fork/join latency of one source's parallel regions.
+    Region {
+        /// Where the stats came from (usually `"master"`).
+        source: String,
+        /// Number of parallel regions.
+        count: u64,
+        /// Summed fork-barrier latency, nanoseconds.
+        fork_total_ns: u64,
+        /// Slowest fork, nanoseconds.
+        fork_max_ns: u64,
+        /// Summed join-barrier latency, nanoseconds.
+        join_total_ns: u64,
+        /// Slowest join, nanoseconds.
+        join_max_ns: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Serializes the event as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(160);
+        match self {
+            TraceEvent::Kernel {
+                source,
+                kernel,
+                calls,
+                sites,
+                total_ns,
+                min_ns,
+                max_ns,
+            } => {
+                let _ = write!(
+                    s,
+                    r#"{{"type":"kernel","source":"{}","kernel":"{}","calls":{},"sites":{},"total_ns":{},"min_ns":{},"max_ns":{}}}"#,
+                    escape(source),
+                    kernel.paper_name(),
+                    calls,
+                    sites,
+                    total_ns,
+                    min_ns,
+                    max_ns
+                );
+            }
+            TraceEvent::Region {
+                source,
+                count,
+                fork_total_ns,
+                fork_max_ns,
+                join_total_ns,
+                join_max_ns,
+            } => {
+                let _ = write!(
+                    s,
+                    r#"{{"type":"region","source":"{}","count":{},"fork_total_ns":{},"fork_max_ns":{},"join_total_ns":{},"join_max_ns":{}}}"#,
+                    escape(source),
+                    count,
+                    fork_total_ns,
+                    fork_max_ns,
+                    join_total_ns,
+                    join_max_ns
+                );
+            }
+        }
+        s
+    }
+
+    /// Parses one JSON line back into an event.
+    pub fn from_json(line: &str) -> Result<TraceEvent, TraceError> {
+        let fields = parse_flat_object(line)?;
+        let get = |k: &str| -> Result<&JsonValue, TraceError> {
+            fields
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v)
+                .ok_or_else(|| TraceError(format!("missing field {k:?} in {line:?}")))
+        };
+        let get_u64 = |k: &str| -> Result<u64, TraceError> {
+            match get(k)? {
+                JsonValue::Int(n) => Ok(*n),
+                JsonValue::Str(_) => Err(TraceError(format!("field {k:?} must be an integer"))),
+            }
+        };
+        let get_str = |k: &str| -> Result<&str, TraceError> {
+            match get(k)? {
+                JsonValue::Str(s) => Ok(s),
+                JsonValue::Int(_) => Err(TraceError(format!("field {k:?} must be a string"))),
+            }
+        };
+        match get_str("type")? {
+            "kernel" => {
+                let name = get_str("kernel")?;
+                let kernel = KernelId::ALL
+                    .into_iter()
+                    .find(|k| k.paper_name() == name)
+                    .ok_or_else(|| TraceError(format!("unknown kernel {name:?}")))?;
+                Ok(TraceEvent::Kernel {
+                    source: get_str("source")?.to_string(),
+                    kernel,
+                    calls: get_u64("calls")?,
+                    sites: get_u64("sites")?,
+                    total_ns: get_u64("total_ns")?,
+                    min_ns: get_u64("min_ns")?,
+                    max_ns: get_u64("max_ns")?,
+                })
+            }
+            "region" => Ok(TraceEvent::Region {
+                source: get_str("source")?.to_string(),
+                count: get_u64("count")?,
+                fork_total_ns: get_u64("fork_total_ns")?,
+                fork_max_ns: get_u64("fork_max_ns")?,
+                join_total_ns: get_u64("join_total_ns")?,
+                join_max_ns: get_u64("join_max_ns")?,
+            }),
+            other => Err(TraceError(format!("unknown event type {other:?}"))),
+        }
+    }
+}
+
+/// A malformed trace line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceError(pub String);
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Converts one source's [`KernelStats`] into trace events: one
+/// `kernel` event per kernel with at least one call, plus one `region`
+/// event if any parallel regions were recorded.
+pub fn events_from_stats(source: &str, stats: &KernelStats) -> Vec<TraceEvent> {
+    let mut out = Vec::new();
+    for kernel in KernelId::ALL {
+        let c = stats.get(kernel);
+        if c.calls == 0 {
+            continue;
+        }
+        let h = stats.timing(kernel);
+        out.push(TraceEvent::Kernel {
+            source: source.to_string(),
+            kernel,
+            calls: c.calls,
+            sites: c.sites,
+            total_ns: h.total_ns(),
+            min_ns: h.min_ns().unwrap_or(0),
+            max_ns: h.max_ns().unwrap_or(0),
+        });
+    }
+    let r = stats.regions();
+    if r.count > 0 {
+        out.push(TraceEvent::Region {
+            source: source.to_string(),
+            count: r.count,
+            fork_total_ns: r.fork.total_ns(),
+            fork_max_ns: r.fork.max_ns().unwrap_or(0),
+            join_total_ns: r.join.total_ns(),
+            join_max_ns: r.join.max_ns().unwrap_or(0),
+        });
+    }
+    out
+}
+
+/// Serializes events as a JSONL document (one event per line, trailing
+/// newline).
+pub fn write_jsonl(events: &[TraceEvent]) -> String {
+    let mut s = String::new();
+    for e in events {
+        s.push_str(&e.to_json());
+        s.push('\n');
+    }
+    s
+}
+
+/// Parses a JSONL document; blank lines are skipped.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, TraceError> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(TraceEvent::from_json)
+        .collect()
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+enum JsonValue {
+    Str(String),
+    Int(u64),
+}
+
+/// Parses a single-level JSON object with string and non-negative
+/// integer values — the full extent of the trace grammar.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, TraceError> {
+    let bytes = line.trim().as_bytes();
+    let err = |msg: &str| TraceError(format!("{msg} in {line:?}"));
+    if bytes.first() != Some(&b'{') || bytes.last() != Some(&b'}') {
+        return Err(err("not an object"));
+    }
+    let mut fields = Vec::new();
+    let mut i = 1usize;
+    let end = bytes.len() - 1;
+    loop {
+        while i < end && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= end {
+            break;
+        }
+        let (key, next) = parse_string(bytes, i).map_err(&err)?;
+        i = next;
+        while i < end && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= end || bytes[i] != b':' {
+            return Err(err("expected ':'"));
+        }
+        i += 1;
+        while i < end && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let value = if i < end && bytes[i] == b'"' {
+            let (s, next) = parse_string(bytes, i).map_err(&err)?;
+            i = next;
+            JsonValue::Str(s)
+        } else {
+            let start = i;
+            while i < end && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i == start {
+                return Err(err("expected string or integer value"));
+            }
+            let n: u64 = std::str::from_utf8(&bytes[start..i])
+                .unwrap()
+                .parse()
+                .map_err(|_| err("integer out of range"))?;
+            JsonValue::Int(n)
+        };
+        fields.push((key, value));
+        while i < end && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i < end {
+            if bytes[i] != b',' {
+                return Err(err("expected ',' between fields"));
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Parses a JSON string starting at `bytes[i] == '"'`; returns the
+/// unescaped contents and the index just past the closing quote.
+fn parse_string(bytes: &[u8], i: usize) -> Result<(String, usize), &'static str> {
+    if bytes.get(i) != Some(&b'"') {
+        return Err("expected '\"'");
+    }
+    let mut out = String::new();
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'"' => return Ok((out, j + 1)),
+            b'\\' => {
+                j += 1;
+                match bytes.get(j) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(j + 1..j + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("bad \\u escape")?;
+                        out.push(char::from_u32(hex).ok_or("bad \\u codepoint")?);
+                        j += 4;
+                    }
+                    _ => return Err("bad escape"),
+                }
+                j += 1;
+            }
+            c => {
+                // Multi-byte UTF-8 passes through unchanged.
+                let ch_len = match c {
+                    0x00..=0x7F => 1,
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    _ => 4,
+                };
+                let chunk = bytes.get(j..j + ch_len).ok_or("truncated string")?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|_| "invalid utf-8")?);
+                j += ch_len;
+            }
+        }
+    }
+    Err("unterminated string")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_event_roundtrips() {
+        let e = TraceEvent::Kernel {
+            source: "worker3".into(),
+            kernel: KernelId::Newview,
+            calls: 42,
+            sites: 7000,
+            total_ns: 123_456,
+            min_ns: 800,
+            max_ns: 9_000,
+        };
+        let line = e.to_json();
+        assert!(line.starts_with(r#"{"type":"kernel""#), "{line}");
+        assert_eq!(TraceEvent::from_json(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn region_event_roundtrips() {
+        let e = TraceEvent::Region {
+            source: "master".into(),
+            count: 9,
+            fork_total_ns: 100,
+            fork_max_ns: 40,
+            join_total_ns: 5_000,
+            join_max_ns: 900,
+        };
+        assert_eq!(TraceEvent::from_json(&e.to_json()).unwrap(), e);
+    }
+
+    #[test]
+    fn jsonl_roundtrips_and_skips_blanks() {
+        let events = vec![
+            TraceEvent::Kernel {
+                source: "serial".into(),
+                kernel: KernelId::Evaluate,
+                calls: 1,
+                sites: 10,
+                total_ns: 99,
+                min_ns: 99,
+                max_ns: 99,
+            },
+            TraceEvent::Region {
+                source: "master".into(),
+                count: 2,
+                fork_total_ns: 1,
+                fork_max_ns: 1,
+                join_total_ns: 2,
+                join_max_ns: 1,
+            },
+        ];
+        let mut doc = write_jsonl(&events);
+        doc.push('\n'); // extra blank line
+        assert_eq!(parse_jsonl(&doc).unwrap(), events);
+    }
+
+    #[test]
+    fn stats_export_covers_active_kernels_and_regions() {
+        let mut s = KernelStats::new();
+        s.record_timed(KernelId::Newview, 100, 5_000);
+        s.record_timed(KernelId::Newview, 100, 7_000);
+        s.record_timed(KernelId::Evaluate, 100, 1_000);
+        s.record_region(50, 2_000);
+        let events = events_from_stats("w0", &s);
+        assert_eq!(events.len(), 3); // 2 kernels + 1 region block
+        match &events[0] {
+            TraceEvent::Kernel {
+                kernel,
+                calls,
+                sites,
+                total_ns,
+                min_ns,
+                max_ns,
+                ..
+            } => {
+                assert_eq!(*kernel, KernelId::Newview);
+                assert_eq!((*calls, *sites), (2, 200));
+                assert_eq!((*total_ns, *min_ns, *max_ns), (12_000, 5_000, 7_000));
+            }
+            other => panic!("expected kernel event, got {other:?}"),
+        }
+        assert!(matches!(
+            events.last().unwrap(),
+            TraceEvent::Region { count: 1, .. }
+        ));
+        // Idle kernels produce no events.
+        assert!(!write_jsonl(&events).contains("derivativeSum"));
+    }
+
+    #[test]
+    fn escaped_sources_roundtrip() {
+        let e = TraceEvent::Kernel {
+            source: "od\"d\\na\tme\u{1}".into(),
+            kernel: KernelId::DerivativeCore,
+            calls: 1,
+            sites: 1,
+            total_ns: 1,
+            min_ns: 1,
+            max_ns: 1,
+        };
+        assert_eq!(TraceEvent::from_json(&e.to_json()).unwrap(), e);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            r#"{"type":"kernel"}"#,
+            r#"{"type":"mystery","source":"x"}"#,
+            r#"{"type":"kernel","source":"s","kernel":"nope","calls":1,"sites":1,"total_ns":1,"min_ns":1,"max_ns":1}"#,
+            r#"{"type":"kernel","source":"s","kernel":"newview","calls":"one","sites":1,"total_ns":1,"min_ns":1,"max_ns":1}"#,
+        ] {
+            assert!(TraceEvent::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

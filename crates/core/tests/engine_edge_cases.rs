@@ -35,9 +35,7 @@ fn pattern_count_not_multiple_of_block_is_exact() {
     // The vector kernels block sites in groups of 8; sizes 1..=17
     // exercise every remainder. Scalar is the oracle.
     for width in 1..=17usize {
-        let seq = |base: &str| -> String {
-            base.chars().cycle().take(width).collect()
-        };
+        let seq = |base: &str| -> String { base.chars().cycle().take(width).collect() };
         let a = aln(&[
             ("a", &seq("ACGTR")),
             ("b", &seq("CAGTN")),
@@ -45,8 +43,22 @@ fn pattern_count_not_multiple_of_block_is_exact() {
             ("d", &seq("TGCAA")),
         ]);
         let tree = newick::parse("((a:0.1,b:0.2):0.15,c:0.3,d:0.25);").unwrap();
-        let mut s = LikelihoodEngine::new(&tree, &a, EngineConfig { kernel: KernelKind::Scalar, alpha: 0.8 });
-        let mut v = LikelihoodEngine::new(&tree, &a, EngineConfig { kernel: KernelKind::Vector, alpha: 0.8 });
+        let mut s = LikelihoodEngine::new(
+            &tree,
+            &a,
+            EngineConfig {
+                kernel: KernelKind::Scalar,
+                alpha: 0.8,
+            },
+        );
+        let mut v = LikelihoodEngine::new(
+            &tree,
+            &a,
+            EngineConfig {
+                kernel: KernelKind::Vector,
+                alpha: 0.8,
+            },
+        );
         let ls = s.log_likelihood(&tree, 0);
         let lv = v.log_likelihood(&tree, 0);
         assert!((ls - lv).abs() < 1e-10, "width {width}: {ls} vs {lv}");
@@ -99,8 +111,16 @@ fn underflow_event_increments_counter_and_rescales() {
     for kind in [KernelKind::Scalar, KernelKind::Vector] {
         let mut out = Cla::new(n);
         let (v, s) = out.buffers_mut();
-        kind.kernels()
-            .newview_ii(&p, left.values(), left.scale(), &p, right.values(), right.scale(), v, s);
+        kind.kernels().newview_ii(
+            &p,
+            left.values(),
+            left.scale(),
+            &p,
+            right.values(),
+            right.scale(),
+            v,
+            s,
+        );
         assert_eq!(out.scale()[0], 1, "{kind:?}: one rescaling event");
         // Rescaled values are in a healthy range again.
         let max = out.values().iter().cloned().fold(0.0f64, f64::max);
@@ -197,6 +217,8 @@ fn luts_row_zero_never_read() {
         let mut out = Cla::new(n);
         let (v, s) = out.buffers_mut();
         kind.kernels().newview_tt(&lut, &lut, &codes, &codes, v, s);
-        assert!(out.values()[..n * SITE_STRIDE].iter().all(|x| x.is_finite()));
+        assert!(out.values()[..n * SITE_STRIDE]
+            .iter()
+            .all(|x| x.is_finite()));
     }
 }

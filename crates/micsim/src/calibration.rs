@@ -91,6 +91,222 @@ pub const INTRA_MIC_MPI_BASE_S: f64 = 20e-6;
 /// Fixed per-run startup/serial time, seconds (I/O, tree setup).
 pub const SERIAL_OVERHEAD_S: f64 = 0.05;
 
+// ---------------------------------------------------------------------
+// Measured-timing calibration.
+//
+// The constants above are derived from hardware datasheets and the
+// paper's reported numbers. Since the kernel-timing trace work, the
+// model can also be anchored to *measured* host timings: `phylomic
+// --trace-out run.jsonl` dumps per-source kernel aggregates, and
+// [`MeasuredHostCosts`] fits each kernel's linear cost model
+// `total_ns ≈ per_call_ns · calls + per_site_ns · sites` from those
+// events by least squares. The per-site slope replaces the roofline
+// `site_time` for the host platform, and the per-call intercept plus
+// region fork/join latencies calibrate the synchronization constants.
+// ---------------------------------------------------------------------
+
+use plf_core::trace::{parse_jsonl, TraceEvent};
+use plf_core::KernelId;
+
+/// The linear cost model of one kernel, fit from measured timings.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KernelCostFit {
+    /// Fixed cost per invocation, nanoseconds (loop setup, cache
+    /// warm-up, dispatch).
+    pub per_call_ns: f64,
+    /// Marginal cost per pattern-site, nanoseconds.
+    pub per_site_ns: f64,
+    /// Number of trace samples the fit saw.
+    pub samples: usize,
+}
+
+impl KernelCostFit {
+    /// Predicted total time of `calls` invocations over `sites`
+    /// pattern-sites, nanoseconds.
+    pub fn predict_ns(&self, calls: u64, sites: u64) -> f64 {
+        self.per_call_ns * calls as f64 + self.per_site_ns * sites as f64
+    }
+}
+
+/// Host kernel costs fit from a measured JSONL trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MeasuredHostCosts {
+    fits: [KernelCostFit; 4],
+    /// Mean fork-barrier latency per parallel region, nanoseconds.
+    pub region_fork_ns: f64,
+    /// Mean join-barrier latency per parallel region, nanoseconds.
+    pub region_join_ns: f64,
+}
+
+/// A trace unusable for calibration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CalibrationError(pub String);
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "calibration error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
+impl MeasuredHostCosts {
+    /// Fits per-kernel costs from trace events. Each `kernel` event is
+    /// one sample `(calls, sites, total_ns)`; sources with different
+    /// slice widths (fork-join workers) give the fit the spread in
+    /// sites-per-call it needs to separate the per-call intercept from
+    /// the per-site slope. Requires at least one kernel sample with
+    /// nonzero calls.
+    pub fn from_events(events: &[TraceEvent]) -> Result<MeasuredHostCosts, CalibrationError> {
+        let mut samples: [Vec<(f64, f64, f64)>; 4] = Default::default();
+        let mut region_count = 0u64;
+        let mut fork_total = 0u64;
+        let mut join_total = 0u64;
+        for e in events {
+            match e {
+                TraceEvent::Kernel {
+                    kernel,
+                    calls,
+                    sites,
+                    total_ns,
+                    ..
+                } if *calls > 0 => {
+                    samples[kernel_index(*kernel)].push((
+                        *calls as f64,
+                        *sites as f64,
+                        *total_ns as f64,
+                    ));
+                }
+                TraceEvent::Region {
+                    count,
+                    fork_total_ns,
+                    join_total_ns,
+                    ..
+                } => {
+                    region_count += count;
+                    fork_total += fork_total_ns;
+                    join_total += join_total_ns;
+                }
+                _ => {}
+            }
+        }
+        if samples.iter().all(|s| s.is_empty()) {
+            return Err(CalibrationError(
+                "trace contains no kernel samples".to_string(),
+            ));
+        }
+        let mut fits = [KernelCostFit::default(); 4];
+        for (i, s) in samples.iter().enumerate() {
+            fits[i] = fit_linear(s);
+        }
+        let (region_fork_ns, region_join_ns) = if region_count > 0 {
+            (
+                fork_total as f64 / region_count as f64,
+                join_total as f64 / region_count as f64,
+            )
+        } else {
+            (0.0, 0.0)
+        };
+        Ok(MeasuredHostCosts {
+            fits,
+            region_fork_ns,
+            region_join_ns,
+        })
+    }
+
+    /// Parses a JSONL trace document and fits it.
+    pub fn from_jsonl(text: &str) -> Result<MeasuredHostCosts, CalibrationError> {
+        let events = parse_jsonl(text).map_err(|e| CalibrationError(e.to_string()))?;
+        MeasuredHostCosts::from_events(&events)
+    }
+
+    /// The fit for one kernel (zeroed when the trace had no samples
+    /// for it — check [`KernelCostFit::samples`]).
+    pub fn fit(&self, kernel: KernelId) -> &KernelCostFit {
+        &self.fits[kernel_index(kernel)]
+    }
+
+    /// Measured marginal cost per pattern-site of `kernel`, seconds —
+    /// the measured counterpart of [`crate::model::site_time`] for the
+    /// host the trace was recorded on.
+    pub fn site_time_s(&self, kernel: KernelId) -> f64 {
+        self.fit(kernel).per_site_ns * 1e-9
+    }
+
+    /// Mean fork+join synchronization cost per parallel region,
+    /// seconds — the measured counterpart of the
+    /// [`OMP_REGION_OVERHEAD_PER_THREAD_S`]-based charge.
+    pub fn region_overhead_s(&self) -> f64 {
+        (self.region_fork_ns + self.region_join_ns) * 1e-9
+    }
+
+    /// Predicted host wall time of replaying `trace`'s kernel mix,
+    /// seconds: measured kernel costs plus the measured per-region
+    /// synchronization (one region per kernel invocation, as in the
+    /// fork-join scheme).
+    pub fn predict_run_s(&self, trace: &crate::workload::WorkloadTrace) -> f64 {
+        let mut ns = 0.0;
+        for k in KernelId::ALL {
+            let c = trace.stats.get(k);
+            ns += self.fit(k).predict_ns(c.calls, c.sites);
+        }
+        ns * 1e-9 + trace.stats.total_calls() as f64 * self.region_overhead_s()
+    }
+}
+
+fn kernel_index(k: KernelId) -> usize {
+    KernelId::ALL.iter().position(|x| *x == k).unwrap()
+}
+
+/// Least-squares fit of `t ≈ a·calls + b·sites` over samples
+/// `(calls, sites, t)`, solving the 2×2 normal equations. Falls back
+/// to a pure per-site (or per-call) rate when the system is singular —
+/// e.g. a single sample, or all samples sharing one sites/calls ratio
+/// — and clamps both coefficients to be non-negative (re-fitting the
+/// other coordinate when one clamps).
+fn fit_linear(samples: &[(f64, f64, f64)]) -> KernelCostFit {
+    if samples.is_empty() {
+        return KernelCostFit::default();
+    }
+    let (mut scc, mut scs, mut sss, mut sct, mut sst) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    let (mut sc, mut ss, mut st) = (0.0, 0.0, 0.0);
+    for &(c, s, t) in samples {
+        scc += c * c;
+        scs += c * s;
+        sss += s * s;
+        sct += c * t;
+        sst += s * t;
+        sc += c;
+        ss += s;
+        st += t;
+    }
+    let det = scc * sss - scs * scs;
+    let per_site_only = || KernelCostFit {
+        per_call_ns: if ss <= 0.0 && sc > 0.0 { st / sc } else { 0.0 },
+        per_site_ns: if ss > 0.0 { st / ss } else { 0.0 },
+        samples: samples.len(),
+    };
+    if samples.len() < 2 || det.abs() <= 1e-9 * scc * sss {
+        return per_site_only();
+    }
+    let mut a = (sct * sss - sst * scs) / det;
+    let mut b = (scc * sst - scs * sct) / det;
+    if a < 0.0 {
+        // Negative intercept: the data is per-site dominated; refit
+        // the slope alone.
+        a = 0.0;
+        b = if sss > 0.0 { sst / sss } else { 0.0 };
+    } else if b < 0.0 {
+        b = 0.0;
+        a = if scc > 0.0 { sct / scc } else { 0.0 };
+    }
+    KernelCostFit {
+        per_call_ns: a.max(0.0),
+        per_site_ns: b.max(0.0),
+        samples: samples.len(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +342,145 @@ mod tests {
         let cpu = 102.4 * bandwidth_efficiency(Cpu);
         let ratio = mic / cpu;
         assert!((2.7..2.9).contains(&ratio), "ratio {ratio}");
+    }
+
+    /// Synthesizes worker trace events from a known ground-truth cost
+    /// model `t = a·calls + b·sites`.
+    fn synth_events(a: f64, b: f64, widths: &[u64]) -> Vec<TraceEvent> {
+        widths
+            .iter()
+            .enumerate()
+            .map(|(i, &sites_per_call)| {
+                let calls = 40u64;
+                let sites = calls * sites_per_call;
+                let total = (a * calls as f64 + b * sites as f64).round() as u64;
+                TraceEvent::Kernel {
+                    source: format!("worker{i}"),
+                    kernel: KernelId::Newview,
+                    calls,
+                    sites,
+                    total_ns: total,
+                    min_ns: 0,
+                    max_ns: total,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_recovers_per_call_and_per_site_costs() {
+        // Workers with different slice widths — exactly what
+        // fork-join `take_stats_per_worker` produces — let the fit
+        // separate intercept from slope.
+        let events = synth_events(2_000.0, 35.0, &[50, 120, 300, 800, 2000]);
+        let costs = MeasuredHostCosts::from_events(&events).unwrap();
+        let fit = costs.fit(KernelId::Newview);
+        assert_eq!(fit.samples, 5);
+        assert!(
+            (fit.per_call_ns - 2_000.0).abs() < 1.0,
+            "per_call {}",
+            fit.per_call_ns
+        );
+        assert!(
+            (fit.per_site_ns - 35.0).abs() < 0.01,
+            "per_site {}",
+            fit.per_site_ns
+        );
+        // site_time_s converts to seconds.
+        assert!((costs.site_time_s(KernelId::Newview) - 35.0e-9).abs() < 1e-12);
+        // Kernels absent from the trace have an empty fit.
+        assert_eq!(costs.fit(KernelId::Evaluate).samples, 0);
+    }
+
+    #[test]
+    fn single_sample_falls_back_to_per_site_rate() {
+        let events = synth_events(0.0, 50.0, &[100]);
+        let costs = MeasuredHostCosts::from_events(&events).unwrap();
+        let fit = costs.fit(KernelId::Newview);
+        assert_eq!(fit.per_call_ns, 0.0);
+        assert!((fit.per_site_ns - 50.0).abs() < 1e-9, "{}", fit.per_site_ns);
+    }
+
+    #[test]
+    fn fit_coefficients_never_negative() {
+        // Adversarial noise: decreasing totals with increasing sites.
+        let events = vec![
+            TraceEvent::Kernel {
+                source: "w0".into(),
+                kernel: KernelId::Evaluate,
+                calls: 10,
+                sites: 100,
+                total_ns: 10_000,
+                min_ns: 0,
+                max_ns: 0,
+            },
+            TraceEvent::Kernel {
+                source: "w1".into(),
+                kernel: KernelId::Evaluate,
+                calls: 10,
+                sites: 10_000,
+                total_ns: 9_000,
+                min_ns: 0,
+                max_ns: 0,
+            },
+        ];
+        let costs = MeasuredHostCosts::from_events(&events).unwrap();
+        let fit = costs.fit(KernelId::Evaluate);
+        assert!(fit.per_call_ns >= 0.0 && fit.per_site_ns >= 0.0);
+    }
+
+    #[test]
+    fn region_events_average_into_overhead() {
+        let mut events = synth_events(0.0, 10.0, &[100]);
+        events.push(TraceEvent::Region {
+            source: "master".into(),
+            count: 10,
+            fork_total_ns: 5_000,
+            fork_max_ns: 900,
+            join_total_ns: 45_000,
+            join_max_ns: 8_000,
+        });
+        let costs = MeasuredHostCosts::from_events(&events).unwrap();
+        assert!((costs.region_fork_ns - 500.0).abs() < 1e-9);
+        assert!((costs.region_join_ns - 4_500.0).abs() < 1e-9);
+        assert!((costs.region_overhead_s() - 5_000.0e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_feeds_the_fit() {
+        // The full loop the --trace-out flag enables: stats → JSONL →
+        // parse → fit.
+        let events = synth_events(1_000.0, 20.0, &[60, 200, 900]);
+        let doc = plf_core::trace::write_jsonl(&events);
+        let costs = MeasuredHostCosts::from_jsonl(&doc).unwrap();
+        let fit = costs.fit(KernelId::Newview);
+        assert!(
+            (fit.per_call_ns - 1_000.0).abs() < 1.0,
+            "{}",
+            fit.per_call_ns
+        );
+        assert!((fit.per_site_ns - 20.0).abs() < 0.01, "{}", fit.per_site_ns);
+    }
+
+    #[test]
+    fn empty_or_malformed_traces_are_rejected() {
+        assert!(MeasuredHostCosts::from_jsonl("").is_err());
+        assert!(MeasuredHostCosts::from_jsonl("garbage\n").is_err());
+    }
+
+    #[test]
+    fn predicted_run_time_matches_ground_truth_model() {
+        let events = synth_events(2_000.0, 35.0, &[50, 300, 2000]);
+        let costs = MeasuredHostCosts::from_events(&events).unwrap();
+        let trace = crate::workload::WorkloadTrace::from_trace_events(&events, 0, 1_000);
+        let calls: u64 = 3 * 40;
+        let sites: u64 = 40 * (50 + 300 + 2000);
+        let expect_ns = 2_000.0 * calls as f64 + 35.0 * sites as f64;
+        let got = costs.predict_run_s(&trace);
+        assert!(
+            (got - expect_ns * 1e-9).abs() / (expect_ns * 1e-9) < 1e-3,
+            "got {got}, expect {}",
+            expect_ns * 1e-9
+        );
     }
 }

@@ -2,9 +2,7 @@
 //! helpers built on them.
 
 use crate::model::{predict_time, ExecMode, Interconnect, MachineConfig, TimeBreakdown};
-use crate::platform::{
-    XEON_E5_2630_2S, XEON_E5_2680_2S, XEON_PHI_5110P_1S, XEON_PHI_5110P_2S,
-};
+use crate::platform::{XEON_E5_2630_2S, XEON_E5_2680_2S, XEON_PHI_5110P_1S, XEON_PHI_5110P_2S};
 use crate::workload::WorkloadTrace;
 
 /// The systems of Table III, in row order.
@@ -202,8 +200,8 @@ mod tests {
 
     #[test]
     fn crossover_lands_between_50k_and_250k() {
-        let x = crossover_patterns(&trace(), SystemId::Phi1)
-            .expect("Phi must overtake the baseline");
+        let x =
+            crossover_patterns(&trace(), SystemId::Phi1).expect("Phi must overtake the baseline");
         assert!(
             (50_000.0..250_000.0).contains(&x),
             "crossover at {x} patterns"

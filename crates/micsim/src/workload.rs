@@ -1,5 +1,6 @@
 //! Workload traces: what a real search run did, scaled across sizes.
 
+use plf_core::trace::TraceEvent;
 use plf_core::{KernelId, KernelStats};
 
 /// The workload description consumed by the performance model:
@@ -24,6 +25,34 @@ impl WorkloadTrace {
             allreduces,
             patterns,
         }
+    }
+
+    /// Reconstructs a workload from JSONL trace events (as written by
+    /// `phylomic --trace-out`): kernel events from every source are
+    /// merged; each event's sites are distributed evenly over its
+    /// calls so the per-kernel totals match the recorded run exactly.
+    pub fn from_trace_events(events: &[TraceEvent], allreduces: u64, patterns: u64) -> Self {
+        let mut stats = KernelStats::new();
+        for e in events {
+            if let TraceEvent::Kernel {
+                kernel,
+                calls,
+                sites,
+                ..
+            } = e
+            {
+                if *calls == 0 {
+                    continue;
+                }
+                let base = sites / calls;
+                let rem = sites % calls;
+                for i in 0..*calls {
+                    let extra = u64::from(i < rem);
+                    stats.record(*kernel, (base + extra) as usize);
+                }
+            }
+        }
+        Self::from_run(stats, allreduces, patterns)
     }
 
     /// Extrapolates the trace to a different alignment size: invocation
@@ -105,6 +134,43 @@ mod tests {
         assert_eq!(t.sites_per_call(KernelId::Evaluate), 5_000.0);
         let s = t.scaled_to(50_000);
         assert_eq!(s.sites_per_call(KernelId::Evaluate), 50_000.0);
+    }
+
+    #[test]
+    fn trace_events_reconstruct_exact_totals() {
+        let events = vec![
+            TraceEvent::Kernel {
+                source: "worker0".into(),
+                kernel: KernelId::Newview,
+                calls: 3,
+                sites: 10, // 4 + 3 + 3 after distribution
+                total_ns: 100,
+                min_ns: 10,
+                max_ns: 50,
+            },
+            TraceEvent::Kernel {
+                source: "worker1".into(),
+                kernel: KernelId::Newview,
+                calls: 3,
+                sites: 8,
+                total_ns: 90,
+                min_ns: 10,
+                max_ns: 50,
+            },
+            TraceEvent::Region {
+                source: "master".into(),
+                count: 3,
+                fork_total_ns: 1,
+                fork_max_ns: 1,
+                join_total_ns: 2,
+                join_max_ns: 1,
+            },
+        ];
+        let t = WorkloadTrace::from_trace_events(&events, 5, 18);
+        assert_eq!(t.stats.get(KernelId::Newview).calls, 6);
+        assert_eq!(t.stats.get(KernelId::Newview).sites, 18);
+        assert_eq!(t.allreduces, 5);
+        assert_eq!(t.patterns, 18);
     }
 
     #[test]

@@ -128,11 +128,7 @@ impl Gtr {
         // Symmetrize: B = D^{1/2} Q D^{-1/2}, D = diag(pi).
         let sq: [f64; NUM_STATES] = pi.map(f64::sqrt);
         let b: Vec<Vec<f64>> = (0..NUM_STATES)
-            .map(|i| {
-                (0..NUM_STATES)
-                    .map(|j| sq[i] * q[i][j] / sq[j])
-                    .collect()
-            })
+            .map(|i| (0..NUM_STATES).map(|j| sq[i] * q[i][j] / sq[j]).collect())
             .collect();
         let sym = jacobi_eigen(&b);
 

@@ -151,7 +151,13 @@ mod tests {
 
     #[test]
     fn narrow_well() {
-        let r = minimize(|x: f64| ((x - 0.123).abs() + 1.0).ln(), 0.0, 1.0, 1e-12, 300);
+        let r = minimize(
+            |x: f64| ((x - 0.123).abs() + 1.0).ln(),
+            0.0,
+            1.0,
+            1e-12,
+            300,
+        );
         assert!((r.xmin - 0.123).abs() < 1e-6);
     }
 

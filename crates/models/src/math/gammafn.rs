@@ -32,9 +32,7 @@ pub fn lgamma(x: f64) -> f64 {
     if x < 0.5 {
         // Reflection for better accuracy near zero:
         // Γ(x)Γ(1-x) = π / sin(πx).
-        return std::f64::consts::PI.ln()
-            - (std::f64::consts::PI * x).sin().ln()
-            - lgamma(1.0 - x);
+        return std::f64::consts::PI.ln() - (std::f64::consts::PI * x).sin().ln() - lgamma(1.0 - x);
     }
     let x = x - 1.0;
     let mut acc = LANCZOS[0];
@@ -128,7 +126,10 @@ fn gamma_q_cf(a: f64, x: f64) -> f64 {
 /// fallback when a Newton step leaves the bracket.
 pub fn inv_reg_gamma_p(a: f64, p: f64) -> f64 {
     assert!(a > 0.0, "inv_reg_gamma_p requires a > 0");
-    assert!((0.0..1.0).contains(&p), "inv_reg_gamma_p requires 0 <= p < 1");
+    assert!(
+        (0.0..1.0).contains(&p),
+        "inv_reg_gamma_p requires 0 <= p < 1"
+    );
     if p == 0.0 {
         return 0.0;
     }
@@ -299,10 +300,7 @@ mod tests {
             for &p in &[0.001, 0.05, 0.25, 0.5, 0.75, 0.95, 0.999] {
                 let x = inv_reg_gamma_p(a, p);
                 let back = reg_gamma_p(a, x);
-                assert!(
-                    (back - p).abs() < 1e-9,
-                    "a={a} p={p}: x={x}, P(a,x)={back}"
-                );
+                assert!((back - p).abs() < 1e-9, "a={a} p={p}: x={x}, P(a,x)={back}");
             }
         }
     }

@@ -200,7 +200,9 @@ mod tests {
         let n = 20;
         let mut seed = 12345u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         let mut a = vec![vec![0.0; n]; n];

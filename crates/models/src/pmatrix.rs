@@ -203,8 +203,7 @@ mod tests {
         let pm = ProbMatrix::new(&e, &rates, 0.3);
         assert_eq!(pm.branch_length, 0.3);
         // Faster categories move further from identity.
-        let self_prob =
-            |k: usize| -> f64 { (0..4).map(|i| pm.per_rate[k][i][i]).sum::<f64>() };
+        let self_prob = |k: usize| -> f64 { (0..4).map(|i| pm.per_rate[k][i][i]).sum::<f64>() };
         assert!(self_prob(0) > self_prob(1));
         assert!(self_prob(1) > self_prob(2));
         assert!(self_prob(2) > self_prob(3));

@@ -100,7 +100,11 @@ pub fn block_per_partition(partition_sizes: &[usize], workers: usize) -> Assignm
                 w_load = 0;
                 continue;
             }
-            let take = if w + 1 == workers { left } else { left.min(room.max(1)) };
+            let take = if w + 1 == workers {
+                left
+            } else {
+                left.min(room.max(1))
+            };
             shares[w].push((p, take));
             w_load += take;
             left -= take;
@@ -122,7 +126,9 @@ pub fn whole_partitions(partition_sizes: &[usize], workers: usize) -> Assignment
     let mut order: Vec<usize> = (0..partition_sizes.len()).collect();
     order.sort_by_key(|&p| std::cmp::Reverse(partition_sizes[p]));
     for p in order {
-        let w = (0..workers).min_by_key(|&w| loads[w]).expect("workers >= 1");
+        let w = (0..workers)
+            .min_by_key(|&w| loads[w])
+            .expect("workers >= 1");
         shares[w].push((p, partition_sizes[p]));
         loads[w] += partition_sizes[p];
     }

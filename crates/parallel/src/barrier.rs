@@ -107,11 +107,7 @@ mod tests {
                         counter.fetch_add(1, Ordering::Relaxed);
                         barrier.wait(&mut token);
                         let seen = counter.load(Ordering::Relaxed);
-                        assert_eq!(
-                            seen as usize,
-                            (phase + 1) * THREADS,
-                            "phase {phase}"
-                        );
+                        assert_eq!(seen as usize, (phase + 1) * THREADS, "phase {phase}");
                         barrier.wait(&mut token);
                     }
                 })

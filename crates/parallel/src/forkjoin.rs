@@ -3,30 +3,50 @@
 //! A single master runs the search; persistent worker threads each own
 //! a [`LikelihoodEngine`] over one contiguous slice of the alignment
 //! patterns. Every likelihood operation becomes a parallel region:
-//! the master broadcasts a job, the workers compute their partial
-//! results, and the master reduces the replies — "master and worker
+//! the master publishes one job in a shared slot, releases the workers
+//! through the sense-reversing [`SenseBarrier`] (*fork*), each worker
+//! writes its partial result into its own slot of a shared reply
+//! array, and a second barrier pass (*join*) hands the array back to
+//! the master, which reduces it in place — "master and worker
 //! processes have to communicate at least twice per parallel
 //! region/kernel" (§V-D), which is exactly the synchronization cost
 //! `micsim` charges this scheme.
+//!
+//! There are no channels and no locks on the fast path: the barrier's
+//! acquire/release pairs are the only synchronization, and the job and
+//! reply slots are plain memory whose ownership alternates between
+//! master and workers in barrier-separated windows. The master also
+//! times both barrier waits of every region, so the per-region
+//! fork/join latency distribution lands in [`KernelStats`] next to the
+//! kernel timings.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crate::barrier::{BarrierToken, SenseBarrier};
 use phylo_bio::CompressedAlignment;
 use phylo_models::GtrParams;
 use phylo_search::Evaluator;
 use phylo_tree::{EdgeId, Tree};
 use plf_core::{EngineConfig, KernelStats, LikelihoodEngine};
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-/// Splits `n` items into `k` contiguous, balanced ranges.
+/// Splits `n` items into `k` contiguous, balanced ranges. When
+/// `k > n`, the trailing ranges are empty — workers holding them
+/// contribute identity partials (0 log-likelihood, 0 derivatives).
 pub fn split_ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
     assert!(k >= 1);
-    (0..k)
-        .map(|i| (i * n / k)..((i + 1) * n / k))
-        .collect()
+    (0..k).map(|i| (i * n / k)..((i + 1) * n / k)).collect()
 }
 
+/// One broadcast work item. The master writes it into the shared slot
+/// before the fork barrier; every worker reads it (by reference — the
+/// tree snapshot is shared through the `Arc`, not cloned per worker)
+/// between fork and join.
 enum Job {
+    /// Initial state before the first region.
+    Idle,
     Eval(Arc<Tree>, EdgeId),
     Prepare(Arc<Tree>, EdgeId),
     Derivatives(f64),
@@ -36,23 +56,59 @@ enum Job {
     Shutdown,
 }
 
+/// One worker's partial result, written into its private slot of the
+/// shared reply array between fork and join.
 enum Reply {
+    /// Slot not yet filled this region.
+    None,
     Scalar(f64),
     Pair(f64, f64),
     Stats(Box<KernelStats>),
     Done,
+    /// The worker's job panicked; the message is surfaced to the
+    /// master, which re-panics instead of hanging or silently
+    /// mis-reducing.
+    Panicked(String),
 }
 
-struct Worker {
-    jobs: Sender<Job>,
-    replies: Receiver<Reply>,
-    handle: Option<JoinHandle<()>>,
+/// Pads a reply slot to its own cache line so workers completing at
+/// the same time don't false-share.
+#[repr(align(128))]
+struct CachePadded<T>(UnsafeCell<T>);
+
+/// State shared between the master and all workers.
+///
+/// # Safety argument for `Sync`
+///
+/// `job` and `replies` hold `UnsafeCell`s, accessed without locks.
+/// Races are excluded by the barrier protocol, which alternates
+/// exclusive-access windows:
+///
+/// 1. Master writes `job` while every worker is blocked at the fork
+///    barrier (the steady-state invariant between regions).
+/// 2. Between fork and join, workers read `job` (shared, immutable)
+///    and worker `i` writes only `replies[i]` (exclusive by index).
+/// 3. After the join barrier, the master reads and clears `replies`;
+///    workers are already blocked at the next fork barrier.
+///
+/// The barrier's `AcqRel`/`Acquire`/`Release` orderings make every
+/// write before a barrier pass visible to every thread after it.
+struct Shared {
+    barrier: SenseBarrier,
+    job: UnsafeCell<Job>,
+    replies: Vec<CachePadded<Reply>>,
 }
+
+unsafe impl Sync for Shared {}
 
 /// Master handle of the fork-join scheme; implements
 /// [`phylo_search::Evaluator`] so the unmodified search drives it.
 pub struct ForkJoinEvaluator {
-    workers: Vec<Worker>,
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    token: BarrierToken,
+    /// Master-side stats: fork/join latency of every parallel region.
+    local: KernelStats,
     alpha: f64,
     params: GtrParams,
     /// Parallel regions dispatched (each costs one fork + one join
@@ -62,6 +118,8 @@ pub struct ForkJoinEvaluator {
 
 impl ForkJoinEvaluator {
     /// Spawns `num_workers` workers over balanced pattern slices.
+    /// Worker counts beyond the pattern count are fine: the surplus
+    /// workers own empty slices and return identity partials.
     pub fn new(
         tree: &Tree,
         aln: &CompressedAlignment,
@@ -69,54 +127,27 @@ impl ForkJoinEvaluator {
         num_workers: usize,
     ) -> Self {
         assert!(num_workers >= 1);
-        let ranges = split_ranges(aln.num_patterns(), num_workers);
-        let workers = ranges
+        let shared = Arc::new(Shared {
+            barrier: SenseBarrier::new(num_workers + 1),
+            job: UnsafeCell::new(Job::Idle),
+            replies: (0..num_workers)
+                .map(|_| CachePadded(UnsafeCell::new(Reply::None)))
+                .collect(),
+        });
+        let handles = split_ranges(aln.num_patterns(), num_workers)
             .into_iter()
-            .map(|range| {
-                let (job_tx, job_rx) = bounded::<Job>(1);
-                let (reply_tx, reply_rx) = bounded::<Reply>(1);
-                let mut engine = LikelihoodEngine::with_range(tree, aln, config, range);
-                let handle = std::thread::spawn(move || {
-                    while let Ok(job) = job_rx.recv() {
-                        let reply = match job {
-                            Job::Eval(tree, edge) => {
-                                Reply::Scalar(engine.log_likelihood(&tree, edge))
-                            }
-                            Job::Prepare(tree, edge) => {
-                                engine.prepare_branch(&tree, edge);
-                                Reply::Done
-                            }
-                            Job::Derivatives(t) => {
-                                let (d1, d2) = engine.branch_derivatives(t);
-                                Reply::Pair(d1, d2)
-                            }
-                            Job::SetAlpha(a) => {
-                                engine.set_alpha(a);
-                                Reply::Done
-                            }
-                            Job::SetModel(p) => {
-                                engine.set_model(p);
-                                Reply::Done
-                            }
-                            Job::TakeStats => {
-                                let s = engine.stats().clone();
-                                engine.reset_stats();
-                                Reply::Stats(Box::new(s))
-                            }
-                            Job::Shutdown => break,
-                        };
-                        reply_tx.send(reply).expect("master alive");
-                    }
-                });
-                Worker {
-                    jobs: job_tx,
-                    replies: reply_rx,
-                    handle: Some(handle),
-                }
+            .enumerate()
+            .map(|(idx, range)| {
+                let engine = LikelihoodEngine::with_range(tree, aln, config, range);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, idx, engine))
             })
             .collect();
         ForkJoinEvaluator {
-            workers,
+            shared,
+            handles,
+            token: BarrierToken::new(),
+            local: KernelStats::new(),
             alpha: config.alpha,
             params: GtrParams {
                 rates: [1.0; 6],
@@ -128,7 +159,7 @@ impl ForkJoinEvaluator {
 
     /// Number of worker threads.
     pub fn num_workers(&self) -> usize {
-        self.workers.len()
+        self.handles.len()
     }
 
     /// Parallel regions dispatched so far.
@@ -136,34 +167,151 @@ impl ForkJoinEvaluator {
         self.regions
     }
 
-    fn broadcast(&mut self, make: impl Fn() -> Job) -> Vec<Reply> {
-        self.regions += 1;
-        for w in &self.workers {
-            w.jobs.send(make()).expect("worker alive");
-        }
-        self.workers
-            .iter()
-            .map(|w| w.replies.recv().expect("worker alive"))
-            .collect()
+    /// Master-side statistics: the fork/join latency histogram of
+    /// every parallel region (the kernel counters live in the
+    /// workers; see [`Self::take_stats`]).
+    pub fn master_stats(&self) -> &KernelStats {
+        &self.local
     }
 
-    /// Collects and resets per-worker kernel statistics, merged.
+    /// Runs one parallel region: publish `job`, fork, join, collect
+    /// the reply array. Both barrier waits are timed into the
+    /// region-latency stats.
+    ///
+    /// # Panics
+    /// Re-panics with the worker's message if any worker's job
+    /// panicked, after the region completes — the pool itself stays
+    /// joinable, so `Drop` still shuts the workers down cleanly.
+    fn region(&mut self, job: Job) -> Vec<Reply> {
+        self.regions += 1;
+        // SAFETY: every worker is blocked at the fork barrier (Shared
+        // invariant 1), so the master has exclusive access to the job
+        // slot.
+        unsafe {
+            *self.shared.job.get() = job;
+        }
+        let t0 = Instant::now();
+        self.shared.barrier.wait(&mut self.token); // fork
+        let t1 = Instant::now();
+        self.shared.barrier.wait(&mut self.token); // join
+        let t2 = Instant::now();
+        self.local
+            .record_region(saturating_ns(t1 - t0), saturating_ns(t2 - t1));
+        // SAFETY: the join barrier completed, so every worker has
+        // written its reply and moved on to the next fork wait
+        // (Shared invariant 3); the master now owns the reply array.
+        let replies: Vec<Reply> = self
+            .shared
+            .replies
+            .iter()
+            .map(|slot| unsafe { std::mem::replace(&mut *slot.0.get(), Reply::None) })
+            .collect();
+        if let Some(Reply::Panicked(msg)) = replies.iter().find(|r| matches!(r, Reply::Panicked(_)))
+        {
+            panic!("fork-join worker panicked: {msg}");
+        }
+        replies
+    }
+
+    /// Collects and resets per-worker kernel statistics, merged
+    /// together with the master's region-latency stats.
     pub fn take_stats(&mut self) -> KernelStats {
         let mut total = KernelStats::new();
-        for r in self.broadcast(|| Job::TakeStats) {
-            match r {
-                Reply::Stats(s) => total.merge(&s),
-                _ => unreachable!("stats job returns stats"),
-            }
+        for s in self.take_stats_per_worker() {
+            total.merge(&s);
         }
+        total.merge(&self.local);
+        self.local.reset();
         total
+    }
+
+    /// Collects and resets per-worker kernel statistics, one entry
+    /// per worker in worker order. Master-side region latencies stay
+    /// in [`Self::master_stats`] (use [`Self::take_stats`] for the
+    /// merged view).
+    pub fn take_stats_per_worker(&mut self) -> Vec<KernelStats> {
+        self.region(Job::TakeStats)
+            .into_iter()
+            .map(|r| match r {
+                Reply::Stats(s) => *s,
+                _ => unreachable!("stats job returns stats"),
+            })
+            .collect()
+    }
+}
+
+/// `Duration` → `u64` nanoseconds, saturating.
+fn saturating_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Best-effort extraction of a panic payload message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The worker side of the protocol: wait at the fork barrier, run the
+/// broadcast job against the worker's engine slice, publish the
+/// partial result, wait at the join barrier. A panicking job is
+/// caught and reported as [`Reply::Panicked`]; the worker stays in
+/// the loop so neither barrier ever deadlocks.
+fn worker_loop(shared: &Shared, idx: usize, mut engine: LikelihoodEngine) {
+    let mut token = BarrierToken::new();
+    loop {
+        shared.barrier.wait(&mut token); // fork
+        let reply = {
+            // SAFETY: between fork and join the master never touches
+            // the job slot; workers only read it (Shared invariant 2).
+            let job: &Job = unsafe { &*shared.job.get() };
+            if matches!(job, Job::Shutdown) {
+                return; // exit before the join barrier; master skips it too
+            }
+            catch_unwind(AssertUnwindSafe(|| match job {
+                Job::Eval(tree, edge) => Reply::Scalar(engine.log_likelihood(tree, *edge)),
+                Job::Prepare(tree, edge) => {
+                    engine.prepare_branch(tree, *edge);
+                    Reply::Done
+                }
+                Job::Derivatives(t) => {
+                    let (d1, d2) = engine.branch_derivatives(*t);
+                    Reply::Pair(d1, d2)
+                }
+                Job::SetAlpha(a) => {
+                    engine.set_alpha(*a);
+                    Reply::Done
+                }
+                Job::SetModel(p) => {
+                    engine.set_model(*p);
+                    Reply::Done
+                }
+                Job::TakeStats => {
+                    let s = engine.stats().clone();
+                    engine.reset_stats();
+                    Reply::Stats(Box::new(s))
+                }
+                Job::Idle | Job::Shutdown => unreachable!("not dispatched as work"),
+            }))
+            .unwrap_or_else(|p| Reply::Panicked(panic_message(p)))
+        };
+        // SAFETY: worker `idx` is the sole writer of its own slot
+        // between fork and join (Shared invariant 2).
+        unsafe {
+            *shared.replies[idx].0.get() = reply;
+        }
+        shared.barrier.wait(&mut token); // join
     }
 }
 
 impl Evaluator for ForkJoinEvaluator {
     fn log_likelihood(&mut self, tree: &Tree, root_edge: EdgeId) -> f64 {
         let snapshot = Arc::new(tree.clone());
-        self.broadcast(|| Job::Eval(Arc::clone(&snapshot), root_edge))
+        self.region(Job::Eval(snapshot, root_edge))
             .into_iter()
             .map(|r| match r {
                 Reply::Scalar(x) => x,
@@ -174,13 +322,13 @@ impl Evaluator for ForkJoinEvaluator {
 
     fn prepare_branch(&mut self, tree: &Tree, edge: EdgeId) {
         let snapshot = Arc::new(tree.clone());
-        self.broadcast(|| Job::Prepare(Arc::clone(&snapshot), edge));
+        self.region(Job::Prepare(snapshot, edge));
     }
 
     fn branch_derivatives(&mut self, t: f64) -> (f64, f64) {
         let mut d1 = 0.0;
         let mut d2 = 0.0;
-        for r in self.broadcast(|| Job::Derivatives(t)) {
+        for r in self.region(Job::Derivatives(t)) {
             match r {
                 Reply::Pair(a, b) => {
                     d1 += a;
@@ -194,12 +342,12 @@ impl Evaluator for ForkJoinEvaluator {
 
     fn set_alpha(&mut self, alpha: f64) {
         self.alpha = alpha;
-        self.broadcast(|| Job::SetAlpha(alpha));
+        self.region(Job::SetAlpha(alpha));
     }
 
     fn set_model(&mut self, params: GtrParams) {
         self.params = params;
-        self.broadcast(|| Job::SetModel(params));
+        self.region(Job::SetModel(params));
     }
 
     fn alpha(&self) -> f64 {
@@ -213,13 +361,19 @@ impl Evaluator for ForkJoinEvaluator {
 
 impl Drop for ForkJoinEvaluator {
     fn drop(&mut self) {
-        for w in &self.workers {
-            let _ = w.jobs.send(Job::Shutdown);
+        // Every worker is blocked at the fork barrier — including
+        // workers whose last job panicked (the panic was caught and
+        // the worker kept cycling). Publish Shutdown and release them;
+        // they exit before the join barrier, so the master must not
+        // wait at it either.
+        //
+        // SAFETY: same exclusive-access window as in `region`.
+        unsafe {
+            *self.shared.job.get() = Job::Shutdown;
         }
-        for w in &mut self.workers {
-            if let Some(h) = w.handle.take() {
-                let _ = h.join();
-            }
+        self.shared.barrier.wait(&mut self.token);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
         }
     }
 }
@@ -242,6 +396,17 @@ mod tests {
         (tree, CompressedAlignment::from_alignment(&aln))
     }
 
+    fn small_dataset(patterns_target: usize) -> (Tree, CompressedAlignment) {
+        let mut rng = SmallRng::seed_from_u64(61);
+        let names = default_names(5);
+        let tree = random_tree(&names, 0.2, &mut rng).unwrap();
+        let g = Gtr::new(GtrParams::jc69());
+        let gamma = DiscreteGamma::new(1.1);
+        let aln =
+            phylo_seqgen::simulate_alignment(&tree, g.eigen(), &gamma, patterns_target, &mut rng);
+        (tree, CompressedAlignment::from_alignment(&aln))
+    }
+
     #[test]
     fn split_ranges_cover_everything() {
         for (n, k) in [(10, 3), (7, 7), (100, 8), (5, 1), (3, 5)] {
@@ -258,6 +423,17 @@ mod tests {
     }
 
     #[test]
+    fn split_ranges_more_workers_than_items() {
+        let ranges = split_ranges(2, 6);
+        assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), 2);
+        assert!(ranges.iter().any(|r| r.is_empty()));
+        // Still a valid contiguous partition.
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
     fn matches_single_engine_likelihood() {
         let (tree, aln) = dataset();
         let cfg = EngineConfig::default();
@@ -267,7 +443,10 @@ mod tests {
             for e in [0usize, 3, 7] {
                 let a = single.log_likelihood(&tree, e);
                 let b = fj.log_likelihood(&tree, e);
-                assert!((a - b).abs() < 1e-9, "workers={workers} edge={e}: {a} vs {b}");
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "workers={workers} edge={e}: {a} vs {b}"
+                );
             }
         }
     }
@@ -286,6 +465,33 @@ mod tests {
             let (b1, b2) = fj.branch_derivatives(t);
             assert!((a1 - b1).abs() < 1e-8, "{a1} vs {b1}");
             assert!((a2 - b2).abs() < 1e-8, "{a2} vs {b2}");
+        }
+    }
+
+    #[test]
+    fn more_workers_than_patterns_is_exact_not_nan() {
+        let (tree, aln) = small_dataset(40);
+        let n = aln.num_patterns();
+        let cfg = EngineConfig::default();
+        let mut single = LikelihoodEngine::new(&tree, &aln, cfg);
+        let expect = single.log_likelihood(&tree, 0);
+        Evaluator::prepare_branch(&mut single, &tree, 1);
+        let (e1, e2) = Evaluator::branch_derivatives(&mut single, tree.length(1));
+        // Strictly more workers than patterns: surplus workers own
+        // empty slices and must contribute exact identity partials.
+        for workers in [n + 1, n + 5, 2 * n] {
+            let mut fj = ForkJoinEvaluator::new(&tree, &aln, cfg, workers);
+            let got = fj.log_likelihood(&tree, 0);
+            assert!(got.is_finite(), "workers={workers}: logL {got}");
+            assert!(
+                (got - expect).abs() < 1e-9,
+                "workers={workers}: {got} vs {expect}"
+            );
+            fj.prepare_branch(&tree, 1);
+            let (d1, d2) = fj.branch_derivatives(tree.length(1));
+            assert!(d1.is_finite() && d2.is_finite(), "workers={workers}");
+            assert!((d1 - e1).abs() < 1e-8, "workers={workers}: {d1} vs {e1}");
+            assert!((d2 - e2).abs() < 1e-8, "workers={workers}: {d2} vs {e2}");
         }
     }
 
@@ -316,6 +522,56 @@ mod tests {
         assert_eq!(stats.get(plf_core::KernelId::Evaluate).calls, 4);
         // Regions: eval + stats = 2 so far.
         assert_eq!(fj.regions(), 2);
+        // Both regions' fork/join latencies were recorded and merged
+        // into the combined stats.
+        assert_eq!(stats.regions().count, 2);
+        assert_eq!(stats.regions().fork.count(), 2);
+        assert_eq!(stats.regions().join.count(), 2);
+    }
+
+    #[test]
+    fn per_worker_stats_sum_to_merged() {
+        let (tree, aln) = dataset();
+        let mut fj = ForkJoinEvaluator::new(&tree, &aln, EngineConfig::default(), 3);
+        fj.log_likelihood(&tree, 0);
+        let per = fj.take_stats_per_worker();
+        assert_eq!(per.len(), 3);
+        let sites: u64 = per
+            .iter()
+            .map(|s| s.get(plf_core::KernelId::Evaluate).sites)
+            .sum();
+        assert_eq!(sites as usize, aln.num_patterns());
+        // Each worker timed its own evaluate call.
+        for s in &per {
+            assert_eq!(s.timing(plf_core::KernelId::Evaluate).count(), 1);
+        }
+        // Region latencies live master-side.
+        assert_eq!(fj.master_stats().regions().count, 2);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_error_not_hang() {
+        let (tree, aln) = dataset();
+        let cfg = EngineConfig::default();
+        let mut fj = ForkJoinEvaluator::new(&tree, &aln, cfg, 3);
+        // An out-of-range edge makes every worker's engine panic
+        // inside the job; the master must observe a panic promptly
+        // rather than deadlock on the join barrier, and Drop must
+        // still shut the pool down.
+        let bogus_edge = tree.num_edges() + 100;
+        let res =
+            std::panic::catch_unwind(AssertUnwindSafe(|| fj.log_likelihood(&tree, bogus_edge)));
+        let err = res.expect_err("bogus edge must fail loudly");
+        let msg = panic_message(err);
+        assert!(
+            msg.contains("fork-join worker panicked"),
+            "unexpected message: {msg}"
+        );
+        // The pool survived the failed region: further work and a
+        // clean Drop both still complete.
+        let l = fj.log_likelihood(&tree, 0);
+        assert!(l.is_finite());
+        drop(fj);
     }
 
     #[test]
@@ -345,5 +601,38 @@ mod tests {
             r_serial.log_likelihood,
             r_fj.log_likelihood
         );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(12))]
+        /// Fork-join log-likelihood equals the single engine to 1e-9
+        /// for every worker count from 1 to twice the pattern count
+        /// (sampled), including the empty-slice regime.
+        fn forkjoin_matches_single_for_any_worker_count(
+            seed in 0u64..1_000,
+            len in 20usize..120,
+        ) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let names = default_names(6);
+            let tree = random_tree(&names, 0.2, &mut rng).unwrap();
+            let g = Gtr::new(GtrParams::jc69());
+            let gamma = DiscreteGamma::new(0.8);
+            let aln = phylo_seqgen::simulate_alignment(&tree, g.eigen(), &gamma, len, &mut rng);
+            let aln = CompressedAlignment::from_alignment(&aln);
+            let n = aln.num_patterns();
+            let cfg = EngineConfig::default();
+            let mut single = LikelihoodEngine::new(&tree, &aln, cfg);
+            let expect = single.log_likelihood(&tree, 0);
+            use rand::Rng;
+            for _ in 0..3 {
+                let workers = rng.random_range(1..=2 * n);
+                let mut fj = ForkJoinEvaluator::new(&tree, &aln, cfg, workers);
+                let got = fj.log_likelihood(&tree, 0);
+                proptest::prop_assert!(
+                    (got - expect).abs() < 1e-9,
+                    "workers={} n={}: {} vs {}", workers, n, got, expect
+                );
+            }
+        }
     }
 }

@@ -110,26 +110,25 @@ pub fn run_replicated(
     let ranges = crate::forkjoin::split_ranges(aln.num_patterns(), num_ranks);
     let mut group = ThreadCommGroup::new(num_ranks, 8);
 
-    let outcomes: Vec<(SearchResult, f64, KernelStats, CommStats)> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = ranges
-                .into_iter()
-                .map(|range| {
-                    let comm = group.take();
-                    let mut local_tree = tree.clone();
-                    scope.spawn(move || {
-                        let engine = LikelihoodEngine::with_range(&local_tree, aln, config, range);
-                        let mut eval = ReplicatedEvaluator::new(engine, comm);
-                        let result = search.run(&mut eval, &mut local_tree);
-                        let final_ll = eval.log_likelihood(&local_tree, 0);
-                        let comm_stats = eval.comm_stats();
-                        let (engine, _) = eval.into_parts();
-                        (result, final_ll, engine.stats().clone(), comm_stats)
-                    })
+    let outcomes: Vec<(SearchResult, f64, KernelStats, CommStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let comm = group.take();
+                let mut local_tree = tree.clone();
+                scope.spawn(move || {
+                    let engine = LikelihoodEngine::with_range(&local_tree, aln, config, range);
+                    let mut eval = ReplicatedEvaluator::new(engine, comm);
+                    let result = search.run(&mut eval, &mut local_tree);
+                    let final_ll = eval.log_likelihood(&local_tree, 0);
+                    let comm_stats = eval.comm_stats();
+                    let (engine, _) = eval.into_parts();
+                    (result, final_ll, engine.stats().clone(), comm_stats)
                 })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
 
     let mut kernel_stats = KernelStats::new();
     for (_, _, s, _) in &outcomes {

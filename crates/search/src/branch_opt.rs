@@ -60,8 +60,7 @@ mod tests {
         let true_tree = random_tree(&names, 0.2, &mut rng).unwrap();
         let g = Gtr::new(GtrParams::jc69());
         let gamma = DiscreteGamma::new(1.0);
-        let aln =
-            phylo_seqgen::simulate_alignment(&true_tree, g.eigen(), &gamma, 2000, &mut rng);
+        let aln = phylo_seqgen::simulate_alignment(&true_tree, g.eigen(), &gamma, 2000, &mut rng);
         let ca = CompressedAlignment::from_alignment(&aln);
 
         // Start from the right topology but uniform branch lengths.
@@ -72,7 +71,11 @@ mod tests {
         let mut engine = LikelihoodEngine::new(&tree, &ca, EngineConfig::default());
         let before = engine.log_likelihood(&tree, 0);
         let r = smooth_branches(&mut engine, &mut tree, 1e-4, 16);
-        assert!(r.log_likelihood > before, "{} !> {before}", r.log_likelihood);
+        assert!(
+            r.log_likelihood > before,
+            "{} !> {before}",
+            r.log_likelihood
+        );
         // A second smoothing changes almost nothing (converged).
         let r2 = smooth_branches(&mut engine, &mut tree, 1e-4, 16);
         assert!((r2.log_likelihood - r.log_likelihood).abs() < 1e-2);

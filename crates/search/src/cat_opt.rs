@@ -65,13 +65,8 @@ pub fn estimate_cat_rates(
     let mut best_ll = vec![f64::NEG_INFINITY; n];
     for (gi, &r) in grid.iter().enumerate() {
         let rates = CatRates::new(vec![r], vec![0; n]);
-        let mut engine = CatEngine::new(
-            tree,
-            eigen.clone(),
-            rates,
-            tips.to_vec(),
-            weights.to_vec(),
-        );
+        let mut engine =
+            CatEngine::new(tree, eigen.clone(), rates, tips.to_vec(), weights.to_vec());
         let site_ll = engine.site_log_likelihoods(tree, 0);
         for i in 0..n {
             if site_ll[i] > best_ll[i] {
@@ -123,8 +118,7 @@ mod tests {
     /// Simulates data where the first half of the sites evolve slowly
     /// and the second half fast, returning (tree, tips, weights).
     fn two_speed_dataset(sites_per_class: usize) -> (Tree, Vec<Vec<u8>>, Vec<u32>, Gtr) {
-        let tree =
-            newick::parse("((a:0.2,b:0.3):0.1,c:0.25,(d:0.15,e:0.35):0.2);").unwrap();
+        let tree = newick::parse("((a:0.2,b:0.3):0.1,c:0.25,(d:0.15,e:0.35):0.2);").unwrap();
         let gtr = Gtr::new(GtrParams::jc69());
         let mut rng = SmallRng::seed_from_u64(42);
         // Slow sites: shrink all branches; fast: stretch them.
@@ -137,10 +131,20 @@ mod tests {
             t
         };
         let gamma = DiscreteGamma::new(50.0); // nearly homogeneous within class
-        let slow =
-            phylo_seqgen::simulate_states(&scale_tree(0.1), gtr.eigen(), &gamma, sites_per_class, &mut rng);
-        let fast =
-            phylo_seqgen::simulate_states(&scale_tree(3.0), gtr.eigen(), &gamma, sites_per_class, &mut rng);
+        let slow = phylo_seqgen::simulate_states(
+            &scale_tree(0.1),
+            gtr.eigen(),
+            &gamma,
+            sites_per_class,
+            &mut rng,
+        );
+        let fast = phylo_seqgen::simulate_states(
+            &scale_tree(3.0),
+            gtr.eigen(),
+            &gamma,
+            sites_per_class,
+            &mut rng,
+        );
         let tips: Vec<Vec<u8>> = (0..5)
             .map(|t| {
                 let mut row: Vec<u8> = slow[t].iter().map(|&s| 1u8 << s).collect();

@@ -94,12 +94,11 @@ impl Checkpoint {
             if line.is_empty() {
                 continue;
             }
-            let (key, rest) = line.split_once(' ').ok_or_else(|| {
-                format!("malformed checkpoint line {line:?}")
-            })?;
+            let (key, rest) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed checkpoint line {line:?}"))?;
             let floats = |s: &str, n: usize| -> Result<Vec<f64>, String> {
-                let v: Result<Vec<f64>, _> =
-                    s.split_whitespace().map(str::parse::<f64>).collect();
+                let v: Result<Vec<f64>, _> = s.split_whitespace().map(str::parse::<f64>).collect();
                 let v = v.map_err(|e| format!("bad number in {key}: {e}"))?;
                 if v.len() != n {
                     return Err(format!("{key}: expected {n} values, got {}", v.len()));
@@ -118,8 +117,7 @@ impl Checkpoint {
                     freqs = Some([v[0], v[1], v[2], v[3]]);
                 }
                 "rounds_done" => {
-                    rounds_done =
-                        Some(rest.parse().map_err(|e| format!("rounds_done: {e}"))?)
+                    rounds_done = Some(rest.parse().map_err(|e| format!("rounds_done: {e}"))?)
                 }
                 "log_likelihood" => log_likelihood = Some(floats(rest, 1)?[0]),
                 "moves_evaluated" => {
@@ -127,8 +125,7 @@ impl Checkpoint {
                         Some(rest.parse().map_err(|e| format!("moves_evaluated: {e}"))?)
                 }
                 "moves_accepted" => {
-                    moves_accepted =
-                        Some(rest.parse().map_err(|e| format!("moves_accepted: {e}"))?)
+                    moves_accepted = Some(rest.parse().map_err(|e| format!("moves_accepted: {e}"))?)
                 }
                 other => return Err(format!("unknown checkpoint key {other:?}")),
             }

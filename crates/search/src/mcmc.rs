@@ -236,7 +236,10 @@ mod tests {
         // The chain climbed far above the random start.
         let mean_ll: f64 =
             r.samples.iter().map(|s| s.log_likelihood).sum::<f64>() / r.samples.len() as f64;
-        assert!(mean_ll > start_ll + 10.0, "mean {mean_ll} vs start {start_ll}");
+        assert!(
+            mean_ll > start_ll + 10.0,
+            "mean {mean_ll} vs start {start_ll}"
+        );
     }
 
     fn phylo_search_ll(e: &mut LikelihoodEngine, t: &Tree) -> f64 {
@@ -245,7 +248,13 @@ mod tests {
 
     #[test]
     fn posterior_concentrates_on_true_splits() {
-        let (true_tree, ca) = dataset(909, 6, 4000);
+        // Seed 934 draws a true tree whose shortest branch is ~0.06,
+        // so every split is resolvable; 6000 sites and a
+        // 10k-iteration chain then put all supports well above the
+        // 0.8 threshold. (The original seed's tree had a near-zero
+        // internal branch, leaving the posterior genuinely diffuse —
+        // the test only passed by luck of the sampling stream.)
+        let (true_tree, ca) = dataset(934, 6, 6000);
         let names = true_tree.tip_names().to_vec();
         let mut tree = random_tree(&names, 0.1, &mut SmallRng::seed_from_u64(4)).unwrap();
         let mut engine = LikelihoodEngine::new(&tree, &ca, EngineConfig::default());
@@ -254,8 +263,8 @@ mod tests {
             &mut engine,
             &mut tree,
             McmcConfig {
-                iterations: 6000,
-                burnin: 2000,
+                iterations: 10_000,
+                burnin: 3_000,
                 sample_every: 5,
                 ..Default::default()
             },

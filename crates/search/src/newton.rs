@@ -6,7 +6,7 @@
 //! Newton iteration costs one `derivativeCore` call (§IV).
 
 use crate::Evaluator;
-use phylo_tree::tree::{BL_MIN, BL_MAX};
+use phylo_tree::tree::{BL_MAX, BL_MIN};
 use phylo_tree::{EdgeId, Tree};
 
 /// Outcome of one branch optimization.
@@ -104,8 +104,7 @@ mod tests {
         let true_tree = random_tree(&names, 0.15, &mut rng).unwrap();
         let g = phylo_models::Gtr::new(phylo_models::GtrParams::jc69());
         let gamma = DiscreteGamma::new(1.0);
-        let aln =
-            phylo_seqgen::simulate_alignment(&true_tree, g.eigen(), &gamma, 1500, &mut rng);
+        let aln = phylo_seqgen::simulate_alignment(&true_tree, g.eigen(), &gamma, 1500, &mut rng);
         let ca = CompressedAlignment::from_alignment(&aln);
         (true_tree, ca)
     }
@@ -147,8 +146,7 @@ mod tests {
     fn recovers_known_branch_length_roughly() {
         // Simulate on a fixed 4-taxon tree with a distinctive inner
         // branch, then re-optimize that branch from a wrong start.
-        let true_tree =
-            newick::parse("((a:0.1,b:0.1):0.4,c:0.1,d:0.1);").unwrap();
+        let true_tree = newick::parse("((a:0.1,b:0.1):0.4,c:0.1,d:0.1);").unwrap();
         let g = phylo_models::Gtr::new(phylo_models::GtrParams::jc69());
         let gamma = DiscreteGamma::new(10.0);
         let mut rng = SmallRng::seed_from_u64(5);

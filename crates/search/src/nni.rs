@@ -105,8 +105,7 @@ mod tests {
         let true_tree = random_tree(&names, 0.15, &mut rng).unwrap();
         let g = Gtr::new(GtrParams::jc69());
         let gamma = DiscreteGamma::new(5.0);
-        let aln =
-            phylo_seqgen::simulate_alignment(&true_tree, g.eigen(), &gamma, 4000, &mut rng);
+        let aln = phylo_seqgen::simulate_alignment(&true_tree, g.eigen(), &gamma, 4000, &mut rng);
         let ca = CompressedAlignment::from_alignment(&aln);
 
         let mut tree = true_tree.clone();

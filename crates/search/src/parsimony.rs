@@ -106,10 +106,7 @@ pub fn stepwise_addition_tree<R: Rng>(
     for i in (1..n).rev() {
         order.swap(i, rng.random_range(0..=i));
     }
-    let names: Vec<String> = order
-        .iter()
-        .map(|&i| aln.names()[i].clone())
-        .collect();
+    let names: Vec<String> = order.iter().map(|&i| aln.names()[i].clone()).collect();
 
     let mut builder = StepwiseBuilder::new(&names, initial_length)?;
     for _ in 3..n {
@@ -138,7 +135,7 @@ fn partial_fitch(tree: &Tree, aln: &CompressedAlignment) -> u64 {
     let n_pat = aln.num_patterns();
     let tips = tip_rows_partial(tree, aln);
     let root = tree.num_taxa(); // triplet center, always attached
-    // Iterative post-order on the attached subgraph.
+                                // Iterative post-order on the attached subgraph.
     let mut score = 0u64;
     let mut sets: Vec<Option<Vec<u8>>> = vec![None; tree.num_nodes()];
     let mut stack = vec![(root, usize::MAX, false)];
@@ -305,7 +302,10 @@ mod tests {
         let mut e2 = LikelihoodEngine::new(&rand_t, &ca, EngineConfig::default());
         let ll_mp = crate::Evaluator::log_likelihood(&mut e1, &mp, 0);
         let ll_rand = crate::Evaluator::log_likelihood(&mut e2, &rand_t, 0);
-        assert!(ll_mp > ll_rand, "MP start {ll_mp} vs random start {ll_rand}");
+        assert!(
+            ll_mp > ll_rand,
+            "MP start {ll_mp} vs random start {ll_rand}"
+        );
     }
 
     #[test]

@@ -92,12 +92,7 @@ impl PartitionedEngine {
     }
 
     /// Log-likelihood of a single partition at `root_edge`.
-    pub fn partition_log_likelihood(
-        &mut self,
-        i: usize,
-        tree: &Tree,
-        root_edge: EdgeId,
-    ) -> f64 {
+    pub fn partition_log_likelihood(&mut self, i: usize, tree: &Tree, root_edge: EdgeId) -> f64 {
         self.engines[i].log_likelihood(tree, root_edge)
     }
 
@@ -271,8 +266,7 @@ mod tests {
         let mut tree_l = tree.clone();
         let mut linked = LikelihoodEngine::new(&tree_l, &concat, cfg);
         smooth_branches(&mut linked, &mut tree_l, 1e-3, 6);
-        let alpha_linked =
-            crate::model_opt::optimize_alpha(&mut linked, &tree_l, 1e-4);
+        let alpha_linked = crate::model_opt::optimize_alpha(&mut linked, &tree_l, 1e-4);
         let ll_linked = linked.log_likelihood(&tree_l, 0);
 
         let mut parts = PartitionedEngine::new(&tree_l, &concat, cfg, &defs);

@@ -209,8 +209,7 @@ mod tests {
             freqs: [0.3, 0.2, 0.2, 0.3],
         });
         let gamma = DiscreteGamma::new(0.8);
-        let aln =
-            phylo_seqgen::simulate_alignment(&true_tree, g.eigen(), &gamma, sites, &mut rng);
+        let aln = phylo_seqgen::simulate_alignment(&true_tree, g.eigen(), &gamma, sites, &mut rng);
         (true_tree, CompressedAlignment::from_alignment(&aln))
     }
 
@@ -336,7 +335,11 @@ mod tests {
         );
         let r2 = search.run(&mut e2, &mut t2);
 
-        assert_eq!(t1.rf_distance(&t2), 0, "kernel variants found different trees");
+        assert_eq!(
+            t1.rf_distance(&t2),
+            0,
+            "kernel variants found different trees"
+        );
         assert!(
             (r1.log_likelihood - r2.log_likelihood).abs() < 1e-6,
             "{} vs {}",

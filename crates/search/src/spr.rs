@@ -103,8 +103,7 @@ pub fn spr_round<E: Evaluator + ?Sized>(
                 }
             };
             let local: Vec<EdgeId> = tree.incident(p).to_vec();
-            let saved: Vec<(EdgeId, f64)> =
-                local.iter().map(|&e| (e, tree.length(e))).collect();
+            let saved: Vec<(EdgeId, f64)> = local.iter().map(|&e| (e, tree.length(e))).collect();
             for &e in &local {
                 crate::newton::optimize_branch(evaluator, tree, e);
             }
@@ -141,10 +140,7 @@ mod tests {
 
     #[test]
     fn prune_candidates_cover_directed_inner_edges() {
-        let t = phylo_tree::newick::parse(
-            "((a:0.1,b:0.1):0.1,c:0.1,(d:0.1,e:0.1):0.1);",
-        )
-        .unwrap();
+        let t = phylo_tree::newick::parse("((a:0.1,b:0.1):0.1,c:0.1,(d:0.1,e:0.1):0.1);").unwrap();
         let cands = prune_candidates(&t);
         // Every edge has ≥1 inner endpoint in a binary tree, pendant
         // edges contribute 1 candidate, internal edges 2.
@@ -163,8 +159,7 @@ mod tests {
         let true_tree = random_tree(&names, 0.12, &mut rng).unwrap();
         let g = Gtr::new(GtrParams::jc69());
         let gamma = DiscreteGamma::new(5.0);
-        let aln =
-            phylo_seqgen::simulate_alignment(&true_tree, g.eigen(), &gamma, 5000, &mut rng);
+        let aln = phylo_seqgen::simulate_alignment(&true_tree, g.eigen(), &gamma, 5000, &mut rng);
         let ca = CompressedAlignment::from_alignment(&aln);
 
         let mut tree = random_tree(&names, 0.1, &mut SmallRng::seed_from_u64(123)).unwrap();

@@ -191,12 +191,30 @@ mod tests {
         let tree = random_tree(&default_names(8), 0.1, &mut rng).unwrap();
         let g = model();
         let gamma = DiscreteGamma::new(0.8);
-        let a1 = simulate_alignment(&tree, g.eigen(), &gamma, 500, &mut SmallRng::seed_from_u64(1));
-        let a2 = simulate_alignment(&tree, g.eigen(), &gamma, 500, &mut SmallRng::seed_from_u64(1));
+        let a1 = simulate_alignment(
+            &tree,
+            g.eigen(),
+            &gamma,
+            500,
+            &mut SmallRng::seed_from_u64(1),
+        );
+        let a2 = simulate_alignment(
+            &tree,
+            g.eigen(),
+            &gamma,
+            500,
+            &mut SmallRng::seed_from_u64(1),
+        );
         assert_eq!(a1, a2, "same seed, same alignment");
         assert_eq!(a1.num_taxa(), 8);
         assert_eq!(a1.num_sites(), 500);
-        let a3 = simulate_alignment(&tree, g.eigen(), &gamma, 500, &mut SmallRng::seed_from_u64(2));
+        let a3 = simulate_alignment(
+            &tree,
+            g.eigen(),
+            &gamma,
+            500,
+            &mut SmallRng::seed_from_u64(2),
+        );
         assert_ne!(a1, a3, "different seed, different alignment");
     }
 

@@ -57,7 +57,8 @@ impl StepwiseBuilder {
         }
         let tip = self.next_tip;
         let inner = self.next_inner;
-        self.tree.split_edge_attach(edge, inner, tip, pendant_length)?;
+        self.tree
+            .split_edge_attach(edge, inner, tip, pendant_length)?;
         self.next_tip += 1;
         self.next_inner += 1;
         Ok(())

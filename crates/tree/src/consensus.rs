@@ -60,19 +60,14 @@ pub fn split_frequencies(trees: &[crate::Tree]) -> HashMap<Vec<String>, f64> {
         }
     }
     let n = trees.len().max(1) as f64;
-    counts
-        .into_iter()
-        .map(|(k, v)| (k, v as f64 / n))
-        .collect()
+    counts.into_iter().map(|(k, v)| (k, v as f64 / n)).collect()
 }
 
 /// Checks pairwise compatibility of a split set over `taxa` (every
 /// pair must be nested or disjoint on the same side). Majority-rule
 /// splits always pass; useful as a sanity check on hand-built sets.
 pub fn splits_compatible(splits: &[Vec<String>], taxa: &[String]) -> bool {
-    let side_set = |s: &[String]| -> Vec<bool> {
-        taxa.iter().map(|t| s.contains(t)).collect()
-    };
+    let side_set = |s: &[String]| -> Vec<bool> { taxa.iter().map(|t| s.contains(t)).collect() };
     let sets: Vec<Vec<bool>> = splits.iter().map(|s| side_set(s)).collect();
     for i in 0..sets.len() {
         for j in (i + 1)..sets.len() {

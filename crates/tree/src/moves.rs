@@ -25,11 +25,7 @@ pub enum NniVariant {
 /// becomes `((C,B),(A,D))` (variant `First`) or `((D,B),(C,A))`
 /// (variant `Second`). Returns the pair of subtree edges that were
 /// swapped; feeding that pair back into [`nni_swap`] undoes the move.
-pub fn nni(
-    tree: &mut Tree,
-    e: EdgeId,
-    variant: NniVariant,
-) -> Result<(EdgeId, EdgeId), TreeError> {
+pub fn nni(tree: &mut Tree, e: EdgeId, variant: NniVariant) -> Result<(EdgeId, EdgeId), TreeError> {
     let (u, v) = tree.endpoints(e);
     if tree.is_tip(u) || tree.is_tip(v) {
         return Err(TreeError::InvalidMove(format!(
@@ -143,7 +139,9 @@ pub fn spr(
         ));
     }
     if regraft_edge == prune_edge {
-        return Err(TreeError::InvalidMove("regraft onto the pruned edge".into()));
+        return Err(TreeError::InvalidMove(
+            "regraft onto the pruned edge".into(),
+        ));
     }
     let others: Vec<EdgeId> = tree
         .incident(p)
@@ -163,8 +161,7 @@ pub fn spr(
     // iff it is reachable from `p` without crossing the prune edge.
     {
         let (s, t) = tree.endpoints(regraft_edge);
-        if !reachable_without(tree, p, s, prune_edge)
-            || !reachable_without(tree, p, t, prune_edge)
+        if !reachable_without(tree, p, s, prune_edge) || !reachable_without(tree, p, t, prune_edge)
         {
             return Err(TreeError::InvalidMove(
                 "regraft edge lies inside the pruned subtree".into(),
@@ -285,12 +282,7 @@ mod tests {
         let mut t = six_taxon();
         let e = t.internal_edges().next().unwrap();
         let (u, _v) = t.endpoints(e);
-        let on_u: Vec<_> = t
-            .incident(u)
-            .iter()
-            .copied()
-            .filter(|&x| x != e)
-            .collect();
+        let on_u: Vec<_> = t.incident(u).iter().copied().filter(|&x| x != e).collect();
         assert!(nni_swap(&mut t, e, on_u[0], on_u[1]).is_err());
         assert!(nni_swap(&mut t, e, e, on_u[0]).is_err());
     }

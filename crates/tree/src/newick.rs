@@ -168,9 +168,8 @@ pub fn parse(input: &str) -> Result<Tree, TreeError> {
     if n < 3 {
         return Err(TreeError::TooFewTaxa(n));
     }
-    let name_id = |name: &str| -> NodeId {
-        names.iter().position(|x| x == name).expect("collected")
-    };
+    let name_id =
+        |name: &str| -> NodeId { names.iter().position(|x| x == name).expect("collected") };
     {
         // Duplicate tip names would silently merge leaves.
         let mut sorted = names.clone();

@@ -135,11 +135,8 @@ mod tests {
         let order = postorder_inner(&t, e, side);
         assert_eq!(order.len(), t.num_inner());
         // Every node's children (inner ones) must appear earlier.
-        let pos: std::collections::HashMap<_, _> = order
-            .iter()
-            .enumerate()
-            .map(|(i, d)| (d.node, i))
-            .collect();
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, d)| (d.node, i)).collect();
         for d in &order {
             for (_, child) in children(&t, d.node, d.toward_edge) {
                 if !t.is_tip(child) {

@@ -231,7 +231,9 @@ impl Tree {
 
     /// Neighbor nodes of `node` with the connecting edge.
     pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
-        self.adj[node].iter().map(move |&e| (e, self.other_end(e, node)))
+        self.adj[node]
+            .iter()
+            .map(move |&e| (e, self.other_end(e, node)))
     }
 
     /// All edge ids.

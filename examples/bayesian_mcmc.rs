@@ -45,7 +45,12 @@ fn main() {
         sample_every: 10,
         ..Default::default()
     };
-    let result = run_mcmc(&mut engine, &mut tree, cfg, &mut SmallRng::seed_from_u64(55));
+    let result = run_mcmc(
+        &mut engine,
+        &mut tree,
+        cfg,
+        &mut SmallRng::seed_from_u64(55),
+    );
 
     let br = result.branch_moves;
     let tp = result.topology_moves;

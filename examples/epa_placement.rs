@@ -57,7 +57,7 @@ fn main() {
                 .map(|&c| {
                     if rand::Rng::random::<f64>(&mut rng) < 0.05 {
                         phylomic::bio::alphabet::UNAMBIGUOUS
-                            [rand::Rng::random_range(&mut rng, 0..4)]
+                            [rand::Rng::random_range(&mut rng, 0..4usize)]
                     } else {
                         c
                     }
@@ -169,9 +169,7 @@ fn record_current(
     optimize_branch(engine, tree, prune);
     let ll = engine.log_likelihood(tree, prune);
     let key = placement_key(tree, q_tip);
-    let better = placements
-        .get(&key)
-        .is_none_or(|p| ll > p.log_likelihood);
+    let better = placements.get(&key).is_none_or(|p| ll > p.log_likelihood);
     if better {
         placements.insert(
             key,

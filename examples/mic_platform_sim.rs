@@ -11,11 +11,11 @@
 use phylomic::micsim::model::{predict_time, ExecMode};
 use phylomic::micsim::systems::{SystemId, TABLE3_SIZES};
 use phylomic::micsim::WorkloadTrace;
+use phylomic::models::{DiscreteGamma, Gtr, GtrParams};
 use phylomic::parallel::run_replicated;
 use phylomic::plf::{EngineConfig, KernelKind};
 use phylomic::search::{MlSearch, SearchConfig};
 use phylomic::seqgen;
-use phylomic::models::{DiscreteGamma, Gtr, GtrParams};
 use phylomic::tree::build::{default_names, random_tree};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -49,7 +49,8 @@ fn main() {
         }),
         2,
     );
-    let trace = WorkloadTrace::from_run(out.kernel_stats, out.comm_stats.allreduces, patterns as u64);
+    let trace =
+        WorkloadTrace::from_run(out.kernel_stats, out.comm_stats.allreduces, patterns as u64);
     println!(
         "kernel invocations: {}, AllReduces: {}\n",
         trace.stats.total_calls(),

@@ -17,10 +17,9 @@ fn main() {
 
 fn protein_demo() {
     println!("=== Protein likelihood (Poisson+F, 20 states, Gamma rates) ===");
-    let tree = newick::parse(
-        "((human:0.06,mouse:0.11):0.03,chicken:0.18,(frog:0.22,fish:0.31):0.05);",
-    )
-    .unwrap();
+    let tree =
+        newick::parse("((human:0.06,mouse:0.11):0.03,chicken:0.18,(frog:0.22,fish:0.31):0.05);")
+            .unwrap();
 
     let seqs = [
         ("human", "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ"),
@@ -117,7 +116,13 @@ fn cat_demo() {
     cats.normalize(&weights);
     println!("normalized category rates: {:?}", cats.rates());
 
-    let mut engine = CatEngine::new(&tree, gtr.eigen().clone(), cats, tips.clone(), weights.clone());
+    let mut engine = CatEngine::new(
+        &tree,
+        gtr.eigen().clone(),
+        cats,
+        tips.clone(),
+        weights.clone(),
+    );
     let ll_cat = engine.log_likelihood(&tree, 0);
     println!("CAT log-likelihood:          {ll_cat:.4}");
 

@@ -4,11 +4,11 @@
 //!
 //! Run: `cargo run --release --example simulate_alignment [sites] [out.phy]`
 
+use phylomic::bio::phylip;
 use phylomic::models::{DiscreteGamma, Gtr, GtrParams};
 use phylomic::seqgen::simulate_alignment;
 use phylomic::tree::build::{default_names, random_tree};
 use phylomic::tree::newick;
-use phylomic::bio::phylip;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 

@@ -15,6 +15,7 @@
 use phylomic::bio::{fasta, phylip, Alignment, CompressedAlignment};
 use phylomic::models::{DiscreteGamma, Gtr, GtrParams};
 use phylomic::parallel::{run_replicated, ForkJoinEvaluator};
+use phylomic::plf::trace::{events_from_stats, write_jsonl, TraceEvent};
 use phylomic::plf::{EngineConfig, KernelKind, LikelihoodEngine};
 use phylomic::search::{MlSearch, SearchConfig};
 use phylomic::tree::build::{default_names, random_tree};
@@ -62,14 +63,28 @@ const USAGE: &str = "phylomic — phylogenetic likelihood toolkit (PLF-on-MIC re
 USAGE:
   phylomic simulate --taxa N --sites M --out FILE [--alpha A] [--seed S]
   phylomic evaluate --alignment FILE --tree FILE [--alpha A] [--kernel scalar|vector]
+                    [--trace-out FILE]
   phylomic search   --alignment FILE [--tree FILE | --start random|parsimony]
                     [--scheme serial|forkjoin|replicated] [--threads N] [--rounds R]
                     [--alpha A] [--kernel K] [--checkpoint FILE] [--out FILE]
-                    [--seed S] [--no-model-opt]
+                    [--seed S] [--no-model-opt] [--trace-out FILE]
   phylomic bootstrap --alignment FILE [--replicates N] [--rounds R] [--seed S]
                     [--out FILE]
 
-Alignments: PHYLIP when the path ends in .phy, FASTA otherwise.";
+Alignments: PHYLIP when the path ends in .phy, FASTA otherwise.
+--trace-out dumps per-kernel wall-clock timings (and fork-join region
+latencies) as JSONL, in the format micsim's measured-cost calibration
+(`MeasuredHostCosts::from_jsonl`) consumes.";
+
+/// Writes trace events as JSONL to `path`.
+fn write_trace(path: &str, events: &[TraceEvent]) -> Result<(), String> {
+    std::fs::write(path, write_jsonl(events)).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "kernel timing trace written to {path} ({} events)",
+        events.len()
+    );
+    Ok(())
+}
 
 type Opts = HashMap<String, String>;
 
@@ -157,8 +172,11 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
         fasta::to_string(&aln)
     };
     std::fs::write(out, rendered).map_err(|e| e.to_string())?;
-    std::fs::write(format!("{out}.tree"), format!("{}\n", newick::to_newick(&tree)))
-        .map_err(|e| e.to_string())?;
+    std::fs::write(
+        format!("{out}.tree"),
+        format!("{}\n", newick::to_newick(&tree)),
+    )
+    .map_err(|e| e.to_string())?;
     println!("wrote {out} ({taxa} taxa x {sites} sites) and {out}.tree (true tree)");
     Ok(())
 }
@@ -182,6 +200,9 @@ fn cmd_evaluate(opts: &Opts) -> Result<(), String> {
         compressed.num_patterns(),
         aln.num_sites()
     );
+    if let Some(path) = opts.get("trace-out") {
+        write_trace(path, &events_from_stats("serial", engine.stats()))?;
+    }
     Ok(())
 }
 
@@ -208,7 +229,11 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
                 random_tree(&names, 0.1, &mut SmallRng::seed_from_u64(seed))
                     .map_err(|e| e.to_string())?
             }
-            other => return Err(format!("--start must be random or parsimony, got {other:?}")),
+            other => {
+                return Err(format!(
+                    "--start must be random or parsimony, got {other:?}"
+                ))
+            }
         },
     };
     let config = EngineConfig {
@@ -222,45 +247,62 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
     });
 
     let start = std::time::Instant::now();
+    let mut trace_events: Vec<TraceEvent> = Vec::new();
     let result = match scheme {
         "serial" => {
             let mut engine = LikelihoodEngine::new(&tree, &compressed, config);
-            match opts.get("checkpoint") {
-                Some(path) => search
-                    .run_checkpointed(&mut engine, &mut tree, std::path::Path::new(path))?,
+            let result = match opts.get("checkpoint") {
+                Some(path) => {
+                    search.run_checkpointed(&mut engine, &mut tree, std::path::Path::new(path))?
+                }
                 None => search.run(&mut engine, &mut tree),
-            }
+            };
+            trace_events = events_from_stats("serial", engine.stats());
+            result
         }
         "forkjoin" => {
             let mut fj = ForkJoinEvaluator::new(&tree, &compressed, config, threads.max(1));
-            match opts.get("checkpoint") {
+            let result = match opts.get("checkpoint") {
                 Some(path) => {
                     search.run_checkpointed(&mut fj, &mut tree, std::path::Path::new(path))?
                 }
                 None => search.run(&mut fj, &mut tree),
+            };
+            // One kernel-event block per worker (their differing slice
+            // widths feed the calibration fit) plus the master's
+            // region fork/join latencies.
+            for (i, stats) in fj.take_stats_per_worker().iter().enumerate() {
+                trace_events.extend(events_from_stats(&format!("worker{i}"), stats));
             }
+            trace_events.extend(events_from_stats("master", fj.master_stats()));
+            result
         }
         "replicated" => {
             if opts.contains_key("checkpoint") {
                 return Err("--checkpoint is only supported for serial/forkjoin schemes".into());
             }
             let out = run_replicated(&tree, &compressed, config, search, threads.max(1));
+            trace_events = events_from_stats("replicated", &out.kernel_stats);
             out.result
         }
         other => return Err(format!("unknown --scheme {other:?}")),
     };
     let elapsed = start.elapsed().as_secs_f64();
-
     println!(
         "logL {:.6}  rounds {}  moves {}/{}  time {elapsed:.2}s",
         result.log_likelihood, result.rounds, result.spr_accepted, result.spr_evaluated
     );
+    // The tree is the expensive artifact: persist it before the trace so
+    // a bad --trace-out path cannot discard a long search's result.
     match opts.get("out") {
         Some(path) => {
             std::fs::write(path, format!("{}\n", result.newick)).map_err(|e| e.to_string())?;
             println!("best tree written to {path}");
         }
         None => println!("{}", result.newick),
+    }
+    if let Some(path) = opts.get("trace-out") {
+        write_trace(path, &trace_events)?;
     }
     Ok(())
 }

@@ -33,7 +33,11 @@ fn simulate_evaluate_search_roundtrip() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(phy.exists());
     let true_tree = format!("{}.tree", phy.display());
     assert!(std::path::Path::new(&true_tree).exists());
@@ -73,7 +77,11 @@ fn simulate_evaluate_search_roundtrip() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(ckp.exists(), "checkpoint written");
     assert!(best.exists(), "best tree written");
     // The written tree parses and covers the right taxa.
@@ -122,13 +130,22 @@ fn bad_usage_fails_cleanly() {
     let out = bin().arg("frobnicate").output().unwrap();
     assert!(!out.status.success());
     // Missing required option.
-    let out = bin().args(["evaluate", "--tree", "x.nwk"]).output().unwrap();
+    let out = bin()
+        .args(["evaluate", "--tree", "x.nwk"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("--alignment"), "{err}");
     // Nonexistent file.
     let out = bin()
-        .args(["evaluate", "--alignment", "/nonexistent.phy", "--tree", "/nonexistent.nwk"])
+        .args([
+            "evaluate",
+            "--alignment",
+            "/nonexistent.phy",
+            "--tree",
+            "/nonexistent.nwk",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());
@@ -171,7 +188,11 @@ fn bootstrap_produces_annotated_tree() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let annotated = std::fs::read_to_string(&out_file).unwrap();
     let tree = phylomic::tree::newick::parse(annotated.trim()).unwrap();
     assert_eq!(tree.num_taxa(), 6);

@@ -28,7 +28,7 @@ fn malformed_files_are_rejected_not_mangled() {
     for bad in [
         "no header at all\nACGT\n",
         ">x\nACGZ\n>y\nACGT\n", // invalid character
-        ">x\n>y\nAC\n",          // empty record
+        ">x\n>y\nAC\n",         // empty record
     ] {
         assert!(fasta::parse_str(bad).is_err(), "accepted: {bad:?}");
     }
@@ -36,9 +36,9 @@ fn malformed_files_are_rejected_not_mangled() {
     for bad in [
         "",
         "notanumber 4\na ACGT\n",
-        "2 4\na ACGT\n",          // missing taxon
-        "1 4\na ACGTACGT\n",      // overlong
-        "2 4\na ACGT\nb AC\n",    // truncated
+        "2 4\na ACGT\n",       // missing taxon
+        "1 4\na ACGTACGT\n",   // overlong
+        "2 4\na ACGT\nb AC\n", // truncated
     ] {
         assert!(phylip::parse_str(bad).is_err(), "accepted: {bad:?}");
     }
@@ -98,7 +98,14 @@ fn extreme_alpha_values_work_at_bounds_and_panic_beyond() {
     let aln = toy_aln(32);
     let tree = newick::parse("(a:0.1,b:0.1,(c:0.1,d:0.1):0.1);").unwrap();
     for alpha in [DiscreteGamma::MIN_ALPHA, DiscreteGamma::MAX_ALPHA] {
-        let mut engine = LikelihoodEngine::new(&tree, &aln, EngineConfig { kernel: KernelKind::Vector, alpha });
+        let mut engine = LikelihoodEngine::new(
+            &tree,
+            &aln,
+            EngineConfig {
+                kernel: KernelKind::Vector,
+                alpha,
+            },
+        );
         assert!(engine.log_likelihood(&tree, 0).is_finite(), "alpha {alpha}");
     }
     let r = std::panic::catch_unwind(|| DiscreteGamma::new(0.0001));
@@ -134,7 +141,8 @@ fn invalid_gtr_parameters_rejected_everywhere() {
 fn mismatched_tree_and_alignment_panic() {
     let aln = toy_aln(16); // taxa a, b, c, d
     let tree = newick::parse("(x:0.1,y:0.1,z:0.1);").unwrap();
-    let r = std::panic::catch_unwind(|| LikelihoodEngine::new(&tree, &aln, EngineConfig::default()));
+    let r =
+        std::panic::catch_unwind(|| LikelihoodEngine::new(&tree, &aln, EngineConfig::default()));
     assert!(r.is_err(), "unknown taxa must be detected at construction");
 }
 

@@ -61,7 +61,10 @@ fn fig4_shape_holds_on_real_trace() {
         assert!(w[1].1 >= w[0].1 - 1e-9, "fig4 not monotone: {series:?}");
     }
     let last = series.last().unwrap().1;
-    assert!((1.6..2.0).contains(&last), "dual-MIC ratio at 4000K: {last}");
+    assert!(
+        (1.6..2.0).contains(&last),
+        "dual-MIC ratio at 4000K: {last}"
+    );
     assert!(series[0].1 < 1.2, "dual-MIC ratio at 10K: {}", series[0].1);
 }
 
@@ -78,7 +81,10 @@ fn fig5_shape_holds_on_real_trace() {
             "second card must not improve energy efficiency (size {size})"
         );
         if *size >= 500_000 {
-            assert!(get(row, SystemId::Phi2) > get(row, SystemId::E5_2680), "size {size}");
+            assert!(
+                get(row, SystemId::Phi2) > get(row, SystemId::E5_2680),
+                "size {size}"
+            );
         }
     }
 }
@@ -107,7 +113,11 @@ fn per_kernel_speedups_hold() {
     // Figure 3: derivativeSum ≈2.8x, others ≤2x, all ≥1.9x-ish.
     let s = |k| kernel_speedup(&XEON_PHI_5110P_1S, &XEON_E5_2680_2S, k);
     assert!((2.5..3.1).contains(&s(KernelId::DerivativeSum)));
-    for k in [KernelId::Newview, KernelId::Evaluate, KernelId::DerivativeCore] {
+    for k in [
+        KernelId::Newview,
+        KernelId::Evaluate,
+        KernelId::DerivativeCore,
+    ] {
         assert!((1.7..2.2).contains(&s(k)), "{k:?}: {}", s(k));
     }
 }

@@ -46,12 +46,8 @@ fn full_pipeline_recovers_true_tree() {
         tree.rf_distance(&true_tree)
     );
     let mut true_smoothed = true_tree.clone();
-    let r_true = phylomic::search::branch_opt::smooth_branches(
-        &mut engine,
-        &mut true_smoothed,
-        1e-4,
-        16,
-    );
+    let r_true =
+        phylomic::search::branch_opt::smooth_branches(&mut engine, &mut true_smoothed, 1e-4, 16);
     assert!(
         result.log_likelihood >= r_true.log_likelihood - 0.1,
         "inferred {} scores below the generating topology {}",
@@ -146,8 +142,7 @@ fn likelihood_invariant_under_pattern_compression() {
 fn virtual_root_invariance_full_pipeline() {
     let (tree, aln) = simulated(4004, 12, 800);
     for kernel in [KernelKind::Scalar, KernelKind::Vector] {
-        let mut engine =
-            LikelihoodEngine::new(&tree, &aln, EngineConfig { kernel, alpha: 0.6 });
+        let mut engine = LikelihoodEngine::new(&tree, &aln, EngineConfig { kernel, alpha: 0.6 });
         let reference = engine.log_likelihood(&tree, 0);
         for e in tree.edge_ids().skip(1) {
             let ll = engine.log_likelihood(&tree, e);

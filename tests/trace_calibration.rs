@@ -1,0 +1,139 @@
+//! End-to-end measured-timing loop: an instrumented fork-join run →
+//! per-worker kernel/region trace events → JSONL (the `--trace-out`
+//! format) → `micsim` measured-cost calibration fit. This is the full
+//! pipeline the `phylomic search --trace-out` flag enables.
+
+use phylomic::micsim::calibration::MeasuredHostCosts;
+use phylomic::micsim::WorkloadTrace;
+use phylomic::models::{DiscreteGamma, Gtr, GtrParams};
+use phylomic::parallel::ForkJoinEvaluator;
+use phylomic::plf::trace::{events_from_stats, parse_jsonl, write_jsonl, TraceEvent};
+use phylomic::plf::{EngineConfig, KernelId};
+use phylomic::search::Evaluator;
+use phylomic::tree::build::{default_names, random_tree};
+use phylomic::tree::Tree;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn dataset() -> (Tree, phylomic::bio::CompressedAlignment) {
+    let mut rng = SmallRng::seed_from_u64(77);
+    let names = default_names(8);
+    let tree = random_tree(&names, 0.15, &mut rng).unwrap();
+    let g = Gtr::new(GtrParams::jc69());
+    let gamma = DiscreteGamma::new(0.9);
+    let aln = phylomic::seqgen::simulate_alignment(&tree, g.eigen(), &gamma, 1200, &mut rng);
+    (
+        tree,
+        phylomic::bio::CompressedAlignment::from_alignment(&aln),
+    )
+}
+
+/// Runs an instrumented fork-join workload and exports it exactly the
+/// way `phylomic search --trace-out` does: one kernel-event block per
+/// worker plus the master's region block.
+fn record_forkjoin_trace(workers: usize) -> Vec<TraceEvent> {
+    let (tree, aln) = dataset();
+    let mut fj = ForkJoinEvaluator::new(&tree, &aln, EngineConfig::default(), workers);
+    for e in 0..tree.num_edges().min(6) {
+        fj.log_likelihood(&tree, e);
+    }
+    fj.prepare_branch(&tree, 1);
+    fj.branch_derivatives(tree.length(1));
+    let mut events = Vec::new();
+    for (i, stats) in fj.take_stats_per_worker().iter().enumerate() {
+        events.extend(events_from_stats(&format!("worker{i}"), stats));
+    }
+    events.extend(events_from_stats("master", fj.master_stats()));
+    events
+}
+
+#[test]
+fn forkjoin_trace_roundtrips_through_jsonl() {
+    let events = record_forkjoin_trace(3);
+    // Every worker contributed kernel events; the master contributed
+    // a region block with one region per dispatched job.
+    let kernel_sources: std::collections::BTreeSet<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Kernel { source, .. } => Some(source.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        kernel_sources.into_iter().collect::<Vec<_>>(),
+        vec!["worker0", "worker1", "worker2"]
+    );
+    let regions: Vec<_> = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Region { .. }))
+        .collect();
+    assert_eq!(regions.len(), 1);
+    match regions[0] {
+        // 6 evals + prepare + derivatives + take_stats = 9 regions.
+        TraceEvent::Region { source, count, .. } => {
+            assert_eq!(source, "master");
+            assert_eq!(*count, 9);
+        }
+        _ => unreachable!(),
+    }
+    // The JSONL writer/parser round-trips the whole document.
+    let doc = write_jsonl(&events);
+    assert_eq!(parse_jsonl(&doc).unwrap(), events);
+}
+
+#[test]
+fn measured_calibration_fits_real_forkjoin_timings() {
+    // Mix worker counts so the fit sees several distinct
+    // sites-per-call widths per kernel.
+    let mut events = record_forkjoin_trace(1);
+    events.extend(record_forkjoin_trace(2));
+    events.extend(record_forkjoin_trace(5));
+    let doc = write_jsonl(&events);
+
+    let costs = MeasuredHostCosts::from_jsonl(&doc).expect("trace must calibrate");
+    for k in [KernelId::Newview, KernelId::Evaluate] {
+        let fit = costs.fit(k);
+        assert!(fit.samples >= 3, "{k:?}: {} samples", fit.samples);
+        assert!(
+            fit.per_call_ns >= 0.0 && fit.per_site_ns >= 0.0,
+            "{k:?}: negative cost"
+        );
+        assert!(
+            fit.per_call_ns > 0.0 || fit.per_site_ns > 0.0,
+            "{k:?}: fit degenerate — real kernels cost time"
+        );
+        // Sanity: predicted time of the observed workload is within
+        // 100x of the observed total (the fit interpolates noisy
+        // samples; it must stay on the right order of magnitude).
+        let (mut calls, mut sites, mut observed) = (0u64, 0u64, 0u64);
+        for e in &events {
+            if let TraceEvent::Kernel {
+                kernel,
+                calls: c,
+                sites: s,
+                total_ns,
+                ..
+            } = e
+            {
+                if *kernel == k {
+                    calls += c;
+                    sites += s;
+                    observed += total_ns;
+                }
+            }
+        }
+        let predicted = fit.predict_ns(calls, sites);
+        assert!(
+            predicted > observed as f64 / 100.0 && predicted < observed as f64 * 100.0,
+            "{k:?}: predicted {predicted} vs observed {observed}"
+        );
+    }
+    // Region latencies fed the synchronization-cost side.
+    assert!(costs.region_overhead_s() > 0.0);
+
+    // And the same events reconstruct a WorkloadTrace for the
+    // analytical model path.
+    let trace = WorkloadTrace::from_trace_events(&events, 0, 1200);
+    assert!(trace.stats.total_calls() > 0);
+    assert!(costs.predict_run_s(&trace) > 0.0);
+}
