@@ -1,0 +1,59 @@
+//! Span-instrumentation overhead probe for the CI regression gate.
+//!
+//! Prints the nanoseconds per full-tree likelihood evaluation in a
+//! machine-greppable `ns_per_eval <N>` line. CI runs this binary twice
+//! — once from the default (`span-trace`) build and once from a
+//! `--no-default-features` build — and fails if the instrumented
+//! number exceeds the uninstrumented one by more than 5%: the
+//! "compiles to a no-op when disabled" guarantee is only honest if the
+//! *enabled* path stays near-free on real kernels too.
+//!
+//! The workload is the span hot path at its worst: every evaluation
+//! crosses the `evaluate` span plus one `newview` span per invalidated
+//! inner node, with sites small enough that span cost is not drowned
+//! by arithmetic. Best-of-5 timing suppresses scheduler noise.
+//!
+//! Run: `cargo run --release -p phylo-bench --bin span_overhead`
+//! (append `--no-default-features` to measure the uninstrumented build)
+
+use phylo_bench::paper_dataset;
+use plf_core::{EngineConfig, LikelihoodEngine};
+use std::time::Instant;
+
+/// Evaluations per timing repetition.
+const EVALS: usize = 400;
+/// Timing repetitions; the minimum is reported.
+const REPS: usize = 5;
+
+fn main() {
+    let (tree, aln) = paper_dataset(12, 1_000, 3);
+    let mut engine = LikelihoodEngine::new(&tree, &aln, EngineConfig::default());
+    let num_edges = tree.num_edges();
+
+    // Warm-up: touch every virtual root once so buffers are allocated
+    // and caches primed before timing starts.
+    let mut checksum = 0.0f64;
+    for e in 0..num_edges {
+        checksum += engine.log_likelihood(&tree, e);
+    }
+
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        for i in 0..EVALS {
+            // Cycling the virtual root invalidates partials and forces
+            // real newview work (and its spans) each evaluation.
+            checksum += engine.log_likelihood(&tree, i % num_edges);
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / EVALS as f64;
+        best_ns = best_ns.min(ns);
+    }
+
+    let instrumented = if cfg!(feature = "span-trace") {
+        "span-trace"
+    } else {
+        "uninstrumented"
+    };
+    println!("build {instrumented}  evals {EVALS}  checksum {checksum:.3}");
+    println!("ns_per_eval {best_ns:.0}");
+}

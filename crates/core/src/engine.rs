@@ -327,6 +327,7 @@ impl LikelihoodEngine {
         ch: [(EdgeId, NodeId); 2],
         key: &CacheKey,
     ) {
+        let _span = crate::span::enter("newview");
         let t0 = std::time::Instant::now();
         let idx = self.inner_idx(node);
         let mut out = std::mem::replace(&mut self.clas[idx], Cla::new(0));
@@ -390,6 +391,8 @@ impl LikelihoodEngine {
             return 0.0;
         }
         self.update_partials(tree, root_edge);
+        let _span = crate::span::enter("evaluate");
+        patterns_evaluated().add(self.num_patterns as u64);
         let t0 = std::time::Instant::now();
         let (a, b) = tree.endpoints(root_edge);
         let t = tree.length(root_edge);
@@ -435,6 +438,7 @@ impl LikelihoodEngine {
             return;
         }
         self.update_partials(tree, edge);
+        let _span = crate::span::enter("derivativeSum");
         let t0 = std::time::Instant::now();
         let (a, b) = tree.endpoints(edge);
         let (q, r) = if tree.is_tip(a) { (a, b) } else { (b, a) };
@@ -476,6 +480,7 @@ impl LikelihoodEngine {
         if self.num_patterns == 0 {
             return (0.0, 0.0);
         }
+        let _span = crate::span::enter("derivativeCore");
         let t0 = std::time::Instant::now();
         let out =
             self.kernel
@@ -490,6 +495,13 @@ impl LikelihoodEngine {
 #[inline]
 fn elapsed_ns(t0: std::time::Instant) -> u64 {
     u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Cached handle for the `core.patterns.evaluated` counter (registry
+/// lookup once, then a relaxed atomic add per evaluate call).
+fn patterns_evaluated() -> &'static crate::metrics::Counter {
+    static C: std::sync::OnceLock<crate::metrics::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| crate::metrics::counter("core.patterns.evaluated"))
 }
 
 #[cfg(test)]

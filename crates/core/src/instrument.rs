@@ -144,6 +144,68 @@ impl LatencyHistogram {
         &self.buckets
     }
 
+    /// Reassembles a histogram from raw parts (used by the atomic
+    /// metrics histogram to hand out plain copies).
+    pub(crate) fn from_parts(
+        buckets: [u64; HIST_BUCKETS],
+        count: u64,
+        total_ns: u64,
+        min_ns: u64,
+        max_ns: u64,
+    ) -> Self {
+        LatencyHistogram {
+            buckets,
+            count,
+            total_ns,
+            min_ns: if count == 0 { u64::MAX } else { min_ns },
+            max_ns,
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) in nanoseconds by
+    /// linear interpolation inside the log₂ bucket containing the
+    /// target rank. Bucket `i` spans `[2^i, 2^(i+1))` (bucket 0 spans
+    /// `[0, 2)`), so the estimate is exact to within a factor of 2 and
+    /// is additionally clamped to the recorded min/max. Returns `None`
+    /// on an empty histogram or out-of-range `q`.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // 1-based rank of the sample that sits at quantile q.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let hi = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+                let frac = (rank - seen) as f64 / n as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return Some((est as u64).clamp(self.min_ns, self.max_ns));
+            }
+            seen += n;
+        }
+        self.max_ns() // unreachable: bucket counts always cover `count`
+    }
+
+    /// Median (p50) estimate in nanoseconds.
+    pub fn p50_ns(&self) -> Option<u64> {
+        self.quantile_ns(0.50)
+    }
+
+    /// 95th-percentile estimate in nanoseconds.
+    pub fn p95_ns(&self) -> Option<u64> {
+        self.quantile_ns(0.95)
+    }
+
+    /// 99th-percentile estimate in nanoseconds.
+    pub fn p99_ns(&self) -> Option<u64> {
+        self.quantile_ns(0.99)
+    }
+
     /// Adds another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -359,6 +421,45 @@ mod tests {
         // The tail bucket absorbs out-of-range samples.
         h.record_ns(u64::MAX);
         assert_eq!(h.buckets()[HIST_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = LatencyHistogram::new();
+        // 100 samples all equal: every quantile collapses to the value
+        // (interpolation is clamped to [min, max]).
+        for _ in 0..100 {
+            h.record_ns(4096);
+        }
+        assert_eq!(h.p50_ns(), Some(4096));
+        assert_eq!(h.p95_ns(), Some(4096));
+        assert_eq!(h.p99_ns(), Some(4096));
+
+        // A spread: 90 fast samples (bucket 1: [2,4)), 10 slow
+        // (bucket 10: [1024,2048)). p50 sits in the fast bucket, p95
+        // and p99 in the slow bucket.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record_ns(3);
+        }
+        for _ in 0..10 {
+            h.record_ns(1500);
+        }
+        let p50 = h.p50_ns().unwrap();
+        assert!((2..4).contains(&p50), "p50 = {p50}");
+        let p95 = h.p95_ns().unwrap();
+        assert!((1024..2048).contains(&p95), "p95 = {p95}");
+        let p99 = h.p99_ns().unwrap();
+        assert!(p99 >= p95, "p99 = {p99} < p95 = {p95}");
+        // Quantiles never exceed the recorded extremes.
+        assert!(p99 <= h.max_ns().unwrap());
+        assert!(h.quantile_ns(0.0).unwrap() >= h.min_ns().unwrap());
+        assert_eq!(h.quantile_ns(1.0), Some(h.max_ns().unwrap()));
+
+        // Degenerate inputs.
+        assert_eq!(LatencyHistogram::new().p50_ns(), None);
+        assert_eq!(h.quantile_ns(1.5), None);
+        assert_eq!(h.quantile_ns(-0.1), None);
     }
 
     #[test]

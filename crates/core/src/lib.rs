@@ -40,17 +40,20 @@ pub mod engine;
 pub mod instrument;
 pub mod kernels;
 pub mod layout;
+pub mod metrics;
 pub mod naive;
 pub mod nstate;
 pub mod recompute;
 pub mod scaling;
+pub mod span;
 pub mod trace;
 
 pub use aligned::AlignedVec;
 pub use engine::{EngineConfig, LikelihoodEngine};
 pub use instrument::{KernelId, KernelStats, LatencyHistogram, RegionStats};
 pub use kernels::{KernelKind, Kernels};
-pub use trace::TraceEvent;
+pub use span::{SpanGuard, TrackSnapshot};
+pub use trace::{TraceEvent, TRACE_VERSION};
 
 /// Number of DNA states.
 pub const NUM_STATES: usize = phylo_models::NUM_STATES;

@@ -1,0 +1,271 @@
+//! Process-wide registry of named counters, gauges, and histograms.
+//!
+//! Instrumented code holds a cheap cloneable handle ([`Counter`],
+//! [`Gauge`], [`Histogram`]) and updates it with relaxed atomics — the
+//! registry mutex is touched only on first lookup, never on the hot
+//! path. Metric names are dotted paths namespaced by layer
+//! (`core.scaling.events`, `spr.moves.accepted`,
+//! `forkjoin.worker.3.sites`, `micsim.reports`), which unifies the
+//! counters the paper's evaluation cares about across `core`,
+//! `parallel`, `search`, and `micsim` in one [`snapshot`].
+//!
+//! Unlike spans, metrics are always compiled in: a relaxed
+//! `fetch_add` on an owned cache line is far below measurement noise
+//! for every site instrumented here (all are per-call or colder, never
+//! per-site).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::instrument::{LatencyHistogram, HIST_BUCKETS};
+
+/// Monotonically increasing event count.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value (non-negative).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Lock-free log₂-bucketed latency histogram sharing the bucket layout
+/// (and therefore the quantile math) of
+/// [`LatencyHistogram`](crate::instrument::LatencyHistogram).
+struct AtomicHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl AtomicHistogram {
+    fn new() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn record_ns(&self, ns: u64) {
+        let bucket = (63 - (ns | 1).leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    fn load(&self) -> LatencyHistogram {
+        let count = self.count.load(Ordering::Relaxed);
+        LatencyHistogram::from_parts(
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count,
+            self.total_ns.load(Ordering::Relaxed),
+            if count == 0 {
+                0
+            } else {
+                self.min_ns.load(Ordering::Relaxed)
+            },
+            self.max_ns.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Handle to a registered latency histogram.
+#[derive(Clone)]
+pub struct Histogram(Arc<AtomicHistogram>);
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.0.record_ns(ns);
+    }
+
+    /// Copies the current state into a plain [`LatencyHistogram`].
+    pub fn load(&self) -> LatencyHistogram {
+        self.0.load()
+    }
+}
+
+enum Entry {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+fn registry() -> std::sync::MutexGuard<'static, BTreeMap<String, Entry>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Entry>>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        // A kind-mismatch panic (below) can poison the mutex, but the
+        // map itself is always left structurally consistent.
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Returns (registering on first use) the counter named `name`.
+///
+/// Panics if `name` is already registered as a different metric kind —
+/// that is a programming error, not a runtime condition.
+pub fn counter(name: &str) -> Counter {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Entry::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+    {
+        Entry::Counter(c) => c.clone(),
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// Returns (registering on first use) the gauge named `name`.
+pub fn gauge(name: &str) -> Gauge {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Entry::Gauge(Gauge(Arc::new(AtomicU64::new(0)))))
+    {
+        Entry::Gauge(g) => g.clone(),
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// Returns (registering on first use) the histogram named `name`.
+pub fn histogram(name: &str) -> Histogram {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Entry::Histogram(Histogram(Arc::new(AtomicHistogram::new()))))
+    {
+        Entry::Histogram(h) => h.clone(),
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// A metric's value at snapshot time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(u64),
+    /// Histogram copy (boxed: a histogram is ~300 bytes of buckets).
+    Histogram(Box<LatencyHistogram>),
+}
+
+/// One named metric captured by [`snapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSample {
+    /// Registered dotted name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// Captures every registered metric, sorted by name.
+pub fn snapshot() -> Vec<MetricSample> {
+    let reg = registry();
+    reg.iter()
+        .map(|(name, entry)| MetricSample {
+            name: name.clone(),
+            value: match entry {
+                Entry::Counter(c) => MetricValue::Counter(c.get()),
+                Entry::Gauge(g) => MetricValue::Gauge(g.get()),
+                Entry::Histogram(h) => MetricValue::Histogram(Box::new(h.load())),
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = counter("test.metrics.counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // A second lookup shares the same cell.
+        assert_eq!(counter("test.metrics.counter").get(), 5);
+
+        let g = gauge("test.metrics.gauge");
+        g.set(17);
+        g.set(3);
+        assert_eq!(gauge("test.metrics.gauge").get(), 3);
+    }
+
+    #[test]
+    fn histogram_matches_plain_latency_histogram() {
+        let h = histogram("test.metrics.hist");
+        let mut reference = LatencyHistogram::default();
+        for ns in [1u64, 7, 100, 100, 5_000, 1 << 20] {
+            h.record_ns(ns);
+            reference.record_ns(ns);
+        }
+        let copy = h.load();
+        assert_eq!(copy.count(), reference.count());
+        assert_eq!(copy.total_ns(), reference.total_ns());
+        assert_eq!(copy.min_ns(), reference.min_ns());
+        assert_eq!(copy.max_ns(), reference.max_ns());
+        assert_eq!(copy.buckets(), reference.buckets());
+    }
+
+    #[test]
+    fn snapshot_lists_metrics_sorted() {
+        counter("test.snap.b").inc();
+        counter("test.snap.a").add(2);
+        let snap = snapshot();
+        let names: Vec<_> = snap
+            .iter()
+            .filter(|s| s.name.starts_with("test.snap."))
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["test.snap.a", "test.snap.b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        counter("test.metrics.mismatch");
+        gauge("test.metrics.mismatch");
+    }
+}

@@ -59,15 +59,35 @@ pub fn scale_site(site: &mut [f64]) -> u32 {
         for v in site.iter_mut() {
             *v *= SCALE_FACTOR;
         }
+        scaling_events().inc();
         1
     } else {
         0
     }
 }
 
+/// Cached handle for the `core.scaling.events` counter. Only the cold
+/// rescale branch pays for it (one `OnceLock` load + relaxed add).
+fn scaling_events() -> &'static crate::metrics::Counter {
+    static C: std::sync::OnceLock<crate::metrics::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| crate::metrics::counter("core.scaling.events"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scaling_counter_tracks_rescales() {
+        let before = scaling_events().get();
+        let mut site = vec![1e-100; 16];
+        scale_site(&mut site);
+        let mut normal = vec![1e-5; 16];
+        scale_site(&mut normal);
+        // >= rather than ==: concurrently running engine tests may
+        // also rescale sites through the same global counter.
+        assert!(scaling_events().get() > before);
+    }
 
     #[test]
     fn constants_consistent() {

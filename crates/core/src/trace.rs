@@ -1,28 +1,53 @@
 //! JSONL kernel-timing traces.
 //!
 //! A trace is a flat JSON-lines file: one event per line, each a small
-//! flat object. Two event kinds exist:
+//! flat object. Event kinds (schema version [`TRACE_VERSION`]):
 //!
+//! * `meta` — schema version marker, written first.
 //! * `kernel` — one source's (a worker thread's or the serial
 //!   engine's) accumulated invocations of one kernel: call count,
-//!   total pattern-sites, and total/min/max wall time in nanoseconds.
+//!   total pattern-sites, total/min/max wall time, and p50/p95/p99
+//!   latency estimates in nanoseconds.
 //! * `region` — one source's parallel-region synchronization totals:
 //!   region count plus total/max fork- and join-barrier latencies.
+//! * `span` — one closed hierarchical span ([`crate::span`]) with its
+//!   source track, start, duration and nesting depth.
+//! * `metric` — a counter or gauge reading from the
+//!   [`crate::metrics`] registry.
+//! * `metric_hist` — a histogram metric's summary (count, total,
+//!   min/max and quantile estimates).
 //!
 //! The format is deliberately trivial — flat objects, string and
 //! integer values only — so it round-trips through the hand-rolled
 //! writer/parser below without a serde dependency, and any external
-//! tool (`jq`, pandas) reads it directly. `micsim::calibration` loads
-//! these events to fit measured per-call and per-site kernel costs,
+//! tool (`jq`, pandas) reads it directly. Parsing is
+//! forward-compatible: unknown keys are ignored and unknown event
+//! types (or kernel names) parse to [`TraceEvent::Unknown`], which
+//! [`parse_jsonl`] silently drops — a v1 reader of a v3 file keeps
+//! every event it understands. `micsim::calibration` loads these
+//! events to fit measured per-call and per-site kernel costs,
 //! replacing its hardware-derived defaults with numbers observed on
 //! the actual host (`phylomic --trace-out` writes them).
 
 use crate::instrument::{KernelId, KernelStats};
+use crate::metrics::{MetricSample, MetricValue};
+use crate::span::TrackSnapshot;
 use std::fmt::Write as _;
+
+/// Current trace schema version, recorded in the leading `meta` event.
+///
+/// Version history: 1 = kernel + region events; 2 = meta/span/metric
+/// events, kernel quantile fields.
+pub const TRACE_VERSION: u64 = 2;
 
 /// One line of a trace file.
 #[derive(Clone, Debug, PartialEq)]
 pub enum TraceEvent {
+    /// Schema version marker (first line of a trace document).
+    Meta {
+        /// Schema version the writer produced.
+        version: u64,
+    },
     /// Accumulated timing of one kernel at one source.
     Kernel {
         /// Where the stats came from (e.g. `"serial"`, `"worker3"`).
@@ -39,6 +64,12 @@ pub enum TraceEvent {
         min_ns: u64,
         /// Slowest single invocation, nanoseconds.
         max_ns: u64,
+        /// Median invocation latency estimate, ns (0 if unknown).
+        p50_ns: u64,
+        /// 95th-percentile latency estimate, ns (0 if unknown).
+        p95_ns: u64,
+        /// 99th-percentile latency estimate, ns (0 if unknown).
+        p99_ns: u64,
     },
     /// Accumulated fork/join latency of one source's parallel regions.
     Region {
@@ -55,6 +86,59 @@ pub enum TraceEvent {
         /// Slowest join, nanoseconds.
         join_max_ns: u64,
     },
+    /// One closed hierarchical span from a worker/master timeline.
+    Span {
+        /// Track label (e.g. `"master"`, `"worker2"`).
+        source: String,
+        /// Span name (e.g. `"spr_round"`, `"newview"`).
+        name: String,
+        /// Begin timestamp, ns since the process trace epoch.
+        start_ns: u64,
+        /// Duration, nanoseconds.
+        dur_ns: u64,
+        /// Nesting depth (0 = outermost).
+        depth: u64,
+    },
+    /// A counter or gauge reading.
+    Metric {
+        /// Where the snapshot was taken (usually `"process"`).
+        source: String,
+        /// Registered dotted metric name.
+        name: String,
+        /// `"counter"` or `"gauge"` (other kinds tolerated on parse).
+        kind: String,
+        /// Value at snapshot time.
+        value: u64,
+    },
+    /// A histogram metric's summary.
+    MetricHist {
+        /// Where the snapshot was taken (usually `"process"`).
+        source: String,
+        /// Registered dotted metric name.
+        name: String,
+        /// Samples recorded.
+        count: u64,
+        /// Sum of samples, nanoseconds.
+        total_ns: u64,
+        /// Smallest sample, ns.
+        min_ns: u64,
+        /// Largest sample, ns.
+        max_ns: u64,
+        /// Median estimate, ns.
+        p50_ns: u64,
+        /// 95th-percentile estimate, ns.
+        p95_ns: u64,
+        /// 99th-percentile estimate, ns.
+        p99_ns: u64,
+    },
+    /// An event this reader does not understand (future schema
+    /// version). Preserved by [`TraceEvent::from_json`] so callers can
+    /// count them; dropped by [`parse_jsonl`].
+    Unknown {
+        /// The unrecognized `type` field (or `"kernel"` for a kernel
+        /// event naming an unknown kernel).
+        event_type: String,
+    },
 }
 
 impl TraceEvent {
@@ -62,6 +146,9 @@ impl TraceEvent {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(160);
         match self {
+            TraceEvent::Meta { version } => {
+                let _ = write!(s, r#"{{"type":"meta","version":{version}}}"#);
+            }
             TraceEvent::Kernel {
                 source,
                 kernel,
@@ -70,17 +157,23 @@ impl TraceEvent {
                 total_ns,
                 min_ns,
                 max_ns,
+                p50_ns,
+                p95_ns,
+                p99_ns,
             } => {
                 let _ = write!(
                     s,
-                    r#"{{"type":"kernel","source":"{}","kernel":"{}","calls":{},"sites":{},"total_ns":{},"min_ns":{},"max_ns":{}}}"#,
+                    r#"{{"type":"kernel","source":"{}","kernel":"{}","calls":{},"sites":{},"total_ns":{},"min_ns":{},"max_ns":{},"p50_ns":{},"p95_ns":{},"p99_ns":{}}}"#,
                     escape(source),
                     kernel.paper_name(),
                     calls,
                     sites,
                     total_ns,
                     min_ns,
-                    max_ns
+                    max_ns,
+                    p50_ns,
+                    p95_ns,
+                    p99_ns
                 );
             }
             TraceEvent::Region {
@@ -101,6 +194,66 @@ impl TraceEvent {
                     join_total_ns,
                     join_max_ns
                 );
+            }
+            TraceEvent::Span {
+                source,
+                name,
+                start_ns,
+                dur_ns,
+                depth,
+            } => {
+                let _ = write!(
+                    s,
+                    r#"{{"type":"span","source":"{}","name":"{}","start_ns":{},"dur_ns":{},"depth":{}}}"#,
+                    escape(source),
+                    escape(name),
+                    start_ns,
+                    dur_ns,
+                    depth
+                );
+            }
+            TraceEvent::Metric {
+                source,
+                name,
+                kind,
+                value,
+            } => {
+                let _ = write!(
+                    s,
+                    r#"{{"type":"metric","source":"{}","name":"{}","kind":"{}","value":{}}}"#,
+                    escape(source),
+                    escape(name),
+                    escape(kind),
+                    value
+                );
+            }
+            TraceEvent::MetricHist {
+                source,
+                name,
+                count,
+                total_ns,
+                min_ns,
+                max_ns,
+                p50_ns,
+                p95_ns,
+                p99_ns,
+            } => {
+                let _ = write!(
+                    s,
+                    r#"{{"type":"metric_hist","source":"{}","name":"{}","count":{},"total_ns":{},"min_ns":{},"max_ns":{},"p50_ns":{},"p95_ns":{},"p99_ns":{}}}"#,
+                    escape(source),
+                    escape(name),
+                    count,
+                    total_ns,
+                    min_ns,
+                    max_ns,
+                    p50_ns,
+                    p95_ns,
+                    p99_ns
+                );
+            }
+            TraceEvent::Unknown { event_type } => {
+                let _ = write!(s, r#"{{"type":"{}"}}"#, escape(event_type));
             }
         }
         s
@@ -128,13 +281,31 @@ impl TraceEvent {
                 JsonValue::Int(_) => Err(TraceError(format!("field {k:?} must be a string"))),
             }
         };
+        // Absent numeric fields default to 0 so a reader of this
+        // version accepts events written before the field existed
+        // (e.g. v1 kernel events without quantiles).
+        let get_u64_or_0 = |k: &str| -> Result<u64, TraceError> {
+            match fields.iter().find(|(key, _)| key == k) {
+                None => Ok(0),
+                Some((_, JsonValue::Int(n))) => Ok(*n),
+                Some((_, JsonValue::Str(_))) => {
+                    Err(TraceError(format!("field {k:?} must be an integer")))
+                }
+            }
+        };
         match get_str("type")? {
+            "meta" => Ok(TraceEvent::Meta {
+                version: get_u64("version")?,
+            }),
             "kernel" => {
                 let name = get_str("kernel")?;
-                let kernel = KernelId::ALL
-                    .into_iter()
-                    .find(|k| k.paper_name() == name)
-                    .ok_or_else(|| TraceError(format!("unknown kernel {name:?}")))?;
+                let Some(kernel) = KernelId::ALL.into_iter().find(|k| k.paper_name() == name)
+                else {
+                    // A kernel this reader predates: skippable, not fatal.
+                    return Ok(TraceEvent::Unknown {
+                        event_type: format!("kernel:{name}"),
+                    });
+                };
                 Ok(TraceEvent::Kernel {
                     source: get_str("source")?.to_string(),
                     kernel,
@@ -143,6 +314,9 @@ impl TraceEvent {
                     total_ns: get_u64("total_ns")?,
                     min_ns: get_u64("min_ns")?,
                     max_ns: get_u64("max_ns")?,
+                    p50_ns: get_u64_or_0("p50_ns")?,
+                    p95_ns: get_u64_or_0("p95_ns")?,
+                    p99_ns: get_u64_or_0("p99_ns")?,
                 })
             }
             "region" => Ok(TraceEvent::Region {
@@ -153,7 +327,33 @@ impl TraceEvent {
                 join_total_ns: get_u64("join_total_ns")?,
                 join_max_ns: get_u64("join_max_ns")?,
             }),
-            other => Err(TraceError(format!("unknown event type {other:?}"))),
+            "span" => Ok(TraceEvent::Span {
+                source: get_str("source")?.to_string(),
+                name: get_str("name")?.to_string(),
+                start_ns: get_u64("start_ns")?,
+                dur_ns: get_u64("dur_ns")?,
+                depth: get_u64_or_0("depth")?,
+            }),
+            "metric" => Ok(TraceEvent::Metric {
+                source: get_str("source")?.to_string(),
+                name: get_str("name")?.to_string(),
+                kind: get_str("kind")?.to_string(),
+                value: get_u64("value")?,
+            }),
+            "metric_hist" => Ok(TraceEvent::MetricHist {
+                source: get_str("source")?.to_string(),
+                name: get_str("name")?.to_string(),
+                count: get_u64("count")?,
+                total_ns: get_u64("total_ns")?,
+                min_ns: get_u64_or_0("min_ns")?,
+                max_ns: get_u64_or_0("max_ns")?,
+                p50_ns: get_u64_or_0("p50_ns")?,
+                p95_ns: get_u64_or_0("p95_ns")?,
+                p99_ns: get_u64_or_0("p99_ns")?,
+            }),
+            other => Ok(TraceEvent::Unknown {
+                event_type: other.to_string(),
+            }),
         }
     }
 }
@@ -189,6 +389,9 @@ pub fn events_from_stats(source: &str, stats: &KernelStats) -> Vec<TraceEvent> {
             total_ns: h.total_ns(),
             min_ns: h.min_ns().unwrap_or(0),
             max_ns: h.max_ns().unwrap_or(0),
+            p50_ns: h.p50_ns().unwrap_or(0),
+            p95_ns: h.p95_ns().unwrap_or(0),
+            p99_ns: h.p99_ns().unwrap_or(0),
         });
     }
     let r = stats.regions();
@@ -205,6 +408,58 @@ pub fn events_from_stats(source: &str, stats: &KernelStats) -> Vec<TraceEvent> {
     out
 }
 
+/// Converts per-track span snapshots into `span` trace events (one per
+/// closed or auto-closed span), sorted by start time within each
+/// track. The track label becomes the event source.
+pub fn events_from_spans(tracks: &[TrackSnapshot]) -> Vec<TraceEvent> {
+    let mut out = Vec::new();
+    for track in tracks {
+        for s in crate::span::pair_spans(&track.events) {
+            out.push(TraceEvent::Span {
+                source: track.label.clone(),
+                name: s.name.to_string(),
+                start_ns: s.start_ns,
+                dur_ns: s.dur_ns,
+                depth: s.depth as u64,
+            });
+        }
+    }
+    out
+}
+
+/// Converts a metrics snapshot ([`crate::metrics::snapshot`]) into
+/// `metric` / `metric_hist` trace events attributed to `source`.
+pub fn events_from_metrics(source: &str, samples: &[MetricSample]) -> Vec<TraceEvent> {
+    samples
+        .iter()
+        .map(|s| match &s.value {
+            MetricValue::Counter(v) => TraceEvent::Metric {
+                source: source.to_string(),
+                name: s.name.clone(),
+                kind: "counter".to_string(),
+                value: *v,
+            },
+            MetricValue::Gauge(v) => TraceEvent::Metric {
+                source: source.to_string(),
+                name: s.name.clone(),
+                kind: "gauge".to_string(),
+                value: *v,
+            },
+            MetricValue::Histogram(h) => TraceEvent::MetricHist {
+                source: source.to_string(),
+                name: s.name.clone(),
+                count: h.count(),
+                total_ns: h.total_ns(),
+                min_ns: h.min_ns().unwrap_or(0),
+                max_ns: h.max_ns().unwrap_or(0),
+                p50_ns: h.p50_ns().unwrap_or(0),
+                p95_ns: h.p95_ns().unwrap_or(0),
+                p99_ns: h.p99_ns().unwrap_or(0),
+            },
+        })
+        .collect()
+}
+
 /// Serializes events as a JSONL document (one event per line, trailing
 /// newline).
 pub fn write_jsonl(events: &[TraceEvent]) -> String {
@@ -216,15 +471,22 @@ pub fn write_jsonl(events: &[TraceEvent]) -> String {
     s
 }
 
-/// Parses a JSONL document; blank lines are skipped.
+/// Parses a JSONL document; blank lines are skipped, and events of
+/// unknown type (a newer schema version) are dropped rather than
+/// rejected. Malformed lines still error.
 pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, TraceError> {
-    text.lines()
+    let parsed: Result<Vec<TraceEvent>, TraceError> = text
+        .lines()
         .filter(|l| !l.trim().is_empty())
         .map(TraceEvent::from_json)
-        .collect()
+        .collect();
+    Ok(parsed?
+        .into_iter()
+        .filter(|e| !matches!(e, TraceEvent::Unknown { .. }))
+        .collect())
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -372,10 +634,49 @@ mod tests {
             total_ns: 123_456,
             min_ns: 800,
             max_ns: 9_000,
+            p50_ns: 2_000,
+            p95_ns: 8_000,
+            p99_ns: 8_900,
         };
         let line = e.to_json();
         assert!(line.starts_with(r#"{"type":"kernel""#), "{line}");
+        assert!(line.contains(r#""p95_ns":8000"#), "{line}");
         assert_eq!(TraceEvent::from_json(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn meta_span_and_metric_events_roundtrip() {
+        let events = vec![
+            TraceEvent::Meta {
+                version: TRACE_VERSION,
+            },
+            TraceEvent::Span {
+                source: "worker1".into(),
+                name: "spr_round".into(),
+                start_ns: 1_000,
+                dur_ns: 250_000,
+                depth: 2,
+            },
+            TraceEvent::Metric {
+                source: "process".into(),
+                name: "spr.moves.accepted".into(),
+                kind: "counter".into(),
+                value: 17,
+            },
+            TraceEvent::MetricHist {
+                source: "process".into(),
+                name: "barrier.wait_ns".into(),
+                count: 12,
+                total_ns: 9_000,
+                min_ns: 100,
+                max_ns: 2_000,
+                p50_ns: 600,
+                p95_ns: 1_900,
+                p99_ns: 2_000,
+            },
+        ];
+        let doc = write_jsonl(&events);
+        assert_eq!(parse_jsonl(&doc).unwrap(), events);
     }
 
     #[test]
@@ -402,6 +703,9 @@ mod tests {
                 total_ns: 99,
                 min_ns: 99,
                 max_ns: 99,
+                p50_ns: 99,
+                p95_ns: 99,
+                p99_ns: 99,
             },
             TraceEvent::Region {
                 source: "master".into(),
@@ -460,6 +764,9 @@ mod tests {
             total_ns: 1,
             min_ns: 1,
             max_ns: 1,
+            p50_ns: 1,
+            p95_ns: 1,
+            p99_ns: 1,
         };
         assert_eq!(TraceEvent::from_json(&e.to_json()).unwrap(), e);
     }
@@ -471,11 +778,112 @@ mod tests {
             "not json",
             "{}",
             r#"{"type":"kernel"}"#,
-            r#"{"type":"mystery","source":"x"}"#,
-            r#"{"type":"kernel","source":"s","kernel":"nope","calls":1,"sites":1,"total_ns":1,"min_ns":1,"max_ns":1}"#,
             r#"{"type":"kernel","source":"s","kernel":"newview","calls":"one","sites":1,"total_ns":1,"min_ns":1,"max_ns":1}"#,
         ] {
             assert!(TraceEvent::from_json(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn forward_compat_skips_unknown_types_keys_and_kernels() {
+        // A "future" document: higher version, an event type we've
+        // never heard of, an extra key on a known event, and a kernel
+        // name this build doesn't implement.
+        let doc = concat!(
+            r#"{"type":"meta","version":99}"#,
+            "\n",
+            r#"{"type":"gpu_kernel","source":"cuda0","warp_ns":123}"#,
+            "\n",
+            r#"{"type":"kernel","source":"s","kernel":"newview","calls":1,"sites":10,"total_ns":50,"min_ns":50,"max_ns":50,"p50_ns":50,"p95_ns":50,"p99_ns":50,"future_field":7}"#,
+            "\n",
+            r#"{"type":"kernel","source":"s","kernel":"hyperview","calls":1,"sites":1,"total_ns":1,"min_ns":1,"max_ns":1}"#,
+            "\n",
+        );
+        let events = parse_jsonl(doc).unwrap();
+        // The unknown event type and unknown kernel were dropped; the
+        // recognizable events survived, extra key ignored.
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0], TraceEvent::Meta { version: 99 });
+        assert!(
+            matches!(&events[1], TraceEvent::Kernel { kernel, calls: 1, .. }
+                if *kernel == KernelId::Newview)
+        );
+        // from_json exposes the skipped ones as Unknown.
+        assert_eq!(
+            TraceEvent::from_json(r#"{"type":"gpu_kernel","source":"x"}"#).unwrap(),
+            TraceEvent::Unknown {
+                event_type: "gpu_kernel".into()
+            }
+        );
+    }
+
+    #[test]
+    fn v1_kernel_lines_without_quantiles_still_parse() {
+        let line = r#"{"type":"kernel","source":"s","kernel":"evaluate","calls":3,"sites":30,"total_ns":300,"min_ns":90,"max_ns":110}"#;
+        match TraceEvent::from_json(line).unwrap() {
+            TraceEvent::Kernel {
+                p50_ns,
+                p95_ns,
+                p99_ns,
+                calls,
+                ..
+            } => {
+                assert_eq!((p50_ns, p95_ns, p99_ns), (0, 0, 0));
+                assert_eq!(calls, 3);
+            }
+            other => panic!("expected kernel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn span_and_metric_export_helpers() {
+        use crate::span::{SpanEvent, SpanPhase, TrackSnapshot};
+        let track = TrackSnapshot {
+            label: "worker0".into(),
+            events: vec![
+                SpanEvent {
+                    name: "outer",
+                    phase: SpanPhase::Begin,
+                    t_ns: 10,
+                },
+                SpanEvent {
+                    name: "inner",
+                    phase: SpanPhase::Begin,
+                    t_ns: 20,
+                },
+                SpanEvent {
+                    name: "inner",
+                    phase: SpanPhase::End,
+                    t_ns: 30,
+                },
+                SpanEvent {
+                    name: "outer",
+                    phase: SpanPhase::End,
+                    t_ns: 40,
+                },
+            ],
+            recorded: 4,
+            dropped: 0,
+        };
+        let events = events_from_spans(&[track]);
+        assert_eq!(events.len(), 2);
+        assert!(matches!(&events[0],
+            TraceEvent::Span { source, name, start_ns: 10, dur_ns: 30, depth: 0 }
+                if source == "worker0" && name == "outer"));
+
+        let samples = vec![
+            MetricSample {
+                name: "test.trace.counter".into(),
+                value: MetricValue::Counter(5),
+            },
+            MetricSample {
+                name: "test.trace.gauge".into(),
+                value: MetricValue::Gauge(9),
+            },
+        ];
+        let events = events_from_metrics("process", &samples);
+        let doc = write_jsonl(&events);
+        assert_eq!(parse_jsonl(&doc).unwrap(), events);
+        assert!(doc.contains(r#""kind":"counter","value":5"#), "{doc}");
     }
 }

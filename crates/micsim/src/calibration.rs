@@ -362,6 +362,9 @@ mod tests {
                     total_ns: total,
                     min_ns: 0,
                     max_ns: total,
+                    p50_ns: 0,
+                    p95_ns: 0,
+                    p99_ns: 0,
                 }
             })
             .collect()
@@ -413,6 +416,9 @@ mod tests {
                 total_ns: 10_000,
                 min_ns: 0,
                 max_ns: 0,
+                p50_ns: 0,
+                p95_ns: 0,
+                p99_ns: 0,
             },
             TraceEvent::Kernel {
                 source: "w1".into(),
@@ -422,6 +428,9 @@ mod tests {
                 total_ns: 9_000,
                 min_ns: 0,
                 max_ns: 0,
+                p50_ns: 0,
+                p95_ns: 0,
+                p99_ns: 0,
             },
         ];
         let costs = MeasuredHostCosts::from_events(&events).unwrap();

@@ -36,10 +36,12 @@ pub mod energy;
 pub mod kernel_model;
 pub mod model;
 pub mod platform;
+pub mod report;
 pub mod systems;
 pub mod workload;
 
 pub use model::{predict_time, ExecMode, Interconnect, MachineConfig, TimeBreakdown};
 pub use platform::{Platform, PlatformKind};
+pub use report::TraceReport;
 pub use systems::{table3_systems, SystemId};
 pub use workload::WorkloadTrace;

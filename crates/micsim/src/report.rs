@@ -1,0 +1,506 @@
+//! Post-mortem analysis of a JSONL trace (`phylomic trace-report`).
+//!
+//! Turns the flat event stream `--trace-out` produces into the
+//! summaries the paper's evaluation reasons about: per-kernel time
+//! shares (the Table III decomposition), fork/join synchronization
+//! overhead per parallel region (§VI-B2's small-alignment effect),
+//! per-worker load imbalance (the Fig. 4 efficiency ceiling), and the
+//! measured per-call/per-site kernel cost table that feeds
+//! [`crate::calibration::MeasuredHostCosts`].
+
+use crate::calibration::MeasuredHostCosts;
+use plf_core::trace::{parse_jsonl, TraceEvent};
+use plf_core::KernelId;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One kernel's aggregate across every source in the trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelRow {
+    /// Which kernel.
+    pub kernel: KernelId,
+    /// Invocations summed over sources.
+    pub calls: u64,
+    /// Pattern-sites summed over sources.
+    pub sites: u64,
+    /// Wall time summed over sources, nanoseconds.
+    pub total_ns: u64,
+    /// Fraction of the summed kernel time spent in this kernel.
+    pub share: f64,
+    /// Call-weighted mean of the sources' median latencies, ns.
+    pub p50_ns: u64,
+    /// Call-weighted mean of the sources' p95 latencies, ns.
+    pub p95_ns: u64,
+    /// Call-weighted mean of the sources' p99 latencies, ns.
+    pub p99_ns: u64,
+}
+
+/// Fork/join synchronization totals and the derived overhead fraction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RegionSummary {
+    /// Parallel regions executed.
+    pub count: u64,
+    /// Summed fork-barrier latency, ns.
+    pub fork_total_ns: u64,
+    /// Summed join-barrier latency, ns.
+    pub join_total_ns: u64,
+    /// Estimated wall time spent inside regions (the master blocks
+    /// through fork and join, so this is their sum), ns.
+    pub wall_ns: u64,
+    /// Fraction of region wall time not covered by the busiest
+    /// worker's kernel time: `(wall − max_busy) / wall`, clamped to
+    /// `[0, 1]`. Pure synchronization + scheduling overhead.
+    pub overhead_fraction: f64,
+}
+
+/// One worker's busy time, as seen through its kernel events.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerRow {
+    /// Source label (e.g. `"worker2"`).
+    pub source: String,
+    /// Summed kernel wall time, ns.
+    pub busy_ns: u64,
+    /// Pattern-sites processed (summed over kernels and calls).
+    pub sites: u64,
+}
+
+/// Aggregate of one span name across all tracks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRow {
+    /// Span name (e.g. `"spr_round"`).
+    pub name: String,
+    /// Closed spans with this name.
+    pub count: u64,
+    /// Summed duration, ns. Nested spans of the same name both count.
+    pub total_ns: u64,
+}
+
+/// Everything `trace-report` prints, in analyzable form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceReport {
+    /// Schema version from the `meta` event, if present.
+    pub version: Option<u64>,
+    /// Per-kernel aggregates, descending by total time.
+    pub kernels: Vec<KernelRow>,
+    /// Summed kernel time across all sources, ns.
+    pub total_kernel_ns: u64,
+    /// Fork/join summary; `None` for serial traces.
+    pub regions: Option<RegionSummary>,
+    /// Per-worker busy time, sorted by source label; empty for serial.
+    pub workers: Vec<WorkerRow>,
+    /// `max(busy) / mean(busy)` over workers (1.0 = perfect balance);
+    /// `None` with fewer than two workers.
+    pub imbalance: Option<f64>,
+    /// Span aggregates, descending by total time.
+    pub spans: Vec<SpanRow>,
+    /// Counter/gauge readings (`name`, `kind`, `value`), sorted.
+    pub metrics: Vec<(String, String, u64)>,
+    /// Measured kernel cost fits; `None` if no kernel events.
+    pub costs: Option<MeasuredHostCosts>,
+}
+
+impl TraceReport {
+    /// Builds a report from parsed trace events.
+    pub fn from_events(events: &[TraceEvent]) -> TraceReport {
+        let mut version = None;
+        // kernel -> (calls, sites, total, Σcalls·p50, Σcalls·p95, Σcalls·p99)
+        let mut per_kernel: BTreeMap<&'static str, (KernelId, [u64; 3], [u128; 3])> =
+            BTreeMap::new();
+        let mut per_worker: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        let mut region_count = 0u64;
+        let mut fork_total = 0u64;
+        let mut join_total = 0u64;
+        let mut spans: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        let mut metrics = Vec::new();
+
+        for e in events {
+            match e {
+                TraceEvent::Meta { version: v } => version = Some(*v),
+                TraceEvent::Kernel {
+                    source,
+                    kernel,
+                    calls,
+                    sites,
+                    total_ns,
+                    p50_ns,
+                    p95_ns,
+                    p99_ns,
+                    ..
+                } => {
+                    let entry = per_kernel
+                        .entry(kernel.paper_name())
+                        .or_insert((*kernel, [0; 3], [0; 3]));
+                    entry.1[0] += calls;
+                    entry.1[1] += sites;
+                    entry.1[2] += total_ns;
+                    entry.2[0] += *calls as u128 * *p50_ns as u128;
+                    entry.2[1] += *calls as u128 * *p95_ns as u128;
+                    entry.2[2] += *calls as u128 * *p99_ns as u128;
+                    if source.starts_with("worker") {
+                        let w = per_worker.entry(source.clone()).or_insert((0, 0));
+                        w.0 += total_ns;
+                        w.1 += sites;
+                    }
+                }
+                TraceEvent::Region {
+                    count,
+                    fork_total_ns,
+                    join_total_ns,
+                    ..
+                } => {
+                    region_count += count;
+                    fork_total += fork_total_ns;
+                    join_total += join_total_ns;
+                }
+                TraceEvent::Span { name, dur_ns, .. } => {
+                    let s = spans.entry(name.clone()).or_insert((0, 0));
+                    s.0 += 1;
+                    s.1 += dur_ns;
+                }
+                TraceEvent::Metric {
+                    name, kind, value, ..
+                } => metrics.push((name.clone(), kind.clone(), *value)),
+                TraceEvent::MetricHist {
+                    name,
+                    count,
+                    total_ns,
+                    ..
+                } => metrics.push((
+                    format!("{name} (hist total, n={count})"),
+                    "hist".into(),
+                    *total_ns,
+                )),
+                TraceEvent::Unknown { .. } => {}
+            }
+        }
+
+        let total_kernel_ns: u64 = per_kernel.values().map(|(_, agg, _)| agg[2]).sum();
+        let mut kernels: Vec<KernelRow> = per_kernel
+            .into_values()
+            .map(|(kernel, [calls, sites, total_ns], q)| {
+                let weighted = |sum: u128| {
+                    if calls == 0 {
+                        0
+                    } else {
+                        (sum / calls as u128) as u64
+                    }
+                };
+                KernelRow {
+                    kernel,
+                    calls,
+                    sites,
+                    total_ns,
+                    share: if total_kernel_ns == 0 {
+                        0.0
+                    } else {
+                        total_ns as f64 / total_kernel_ns as f64
+                    },
+                    p50_ns: weighted(q[0]),
+                    p95_ns: weighted(q[1]),
+                    p99_ns: weighted(q[2]),
+                }
+            })
+            .collect();
+        kernels.sort_by_key(|k| std::cmp::Reverse(k.total_ns));
+
+        let workers: Vec<WorkerRow> = per_worker
+            .into_iter()
+            .map(|(source, (busy_ns, sites))| WorkerRow {
+                source,
+                busy_ns,
+                sites,
+            })
+            .collect();
+
+        let imbalance = if workers.len() >= 2 {
+            let max = workers.iter().map(|w| w.busy_ns).max().unwrap_or(0) as f64;
+            let mean = workers.iter().map(|w| w.busy_ns).sum::<u64>() as f64 / workers.len() as f64;
+            (mean > 0.0).then(|| max / mean)
+        } else {
+            None
+        };
+
+        let regions = (region_count > 0).then(|| {
+            let wall_ns = fork_total + join_total;
+            let max_busy = workers.iter().map(|w| w.busy_ns).max().unwrap_or(0);
+            RegionSummary {
+                count: region_count,
+                fork_total_ns: fork_total,
+                join_total_ns: join_total,
+                wall_ns,
+                overhead_fraction: if wall_ns == 0 {
+                    0.0
+                } else {
+                    (wall_ns.saturating_sub(max_busy)) as f64 / wall_ns as f64
+                },
+            }
+        });
+
+        let mut spans: Vec<SpanRow> = spans
+            .into_iter()
+            .map(|(name, (count, total_ns))| SpanRow {
+                name,
+                count,
+                total_ns,
+            })
+            .collect();
+        spans.sort_by_key(|s| std::cmp::Reverse(s.total_ns));
+        metrics.sort();
+
+        let costs = MeasuredHostCosts::from_events(events).ok();
+
+        TraceReport {
+            version,
+            kernels,
+            total_kernel_ns,
+            regions,
+            workers,
+            imbalance,
+            spans,
+            metrics,
+            costs,
+        }
+    }
+
+    /// Parses a JSONL document and builds the report.
+    pub fn from_jsonl(text: &str) -> Result<TraceReport, plf_core::trace::TraceError> {
+        Ok(TraceReport::from_events(&parse_jsonl(text)?))
+    }
+
+    /// Renders the report as the text `phylomic trace-report` prints.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let ms = |ns: u64| ns as f64 / 1e6;
+        if let Some(v) = self.version {
+            let _ = writeln!(s, "trace schema v{v}");
+        }
+
+        let _ = writeln!(s, "\n== kernel time shares ==");
+        let _ = writeln!(
+            s,
+            "{:<16} {:>10} {:>12} {:>11} {:>7} {:>9} {:>9} {:>9}",
+            "kernel", "calls", "sites", "total ms", "share", "p50 ns", "p95 ns", "p99 ns"
+        );
+        for k in &self.kernels {
+            let _ = writeln!(
+                s,
+                "{:<16} {:>10} {:>12} {:>11.3} {:>6.1}% {:>9} {:>9} {:>9}",
+                k.kernel.paper_name(),
+                k.calls,
+                k.sites,
+                ms(k.total_ns),
+                k.share * 100.0,
+                k.p50_ns,
+                k.p95_ns,
+                k.p99_ns
+            );
+        }
+        let _ = writeln!(s, "total kernel time {:.3} ms", ms(self.total_kernel_ns));
+
+        if let Some(r) = &self.regions {
+            let _ = writeln!(s, "\n== fork/join regions ==");
+            let _ = writeln!(
+                s,
+                "regions {}  fork {:.3} ms  join {:.3} ms  wall {:.3} ms",
+                r.count,
+                ms(r.fork_total_ns),
+                ms(r.join_total_ns),
+                ms(r.wall_ns)
+            );
+            let _ = writeln!(
+                s,
+                "overhead fraction {:.1}% (region wall not covered by busiest worker)",
+                r.overhead_fraction * 100.0
+            );
+        }
+
+        if !self.workers.is_empty() {
+            let _ = writeln!(s, "\n== per-worker load ==");
+            for w in &self.workers {
+                let _ = writeln!(
+                    s,
+                    "{:<10} busy {:>11.3} ms  sites {:>12}",
+                    w.source,
+                    ms(w.busy_ns),
+                    w.sites
+                );
+            }
+            if let Some(i) = self.imbalance {
+                let _ = writeln!(s, "imbalance (slowest/mean) {i:.3}");
+            }
+        }
+
+        if !self.spans.is_empty() {
+            let _ = writeln!(s, "\n== span totals ==");
+            for sp in &self.spans {
+                let _ = writeln!(
+                    s,
+                    "{:<18} count {:>8}  total {:>11.3} ms",
+                    sp.name,
+                    sp.count,
+                    ms(sp.total_ns)
+                );
+            }
+        }
+
+        if !self.metrics.is_empty() {
+            let _ = writeln!(s, "\n== metrics ==");
+            for (name, kind, value) in &self.metrics {
+                let _ = writeln!(s, "{name:<40} {kind:<8} {value}");
+            }
+        }
+
+        if let Some(c) = &self.costs {
+            let _ = writeln!(s, "\n== calibration cost table (MeasuredHostCosts) ==");
+            let _ = writeln!(
+                s,
+                "{:<16} {:>14} {:>14} {:>8}",
+                "kernel", "per-call ns", "per-site ns", "samples"
+            );
+            for kernel in KernelId::ALL {
+                let f = c.fit(kernel);
+                if f.samples == 0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    s,
+                    "{:<16} {:>14.1} {:>14.3} {:>8}",
+                    kernel.paper_name(),
+                    f.per_call_ns,
+                    f.per_site_ns,
+                    f.samples
+                );
+            }
+            let _ = writeln!(
+                s,
+                "region fork {:.1} ns  join {:.1} ns (mean per region)",
+                c.region_fork_ns, c.region_join_ns
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel_event(
+        source: &str,
+        kernel: KernelId,
+        calls: u64,
+        sites: u64,
+        total: u64,
+    ) -> TraceEvent {
+        TraceEvent::Kernel {
+            source: source.into(),
+            kernel,
+            calls,
+            sites,
+            total_ns: total,
+            min_ns: total / calls.max(1),
+            max_ns: total / calls.max(1),
+            p50_ns: total / calls.max(1),
+            p95_ns: total / calls.max(1),
+            p99_ns: total / calls.max(1),
+        }
+    }
+
+    fn forkjoin_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Meta { version: 2 },
+            kernel_event("worker0", KernelId::Newview, 10, 1000, 6_000_000),
+            kernel_event("worker1", KernelId::Newview, 10, 500, 3_000_000),
+            kernel_event("worker0", KernelId::Evaluate, 5, 500, 1_000_000),
+            kernel_event("worker1", KernelId::Evaluate, 5, 250, 500_000),
+            TraceEvent::Region {
+                source: "master".into(),
+                count: 15,
+                fork_total_ns: 1_000_000,
+                join_total_ns: 9_000_000,
+                fork_max_ns: 200_000,
+                join_max_ns: 1_000_000,
+            },
+            TraceEvent::Span {
+                source: "master".into(),
+                name: "search".into(),
+                start_ns: 0,
+                dur_ns: 12_000_000,
+                depth: 0,
+            },
+            TraceEvent::Metric {
+                source: "process".into(),
+                name: "spr.moves.accepted".into(),
+                kind: "counter".into(),
+                value: 3,
+            },
+        ]
+    }
+
+    #[test]
+    fn report_computes_shares_imbalance_and_overhead() {
+        let r = TraceReport::from_events(&forkjoin_events());
+        assert_eq!(r.version, Some(2));
+        assert_eq!(r.total_kernel_ns, 10_500_000);
+        // newview dominates and sorts first.
+        assert_eq!(r.kernels[0].kernel, KernelId::Newview);
+        assert!((r.kernels[0].share - 9.0 / 10.5).abs() < 1e-9);
+        // worker0 busy 7ms, worker1 busy 3.5ms → imbalance 7/5.25.
+        assert_eq!(r.workers.len(), 2);
+        let imb = r.imbalance.unwrap();
+        assert!((imb - 7.0 / 5.25).abs() < 1e-9, "{imb}");
+        // wall 10ms, max busy 7ms → overhead 30%.
+        let reg = r.regions.unwrap();
+        assert_eq!(reg.count, 15);
+        assert!((reg.overhead_fraction - 0.3).abs() < 1e-9);
+        assert!(r.costs.is_some());
+        assert_eq!(r.spans[0].name, "search");
+        assert_eq!(r.metrics[0].0, "spr.moves.accepted");
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let text = TraceReport::from_events(&forkjoin_events()).render();
+        for needle in [
+            "kernel time shares",
+            "newview",
+            "fork/join regions",
+            "overhead fraction",
+            "per-worker load",
+            "imbalance (slowest/mean)",
+            "span totals",
+            "metrics",
+            "calibration cost table",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn serial_trace_reports_without_regions_or_workers() {
+        let events = vec![kernel_event("serial", KernelId::Newview, 4, 400, 2_000_000)];
+        let r = TraceReport::from_events(&events);
+        assert!(r.regions.is_none());
+        assert!(r.workers.is_empty());
+        assert!(r.imbalance.is_none());
+        assert_eq!(r.kernels.len(), 1);
+        assert!((r.kernels[0].share - 1.0).abs() < 1e-12);
+        // Render stays valid with the parallel sections absent.
+        let text = r.render();
+        assert!(!text.contains("fork/join regions"));
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_report() {
+        let r = TraceReport::from_events(&[]);
+        assert!(r.kernels.is_empty() && r.costs.is_none());
+        assert_eq!(r.total_kernel_ns, 0);
+    }
+
+    #[test]
+    fn from_jsonl_roundtrip() {
+        let doc = plf_core::trace::write_jsonl(&forkjoin_events());
+        let r = TraceReport::from_jsonl(&doc).unwrap();
+        assert_eq!(r, TraceReport::from_events(&forkjoin_events()));
+    }
+}

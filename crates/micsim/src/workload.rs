@@ -147,6 +147,9 @@ mod tests {
                 total_ns: 100,
                 min_ns: 10,
                 max_ns: 50,
+                p50_ns: 0,
+                p95_ns: 0,
+                p99_ns: 0,
             },
             TraceEvent::Kernel {
                 source: "worker1".into(),
@@ -156,6 +159,9 @@ mod tests {
                 total_ns: 90,
                 min_ns: 10,
                 max_ns: 50,
+                p50_ns: 0,
+                p95_ns: 0,
+                p99_ns: 0,
             },
             TraceEvent::Region {
                 source: "master".into(),

@@ -56,6 +56,21 @@ enum Job {
     Shutdown,
 }
 
+impl Job {
+    /// Span name a worker records while executing this job.
+    fn span_name(&self) -> &'static str {
+        match self {
+            Job::Eval(..) => "job.eval",
+            Job::Prepare(..) => "job.prepare",
+            Job::Derivatives(_) => "job.derivatives",
+            Job::SetAlpha(_) => "job.set_alpha",
+            Job::SetModel(_) => "job.set_model",
+            Job::TakeStats => "job.take_stats",
+            Job::Idle | Job::Shutdown => "job.control",
+        }
+    }
+}
+
 /// One worker's partial result, written into its private slot of the
 /// shared reply array between fork and join.
 enum Reply {
@@ -134,10 +149,17 @@ impl ForkJoinEvaluator {
                 .map(|_| CachePadded(UnsafeCell::new(Reply::None)))
                 .collect(),
         });
+        plf_core::span::set_thread_label("master");
+        plf_core::metrics::gauge("forkjoin.workers").set(num_workers as u64);
         let handles = split_ranges(aln.num_patterns(), num_workers)
             .into_iter()
             .enumerate()
             .map(|(idx, range)| {
+                // Expose the static pattern partition: the spread of
+                // these gauges is the load-imbalance bound the paper's
+                // Fig. 4 efficiency discussion starts from.
+                plf_core::metrics::gauge(&format!("forkjoin.worker.{idx}.sites"))
+                    .set(range.len() as u64);
                 let engine = LikelihoodEngine::with_range(tree, aln, config, range);
                 let shared = Arc::clone(&shared);
                 std::thread::spawn(move || worker_loop(&shared, idx, engine))
@@ -184,6 +206,7 @@ impl ForkJoinEvaluator {
     /// joinable, so `Drop` still shuts the workers down cleanly.
     fn region(&mut self, job: Job) -> Vec<Reply> {
         self.regions += 1;
+        regions_counter().inc();
         // SAFETY: every worker is blocked at the fork barrier (Shared
         // invariant 1), so the master has exclusive access to the job
         // slot.
@@ -191,9 +214,15 @@ impl ForkJoinEvaluator {
             *self.shared.job.get() = job;
         }
         let t0 = Instant::now();
-        self.shared.barrier.wait(&mut self.token); // fork
+        {
+            let _fork = plf_core::span::enter("fork.wait");
+            self.shared.barrier.wait(&mut self.token); // fork
+        }
         let t1 = Instant::now();
-        self.shared.barrier.wait(&mut self.token); // join
+        {
+            let _join = plf_core::span::enter("join.wait");
+            self.shared.barrier.wait(&mut self.token); // join
+        }
         let t2 = Instant::now();
         self.local
             .record_region(saturating_ns(t1 - t0), saturating_ns(t2 - t1));
@@ -245,6 +274,12 @@ fn saturating_ns(d: std::time::Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// Cached handle for the `forkjoin.regions` counter.
+fn regions_counter() -> &'static plf_core::metrics::Counter {
+    static C: std::sync::OnceLock<plf_core::metrics::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| plf_core::metrics::counter("forkjoin.regions"))
+}
+
 /// Best-effort extraction of a panic payload message.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -262,9 +297,13 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// caught and reported as [`Reply::Panicked`]; the worker stays in
 /// the loop so neither barrier ever deadlocks.
 fn worker_loop(shared: &Shared, idx: usize, mut engine: LikelihoodEngine) {
+    plf_core::span::set_thread_label(&format!("worker{idx}"));
     let mut token = BarrierToken::new();
     loop {
-        shared.barrier.wait(&mut token); // fork
+        {
+            let _idle = plf_core::span::enter("idle");
+            shared.barrier.wait(&mut token); // fork
+        }
         let reply = {
             // SAFETY: between fork and join the master never touches
             // the job slot; workers only read it (Shared invariant 2).
@@ -272,6 +311,7 @@ fn worker_loop(shared: &Shared, idx: usize, mut engine: LikelihoodEngine) {
             if matches!(job, Job::Shutdown) {
                 return; // exit before the join barrier; master skips it too
             }
+            let _job_span = plf_core::span::enter(job.span_name());
             catch_unwind(AssertUnwindSafe(|| match job {
                 Job::Eval(tree, edge) => Reply::Scalar(engine.log_likelihood(tree, *edge)),
                 Job::Prepare(tree, edge) => {

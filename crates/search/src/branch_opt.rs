@@ -22,6 +22,7 @@ pub fn smooth_branches<E: Evaluator + ?Sized>(
     epsilon: f64,
     max_passes: usize,
 ) -> SmoothResult {
+    let _span = plf_core::span::enter("smooth_branches");
     assert!(epsilon > 0.0 && max_passes > 0);
     let mut current = evaluator.log_likelihood(tree, 0);
     let mut passes = 0;

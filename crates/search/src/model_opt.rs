@@ -71,6 +71,8 @@ pub fn optimize_model<E: Evaluator + ?Sized>(
     tree: &Tree,
     tol: f64,
 ) -> ModelOptResult {
+    let _span = plf_core::span::enter("model_opt");
+    plf_core::metrics::counter("model.opt.sweeps").inc();
     let alpha = optimize_alpha(evaluator, tree, tol);
     optimize_rates(evaluator, tree, tol);
     ModelOptResult {

@@ -36,6 +36,7 @@ pub fn optimize_branch<E: Evaluator + ?Sized>(
     tree: &mut Tree,
     edge: EdgeId,
 ) -> NewtonResult {
+    let _span = plf_core::span::enter("branch_opt");
     evaluator.prepare_branch(tree, edge);
     let mut t = tree.length(edge);
     let mut converged = false;
@@ -43,6 +44,7 @@ pub fn optimize_branch<E: Evaluator + ?Sized>(
 
     for _ in 0..MAX_ITER {
         iterations += 1;
+        let _iter_span = plf_core::span::enter("newton_iter");
         let (d1, d2) = evaluator.branch_derivatives(t);
         if !d1.is_finite() || !d2.is_finite() {
             break;
@@ -79,12 +81,20 @@ pub fn optimize_branch<E: Evaluator + ?Sized>(
         t = next;
     }
 
+    newton_iterations_counter().add(iterations as u64);
     tree.set_length(edge, t).expect("clamped length is valid");
     NewtonResult {
         length: tree.length(edge),
         iterations,
         converged,
     }
+}
+
+/// Cached handle for the `newton.iterations` counter — `optimize_branch`
+/// runs once per edge per smoothing pass, so skip the registry lookup.
+fn newton_iterations_counter() -> &'static plf_core::metrics::Counter {
+    static C: std::sync::OnceLock<plf_core::metrics::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| plf_core::metrics::counter("newton.iterations"))
 }
 
 #[cfg(test)]

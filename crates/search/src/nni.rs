@@ -40,6 +40,7 @@ pub fn nni_round<E: Evaluator + ?Sized>(
     tree: &mut Tree,
     epsilon: f64,
 ) -> NniRoundResult {
+    let _span = plf_core::span::enter("nni_round");
     let mut current = evaluator.log_likelihood(tree, 0);
     let mut accepted = 0;
     let mut evaluated = 0;
@@ -71,6 +72,8 @@ pub fn nni_round<E: Evaluator + ?Sized>(
         }
     }
 
+    plf_core::metrics::counter("nni.moves.evaluated").add(evaluated as u64);
+    plf_core::metrics::counter("nni.moves.accepted").add(accepted as u64);
     NniRoundResult {
         log_likelihood: current,
         accepted,

@@ -107,6 +107,7 @@ impl MlSearch {
         resume: Option<crate::checkpoint::Checkpoint>,
         mut on_progress: impl FnMut(&crate::checkpoint::Checkpoint),
     ) -> SearchResult {
+        let _search_span = plf_core::span::enter("search");
         let cfg = &self.config;
         let (mut current, start_round, mut spr_evaluated, mut spr_accepted) = match &resume {
             Some(cp) => (
@@ -131,6 +132,8 @@ impl MlSearch {
         let mut rounds = start_round;
         for _ in start_round..cfg.max_rounds {
             rounds += 1;
+            let _round_span = plf_core::span::enter("round");
+            plf_core::metrics::counter("search.rounds").inc();
             let r = spr_round(evaluator, tree, cfg.spr_radius, cfg.epsilon);
             spr_evaluated += r.evaluated;
             spr_accepted += r.accepted;

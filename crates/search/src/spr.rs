@@ -52,6 +52,7 @@ pub fn spr_round<E: Evaluator + ?Sized>(
     radius: usize,
     epsilon: f64,
 ) -> SprRoundResult {
+    let _span = plf_core::span::enter("spr_round");
     let mut current = evaluator.log_likelihood(tree, 0);
     let mut accepted = 0;
     let mut evaluated = 0;
@@ -121,6 +122,9 @@ pub fn spr_round<E: Evaluator + ?Sized>(
         }
     }
 
+    plf_core::metrics::counter("spr.moves.evaluated").add(evaluated as u64);
+    plf_core::metrics::counter("spr.moves.accepted").add(accepted as u64);
+    plf_core::metrics::counter("spr.moves.rejected").add((evaluated - accepted) as u64);
     SprRoundResult {
         log_likelihood: current,
         accepted,

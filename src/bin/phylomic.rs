@@ -15,8 +15,11 @@
 use phylomic::bio::{fasta, phylip, Alignment, CompressedAlignment};
 use phylomic::models::{DiscreteGamma, Gtr, GtrParams};
 use phylomic::parallel::{run_replicated, ForkJoinEvaluator};
-use phylomic::plf::trace::{events_from_stats, write_jsonl, TraceEvent};
-use phylomic::plf::{EngineConfig, KernelKind, LikelihoodEngine};
+use phylomic::plf::trace::{
+    events_from_metrics, events_from_spans, events_from_stats, write_jsonl, TraceEvent,
+    TRACE_VERSION,
+};
+use phylomic::plf::{metrics, span, EngineConfig, KernelKind, LikelihoodEngine};
 use phylomic::search::{MlSearch, SearchConfig};
 use phylomic::tree::build::{default_names, random_tree};
 use phylomic::tree::{newick, Tree};
@@ -43,6 +46,7 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&opts),
         "search" => cmd_search(&opts),
         "bootstrap" => cmd_bootstrap(&opts),
+        "trace-report" => cmd_trace_report(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -63,26 +67,76 @@ const USAGE: &str = "phylomic — phylogenetic likelihood toolkit (PLF-on-MIC re
 USAGE:
   phylomic simulate --taxa N --sites M --out FILE [--alpha A] [--seed S]
   phylomic evaluate --alignment FILE --tree FILE [--alpha A] [--kernel scalar|vector]
-                    [--trace-out FILE]
+                    [--trace-out FILE] [--chrome-out FILE]
   phylomic search   --alignment FILE [--tree FILE | --start random|parsimony]
                     [--scheme serial|forkjoin|replicated] [--threads N] [--rounds R]
                     [--alpha A] [--kernel K] [--checkpoint FILE] [--out FILE]
-                    [--seed S] [--no-model-opt] [--trace-out FILE]
+                    [--seed S] [--no-model-opt] [--trace-out FILE] [--chrome-out FILE]
   phylomic bootstrap --alignment FILE [--replicates N] [--rounds R] [--seed S]
                     [--out FILE]
+  phylomic trace-report --trace FILE
 
 Alignments: PHYLIP when the path ends in .phy, FASTA otherwise.
---trace-out dumps per-kernel wall-clock timings (and fork-join region
-latencies) as JSONL, in the format micsim's measured-cost calibration
-(`MeasuredHostCosts::from_jsonl`) consumes.";
+--trace-out dumps kernel timings, fork-join region latencies, spans and
+metrics as JSONL, in the format micsim's measured-cost calibration
+(`MeasuredHostCosts::from_jsonl`) and `trace-report` consume.
+--chrome-out (evaluate/search) writes the span timeline as Chrome
+trace-event JSON, loadable in Perfetto / chrome://tracing, one track
+per worker thread.
+trace-report prints per-kernel time shares, fork/join overhead, worker
+load imbalance and the calibration cost table from a --trace-out file.";
 
-/// Writes trace events as JSONL to `path`.
+/// Writes `content` to `path` atomically (same-directory temp file +
+/// rename), so a crash mid-write never leaves a truncated trace.
+fn write_atomic(path: &str, content: &str) -> Result<(), String> {
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    std::fs::write(&tmp, content).map_err(|e| format!("{tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("{path}: {e}")
+    })
+}
+
+/// Writes trace events as JSONL to `path` (atomically).
 fn write_trace(path: &str, events: &[TraceEvent]) -> Result<(), String> {
-    std::fs::write(path, write_jsonl(events)).map_err(|e| format!("{path}: {e}"))?;
+    write_atomic(path, &write_jsonl(events))?;
     println!(
         "kernel timing trace written to {path} ({} events)",
         events.len()
     );
+    Ok(())
+}
+
+/// Wraps per-source kernel/region events into a full v2 trace
+/// document: schema marker first, then the kernel aggregates, then
+/// every closed span from every thread track, then a process-wide
+/// metrics snapshot.
+fn full_trace(kernel_events: Vec<TraceEvent>) -> Vec<TraceEvent> {
+    let mut out = vec![TraceEvent::Meta {
+        version: TRACE_VERSION,
+    }];
+    out.extend(kernel_events);
+    out.extend(events_from_spans(&span::snapshot_all()));
+    out.extend(events_from_metrics("process", &metrics::snapshot()));
+    out
+}
+
+/// Writes the span timeline as Chrome trace-event JSON (atomically).
+fn write_chrome(path: &str) -> Result<(), String> {
+    let tracks = span::snapshot_all();
+    write_atomic(path, &span::chrome_trace_json(&tracks))?;
+    println!(
+        "chrome trace written to {path} ({} tracks); open in Perfetto or chrome://tracing",
+        tracks.len()
+    );
+    Ok(())
+}
+
+fn cmd_trace_report(opts: &Opts) -> Result<(), String> {
+    let path = require(opts, "trace")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let report = phylomic::micsim::TraceReport::from_jsonl(&text).map_err(|e| e.to_string())?;
+    print!("{}", report.render());
     Ok(())
 }
 
@@ -182,6 +236,7 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_evaluate(opts: &Opts) -> Result<(), String> {
+    span::set_thread_label("serial");
     let aln = load_alignment(require(opts, "alignment")?)?;
     let tree = load_tree(require(opts, "tree")?)?;
     let alpha: f64 = get(opts, "alpha", 1.0)?;
@@ -201,12 +256,19 @@ fn cmd_evaluate(opts: &Opts) -> Result<(), String> {
         aln.num_sites()
     );
     if let Some(path) = opts.get("trace-out") {
-        write_trace(path, &events_from_stats("serial", engine.stats()))?;
+        write_trace(
+            path,
+            &full_trace(events_from_stats("serial", engine.stats())),
+        )?;
+    }
+    if let Some(path) = opts.get("chrome-out") {
+        write_chrome(path)?;
     }
     Ok(())
 }
 
 fn cmd_search(opts: &Opts) -> Result<(), String> {
+    span::set_thread_label("serial");
     let aln = load_alignment(require(opts, "alignment")?)?;
     let compressed = CompressedAlignment::from_alignment(&aln);
     let seed: u64 = get(opts, "seed", 1)?;
@@ -302,7 +364,10 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
         None => println!("{}", result.newick),
     }
     if let Some(path) = opts.get("trace-out") {
-        write_trace(path, &trace_events)?;
+        write_trace(path, &full_trace(trace_events))?;
+    }
+    if let Some(path) = opts.get("chrome-out") {
+        write_chrome(path)?;
     }
     Ok(())
 }

@@ -125,6 +125,118 @@ fn simulate_evaluate_search_roundtrip() {
 }
 
 #[test]
+fn traced_search_trace_report_and_chrome_export() {
+    let dir = tmpdir().join("trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let phy = dir.join("t.phy");
+    let out = bin()
+        .args([
+            "simulate",
+            "--taxa",
+            "7",
+            "--sites",
+            "300",
+            "--seed",
+            "11",
+            "--out",
+            phy.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Traced fork-join search writing JSONL + Chrome exports.
+    let trace = dir.join("run.jsonl");
+    let chrome = dir.join("run.chrome.json");
+    let out = bin()
+        .args([
+            "search",
+            "--alignment",
+            phy.to_str().unwrap(),
+            "--scheme",
+            "forkjoin",
+            "--threads",
+            "2",
+            "--rounds",
+            "1",
+            "--no-model-opt",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--chrome-out",
+            chrome.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Atomic write: no temp files left behind.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+
+    // The JSONL trace leads with the schema marker and parses.
+    let doc = std::fs::read_to_string(&trace).unwrap();
+    assert!(doc.starts_with(r#"{"type":"meta","#), "{}", &doc[..60]);
+    let events = phylomic::plf::trace::parse_jsonl(&doc).unwrap();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, phylomic::plf::trace::TraceEvent::Span { .. })));
+    assert!(events.iter().any(
+        |e| matches!(e, phylomic::plf::trace::TraceEvent::Metric { name, .. }
+            if name == "forkjoin.regions")
+    ));
+
+    // The Chrome export names one track per worker.
+    let chrome_doc = std::fs::read_to_string(&chrome).unwrap();
+    assert!(chrome_doc.starts_with(r#"{"traceEvents":["#));
+    for label in ["master", "worker0", "worker1"] {
+        assert!(
+            chrome_doc.contains(&format!(r#""name":"{label}""#)),
+            "{label}"
+        );
+    }
+
+    // trace-report digests the file.
+    let out = bin()
+        .args(["trace-report", "--trace", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "kernel time shares",
+        "fork/join regions",
+        "imbalance (slowest/mean)",
+        "calibration cost table",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+
+    // Garbage input fails cleanly.
+    let bad = dir.join("bad.jsonl");
+    std::fs::write(&bad, "not json\n").unwrap();
+    let out = bin()
+        .args(["trace-report", "--trace", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     // Unknown subcommand.
     let out = bin().arg("frobnicate").output().unwrap();
