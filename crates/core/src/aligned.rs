@@ -46,8 +46,14 @@ impl AlignedVec {
     }
 
     fn layout(len: usize) -> Layout {
-        Layout::from_size_align(len * std::mem::size_of::<f64>(), ALIGNMENT)
-            .expect("allocation size overflow")
+        // The multiply must be checked: in release builds a wrapping
+        // `len * 8` would silently produce a tiny layout and the
+        // subsequent writes would run off the allocation. Drop calls
+        // this again with the same len, so alloc/dealloc layouts agree.
+        let bytes = len
+            .checked_mul(std::mem::size_of::<f64>())
+            .expect("allocation size overflow");
+        Layout::from_size_align(bytes, ALIGNMENT).expect("allocation size overflow")
     }
 
     /// Number of doubles.
@@ -141,6 +147,29 @@ mod tests {
         assert!(v.is_empty());
         assert_eq!(&v[..], &[] as &[f64]);
         let _ = v.clone();
+    }
+
+    #[test]
+    fn zero_length_drop_does_not_dealloc_dangling() {
+        // A len-0 buffer holds NonNull::dangling() with no allocation;
+        // Drop must not pass that pointer to dealloc. Running many
+        // create/clone/drop cycles makes a bad free fail loudly under
+        // Miri and the allocator's debug assertions.
+        for _ in 0..64 {
+            let v = AlignedVec::zeroed(0);
+            let w = v.clone();
+            assert!(w.is_empty());
+            drop(v);
+            drop(w);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation size overflow")]
+    fn oversized_request_panics_before_allocating() {
+        // len * 8 overflows usize: the checked multiply must panic
+        // rather than wrap to a tiny allocation.
+        let _ = AlignedVec::zeroed(usize::MAX / 2);
     }
 
     #[test]

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![allow(clippy::needless_range_loop)] // index loops mirror the paper's kernel notation; reference constants keep full printed precision
 //! `plf-core` — the Phylogenetic Likelihood Function kernels.
 //!
@@ -46,6 +47,7 @@ pub mod nstate;
 pub mod recompute;
 pub mod scaling;
 pub mod span;
+pub(crate) mod sync;
 pub mod trace;
 
 pub use aligned::AlignedVec;

@@ -2,8 +2,8 @@
 //!
 //! Every thread that records a span owns a fixed-capacity [`SpanRing`]:
 //! a single-producer ring of begin/end events protected by per-slot
-//! sequence counters (a seqlock). The owning thread pushes with two
-//! relaxed-to-release atomic stores and **zero allocation**; any other
+//! sequence counters (a seqlock). The owning thread pushes with a
+//! handful of release-ordered stores and **zero allocation**; any other
 //! thread may take a consistent [`snapshot`](SpanRing::snapshot) at any
 //! time without stopping the writer. When the ring wraps, the *oldest*
 //! events are overwritten — a long run keeps the most recent window,
@@ -30,7 +30,7 @@
 //! Timestamps are nanoseconds since a process-wide epoch
 //! ([`epoch_ns`]), so events from different threads share one timeline.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -134,11 +134,21 @@ impl SpanRing {
         let slot = &self.slots[(i & self.mask) as usize];
         // Mark the slot as mid-write (odd), publish the words, then
         // stamp it with the even sequence that names event `i`.
+        //
+        // The word stores are Release (and the snapshot loads Acquire)
+        // rather than Relaxed: with relaxed words, a reader lapped
+        // mid-read can pair a later-lap word with an earlier-lap seq
+        // validation — under C11 nothing orders a relaxed word store
+        // against the *preceding* odd seq store, so the reader's
+        // re-check can still see the stale even value and accept a
+        // torn event. The interleave model test pins this down
+        // (tests/interleave_span.rs: the relaxed variant is caught,
+        // this one explores clean). On x86 both compile to plain MOVs.
         slot.seq.store(2 * i + 1, Ordering::Release);
-        slot.words[0].store(ev.name.as_ptr() as u64, Ordering::Relaxed);
-        slot.words[1].store(ev.name.len() as u64, Ordering::Relaxed);
-        slot.words[2].store(ev.t_ns, Ordering::Relaxed);
-        slot.words[3].store(matches!(ev.phase, SpanPhase::End) as u64, Ordering::Relaxed);
+        slot.words[0].store(ev.name.as_ptr() as u64, Ordering::Release);
+        slot.words[1].store(ev.name.len() as u64, Ordering::Release);
+        slot.words[2].store(ev.t_ns, Ordering::Release);
+        slot.words[3].store(matches!(ev.phase, SpanPhase::End) as u64, Ordering::Release);
         slot.seq.store(2 * i + 2, Ordering::Release);
         self.head.store(i + 1, Ordering::Release);
     }
@@ -156,10 +166,13 @@ impl SpanRing {
             if slot.seq.load(Ordering::Acquire) != 2 * i + 2 {
                 continue; // mid-write or already lapped
             }
-            let w0 = slot.words[0].load(Ordering::Relaxed);
-            let w1 = slot.words[1].load(Ordering::Relaxed);
-            let w2 = slot.words[2].load(Ordering::Relaxed);
-            let w3 = slot.words[3].load(Ordering::Relaxed);
+            // Acquire pairs with the Release word stores in `push`:
+            // reading any fresh word drags the writer's seq advance
+            // into view, so the re-check below rejects the tear.
+            let w0 = slot.words[0].load(Ordering::Acquire);
+            let w1 = slot.words[1].load(Ordering::Acquire);
+            let w2 = slot.words[2].load(Ordering::Acquire);
+            let w3 = slot.words[3].load(Ordering::Acquire);
             if slot.seq.load(Ordering::Acquire) != 2 * i + 2 {
                 continue; // lapped while reading
             }
@@ -183,6 +196,32 @@ impl SpanRing {
             });
         }
         out
+    }
+
+    /// Runs the seqlock reader protocol on the slot for event index
+    /// `i` and returns the raw words if validation succeeds.
+    ///
+    /// Model-test access point: the interleave tests assert
+    /// cross-word consistency on the raw values, because a *torn*
+    /// reconstruction through [`Self::snapshot`] would build an
+    /// invalid `&str` from mismatched pointer/length words — the
+    /// exact UB the seqlock exists to prevent.
+    #[cfg(feature = "interleave")]
+    pub fn probe_slot(&self, i: u64) -> Option<[u64; 4]> {
+        let slot = &self.slots[(i & self.mask) as usize];
+        if slot.seq.load(Ordering::Acquire) != 2 * i + 2 {
+            return None;
+        }
+        let words = [
+            slot.words[0].load(Ordering::Acquire),
+            slot.words[1].load(Ordering::Acquire),
+            slot.words[2].load(Ordering::Acquire),
+            slot.words[3].load(Ordering::Acquire),
+        ];
+        if slot.seq.load(Ordering::Acquire) != 2 * i + 2 {
+            return None;
+        }
+        Some(words)
     }
 }
 
@@ -314,8 +353,8 @@ impl Drop for SpanGuard {
 /// Opens a hierarchical span; the returned guard closes it on drop.
 ///
 /// Hot-path cost with tracing enabled: one thread-local access, one
-/// clock read, and four relaxed plus two release atomic stores into
-/// the calling thread's own ring. No locks, no allocation.
+/// clock read, and six release-ordered atomic stores into the calling
+/// thread's own ring. No locks, no allocation.
 #[inline]
 pub fn enter(name: &'static str) -> SpanGuard {
     #[cfg(feature = "span-trace")]

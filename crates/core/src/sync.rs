@@ -1,0 +1,14 @@
+//! Synchronization facade: `std` types in production, `interleave`
+//! shims under the `interleave` cargo feature.
+//!
+//! Only code whose concurrency protocol is model-checked goes through
+//! this module (currently the span-ring seqlock). Global statics keep
+//! using `std::sync::atomic` directly — the shimmed constructors are
+//! not `const`, and process-wide flags are not part of any checked
+//! protocol.
+
+#[cfg(feature = "interleave")]
+pub(crate) use interleave::sync::atomic;
+
+#[cfg(not(feature = "interleave"))]
+pub(crate) use std::sync::atomic;

@@ -1,0 +1,91 @@
+//! Model-checking the span-ring seqlock (`plf_core::span::SpanRing`).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo test -p plf-core --features interleave --test interleave_span
+//! ```
+//!
+//! The ring's slot protocol is a per-slot seqlock: odd `seq` while the
+//! writer is mid-update, even-and-index-encoding when stable, words
+//! stored with `Release` and loaded with `Acquire`. The first test
+//! explores every bounded interleaving of a reader racing a writer lap
+//! and proves no torn slot is ever accepted. The second keeps the
+//! *weak* variant (relaxed word stores/loads — what `push` used before
+//! this was model-checked) as a fixture and proves the checker catches
+//! its torn read, documenting why the `Release`/`Acquire` pair in
+//! `span.rs` is load-bearing.
+#![cfg(feature = "interleave")]
+
+use interleave::sync::atomic::Ordering;
+use interleave::{fixtures, Checker};
+use plf_core::span::{SpanEvent, SpanPhase, SpanRing};
+use std::sync::Arc;
+
+fn ev(name: &'static str, phase: SpanPhase, t_ns: u64) -> SpanEvent {
+    SpanEvent { name, phase, t_ns }
+}
+
+/// Reader races a writer lap on a capacity-2 ring. Slot 0 holds event
+/// 0 (`"a"`, len 1, t=0, Begin) until the writer overwrites it with
+/// event 2 (`"ccc"`, len 3, t=20, End). Whatever the schedule, a
+/// successful probe must return one event's words as a unit — any
+/// cross-event mix is a torn read that `snapshot` would have turned
+/// into an invalid `&str`.
+#[test]
+fn span_seqlock_rejects_torn_slots_exhaustively() {
+    let report = Checker::new().check(|| {
+        let ring = Arc::new(SpanRing::with_capacity(2));
+        // Filled before any concurrency: no interleaving to explore.
+        ring.push(ev("a", SpanPhase::Begin, 0));
+        ring.push(ev("bb", SpanPhase::Begin, 10));
+        let writer = {
+            let ring = Arc::clone(&ring);
+            interleave::thread::spawn(move || {
+                // Laps slot 0, overwriting event 0.
+                ring.push(ev("ccc", SpanPhase::End, 20));
+            })
+        };
+        if let Some(w) = ring.probe_slot(0) {
+            // Validated as event 0: every word must be event 0's.
+            assert_eq!(w[1], 1, "torn name length in slot 0");
+            assert_eq!(w[2], 0, "torn timestamp in slot 0");
+            assert_eq!(w[3], 0, "torn phase in slot 0");
+        }
+        if let Some(w) = ring.probe_slot(2) {
+            // Validated as event 2: every word must be event 2's.
+            assert_eq!(w[1], 3, "torn name length in slot 0 (lap)");
+            assert_eq!(w[2], 20, "torn timestamp in slot 0 (lap)");
+            assert_eq!(w[3], 1, "torn phase in slot 0 (lap)");
+        }
+        writer.join().unwrap();
+        assert_eq!(ring.recorded(), 3);
+    });
+    assert!(
+        !report.truncated,
+        "span seqlock model must be fully explored"
+    );
+    assert!(report.iterations > 1, "exploration should branch");
+}
+
+/// The pre-fix protocol (relaxed word stores and loads) admits a
+/// schedule where a lapped reader pairs a fresh word with a stale even
+/// seq validation. The checker must find it.
+#[test]
+fn relaxed_word_seqlock_variant_is_caught() {
+    let v = Checker::new()
+        .find_violation(|| fixtures::seqlock(Ordering::Relaxed, Ordering::Relaxed))
+        .expect("relaxed seqlock words must admit a torn read");
+    assert!(
+        v.message.contains("torn seqlock read"),
+        "unexpected violation: {v}"
+    );
+}
+
+/// With the production orderings the same fixture explores clean —
+/// the pairing `span.rs` relies on.
+#[test]
+fn release_acquire_seqlock_fixture_passes() {
+    let report = Checker::new().check(|| fixtures::seqlock(Ordering::Release, Ordering::Acquire));
+    assert!(!report.truncated);
+}

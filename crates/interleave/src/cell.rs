@@ -1,0 +1,87 @@
+//! Shimmed `UnsafeCell` with closure-scoped, causally-checked access.
+//!
+//! The loom-style API replaces raw pointer dereference with
+//! [`UnsafeCell::with`] / [`UnsafeCell::with_mut`]: each access is
+//! announced to the scheduler, which checks it for a causal data race
+//! against the cell's access history *before* the closure runs — a
+//! race is reported as a model failure, never executed as physical UB.
+//! The closure itself runs while the thread still holds the scheduling
+//! token, so two access closures can never physically overlap.
+//!
+//! Outside a model run the wrapper is a zero-tracking pass-through
+//! over `std::cell::UnsafeCell`.
+
+use crate::exec::{current, Exec};
+use std::sync::Arc;
+
+/// Dual-mode stand-in for `std::cell::UnsafeCell`.
+pub struct UnsafeCell<T> {
+    inner: std::cell::UnsafeCell<T>,
+    /// Present iff the cell was created inside a model run.
+    model: Option<(Arc<Exec>, usize)>,
+}
+
+impl<T> UnsafeCell<T> {
+    /// Creates the cell, registering it with the active model run if
+    /// one exists on this thread.
+    pub fn new(value: T) -> Self {
+        let model = current::get().map(|(exec, tid)| {
+            let id = exec.new_cell(tid);
+            (exec, id)
+        });
+        Self {
+            inner: std::cell::UnsafeCell::new(value),
+            model,
+        }
+    }
+
+    /// Runs `f` with a shared raw pointer to the contents. In a model
+    /// run the access is race-checked and serialized.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        match &self.model {
+            None => f(self.inner.get() as *const T),
+            Some((exec, id)) => {
+                let (_, tid) =
+                    current::get().expect("interleave UnsafeCell used outside its model run");
+                exec.cell_access_start(tid, *id, false);
+                let out = f(self.inner.get() as *const T);
+                exec.cell_access_end(tid);
+                out
+            }
+        }
+    }
+
+    /// Runs `f` with an exclusive raw pointer to the contents. In a
+    /// model run the access is race-checked and serialized.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        match &self.model {
+            None => f(self.inner.get()),
+            Some((exec, id)) => {
+                let (_, tid) =
+                    current::get().expect("interleave UnsafeCell used outside its model run");
+                exec.cell_access_start(tid, *id, true);
+                let out = f(self.inner.get());
+                exec.cell_access_end(tid);
+                out
+            }
+        }
+    }
+
+    /// Consumes the cell, returning the contents (no tracking needed:
+    /// ownership proves exclusivity).
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+
+    /// Unique-borrow access (no tracking needed: `&mut self` proves
+    /// exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for UnsafeCell<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}

@@ -1,0 +1,14 @@
+//! Shimmed `std::hint` — the spin announcement the liveness checker
+//! keys on.
+
+use crate::exec::current;
+
+/// Inside a model run this deschedules the thread until some store
+/// lands (or the lost-wakeup detector fires); outside it is the plain
+/// CPU pause hint.
+pub fn spin_loop() {
+    match current::get() {
+        Some((exec, tid)) => exec.spin(tid),
+        None => std::hint::spin_loop(),
+    }
+}

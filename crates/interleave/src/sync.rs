@@ -1,0 +1,256 @@
+//! Shimmed atomics, mirroring `std::sync::atomic`.
+//!
+//! Every atomic is *dual-mode*: constructed inside a model run it
+//! registers a tracked location with the executing [`Exec`] and every
+//! operation becomes a scheduling + memory-model event; constructed
+//! outside a model it delegates straight to the real `std` atomic, so
+//! a `--features interleave` build behaves identically to a normal
+//! build everywhere except inside `interleave::model` closures.
+
+pub mod atomic {
+    use crate::exec::{current, Exec};
+    pub use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    /// Backing representation shared by all shimmed atomic types: the
+    /// value is widened to `u64`.
+    enum Core {
+        Real(std::sync::atomic::AtomicU64),
+        Model { exec: Arc<Exec>, loc: usize },
+    }
+
+    impl Core {
+        fn new(init: u64) -> Self {
+            match current::get() {
+                Some((exec, tid)) => {
+                    let loc = exec.new_location(tid, init);
+                    Core::Model { exec, loc }
+                }
+                None => Core::Real(std::sync::atomic::AtomicU64::new(init)),
+            }
+        }
+
+        fn model_tid(&self) -> usize {
+            current::get()
+                .expect("interleave atomic created in a model but used outside one")
+                .1
+        }
+
+        fn load(&self, ord: Ordering) -> u64 {
+            match self {
+                Core::Real(a) => a.load(ord),
+                Core::Model { exec, loc } => exec.atomic_load(self.model_tid(), *loc, ord),
+            }
+        }
+
+        fn store(&self, val: u64, ord: Ordering) {
+            match self {
+                Core::Real(a) => a.store(val, ord),
+                Core::Model { exec, loc } => exec.atomic_store(self.model_tid(), *loc, val, ord),
+            }
+        }
+
+        fn swap(&self, val: u64, ord: Ordering) -> u64 {
+            match self {
+                Core::Real(a) => a.swap(val, ord),
+                Core::Model { exec, loc } => exec.atomic_rmw(self.model_tid(), *loc, ord, |_| val),
+            }
+        }
+
+        fn compare_exchange(
+            &self,
+            current_val: u64,
+            new: u64,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<u64, u64> {
+            match self {
+                Core::Real(a) => a.compare_exchange(current_val, new, success, failure),
+                Core::Model { exec, loc } => {
+                    exec.atomic_cas(self.model_tid(), *loc, current_val, new, success, failure)
+                }
+            }
+        }
+    }
+
+    macro_rules! fetch_op {
+        ($name:ident, $prim:ty, $apply:expr, $real:ident) => {
+            #[doc = concat!("Shimmed `", stringify!($name), "`.")]
+            pub fn $name(&self, val: $prim, ord: Ordering) -> $prim {
+                match &self.core {
+                    Core::Real(a) => {
+                        // Operate on the widened u64; for the unsigned
+                        // primitives used here the truncated result is
+                        // identical to the native op.
+                        a.$real(val as u64, ord) as $prim
+                    }
+                    Core::Model { exec, loc } => {
+                        let tid = self.core.model_tid();
+                        let apply = $apply;
+                        exec.atomic_rmw(tid, *loc, ord, |old| apply(old as $prim, val) as u64)
+                            as $prim
+                    }
+                }
+            }
+        };
+    }
+
+    macro_rules! atomic_int {
+        ($name:ident, $prim:ty, $doc:literal) => {
+            #[doc = $doc]
+            pub struct $name {
+                core: Core,
+            }
+
+            impl $name {
+                /// Creates the atomic, registering it with the active
+                /// model run if one exists on this thread.
+                pub fn new(v: $prim) -> Self {
+                    Self {
+                        core: Core::new(v as u64),
+                    }
+                }
+
+                /// Shimmed `load`.
+                pub fn load(&self, ord: Ordering) -> $prim {
+                    self.core.load(ord) as $prim
+                }
+
+                /// Shimmed `store`.
+                pub fn store(&self, v: $prim, ord: Ordering) {
+                    self.core.store(v as u64, ord)
+                }
+
+                /// Shimmed `swap`.
+                pub fn swap(&self, v: $prim, ord: Ordering) -> $prim {
+                    self.core.swap(v as u64, ord) as $prim
+                }
+
+                /// Shimmed `compare_exchange`.
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    self.core
+                        .compare_exchange(current as u64, new as u64, success, failure)
+                        .map(|v| v as $prim)
+                        .map_err(|v| v as $prim)
+                }
+
+                /// Shimmed `compare_exchange_weak` (never spuriously
+                /// fails in the model — a sound strengthening).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                fetch_op!(
+                    fetch_add,
+                    $prim,
+                    |a: $prim, b: $prim| a.wrapping_add(b),
+                    fetch_add
+                );
+                fetch_op!(
+                    fetch_sub,
+                    $prim,
+                    |a: $prim, b: $prim| a.wrapping_sub(b),
+                    fetch_sub
+                );
+                fetch_op!(fetch_or, $prim, |a: $prim, b: $prim| a | b, fetch_or);
+                fetch_op!(fetch_and, $prim, |a: $prim, b: $prim| a & b, fetch_and);
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(0)
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    write!(f, concat!(stringify!($name), "(..)"))
+                }
+            }
+        };
+    }
+
+    atomic_int!(
+        AtomicU64,
+        u64,
+        "Dual-mode stand-in for `std::sync::atomic::AtomicU64`."
+    );
+    atomic_int!(
+        AtomicUsize,
+        usize,
+        "Dual-mode stand-in for `std::sync::atomic::AtomicUsize`."
+    );
+    atomic_int!(
+        AtomicU32,
+        u32,
+        "Dual-mode stand-in for `std::sync::atomic::AtomicU32`."
+    );
+
+    /// Dual-mode stand-in for `std::sync::atomic::AtomicBool`.
+    pub struct AtomicBool {
+        core: Core,
+    }
+
+    impl AtomicBool {
+        /// Creates the atomic, registering it with the active model
+        /// run if one exists on this thread.
+        pub fn new(v: bool) -> Self {
+            Self {
+                core: Core::new(v as u64),
+            }
+        }
+
+        /// Shimmed `load`.
+        pub fn load(&self, ord: Ordering) -> bool {
+            self.core.load(ord) != 0
+        }
+
+        /// Shimmed `store`.
+        pub fn store(&self, v: bool, ord: Ordering) {
+            self.core.store(v as u64, ord)
+        }
+
+        /// Shimmed `swap`.
+        pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+            self.core.swap(v as u64, ord) != 0
+        }
+
+        /// Shimmed `compare_exchange`.
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            self.core
+                .compare_exchange(current as u64, new as u64, success, failure)
+                .map(|v| v != 0)
+                .map_err(|v| v != 0)
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "AtomicBool(..)")
+        }
+    }
+}

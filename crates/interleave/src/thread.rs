@@ -1,0 +1,105 @@
+//! Shimmed `std::thread`: spawn/join that the scheduler controls.
+//!
+//! Model threads are real OS threads; the shim registers them with the
+//! executing [`Exec`] so every shimmed operation they perform becomes
+//! a scheduling point. A thread that panics with a real payload (e.g.
+//! a failed assertion in a model closure) records the panic as the
+//! run's failure; the [`SilentUnwind`] sentinel used to tear down
+//! threads after a failure is swallowed.
+
+use crate::exec::{current, Exec, SilentUnwind};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Extracts a human-readable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Dual-mode stand-in for `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<Option<T>>,
+    model: Option<(Arc<Exec>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Shimmed `join`. In a model run this is a blocking scheduler
+    /// operation establishing the child-to-parent happens-before edge.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.model {
+            None => self
+                .inner
+                .join()
+                .map(|v| v.expect("non-model thread always returns a value")),
+            Some((exec, child)) => {
+                let (_, me) =
+                    current::get().expect("joining a model thread from outside the model");
+                exec.join_thread(me, child);
+                match self.inner.join() {
+                    Ok(Some(v)) => Ok(v),
+                    // The child unwound after a recorded failure; keep
+                    // tearing this thread down the same way.
+                    Ok(None) => std::panic::panic_any(SilentUnwind),
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+}
+
+/// Dual-mode stand-in for `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current::get() {
+        None => JoinHandle {
+            inner: std::thread::spawn(move || Some(f())),
+            model: None,
+        },
+        Some((exec, me)) => {
+            let child = exec.spawn_thread(me);
+            let exec2 = Arc::clone(&exec);
+            let inner = std::thread::spawn(move || {
+                let _restore = current::set(Arc::clone(&exec2), child);
+                match catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(v) => {
+                        exec2.finish_thread(child, None);
+                        Some(v)
+                    }
+                    Err(payload) => {
+                        if payload.is::<SilentUnwind>() {
+                            exec2.finish_thread(child, None);
+                        } else {
+                            let msg = panic_message(payload.as_ref());
+                            exec2.finish_thread(
+                                child,
+                                Some(format!("thread t{child} panicked: {msg}")),
+                            );
+                        }
+                        None
+                    }
+                }
+            });
+            JoinHandle {
+                inner,
+                model: Some((exec, child)),
+            }
+        }
+    }
+}
+
+/// Shimmed `yield_now`: a pure scheduling point in a model run.
+pub fn yield_now() {
+    match current::get() {
+        Some((exec, tid)) => exec.yield_now(tid),
+        None => std::thread::yield_now(),
+    }
+}

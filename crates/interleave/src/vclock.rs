@@ -1,0 +1,77 @@
+//! Vector clocks: the happens-before backbone of the checker.
+//!
+//! Every model thread owns a clock; every shimmed operation ticks the
+//! executing thread's own component. Release stores snapshot the
+//! writer's clock as a *message clock*; acquire loads that read such a
+//! store join it into the reader's clock. Two events are
+//! happens-before ordered iff the earlier event's clock component (at
+//! its own thread index) is contained in the later event's clock.
+
+/// A grow-on-demand vector clock over model-thread ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    /// Advances this thread's own component by one.
+    pub(crate) fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Pointwise maximum (acquiring a message clock).
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, &b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// Component for `tid` (0 if never ticked).
+    pub(crate) fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Whether an event stamped `self` by thread `tid` happens-before
+    /// (or equals) the point described by `other`.
+    pub(crate) fn ordered_before(&self, tid: usize, other: &VClock) -> bool {
+        self.get(tid) <= other.get(tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_get() {
+        let mut a = VClock::default();
+        a.tick(0);
+        a.tick(0);
+        a.tick(2);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 0);
+        assert_eq!(a.get(2), 1);
+        let mut b = VClock::default();
+        b.tick(1);
+        b.join(&a);
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(1), 1);
+        assert_eq!(b.get(2), 1);
+    }
+
+    #[test]
+    fn ordering_check() {
+        let mut w = VClock::default();
+        w.tick(0); // event E by thread 0 at clock {0:1}
+        let stamp = w.clone();
+        let mut r = VClock::default();
+        r.tick(1);
+        assert!(!stamp.ordered_before(0, &r), "no sync yet");
+        r.join(&stamp);
+        assert!(stamp.ordered_before(0, &r), "after join");
+    }
+}

@@ -1,0 +1,108 @@
+//! The checker checking itself: every fixture's weak variant must be
+//! caught, every strengthened variant must pass exhaustively, and the
+//! dual-mode shims must behave like `std` outside a model.
+
+use interleave::fixtures;
+use interleave::sync::atomic::{AtomicU64, Ordering};
+use interleave::Checker;
+
+#[test]
+fn publication_relaxed_is_caught() {
+    let v = Checker::new()
+        .find_violation(|| fixtures::publication(Ordering::Relaxed))
+        .expect("relaxed flag store must allow a stale data read");
+    assert!(
+        v.message.contains("data not published"),
+        "unexpected failure: {v}"
+    );
+    assert!(!v.schedule.is_empty(), "violation should carry a schedule");
+}
+
+#[test]
+fn publication_release_passes_exhaustively() {
+    let report = Checker::new().check(|| fixtures::publication(Ordering::Release));
+    assert!(!report.truncated, "tiny model must be fully explored");
+    assert!(
+        report.iterations > 1,
+        "exploration should branch, got {} iteration(s)",
+        report.iterations
+    );
+}
+
+#[test]
+fn seqlock_relaxed_words_torn_read_is_caught() {
+    let v = Checker::new()
+        .find_violation(|| fixtures::seqlock(Ordering::Relaxed, Ordering::Relaxed))
+        .expect("relaxed word accesses must allow a torn read");
+    assert!(v.message.contains("torn seqlock read"), "unexpected: {v}");
+}
+
+#[test]
+fn seqlock_release_acquire_words_pass_exhaustively() {
+    let report = Checker::new().check(|| fixtures::seqlock(Ordering::Release, Ordering::Acquire));
+    assert!(!report.truncated, "seqlock model must be fully explored");
+}
+
+#[test]
+fn lost_wakeup_is_detected() {
+    let v = Checker::new()
+        .find_violation(fixtures::lost_wakeup)
+        .expect("spin on a never-set flag must be reported");
+    assert!(v.message.contains("lost wakeup"), "unexpected: {v}");
+}
+
+#[test]
+fn unsafecell_race_is_caught_causally() {
+    let v = Checker::new()
+        .find_violation(|| fixtures::cell_race(false))
+        .expect("unsynchronized cell writes must race");
+    assert!(
+        v.message.contains("data race on UnsafeCell"),
+        "unexpected: {v}"
+    );
+}
+
+#[test]
+fn unsafecell_handoff_passes_exhaustively() {
+    let report = Checker::new().check(|| fixtures::cell_race(true));
+    assert!(!report.truncated);
+}
+
+#[test]
+fn rmw_atomicity_no_lost_update() {
+    let report = Checker::new().check(fixtures::rmw_no_lost_update);
+    assert!(!report.truncated);
+}
+
+#[test]
+fn max_iterations_reports_truncation() {
+    let report = Checker::new()
+        .max_iterations(1)
+        .check(|| fixtures::publication(Ordering::SeqCst));
+    assert_eq!(report.iterations, 1);
+    assert!(report.truncated, "bound of 1 cannot cover the model");
+}
+
+#[test]
+fn shims_pass_through_outside_a_model() {
+    // No model run on this thread: the shimmed atomic must behave
+    // exactly like std's, including from a plainly-spawned thread.
+    let a = std::sync::Arc::new(AtomicU64::new(5));
+    let a2 = std::sync::Arc::clone(&a);
+    let t = interleave::thread::spawn(move || a2.fetch_add(10, Ordering::SeqCst));
+    assert_eq!(t.join().unwrap(), 5);
+    assert_eq!(a.load(Ordering::SeqCst), 15);
+    assert_eq!(a.swap(1, Ordering::SeqCst), 15);
+    assert_eq!(
+        a.compare_exchange(1, 2, Ordering::SeqCst, Ordering::SeqCst),
+        Ok(1)
+    );
+
+    let cell = interleave::cell::UnsafeCell::new(3u32);
+    // SAFETY: single-threaded access to a locally-owned cell.
+    cell.with_mut(|p| unsafe { *p += 1 });
+    // SAFETY: single-threaded access to a locally-owned cell.
+    assert_eq!(cell.with(|p| unsafe { *p }), 4);
+    interleave::hint::spin_loop();
+    interleave::thread::yield_now();
+}

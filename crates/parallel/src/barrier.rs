@@ -6,7 +6,23 @@
 //! barrier spins briefly before parking — the standard adaptive
 //! strategy for HPC worker pools.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::{hint, thread};
+
+/// Ordering of the final sense-flip store that releases the waiters.
+///
+/// `Release` is load-bearing: it is what makes every write performed
+/// before a thread's barrier arrival visible to every thread after the
+/// barrier (the waiters' `Acquire` loads pair with it). The
+/// `seed-ordering-bug` feature deliberately weakens it to `Relaxed` so
+/// the interleave model checker's detection of the resulting stale
+/// read can be demonstrated (tests/interleave_models.rs); it must
+/// never be enabled in production builds.
+const SENSE_FLIP: Ordering = if cfg!(feature = "seed-ordering-bug") {
+    Ordering::Relaxed
+} else {
+    Ordering::Release
+};
 
 /// A reusable barrier for a fixed set of `n` threads.
 ///
@@ -47,15 +63,15 @@ impl SenseBarrier {
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
             // Last arrival: reset the counter and release everyone.
             self.arrived.store(0, Ordering::Release);
-            self.sense.store(my_sense, Ordering::Release);
+            self.sense.store(my_sense, SENSE_FLIP);
         } else {
             let mut spins = 0u32;
             while self.sense.load(Ordering::Acquire) != my_sense {
                 spins += 1;
                 if spins < 10_000 {
-                    std::hint::spin_loop();
+                    hint::spin_loop();
                 } else {
-                    std::thread::yield_now();
+                    thread::yield_now();
                 }
             }
         }

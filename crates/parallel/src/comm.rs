@@ -13,7 +13,8 @@
 //! lockstep).
 
 use crate::barrier::{BarrierToken, SenseBarrier};
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::cell;
 use std::sync::Arc;
 
 /// Communication statistics, the input to `micsim`'s interconnect
@@ -87,10 +88,12 @@ struct Shared {
 
 /// A cache-line padded, interior-mutable deposit slot.
 #[repr(align(64))]
-struct SlotCell(std::cell::UnsafeCell<Vec<f64>>);
+struct SlotCell(cell::UnsafeCell<Vec<f64>>);
 
 // SAFETY: slot i is written only by rank i, and reads happen strictly
-// between the two barriers that bracket every write window.
+// between the two barriers that bracket every write window; every
+// access is closure-scoped through with/with_mut, which the interleave
+// model test verifies race-free under all bounded interleavings.
 unsafe impl Sync for SlotCell {}
 
 /// Factory for a group of `n` thread-backed communicator handles.
@@ -108,7 +111,7 @@ impl ThreadCommGroup {
         let shared = Arc::new(Shared {
             barrier: SenseBarrier::new(n),
             slots: (0..n)
-                .map(|_| SlotCell(std::cell::UnsafeCell::new(vec![0.0; max_len])))
+                .map(|_| SlotCell(cell::UnsafeCell::new(vec![0.0; max_len])))
                 .collect(),
             total_allreduces: AtomicU64::new(0),
         });
@@ -161,23 +164,26 @@ impl Comm for ThreadComm {
     fn allreduce_sum(&mut self, buf: &mut [f64]) {
         let len = buf.len();
         // Deposit into our slot.
-        {
+        self.shared.slots[self.rank].0.with_mut(|p| {
             // SAFETY: only rank `self.rank` writes slot `self.rank`,
             // and no rank reads it until after the barrier below.
-            let slot = unsafe { &mut *self.shared.slots[self.rank].0.get() };
+            let slot = unsafe { &mut *p };
             assert!(len <= slot.len(), "allreduce payload exceeds max_len");
             slot[..len].copy_from_slice(buf);
-        }
+        });
         self.shared.barrier.wait(&mut self.token);
         // Every rank sums the slots in rank order: deterministic and
         // identical everywhere.
         buf.fill(0.0);
         for r in 0..self.size {
-            // SAFETY: between the two barriers all slots are read-only.
-            let slot = unsafe { &*self.shared.slots[r].0.get() };
-            for (o, &v) in buf.iter_mut().zip(&slot[..len]) {
-                *o += v;
-            }
+            self.shared.slots[r].0.with(|p| {
+                // SAFETY: between the two barriers all slots are
+                // read-only.
+                let slot = unsafe { &*p };
+                for (o, &v) in buf.iter_mut().zip(&slot[..len]) {
+                    *o += v;
+                }
+            });
         }
         self.shared.barrier.wait(&mut self.token);
         self.stats.allreduces += 1;

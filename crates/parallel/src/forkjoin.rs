@@ -15,21 +15,23 @@
 //! There are no channels and no locks on the fast path: the barrier's
 //! acquire/release pairs are the only synchronization, and the job and
 //! reply slots are plain memory whose ownership alternates between
-//! master and workers in barrier-separated windows. The master also
+//! master and workers in barrier-separated windows — the
+//! [`RegionProtocol`] extracted into [`crate::slot`], where the
+//! interleave model tests exercise it directly. The master also
 //! times both barrier waits of every region, so the per-region
 //! fork/join latency distribution lands in [`KernelStats`] next to the
 //! kernel timings.
 
-use crate::barrier::{BarrierToken, SenseBarrier};
+use crate::barrier::BarrierToken;
+use crate::slot::RegionProtocol;
+use crate::sync::thread::{self, JoinHandle};
 use phylo_bio::CompressedAlignment;
 use phylo_models::GtrParams;
 use phylo_search::Evaluator;
 use phylo_tree::{EdgeId, Tree};
 use plf_core::{EngineConfig, KernelStats, LikelihoodEngine};
-use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Splits `n` items into `k` contiguous, balanced ranges. When
@@ -44,8 +46,10 @@ pub fn split_ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
 /// before the fork barrier; every worker reads it (by reference — the
 /// tree snapshot is shared through the `Arc`, not cloned per worker)
 /// between fork and join.
+#[derive(Default)]
 enum Job {
     /// Initial state before the first region.
+    #[default]
     Idle,
     Eval(Arc<Tree>, EdgeId),
     Prepare(Arc<Tree>, EdgeId),
@@ -73,8 +77,10 @@ impl Job {
 
 /// One worker's partial result, written into its private slot of the
 /// shared reply array between fork and join.
+#[derive(Default)]
 enum Reply {
     /// Slot not yet filled this region.
+    #[default]
     None,
     Scalar(f64),
     Pair(f64, f64),
@@ -86,40 +92,10 @@ enum Reply {
     Panicked(String),
 }
 
-/// Pads a reply slot to its own cache line so workers completing at
-/// the same time don't false-share.
-#[repr(align(128))]
-struct CachePadded<T>(UnsafeCell<T>);
-
-/// State shared between the master and all workers.
-///
-/// # Safety argument for `Sync`
-///
-/// `job` and `replies` hold `UnsafeCell`s, accessed without locks.
-/// Races are excluded by the barrier protocol, which alternates
-/// exclusive-access windows:
-///
-/// 1. Master writes `job` while every worker is blocked at the fork
-///    barrier (the steady-state invariant between regions).
-/// 2. Between fork and join, workers read `job` (shared, immutable)
-///    and worker `i` writes only `replies[i]` (exclusive by index).
-/// 3. After the join barrier, the master reads and clears `replies`;
-///    workers are already blocked at the next fork barrier.
-///
-/// The barrier's `AcqRel`/`Acquire`/`Release` orderings make every
-/// write before a barrier pass visible to every thread after it.
-struct Shared {
-    barrier: SenseBarrier,
-    job: UnsafeCell<Job>,
-    replies: Vec<CachePadded<Reply>>,
-}
-
-unsafe impl Sync for Shared {}
-
 /// Master handle of the fork-join scheme; implements
 /// [`phylo_search::Evaluator`] so the unmodified search drives it.
 pub struct ForkJoinEvaluator {
-    shared: Arc<Shared>,
+    shared: Arc<RegionProtocol<Job, Reply>>,
     handles: Vec<JoinHandle<()>>,
     token: BarrierToken,
     /// Master-side stats: fork/join latency of every parallel region.
@@ -142,13 +118,7 @@ impl ForkJoinEvaluator {
         num_workers: usize,
     ) -> Self {
         assert!(num_workers >= 1);
-        let shared = Arc::new(Shared {
-            barrier: SenseBarrier::new(num_workers + 1),
-            job: UnsafeCell::new(Job::Idle),
-            replies: (0..num_workers)
-                .map(|_| CachePadded(UnsafeCell::new(Reply::None)))
-                .collect(),
-        });
+        let shared = Arc::new(RegionProtocol::new(num_workers, Job::Idle));
         plf_core::span::set_thread_label("master");
         plf_core::metrics::gauge("forkjoin.workers").set(num_workers as u64);
         let handles = split_ranges(aln.num_patterns(), num_workers)
@@ -162,7 +132,7 @@ impl ForkJoinEvaluator {
                     .set(range.len() as u64);
                 let engine = LikelihoodEngine::with_range(tree, aln, config, range);
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared, idx, engine))
+                thread::spawn(move || worker_loop(&shared, idx, engine))
             })
             .collect();
         ForkJoinEvaluator {
@@ -207,34 +177,21 @@ impl ForkJoinEvaluator {
     fn region(&mut self, job: Job) -> Vec<Reply> {
         self.regions += 1;
         regions_counter().inc();
-        // SAFETY: every worker is blocked at the fork barrier (Shared
-        // invariant 1), so the master has exclusive access to the job
-        // slot.
-        unsafe {
-            *self.shared.job.get() = job;
-        }
+        self.shared.publish_job(job);
         let t0 = Instant::now();
         {
             let _fork = plf_core::span::enter("fork.wait");
-            self.shared.barrier.wait(&mut self.token); // fork
+            self.shared.fork(&mut self.token);
         }
         let t1 = Instant::now();
         {
             let _join = plf_core::span::enter("join.wait");
-            self.shared.barrier.wait(&mut self.token); // join
+            self.shared.join(&mut self.token);
         }
         let t2 = Instant::now();
         self.local
             .record_region(saturating_ns(t1 - t0), saturating_ns(t2 - t1));
-        // SAFETY: the join barrier completed, so every worker has
-        // written its reply and moved on to the next fork wait
-        // (Shared invariant 3); the master now owns the reply array.
-        let replies: Vec<Reply> = self
-            .shared
-            .replies
-            .iter()
-            .map(|slot| unsafe { std::mem::replace(&mut *slot.0.get(), Reply::None) })
-            .collect();
+        let replies = self.shared.drain_replies();
         if let Some(Reply::Panicked(msg)) = replies.iter().find(|r| matches!(r, Reply::Panicked(_)))
         {
             panic!("fork-join worker panicked: {msg}");
@@ -296,55 +253,55 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// partial result, wait at the join barrier. A panicking job is
 /// caught and reported as [`Reply::Panicked`]; the worker stays in
 /// the loop so neither barrier ever deadlocks.
-fn worker_loop(shared: &Shared, idx: usize, mut engine: LikelihoodEngine) {
+fn worker_loop(proto: &RegionProtocol<Job, Reply>, idx: usize, mut engine: LikelihoodEngine) {
     plf_core::span::set_thread_label(&format!("worker{idx}"));
     let mut token = BarrierToken::new();
     loop {
         {
             let _idle = plf_core::span::enter("idle");
-            shared.barrier.wait(&mut token); // fork
+            proto.fork(&mut token);
         }
-        let reply = {
-            // SAFETY: between fork and join the master never touches
-            // the job slot; workers only read it (Shared invariant 2).
-            let job: &Job = unsafe { &*shared.job.get() };
+        // `None` means Shutdown: exit before the join barrier (the
+        // master skips it too).
+        let reply = proto.read_job(|job| {
             if matches!(job, Job::Shutdown) {
-                return; // exit before the join barrier; master skips it too
+                return None;
             }
             let _job_span = plf_core::span::enter(job.span_name());
-            catch_unwind(AssertUnwindSafe(|| match job {
-                Job::Eval(tree, edge) => Reply::Scalar(engine.log_likelihood(tree, *edge)),
-                Job::Prepare(tree, edge) => {
-                    engine.prepare_branch(tree, *edge);
-                    Reply::Done
-                }
-                Job::Derivatives(t) => {
-                    let (d1, d2) = engine.branch_derivatives(*t);
-                    Reply::Pair(d1, d2)
-                }
-                Job::SetAlpha(a) => {
-                    engine.set_alpha(*a);
-                    Reply::Done
-                }
-                Job::SetModel(p) => {
-                    engine.set_model(*p);
-                    Reply::Done
-                }
-                Job::TakeStats => {
-                    let s = engine.stats().clone();
-                    engine.reset_stats();
-                    Reply::Stats(Box::new(s))
-                }
-                Job::Idle | Job::Shutdown => unreachable!("not dispatched as work"),
-            }))
-            .unwrap_or_else(|p| Reply::Panicked(panic_message(p)))
+            Some(
+                catch_unwind(AssertUnwindSafe(|| match job {
+                    Job::Eval(tree, edge) => Reply::Scalar(engine.log_likelihood(tree, *edge)),
+                    Job::Prepare(tree, edge) => {
+                        engine.prepare_branch(tree, *edge);
+                        Reply::Done
+                    }
+                    Job::Derivatives(t) => {
+                        let (d1, d2) = engine.branch_derivatives(*t);
+                        Reply::Pair(d1, d2)
+                    }
+                    Job::SetAlpha(a) => {
+                        engine.set_alpha(*a);
+                        Reply::Done
+                    }
+                    Job::SetModel(p) => {
+                        engine.set_model(*p);
+                        Reply::Done
+                    }
+                    Job::TakeStats => {
+                        let s = engine.stats().clone();
+                        engine.reset_stats();
+                        Reply::Stats(Box::new(s))
+                    }
+                    Job::Idle | Job::Shutdown => unreachable!("not dispatched as work"),
+                }))
+                .unwrap_or_else(|p| Reply::Panicked(panic_message(p))),
+            )
+        });
+        let Some(reply) = reply else {
+            return;
         };
-        // SAFETY: worker `idx` is the sole writer of its own slot
-        // between fork and join (Shared invariant 2).
-        unsafe {
-            *shared.replies[idx].0.get() = reply;
-        }
-        shared.barrier.wait(&mut token); // join
+        proto.write_reply(idx, reply);
+        proto.join(&mut token);
     }
 }
 
@@ -406,12 +363,8 @@ impl Drop for ForkJoinEvaluator {
         // the worker kept cycling). Publish Shutdown and release them;
         // they exit before the join barrier, so the master must not
         // wait at it either.
-        //
-        // SAFETY: same exclusive-access window as in `region`.
-        unsafe {
-            *self.shared.job.get() = Job::Shutdown;
-        }
-        self.shared.barrier.wait(&mut self.token);
+        self.shared.publish_job(Job::Shutdown);
+        self.shared.fork(&mut self.token);
         for h in self.handles.drain(..) {
             let _ = h.join();
         }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 //! Parallelization schemes for the PLF.
 //!
 //! The paper contrasts two schemes (§V-C/§V-D):
@@ -29,8 +30,11 @@ pub mod barrier;
 pub mod comm;
 pub mod forkjoin;
 pub mod replicated;
+pub mod slot;
+pub(crate) mod sync;
 
 pub use barrier::SenseBarrier;
 pub use comm::{Comm, CommStats, SelfComm, ThreadCommGroup};
 pub use forkjoin::ForkJoinEvaluator;
 pub use replicated::{run_replicated, ReplicatedEvaluator, ReplicatedOutcome};
+pub use slot::RegionProtocol;

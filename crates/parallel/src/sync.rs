@@ -1,0 +1,54 @@
+//! Synchronization facade: `std` types in production, `interleave`
+//! shims under the `interleave` cargo feature.
+//!
+//! Everything the barrier / fork-join / comm protocols use for
+//! cross-thread synchronization goes through this module, so one
+//! cargo feature swaps the entire lock-free layer onto the model
+//! checker's tracked types. In production the facade is zero-cost:
+//! the `atomic`/`hint`/`thread` modules are straight re-exports and
+//! the [`cell::UnsafeCell`] wrapper's closure calls inline away.
+
+#[cfg(feature = "interleave")]
+pub(crate) use interleave::{cell, hint, sync::atomic, thread};
+
+#[cfg(not(feature = "interleave"))]
+pub(crate) use std::sync::atomic;
+
+#[cfg(not(feature = "interleave"))]
+pub(crate) mod hint {
+    pub use std::hint::spin_loop;
+}
+
+#[cfg(not(feature = "interleave"))]
+pub(crate) mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+#[cfg(not(feature = "interleave"))]
+pub(crate) mod cell {
+    /// Closure-scoped `UnsafeCell`, API-compatible with
+    /// `interleave::cell::UnsafeCell`. The closures make every access
+    /// a visible, auditable region; in this (std) mode they compile
+    /// down to a plain pointer dereference.
+    #[derive(Default)]
+    pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+    impl<T> UnsafeCell<T> {
+        /// Wraps a value.
+        pub fn new(value: T) -> Self {
+            Self(std::cell::UnsafeCell::new(value))
+        }
+
+        /// Runs `f` with a shared raw pointer to the contents.
+        #[inline]
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.0.get() as *const T)
+        }
+
+        /// Runs `f` with an exclusive raw pointer to the contents.
+        #[inline]
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.0.get())
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Model-checking the production synchronization protocols.
+//!
+//! These tests compile the crate's barrier / region-protocol / comm
+//! code against the `interleave` shims (`--features interleave`) and
+//! explore every bounded interleaving and weak-memory outcome. They
+//! are the machine-checked version of the SAFETY comments in
+//! `slot.rs` and `comm.rs`.
+//!
+//! Run locally with:
+//!
+//! ```text
+//! cargo test -p phylo-parallel --no-default-features \
+//!     --features interleave --test interleave_models
+//! ```
+//!
+//! The `seed-ordering-bug` feature weakens the barrier's sense-flip
+//! store to `Relaxed`; the `seeded_*` test proves the checker catches
+//! the resulting stale read (CI runs both configurations).
+#![cfg(feature = "interleave")]
+
+use interleave::sync::atomic::{AtomicU64, Ordering};
+use interleave::Checker;
+use phylo_parallel::barrier::BarrierToken;
+use phylo_parallel::{RegionProtocol, SenseBarrier};
+use std::sync::Arc;
+
+/// The barrier phase-counter protocol: every participant increments a
+/// relaxed counter *before* its barrier arrival; after the barrier,
+/// every participant must observe all increments. This is exactly the
+/// visibility guarantee fork-join reply collection relies on.
+fn barrier_publishes_counter() {
+    const THREADS: u64 = 2;
+    let barrier = Arc::new(SenseBarrier::new(THREADS as usize));
+    let counter = Arc::new(AtomicU64::new(0));
+    let (b2, c2) = (Arc::clone(&barrier), Arc::clone(&counter));
+    let t = interleave::thread::spawn(move || {
+        let mut token = BarrierToken::new();
+        c2.fetch_add(1, Ordering::Relaxed);
+        b2.wait(&mut token);
+        assert_eq!(
+            c2.load(Ordering::Relaxed),
+            THREADS,
+            "stale read after barrier"
+        );
+    });
+    let mut token = BarrierToken::new();
+    counter.fetch_add(1, Ordering::Relaxed);
+    barrier.wait(&mut token);
+    assert_eq!(
+        counter.load(Ordering::Relaxed),
+        THREADS,
+        "stale read after barrier"
+    );
+    t.join().unwrap();
+}
+
+/// With the production `Release` sense flip, no schedule can read a
+/// stale counter after the barrier.
+#[cfg(not(feature = "seed-ordering-bug"))]
+#[test]
+fn barrier_phase_counter_passes_exhaustively() {
+    let report = Checker::new().check(barrier_publishes_counter);
+    assert!(!report.truncated, "barrier model must be fully explored");
+    assert!(report.iterations > 1, "exploration should branch");
+}
+
+/// With the seeded `Relaxed` sense flip, the checker must find the
+/// schedule where a waiter leaves the barrier without happens-before
+/// and reads the counter stale.
+#[cfg(feature = "seed-ordering-bug")]
+#[test]
+fn seeded_relaxed_sense_flip_is_caught() {
+    let v = Checker::new()
+        .find_violation(barrier_publishes_counter)
+        .expect("relaxed sense flip must allow a stale post-barrier read");
+    assert!(
+        v.message.contains("stale read after barrier"),
+        "unexpected violation: {v}"
+    );
+}
+
+/// Two sequential barrier phases: the sense reversal itself (reusing
+/// the barrier back-to-back with alternating sense) is explored.
+#[cfg(not(feature = "seed-ordering-bug"))]
+#[test]
+fn barrier_sense_reversal_two_phases() {
+    let report = Checker::new().check(|| {
+        let barrier = Arc::new(SenseBarrier::new(2));
+        let counter = Arc::new(AtomicU64::new(0));
+        let (b2, c2) = (Arc::clone(&barrier), Arc::clone(&counter));
+        let t = interleave::thread::spawn(move || {
+            let mut token = BarrierToken::new();
+            for phase in 1u64..=2 {
+                c2.fetch_add(1, Ordering::Relaxed);
+                b2.wait(&mut token);
+                assert_eq!(c2.load(Ordering::Relaxed), 2 * phase, "phase {phase}");
+                b2.wait(&mut token);
+            }
+        });
+        let mut token = BarrierToken::new();
+        for phase in 1u64..=2 {
+            counter.fetch_add(1, Ordering::Relaxed);
+            barrier.wait(&mut token);
+            assert_eq!(counter.load(Ordering::Relaxed), 2 * phase, "phase {phase}");
+            barrier.wait(&mut token);
+        }
+        t.join().unwrap();
+    });
+    assert!(!report.truncated);
+}
+
+/// The full fork-join region protocol — job broadcast, per-worker
+/// reply deposit, drain — on the production [`RegionProtocol`] with
+/// small payloads: one master, two workers, one work region, then a
+/// shutdown region. Any window violation (torn job read, reply race,
+/// stale drain) fails the model.
+#[cfg(not(feature = "seed-ordering-bug"))]
+#[test]
+fn region_protocol_broadcast_and_reply_collection() {
+    const SHUTDOWN: u64 = u64::MAX;
+    let report = Checker::new().check(|| {
+        const WORKERS: usize = 2;
+        let proto = Arc::new(RegionProtocol::<u64, u64>::new(WORKERS, 0));
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|idx| {
+                let proto = Arc::clone(&proto);
+                interleave::thread::spawn(move || {
+                    let mut token = BarrierToken::new();
+                    loop {
+                        proto.fork(&mut token);
+                        let job = proto.read_job(|j| *j);
+                        if job == SHUTDOWN {
+                            return;
+                        }
+                        proto.write_reply(idx, job * 10 + idx as u64);
+                        proto.join(&mut token);
+                    }
+                })
+            })
+            .collect();
+        let mut token = BarrierToken::new();
+        proto.publish_job(7);
+        proto.fork(&mut token);
+        proto.join(&mut token);
+        let replies = proto.drain_replies();
+        assert_eq!(replies, vec![70, 71], "lost or torn reply");
+        proto.publish_job(SHUTDOWN);
+        proto.fork(&mut token);
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    assert!(report.iterations > 1, "exploration should branch");
+}
+
+/// The comm slot exchange: two ranks allreduce one double each; both
+/// must compute the exact rank-ordered sum. Exercises SlotCell's
+/// with/with_mut windows under all bounded interleavings.
+#[cfg(not(feature = "seed-ordering-bug"))]
+#[test]
+fn comm_allreduce_slot_exchange() {
+    use phylo_parallel::{Comm, ThreadCommGroup};
+    let report = Checker::new().check(|| {
+        let mut group = ThreadCommGroup::new(2, 1);
+        let mut c0 = group.take();
+        let mut c1 = group.take();
+        let t = interleave::thread::spawn(move || {
+            let mut buf = [2.0];
+            c1.allreduce_sum(&mut buf);
+            assert_eq!(buf[0], 3.0, "rank 1 sum wrong");
+        });
+        let mut buf = [1.0];
+        c0.allreduce_sum(&mut buf);
+        assert_eq!(buf[0], 3.0, "rank 0 sum wrong");
+        t.join().unwrap();
+    });
+    assert!(report.iterations > 1, "exploration should branch");
+}

@@ -1,0 +1,8 @@
+//! Fixture crate root: contains unsafe code but is missing
+//! `#![deny(unsafe_op_in_unsafe_fn)]` — rule 4's failure case.
+
+pub fn read_first(p: *const u8) -> u8 {
+    // SAFETY: fixture only — the comment is present so this file
+    // trips nothing but the missing crate-root deny attribute.
+    unsafe { *p }
+}

@@ -1,0 +1,9 @@
+//! Workspace automation tasks (`cargo xtask <task>`).
+//!
+//! Currently one task: [`lint`](crate::lint), the source-level
+//! concurrency/unsafe invariant checker. See `crates/xtask/src/lint.rs`
+//! for the rule definitions and `relaxed_allowlist.txt` /
+//! `unsafe_impl_registry.txt` for the audit trails.
+
+pub mod lint;
+pub mod scan;

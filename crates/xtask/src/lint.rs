@@ -1,0 +1,281 @@
+//! Source-level concurrency/unsafe invariant lints.
+//!
+//! Four rules, all enforced over `crates/` and `shims/`:
+//!
+//! 1. **SAFETY comments** — every `unsafe` site (block, fn, impl) must
+//!    have a comment containing `SAFETY` on the same line or within
+//!    [`SAFETY_WINDOW`] lines above it.
+//! 2. **No relaxed publishing** — a mutating atomic op
+//!    (`store`/`swap`/`fetch_*`/`compare_exchange`) with
+//!    `Ordering::Relaxed` on the same line is flagged unless the site
+//!    is listed in `crates/xtask/relaxed_allowlist.txt`. Applies to
+//!    non-test code (`src/`, above the first `#[cfg(test)]`): tests
+//!    and model fixtures legitimately use relaxed ops.
+//! 3. **Audited `unsafe impl Send/Sync`** — every such impl must be
+//!    registered in `crates/xtask/unsafe_impl_registry.txt`; adding a
+//!    line there is the audit trail.
+//! 4. **`#![deny(unsafe_op_in_unsafe_fn)]`** — required in the crate
+//!    root of every crate whose `src/` contains unsafe code.
+//!
+//! The rules are line-oriented heuristics by design (no rustc, no syn
+//! — the environment is offline): precise enough for this codebase's
+//! formatting, and the allowlists make intent reviewable in-diff.
+
+use crate::scan::{has_token, scan, ScannedLine};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// How many lines above an `unsafe` site a `SAFETY` comment may sit.
+pub const SAFETY_WINDOW: usize = 10;
+
+const MUTATING_OPS: &[&str] = &[
+    ".store(",
+    ".swap(",
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_or(",
+    ".fetch_and(",
+    ".fetch_xor(",
+    ".fetch_min(",
+    ".fetch_max(",
+    ".compare_exchange",
+];
+
+/// One lint violation, pointing at a source line.
+#[derive(Debug)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What rule was violated and how to fix it.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.path, self.line, self.message)
+    }
+}
+
+/// Allowlist / registry entries: a path substring plus a required
+/// line substring (rule 2) or type name (rule 3).
+pub struct Rules {
+    /// Audited relaxed mutating-op sites.
+    pub relaxed_allowlist: Vec<(String, String)>,
+    /// Audited `unsafe impl Send/Sync` types.
+    pub unsafe_impl_registry: Vec<(String, String)>,
+}
+
+fn parse_list(text: &str) -> Vec<(String, String)> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let mut it = l.split_whitespace();
+            Some((it.next()?.to_string(), it.next()?.to_string()))
+        })
+        .collect()
+}
+
+/// Loads both audit files from `crates/xtask/` under `root`. Missing
+/// files yield empty lists (everything is then flagged).
+pub fn load_rules(root: &Path) -> Rules {
+    let read = |name: &str| {
+        std::fs::read_to_string(root.join("crates/xtask").join(name)).unwrap_or_default()
+    };
+    Rules {
+        relaxed_allowlist: parse_list(&read("relaxed_allowlist.txt")),
+        unsafe_impl_registry: parse_list(&read("unsafe_impl_registry.txt")),
+    }
+}
+
+fn listed(list: &[(String, String)], path: &str, hay: &str) -> bool {
+    list.iter()
+        .any(|(p, s)| path.contains(p.as_str()) && hay.contains(s.as_str()))
+}
+
+/// Extracts the type name following `for` in an `unsafe impl … for T`
+/// window, generics stripped.
+fn impl_target(window: &str) -> Option<String> {
+    let pos = window.find(" for ")?;
+    let rest = window[pos + 5..].trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// Runs rules 1–3 on one scanned file.
+pub fn lint_file(path: &str, lines: &[ScannedLine], rules: &Rules) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let in_src = path.contains("/src/");
+    let first_test_line = lines
+        .iter()
+        .position(|l| l.code.contains("#[cfg(test)]"))
+        .unwrap_or(lines.len());
+    for (n, line) in lines.iter().enumerate() {
+        // Rule 1: SAFETY comment near every unsafe site.
+        if has_token(&line.code, "unsafe") {
+            let lo = n.saturating_sub(SAFETY_WINDOW);
+            let documented = lines[lo..=n].iter().any(|l| l.comment.contains("SAFETY"));
+            if !documented {
+                out.push(Diagnostic {
+                    path: path.to_string(),
+                    line: n + 1,
+                    message: format!(
+                        "`unsafe` without a `// SAFETY:` comment on the same line or \
+                         within {SAFETY_WINDOW} lines above"
+                    ),
+                });
+            }
+        }
+        // Rule 2: no Relaxed on publishing/mutating atomic ops.
+        if in_src
+            && n < first_test_line
+            && has_token(&line.code, "Relaxed")
+            && MUTATING_OPS.iter().any(|op| line.code.contains(op))
+            && !listed(&rules.relaxed_allowlist, path, &line.code)
+        {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: n + 1,
+                message: "mutating atomic op with Ordering::Relaxed; use a stronger \
+                          ordering or audit the site in crates/xtask/relaxed_allowlist.txt"
+                    .to_string(),
+            });
+        }
+        // Rule 3: unsafe impl Send/Sync must be registered.
+        if line.code.contains("unsafe impl") {
+            let window: String = lines[n..(n + 3).min(lines.len())]
+                .iter()
+                .map(|l| l.code.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            let is_marker = has_token(&window, "Send") || has_token(&window, "Sync");
+            if is_marker {
+                if let Some(ty) = impl_target(&window) {
+                    if !listed(&rules.unsafe_impl_registry, path, &ty) {
+                        out.push(Diagnostic {
+                            path: path.to_string(),
+                            line: n + 1,
+                            message: format!(
+                                "`unsafe impl Send/Sync for {ty}` is not in the audited \
+                                 registry crates/xtask/unsafe_impl_registry.txt"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Rule 4 for one crate directory: if any file under `src/` has
+/// unsafe code, the crate root must carry the deny attribute.
+pub fn lint_crate_root(crate_dir: &Path, rel: &str) -> Vec<Diagnostic> {
+    let src = crate_dir.join("src");
+    let mut files = Vec::new();
+    collect_rs(&src, &mut files);
+    let has_unsafe = files.iter().any(|f| {
+        std::fs::read_to_string(f)
+            .map(|text| scan(&text).iter().any(|l| has_token(&l.code, "unsafe")))
+            .unwrap_or(false)
+    });
+    if !has_unsafe {
+        return Vec::new();
+    }
+    let root_file = ["lib.rs", "main.rs"]
+        .iter()
+        .map(|f| src.join(f))
+        .find(|p| p.is_file());
+    // Check scanned *code*, not raw text: the attribute quoted in a
+    // doc comment must not satisfy the rule.
+    let denied = root_file.as_ref().is_some_and(|p| {
+        std::fs::read_to_string(p)
+            .map(|text| {
+                scan(&text)
+                    .iter()
+                    .any(|l| l.code.contains("#![deny(unsafe_op_in_unsafe_fn)]"))
+            })
+            .unwrap_or(false)
+    });
+    if denied {
+        Vec::new()
+    } else {
+        vec![Diagnostic {
+            path: format!("{rel}/src/lib.rs"),
+            line: 1,
+            message: "crate contains unsafe code but its root lacks \
+                      #![deny(unsafe_op_in_unsafe_fn)]"
+                .to_string(),
+        }]
+    }
+}
+
+/// Recursively collects `.rs` files, skipping `target/` and any
+/// directory named `fixtures` (lint test corpora live there).
+pub fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name != "target" && name != "fixtures" {
+                collect_rs(&path, out);
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lints an explicit file list (used by the fixture tests).
+pub fn lint_paths(root: &Path, files: &[PathBuf], rules: &Rules) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in files {
+        let Ok(text) = std::fs::read_to_string(file) else {
+            continue;
+        };
+        out.extend(lint_file(&rel_path(root, file), &scan(&text), rules));
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+/// Runs all four rules over the whole workspace.
+pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
+    let rules = load_rules(root);
+    let mut files = Vec::new();
+    for top in ["crates", "shims"] {
+        collect_rs(&root.join(top), &mut files);
+    }
+    let mut out = lint_paths(root, &files, &rules);
+    for top in ["crates", "shims"] {
+        let Ok(entries) = std::fs::read_dir(root.join(top)) else {
+            continue;
+        };
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for dir in dirs.into_iter().filter(|d| d.is_dir()) {
+            let rel = rel_path(root, &dir);
+            out.extend(lint_crate_root(&dir, &rel));
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}

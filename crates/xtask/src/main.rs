@@ -1,0 +1,50 @@
+//! `cargo xtask` — workspace automation entry point.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> workspace root, independent of the caller's cwd.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = match args.get(1).map(String::as_str) {
+                Some("--root") => match args.get(2) {
+                    Some(p) => PathBuf::from(p),
+                    None => {
+                        eprintln!("--root requires a path");
+                        return ExitCode::from(2);
+                    }
+                },
+                Some(other) => {
+                    eprintln!("unknown lint option: {other}");
+                    return ExitCode::from(2);
+                }
+                None => workspace_root(),
+            };
+            let diags = xtask::lint::lint_workspace(&root);
+            for d in &diags {
+                eprintln!("{d}");
+            }
+            if diags.is_empty() {
+                println!("xtask lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("xtask lint: {} violation(s)", diags.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint [--root <workspace>]");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! A minimal Rust source scanner for the lint rules.
+//!
+//! Splits each line into its *code* text and its *comment* text,
+//! dropping the contents of string/char literals, so rules never
+//! false-positive on words like `unsafe` inside docs or strings — and
+//! so the `// SAFETY:` rule can look only at real comments. This is a
+//! deliberately small state machine, not a parser: it understands
+//! line comments, nested block comments, plain/byte strings, raw
+//! strings (`r#"…"#`), char literals, and lifetimes, which is all the
+//! precision the source-level rules need.
+
+/// One source line, split by the scanner.
+#[derive(Default, Debug)]
+pub struct ScannedLine {
+    /// The line's code text with literal contents blanked.
+    pub code: String,
+    /// The line's comment text (line comments and any block-comment
+    /// portion crossing this line).
+    pub comment: String,
+}
+
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(usize),
+    CharLit,
+}
+
+/// Returns `Some(hashes)` when `chars[i..]` starts a raw string
+/// (`r"`, `r#"`, `br#"` …); `hashes` counts the `#`s.
+fn raw_string_start(chars: &[char], mut i: usize) -> Option<usize> {
+    if chars.get(i) == Some(&'b') {
+        i += 1;
+    }
+    if chars.get(i) != Some(&'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    (chars.get(i) == Some(&'"')).then_some(hashes)
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scans a whole source file into per-line code/comment splits.
+pub fn scan(src: &str) -> Vec<ScannedLine> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = ScannedLine::default();
+    let mut st = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(std::mem::take(&mut cur));
+            if matches!(st, State::LineComment) {
+                st = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match st {
+            State::Code => {
+                let prev_ident = i > 0 && is_ident(chars[i - 1]);
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    st = State::LineComment;
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    st = State::BlockComment(1);
+                    i += 2;
+                } else if !prev_ident && raw_string_start(&chars, i).is_some() {
+                    let hashes = raw_string_start(&chars, i).unwrap();
+                    // Skip prefix up to and including the opening quote.
+                    while chars.get(i) != Some(&'"') {
+                        i += 1;
+                    }
+                    i += 1;
+                    cur.code.push('"');
+                    st = State::RawStr(hashes);
+                } else if c == '"' {
+                    cur.code.push('"');
+                    st = State::Str;
+                    i += 1;
+                } else if c == 'b' && chars.get(i + 1) == Some(&'"') && !prev_ident {
+                    cur.code.push('"');
+                    st = State::Str;
+                    i += 2;
+                } else if c == '\'' || (c == 'b' && chars.get(i + 1) == Some(&'\'') && !prev_ident)
+                {
+                    let q = if c == 'b' { i + 1 } else { i };
+                    // Distinguish a char literal from a lifetime: a
+                    // literal either escapes or closes two chars on.
+                    let escaped = chars.get(q + 1) == Some(&'\\');
+                    let closes = chars.get(q + 2) == Some(&'\'') && chars.get(q + 1) != Some(&'\'');
+                    if escaped || closes {
+                        cur.code.push('\'');
+                        st = State::CharLit;
+                        i = q + 1;
+                    } else {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    st = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    st = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    st = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && chars[i + 1..].iter().take_while(|&&h| h == '#').count() >= hashes {
+                    cur.code.push('"');
+                    st = State::Code;
+                    i += 1 + hashes;
+                } else {
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    cur.code.push('\'');
+                    st = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+/// Whether `code` contains `tok` as a standalone word (not part of a
+/// longer identifier such as `unsafe_op_in_unsafe_fn`).
+pub fn has_token(code: &str, tok: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(tok) {
+        let p = start + pos;
+        let before_ok = p == 0 || !is_ident(bytes[p - 1] as char);
+        let after = p + tok.len();
+        let after_ok = after >= bytes.len() || !is_ident(bytes[after] as char);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = after;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_separated_from_code() {
+        let lines = scan("let x = 1; // unsafe in a comment\n");
+        assert_eq!(lines[0].code.trim(), "let x = 1;");
+        assert!(lines[0].comment.contains("unsafe in a comment"));
+        assert!(!has_token(&lines[0].code, "unsafe"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let lines = scan("let s = \"unsafe { Ordering::Relaxed }\";\n");
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(!lines[0].code.contains("Relaxed"));
+        assert!(lines[0].code.contains("let s = \"\";"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let lines = scan(r##"let s = r#"unsafe " quote"# ; let c = '\''; let t = "a\"unsafe";"##);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("let c ="));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = scan("fn f<'a>(x: &'a str) -> &'a str { x } // unsafe\n");
+        assert!(lines[0].code.contains("<'a>"));
+        assert!(lines[0].comment.contains("unsafe"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "a /* one /* two */ still */ b\n/* open\nunsafe inside\n*/ code\n";
+        let lines = scan(src);
+        assert_eq!(lines[0].code.replace(' ', ""), "ab");
+        assert!(lines[2].comment.contains("unsafe inside"));
+        assert_eq!(lines[3].code.trim(), "code");
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert!(has_token("unsafe {", "unsafe"));
+        assert!(!has_token("deny(unsafe_op_in_unsafe_fn)", "unsafe"));
+        assert!(has_token("x.store(1, Ordering::Relaxed)", "Relaxed"));
+        assert!(!has_token("RelaxedPlus", "Relaxed"));
+    }
+}

@@ -1,0 +1,93 @@
+//! The lint must (a) flag the fixture corpus with exact file:line
+//! diagnostics, (b) respect the allowlist/registry audit files, and
+//! (c) pass clean on the real workspace — which also makes `cargo
+//! test` itself an enforcement point for the invariants.
+
+use std::path::{Path, PathBuf};
+use xtask::lint::{lint_crate_root, lint_paths, lint_workspace, Rules};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf()
+}
+
+fn empty_rules() -> Rules {
+    Rules {
+        relaxed_allowlist: Vec::new(),
+        unsafe_impl_registry: Vec::new(),
+    }
+}
+
+#[test]
+fn fixture_violations_carry_exact_file_and_line() {
+    let diags = lint_paths(
+        &workspace_root(),
+        &[fixtures_dir().join("src/bad.rs")],
+        &empty_rules(),
+    );
+    let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+    let expect = [
+        ("bad.rs:8: ", "SAFETY"),             // unsafe impl, unannotated
+        ("bad.rs:8: ", "audited"),            // unsafe impl, unregistered
+        ("bad.rs:11: ", "Ordering::Relaxed"), // relaxed publishing store
+        ("bad.rs:15: ", "SAFETY"),            // unsafe block, unannotated
+    ];
+    for (loc, frag) in expect {
+        assert!(
+            rendered.iter().any(|d| d.contains(loc) && d.contains(frag)),
+            "missing diagnostic {loc}…{frag} in {rendered:#?}"
+        );
+    }
+    assert_eq!(diags.len(), 4, "{rendered:#?}");
+}
+
+#[test]
+fn allowlist_and_registry_suppress_audited_sites() {
+    let rules = Rules {
+        relaxed_allowlist: vec![("bad.rs".into(), ".store(".into())],
+        unsafe_impl_registry: vec![("bad.rs".into(), "Racy".into())],
+    };
+    let diags = lint_paths(
+        &workspace_root(),
+        &[fixtures_dir().join("src/bad.rs")],
+        &rules,
+    );
+    let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+    assert!(
+        !rendered.iter().any(|d| d.contains("Relaxed")),
+        "allowlisted store still flagged: {rendered:#?}"
+    );
+    assert!(
+        !rendered.iter().any(|d| d.contains("audited")),
+        "registered impl still flagged: {rendered:#?}"
+    );
+    // The SAFETY-comment rule has no allowlist: both sites remain.
+    assert_eq!(diags.len(), 2, "{rendered:#?}");
+}
+
+#[test]
+fn missing_crate_root_deny_is_reported() {
+    let diags = lint_crate_root(&fixtures_dir(), "crates/xtask/fixtures");
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert!(diags[0].message.contains("unsafe_op_in_unsafe_fn"));
+    assert!(diags[0].path.ends_with("src/lib.rs"));
+}
+
+#[test]
+fn workspace_is_clean() {
+    let diags = lint_workspace(&workspace_root());
+    let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+    assert!(
+        diags.is_empty(),
+        "workspace lint violations:\n{}",
+        rendered.join("\n")
+    );
+}
