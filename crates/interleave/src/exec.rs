@@ -384,8 +384,27 @@ impl Exec {
 
     /// Marks `me` finished and wakes its joiners. Called by the thread
     /// wrapper after the closure returns or unwinds.
+    ///
+    /// A *clean* finish waits for the scheduling token first: the
+    /// Runnable→Finished transition must land at a deterministic point
+    /// in the schedule. The closure's epilogue (between its last
+    /// shimmed op and this call) runs on real OS time, so taking the
+    /// raw lock here would shrink the runnable set — and with it the
+    /// arity of scheduling choice points — at a machine-load-dependent
+    /// moment, making identical prefixes replay with different option
+    /// counts (a spurious "replay divergence"). A *failing* finish
+    /// must not wait: the failure it carries may be exactly what the
+    /// token holder is blocked on.
     pub(crate) fn finish_thread(&self, me: usize, panic_msg: Option<String>) {
         let mut g = self.inner.lock().unwrap();
+        if panic_msg.is_none() {
+            loop {
+                if g.failure.is_some() || g.active == me {
+                    break;
+                }
+                g = self.cv.wait(g).unwrap();
+            }
+        }
         g.threads[me] = ThreadState::Finished;
         for t in 0..g.threads.len() {
             if g.threads[t] == ThreadState::BlockedJoin(me) {
@@ -394,7 +413,7 @@ impl Exec {
         }
         if let Some(msg) = panic_msg {
             g.set_failure(msg);
-        } else if g.active == me {
+        } else if g.failure.is_none() && g.active == me {
             self.pick_next(&mut g, me);
         }
         drop(g);

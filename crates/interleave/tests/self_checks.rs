@@ -84,6 +84,45 @@ fn max_iterations_reports_truncation() {
 }
 
 #[test]
+fn exploration_is_deterministic_despite_thread_epilogue_timing() {
+    // A child whose closure ends in a real-time delay *after* its last
+    // shimmed operation: the Runnable -> Finished transition must still
+    // land at a schedule-determined point (the finish waits for the
+    // scheduling token), not at OS timing. Otherwise the runnable-set
+    // arity at later choice points varies with machine load, and DFS
+    // replay reports spurious divergence / irreproducible counts.
+    let run = || {
+        Checker::new().check(|| {
+            let v = std::sync::Arc::new(AtomicU64::new(0));
+            let a = std::sync::Arc::clone(&v);
+            let b = std::sync::Arc::clone(&v);
+            let slow = interleave::thread::spawn(move || {
+                let x = a.load(Ordering::Acquire);
+                a.store(x + 1, Ordering::Release);
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            });
+            let fast = interleave::thread::spawn(move || {
+                let x = b.load(Ordering::Acquire);
+                b.store(x + 1, Ordering::Release);
+            });
+            slow.join().unwrap();
+            fast.join().unwrap();
+            assert!(v.load(Ordering::Acquire) >= 1);
+        })
+    };
+    let first = run();
+    assert!(!first.truncated, "tiny model must be fully explored");
+    assert!(first.iterations > 1, "exploration should branch");
+    for _ in 0..2 {
+        let again = run();
+        assert_eq!(
+            again.iterations, first.iterations,
+            "schedule exploration must be reproducible run to run"
+        );
+    }
+}
+
+#[test]
 fn shims_pass_through_outside_a_model() {
     // No model run on this thread: the shimmed atomic must behave
     // exactly like std's, including from a plainly-spawned thread.

@@ -5,8 +5,21 @@
 //! MIC's small-alignment losses to exactly this sync overhead), so the
 //! barrier spins briefly before parking — the standard adaptive
 //! strategy for HPC worker pools.
+//!
+//! # Poison epoch
+//!
+//! A fixed-count barrier has a brutal failure mode: if one participant
+//! dies, everyone else waits forever — the deadlock ExaML-style
+//! replicated searches hit when a scheduler kills one rank
+//! mid-collective. The barrier therefore carries a *poison epoch*: a
+//! dying participant calls [`SenseBarrier::poison`] with its rank
+//! before unwinding, and every blocked or future [`SenseBarrier::wait`]
+//! returns [`Poisoned`] within a bounded number of spin iterations
+//! instead of hanging. Poisoning is permanent — the group is dead and
+//! the caller must tear it down and (optionally) rebuild with the
+//! survivors.
 
-use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::atomic::{AtomicUsize, Ordering};
 use crate::sync::{hint, thread};
 
 /// Ordering of the final sense-flip store that releases the waiters.
@@ -24,6 +37,35 @@ const SENSE_FLIP: Ordering = if cfg!(feature = "seed-ordering-bug") {
     Ordering::Release
 };
 
+/// Barrier state-word values: the shared sense in normal operation…
+const SENSE_FALSE: usize = 0;
+/// …its flipped phase…
+const SENSE_TRUE: usize = 1;
+/// …and `POISON_BASE + rank` once participant `rank` has died. Sense
+/// and poison share one word so a blocked waiter watches a *single*
+/// location: eventual visibility of a store to that word (which C11
+/// guarantees in finite time) is then sufficient for the waiter to
+/// observe either release — a two-word design would let the poison
+/// store hide behind an endlessly-fresh sense word.
+const POISON_BASE: usize = 2;
+
+/// Error returned by [`SenseBarrier::wait`] once the group is
+/// poisoned: participant `rank` died and the barrier will never
+/// complete again.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Poisoned {
+    /// The rank that poisoned the group (first poisoner wins).
+    pub rank: usize,
+}
+
+impl std::fmt::Display for Poisoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "barrier poisoned by failed participant {}", self.rank)
+    }
+}
+
+impl std::error::Error for Poisoned {}
+
 /// A reusable barrier for a fixed set of `n` threads.
 ///
 /// Unlike `std::sync::Barrier`, arrival order never matters and the
@@ -33,7 +75,9 @@ const SENSE_FLIP: Ordering = if cfg!(feature = "seed-ordering-bug") {
 pub struct SenseBarrier {
     total: usize,
     arrived: AtomicUsize,
-    sense: AtomicBool,
+    /// The single word waiters spin on: [`SENSE_FALSE`]/[`SENSE_TRUE`]
+    /// while healthy, `POISON_BASE + rank` once dead.
+    state: AtomicUsize,
 }
 
 impl SenseBarrier {
@@ -43,7 +87,7 @@ impl SenseBarrier {
         SenseBarrier {
             total: n,
             arrived: AtomicUsize::new(0),
-            sense: AtomicBool::new(false),
+            state: AtomicUsize::new(SENSE_FALSE),
         }
     }
 
@@ -52,21 +96,81 @@ impl SenseBarrier {
         self.total
     }
 
-    /// Blocks until all `n` threads have called `wait`. The thread's
-    /// local sense must alternate between calls; callers use
+    /// Marks the group as dead on behalf of failed participant
+    /// `rank`. Idempotent; the first poisoner wins. Every blocked and
+    /// future [`Self::wait`] returns `Err(Poisoned)` promptly.
+    pub fn poison(&self, rank: usize) {
+        let mut cur = self.state.load(Ordering::Acquire);
+        loop {
+            if cur >= POISON_BASE {
+                return; // first poisoner already won
+            }
+            match self.state.compare_exchange_weak(
+                cur,
+                POISON_BASE + rank,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The poisoner's rank, if the group is dead.
+    pub fn poisoned(&self) -> Option<usize> {
+        match self.state.load(Ordering::Acquire) {
+            s if s >= POISON_BASE => Some(s - POISON_BASE),
+            _ => None,
+        }
+    }
+
+    /// Blocks until all `n` threads have called `wait`, or until the
+    /// group is poisoned — a poisoned wait returns `Err` within a
+    /// bounded number of spin iterations rather than hanging. The
+    /// thread's local sense must alternate between calls; callers use
     /// [`BarrierToken`] to track it.
-    pub fn wait(&self, token: &mut BarrierToken) {
+    pub fn wait(&self, token: &mut BarrierToken) -> Result<(), Poisoned> {
         #[cfg(feature = "span-trace")]
         waits_counter().inc();
+        if let Some(rank) = self.poisoned() {
+            return Err(Poisoned { rank });
+        }
         let my_sense = !token.sense;
         token.sense = my_sense;
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
-            // Last arrival: reset the counter and release everyone.
+            // Last arrival: reset the counter and release everyone by
+            // flipping the sense — unless a participant died since the
+            // entry check (a poison marker must never be overwritten,
+            // so the flip is a compare-exchange against the old
+            // sense, the only other value the word can hold).
             self.arrived.store(0, Ordering::Release);
-            self.sense.store(my_sense, SENSE_FLIP);
+            match self.state.compare_exchange(
+                (!my_sense) as usize,
+                my_sense as usize,
+                SENSE_FLIP,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => Ok(()),
+                Err(seen) => {
+                    debug_assert!(seen >= POISON_BASE, "unexpected barrier state {seen}");
+                    Err(Poisoned {
+                        rank: seen.saturating_sub(POISON_BASE),
+                    })
+                }
+            }
         } else {
             let mut spins = 0u32;
-            while self.sense.load(Ordering::Acquire) != my_sense {
+            loop {
+                let s = self.state.load(Ordering::Acquire);
+                if s >= POISON_BASE {
+                    return Err(Poisoned {
+                        rank: s - POISON_BASE,
+                    });
+                }
+                if (s == SENSE_TRUE) == my_sense {
+                    return Ok(());
+                }
                 spins += 1;
                 if spins < 10_000 {
                     hint::spin_loop();
@@ -111,7 +215,7 @@ mod tests {
         let b = SenseBarrier::new(1);
         let mut t = BarrierToken::new();
         for _ in 0..100 {
-            b.wait(&mut t);
+            b.wait(&mut t).unwrap();
         }
     }
 
@@ -132,10 +236,10 @@ mod tests {
                     let mut token = BarrierToken::new();
                     for phase in 0..PHASES {
                         counter.fetch_add(1, Ordering::Relaxed);
-                        barrier.wait(&mut token);
+                        barrier.wait(&mut token).unwrap();
                         let seen = counter.load(Ordering::Relaxed);
                         assert_eq!(seen as usize, (phase + 1) * THREADS, "phase {phase}");
-                        barrier.wait(&mut token);
+                        barrier.wait(&mut token).unwrap();
                     }
                 })
             })
@@ -143,6 +247,47 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn poisoned_barrier_fails_fast_instead_of_hanging() {
+        let b = SenseBarrier::new(2);
+        b.poison(1);
+        assert_eq!(b.poisoned(), Some(1));
+        let mut t = BarrierToken::new();
+        // Only one of two participants arrives: without poison this
+        // would spin forever.
+        assert_eq!(b.wait(&mut t), Err(Poisoned { rank: 1 }));
+        // Permanently dead.
+        assert_eq!(b.wait(&mut t), Err(Poisoned { rank: 1 }));
+    }
+
+    #[test]
+    fn poison_releases_an_already_blocked_waiter() {
+        let b = Arc::new(SenseBarrier::new(3));
+        let waiters: Vec<_> = (0..2)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    let mut t = BarrierToken::new();
+                    b.wait(&mut t)
+                })
+            })
+            .collect();
+        // Let both block at the barrier, then kill the third rank.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        b.poison(2);
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), Err(Poisoned { rank: 2 }));
+        }
+    }
+
+    #[test]
+    fn first_poisoner_wins() {
+        let b = SenseBarrier::new(2);
+        b.poison(0);
+        b.poison(1);
+        assert_eq!(b.poisoned(), Some(0));
     }
 
     #[test]

@@ -11,8 +11,20 @@
 //! compute bit-identical results regardless of arrival order (the
 //! property ExaML relies on to keep its replicated searches in
 //! lockstep).
+//!
+//! # Error model
+//!
+//! Collectives are fallible: when a rank dies it poisons the shared
+//! barrier before unwinding (see [`crate::barrier`]), and every peer's
+//! in-flight or future collective returns
+//! [`CommError::PeerFailed`] within a bounded time instead of spinning
+//! forever. The infallible [`Comm::allreduce_sum`] convenience panics
+//! with the [`CommError`] as payload, which
+//! [`crate::replicated::run_replicated_ft`] catches rank-side and
+//! converts into a structured, joinable error.
 
-use crate::barrier::{BarrierToken, SenseBarrier};
+use crate::barrier::{BarrierToken, Poisoned, SenseBarrier};
+use crate::fault::FaultPlan;
 use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::cell;
 use std::sync::Arc;
@@ -29,6 +41,53 @@ pub struct CommStats {
     pub barriers: u64,
 }
 
+/// A failed collective. Carried as a value through the fallible
+/// `try_*` collectives and as a panic payload through the infallible
+/// ones.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// A peer died (or aborted) and poisoned the group; no collective
+    /// on this communicator can ever complete again.
+    PeerFailed {
+        /// The failed peer's rank.
+        rank: usize,
+    },
+    /// This rank passed an oversized payload. The group is poisoned
+    /// so the misuse fails on *every* rank instead of hanging the
+    /// well-behaved peers at the barrier.
+    PayloadTooLarge {
+        /// The misusing rank (the caller).
+        rank: usize,
+        /// Payload length passed.
+        len: usize,
+        /// Configured per-group maximum.
+        max_len: usize,
+    },
+}
+
+impl CommError {
+    /// The rank whose failure caused this error.
+    pub fn failed_rank(&self) -> usize {
+        match *self {
+            CommError::PeerFailed { rank } | CommError::PayloadTooLarge { rank, .. } => rank,
+        }
+    }
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::PeerFailed { rank } => write!(f, "peer rank {rank} failed mid-collective"),
+            CommError::PayloadTooLarge { rank, len, max_len } => write!(
+                f,
+                "rank {rank} allreduce payload of {len} doubles exceeds group max_len {max_len}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
 /// Minimal MPI-flavored collective interface.
 pub trait Comm {
     /// This participant's rank in `0..size()`.
@@ -36,12 +95,29 @@ pub trait Comm {
     /// Number of participants.
     fn size(&self) -> usize;
     /// In-place sum-AllReduce over `buf`; all ranks receive identical
-    /// results.
-    fn allreduce_sum(&mut self, buf: &mut [f64]);
-    /// Synchronization barrier.
-    fn barrier(&mut self);
+    /// results, or all ranks receive an error (never a hang).
+    fn try_allreduce_sum(&mut self, buf: &mut [f64]) -> Result<(), CommError>;
+    /// Synchronization barrier; fails group-wide like
+    /// [`Self::try_allreduce_sum`].
+    fn try_barrier(&mut self) -> Result<(), CommError>;
     /// Statistics accumulated by this participant.
     fn stats(&self) -> CommStats;
+
+    /// Infallible AllReduce for callers inside error-free contexts
+    /// (the `Evaluator` hot path): panics with the [`CommError`] as
+    /// payload so a supervising scope can downcast and classify it.
+    fn allreduce_sum(&mut self, buf: &mut [f64]) {
+        if let Err(e) = self.try_allreduce_sum(buf) {
+            std::panic::panic_any(e);
+        }
+    }
+
+    /// Infallible barrier; panics with the [`CommError`] payload.
+    fn barrier(&mut self) {
+        if let Err(e) = self.try_barrier() {
+            std::panic::panic_any(e);
+        }
+    }
 }
 
 /// The trivial single-rank communicator.
@@ -64,12 +140,14 @@ impl Comm for SelfComm {
     fn size(&self) -> usize {
         1
     }
-    fn allreduce_sum(&mut self, buf: &mut [f64]) {
+    fn try_allreduce_sum(&mut self, buf: &mut [f64]) -> Result<(), CommError> {
         self.stats.allreduces += 1;
         self.stats.bytes += (buf.len() * 8) as u64;
+        Ok(())
     }
-    fn barrier(&mut self) {
+    fn try_barrier(&mut self) -> Result<(), CommError> {
         self.stats.barriers += 1;
+        Ok(())
     }
     fn stats(&self) -> CommStats {
         self.stats
@@ -93,7 +171,9 @@ struct SlotCell(cell::UnsafeCell<Vec<f64>>);
 // SAFETY: slot i is written only by rank i, and reads happen strictly
 // between the two barriers that bracket every write window; every
 // access is closure-scoped through with/with_mut, which the interleave
-// model test verifies race-free under all bounded interleavings.
+// model test verifies race-free under all bounded interleavings. A
+// poisoned barrier pass returns an error *without* entering the read
+// window, so failed collectives never touch peer slots.
 unsafe impl Sync for SlotCell {}
 
 /// Factory for a group of `n` thread-backed communicator handles.
@@ -101,6 +181,8 @@ pub struct ThreadCommGroup {
     shared: Arc<Shared>,
     next_rank: usize,
     size: usize,
+    max_len: usize,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl ThreadCommGroup {
@@ -119,7 +201,16 @@ impl ThreadCommGroup {
             shared,
             next_rank: 0,
             size: n,
+            max_len,
+            fault_plan: None,
         }
+    }
+
+    /// Attaches a scripted [`FaultPlan`] whose rank-death faults fire
+    /// inside the handles' AllReduce calls. `None`-cost when unused.
+    pub fn with_fault_plan(mut self, plan: Option<Arc<FaultPlan>>) -> Self {
+        self.fault_plan = plan;
+        self
     }
 
     /// Takes the next rank's handle. Call exactly `n` times and move
@@ -132,8 +223,10 @@ impl ThreadCommGroup {
             shared: Arc::clone(&self.shared),
             rank,
             size: self.size,
+            max_len: self.max_len,
             token: BarrierToken::new(),
             stats: CommStats::default(),
+            fault_plan: self.fault_plan.clone(),
         }
     }
 
@@ -148,8 +241,66 @@ pub struct ThreadComm {
     shared: Arc<Shared>,
     rank: usize,
     size: usize,
+    max_len: usize,
     token: BarrierToken,
     stats: CommStats,
+    fault_plan: Option<Arc<FaultPlan>>,
+}
+
+impl ThreadComm {
+    /// Poisons the group on behalf of this rank: every peer's blocked
+    /// or future collective returns [`CommError::PeerFailed`] with
+    /// this rank. Called by a rank that must abandon the lockstep
+    /// search (fatal local error, failed checkpoint write) so its
+    /// siblings fail fast instead of deadlocking.
+    pub fn abort(&self) {
+        self.shared.barrier.poison(self.rank);
+    }
+
+    /// The rank that poisoned this group, if any.
+    pub fn poisoned(&self) -> Option<usize> {
+        self.shared.barrier.poisoned()
+    }
+
+    /// A detached handle that can [`abort`](AbortHandle::abort) the
+    /// group on behalf of this rank without borrowing the
+    /// communicator — the supervising scope holds it across the
+    /// region where the evaluator owns `self`, so a panic anywhere in
+    /// the rank body can still mark the group dead.
+    pub fn abort_handle(&self) -> AbortHandle {
+        AbortHandle {
+            shared: Arc::clone(&self.shared),
+            rank: self.rank,
+        }
+    }
+
+    fn wait(&mut self) -> Result<(), CommError> {
+        self.shared
+            .barrier
+            .wait(&mut self.token)
+            .map_err(|Poisoned { rank }| CommError::PeerFailed { rank })
+    }
+}
+
+/// A clonable, communicator-independent poison handle for one rank of
+/// a [`ThreadCommGroup`]. See [`ThreadComm::abort_handle`].
+#[derive(Clone)]
+pub struct AbortHandle {
+    shared: Arc<Shared>,
+    rank: usize,
+}
+
+impl AbortHandle {
+    /// Poisons the group on behalf of the handle's rank (idempotent;
+    /// the first poisoner group-wide wins).
+    pub fn abort(&self) {
+        self.shared.barrier.poison(self.rank);
+    }
+
+    /// The rank that poisoned the group, if any.
+    pub fn poisoned(&self) -> Option<usize> {
+        self.shared.barrier.poisoned()
+    }
 }
 
 impl Comm for ThreadComm {
@@ -161,17 +312,35 @@ impl Comm for ThreadComm {
         self.size
     }
 
-    fn allreduce_sum(&mut self, buf: &mut [f64]) {
+    fn try_allreduce_sum(&mut self, buf: &mut [f64]) -> Result<(), CommError> {
         let len = buf.len();
+        if let Some(plan) = &self.fault_plan {
+            if plan.dies_at_allreduce(self.rank, self.stats.allreduces + 1) {
+                // Scripted rank death: mark the group before unwinding
+                // so no sibling spins forever at the barrier.
+                self.shared.barrier.poison(self.rank);
+                return Err(CommError::PeerFailed { rank: self.rank });
+            }
+        }
+        if len > self.max_len {
+            // Misuse fails group-wide: poisoning first means the
+            // peers already blocked at the barrier error out instead
+            // of waiting for a deposit that will never come.
+            self.shared.barrier.poison(self.rank);
+            return Err(CommError::PayloadTooLarge {
+                rank: self.rank,
+                len,
+                max_len: self.max_len,
+            });
+        }
         // Deposit into our slot.
         self.shared.slots[self.rank].0.with_mut(|p| {
             // SAFETY: only rank `self.rank` writes slot `self.rank`,
             // and no rank reads it until after the barrier below.
             let slot = unsafe { &mut *p };
-            assert!(len <= slot.len(), "allreduce payload exceeds max_len");
             slot[..len].copy_from_slice(buf);
         });
-        self.shared.barrier.wait(&mut self.token);
+        self.wait()?;
         // Every rank sums the slots in rank order: deterministic and
         // identical everywhere.
         buf.fill(0.0);
@@ -185,17 +354,19 @@ impl Comm for ThreadComm {
                 }
             });
         }
-        self.shared.barrier.wait(&mut self.token);
+        self.wait()?;
         self.stats.allreduces += 1;
         self.stats.bytes += (len * 8) as u64;
         if self.rank == 0 {
             self.shared.total_allreduces.fetch_add(1, Ordering::Relaxed);
         }
+        Ok(())
     }
 
-    fn barrier(&mut self) {
-        self.shared.barrier.wait(&mut self.token);
+    fn try_barrier(&mut self) -> Result<(), CommError> {
+        self.wait()?;
         self.stats.barriers += 1;
+        Ok(())
     }
 
     fn stats(&self) -> CommStats {
@@ -280,6 +451,87 @@ mod tests {
         assert_eq!(s.allreduces, 2);
         assert_eq!(s.bytes, 80);
         assert_eq!(s.barriers, 1);
+    }
+
+    /// Regression: an oversized payload on one rank used to trip a
+    /// caller-side assert *before* that rank reached the barrier,
+    /// hanging every sibling forever. The misuse must now fail on
+    /// every rank within bounded time.
+    #[test]
+    fn oversized_payload_fails_group_wide_not_deadlocks() {
+        let mut group = ThreadCommGroup::new(2, 2);
+        let mut big = group.take();
+        let mut ok = group.take();
+        let peer = std::thread::spawn(move || {
+            let mut buf = [1.0];
+            ok.try_allreduce_sum(&mut buf)
+        });
+        let mut oversized = [0.0; 5];
+        let local = big.try_allreduce_sum(&mut oversized);
+        assert_eq!(
+            local,
+            Err(CommError::PayloadTooLarge {
+                rank: 0,
+                len: 5,
+                max_len: 2
+            })
+        );
+        // The well-behaved peer unblocks with a structured error
+        // naming the misusing rank (no hang: join returns).
+        assert_eq!(peer.join().unwrap(), Err(CommError::PeerFailed { rank: 0 }));
+        // The group stays dead for both ranks.
+        let mut buf = [1.0];
+        assert_eq!(
+            big.try_allreduce_sum(&mut buf),
+            Err(CommError::PeerFailed { rank: 0 })
+        );
+    }
+
+    #[test]
+    fn scripted_rank_death_propagates_peer_failed() {
+        let plan = Arc::new(FaultPlan::rank_death(1, 3));
+        let mut group = ThreadCommGroup::new(2, 1).with_fault_plan(Some(Arc::clone(&plan)));
+        let mut c0 = group.take();
+        let mut c1 = group.take();
+        let dying = std::thread::spawn(move || {
+            for _ in 0..10 {
+                let mut buf = [1.0];
+                if let Err(e) = c1.try_allreduce_sum(&mut buf) {
+                    return (e, c1.stats().allreduces);
+                }
+            }
+            unreachable!("rank 1 must die at its 3rd allreduce");
+        });
+        let mut survivor_result = Ok(());
+        for _ in 0..10 {
+            let mut buf = [1.0];
+            survivor_result = c0.try_allreduce_sum(&mut buf);
+            if survivor_result.is_err() {
+                break;
+            }
+        }
+        let (death, completed) = dying.join().unwrap();
+        assert_eq!(death, CommError::PeerFailed { rank: 1 });
+        assert_eq!(completed, 2, "death strikes before the 3rd allreduce");
+        assert_eq!(survivor_result, Err(CommError::PeerFailed { rank: 1 }));
+    }
+
+    #[test]
+    fn abort_poisons_the_group() {
+        let mut group = ThreadCommGroup::new(2, 1);
+        let mut c0 = group.take();
+        let c1 = group.take();
+        let waiter = std::thread::spawn(move || {
+            let mut buf = [0.5];
+            c0.try_allreduce_sum(&mut buf)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        c1.abort();
+        assert_eq!(
+            waiter.join().unwrap(),
+            Err(CommError::PeerFailed { rank: 1 })
+        );
+        assert_eq!(c1.poisoned(), Some(1));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! kernel timings.
 
 use crate::barrier::BarrierToken;
+use crate::fault::FaultPlan;
 use crate::slot::RegionProtocol;
 use crate::sync::thread::{self, JoinHandle};
 use phylo_bio::CompressedAlignment;
@@ -117,6 +118,19 @@ impl ForkJoinEvaluator {
         config: EngineConfig,
         num_workers: usize,
     ) -> Self {
+        Self::with_fault_plan(tree, aln, config, num_workers, None)
+    }
+
+    /// Like [`Self::new`], but with a scripted [`FaultPlan`] whose
+    /// job-panic faults fire inside the matching worker's job (caught
+    /// and surfaced like any other job panic — never a hang).
+    pub fn with_fault_plan(
+        tree: &Tree,
+        aln: &CompressedAlignment,
+        config: EngineConfig,
+        num_workers: usize,
+        fault_plan: Option<Arc<FaultPlan>>,
+    ) -> Self {
         assert!(num_workers >= 1);
         let shared = Arc::new(RegionProtocol::new(num_workers, Job::Idle));
         plf_core::span::set_thread_label("master");
@@ -132,7 +146,18 @@ impl ForkJoinEvaluator {
                     .set(range.len() as u64);
                 let engine = LikelihoodEngine::with_range(tree, aln, config, range);
                 let shared = Arc::clone(&shared);
-                thread::spawn(move || worker_loop(&shared, idx, engine))
+                let plan = fault_plan.clone();
+                thread::spawn(move || {
+                    // If the worker unwinds outside the caught job
+                    // region, mark the protocol dead so the master's
+                    // fork/join fails instead of spinning forever.
+                    let guard = PoisonOnUnwind {
+                        proto: &shared,
+                        rank: idx,
+                    };
+                    worker_loop(&shared, idx, engine, plan.as_deref());
+                    std::mem::forget(guard);
+                })
             })
             .collect();
         ForkJoinEvaluator {
@@ -173,7 +198,10 @@ impl ForkJoinEvaluator {
     /// # Panics
     /// Re-panics with the worker's message if any worker's job
     /// panicked, after the region completes — the pool itself stays
-    /// joinable, so `Drop` still shuts the workers down cleanly.
+    /// joinable, so `Drop` still shuts the workers down cleanly. A
+    /// worker that *died* (unwound outside the caught job region)
+    /// poisons the protocol; the master then panics with a
+    /// rank-naming message instead of hanging at the barrier.
     fn region(&mut self, job: Job) -> Vec<Reply> {
         self.regions += 1;
         regions_counter().inc();
@@ -181,12 +209,16 @@ impl ForkJoinEvaluator {
         let t0 = Instant::now();
         {
             let _fork = plf_core::span::enter("fork.wait");
-            self.shared.fork(&mut self.token);
+            if let Err(p) = self.shared.fork(&mut self.token) {
+                panic!("fork-join worker {} died; pool is poisoned", p.rank);
+            }
         }
         let t1 = Instant::now();
         {
             let _join = plf_core::span::enter("join.wait");
-            self.shared.join(&mut self.token);
+            if let Err(p) = self.shared.join(&mut self.token) {
+                panic!("fork-join worker {} died; pool is poisoned", p.rank);
+            }
         }
         let t2 = Instant::now();
         self.local
@@ -248,19 +280,44 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Drop guard a worker arms for its whole run: leaked (`mem::forget`)
+/// on the normal shutdown path, it only ever drops during an unwind —
+/// where it poisons the protocol so the master and siblings fail fast
+/// instead of deadlocking at the next barrier pass.
+struct PoisonOnUnwind<'a> {
+    proto: &'a RegionProtocol<Job, Reply>,
+    rank: usize,
+}
+
+impl Drop for PoisonOnUnwind<'_> {
+    fn drop(&mut self) {
+        self.proto.poison(self.rank);
+    }
+}
+
 /// The worker side of the protocol: wait at the fork barrier, run the
 /// broadcast job against the worker's engine slice, publish the
 /// partial result, wait at the join barrier. A panicking job is
 /// caught and reported as [`Reply::Panicked`]; the worker stays in
-/// the loop so neither barrier ever deadlocks.
-fn worker_loop(proto: &RegionProtocol<Job, Reply>, idx: usize, mut engine: LikelihoodEngine) {
+/// the loop so neither barrier ever deadlocks. A poisoned barrier
+/// pass (a sibling died) makes the worker exit cleanly.
+fn worker_loop(
+    proto: &RegionProtocol<Job, Reply>,
+    idx: usize,
+    mut engine: LikelihoodEngine,
+    fault_plan: Option<&FaultPlan>,
+) {
     plf_core::span::set_thread_label(&format!("worker{idx}"));
     let mut token = BarrierToken::new();
+    let mut region: u64 = 0;
     loop {
         {
             let _idle = plf_core::span::enter("idle");
-            proto.fork(&mut token);
+            if proto.fork(&mut token).is_err() {
+                return;
+            }
         }
+        region += 1;
         // `None` means Shutdown: exit before the join barrier (the
         // master skips it too).
         let reply = proto.read_job(|job| {
@@ -269,30 +326,37 @@ fn worker_loop(proto: &RegionProtocol<Job, Reply>, idx: usize, mut engine: Likel
             }
             let _job_span = plf_core::span::enter(job.span_name());
             Some(
-                catch_unwind(AssertUnwindSafe(|| match job {
-                    Job::Eval(tree, edge) => Reply::Scalar(engine.log_likelihood(tree, *edge)),
-                    Job::Prepare(tree, edge) => {
-                        engine.prepare_branch(tree, *edge);
-                        Reply::Done
+                catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(plan) = fault_plan {
+                        if plan.job_panics(idx, region) {
+                            panic!("injected fault: worker {idx} panics in region {region}");
+                        }
                     }
-                    Job::Derivatives(t) => {
-                        let (d1, d2) = engine.branch_derivatives(*t);
-                        Reply::Pair(d1, d2)
+                    match job {
+                        Job::Eval(tree, edge) => Reply::Scalar(engine.log_likelihood(tree, *edge)),
+                        Job::Prepare(tree, edge) => {
+                            engine.prepare_branch(tree, *edge);
+                            Reply::Done
+                        }
+                        Job::Derivatives(t) => {
+                            let (d1, d2) = engine.branch_derivatives(*t);
+                            Reply::Pair(d1, d2)
+                        }
+                        Job::SetAlpha(a) => {
+                            engine.set_alpha(*a);
+                            Reply::Done
+                        }
+                        Job::SetModel(p) => {
+                            engine.set_model(*p);
+                            Reply::Done
+                        }
+                        Job::TakeStats => {
+                            let s = engine.stats().clone();
+                            engine.reset_stats();
+                            Reply::Stats(Box::new(s))
+                        }
+                        Job::Idle | Job::Shutdown => unreachable!("not dispatched as work"),
                     }
-                    Job::SetAlpha(a) => {
-                        engine.set_alpha(*a);
-                        Reply::Done
-                    }
-                    Job::SetModel(p) => {
-                        engine.set_model(*p);
-                        Reply::Done
-                    }
-                    Job::TakeStats => {
-                        let s = engine.stats().clone();
-                        engine.reset_stats();
-                        Reply::Stats(Box::new(s))
-                    }
-                    Job::Idle | Job::Shutdown => unreachable!("not dispatched as work"),
                 }))
                 .unwrap_or_else(|p| Reply::Panicked(panic_message(p))),
             )
@@ -301,7 +365,9 @@ fn worker_loop(proto: &RegionProtocol<Job, Reply>, idx: usize, mut engine: Likel
             return;
         };
         proto.write_reply(idx, reply);
-        proto.join(&mut token);
+        if proto.join(&mut token).is_err() {
+            return;
+        }
     }
 }
 
@@ -362,9 +428,11 @@ impl Drop for ForkJoinEvaluator {
         // workers whose last job panicked (the panic was caught and
         // the worker kept cycling). Publish Shutdown and release them;
         // they exit before the join barrier, so the master must not
-        // wait at it either.
+        // wait at it either. On a poisoned pool the fork fails
+        // immediately and the workers have already exited through
+        // their own poisoned barrier passes — joining stays safe.
         self.shared.publish_job(Job::Shutdown);
-        self.shared.fork(&mut self.token);
+        let _ = self.shared.fork(&mut self.token);
         for h in self.handles.drain(..) {
             let _ = h.join();
         }

@@ -28,13 +28,18 @@
 pub mod balance;
 pub mod barrier;
 pub mod comm;
+pub mod fault;
 pub mod forkjoin;
 pub mod replicated;
 pub mod slot;
 pub(crate) mod sync;
 
-pub use barrier::SenseBarrier;
-pub use comm::{Comm, CommStats, SelfComm, ThreadCommGroup};
+pub use barrier::{Poisoned, SenseBarrier};
+pub use comm::{AbortHandle, Comm, CommError, CommStats, SelfComm, ThreadCommGroup};
+pub use fault::FaultPlan;
 pub use forkjoin::ForkJoinEvaluator;
-pub use replicated::{run_replicated, ReplicatedEvaluator, ReplicatedOutcome};
+pub use replicated::{
+    run_replicated, run_replicated_ft, FtConfig, ReplicatedError, ReplicatedEvaluator,
+    ReplicatedOutcome,
+};
 pub use slot::RegionProtocol;

@@ -9,12 +9,17 @@
 //! reductions are deterministic, all ranks take bit-identical search
 //! decisions and stay in lockstep without any coordination messages.
 
-use crate::comm::{Comm, CommStats, ThreadCommGroup};
+use crate::comm::{Comm, CommError, CommStats, ThreadCommGroup};
+use crate::fault::FaultPlan;
 use phylo_bio::CompressedAlignment;
 use phylo_models::GtrParams;
+use phylo_search::checkpoint::{Checkpoint, RetryPolicy};
 use phylo_search::{Evaluator, MlSearch, SearchResult};
 use phylo_tree::{EdgeId, Tree};
 use plf_core::{EngineConfig, KernelStats, LikelihoodEngine};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// An ExaML-style rank: a local engine plus a communicator. Implements
 /// [`Evaluator`]; reductions happen transparently inside.
@@ -97,8 +102,114 @@ pub struct ReplicatedOutcome {
     pub comm_stats: CommStats,
 }
 
+/// Configuration of a fault-tolerant replicated run
+/// ([`run_replicated_ft`]).
+#[derive(Clone, Debug)]
+pub struct FtConfig {
+    /// Ranks to start with.
+    pub num_ranks: usize,
+    /// On a rank failure, re-split the pattern ranges over the
+    /// survivors, reload the last checkpoint (if any), and resume
+    /// with fewer ranks instead of returning the error.
+    pub degrade: bool,
+    /// Checkpoint file: loaded (if present) before the ranks spawn,
+    /// written by rank 0 after every improvement round. The ranks run
+    /// in lockstep (every decision follows deterministic AllReduce
+    /// results), so a single writer needs no extra synchronization.
+    pub checkpoint: Option<PathBuf>,
+    /// Retry policy for checkpoint writes.
+    pub retry: RetryPolicy,
+    /// Scripted failures (rank deaths, checkpoint write errors); zero
+    /// cost when `None`.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+}
+
+impl FtConfig {
+    /// A plain configuration: no degradation, no checkpointing, no
+    /// fault injection.
+    pub fn new(num_ranks: usize) -> Self {
+        FtConfig {
+            num_ranks,
+            degrade: false,
+            checkpoint: None,
+            retry: RetryPolicy::default(),
+            fault_plan: None,
+        }
+    }
+}
+
+/// Structured failure of a replicated run: every rank has been joined
+/// and the most causal error is reported (a checkpoint failure beats
+/// the secondary collective errors it triggers on the sibling ranks).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReplicatedError {
+    /// A collective failed; [`CommError::failed_rank`] names the rank
+    /// whose death or misuse poisoned the group.
+    Comm(CommError),
+    /// A rank panicked outside the collectives (the panic was caught
+    /// and the group poisoned, so the siblings failed promptly).
+    RankPanicked {
+        /// The panicking rank.
+        rank: usize,
+        /// The panic message, if it was a string.
+        message: String,
+    },
+    /// Loading, applying, or durably writing the checkpoint failed
+    /// (writes only after the bounded retries were exhausted).
+    Checkpoint(String),
+    /// Degradation ran out of ranks: the last survivor failed too.
+    NoSurvivors,
+}
+
+impl std::fmt::Display for ReplicatedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplicatedError::Comm(e) => write!(f, "collective failed: {e}"),
+            ReplicatedError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            ReplicatedError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            ReplicatedError::NoSurvivors => {
+                write!(f, "all ranks failed; nothing left to degrade onto")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplicatedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplicatedError::Comm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Converts a caught rank panic into its structured cause: collectives
+/// panic with a [`CommError`] payload (see [`Comm::allreduce_sum`]);
+/// anything else is a genuine rank panic.
+fn classify_panic(rank: usize, payload: Box<dyn std::any::Any + Send>) -> ReplicatedError {
+    match payload.downcast::<CommError>() {
+        Ok(e) => ReplicatedError::Comm(*e),
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            ReplicatedError::RankPanicked { rank, message }
+        }
+    }
+}
+
 /// Runs the full ML search under the replicated scheme with
 /// `num_ranks` threads, starting from `tree`.
+///
+/// Kept for plain (non-fault-tolerant) callers; panics if a rank
+/// fails. Use [`run_replicated_ft`] to get structured errors,
+/// checkpointing, and degraded restart.
 pub fn run_replicated(
     tree: &Tree,
     aln: &CompressedAlignment,
@@ -106,44 +217,198 @@ pub fn run_replicated(
     search: MlSearch,
     num_ranks: usize,
 ) -> ReplicatedOutcome {
-    assert!(num_ranks >= 1);
-    let ranges = crate::forkjoin::split_ranges(aln.num_patterns(), num_ranks);
-    let mut group = ThreadCommGroup::new(num_ranks, 8);
+    run_replicated_ft(tree, aln, config, search, &FtConfig::new(num_ranks))
+        .unwrap_or_else(|e| panic!("replicated run failed: {e}"))
+}
 
-    let outcomes: Vec<(SearchResult, f64, KernelStats, CommStats)> = std::thread::scope(|scope| {
+/// Fault-tolerant replicated search.
+///
+/// Every rank body runs under `catch_unwind`; any unwinding rank
+/// poisons the communicator group *before* its stack dies, so the
+/// lockstep siblings blocked in a collective return
+/// [`CommError::PeerFailed`] within bounded time instead of spinning
+/// forever. All ranks are then joined and the failure is classified
+/// ([`ReplicatedError`]). With [`FtConfig::degrade`], a rank failure
+/// triggers a restart over one fewer rank: pattern ranges are
+/// re-split, the last checkpoint is reloaded, and — because the
+/// search is deterministic in the rank count only through the
+/// *values* of the reductions, which are sliced-sum invariant — the
+/// degraded run reaches the same final log-likelihood as an
+/// uninterrupted run at that rank count.
+pub fn run_replicated_ft(
+    tree: &Tree,
+    aln: &CompressedAlignment,
+    config: EngineConfig,
+    search: MlSearch,
+    ft: &FtConfig,
+) -> Result<ReplicatedOutcome, ReplicatedError> {
+    assert!(ft.num_ranks >= 1);
+    let mut ranks = ft.num_ranks;
+    loop {
+        match attempt_replicated(tree, aln, config, search, ranks, ft) {
+            Ok(out) => return Ok(out),
+            Err(e) => {
+                let recoverable = matches!(
+                    e,
+                    ReplicatedError::Comm(_) | ReplicatedError::RankPanicked { .. }
+                );
+                if !(ft.degrade && recoverable) {
+                    return Err(e);
+                }
+                if ranks <= 1 {
+                    return Err(ReplicatedError::NoSurvivors);
+                }
+                ranks -= 1;
+                plf_core::metrics::counter("replicated.degrades").inc();
+            }
+        }
+    }
+}
+
+/// One attempt at `num_ranks`: spawn, supervise, join, classify.
+fn attempt_replicated(
+    tree: &Tree,
+    aln: &CompressedAlignment,
+    config: EngineConfig,
+    search: MlSearch,
+    num_ranks: usize,
+    ft: &FtConfig,
+) -> Result<ReplicatedOutcome, ReplicatedError> {
+    // Load once, before the ranks spawn: all ranks resume from the
+    // *same* snapshot (a torn read per rank could de-synchronize the
+    // lockstep searches).
+    let resume =
+        match &ft.checkpoint {
+            Some(p) if p.exists() => Some(Checkpoint::load(p).map_err(|e| {
+                ReplicatedError::Checkpoint(format!("loading {}: {e}", p.display()))
+            })?),
+            _ => None,
+        };
+    let ranges = crate::forkjoin::split_ranges(aln.num_patterns(), num_ranks);
+    let mut group = ThreadCommGroup::new(num_ranks, 8).with_fault_plan(ft.fault_plan.clone());
+    let resume_ref = resume.as_ref();
+    let ckpt_path = ft.checkpoint.as_deref();
+    let retry = ft.retry;
+
+    type RankOk = (SearchResult, f64, KernelStats, CommStats);
+    let rank_results: Vec<Result<RankOk, ReplicatedError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .into_iter()
-            .map(|range| {
+            .enumerate()
+            .map(|(rank, range)| {
                 let comm = group.take();
-                let mut local_tree = tree.clone();
+                let plan = ft.fault_plan.clone();
                 scope.spawn(move || {
-                    let engine = LikelihoodEngine::with_range(&local_tree, aln, config, range);
-                    let mut eval = ReplicatedEvaluator::new(engine, comm);
-                    let result = search.run(&mut eval, &mut local_tree);
-                    let final_ll = eval.log_likelihood(&local_tree, 0);
-                    let comm_stats = eval.comm_stats();
-                    let (engine, _) = eval.into_parts();
-                    (result, final_ll, engine.stats().clone(), comm_stats)
+                    let abort = comm.abort_handle();
+                    let saver_abort = abort.clone();
+                    let caught = catch_unwind(AssertUnwindSafe(
+                        move || -> Result<RankOk, ReplicatedError> {
+                            let mut local_tree = tree.clone();
+                            let engine =
+                                LikelihoodEngine::with_range(&local_tree, aln, config, range);
+                            let mut eval = ReplicatedEvaluator::new(engine, comm);
+                            let mut ckpt_attempts: u64 = 0;
+                            let result = search
+                                .run_resumable(&mut eval, &mut local_tree, resume_ref, |cp| {
+                                    if rank != 0 {
+                                        return Ok(());
+                                    }
+                                    let Some(path) = ckpt_path else { return Ok(()) };
+                                    let saved = match &plan {
+                                        Some(plan) => {
+                                            cp.save_with_retry_injected(path, &retry, &mut || {
+                                                ckpt_attempts += 1;
+                                                plan.checkpoint_write_error(ckpt_attempts)
+                                            })
+                                        }
+                                        None => cp.save_with_retry(path, &retry),
+                                    };
+                                    saved.map_err(|e| {
+                                        // The writer abandons the
+                                        // lockstep run, so mark the
+                                        // group before the siblings
+                                        // block at the next collective.
+                                        saver_abort.abort();
+                                        format!(
+                                            "checkpoint write to {} failed: {e}",
+                                            path.display()
+                                        )
+                                    })
+                                })
+                                .map_err(ReplicatedError::Checkpoint)?;
+                            let final_ll = eval.log_likelihood(&local_tree, 0);
+                            let comm_stats = eval.comm_stats();
+                            let (engine, _) = eval.into_parts();
+                            Ok((result, final_ll, engine.stats().clone(), comm_stats))
+                        },
+                    ));
+                    match caught {
+                        Ok(r) => r,
+                        Err(payload) => {
+                            // ANY unwinding rank poisons the group:
+                            // this is what bounds the siblings'
+                            // blocking time (first poisoner wins, so
+                            // re-poisoning after a collective already
+                            // did is a no-op).
+                            abort.abort();
+                            Err(classify_panic(rank, payload))
+                        }
+                    }
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panics are caught inside the thread"))
+            .collect()
     });
 
+    // Classify: the checkpoint failure that poisoned the group is the
+    // cause; the siblings' PeerFailed errors are its effect. Likewise
+    // a non-collective panic beats the secondary collective errors.
+    let mut oks: Vec<RankOk> = Vec::new();
+    let mut comm_err: Option<CommError> = None;
+    let mut panic_err: Option<ReplicatedError> = None;
+    let mut ckpt_err: Option<ReplicatedError> = None;
+    for r in rank_results {
+        match r {
+            Ok(t) => oks.push(t),
+            Err(ReplicatedError::Comm(e)) => {
+                comm_err.get_or_insert(e);
+            }
+            Err(e @ ReplicatedError::RankPanicked { .. }) => {
+                panic_err.get_or_insert(e);
+            }
+            Err(e @ ReplicatedError::Checkpoint(_)) => {
+                ckpt_err.get_or_insert(e);
+            }
+            Err(ReplicatedError::NoSurvivors) => unreachable!("ranks never emit NoSurvivors"),
+        }
+    }
+    if let Some(e) = ckpt_err {
+        return Err(e);
+    }
+    if let Some(e) = panic_err {
+        return Err(e);
+    }
+    if let Some(e) = comm_err {
+        return Err(ReplicatedError::Comm(e));
+    }
+
     let mut kernel_stats = KernelStats::new();
-    for (_, _, s, _) in &outcomes {
+    for (_, _, s, _) in &oks {
         kernel_stats.merge(s);
     }
-    let rank_likelihoods: Vec<f64> = outcomes.iter().map(|o| o.1).collect();
-    let comm_stats = outcomes[0].3;
-    let result = outcomes.into_iter().next().expect("≥1 rank").0;
+    let rank_likelihoods: Vec<f64> = oks.iter().map(|o| o.1).collect();
+    let comm_stats = oks[0].3;
+    let result = oks.into_iter().next().expect("≥1 rank").0;
 
-    ReplicatedOutcome {
+    Ok(ReplicatedOutcome {
         result,
         rank_likelihoods,
         kernel_stats,
         comm_stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -208,6 +473,151 @@ mod tests {
             assert_eq!(w[0], w[1], "ranks diverged: {:?}", out.rank_likelihoods);
         }
         assert!(out.comm_stats.allreduces > 0);
+    }
+
+    #[test]
+    fn scripted_rank_death_yields_structured_error_not_hang() {
+        let (tree, aln) = dataset();
+        let cfg = EngineConfig::default();
+        let search = MlSearch::new(SearchConfig {
+            max_rounds: 2,
+            optimize_model: false,
+            ..Default::default()
+        });
+        let mut ft = FtConfig::new(3);
+        ft.fault_plan = Some(Arc::new(FaultPlan::rank_death(1, 5)));
+        // Without --degrade the failure is terminal, but every rank is
+        // joined and the cause is structured (the test completing at
+        // all is the no-hang property).
+        let err = run_replicated_ft(&tree, &aln, cfg, search, &ft).unwrap_err();
+        assert_eq!(
+            err,
+            ReplicatedError::Comm(CommError::PeerFailed { rank: 1 })
+        );
+    }
+
+    #[test]
+    fn degrade_restarts_on_survivors_and_matches_clean_lower_rank_run() {
+        let (tree, aln) = dataset();
+        let cfg = EngineConfig::default();
+        let search = MlSearch::new(SearchConfig {
+            max_rounds: 2,
+            optimize_model: false,
+            ..Default::default()
+        });
+        let clean = run_replicated(&tree, &aln, cfg, search, 2);
+
+        let mut ft = FtConfig::new(3);
+        ft.degrade = true;
+        ft.fault_plan = Some(Arc::new(FaultPlan::rank_death(2, 3)));
+        let out = run_replicated_ft(&tree, &aln, cfg, search, &ft).unwrap();
+        assert_eq!(out.rank_likelihoods.len(), 2, "restarted on the survivors");
+        // No checkpoint: the degraded attempt restarts from scratch at
+        // 2 ranks, which is *exactly* the uninterrupted 2-rank run
+        // (deterministic search, slice-sum-invariant reductions).
+        assert!(
+            (out.result.log_likelihood - clean.result.log_likelihood).abs() <= 1e-9,
+            "degraded {} vs clean 2-rank {}",
+            out.result.log_likelihood,
+            clean.result.log_likelihood
+        );
+        assert_eq!(out.result.newick, clean.result.newick);
+    }
+
+    #[test]
+    fn degradation_exhaustion_reports_no_survivors() {
+        let (tree, aln) = dataset();
+        let cfg = EngineConfig::default();
+        let search = MlSearch::new(SearchConfig {
+            max_rounds: 1,
+            optimize_model: false,
+            ..Default::default()
+        });
+        // Attempt 1 (2 ranks): rank 1 dies at its 1st AllReduce (rank
+        // 0 has completed none, so its own fault stays unfired).
+        // Attempt 2 (1 rank): rank 0 dies at its 2nd AllReduce.
+        let plan = FaultPlan::new()
+            .with(crate::fault::FaultKind::RankDeath {
+                rank: 1,
+                allreduce: 1,
+            })
+            .with(crate::fault::FaultKind::RankDeath {
+                rank: 0,
+                allreduce: 2,
+            });
+        let mut ft = FtConfig::new(2);
+        ft.degrade = true;
+        ft.fault_plan = Some(Arc::new(plan));
+        let err = run_replicated_ft(&tree, &aln, cfg, search, &ft).unwrap_err();
+        assert_eq!(err, ReplicatedError::NoSurvivors);
+    }
+
+    #[test]
+    fn rank0_checkpoints_and_all_ranks_resume_in_lockstep() {
+        let (tree, aln) = dataset();
+        let cfg = EngineConfig::default();
+        let dir = std::env::temp_dir().join(format!("phylomic-repl-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repl.ckp");
+        let _ = std::fs::remove_file(&path);
+
+        let mut ft = FtConfig::new(3);
+        ft.checkpoint = Some(path.clone());
+        let short = MlSearch::new(SearchConfig {
+            max_rounds: 1,
+            optimize_model: false,
+            ..Default::default()
+        });
+        run_replicated_ft(&tree, &aln, cfg, short, &ft).unwrap();
+        assert!(path.exists(), "rank 0 must write the checkpoint");
+        let cp = Checkpoint::load(&path).unwrap();
+        assert_eq!(cp.rounds_done, 1);
+
+        // Resume: all ranks restart from the same snapshot and stay in
+        // lockstep to an improved (never regressed) optimum.
+        let full = MlSearch::new(SearchConfig {
+            max_rounds: 4,
+            optimize_model: false,
+            ..Default::default()
+        });
+        let out = run_replicated_ft(&tree, &aln, cfg, full, &ft).unwrap();
+        for w in out.rank_likelihoods.windows(2) {
+            assert_eq!(w[0], w[1], "resumed ranks diverged");
+        }
+        assert!(out.result.log_likelihood >= cp.log_likelihood - 1e-9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persistent_checkpoint_write_failure_fails_group_without_hanging() {
+        let (tree, aln) = dataset();
+        let cfg = EngineConfig::default();
+        let dir = std::env::temp_dir().join(format!("phylomic-repl-wfail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let search = MlSearch::new(SearchConfig {
+            max_rounds: 2,
+            optimize_model: false,
+            ..Default::default()
+        });
+        let mut ft = FtConfig::new(2);
+        ft.checkpoint = Some(dir.join("wfail.ckp"));
+        ft.retry = RetryPolicy {
+            attempts: 3,
+            base_backoff: std::time::Duration::ZERO,
+        };
+        // Every attempt (retries included) fails: rank 0 exhausts the
+        // policy, poisons the group, and the error is classified as
+        // the checkpoint failure, not the secondary PeerFailed.
+        ft.fault_plan = Some(Arc::new(FaultPlan::checkpoint_write_errors(1, u64::MAX)));
+        let err = run_replicated_ft(&tree, &aln, cfg, search, &ft).unwrap_err();
+        match err {
+            ReplicatedError::Checkpoint(msg) => {
+                assert!(msg.contains("injected"), "unexpected cause: {msg}")
+            }
+            other => panic!("expected Checkpoint error, got {other:?}"),
+        }
+        assert!(!dir.join("wfail.ckp").exists(), "no write ever succeeded");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

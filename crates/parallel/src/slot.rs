@@ -27,7 +27,7 @@
 //! with `--features interleave` turns each window violation into a
 //! model-checker data-race report instead of silent UB.
 
-use crate::barrier::{BarrierToken, SenseBarrier};
+use crate::barrier::{BarrierToken, Poisoned, SenseBarrier};
 use crate::sync::cell;
 
 /// Pads a reply slot to its own cache line so workers completing at
@@ -100,17 +100,32 @@ impl<J, R> RegionProtocol<J, R> {
 
     /// A fork-barrier pass (master releases the workers into the
     /// job). Master and every worker must each call this once per
-    /// region.
-    pub fn fork(&self, token: &mut BarrierToken) {
-        self.barrier.wait(token);
+    /// region. Fails (promptly, no hang) once the protocol is
+    /// poisoned by a dead participant.
+    pub fn fork(&self, token: &mut BarrierToken) -> Result<(), Poisoned> {
+        self.barrier.wait(token)
     }
 
     /// A join-barrier pass (workers hand the replies back). Master
     /// and every worker must each call this once per region — except
     /// for a shutdown region, where workers exit early and the master
-    /// skips it too.
-    pub fn join(&self, token: &mut BarrierToken) {
-        self.barrier.wait(token);
+    /// skips it too. Fails like [`Self::fork`] once poisoned.
+    pub fn join(&self, token: &mut BarrierToken) -> Result<(), Poisoned> {
+        self.barrier.wait(token)
+    }
+
+    /// Marks the protocol dead on behalf of participant `rank`
+    /// (master = `workers()`, worker `i` = `i`): every blocked or
+    /// future fork/join pass returns `Err(Poisoned)`. Called by a
+    /// participant that must unwind outside the normal shutdown
+    /// region so the others never deadlock.
+    pub fn poison(&self, rank: usize) {
+        self.barrier.poison(rank);
+    }
+
+    /// The poisoner's rank, if the protocol is dead.
+    pub fn poisoned(&self) -> Option<usize> {
+        self.barrier.poisoned()
     }
 
     /// Worker-side: reads the broadcast job. Must only be called in
@@ -168,17 +183,17 @@ mod tests {
                 let proto = Arc::clone(&proto);
                 std::thread::spawn(move || {
                     let mut token = BarrierToken::new();
-                    proto.fork(&mut token);
+                    proto.fork(&mut token).unwrap();
                     let job = proto.read_job(|j| *j);
                     proto.write_reply(idx, job * 10 + idx as u64);
-                    proto.join(&mut token);
+                    proto.join(&mut token).unwrap();
                 })
             })
             .collect();
         let mut token = BarrierToken::new();
         proto.publish_job(7);
-        proto.fork(&mut token);
-        proto.join(&mut token);
+        proto.fork(&mut token).unwrap();
+        proto.join(&mut token).unwrap();
         let replies = proto.drain_replies();
         assert_eq!(replies, vec![70, 71, 72]);
         for h in handles {

@@ -36,7 +36,7 @@ fn barrier_publishes_counter() {
     let t = interleave::thread::spawn(move || {
         let mut token = BarrierToken::new();
         c2.fetch_add(1, Ordering::Relaxed);
-        b2.wait(&mut token);
+        b2.wait(&mut token).unwrap();
         assert_eq!(
             c2.load(Ordering::Relaxed),
             THREADS,
@@ -45,7 +45,7 @@ fn barrier_publishes_counter() {
     });
     let mut token = BarrierToken::new();
     counter.fetch_add(1, Ordering::Relaxed);
-    barrier.wait(&mut token);
+    barrier.wait(&mut token).unwrap();
     assert_eq!(
         counter.load(Ordering::Relaxed),
         THREADS,
@@ -92,17 +92,17 @@ fn barrier_sense_reversal_two_phases() {
             let mut token = BarrierToken::new();
             for phase in 1u64..=2 {
                 c2.fetch_add(1, Ordering::Relaxed);
-                b2.wait(&mut token);
+                b2.wait(&mut token).unwrap();
                 assert_eq!(c2.load(Ordering::Relaxed), 2 * phase, "phase {phase}");
-                b2.wait(&mut token);
+                b2.wait(&mut token).unwrap();
             }
         });
         let mut token = BarrierToken::new();
         for phase in 1u64..=2 {
             counter.fetch_add(1, Ordering::Relaxed);
-            barrier.wait(&mut token);
+            barrier.wait(&mut token).unwrap();
             assert_eq!(counter.load(Ordering::Relaxed), 2 * phase, "phase {phase}");
-            barrier.wait(&mut token);
+            barrier.wait(&mut token).unwrap();
         }
         t.join().unwrap();
     });
@@ -127,29 +127,58 @@ fn region_protocol_broadcast_and_reply_collection() {
                 interleave::thread::spawn(move || {
                     let mut token = BarrierToken::new();
                     loop {
-                        proto.fork(&mut token);
+                        proto.fork(&mut token).unwrap();
                         let job = proto.read_job(|j| *j);
                         if job == SHUTDOWN {
                             return;
                         }
                         proto.write_reply(idx, job * 10 + idx as u64);
-                        proto.join(&mut token);
+                        proto.join(&mut token).unwrap();
                     }
                 })
             })
             .collect();
         let mut token = BarrierToken::new();
         proto.publish_job(7);
-        proto.fork(&mut token);
-        proto.join(&mut token);
+        proto.fork(&mut token).unwrap();
+        proto.join(&mut token).unwrap();
         let replies = proto.drain_replies();
         assert_eq!(replies, vec![70, 71], "lost or torn reply");
         proto.publish_job(SHUTDOWN);
-        proto.fork(&mut token);
+        proto.fork(&mut token).unwrap();
         for h in handles {
             h.join().unwrap();
         }
     });
+    assert!(report.iterations > 1, "exploration should branch");
+}
+
+/// The poison protocol is lost-wakeup-free: a dying participant
+/// poisons the barrier and never arrives; the surviving waiter —
+/// whether it blocked before or after the poison store — returns
+/// `Err(Poisoned)` naming the dead rank in *every* explored
+/// interleaving, never spinning forever. Deliberately ungated (runs
+/// in both CI feature configurations): the poison word is read with
+/// its own `Acquire` load at entry and on every spin iteration,
+/// independent of the sense-flip store the `seed-ordering-bug`
+/// feature weakens.
+#[test]
+fn barrier_poison_is_lost_wakeup_free() {
+    let report = Checker::new().check(|| {
+        let barrier = Arc::new(SenseBarrier::new(2));
+        let b2 = Arc::clone(&barrier);
+        let dying = interleave::thread::spawn(move || {
+            // Rank 1 dies without ever arriving at the barrier.
+            b2.poison(1);
+        });
+        let mut token = BarrierToken::new();
+        let err = barrier
+            .wait(&mut token)
+            .expect_err("the only peer died; completing would be a lost wakeup");
+        assert_eq!(err.rank, 1, "wrong poisoner reported");
+        dying.join().unwrap();
+    });
+    assert!(!report.truncated, "poison model must be fully explored");
     assert!(report.iterations > 1, "exploration should branch");
 }
 

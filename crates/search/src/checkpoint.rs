@@ -16,6 +16,87 @@
 
 use phylo_models::GtrParams;
 use phylo_tree::{newick, Tree, TreeError};
+use std::path::Path;
+use std::time::Duration;
+
+/// Writes `content` to `path` atomically *and durably*: same-directory
+/// temp file (suffixed `.tmp.<pid>` so sibling files and concurrent
+/// processes never collide), `fsync` of the temp file before the
+/// rename (otherwise a crash can publish an empty or truncated file
+/// under the final name), rename, then `fsync` of the parent
+/// directory so the rename itself survives a power cut. This is the
+/// one write path for every artifact a crash must not corrupt —
+/// checkpoints here, traces in the CLI.
+pub fn write_atomic(path: &Path, content: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("{} has no file name", path.display()),
+        )
+    })?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let written = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(content.as_bytes())?;
+        // Data must be on disk *before* the rename publishes the
+        // name, or a crash surfaces a truncated file that parses as
+        // garbage.
+        f.sync_all()
+    })();
+    if let Err(e) = written {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    // Durable rename: fsync the directory entry. Directories can't be
+    // opened for syncing on every platform; skip silently where the
+    // open fails (the data fsync above already happened).
+    let parent = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    if let Ok(dir) = std::fs::File::open(parent) {
+        dir.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Bounded retry-with-backoff for checkpoint I/O: attempt `attempts`
+/// times, sleeping `base_backoff * 2^k` between tries. A transient
+/// `ENOSPC`/`EIO` during a week-long search should cost a few retries,
+/// not the whole run.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total write attempts (≥ 1) before giving up.
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles per retry.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt).
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            base_backoff: Duration::ZERO,
+        }
+    }
+}
 
 /// A complete, restartable snapshot of an ML search.
 #[derive(Clone, Debug, PartialEq)]
@@ -105,25 +186,37 @@ impl Checkpoint {
                 }
                 Ok(v)
             };
+            // Duplicate keys mean a concatenated or otherwise
+            // corrupted file; silently letting the last value win
+            // would mask it, so reject.
+            let dup = |key: &str| format!("duplicate checkpoint key {key:?}");
             match key {
+                "tree" if newick_s.is_some() => return Err(dup(key)),
                 "tree" => newick_s = Some(rest.to_string()),
+                "alpha" if alpha.is_some() => return Err(dup(key)),
                 "alpha" => alpha = Some(floats(rest, 1)?[0]),
+                "rates" if rates.is_some() => return Err(dup(key)),
                 "rates" => {
                     let v = floats(rest, 6)?;
                     rates = Some([v[0], v[1], v[2], v[3], v[4], v[5]]);
                 }
+                "freqs" if freqs.is_some() => return Err(dup(key)),
                 "freqs" => {
                     let v = floats(rest, 4)?;
                     freqs = Some([v[0], v[1], v[2], v[3]]);
                 }
+                "rounds_done" if rounds_done.is_some() => return Err(dup(key)),
                 "rounds_done" => {
                     rounds_done = Some(rest.parse().map_err(|e| format!("rounds_done: {e}"))?)
                 }
+                "log_likelihood" if log_likelihood.is_some() => return Err(dup(key)),
                 "log_likelihood" => log_likelihood = Some(floats(rest, 1)?[0]),
+                "moves_evaluated" if moves_evaluated.is_some() => return Err(dup(key)),
                 "moves_evaluated" => {
                     moves_evaluated =
                         Some(rest.parse().map_err(|e| format!("moves_evaluated: {e}"))?)
                 }
+                "moves_accepted" if moves_accepted.is_some() => return Err(dup(key)),
                 "moves_accepted" => {
                     moves_accepted = Some(rest.parse().map_err(|e| format!("moves_accepted: {e}"))?)
                 }
@@ -165,12 +258,52 @@ impl Checkpoint {
         newick::parse(&self.newick)
     }
 
-    /// Writes the checkpoint atomically (temp file + rename), the only
-    /// safe pattern when the scheduler may kill the job mid-write.
+    /// Writes the checkpoint atomically and durably (see
+    /// [`write_atomic`]), the only safe pattern when the scheduler may
+    /// kill the job mid-write.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_text())?;
-        std::fs::rename(&tmp, path)
+        write_atomic(path, &self.to_text())
+    }
+
+    /// [`Self::save`] under a bounded [`RetryPolicy`].
+    pub fn save_with_retry(
+        &self,
+        path: &std::path::Path,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<()> {
+        self.save_with_retry_injected(path, policy, &mut || None)
+    }
+
+    /// [`Self::save_with_retry`] with a deterministic fault hook:
+    /// `inject` is called once per attempt and may return the I/O
+    /// error that attempt "fails" with before touching the
+    /// filesystem. Production callers pass a hook that always returns
+    /// `None`; the failure-injection tests and `--inject-fault
+    /// ckpt-write=N` script it.
+    pub fn save_with_retry_injected(
+        &self,
+        path: &std::path::Path,
+        policy: &RetryPolicy,
+        inject: &mut dyn FnMut() -> Option<std::io::Error>,
+    ) -> std::io::Result<()> {
+        assert!(policy.attempts >= 1, "retry policy needs >= 1 attempt");
+        let text = self.to_text();
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let result = match inject() {
+                Some(e) => Err(e),
+                None => write_atomic(path, &text),
+            };
+            match result {
+                Ok(()) => return Ok(()),
+                Err(e) if attempt >= policy.attempts => return Err(e),
+                Err(_) => {
+                    let exp = (attempt - 1).min(6);
+                    std::thread::sleep(policy.base_backoff.saturating_mul(1 << exp));
+                }
+            }
+        }
     }
 
     /// Loads and validates a checkpoint file.
@@ -211,15 +344,113 @@ mod tests {
 
     #[test]
     fn file_roundtrip_atomic() {
-        let dir = std::env::temp_dir().join("phylomic-cp-test");
+        let dir = std::env::temp_dir().join(format!("phylomic-cp-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("run1.ckp");
         let cp = sample();
         cp.save(&path).unwrap();
         let back = Checkpoint::load(&path).unwrap();
         assert_eq!(cp, back);
-        assert!(!path.with_extension("tmp").exists(), "temp file cleaned up");
-        std::fs::remove_file(&path).ok();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: `path.with_extension("tmp")` collided with sibling
+    /// files (`run1.ckp` → `run1.tmp`) and with concurrent processes
+    /// writing the same checkpoint. The pid-suffixed temp name must
+    /// leave unrelated siblings untouched.
+    #[test]
+    fn temp_file_never_collides_with_siblings() {
+        let dir = std::env::temp_dir().join(format!("phylomic-cp-collide-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sibling = dir.join("run1.tmp");
+        std::fs::write(&sibling, "precious sibling data").unwrap();
+        let stale = dir.join("run1.ckp.tmp.999999");
+        std::fs::write(&stale, "stale tmp from a dead process").unwrap();
+        let path = dir.join("run1.ckp");
+        let cp = sample();
+        cp.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), cp);
+        assert_eq!(
+            std::fs::read_to_string(&sibling).unwrap(),
+            "precious sibling data",
+            "sibling .tmp file clobbered"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&stale).unwrap(),
+            "stale tmp from a dead process",
+            "another process's temp file clobbered"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_with_retry_survives_transient_errors_and_bounds_attempts() {
+        let dir = std::env::temp_dir().join(format!("phylomic-cp-retry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("retry.ckp");
+        let cp = sample();
+        let policy = RetryPolicy {
+            attempts: 4,
+            base_backoff: Duration::from_millis(1),
+        };
+
+        // Two transient failures, then success.
+        let mut calls = 0u32;
+        cp.save_with_retry_injected(&path, &policy, &mut || {
+            calls += 1;
+            (calls <= 2).then(|| std::io::Error::other("injected ENOSPC"))
+        })
+        .unwrap();
+        assert_eq!(calls, 3);
+        assert_eq!(Checkpoint::load(&path).unwrap(), cp);
+
+        // Persistent failure: gives up after exactly `attempts` tries
+        // with the last error.
+        let mut calls = 0u32;
+        let err = cp
+            .save_with_retry_injected(&path, &policy, &mut || {
+                calls += 1;
+                Some(std::io::Error::other("injected EIO"))
+            })
+            .unwrap_err();
+        assert_eq!(calls, 4);
+        assert!(err.to_string().contains("injected EIO"));
+        // The previously saved checkpoint is untouched (failed
+        // attempts never went through the rename).
+        assert_eq!(Checkpoint::load(&path).unwrap(), cp);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let cp = sample();
+        let text = cp.to_text();
+        // A concatenated/duplicated file must not silently let the
+        // last value win.
+        for key in ["tree", "alpha", "rates", "freqs", "rounds_done"] {
+            let line = text
+                .lines()
+                .find(|l| l.starts_with(key))
+                .unwrap_or_else(|| panic!("no {key} line"));
+            let doubled = format!("{text}{line}\n");
+            let err = Checkpoint::from_text(&doubled).unwrap_err();
+            assert!(
+                err.contains("duplicate") && err.contains(key),
+                "key {key}: unexpected error {err:?}"
+            );
+        }
+        // Self-concatenation (two whole checkpoints) is also rejected.
+        let cat = format!("{text}{text}");
+        assert!(Checkpoint::from_text(&cat).is_err());
     }
 
     #[test]

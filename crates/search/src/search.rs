@@ -6,6 +6,7 @@
 //! round improves the score by more than the epsilon.
 
 use crate::branch_opt::smooth_branches;
+use crate::checkpoint::RetryPolicy;
 use crate::model_opt::optimize_model;
 use crate::spr::spr_round;
 use crate::Evaluator;
@@ -72,13 +73,19 @@ impl MlSearch {
 
     /// Runs the search to convergence, mutating `tree` in place.
     pub fn run<E: Evaluator + ?Sized>(&self, evaluator: &mut E, tree: &mut Tree) -> SearchResult {
-        self.run_impl(evaluator, tree, None, |_| {})
+        self.run_impl(evaluator, tree, None, |_| Ok(()))
+            .expect("progress hook is infallible")
     }
 
     /// Runs the search with round-level checkpointing: if `path`
     /// exists, the search resumes from it (restoring tree, model, and
     /// progress counters); after the initial conditioning and after
-    /// every improvement round, the state is saved atomically.
+    /// every improvement round, the state is saved atomically and
+    /// durably under the default bounded [`RetryPolicy`]. A write
+    /// that still fails after the retries aborts the search with an
+    /// error — it is *propagated*, not panicked, so the caller keeps
+    /// the choice of giving up, re-pathing, or dropping to an
+    /// uncheckpointed run.
     pub fn run_checkpointed<E: Evaluator + ?Sized>(
         &self,
         evaluator: &mut E,
@@ -86,18 +93,36 @@ impl MlSearch {
         path: &std::path::Path,
     ) -> Result<SearchResult, String> {
         let resume = if path.exists() {
-            let cp = crate::checkpoint::Checkpoint::load(path)?;
-            *tree = cp.tree().map_err(|e| e.to_string())?;
-            evaluator.set_model(cp.params);
-            evaluator.set_alpha(cp.alpha);
-            Some(cp)
+            Some(crate::checkpoint::Checkpoint::load(path)?)
         } else {
             None
         };
-        let result = self.run_impl(evaluator, tree, resume, |cp| {
-            cp.save(path).expect("checkpoint write failed");
-        });
-        Ok(result)
+        let policy = RetryPolicy::default();
+        self.run_resumable(evaluator, tree, resume.as_ref(), |cp| {
+            cp.save_with_retry(path, &policy)
+                .map_err(|e| format!("checkpoint write to {} failed: {e}", path.display()))
+        })
+    }
+
+    /// The general resumable entry point the parallel schemes build
+    /// on: applies `resume` (tree, model, progress counters) if
+    /// given, then runs with `on_progress` called after the initial
+    /// conditioning and after every improvement round. A progress
+    /// error (e.g. a checkpoint write that exhausted its retries)
+    /// aborts the search and is returned.
+    pub fn run_resumable<E: Evaluator + ?Sized>(
+        &self,
+        evaluator: &mut E,
+        tree: &mut Tree,
+        resume: Option<&crate::checkpoint::Checkpoint>,
+        on_progress: impl FnMut(&crate::checkpoint::Checkpoint) -> Result<(), String>,
+    ) -> Result<SearchResult, String> {
+        if let Some(cp) = resume {
+            *tree = cp.tree().map_err(|e| e.to_string())?;
+            evaluator.set_model(cp.params);
+            evaluator.set_alpha(cp.alpha);
+        }
+        self.run_impl(evaluator, tree, resume.cloned(), on_progress)
     }
 
     fn run_impl<E: Evaluator + ?Sized>(
@@ -105,8 +130,8 @@ impl MlSearch {
         evaluator: &mut E,
         tree: &mut Tree,
         resume: Option<crate::checkpoint::Checkpoint>,
-        mut on_progress: impl FnMut(&crate::checkpoint::Checkpoint),
-    ) -> SearchResult {
+        mut on_progress: impl FnMut(&crate::checkpoint::Checkpoint) -> Result<(), String>,
+    ) -> Result<SearchResult, String> {
         let _search_span = plf_core::span::enter("search");
         let cfg = &self.config;
         let (mut current, start_round, mut spr_evaluated, mut spr_accepted) = match &resume {
@@ -124,7 +149,7 @@ impl MlSearch {
                     smooth_branches(evaluator, tree, cfg.epsilon, cfg.smoothing_passes);
                 }
                 let ll = evaluator.log_likelihood(tree, 0);
-                on_progress(&self.snapshot(evaluator, tree, 0, ll, 0, 0));
+                on_progress(&self.snapshot(evaluator, tree, 0, ll, 0, 0))?;
                 (ll, 0, 0, 0)
             }
         };
@@ -157,19 +182,19 @@ impl MlSearch {
                 current,
                 spr_evaluated,
                 spr_accepted,
-            ));
+            ))?;
             if (r.accepted == 0 && n.accepted == 0) || gain < cfg.epsilon {
                 break;
             }
         }
 
-        SearchResult {
+        Ok(SearchResult {
             log_likelihood: current,
             rounds,
             spr_evaluated,
             spr_accepted,
             newick: phylo_tree::newick::to_newick(tree),
-        }
+        })
     }
 
     fn snapshot<E: Evaluator + ?Sized>(
@@ -303,6 +328,33 @@ mod tests {
             r_ref.log_likelihood
         );
         let _ = t2;
+    }
+
+    #[test]
+    fn checkpoint_write_failure_is_propagated_not_panicked() {
+        let (_, ca) = dataset(31, 5, 400);
+        let names = default_names(5);
+        let mut tree = random_tree(&names, 0.1, &mut SmallRng::seed_from_u64(2)).unwrap();
+        let mut engine = LikelihoodEngine::new(&tree, &ca, EngineConfig::default());
+        // The checkpoint "directory" is a plain file, so every write
+        // attempt (and every retry) fails with NotADirectory-ish
+        // errors. The search must surface that as Err, not unwind.
+        let dir = std::env::temp_dir().join(format!("phylomic-notadir-{}", std::process::id()));
+        let _ = std::fs::remove_file(&dir);
+        std::fs::write(&dir, b"occupied").unwrap();
+        let path = dir.join("run.ckp");
+        let search = MlSearch::new(SearchConfig {
+            max_rounds: 1,
+            ..Default::default()
+        });
+        let err = search
+            .run_resumable(&mut engine, &mut tree, None, |cp| {
+                cp.save_with_retry(&path, &crate::checkpoint::RetryPolicy::none())
+                    .map_err(|e| format!("checkpoint write failed: {e}"))
+            })
+            .unwrap_err();
+        assert!(err.contains("checkpoint write failed"), "got: {err}");
+        std::fs::remove_file(&dir).ok();
     }
 
     #[test]

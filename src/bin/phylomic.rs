@@ -14,7 +14,7 @@
 
 use phylomic::bio::{fasta, phylip, Alignment, CompressedAlignment};
 use phylomic::models::{DiscreteGamma, Gtr, GtrParams};
-use phylomic::parallel::{run_replicated, ForkJoinEvaluator};
+use phylomic::parallel::{run_replicated_ft, FaultPlan, ForkJoinEvaluator, FtConfig};
 use phylomic::plf::trace::{
     events_from_metrics, events_from_spans, events_from_stats, write_jsonl, TraceEvent,
     TRACE_VERSION,
@@ -72,6 +72,7 @@ USAGE:
                     [--scheme serial|forkjoin|replicated] [--threads N] [--rounds R]
                     [--alpha A] [--kernel K] [--checkpoint FILE] [--out FILE]
                     [--seed S] [--no-model-opt] [--trace-out FILE] [--chrome-out FILE]
+                    [--inject-fault SPEC] [--degrade]
   phylomic bootstrap --alignment FILE [--replicates N] [--rounds R] [--seed S]
                     [--out FILE]
   phylomic trace-report --trace FILE
@@ -84,17 +85,26 @@ metrics as JSONL, in the format micsim's measured-cost calibration
 trace-event JSON, loadable in Perfetto / chrome://tracing, one track
 per worker thread.
 trace-report prints per-kernel time shares, fork/join overhead, worker
-load imbalance and the calibration cost table from a --trace-out file.";
+load imbalance and the calibration cost table from a --trace-out file.
+--checkpoint works with every scheme; under replicated, rank 0 writes
+and all ranks resume from the same snapshot.
+--inject-fault scripts deterministic failures into a replicated or
+fork-join run, e.g. 'rank=2,allreduce=40' (rank 2 dies at its 40th
+AllReduce), 'rank=1,region=3' (fork-join worker 1 panics in its 3rd
+region) or 'ckpt-write=1,count=2' (first two checkpoint write attempts
+fail); faults are ';'-separated and each fires exactly once.
+--degrade makes a replicated run survive rank failures: the pattern
+ranges are re-split over the survivors, the last checkpoint is
+reloaded, and the search resumes with fewer ranks.";
 
-/// Writes `content` to `path` atomically (same-directory temp file +
-/// rename), so a crash mid-write never leaves a truncated trace.
+/// Writes `content` to `path` atomically and durably (same-directory
+/// temp file + fsync + rename + parent-dir fsync), so a crash
+/// mid-write never leaves a truncated trace. Shares the checkpoint
+/// layer's implementation so trace and checkpoint writes have
+/// identical crash semantics.
 fn write_atomic(path: &str, content: &str) -> Result<(), String> {
-    let tmp = format!("{path}.tmp.{}", std::process::id());
-    std::fs::write(&tmp, content).map_err(|e| format!("{tmp}: {e}"))?;
-    std::fs::rename(&tmp, path).map_err(|e| {
-        let _ = std::fs::remove_file(&tmp);
-        format!("{path}: {e}")
-    })
+    phylomic::search::checkpoint::write_atomic(std::path::Path::new(path), content)
+        .map_err(|e| format!("{path}: {e}"))
 }
 
 /// Writes trace events as JSONL to `path` (atomically).
@@ -149,7 +159,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --option, found {key:?}"));
         };
-        if name == "no-model-opt" {
+        if name == "no-model-opt" || name == "degrade" {
             opts.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -308,10 +318,19 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
         ..Default::default()
     });
 
+    let fault_plan = match opts.get("inject-fault") {
+        Some(spec) => Some(std::sync::Arc::new(
+            FaultPlan::parse(spec).map_err(|e| format!("--inject-fault: {e}"))?,
+        )),
+        None => None,
+    };
     let start = std::time::Instant::now();
     let mut trace_events: Vec<TraceEvent> = Vec::new();
     let result = match scheme {
         "serial" => {
+            if fault_plan.is_some() {
+                return Err("--inject-fault needs --scheme replicated or forkjoin".into());
+            }
             let mut engine = LikelihoodEngine::new(&tree, &compressed, config);
             let result = match opts.get("checkpoint") {
                 Some(path) => {
@@ -323,12 +342,34 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
             result
         }
         "forkjoin" => {
-            let mut fj = ForkJoinEvaluator::new(&tree, &compressed, config, threads.max(1));
-            let result = match opts.get("checkpoint") {
-                Some(path) => {
-                    search.run_checkpointed(&mut fj, &mut tree, std::path::Path::new(path))?
+            let mut fj = ForkJoinEvaluator::with_fault_plan(
+                &tree,
+                &compressed,
+                config,
+                threads.max(1),
+                fault_plan,
+            );
+            // A worker panic (injected via rank=R,region=N or real) is
+            // re-raised by the master; turn it into a structured exit
+            // instead of an abort trace.
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                match opts.get("checkpoint") {
+                    Some(path) => {
+                        search.run_checkpointed(&mut fj, &mut tree, std::path::Path::new(path))
+                    }
+                    None => Ok(search.run(&mut fj, &mut tree)),
                 }
-                None => search.run(&mut fj, &mut tree),
+            }));
+            let result = match run {
+                Ok(r) => r?,
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .map(|s| s.as_str())
+                        .or_else(|| payload.downcast_ref::<&str>().copied())
+                        .unwrap_or("worker panicked");
+                    return Err(format!("fork-join region failed: {msg}"));
+                }
             };
             // One kernel-event block per worker (their differing slice
             // widths feed the calibration fit) plus the master's
@@ -340,10 +381,28 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
             result
         }
         "replicated" => {
-            if opts.contains_key("checkpoint") {
-                return Err("--checkpoint is only supported for serial/forkjoin schemes".into());
-            }
-            let out = run_replicated(&tree, &compressed, config, search, threads.max(1));
+            let ft = FtConfig {
+                degrade: opts.contains_key("degrade"),
+                checkpoint: opts.get("checkpoint").map(std::path::PathBuf::from),
+                fault_plan,
+                ..FtConfig::new(threads.max(1))
+            };
+            // Rank failure unwinds via a CommError panic payload that
+            // the supervisor catches and reports structurally; keep
+            // the default hook's per-thread backtrace spam off stderr
+            // for that expected path (anything else still prints).
+            let prev_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if info
+                    .payload()
+                    .downcast_ref::<phylomic::parallel::CommError>()
+                    .is_none()
+                {
+                    prev_hook(info);
+                }
+            }));
+            let out = run_replicated_ft(&tree, &compressed, config, search, &ft)
+                .map_err(|e| e.to_string())?;
             trace_events = events_from_stats("replicated", &out.kernel_stats);
             out.result
         }

@@ -237,6 +237,214 @@ fn traced_search_trace_report_and_chrome_export() {
 }
 
 #[test]
+fn replicated_search_checkpoints_and_resumes() {
+    let dir = tmpdir().join("repl");
+    std::fs::create_dir_all(&dir).unwrap();
+    let phy = dir.join("r.phy");
+    let out = bin()
+        .args([
+            "simulate",
+            "--taxa",
+            "8",
+            "--sites",
+            "400",
+            "--seed",
+            "21",
+            "--out",
+            phy.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Replicated search with a checkpoint — the restriction that
+    // checkpointing only worked with the serial scheme is gone.
+    let ckp = dir.join("repl.ckp");
+    let out = bin()
+        .args([
+            "search",
+            "--alignment",
+            phy.to_str().unwrap(),
+            "--scheme",
+            "replicated",
+            "--threads",
+            "3",
+            "--rounds",
+            "1",
+            "--no-model-opt",
+            "--checkpoint",
+            ckp.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(ckp.exists(), "rank 0 must write the checkpoint");
+    let first: f64 = String::from_utf8_lossy(&out.stdout)
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+
+    // Resume at a different rank count: snapshots are rank-agnostic.
+    let out = bin()
+        .args([
+            "search",
+            "--alignment",
+            phy.to_str().unwrap(),
+            "--scheme",
+            "replicated",
+            "--threads",
+            "2",
+            "--rounds",
+            "3",
+            "--no-model-opt",
+            "--checkpoint",
+            ckp.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let resumed: f64 = String::from_utf8_lossy(&out.stdout)
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        resumed >= first - 1e-6,
+        "resume regressed: {resumed} < {first}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_rank_death_fails_structured_and_degrade_survives() {
+    let dir = tmpdir().join("inject");
+    std::fs::create_dir_all(&dir).unwrap();
+    let phy = dir.join("i.phy");
+    let out = bin()
+        .args([
+            "simulate",
+            "--taxa",
+            "8",
+            "--sites",
+            "300",
+            "--seed",
+            "33",
+            "--out",
+            phy.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let search_args = |extra: &[&str]| {
+        let mut v = vec![
+            "search".to_string(),
+            "--alignment".into(),
+            phy.to_str().unwrap().into(),
+            "--scheme".into(),
+            "replicated".into(),
+            "--threads".into(),
+            "3".into(),
+            "--rounds".into(),
+            "2".into(),
+            "--no-model-opt".into(),
+        ];
+        v.extend(extra.iter().map(|s| s.to_string()));
+        v
+    };
+
+    // Scripted death without --degrade: a clean, structured failure —
+    // nonzero exit, the dead rank named on stderr, no hang (the test
+    // harness itself would time out on a deadlock).
+    let out = bin()
+        .args(search_args(&["--inject-fault", "rank=1,allreduce=5"]))
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "rank death must fail the run");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("rank 1"), "stderr must name the rank: {err}");
+
+    // Same fault with --degrade: the run re-splits over the survivors
+    // and completes successfully.
+    let out = bin()
+        .args(search_args(&[
+            "--inject-fault",
+            "rank=1,allreduce=5",
+            "--degrade",
+        ]))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "--degrade must survive a single rank death: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let ll: f64 = text.split_whitespace().nth(1).unwrap().parse().unwrap();
+    assert!(ll.is_finite() && ll < 0.0, "bad logL in: {text}");
+
+    // A malformed injection spec is a usage error.
+    let out = bin()
+        .args(search_args(&["--inject-fault", "rank=two,allreduce=x"]))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--inject-fault"));
+
+    // Injection is wired into fork-join too: a scripted worker panic
+    // exits structurally instead of aborting or hanging the pool.
+    let out = bin()
+        .args([
+            "search",
+            "--alignment",
+            phy.to_str().unwrap(),
+            "--scheme",
+            "forkjoin",
+            "--threads",
+            "3",
+            "--rounds",
+            "1",
+            "--no-model-opt",
+            "--inject-fault",
+            "rank=1,region=2",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("fork-join region failed"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Under the serial scheme the flag is meaningless — reject it
+    // rather than silently ignoring the requested fault.
+    let out = bin()
+        .args([
+            "search",
+            "--alignment",
+            phy.to_str().unwrap(),
+            "--inject-fault",
+            "rank=1,allreduce=1",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--scheme"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     // Unknown subcommand.
     let out = bin().arg("frobnicate").output().unwrap();

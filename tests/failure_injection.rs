@@ -4,8 +4,15 @@
 
 use phylomic::bio::{fasta, phylip, Alignment, CompressedAlignment, Sequence};
 use phylomic::models::{DiscreteGamma, Gtr, GtrParams};
+use phylomic::parallel::{run_replicated_ft, CommError, FaultPlan, FtConfig, ReplicatedError};
 use phylomic::plf::{EngineConfig, KernelKind, LikelihoodEngine};
-use phylomic::tree::{newick, tree::BL_MAX, tree::BL_MIN};
+use phylomic::search::checkpoint::Checkpoint;
+use phylomic::search::{MlSearch, SearchConfig};
+use phylomic::tree::{newick, tree::BL_MAX, tree::BL_MIN, Tree};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn toy_aln(width: usize) -> CompressedAlignment {
     let mk = |name: &str, pat: &str| {
@@ -167,6 +174,180 @@ fn deep_tree_underflow_is_scaled_not_zeroed() {
         let ll = engine.log_likelihood(&tree, 0);
         assert!(ll.is_finite() && ll < 0.0, "{kernel:?}: logL {ll}");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Scripted fault injection against the replicated search: rank death at
+// collective sites, checkpoint I/O errors, and degrade-and-resume.
+// ---------------------------------------------------------------------------
+
+/// A small simulated dataset with enough signal that the search does
+/// real rounds (and therefore real collectives) at every rank count.
+fn search_dataset() -> (Tree, CompressedAlignment) {
+    use phylomic::tree::build::{default_names, random_tree};
+    let mut rng = SmallRng::seed_from_u64(77);
+    let names = default_names(8);
+    let tree = random_tree(&names, 0.12, &mut rng).unwrap();
+    let g = Gtr::new(GtrParams::jc69());
+    let gamma = DiscreteGamma::new(1.0);
+    let aln = phylomic::seqgen::simulate_alignment(&tree, g.eigen(), &gamma, 600, &mut rng);
+    (tree, CompressedAlignment::from_alignment(&aln))
+}
+
+fn short_search(max_rounds: usize) -> MlSearch {
+    MlSearch::new(SearchConfig {
+        max_rounds,
+        optimize_model: false,
+        ..Default::default()
+    })
+}
+
+/// Runs `f` on a helper thread and fails the test if it has not
+/// completed within `secs`. This turns "the collective error path is
+/// deadlock-free" into an enforced bound instead of a hung test run.
+fn within_deadline<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(Duration::from_secs(secs))
+        .expect("deadline exceeded: a collective error path is hanging")
+}
+
+#[test]
+fn rank_death_at_collective_sites_fails_structured_within_bounded_time() {
+    // Matrix over rank counts and death sites: early, mid-round, and
+    // deep into the search. In every cell the surviving ranks must
+    // unblock, the supervisor must join all threads, and the outcome
+    // must name the dead rank.
+    for (ranks, dead, at) in [(2, 1, 1), (3, 2, 2), (3, 1, 7), (4, 3, 25)] {
+        let err = within_deadline(120, move || {
+            let (tree, aln) = search_dataset();
+            let mut ft = FtConfig::new(ranks);
+            ft.fault_plan = Some(Arc::new(FaultPlan::rank_death(dead, at)));
+            run_replicated_ft(&tree, &aln, EngineConfig::default(), short_search(3), &ft)
+                .unwrap_err()
+        });
+        assert_eq!(
+            err,
+            ReplicatedError::Comm(CommError::PeerFailed { rank: dead }),
+            "ranks={ranks} dead={dead} at={at}"
+        );
+    }
+}
+
+#[test]
+fn transient_checkpoint_io_errors_are_retried_through() {
+    let dir = std::env::temp_dir().join(format!("phylomic-fi-retry-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("retry.ckp");
+    let _ = std::fs::remove_file(&path);
+
+    let (tree, aln) = search_dataset();
+    let mut ft = FtConfig::new(2);
+    ft.checkpoint = Some(path.clone());
+    // First two write attempts fail; the default policy retries five
+    // times, so the run must still complete and leave a valid file.
+    ft.fault_plan = Some(Arc::new(FaultPlan::checkpoint_write_errors(1, 2)));
+    ft.retry.base_backoff = Duration::from_millis(1);
+    let out = run_replicated_ft(&tree, &aln, EngineConfig::default(), short_search(2), &ft)
+        .expect("transient I/O errors within the retry budget must not kill the run");
+    let cp = Checkpoint::load(&path).expect("checkpoint must be parseable after retries");
+    assert!((cp.log_likelihood - out.result.log_likelihood).abs() <= 1e-9);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn persistent_checkpoint_io_errors_preserve_the_previous_snapshot() {
+    let dir = std::env::temp_dir().join(format!("phylomic-fi-keep-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("keep.ckp");
+    let _ = std::fs::remove_file(&path);
+    let (tree, aln) = search_dataset();
+    let cfg = EngineConfig::default();
+
+    // Seed a valid snapshot with a clean short run.
+    let mut ft = FtConfig::new(2);
+    ft.checkpoint = Some(path.clone());
+    run_replicated_ft(&tree, &aln, cfg, short_search(1), &ft).unwrap();
+    let before = std::fs::read_to_string(&path).unwrap();
+
+    // Resume with every subsequent write failing: the run reports the
+    // checkpoint error group-wide within bounded time, and the file on
+    // disk is still byte-for-byte the last good snapshot (atomic
+    // replace never exposes a partial write).
+    ft.fault_plan = Some(Arc::new(FaultPlan::checkpoint_write_errors(1, u64::MAX)));
+    ft.retry.attempts = 2;
+    ft.retry.base_backoff = Duration::from_millis(1);
+    let err = within_deadline(120, {
+        let (tree, aln, ft) = (tree.clone(), aln.clone(), ft.clone());
+        move || run_replicated_ft(&tree, &aln, cfg, short_search(3), &ft).unwrap_err()
+    });
+    assert!(
+        matches!(err, ReplicatedError::Checkpoint(_)),
+        "expected a checkpoint error, got {err:?}"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&path).unwrap(),
+        before,
+        "failed writes must not corrupt the previous snapshot"
+    );
+    Checkpoint::load(&path).expect("snapshot must still parse");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn degrade_and_resume_matches_uninterrupted_lower_rank_run() {
+    let dir = std::env::temp_dir().join(format!("phylomic-fi-degrade-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (tree, aln) = search_dataset();
+    let cfg = EngineConfig::default();
+
+    // Phase 1: a 3-rank run checkpoints after round 1.
+    let seed_path = dir.join("seed.ckp");
+    let mut seed_ft = FtConfig::new(3);
+    seed_ft.checkpoint = Some(seed_path.clone());
+    run_replicated_ft(&tree, &aln, cfg, short_search(1), &seed_ft).unwrap();
+
+    // Two identical copies of the snapshot, one per scenario.
+    let killed_path = dir.join("killed.ckp");
+    let clean_path = dir.join("clean.ckp");
+    std::fs::copy(&seed_path, &killed_path).unwrap();
+    std::fs::copy(&seed_path, &clean_path).unwrap();
+
+    // Scenario A: resume at 3 ranks, rank 1 dies early in the next
+    // round (before any new snapshot lands), --degrade re-splits over
+    // the 2 survivors which reload the same round-1 snapshot.
+    let err_then_degrade = within_deadline(180, {
+        let (tree, aln) = (tree.clone(), aln.clone());
+        let mut ft = FtConfig::new(3);
+        ft.degrade = true;
+        ft.checkpoint = Some(killed_path.clone());
+        ft.fault_plan = Some(Arc::new(FaultPlan::rank_death(1, 10)));
+        move || run_replicated_ft(&tree, &aln, cfg, short_search(4), &ft).unwrap()
+    });
+    assert_eq!(
+        err_then_degrade.rank_likelihoods.len(),
+        2,
+        "must have finished on the survivors"
+    );
+
+    // Scenario B: an uninterrupted 2-rank run resuming from the same
+    // snapshot — the ground truth the degraded run must reproduce.
+    let clean = {
+        let mut ft = FtConfig::new(2);
+        ft.checkpoint = Some(clean_path.clone());
+        run_replicated_ft(&tree, &aln, cfg, short_search(4), &ft).unwrap()
+    };
+
+    assert!(
+        (err_then_degrade.result.log_likelihood - clean.result.log_likelihood).abs() <= 1e-9,
+        "degraded resume {} vs uninterrupted 2-rank {}",
+        err_then_degrade.result.log_likelihood,
+        clean.result.log_likelihood
+    );
+    assert_eq!(err_then_degrade.result.newick, clean.result.newick);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
