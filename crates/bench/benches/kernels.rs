@@ -74,7 +74,7 @@ fn fixture() -> Fixture {
 
 fn bench_kernels(c: &mut Criterion) {
     let mut fx = fixture();
-    let variants = [KernelKind::Scalar, KernelKind::Vector];
+    let variants = [KernelKind::Scalar, KernelKind::Vector, KernelKind::Simd];
 
     let mut g = c.benchmark_group("newview_ii");
     g.throughput(Throughput::Elements(PATTERNS as u64));

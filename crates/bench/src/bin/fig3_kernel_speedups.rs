@@ -32,7 +32,7 @@ fn main() {
     println!("(real wall time on this machine; §V-B layout + fusion + blocking)");
     println!();
     let (tree, aln) = paper_dataset(15, 20_000, 99);
-    for kind in [KernelKind::Scalar, KernelKind::Vector] {
+    for kind in [KernelKind::Scalar, KernelKind::Vector, KernelKind::Simd] {
         let mut engine = LikelihoodEngine::new(
             &tree,
             &aln,

@@ -1,0 +1,366 @@
+//! `plf-microbench`: per-kernel, per-backend wall-time measurement
+//! (the host-side analogue of the paper's Figure 3 / Table III sweep).
+//!
+//! Times all eight PLF kernels under every kernel backend —
+//! `scalar`, `vector`, and `simd` — across the alignment widths the
+//! paper varies in Table III, and writes `BENCH_5.json` with ns/site
+//! per kernel per backend plus the speedup of each backend over the
+//! scalar reference.
+//!
+//! Methodology: per (kernel, backend, size) the kernel runs `WARMUP`
+//! untimed rounds, then `REPS` timed rounds; the minimum and maximum
+//! round are discarded and the rest averaged (trimmed mean), divided
+//! by the pattern count to give ns/site. Inputs are drawn from a range
+//! that never triggers numerical rescaling, and the scaling counters
+//! produced by every backend are asserted identical before timing —
+//! so all backends do exactly the same scaling work and the comparison
+//! is purely about the arithmetic/memory pipeline.
+//!
+//! The binary doubles as the CI perf gate: if the explicit-SIMD
+//! backend is available on the host but fails to beat the scalar
+//! reference on `newview_ii` at the largest measured size, it exits
+//! nonzero.
+//!
+//! Run: `cargo run --release -p phylo-bench --bin plf-microbench`
+//! Flags: `--quick` (10 000 patterns only), `--out PATH`
+//! (default `BENCH_5.json`).
+
+use phylo_models::{DiscreteGamma, Gtr, GtrParams, ProbMatrix};
+use plf_core::cla::Cla;
+use plf_core::layout::{EigenBasis, FusedPmat, Lut16x16};
+use plf_core::{AlignedVec, KernelKind, SITE_STRIDE};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Table III varies alignment width over roughly three decades; these
+/// are the pattern counts after compression that the host sweep uses.
+const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+const QUICK_SIZES: [usize; 1] = [10_000];
+const BACKENDS: [KernelKind; 3] = [KernelKind::Scalar, KernelKind::Vector, KernelKind::Simd];
+const KERNELS: [&str; 8] = [
+    "newview_tt",
+    "newview_ti",
+    "newview_ii",
+    "evaluate_ti",
+    "evaluate_ii",
+    "derivative_sum_ti",
+    "derivative_sum_ii",
+    "derivative_core",
+];
+const WARMUP: usize = 2;
+const REPS: usize = 12;
+/// Rounds dropped from each end of the sorted timings (interquartile
+/// trimmed mean — the host may be a noisy shared VM).
+const TRIM: usize = 3;
+
+struct Fixture {
+    patterns: usize,
+    p_l: FusedPmat,
+    p_r: FusedPmat,
+    lut_l: Lut16x16,
+    lut_r: Lut16x16,
+    pi_tip: Lut16x16,
+    pi_w: [f64; SITE_STRIDE],
+    basis: EigenBasis,
+    codes: Vec<u8>,
+    v_l: Cla,
+    v_r: Cla,
+    weights: Vec<u32>,
+    sumtable: AlignedVec,
+}
+
+fn fixture(patterns: usize) -> Fixture {
+    let gtr = Gtr::new(GtrParams {
+        rates: [1.1, 2.6, 0.8, 1.2, 3.4, 1.0],
+        freqs: [0.29, 0.21, 0.22, 0.28],
+    });
+    let gamma = DiscreteGamma::new(0.85);
+    let rates = *gamma.rates();
+    let p_l = FusedPmat::from_prob(&ProbMatrix::new(gtr.eigen(), &rates, 0.13));
+    let p_r = FusedPmat::from_prob(&ProbMatrix::new(gtr.eigen(), &rates, 0.27));
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut v_l = Cla::new(patterns);
+    let mut v_r = Cla::new(patterns);
+    // 0.25..0.75: far above the 2^-256 rescaling threshold, so no
+    // backend ever scales and the counters stay fixed at zero.
+    for v in v_l
+        .values_mut()
+        .iter_mut()
+        .chain(v_r.values_mut().iter_mut())
+    {
+        *v = rng.random::<f64>() * 0.5 + 0.25;
+    }
+    let codes: Vec<u8> = (0..patterns)
+        .map(|_| [1u8, 2, 4, 8, 15][rng.random_range(0..5usize)])
+        .collect();
+    let mut pi_w = [0.0; SITE_STRIDE];
+    for k in 0..4 {
+        for a in 0..4 {
+            pi_w[4 * k + a] = 0.25 * gtr.freqs()[a];
+        }
+    }
+    Fixture {
+        patterns,
+        lut_l: Lut16x16::tip_prob(&p_l),
+        lut_r: Lut16x16::tip_prob(&p_r),
+        pi_tip: Lut16x16::tip_pi(&gtr.freqs()),
+        basis: EigenBasis::new(gtr.eigen(), &rates),
+        p_l,
+        p_r,
+        pi_w,
+        codes,
+        v_l,
+        v_r,
+        weights: vec![1; patterns],
+        sumtable: AlignedVec::zeroed(patterns * SITE_STRIDE),
+    }
+}
+
+/// Runs `kernel` once under `kind`, returning the scaling counters it
+/// produced (empty for kernels that have none). Used both as the
+/// warmup/timed body and for the cross-backend counter assertion.
+fn run_kernel(fx: &mut Fixture, kernel: &str, kind: KernelKind, out: &mut Cla) -> Vec<u32> {
+    let k = kind.kernels();
+    match kernel {
+        "newview_tt" => {
+            let (v, s) = out.buffers_mut();
+            k.newview_tt(&fx.lut_l, &fx.lut_r, &fx.codes, &fx.codes, v, s);
+            out.scale().to_vec()
+        }
+        "newview_ti" => {
+            let (v, s) = out.buffers_mut();
+            k.newview_ti(
+                &fx.lut_l,
+                &fx.codes,
+                &fx.p_r,
+                fx.v_r.values(),
+                fx.v_r.scale(),
+                v,
+                s,
+            );
+            out.scale().to_vec()
+        }
+        "newview_ii" => {
+            let (v, s) = out.buffers_mut();
+            k.newview_ii(
+                &fx.p_l,
+                fx.v_l.values(),
+                fx.v_l.scale(),
+                &fx.p_r,
+                fx.v_r.values(),
+                fx.v_r.scale(),
+                v,
+                s,
+            );
+            out.scale().to_vec()
+        }
+        "evaluate_ti" => {
+            black_box(k.evaluate_ti(
+                &fx.pi_tip,
+                &fx.codes,
+                &fx.p_r,
+                fx.v_r.values(),
+                fx.v_r.scale(),
+                &fx.weights,
+            ));
+            Vec::new()
+        }
+        "evaluate_ii" => {
+            black_box(k.evaluate_ii(
+                &fx.pi_w,
+                fx.v_l.values(),
+                fx.v_l.scale(),
+                &fx.p_r,
+                fx.v_r.values(),
+                fx.v_r.scale(),
+                &fx.weights,
+            ));
+            Vec::new()
+        }
+        "derivative_sum_ti" => {
+            k.derivative_sum_ti(&fx.basis, &fx.codes, fx.v_r.values(), &mut fx.sumtable);
+            Vec::new()
+        }
+        "derivative_sum_ii" => {
+            k.derivative_sum_ii(
+                &fx.basis,
+                fx.v_l.values(),
+                fx.v_r.values(),
+                &mut fx.sumtable,
+            );
+            Vec::new()
+        }
+        "derivative_core" => {
+            black_box(k.derivative_core(&fx.sumtable, &fx.basis.lambda_rate, 0.2, &fx.weights));
+            Vec::new()
+        }
+        other => panic!("unknown kernel {other}"),
+    }
+}
+
+/// Trimmed-mean ns/site for one (kernel, backend, size) cell.
+fn time_kernel(fx: &mut Fixture, kernel: &str, kind: KernelKind) -> f64 {
+    let mut out = Cla::new(fx.patterns);
+    // derivative_core reads the sumtable; make sure it holds real data
+    // (the sum kernels are measured before it in KERNELS order, but a
+    // fresh fixture per backend must not depend on that).
+    if kernel == "derivative_core" {
+        run_kernel(fx, "derivative_sum_ii", KernelKind::Vector, &mut out);
+    }
+    for _ in 0..WARMUP {
+        run_kernel(fx, kernel, kind, &mut out);
+    }
+    let mut rounds = [0.0f64; REPS];
+    for r in rounds.iter_mut() {
+        let start = Instant::now();
+        run_kernel(fx, kernel, kind, &mut out);
+        *r = start.elapsed().as_secs_f64();
+    }
+    rounds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let trimmed = &rounds[TRIM..REPS - TRIM];
+    let mean = trimmed.iter().sum::<f64>() / trimmed.len() as f64;
+    mean * 1e9 / fx.patterns as f64
+}
+
+struct Cell {
+    kernel: &'static str,
+    patterns: usize,
+    /// ns/site, indexed like `BACKENDS`.
+    ns: [f64; 3],
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_5.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other}; usage: plf-microbench [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let sizes: &[usize] = if quick { &QUICK_SIZES } else { &SIZES };
+    let simd = KernelKind::simd_available();
+
+    println!("plf-microbench: per-kernel ns/site, {BACKENDS:?}");
+    println!(
+        "host SIMD (avx2+fma): {}  |  sizes: {sizes:?}  |  reps: {REPS} (trimmed)",
+        if simd {
+            "available"
+        } else {
+            "UNAVAILABLE (simd falls back to vector)"
+        }
+    );
+    println!();
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &n in sizes {
+        println!("== {n} patterns ==");
+        let mut fx = fixture(n);
+
+        // Scaling-event parity gate: every backend must produce
+        // bit-identical counters on every newview kernel before any
+        // timing is trusted.
+        for kernel in ["newview_tt", "newview_ti", "newview_ii"] {
+            let mut out = Cla::new(n);
+            let reference = run_kernel(&mut fx, kernel, KernelKind::Scalar, &mut out);
+            for kind in [KernelKind::Vector, KernelKind::Simd] {
+                let got = run_kernel(&mut fx, kernel, kind, &mut out);
+                assert_eq!(
+                    reference, got,
+                    "{kernel}: scaling counters differ between Scalar and {kind:?}"
+                );
+            }
+        }
+
+        for kernel in KERNELS {
+            let mut ns = [0.0f64; 3];
+            for (i, kind) in BACKENDS.iter().enumerate() {
+                ns[i] = time_kernel(&mut fx, kernel, *kind);
+            }
+            println!(
+                "  {kernel:<18} scalar {:>8.2}  vector {:>8.2} ({:>5.2}x)  simd {:>8.2} ({:>5.2}x)",
+                ns[0],
+                ns[1],
+                ns[0] / ns[1],
+                ns[2],
+                ns[0] / ns[2],
+            );
+            cells.push(Cell {
+                kernel,
+                patterns: n,
+                ns,
+            });
+        }
+        println!();
+    }
+
+    let json = render_json(&cells, simd);
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    println!("wrote {out_path}");
+
+    // CI gate: with AVX2+FMA present, the explicit-SIMD backend must
+    // beat the scalar reference on the hot kernel at the largest size.
+    if simd {
+        let biggest = sizes.iter().copied().max().unwrap();
+        let cell = cells
+            .iter()
+            .find(|c| c.kernel == "newview_ii" && c.patterns == biggest)
+            .expect("newview_ii cell");
+        let speedup = cell.ns[0] / cell.ns[2];
+        if speedup <= 1.0 {
+            eprintln!(
+                "FAIL: simd newview_ii is not faster than scalar at {biggest} patterns \
+                 ({:.2} vs {:.2} ns/site, {speedup:.2}x)",
+                cell.ns[2], cell.ns[0]
+            );
+            std::process::exit(1);
+        }
+        println!("gate: simd newview_ii {speedup:.2}x vs scalar at {biggest} patterns — ok");
+    }
+}
+
+/// Hand-rolled JSON (the workspace has no serde): one record per
+/// (kernel, size) with ns/site per backend and speedups vs scalar.
+fn render_json(cells: &[Cell], simd: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"plf-microbench/1\",");
+    let _ = writeln!(s, "  \"host_simd\": {simd},");
+    let _ = writeln!(s, "  \"backends\": [\"scalar\", \"vector\", \"simd\"],");
+    s.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"kernel\": \"{}\", \"patterns\": {}, \
+             \"ns_per_site\": {{\"scalar\": {:.3}, \"vector\": {:.3}, \"simd\": {:.3}}}, \
+             \"speedup_vs_scalar\": {{\"vector\": {:.3}, \"simd\": {:.3}}}}}",
+            c.kernel,
+            c.patterns,
+            c.ns[0],
+            c.ns[1],
+            c.ns[2],
+            c.ns[0] / c.ns[1],
+            c.ns[0] / c.ns[2],
+        );
+        s.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -77,6 +77,29 @@ impl AlignedVec {
     }
 }
 
+/// Debug-asserts the SIMD-kernel buffer contract (§V-B2, documented in
+/// [`crate::layout`]): `buf` holds exactly `sites` whole
+/// [`crate::SITE_STRIDE`]-double blocks and its base address is 64-byte
+/// aligned — both guaranteed by [`AlignedVec`] for engine-owned CLAs
+/// and sumtables. The explicit-SIMD backend calls this at every kernel
+/// entry so a mis-padded or under-aligned buffer fails loudly in debug
+/// builds instead of silently degrading (unaligned loads) or faulting a
+/// streaming store.
+#[inline]
+pub fn debug_assert_site_buffer(buf: &[f64], sites: usize, what: &str) {
+    debug_assert_eq!(
+        buf.len(),
+        sites * crate::SITE_STRIDE,
+        "{what}: buffer not padded to whole SITE_STRIDE blocks"
+    );
+    // Empty buffers may be dangling (AlignedVec allocates nothing for
+    // len 0); no site is ever loaded from them, so alignment is moot.
+    debug_assert!(
+        buf.is_empty() || (buf.as_ptr() as usize).is_multiple_of(ALIGNMENT),
+        "{what}: buffer base not 64-byte aligned"
+    );
+}
+
 impl Deref for AlignedVec {
     type Target = [f64];
     fn deref(&self) -> &[f64] {
@@ -189,6 +212,36 @@ mod tests {
         let mut v = AlignedVec::zeroed(8);
         v.fill(2.5);
         assert!(v.iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn kernel_buffer_contract_accepts_aligned_whole_site_buffers() {
+        for sites in [0usize, 1, 7, 31] {
+            let v = AlignedVec::zeroed(sites * crate::SITE_STRIDE);
+            debug_assert_site_buffer(&v, sites, "test");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole SITE_STRIDE blocks")]
+    fn kernel_buffer_contract_rejects_partial_site_padding() {
+        let v = AlignedVec::zeroed(crate::SITE_STRIDE - 1);
+        debug_assert_site_buffer(&v, 1, "test");
+        // Release builds compile the check out; fail the same way so
+        // the should_panic expectation holds in every profile.
+        #[cfg(not(debug_assertions))]
+        panic!("whole SITE_STRIDE blocks");
+    }
+
+    #[test]
+    #[should_panic(expected = "not 64-byte aligned")]
+    fn kernel_buffer_contract_rejects_misaligned_base() {
+        // Offset by 4 doubles = 32 bytes: still a whole-site length,
+        // but the base is only 32-byte aligned.
+        let v = AlignedVec::zeroed(3 * crate::SITE_STRIDE);
+        debug_assert_site_buffer(&v[4..4 + 2 * crate::SITE_STRIDE], 2, "test");
+        #[cfg(not(debug_assertions))]
+        panic!("not 64-byte aligned");
     }
 
     #[test]

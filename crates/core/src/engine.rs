@@ -25,7 +25,11 @@ use phylo_tree::{EdgeId, NodeId, Tree};
 /// Engine construction options.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
-    /// Which kernel implementation to run.
+    /// Which kernel implementation to run. Resolved through
+    /// [`KernelKind::effective`] at construction: the
+    /// `PHYLOMIC_KERNELS` environment variable (when set) overrides
+    /// this field, and `Auto`/unavailable-`Simd` resolve to a concrete
+    /// backend for the host.
     pub kernel: KernelKind,
     /// Γ shape parameter α.
     pub alpha: f64,
@@ -34,7 +38,7 @@ pub struct EngineConfig {
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
-            kernel: KernelKind::Vector,
+            kernel: KernelKind::Auto,
             alpha: 1.0,
         }
     }
@@ -127,9 +131,10 @@ impl LikelihoodEngine {
             rates: [1.0; 6],
             freqs: aln.empirical_frequencies(),
         };
+        let kind = config.kernel.effective();
         let mut engine = LikelihoodEngine {
-            kind: config.kernel,
-            kernel: config.kernel.kernels(),
+            kind,
+            kernel: kind.kernels(),
             params,
             eigen: Gtr::new(params).eigen().clone(),
             gamma: DiscreteGamma::new(config.alpha),
@@ -219,7 +224,9 @@ impl LikelihoodEngine {
         &self.weights
     }
 
-    /// Which kernel variant runs.
+    /// The concrete kernel backend this engine runs (env override and
+    /// runtime dispatch already resolved; never `Auto`). This is the
+    /// kind recorded in trace metadata.
     pub fn kernel_kind(&self) -> KernelKind {
         self.kind
     }
@@ -533,25 +540,9 @@ mod tests {
         (tree, aln)
     }
 
-    fn engines(tree: &Tree, aln: &CompressedAlignment) -> [LikelihoodEngine; 2] {
-        [
-            LikelihoodEngine::new(
-                tree,
-                aln,
-                EngineConfig {
-                    kernel: KernelKind::Scalar,
-                    alpha: 0.7,
-                },
-            ),
-            LikelihoodEngine::new(
-                tree,
-                aln,
-                EngineConfig {
-                    kernel: KernelKind::Vector,
-                    alpha: 0.7,
-                },
-            ),
-        ]
+    fn engines(tree: &Tree, aln: &CompressedAlignment) -> [LikelihoodEngine; 3] {
+        [KernelKind::Scalar, KernelKind::Vector, KernelKind::Simd]
+            .map(|kernel| LikelihoodEngine::new(tree, aln, EngineConfig { kernel, alpha: 0.7 }))
     }
 
     #[test]
@@ -583,13 +574,15 @@ mod tests {
     }
 
     #[test]
-    fn scalar_and_vector_agree_bitwise_closely() {
+    fn all_backends_agree_bitwise_closely() {
         let (tree, aln) = five_taxon();
-        let [mut s, mut v] = engines(&tree, &aln);
+        let [mut s, mut v, mut x] = engines(&tree, &aln);
         for e in tree.edge_ids() {
             let ls = s.log_likelihood(&tree, e);
             let lv = v.log_likelihood(&tree, e);
+            let lx = x.log_likelihood(&tree, e);
             assert!((ls - lv).abs() < 1e-10, "edge {e}: {ls} vs {lv}");
+            assert!((ls - lx).abs() < 1e-10, "edge {e}: {ls} vs simd {lx}");
         }
     }
 

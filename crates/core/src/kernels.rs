@@ -7,27 +7,145 @@
 //! its endpoints).
 
 pub mod scalar;
+pub mod simd;
 pub mod vector;
 
 use crate::layout::{EigenBasis, FusedPmat, Lut16x16};
 use crate::SITE_STRIDE;
 
 /// Which kernel implementation an engine uses.
+///
+/// `Scalar`, `Vector` and `Simd` name concrete backends; `Auto` is the
+/// runtime dispatcher (the engine default): it resolves to `Simd` when
+/// the host CPU supports AVX2+FMA and to `Vector` otherwise. All
+/// parsing and rendering of kernel names goes through the single
+/// [`std::str::FromStr`]/[`std::fmt::Display`] pair below — `match`
+/// sites over user-facing names must not be duplicated elsewhere, so
+/// adding a variant cannot silently miss a site.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum KernelKind {
     /// Straightforward nested-loop reference implementation.
     Scalar,
-    /// MIC-style fused-loop, site-blocked implementation (§V-B).
+    /// MIC-style fused-loop, site-blocked implementation (§V-B),
+    /// written so LLVM auto-vectorizes.
     Vector,
+    /// Explicit AVX2+FMA intrinsics with streaming stores and
+    /// prefetching (§V-B1–B5 on commodity x86). Resolves to `Vector`
+    /// on hosts without AVX2+FMA (and on non-x86 targets).
+    Simd,
+    /// Runtime ISA dispatch: `Simd` when available, else `Vector`.
+    Auto,
 }
 
 impl KernelKind {
-    /// The implementation behind this kind.
-    pub fn kernels(self) -> &'static dyn Kernels {
+    /// Every variant, in parse/display order (for round-trip tests and
+    /// CLI help).
+    pub const ALL: [KernelKind; 4] = [
+        KernelKind::Scalar,
+        KernelKind::Vector,
+        KernelKind::Simd,
+        KernelKind::Auto,
+    ];
+
+    /// Whether the explicit-SIMD backend can run on this host (x86-64
+    /// with AVX2 and FMA detected at runtime).
+    pub fn simd_available() -> bool {
+        simd::simd_available()
+    }
+
+    /// Resolves runtime dispatch to a concrete backend: `Auto` picks
+    /// `Simd` when the host supports it and `Vector` otherwise; `Simd`
+    /// likewise degrades to `Vector` on hosts without AVX2+FMA. The
+    /// resolved kind is what engines record in trace metadata.
+    pub fn resolve(self) -> KernelKind {
         match self {
+            KernelKind::Scalar | KernelKind::Vector => self,
+            KernelKind::Simd | KernelKind::Auto => {
+                if Self::simd_available() {
+                    KernelKind::Simd
+                } else {
+                    KernelKind::Vector
+                }
+            }
+        }
+    }
+
+    /// The `PHYLOMIC_KERNELS` environment override, parsed once per
+    /// process. Returns `None` when the variable is unset or empty.
+    ///
+    /// # Panics
+    /// Panics on an unparseable value: a mistyped backend name must
+    /// not silently fall back to the default.
+    pub fn env_override() -> Option<KernelKind> {
+        static OVERRIDE: std::sync::OnceLock<Option<KernelKind>> = std::sync::OnceLock::new();
+        *OVERRIDE.get_or_init(|| {
+            let v = std::env::var("PHYLOMIC_KERNELS").ok()?;
+            let v = v.trim();
+            if v.is_empty() {
+                return None;
+            }
+            Some(
+                v.parse()
+                    .unwrap_or_else(|e: KernelKindParseError| panic!("PHYLOMIC_KERNELS: {e}")),
+            )
+        })
+    }
+
+    /// The backend an engine configured with `self` actually runs:
+    /// `PHYLOMIC_KERNELS` (when set) overrides the configured kind,
+    /// then runtime dispatch resolves to a concrete backend.
+    pub fn effective(self) -> KernelKind {
+        Self::env_override().unwrap_or(self).resolve()
+    }
+
+    /// The implementation behind this kind (dispatch resolved first).
+    pub fn kernels(self) -> &'static dyn Kernels {
+        match self.resolve() {
             KernelKind::Scalar => &scalar::ScalarKernels,
             KernelKind::Vector => &vector::VectorKernels,
+            KernelKind::Simd => &simd::SimdKernels,
+            KernelKind::Auto => unreachable!("resolve() returns a concrete backend"),
         }
+    }
+}
+
+/// An unrecognized kernel-backend name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelKindParseError(String);
+
+impl std::fmt::Display for KernelKindParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown kernel backend {:?} (expected scalar, vector, simd or auto)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for KernelKindParseError {}
+
+impl std::str::FromStr for KernelKind {
+    type Err = KernelKindParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scalar" => Ok(KernelKind::Scalar),
+            "vector" => Ok(KernelKind::Vector),
+            "simd" => Ok(KernelKind::Simd),
+            "auto" => Ok(KernelKind::Auto),
+            other => Err(KernelKindParseError(other.to_string())),
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Vector => "vector",
+            KernelKind::Simd => "simd",
+            KernelKind::Auto => "auto",
+        })
     }
 }
 
@@ -148,4 +266,66 @@ pub(crate) fn derivative_exp_tables(
 pub(crate) fn positive(l: f64) -> f64 {
     debug_assert!(l >= 0.0, "negative site likelihood {l}");
     l.max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_kind_display_parse_round_trips_all_variants() {
+        for kind in KernelKind::ALL {
+            let name = kind.to_string();
+            let back: KernelKind = name.parse().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(back, kind, "{name} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_with_the_full_menu() {
+        let err = "avx512".parse::<KernelKind>().unwrap_err();
+        let msg = err.to_string();
+        for kind in KernelKind::ALL {
+            assert!(msg.contains(&kind.to_string()), "{msg} missing {kind}");
+        }
+    }
+
+    #[test]
+    fn resolve_returns_concrete_backends_only() {
+        for kind in KernelKind::ALL {
+            let r = kind.resolve();
+            assert_ne!(r, KernelKind::Auto, "{kind} resolved to Auto");
+            assert_eq!(r, r.resolve(), "resolve must be idempotent");
+        }
+        // Scalar and Vector are never redirected.
+        assert_eq!(KernelKind::Scalar.resolve(), KernelKind::Scalar);
+        assert_eq!(KernelKind::Vector.resolve(), KernelKind::Vector);
+    }
+
+    #[test]
+    fn auto_dispatch_follows_host_features() {
+        let expect = if KernelKind::simd_available() {
+            KernelKind::Simd
+        } else {
+            KernelKind::Vector
+        };
+        assert_eq!(KernelKind::Auto.resolve(), expect);
+        assert_eq!(KernelKind::Simd.resolve(), expect);
+    }
+
+    #[test]
+    fn every_kind_yields_a_kernel_set() {
+        // Dispatch must not panic for any variant; exercise one cheap
+        // kernel call through each to prove the vtable is live.
+        let lut = Lut16x16 {
+            rows: [[0.5; SITE_STRIDE]; 16],
+        };
+        for kind in KernelKind::ALL {
+            let mut out = crate::AlignedVec::zeroed(SITE_STRIDE);
+            let mut scale = [0u32; 1];
+            kind.kernels()
+                .newview_tt(&lut, &lut, &[1], &[2], &mut out, &mut scale);
+            assert!((out[0] - 0.25).abs() < 1e-15, "{kind}");
+        }
+    }
 }

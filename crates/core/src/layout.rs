@@ -10,6 +10,21 @@
 //!
 //! Tips never store CLAs; their contribution is a table lookup by the
 //! 4-bit ambiguity code. [`Lut16x16`] holds one 16-wide row per code.
+//!
+//! # Buffer padding invariant (§V-B2)
+//!
+//! Every pattern-major buffer the kernels touch — CLA value buffers,
+//! `derivativeSum` tables — holds exactly `n · SITE_STRIDE` doubles:
+//! whole 128-byte site blocks with a 64-byte-aligned base.
+//! [`crate::AlignedVec`] guarantees both for engine-owned buffers, and
+//! [`crate::aligned::debug_assert_site_buffer`] re-checks the contract
+//! at every explicit-SIMD kernel entry. The SIMD backend depends on it
+//! twice over: each site is processed as four full 4×f64 vectors with
+//! no scalar remainder tail (so a short final block would read past
+//! the allocation), and the 128-byte site stride keeps every site
+//! offset 32-byte aligned, which `_mm256_stream_pd` requires. The
+//! lookup tables below carry `#[repr(align(64))]` for the same reason:
+//! their 16-wide rows are loaded four lanes at a time.
 
 use crate::{NUM_RATES, NUM_STATES, SITE_STRIDE};
 use phylo_models::{Eigensystem, ProbMatrix};
@@ -17,6 +32,7 @@ use phylo_models::{Eigensystem, ProbMatrix};
 /// A transition-probability matrix in fused `(rate, state)` layout:
 /// `cols[b][4k + a] = P_k[a][b]`.
 #[derive(Clone, Debug, PartialEq)]
+#[repr(align(64))]
 pub struct FusedPmat {
     /// One 16-wide column per input state `b`.
     pub cols: [[f64; SITE_STRIDE]; NUM_STATES],
@@ -40,6 +56,7 @@ impl FusedPmat {
 /// A 16-row × 16-wide lookup table indexed by a tip's 4-bit ambiguity
 /// code. Row 0 corresponds to the invalid code and stays zeroed.
 #[derive(Clone, Debug, PartialEq)]
+#[repr(align(64))]
 pub struct Lut16x16 {
     /// `rows[code][m]`.
     pub rows: [[f64; SITE_STRIDE]; 16],
@@ -109,6 +126,7 @@ impl Lut16x16 {
 /// eigen-basis projection tables in fused layout plus the `λ_j · r_k`
 /// factors of the exponentials.
 #[derive(Clone, Debug)]
+#[repr(align(64))]
 pub struct EigenBasis {
     /// `piu[a][4k + j] = π_a · U[a][j]` (left/root-side projection).
     pub piu: [[f64; SITE_STRIDE]; NUM_STATES],
@@ -252,6 +270,13 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn kernel_tables_are_cache_line_aligned() {
+        assert_eq!(std::mem::align_of::<FusedPmat>(), 64);
+        assert_eq!(std::mem::align_of::<Lut16x16>(), 64);
+        assert_eq!(std::mem::align_of::<EigenBasis>(), 64);
     }
 
     #[test]

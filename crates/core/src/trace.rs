@@ -37,8 +37,9 @@ use std::fmt::Write as _;
 /// Current trace schema version, recorded in the leading `meta` event.
 ///
 /// Version history: 1 = kernel + region events; 2 = meta/span/metric
-/// events, kernel quantile fields.
-pub const TRACE_VERSION: u64 = 2;
+/// events, kernel quantile fields; 3 = meta carries the resolved kernel
+/// backend so reports attribute timings to an ISA.
+pub const TRACE_VERSION: u64 = 3;
 
 /// One line of a trace file.
 #[derive(Clone, Debug, PartialEq)]
@@ -47,6 +48,9 @@ pub enum TraceEvent {
     Meta {
         /// Schema version the writer produced.
         version: u64,
+        /// The resolved kernel backend the run used (`"scalar"`,
+        /// `"vector"`, `"simd"`); empty when read from a pre-v3 trace.
+        backend: String,
     },
     /// Accumulated timing of one kernel at one source.
     Kernel {
@@ -146,8 +150,12 @@ impl TraceEvent {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(160);
         match self {
-            TraceEvent::Meta { version } => {
-                let _ = write!(s, r#"{{"type":"meta","version":{version}}}"#);
+            TraceEvent::Meta { version, backend } => {
+                let _ = write!(
+                    s,
+                    r#"{{"type":"meta","version":{version},"backend":"{}"}}"#,
+                    escape(backend)
+                );
             }
             TraceEvent::Kernel {
                 source,
@@ -296,6 +304,15 @@ impl TraceEvent {
         match get_str("type")? {
             "meta" => Ok(TraceEvent::Meta {
                 version: get_u64("version")?,
+                // Absent in pre-v3 traces: default to empty rather
+                // than reject the document.
+                backend: match fields.iter().find(|(key, _)| key == "backend") {
+                    Some((_, JsonValue::Str(s))) => s.clone(),
+                    Some((_, JsonValue::Int(_))) => {
+                        return Err(TraceError("field \"backend\" must be a string".into()))
+                    }
+                    None => String::new(),
+                },
             }),
             "kernel" => {
                 let name = get_str("kernel")?;
@@ -649,6 +666,7 @@ mod tests {
         let events = vec![
             TraceEvent::Meta {
                 version: TRACE_VERSION,
+                backend: "simd".into(),
             },
             TraceEvent::Span {
                 source: "worker1".into(),
@@ -803,7 +821,14 @@ mod tests {
         // The unknown event type and unknown kernel were dropped; the
         // recognizable events survived, extra key ignored.
         assert_eq!(events.len(), 2);
-        assert_eq!(events[0], TraceEvent::Meta { version: 99 });
+        // Pre-v3 meta without a backend parses with an empty backend.
+        assert_eq!(
+            events[0],
+            TraceEvent::Meta {
+                version: 99,
+                backend: String::new()
+            }
+        );
         assert!(
             matches!(&events[1], TraceEvent::Kernel { kernel, calls: 1, .. }
                 if *kernel == KernelId::Newview)

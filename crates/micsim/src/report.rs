@@ -80,6 +80,10 @@ pub struct SpanRow {
 pub struct TraceReport {
     /// Schema version from the `meta` event, if present.
     pub version: Option<u64>,
+    /// Resolved kernel backend from the `meta` event (`"simd"`,
+    /// `"vector"`, …); `None` for pre-v3 traces, which did not record
+    /// it.
+    pub backend: Option<String>,
     /// Per-kernel aggregates, descending by total time.
     pub kernels: Vec<KernelRow>,
     /// Summed kernel time across all sources, ns.
@@ -103,6 +107,7 @@ impl TraceReport {
     /// Builds a report from parsed trace events.
     pub fn from_events(events: &[TraceEvent]) -> TraceReport {
         let mut version = None;
+        let mut backend = None;
         // kernel -> (calls, sites, total, Σcalls·p50, Σcalls·p95, Σcalls·p99)
         let mut per_kernel: BTreeMap<&'static str, (KernelId, [u64; 3], [u128; 3])> =
             BTreeMap::new();
@@ -115,7 +120,15 @@ impl TraceReport {
 
         for e in events {
             match e {
-                TraceEvent::Meta { version: v } => version = Some(*v),
+                TraceEvent::Meta {
+                    version: v,
+                    backend: b,
+                } => {
+                    version = Some(*v);
+                    if !b.is_empty() {
+                        backend = Some(b.clone());
+                    }
+                }
                 TraceEvent::Kernel {
                     source,
                     kernel,
@@ -251,6 +264,7 @@ impl TraceReport {
 
         TraceReport {
             version,
+            backend,
             kernels,
             total_kernel_ns,
             regions,
@@ -273,6 +287,9 @@ impl TraceReport {
         let ms = |ns: u64| ns as f64 / 1e6;
         if let Some(v) = self.version {
             let _ = writeln!(s, "trace schema v{v}");
+        }
+        if let Some(b) = &self.backend {
+            let _ = writeln!(s, "kernel backend: {b}");
         }
 
         let _ = writeln!(s, "\n== kernel time shares ==");
@@ -408,7 +425,10 @@ mod tests {
 
     fn forkjoin_events() -> Vec<TraceEvent> {
         vec![
-            TraceEvent::Meta { version: 2 },
+            TraceEvent::Meta {
+                version: 3,
+                backend: "simd".into(),
+            },
             kernel_event("worker0", KernelId::Newview, 10, 1000, 6_000_000),
             kernel_event("worker1", KernelId::Newview, 10, 500, 3_000_000),
             kernel_event("worker0", KernelId::Evaluate, 5, 500, 1_000_000),
@@ -440,7 +460,8 @@ mod tests {
     #[test]
     fn report_computes_shares_imbalance_and_overhead() {
         let r = TraceReport::from_events(&forkjoin_events());
-        assert_eq!(r.version, Some(2));
+        assert_eq!(r.version, Some(3));
+        assert_eq!(r.backend.as_deref(), Some("simd"));
         assert_eq!(r.total_kernel_ns, 10_500_000);
         // newview dominates and sorts first.
         assert_eq!(r.kernels[0].kernel, KernelId::Newview);

@@ -513,6 +513,39 @@ mod tests {
     }
 
     #[test]
+    fn simd_backend_under_forkjoin_matches_scalar_serial() {
+        // Workers stream their newview CLAs with non-temporal stores;
+        // the kernel-exit sfence must publish them before the barrier
+        // hands control back to the master, or this cross-thread
+        // comparison could read stale CLA contents.
+        use plf_core::KernelKind;
+        let (tree, aln) = dataset();
+        let mut scalar = LikelihoodEngine::new(
+            &tree,
+            &aln,
+            EngineConfig {
+                kernel: KernelKind::Scalar,
+                ..EngineConfig::default()
+            },
+        );
+        let cfg = EngineConfig {
+            kernel: KernelKind::Simd,
+            ..EngineConfig::default()
+        };
+        for workers in [2, 4] {
+            let mut fj = ForkJoinEvaluator::new(&tree, &aln, cfg, workers);
+            for e in [0usize, 2, 5] {
+                let a = scalar.log_likelihood(&tree, e);
+                let b = fj.log_likelihood(&tree, e);
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "workers={workers} edge={e}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn matches_single_engine_derivatives() {
         let (tree, aln) = dataset();
         let cfg = EngineConfig::default();

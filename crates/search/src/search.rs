@@ -358,7 +358,7 @@ mod tests {
     }
 
     #[test]
-    fn scalar_and_vector_searches_agree() {
+    fn all_kernel_backends_find_the_same_tree() {
         let (_, ca) = dataset(99, 6, 1200);
         let names = default_names(6);
         let start = random_tree(&names, 0.1, &mut SmallRng::seed_from_u64(8)).unwrap();
@@ -368,38 +368,22 @@ mod tests {
             ..Default::default()
         });
 
-        let mut t1 = start.clone();
-        let mut e1 = LikelihoodEngine::new(
-            &t1,
-            &ca,
-            EngineConfig {
-                kernel: KernelKind::Scalar,
-                alpha: 0.8,
-            },
-        );
-        let r1 = search.run(&mut e1, &mut t1);
-
-        let mut t2 = start.clone();
-        let mut e2 = LikelihoodEngine::new(
-            &t2,
-            &ca,
-            EngineConfig {
-                kernel: KernelKind::Vector,
-                alpha: 0.8,
-            },
-        );
-        let r2 = search.run(&mut e2, &mut t2);
-
-        assert_eq!(
-            t1.rf_distance(&t2),
-            0,
-            "kernel variants found different trees"
-        );
-        assert!(
-            (r1.log_likelihood - r2.log_likelihood).abs() < 1e-6,
-            "{} vs {}",
-            r1.log_likelihood,
-            r2.log_likelihood
-        );
+        let mut reference: Option<(Tree, f64)> = None;
+        for kernel in [KernelKind::Scalar, KernelKind::Vector, KernelKind::Simd] {
+            let mut tree = start.clone();
+            let mut engine = LikelihoodEngine::new(&tree, &ca, EngineConfig { kernel, alpha: 0.8 });
+            let result = search.run(&mut engine, &mut tree);
+            match &reference {
+                None => reference = Some((tree, result.log_likelihood)),
+                Some((t0, ll0)) => {
+                    assert_eq!(t0.rf_distance(&tree), 0, "{kernel} found a different tree");
+                    assert!(
+                        (ll0 - result.log_likelihood).abs() < 1e-6,
+                        "{kernel}: {ll0} vs {}",
+                        result.log_likelihood
+                    );
+                }
+            }
+        }
     }
 }

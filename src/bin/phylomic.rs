@@ -66,11 +66,12 @@ const USAGE: &str = "phylomic — phylogenetic likelihood toolkit (PLF-on-MIC re
 
 USAGE:
   phylomic simulate --taxa N --sites M --out FILE [--alpha A] [--seed S]
-  phylomic evaluate --alignment FILE --tree FILE [--alpha A] [--kernel scalar|vector]
+  phylomic evaluate --alignment FILE --tree FILE [--alpha A]
+                    [--kernels scalar|vector|simd|auto]
                     [--trace-out FILE] [--chrome-out FILE]
   phylomic search   --alignment FILE [--tree FILE | --start random|parsimony]
                     [--scheme serial|forkjoin|replicated] [--threads N] [--rounds R]
-                    [--alpha A] [--kernel K] [--checkpoint FILE] [--out FILE]
+                    [--alpha A] [--kernels K] [--checkpoint FILE] [--out FILE]
                     [--seed S] [--no-model-opt] [--trace-out FILE] [--chrome-out FILE]
                     [--inject-fault SPEC] [--degrade]
   phylomic bootstrap --alignment FILE [--replicates N] [--rounds R] [--seed S]
@@ -78,6 +79,11 @@ USAGE:
   phylomic trace-report --trace FILE
 
 Alignments: PHYLIP when the path ends in .phy, FASTA otherwise.
+--kernels picks the PLF kernel backend (default auto: explicit AVX2+FMA
+SIMD when the CPU supports it, portable vector code otherwise; --kernel
+is accepted as a synonym). The PHYLOMIC_KERNELS environment variable
+overrides the flag. The resolved backend is recorded in the JSONL trace
+meta event.
 --trace-out dumps kernel timings, fork-join region latencies, spans and
 metrics as JSONL, in the format micsim's measured-cost calibration
 (`MeasuredHostCosts::from_jsonl`) and `trace-report` consume.
@@ -117,13 +123,15 @@ fn write_trace(path: &str, events: &[TraceEvent]) -> Result<(), String> {
     Ok(())
 }
 
-/// Wraps per-source kernel/region events into a full v2 trace
-/// document: schema marker first, then the kernel aggregates, then
-/// every closed span from every thread track, then a process-wide
+/// Wraps per-source kernel/region events into a full trace document:
+/// schema marker (with the resolved kernel backend, so `trace-report`
+/// attributes timings to an ISA) first, then the kernel aggregates,
+/// then every closed span from every thread track, then a process-wide
 /// metrics snapshot.
-fn full_trace(kernel_events: Vec<TraceEvent>) -> Vec<TraceEvent> {
+fn full_trace(backend: KernelKind, kernel_events: Vec<TraceEvent>) -> Vec<TraceEvent> {
     let mut out = vec![TraceEvent::Meta {
         version: TRACE_VERSION,
+        backend: backend.effective().to_string(),
     }];
     out.extend(kernel_events);
     out.extend(events_from_spans(&span::snapshot_all()));
@@ -187,12 +195,19 @@ fn require<'a>(opts: &'a Opts, key: &str) -> Result<&'a str, String> {
         .ok_or_else(|| format!("--{key} is required"))
 }
 
+/// Parses `--kernels` (or the older `--kernel` spelling). Defaults to
+/// `auto` — runtime ISA dispatch. All name handling goes through
+/// `KernelKind`'s `FromStr`, the single source of truth for backend
+/// names; the `PHYLOMIC_KERNELS` environment variable still overrides
+/// whatever is chosen here (applied at engine construction).
 fn kernel_of(opts: &Opts) -> Result<KernelKind, String> {
-    match opts.get("kernel").map(String::as_str).unwrap_or("vector") {
-        "vector" => Ok(KernelKind::Vector),
-        "scalar" => Ok(KernelKind::Scalar),
-        other => Err(format!("--kernel must be scalar or vector, got {other:?}")),
-    }
+    let (flag, value) = match (opts.get("kernels"), opts.get("kernel")) {
+        (Some(_), Some(_)) => return Err("pass --kernels or --kernel, not both".into()),
+        (Some(v), None) => ("kernels", v.as_str()),
+        (None, Some(v)) => ("kernel", v.as_str()),
+        (None, None) => return Ok(KernelKind::Auto),
+    };
+    value.parse().map_err(|e| format!("--{flag}: {e}"))
 }
 
 fn load_alignment(path: &str) -> Result<Alignment, String> {
@@ -268,7 +283,10 @@ fn cmd_evaluate(opts: &Opts) -> Result<(), String> {
     if let Some(path) = opts.get("trace-out") {
         write_trace(
             path,
-            &full_trace(events_from_stats("serial", engine.stats())),
+            &full_trace(
+                engine.kernel_kind(),
+                events_from_stats("serial", engine.stats()),
+            ),
         )?;
     }
     if let Some(path) = opts.get("chrome-out") {
@@ -423,7 +441,7 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
         None => println!("{}", result.newick),
     }
     if let Some(path) = opts.get("trace-out") {
-        write_trace(path, &full_trace(trace_events))?;
+        write_trace(path, &full_trace(config.kernel, trace_events))?;
     }
     if let Some(path) = opts.get("chrome-out") {
         write_chrome(path)?;

@@ -14,7 +14,7 @@ use phylomic::plf::trace::{
     events_from_metrics, events_from_spans, events_from_stats, parse_jsonl, write_jsonl,
     TraceEvent, TRACE_VERSION,
 };
-use phylomic::plf::{metrics, span, EngineConfig};
+use phylomic::plf::{metrics, span, EngineConfig, KernelKind};
 use phylomic::search::{MlSearch, SearchConfig};
 use phylomic::tree::build::{default_names, random_tree};
 use rand::rngs::SmallRng;
@@ -44,6 +44,7 @@ fn traced_forkjoin_search() -> Vec<TraceEvent> {
 
     let mut events = vec![TraceEvent::Meta {
         version: TRACE_VERSION,
+        backend: KernelKind::Auto.effective().to_string(),
     }];
     for (i, stats) in fj.take_stats_per_worker().iter().enumerate() {
         events.extend(events_from_stats(&format!("worker{i}"), stats));

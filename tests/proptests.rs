@@ -34,6 +34,21 @@ fn tip_codes(n: usize) -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(1u8..16, n)
 }
 
+/// Copies a generated buffer into 64-byte-aligned storage: the SIMD
+/// backend's buffer contract (checked at kernel entry in debug builds)
+/// requires CLA inputs to be aligned and whole-site padded, which a
+/// plain `Vec<f64>` does not guarantee.
+fn aligned(v: &[f64]) -> AlignedVec {
+    let mut out = AlignedVec::zeroed(v.len());
+    out.copy_from_slice(v);
+    out
+}
+
+/// Every concrete kernel backend. `Simd` resolves to `Vector` on hosts
+/// without AVX2+FMA, where the comparison degenerates to Vector ==
+/// Vector — still sound, just not informative there.
+const BACKENDS: [KernelKind; 3] = [KernelKind::Scalar, KernelKind::Vector, KernelKind::Simd];
+
 const N: usize = 23; // deliberately not a multiple of the site block
 
 proptest! {
@@ -53,7 +68,7 @@ proptest! {
     }
 
     #[test]
-    fn scalar_vector_newview_ii_equivalent(
+    fn all_backends_newview_ii_equivalent(
         params in gtr_params(),
         vl in cla_values(N),
         vr in cla_values(N),
@@ -63,22 +78,25 @@ proptest! {
         let rates = *DiscreteGamma::new(0.9).rates();
         let pl = FusedPmat::from_prob(&ProbMatrix::new(gtr.eigen(), &rates, tl));
         let pr = FusedPmat::from_prob(&ProbMatrix::new(gtr.eigen(), &rates, tr));
+        let (vl, vr) = (aligned(&vl), aligned(&vr));
         let scale = vec![0u32; N];
         let mut outs = Vec::new();
-        for kind in [KernelKind::Scalar, KernelKind::Vector] {
+        for kind in BACKENDS {
             let mut cla = Cla::new(N);
             let (v, s) = cla.buffers_mut();
             kind.kernels().newview_ii(&pl, &vl, &scale, &pr, &vr, &scale, v, s);
             outs.push(cla);
         }
-        for (a, b) in outs[0].values().iter().zip(outs[1].values()) {
-            prop_assert!((a - b).abs() <= 1e-12 * (1.0 + a.abs()), "{a} vs {b}");
+        for (kind, other) in BACKENDS.iter().zip(&outs).skip(1) {
+            for (a, b) in outs[0].values().iter().zip(other.values()) {
+                prop_assert!((a - b).abs() <= 1e-12 * (1.0 + a.abs()), "{kind}: {a} vs {b}");
+            }
+            prop_assert_eq!(outs[0].scale(), other.scale(), "{} scaling counters", kind);
         }
-        prop_assert_eq!(outs[0].scale(), outs[1].scale());
     }
 
     #[test]
-    fn scalar_vector_evaluate_equivalent(
+    fn all_backends_evaluate_equivalent(
         params in gtr_params(),
         vq in cla_values(N),
         vr in cla_values(N),
@@ -95,20 +113,28 @@ proptest! {
                 pi_w[4 * k + a] = 0.25 * gtr.freqs()[a];
             }
         }
+        let (vq, vr) = (aligned(&vq), aligned(&vr));
         let scale = vec![0u32; N];
         let weights = vec![1u32; N];
-        let s_k = KernelKind::Scalar.kernels();
-        let v_k = KernelKind::Vector.kernels();
-        let a = s_k.evaluate_ii(&pi_w, &vq, &scale, &p, &vr, &scale, &weights);
-        let b = v_k.evaluate_ii(&pi_w, &vq, &scale, &p, &vr, &scale, &weights);
-        prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()), "{a} vs {b}");
-        let a = s_k.evaluate_ti(&pi_tip, &codes, &p, &vr, &scale, &weights);
-        let b = v_k.evaluate_ti(&pi_tip, &codes, &p, &vr, &scale, &weights);
-        prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()), "{a} vs {b}");
+        let lls: Vec<(f64, f64)> = BACKENDS
+            .iter()
+            .map(|kind| {
+                let k = kind.kernels();
+                (
+                    k.evaluate_ii(&pi_w, &vq, &scale, &p, &vr, &scale, &weights),
+                    k.evaluate_ti(&pi_tip, &codes, &p, &vr, &scale, &weights),
+                )
+            })
+            .collect();
+        for (kind, (ii, ti)) in BACKENDS.iter().zip(&lls).skip(1) {
+            let (ii0, ti0) = lls[0];
+            prop_assert!((ii0 - ii).abs() < 1e-9 * (1.0 + ii0.abs()), "{kind}: {ii0} vs {ii}");
+            prop_assert!((ti0 - ti).abs() < 1e-9 * (1.0 + ti0.abs()), "{kind}: {ti0} vs {ti}");
+        }
     }
 
     #[test]
-    fn scalar_vector_derivatives_equivalent(
+    fn all_backends_derivatives_equivalent(
         params in gtr_params(),
         vq in cla_values(N),
         vr in cla_values(N),
@@ -118,19 +144,113 @@ proptest! {
         let rates = *DiscreteGamma::new(0.6).rates();
         let basis = EigenBasis::new(gtr.eigen(), &rates);
         let weights = vec![1u32; N];
-        let mut sum_s = AlignedVec::zeroed(N * SITE_STRIDE);
-        let mut sum_v = AlignedVec::zeroed(N * SITE_STRIDE);
-        KernelKind::Scalar.kernels().derivative_sum_ii(&basis, &vq, &vr, &mut sum_s);
-        KernelKind::Vector.kernels().derivative_sum_ii(&basis, &vq, &vr, &mut sum_v);
-        for (a, b) in sum_s.iter().zip(sum_v.iter()) {
-            prop_assert!((a - b).abs() <= 1e-12 * (1.0 + a.abs()));
+        let (vq, vr) = (aligned(&vq), aligned(&vr));
+        let mut results = Vec::new();
+        for kind in BACKENDS {
+            let mut sum = AlignedVec::zeroed(N * SITE_STRIDE);
+            kind.kernels().derivative_sum_ii(&basis, &vq, &vr, &mut sum);
+            let (d1, d2) = kind.kernels()
+                .derivative_core(&sum, &basis.lambda_rate, t, &weights);
+            results.push((sum, d1, d2));
         }
-        let (d1s, d2s) = KernelKind::Scalar.kernels()
-            .derivative_core(&sum_s, &basis.lambda_rate, t, &weights);
-        let (d1v, d2v) = KernelKind::Vector.kernels()
-            .derivative_core(&sum_v, &basis.lambda_rate, t, &weights);
-        prop_assert!((d1s - d1v).abs() < 1e-8 * (1.0 + d1s.abs()));
-        prop_assert!((d2s - d2v).abs() < 1e-8 * (1.0 + d2s.abs()));
+        let (sum0, d10, d20) = &results[0];
+        for (kind, (sum, d1, d2)) in BACKENDS.iter().zip(&results).skip(1) {
+            for (a, b) in sum0.iter().zip(sum.iter()) {
+                prop_assert!((a - b).abs() <= 1e-12 * (1.0 + a.abs()), "{kind}: {a} vs {b}");
+            }
+            prop_assert!((d10 - d1).abs() < 1e-8 * (1.0 + d10.abs()), "{kind}: {d10} vs {d1}");
+            prop_assert!((d20 - d2).abs() < 1e-8 * (1.0 + d20.abs()), "{kind}: {d20} vs {d2}");
+        }
+    }
+
+    #[test]
+    fn backend_matrix_agrees_across_remainder_tails(
+        params in gtr_params(),
+        vl in cla_values(31),
+        vr in cla_values(31),
+        codes in tip_codes(31),
+        (tl, tr) in (0.001f64..3.0, 0.001f64..3.0),
+    ) {
+        // The full Simd == Vector == Scalar matrix over pattern counts
+        // that exercise every remainder-tail shape of the 8-site block
+        // loops (n = 1, 7, 8, 9, 31), with the underflow-scaling path
+        // forced on a subset of sites and nonzero input counters so the
+        // bit-identical-scaling claim is actually load-bearing.
+        let gtr = Gtr::new(params);
+        let rates = *DiscreteGamma::new(0.8).rates();
+        let pl = FusedPmat::from_prob(&ProbMatrix::new(gtr.eigen(), &rates, tl));
+        let pr = FusedPmat::from_prob(&ProbMatrix::new(gtr.eigen(), &rates, tr));
+        let basis = EigenBasis::new(gtr.eigen(), &rates);
+        let pi_tip = Lut16x16::tip_pi(&gtr.freqs());
+        let mut pi_w = [0.0; SITE_STRIDE];
+        for k in 0..4 {
+            for a in 0..4 {
+                pi_w[4 * k + a] = 0.25 * gtr.freqs()[a];
+            }
+        }
+        let (mut vl, mut vr) = (aligned(&vl), aligned(&vr));
+        // Every third site is pushed far below the 2⁻²⁵⁶ scaling
+        // threshold (product ≈ 1e-120), so newview must rescale those
+        // sites and leave the rest alone.
+        for site in (0..31).step_by(3) {
+            for m in 0..SITE_STRIDE {
+                vl[site * SITE_STRIDE + m] *= 1e-60;
+                vr[site * SITE_STRIDE + m] *= 1e-60;
+            }
+        }
+        for n in [1usize, 7, 8, 9, 31] {
+            let vl = &vl[..n * SITE_STRIDE];
+            let vr = &vr[..n * SITE_STRIDE];
+            let scale_in = vec![1u32; n];
+            let weights = vec![2u32; n];
+            let mut results = Vec::new();
+            for kind in BACKENDS {
+                let k = kind.kernels();
+                let mut cla = Cla::new(n);
+                let (v, s) = cla.buffers_mut();
+                k.newview_ii(&pl, vl, &scale_in, &pr, vr, &scale_in, v, s);
+                let ii = k.evaluate_ii(
+                    &pi_w, cla.values(), cla.scale(), &pr, vr, &scale_in, &weights);
+                let ti = k.evaluate_ti(&pi_tip, &codes[..n], &pl, vr, &scale_in, &weights);
+                let mut sum = AlignedVec::zeroed(n * SITE_STRIDE);
+                k.derivative_sum_ii(&basis, cla.values(), vr, &mut sum);
+                let (d1, d2) = k.derivative_core(&sum, &basis.lambda_rate, tr, &weights);
+                results.push((cla, ii, ti, d1, d2));
+            }
+            let (cla0, ii0, ti0, d10, d20) = &results[0];
+            prop_assert!(
+                cla0.scale().iter().any(|&s| s > 2),
+                "n={} never scaled — the scaling path is untested", n
+            );
+            for (kind, (cla, ii, ti, d1, d2)) in BACKENDS.iter().zip(&results).skip(1) {
+                prop_assert_eq!(
+                    cla0.scale(), cla.scale(),
+                    "n={} {}: scaling counters not bit-identical", n, kind
+                );
+                for (a, b) in cla0.values().iter().zip(cla.values()) {
+                    prop_assert!(
+                        (a - b).abs() <= 1e-12 * (1.0 + a.abs()),
+                        "n={n} {kind}: CLA {a} vs {b}"
+                    );
+                }
+                prop_assert!(
+                    (ii0 - ii).abs() <= 1e-12 * (1.0 + ii0.abs()),
+                    "n={n} {kind}: logL {ii0} vs {ii}"
+                );
+                prop_assert!(
+                    (ti0 - ti).abs() <= 1e-12 * (1.0 + ti0.abs()),
+                    "n={n} {kind}: tip logL {ti0} vs {ti}"
+                );
+                // Derivatives accumulate signed per-site ratios, so
+                // cancellation can leave a small final value with
+                // honest last-ulp noise from the different summation
+                // orders; anchor the tolerance to the per-site ratio
+                // magnitudes as well as the total.
+                let dtol = 1e-12 * (1.0 + d10.abs() + d20.abs() + n as f64);
+                prop_assert!((d10 - d1).abs() <= dtol, "n={n} {kind}: d1 {d10} vs {d1}");
+                prop_assert!((d20 - d2).abs() <= dtol, "n={n} {kind}: d2 {d20} vs {d2}");
+            }
+        }
     }
 
     #[test]
