@@ -39,6 +39,7 @@ fn main() {
             EngineConfig {
                 kernel: kind,
                 alpha: 0.85,
+                ..EngineConfig::default()
             },
         );
         // Warm up, then time repeated full evaluations with cache

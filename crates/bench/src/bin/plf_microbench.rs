@@ -2,33 +2,48 @@
 //! (the host-side analogue of the paper's Figure 3 / Table III sweep).
 //!
 //! Times all eight PLF kernels under every kernel backend —
-//! `scalar`, `vector`, and `simd` — across the alignment widths the
-//! paper varies in Table III, and writes `BENCH_5.json` with ns/site
-//! per kernel per backend plus the speedup of each backend over the
-//! scalar reference.
+//! `scalar`, `vector`, `simd`, and the size-aware `auto` dispatcher —
+//! across the alignment widths the paper varies in Table III, and
+//! writes `BENCH_6.json` with ns/site per kernel per backend plus the
+//! speedup of each backend over the scalar reference.
 //!
 //! Methodology: per (kernel, backend, size) the kernel runs `WARMUP`
 //! untimed rounds, then `REPS` timed rounds; the minimum and maximum
-//! round are discarded and the rest averaged (trimmed mean), divided
+//! rounds are discarded and the rest averaged (trimmed mean), divided
 //! by the pattern count to give ns/site. Inputs are drawn from a range
 //! that never triggers numerical rescaling, and the scaling counters
 //! produced by every backend are asserted identical before timing —
 //! so all backends do exactly the same scaling work and the comparison
 //! is purely about the arithmetic/memory pipeline.
 //!
-//! The binary doubles as the CI perf gate: if the explicit-SIMD
-//! backend is available on the host but fails to beat the scalar
-//! reference on `newview_ii` at the largest measured size, it exits
-//! nonzero.
+//! A second section measures site-repeat compression: a repeat-heavy
+//! `newview_ii` input (64 prototype site patterns cycled across the
+//! full width) is timed uncompressed vs compressed
+//! (gather representatives → kernel over classes → expand), and a
+//! 16-taxon engine-level traversal is timed with `--site-repeats`
+//! on vs off.
+//!
+//! The binary doubles as the CI perf gate (all checked after the JSON
+//! is written, so a failing run still leaves the numbers on disk):
+//!   1. `vector` within `VECTOR_MAX_RATIO` of scalar on every kernel;
+//!   2. `auto` no slower than `AUTO_TOLERANCE` × the best single
+//!      backend on every (kernel, size) cell;
+//!   3. with AVX2+FMA present, `simd` beats scalar on `newview_ii` at
+//!      the largest size;
+//!   4. compressed repeat-heavy `newview_ii` at least
+//!      `REPEAT_MIN_SPEEDUP` × faster than uncompressed.
 //!
 //! Run: `cargo run --release -p phylo-bench --bin plf-microbench`
 //! Flags: `--quick` (10 000 patterns only), `--out PATH`
-//! (default `BENCH_5.json`).
+//! (default `BENCH_6.json`).
 
+use phylo_bio::{CompressedAlignment, DnaCode};
 use phylo_models::{DiscreteGamma, Gtr, GtrParams, ProbMatrix};
+use phylo_tree::build::{default_names, random_tree};
 use plf_core::cla::Cla;
 use plf_core::layout::{EigenBasis, FusedPmat, Lut16x16};
-use plf_core::{AlignedVec, KernelKind, SITE_STRIDE};
+use plf_core::repeats::{ClassSource, RepeatTable};
+use plf_core::{AlignedVec, EngineConfig, KernelKind, LikelihoodEngine, SiteRepeats, SITE_STRIDE};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
@@ -39,7 +54,12 @@ use std::time::Instant;
 /// are the pattern counts after compression that the host sweep uses.
 const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
 const QUICK_SIZES: [usize; 1] = [10_000];
-const BACKENDS: [KernelKind; 3] = [KernelKind::Scalar, KernelKind::Vector, KernelKind::Simd];
+const BACKENDS: [KernelKind; 4] = [
+    KernelKind::Scalar,
+    KernelKind::Vector,
+    KernelKind::Simd,
+    KernelKind::Auto,
+];
 const KERNELS: [&str; 8] = [
     "newview_tt",
     "newview_ti",
@@ -51,10 +71,32 @@ const KERNELS: [&str; 8] = [
     "derivative_core",
 ];
 const WARMUP: usize = 2;
-const REPS: usize = 12;
-/// Rounds dropped from each end of the sorted timings (interquartile
-/// trimmed mean — the host may be a noisy shared VM).
-const TRIM: usize = 3;
+/// Minimum timed rounds per cell; small sizes get proportionally more
+/// (see [`reps_for`]) because a 1 000-pattern kernel round lasts only
+/// a few microseconds and a single scheduler blip would otherwise
+/// dominate the trimmed mean.
+const MIN_REPS: usize = 12;
+
+/// Timed rounds for a cell of `patterns` sites: at least `MIN_REPS`,
+/// scaled up so every cell measures roughly the same total site count.
+fn reps_for(patterns: usize) -> usize {
+    MIN_REPS.max(1_200_000 / patterns.max(1))
+}
+
+/// Gate 1: the portable-vector backend must stay within this factor of
+/// scalar on *every* kernel (it should win on most; the bound catches
+/// auto-vectorization regressions without being noise-sensitive).
+const VECTOR_MAX_RATIO: f64 = 1.5;
+/// Gate 2: `auto` may lose to the best single backend by at most this
+/// factor per cell — covers dispatch overhead plus timing noise.
+const AUTO_TOLERANCE: f64 = 1.25;
+/// Gate 4: minimum compressed-vs-uncompressed speedup on the
+/// repeat-heavy `newview_ii` input.
+const REPEAT_MIN_SPEEDUP: f64 = 1.5;
+/// Prototype site patterns in the repeat-heavy input: 64 classes over
+/// the full width, the regime §V targets (rRNA-like alignments where
+/// most columns repeat an earlier induced subtree pattern).
+const REPEAT_PROTOS: usize = 64;
 
 struct Fixture {
     patterns: usize,
@@ -201,6 +243,25 @@ fn run_kernel(fx: &mut Fixture, kernel: &str, kind: KernelKind, out: &mut Cla) -
     }
 }
 
+/// Trimmed-mean seconds for `reps` timed rounds of `body` after
+/// `WARMUP` untimed ones; the top and bottom quarters of the sorted
+/// rounds are discarded (the host may be a noisy shared VM).
+fn timed<F: FnMut()>(reps: usize, mut body: F) -> f64 {
+    for _ in 0..WARMUP {
+        body();
+    }
+    let mut rounds = vec![0.0f64; reps];
+    for r in rounds.iter_mut() {
+        let start = Instant::now();
+        body();
+        *r = start.elapsed().as_secs_f64();
+    }
+    rounds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let trim = reps / 4;
+    let trimmed = &rounds[trim..reps - trim];
+    trimmed.iter().sum::<f64>() / trimmed.len() as f64
+}
+
 /// Trimmed-mean ns/site for one (kernel, backend, size) cell.
 fn time_kernel(fx: &mut Fixture, kernel: &str, kind: KernelKind) -> f64 {
     let mut out = Cla::new(fx.patterns);
@@ -210,31 +271,184 @@ fn time_kernel(fx: &mut Fixture, kernel: &str, kind: KernelKind) -> f64 {
     if kernel == "derivative_core" {
         run_kernel(fx, "derivative_sum_ii", KernelKind::Vector, &mut out);
     }
-    for _ in 0..WARMUP {
+    let patterns = fx.patterns;
+    timed(reps_for(patterns), || {
         run_kernel(fx, kernel, kind, &mut out);
-    }
-    let mut rounds = [0.0f64; REPS];
-    for r in rounds.iter_mut() {
-        let start = Instant::now();
-        run_kernel(fx, kernel, kind, &mut out);
-        *r = start.elapsed().as_secs_f64();
-    }
-    rounds.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let trimmed = &rounds[TRIM..REPS - TRIM];
-    let mean = trimmed.iter().sum::<f64>() / trimmed.len() as f64;
-    mean * 1e9 / fx.patterns as f64
+    }) * 1e9
+        / patterns as f64
 }
 
 struct Cell {
     kernel: &'static str,
     patterns: usize,
     /// ns/site, indexed like `BACKENDS`.
-    ns: [f64; 3],
+    ns: [f64; 4],
+}
+
+/// Repeat-heavy `newview_ii`: both children cycle `REPEAT_PROTOS`
+/// prototype site vectors, so the parent has exactly `REPEAT_PROTOS`
+/// repeat classes. Returns (ns/site uncompressed, ns/site compressed,
+/// classes) after asserting the compressed path is bit-identical.
+fn repeat_kernel_bench(patterns: usize) -> (f64, f64, usize) {
+    let gtr = Gtr::new(GtrParams {
+        rates: [1.1, 2.6, 0.8, 1.2, 3.4, 1.0],
+        freqs: [0.29, 0.21, 0.22, 0.28],
+    });
+    let gamma = DiscreteGamma::new(0.85);
+    let rates = *gamma.rates();
+    let p_l = FusedPmat::from_prob(&ProbMatrix::new(gtr.eigen(), &rates, 0.13));
+    let p_r = FusedPmat::from_prob(&ProbMatrix::new(gtr.eigen(), &rates, 0.27));
+    let mut rng = SmallRng::seed_from_u64(11);
+
+    // Prototype child site vectors; every site is a copy of prototype
+    // `site % REPEAT_PROTOS`, so sites in one class have bit-identical
+    // child columns — the invariant the engine's table construction
+    // guarantees and the expansion correctness proof needs.
+    let proto: Vec<[f64; 2 * SITE_STRIDE]> = (0..REPEAT_PROTOS)
+        .map(|_| std::array::from_fn(|_| rng.random::<f64>() * 0.5 + 0.25))
+        .collect();
+    let mut v_l = Cla::new(patterns);
+    let mut v_r = Cla::new(patterns);
+    for i in 0..patterns {
+        let p = &proto[i % REPEAT_PROTOS];
+        v_l.values_mut()[SITE_STRIDE * i..SITE_STRIDE * (i + 1)].copy_from_slice(&p[..SITE_STRIDE]);
+        v_r.values_mut()[SITE_STRIDE * i..SITE_STRIDE * (i + 1)].copy_from_slice(&p[SITE_STRIDE..]);
+    }
+
+    // The children's class structure is the same cycle; feeding it
+    // through tip-style sources would cap classes at 16, so build
+    // child tables from synthetic per-site "codes" via a tip pair
+    // whose (l, r) code pairs cycle with period REPEAT_PROTOS.
+    let codes_a: Vec<u8> = (0..patterns).map(|i| (i % 16) as u8).collect();
+    let codes_b: Vec<u8> = (0..patterns)
+        .map(|i| ((i / 16) % (REPEAT_PROTOS / 16)) as u8)
+        .collect();
+    let child = RepeatTable::build(ClassSource::Tip(&codes_a), ClassSource::Tip(&codes_b));
+    let table = RepeatTable::build(ClassSource::Inner(&child), ClassSource::Inner(&child));
+    assert_eq!(table.num_classes(), REPEAT_PROTOS, "fixture class count");
+    let classes = table.num_classes();
+
+    let k = KernelKind::Auto.effective().kernels();
+    let mut plain = Cla::new(patterns);
+    let mut compressed = Cla::new(patterns);
+
+    // Scratch for the compressed path, mirroring RepeatScratch's
+    // gather → kernel-over-classes → expand pipeline.
+    let mut g_l = AlignedVec::zeroed(classes * SITE_STRIDE);
+    let mut g_r = AlignedVec::zeroed(classes * SITE_STRIDE);
+    let mut gs_l = vec![0u32; classes];
+    let mut gs_r = vec![0u32; classes];
+    let mut c_v = AlignedVec::zeroed(classes * SITE_STRIDE);
+    let mut c_s = vec![0u32; classes];
+
+    let ns_off = timed(reps_for(patterns), || {
+        let (v, s) = plain.buffers_mut();
+        k.newview_ii(
+            &p_l,
+            v_l.values(),
+            v_l.scale(),
+            &p_r,
+            v_r.values(),
+            v_r.scale(),
+            v,
+            s,
+        );
+    }) * 1e9
+        / patterns as f64;
+
+    let ns_on = timed(reps_for(patterns), || {
+        table.gather_sites(v_l.values(), v_l.scale(), &mut g_l, &mut gs_l);
+        table.gather_sites(v_r.values(), v_r.scale(), &mut g_r, &mut gs_r);
+        k.newview_ii(&p_l, &g_l, &gs_l, &p_r, &g_r, &gs_r, &mut c_v, &mut c_s);
+        let (v, s) = compressed.buffers_mut();
+        table.expand(&c_v, &c_s, v, s);
+    }) * 1e9
+        / patterns as f64;
+
+    assert_eq!(
+        plain.values(),
+        compressed.values(),
+        "compressed newview_ii output is not bit-identical"
+    );
+    assert_eq!(plain.scale(), compressed.scale());
+    (ns_off, ns_on, classes)
+}
+
+struct EngineRepeatBench {
+    taxa: usize,
+    patterns: usize,
+    classes_per_site: f64,
+    ns_off: f64,
+    ns_on: f64,
+}
+
+/// Engine-level repeat benchmark: full cold-cache traversals
+/// (`invalidate_all` + `log_likelihood`) of a 16-taxon repeat-heavy
+/// alignment with site repeats off vs on, after asserting the two
+/// engines agree bit-for-bit.
+fn repeat_engine_bench(patterns: usize) -> EngineRepeatBench {
+    const TAXA: usize = 16;
+    let mut rng = SmallRng::seed_from_u64(19);
+    let names = default_names(TAXA);
+    let tree = random_tree(&names, 0.12, &mut rng).unwrap();
+    let cols: Vec<Vec<usize>> = (0..REPEAT_PROTOS)
+        .map(|_| (0..TAXA).map(|_| rng.random_range(0..4)).collect())
+        .collect();
+    let rows: Vec<Vec<DnaCode>> = (0..TAXA)
+        .map(|taxon| {
+            (0..patterns)
+                .map(|p| DnaCode::from_state(cols[p % REPEAT_PROTOS][taxon]))
+                .collect()
+        })
+        .collect();
+    let aln = CompressedAlignment::from_parts(tree.tip_names().to_vec(), rows, vec![1; patterns])
+        .unwrap();
+
+    let engine_for = |mode: SiteRepeats| {
+        LikelihoodEngine::new(
+            &tree,
+            &aln,
+            EngineConfig {
+                site_repeats: mode,
+                ..EngineConfig::default()
+            },
+        )
+    };
+    let mut off = engine_for(SiteRepeats::Off);
+    let mut on = engine_for(SiteRepeats::On);
+    let l_off = off.log_likelihood(&tree, 0);
+    let l_on = on.log_likelihood(&tree, 0);
+    assert_eq!(
+        l_off.to_bits(),
+        l_on.to_bits(),
+        "engine logL differs with repeats on: {l_off} vs {l_on}"
+    );
+    let stats = on.repeat_stats();
+    let classes_per_site = stats.ratio().unwrap_or(1.0);
+
+    let ns_off = timed(reps_for(patterns), || {
+        off.invalidate_all();
+        black_box(off.log_likelihood(&tree, 0));
+    }) * 1e9
+        / patterns as f64;
+    let ns_on = timed(reps_for(patterns), || {
+        on.invalidate_all();
+        black_box(on.log_likelihood(&tree, 0));
+    }) * 1e9
+        / patterns as f64;
+
+    EngineRepeatBench {
+        taxa: TAXA,
+        patterns,
+        classes_per_site,
+        ns_off,
+        ns_on,
+    }
 }
 
 fn main() {
     let mut quick = false;
-    let mut out_path = String::from("BENCH_5.json");
+    let mut out_path = String::from("BENCH_6.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -257,7 +471,7 @@ fn main() {
 
     println!("plf-microbench: per-kernel ns/site, {BACKENDS:?}");
     println!(
-        "host SIMD (avx2+fma): {}  |  sizes: {sizes:?}  |  reps: {REPS} (trimmed)",
+        "host SIMD (avx2+fma): {}  |  sizes: {sizes:?}  |  reps: >= {MIN_REPS} (trimmed)",
         if simd {
             "available"
         } else {
@@ -277,7 +491,7 @@ fn main() {
         for kernel in ["newview_tt", "newview_ti", "newview_ii"] {
             let mut out = Cla::new(n);
             let reference = run_kernel(&mut fx, kernel, KernelKind::Scalar, &mut out);
-            for kind in [KernelKind::Vector, KernelKind::Simd] {
+            for kind in [KernelKind::Vector, KernelKind::Simd, KernelKind::Auto] {
                 let got = run_kernel(&mut fx, kernel, kind, &mut out);
                 assert_eq!(
                     reference, got,
@@ -287,17 +501,20 @@ fn main() {
         }
 
         for kernel in KERNELS {
-            let mut ns = [0.0f64; 3];
+            let mut ns = [0.0f64; 4];
             for (i, kind) in BACKENDS.iter().enumerate() {
                 ns[i] = time_kernel(&mut fx, kernel, *kind);
             }
             println!(
-                "  {kernel:<18} scalar {:>8.2}  vector {:>8.2} ({:>5.2}x)  simd {:>8.2} ({:>5.2}x)",
+                "  {kernel:<18} scalar {:>8.2}  vector {:>8.2} ({:>5.2}x)  \
+                 simd {:>8.2} ({:>5.2}x)  auto {:>8.2} ({:>5.2}x)",
                 ns[0],
                 ns[1],
                 ns[0] / ns[1],
                 ns[2],
                 ns[0] / ns[2],
+                ns[3],
+                ns[0] / ns[3],
             );
             cells.push(Cell {
                 kernel,
@@ -308,14 +525,58 @@ fn main() {
         println!();
     }
 
-    let json = render_json(&cells, simd);
+    // Site-repeat section: kernel-level and engine-level.
+    let repeat_n = sizes.iter().copied().max().unwrap();
+    let (rk_off, rk_on, rk_classes) = repeat_kernel_bench(repeat_n);
+    println!(
+        "repeat newview_ii   {repeat_n} sites / {rk_classes} classes: \
+         off {rk_off:.2} ns/site, on {rk_on:.2} ns/site ({:.2}x)",
+        rk_off / rk_on
+    );
+    let eng = repeat_engine_bench(repeat_n.min(50_000));
+    println!(
+        "repeat engine       {} taxa, {} sites, {:.4} classes/site: \
+         off {:.2} ns/site, on {:.2} ns/site ({:.2}x)",
+        eng.taxa,
+        eng.patterns,
+        eng.classes_per_site,
+        eng.ns_off,
+        eng.ns_on,
+        eng.ns_off / eng.ns_on,
+    );
+    println!();
+
+    let json = render_json(&cells, simd, (repeat_n, rk_classes, rk_off, rk_on), &eng);
     std::fs::write(&out_path, json).unwrap_or_else(|e| {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(2);
     });
     println!("wrote {out_path}");
 
-    // CI gate: with AVX2+FMA present, the explicit-SIMD backend must
+    // ---- perf gates (after the JSON is on disk) ----
+    let mut failures: Vec<String> = Vec::new();
+
+    for c in &cells {
+        // Gate 1: vector within VECTOR_MAX_RATIO of scalar everywhere.
+        if c.ns[1] > VECTOR_MAX_RATIO * c.ns[0] {
+            failures.push(format!(
+                "vector {} at {} patterns: {:.2} ns/site vs scalar {:.2} \
+                 (> {VECTOR_MAX_RATIO}x)",
+                c.kernel, c.patterns, c.ns[1], c.ns[0]
+            ));
+        }
+        // Gate 2: auto keeps up with the best single backend per cell.
+        let best = c.ns[0].min(c.ns[1]).min(c.ns[2]);
+        if c.ns[3] > AUTO_TOLERANCE * best {
+            failures.push(format!(
+                "auto {} at {} patterns: {:.2} ns/site vs best single {:.2} \
+                 (> {AUTO_TOLERANCE}x)",
+                c.kernel, c.patterns, c.ns[3], best
+            ));
+        }
+    }
+
+    // Gate 3: with AVX2+FMA present, the explicit-SIMD backend must
     // beat the scalar reference on the hot kernel at the largest size.
     if simd {
         let biggest = sizes.iter().copied().max().unwrap();
@@ -325,42 +586,95 @@ fn main() {
             .expect("newview_ii cell");
         let speedup = cell.ns[0] / cell.ns[2];
         if speedup <= 1.0 {
-            eprintln!(
-                "FAIL: simd newview_ii is not faster than scalar at {biggest} patterns \
+            failures.push(format!(
+                "simd newview_ii not faster than scalar at {biggest} patterns \
                  ({:.2} vs {:.2} ns/site, {speedup:.2}x)",
                 cell.ns[2], cell.ns[0]
-            );
-            std::process::exit(1);
+            ));
+        } else {
+            println!("gate: simd newview_ii {speedup:.2}x vs scalar at {biggest} patterns — ok");
         }
-        println!("gate: simd newview_ii {speedup:.2}x vs scalar at {biggest} patterns — ok");
     }
+
+    // Gate 4: repeat-heavy compression pays off on the hot kernel.
+    let repeat_speedup = rk_off / rk_on;
+    if repeat_speedup < REPEAT_MIN_SPEEDUP {
+        failures.push(format!(
+            "repeat-heavy newview_ii compression only {repeat_speedup:.2}x \
+             (< {REPEAT_MIN_SPEEDUP}x) at {repeat_n} sites / {rk_classes} classes"
+        ));
+    } else {
+        println!("gate: repeat-heavy newview_ii {repeat_speedup:.2}x with compression — ok");
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("gates: all passed");
 }
 
 /// Hand-rolled JSON (the workspace has no serde): one record per
-/// (kernel, size) with ns/site per backend and speedups vs scalar.
-fn render_json(cells: &[Cell], simd: bool) -> String {
+/// (kernel, size) with ns/site per backend and speedups vs scalar,
+/// plus the site-repeat section.
+fn render_json(
+    cells: &[Cell],
+    simd: bool,
+    repeat_kernel: (usize, usize, f64, f64),
+    eng: &EngineRepeatBench,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"plf-microbench/1\",");
+    let _ = writeln!(s, "  \"schema\": \"plf-microbench/2\",");
     let _ = writeln!(s, "  \"host_simd\": {simd},");
-    let _ = writeln!(s, "  \"backends\": [\"scalar\", \"vector\", \"simd\"],");
+    let _ = writeln!(
+        s,
+        "  \"backends\": [\"scalar\", \"vector\", \"simd\", \"auto\"],"
+    );
     s.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let _ = write!(
             s,
             "    {{\"kernel\": \"{}\", \"patterns\": {}, \
-             \"ns_per_site\": {{\"scalar\": {:.3}, \"vector\": {:.3}, \"simd\": {:.3}}}, \
-             \"speedup_vs_scalar\": {{\"vector\": {:.3}, \"simd\": {:.3}}}}}",
+             \"ns_per_site\": {{\"scalar\": {:.3}, \"vector\": {:.3}, \"simd\": {:.3}, \
+             \"auto\": {:.3}}}, \
+             \"speedup_vs_scalar\": {{\"vector\": {:.3}, \"simd\": {:.3}, \"auto\": {:.3}}}}}",
             c.kernel,
             c.patterns,
             c.ns[0],
             c.ns[1],
             c.ns[2],
+            c.ns[3],
             c.ns[0] / c.ns[1],
             c.ns[0] / c.ns[2],
+            c.ns[0] / c.ns[3],
         );
         s.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    let (rn, rc, roff, ron) = repeat_kernel;
+    let _ = writeln!(s, "  \"site_repeats\": {{");
+    let _ = writeln!(
+        s,
+        "    \"kernel_newview_ii\": {{\"sites\": {rn}, \"classes\": {rc}, \
+         \"ns_per_site_off\": {roff:.3}, \"ns_per_site_on\": {ron:.3}, \
+         \"speedup\": {:.3}}},",
+        roff / ron
+    );
+    let _ = writeln!(
+        s,
+        "    \"engine_traversal\": {{\"taxa\": {}, \"sites\": {}, \
+         \"classes_per_site\": {:.5}, \"ns_per_site_off\": {:.3}, \
+         \"ns_per_site_on\": {:.3}, \"speedup\": {:.3}}}",
+        eng.taxa,
+        eng.patterns,
+        eng.classes_per_site,
+        eng.ns_off,
+        eng.ns_on,
+        eng.ns_off / eng.ns_on,
+    );
+    s.push_str("  }\n}\n");
     s
 }

@@ -65,6 +65,7 @@ pub fn record_trace(patterns: usize, ranks: usize, seed: u64) -> WorkloadTrace {
     let config = EngineConfig {
         kernel: KernelKind::Vector,
         alpha: 0.85,
+        ..EngineConfig::default()
     };
     let search = MlSearch::new(trace_search_config());
     let out = phylo_parallel::run_replicated(&start, &aln, config, search, ranks);

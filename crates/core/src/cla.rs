@@ -57,7 +57,7 @@ impl Cla {
 
     /// One pattern's 16 values.
     pub fn site(&self, i: usize) -> &[f64] {
-        &self.values[i * SITE_STRIDE..(i + 1) * SITE_STRIDE]
+        &self.values[crate::layout::site_range(i)]
     }
 
     /// Resets values to zero and scaling to zero.

@@ -16,6 +16,9 @@ use crate::cla::Cla;
 use crate::instrument::{KernelId, KernelStats};
 use crate::kernels::{KernelKind, Kernels};
 use crate::layout::{EigenBasis, FusedPmat, Lut16x16};
+use crate::repeats::{
+    ClassSource, RepeatKey, RepeatScratch, RepeatStats, RepeatTable, SiteRepeats,
+};
 use crate::{AlignedVec, NUM_RATES, SITE_STRIDE};
 use phylo_bio::CompressedAlignment;
 use phylo_models::{DiscreteGamma, Eigensystem, Gtr, GtrParams, ProbMatrix};
@@ -33,6 +36,12 @@ pub struct EngineConfig {
     pub kernel: KernelKind,
     /// Γ shape parameter α.
     pub alpha: f64,
+    /// Site-repeat compression mode. Resolved through
+    /// [`SiteRepeats::effective`] at construction: the
+    /// `PHYLOMIC_SITE_REPEATS` environment variable (when set)
+    /// overrides this field. `Off` is the uncompressed reference path;
+    /// results are bit-identical either way (see [`crate::repeats`]).
+    pub site_repeats: SiteRepeats,
 }
 
 impl Default for EngineConfig {
@@ -40,6 +49,7 @@ impl Default for EngineConfig {
         EngineConfig {
             kernel: KernelKind::Auto,
             alpha: 1.0,
+            site_repeats: SiteRepeats::Auto,
         }
     }
 }
@@ -87,6 +97,23 @@ pub struct LikelihoodEngine {
     sumtable: AlignedVec,
     sum_edge: Option<(EdgeId, u64)>,
     stats: KernelStats,
+    /// Effective site-repeat compression mode (env override applied).
+    repeats_mode: SiteRepeats,
+    /// Per-inner-node repeat tables (None until first built).
+    repeat_tables: Vec<Option<RepeatTable>>,
+    /// The state each table was built in (topology + tip binding only;
+    /// branch-length and model changes keep tables valid).
+    repeat_valid: Vec<Option<RepeatKey>>,
+    /// Monotonic table build stamps, used in children's `RepeatKey`s to
+    /// cascade invalidation upward.
+    repeat_stamps: Vec<u64>,
+    next_repeat_stamp: u64,
+    /// Bumped whenever the alignment-row → tree-tip binding changes.
+    tip_epoch: u64,
+    /// Class-indexed staging buffers, allocated on first compressed
+    /// `newview` (None also flags "taken" during a compressed call).
+    repeat_scratch: Option<Box<RepeatScratch>>,
+    repeat_stats: RepeatStats,
 }
 
 impl LikelihoodEngine {
@@ -161,6 +188,14 @@ impl LikelihoodEngine {
             sumtable: AlignedVec::zeroed(num_patterns * SITE_STRIDE),
             sum_edge: None,
             stats: KernelStats::new(),
+            repeats_mode: config.site_repeats.effective(),
+            repeat_tables: vec![None; tree.num_inner()],
+            repeat_valid: vec![None; tree.num_inner()],
+            repeat_stamps: vec![0; tree.num_inner()],
+            next_repeat_stamp: 1,
+            tip_epoch: 1,
+            repeat_scratch: None,
+            repeat_stats: RepeatStats::default(),
         };
         engine.rebuild_model_tables();
         engine
@@ -231,6 +266,31 @@ impl LikelihoodEngine {
         self.kind
     }
 
+    /// The effective site-repeat compression mode (env override
+    /// applied at construction).
+    pub fn site_repeats(&self) -> SiteRepeats {
+        self.repeats_mode
+    }
+
+    /// Cumulative site-repeat compression effectiveness.
+    pub fn repeat_stats(&self) -> RepeatStats {
+        self.repeat_stats
+    }
+
+    /// Per-pattern scaling counters of inner node `inner` (0-based
+    /// inner-node index). Diagnostic/test accessor: the cross-backend
+    /// and compression equivalence suites compare these arrays
+    /// bit-for-bit.
+    #[doc(hidden)]
+    pub fn cla_scale(&self, inner: usize) -> &[u32] {
+        self.clas[inner].scale()
+    }
+
+    /// Number of inner nodes (CLAs) this engine owns.
+    pub fn num_inner(&self) -> usize {
+        self.clas.len()
+    }
+
     /// Work counters accumulated so far.
     pub fn stats(&self) -> &KernelStats {
         &self.stats
@@ -283,6 +343,8 @@ impl LikelihoodEngine {
             // Node-id meanings changed wholesale: cached keys must not
             // survive even by coincidence.
             self.model_version += 1;
+            // Repeat tables were built over the old tip rows.
+            self.tip_epoch += 1;
         }
     }
 
@@ -302,6 +364,12 @@ impl LikelihoodEngine {
             let tipness = |n: NodeId| usize::from(!tree.is_tip(n));
             if (tipness(ch[0].1), ch[0].1) > (tipness(ch[1].1), ch[1].1) {
                 ch.swap(0, 1);
+            }
+            // Repeat tables are ensured for every scheduled node, even
+            // when its CLA is cache-valid: parents build their classes
+            // from the children's tables.
+            if self.repeats_mode.enabled() {
+                self.ensure_repeat_table(tree, d.node, d.toward_edge, ch);
             }
             let key = CacheKey {
                 toward_edge: d.toward_edge,
@@ -327,6 +395,55 @@ impl LikelihoodEngine {
         }
     }
 
+    fn repeat_stamp_of(&self, tree: &Tree, node: NodeId) -> u64 {
+        if tree.is_tip(node) {
+            0
+        } else {
+            self.repeat_stamps[self.inner_idx(node)]
+        }
+    }
+
+    /// Builds (or revalidates) `node`'s repeat table bottom-up from its
+    /// children's class sources. Children's tables are guaranteed built
+    /// because `update_partials` walks the post-order schedule.
+    fn ensure_repeat_table(
+        &mut self,
+        tree: &Tree,
+        node: NodeId,
+        toward_edge: EdgeId,
+        ch: [(EdgeId, NodeId); 2],
+    ) {
+        let idx = self.inner_idx(node);
+        let key = RepeatKey {
+            toward_edge,
+            child_nodes: [ch[0].1, ch[1].1],
+            child_table_stamps: [
+                self.repeat_stamp_of(tree, ch[0].1),
+                self.repeat_stamp_of(tree, ch[1].1),
+            ],
+            tip_epoch: self.tip_epoch,
+        };
+        if self.repeat_valid[idx].as_ref() == Some(&key) {
+            return;
+        }
+        let source = |n: NodeId| -> ClassSource<'_> {
+            if tree.is_tip(n) {
+                ClassSource::Tip(self.tip(n))
+            } else {
+                ClassSource::Inner(
+                    self.repeat_tables[self.inner_idx(n)]
+                        .as_ref()
+                        .expect("child repeat table built before parent (post-order)"),
+                )
+            }
+        };
+        let table = RepeatTable::build(source(ch[0].1), source(ch[1].1));
+        self.repeat_tables[idx] = Some(table);
+        self.repeat_valid[idx] = Some(key);
+        self.repeat_stamps[idx] = self.next_repeat_stamp;
+        self.next_repeat_stamp += 1;
+    }
+
     fn run_newview(
         &mut self,
         tree: &Tree,
@@ -337,8 +454,23 @@ impl LikelihoodEngine {
         let _span = crate::span::enter("newview");
         let t0 = std::time::Instant::now();
         let idx = self.inner_idx(node);
+        let compress = self.repeats_mode.enabled()
+            && self.repeat_tables[idx]
+                .as_ref()
+                .is_some_and(|t| t.compresses(self.repeats_mode));
         let mut out = std::mem::replace(&mut self.clas[idx], Cla::new(0));
         let (out_v, out_s) = out.buffers_mut();
+        self.repeat_stats.newview_calls += 1;
+        if compress {
+            self.run_newview_compressed(tree, ch, idx, out_v, out_s);
+            self.clas[idx] = out;
+            self.stamps[idx] = self.next_stamp;
+            self.next_stamp += 1;
+            self.valid[idx] = Some(key.clone());
+            self.stats
+                .record_timed(KernelId::Newview, self.num_patterns, elapsed_ns(t0));
+            return;
+        }
         let [(e_l, n_l), (e_r, n_r)] = ch;
         let t_l = tree.length(e_l);
         let t_r = tree.length(e_r);
@@ -387,6 +519,90 @@ impl LikelihoodEngine {
         self.valid[idx] = Some(key.clone());
         self.stats
             .record_timed(KernelId::Newview, self.num_patterns, elapsed_ns(t0));
+    }
+
+    /// The compressed `newview` path: gather the children's buffers at
+    /// the class representatives, run the kernel over `num_classes`
+    /// "sites", expand back to the full per-site CLA. Bit-identical to
+    /// the uncompressed path (see [`crate::repeats`]).
+    fn run_newview_compressed(
+        &mut self,
+        tree: &Tree,
+        ch: [(EdgeId, NodeId); 2],
+        idx: usize,
+        out_v: &mut [f64],
+        out_s: &mut [u32],
+    ) {
+        if self.repeat_scratch.is_none() {
+            self.repeat_scratch = Some(Box::new(RepeatScratch::new(self.num_patterns)));
+        }
+        let mut scratch = self.repeat_scratch.take().expect("repeat scratch");
+        let (sites, classes) = {
+            let table = self.repeat_tables[idx]
+                .as_ref()
+                .expect("repeat table built");
+            let [(e_l, n_l), (e_r, n_r)] = ch;
+            let t_l = tree.length(e_l);
+            let t_r = tree.length(e_r);
+            match (tree.is_tip(n_l), tree.is_tip(n_r)) {
+                (true, true) => {
+                    let lut_l = Lut16x16::tip_prob(&self.fused_pmat(t_l));
+                    let lut_r = Lut16x16::tip_prob(&self.fused_pmat(t_r));
+                    scratch.newview_tt(
+                        self.kernel,
+                        table,
+                        &lut_l,
+                        &lut_r,
+                        self.tip(n_l),
+                        self.tip(n_r),
+                        out_v,
+                        out_s,
+                    );
+                }
+                (true, false) => {
+                    let lut_l = Lut16x16::tip_prob(&self.fused_pmat(t_l));
+                    let p_r = self.fused_pmat(t_r);
+                    let cla_r = &self.clas[self.inner_idx(n_r)];
+                    scratch.newview_ti(
+                        self.kernel,
+                        table,
+                        &lut_l,
+                        self.tip(n_l),
+                        &p_r,
+                        cla_r.values(),
+                        cla_r.scale(),
+                        out_v,
+                        out_s,
+                    );
+                }
+                (false, false) => {
+                    let p_l = self.fused_pmat(t_l);
+                    let p_r = self.fused_pmat(t_r);
+                    let cla_l = &self.clas[self.inner_idx(n_l)];
+                    let cla_r = &self.clas[self.inner_idx(n_r)];
+                    scratch.newview_ii(
+                        self.kernel,
+                        table,
+                        &p_l,
+                        cla_l.values(),
+                        cla_l.scale(),
+                        &p_r,
+                        cla_r.values(),
+                        cla_r.scale(),
+                        out_v,
+                        out_s,
+                    );
+                }
+                (false, true) => unreachable!("children are canonicalized tip-first"),
+            }
+            (table.num_sites() as u64, table.num_classes() as u64)
+        };
+        self.repeat_scratch = Some(scratch);
+        self.repeat_stats.compressed_calls += 1;
+        self.repeat_stats.sites += sites;
+        self.repeat_stats.classes += classes;
+        repeat_sites_counter().add(sites);
+        repeat_classes_counter().add(classes);
     }
 
     /// Log-likelihood (partial, over this engine's pattern slice) with
@@ -511,6 +727,20 @@ fn patterns_evaluated() -> &'static crate::metrics::Counter {
     C.get_or_init(|| crate::metrics::counter("core.patterns.evaluated"))
 }
 
+/// Cached handle for `core.repeats.sites`: logical sites covered by
+/// compressed `newview` calls.
+fn repeat_sites_counter() -> &'static crate::metrics::Counter {
+    static C: std::sync::OnceLock<crate::metrics::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| crate::metrics::counter("core.repeats.sites"))
+}
+
+/// Cached handle for `core.repeats.classes`: unique repeat classes
+/// actually computed by compressed `newview` calls.
+fn repeat_classes_counter() -> &'static crate::metrics::Counter {
+    static C: std::sync::OnceLock<crate::metrics::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| crate::metrics::counter("core.repeats.classes"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -541,8 +771,17 @@ mod tests {
     }
 
     fn engines(tree: &Tree, aln: &CompressedAlignment) -> [LikelihoodEngine; 3] {
-        [KernelKind::Scalar, KernelKind::Vector, KernelKind::Simd]
-            .map(|kernel| LikelihoodEngine::new(tree, aln, EngineConfig { kernel, alpha: 0.7 }))
+        [KernelKind::Scalar, KernelKind::Vector, KernelKind::Simd].map(|kernel| {
+            LikelihoodEngine::new(
+                tree,
+                aln,
+                EngineConfig {
+                    kernel,
+                    alpha: 0.7,
+                    ..EngineConfig::default()
+                },
+            )
+        })
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! time-reversibility, where the likelihood of a branch is symmetric in
 //! its endpoints).
 
+pub mod auto;
 pub mod scalar;
 pub mod simd;
 pub mod vector;
@@ -16,8 +17,10 @@ use crate::SITE_STRIDE;
 /// Which kernel implementation an engine uses.
 ///
 /// `Scalar`, `Vector` and `Simd` name concrete backends; `Auto` is the
-/// runtime dispatcher (the engine default): it resolves to `Simd` when
-/// the host CPU supports AVX2+FMA and to `Vector` otherwise. All
+/// runtime dispatcher (the engine default): on AVX2+FMA hosts it routes
+/// each kernel call to the backend measured fastest for that kernel and
+/// input size ([`auto::AutoKernels`]), and on other hosts it runs the
+/// portable vector backend. All
 /// parsing and rendering of kernel names goes through the single
 /// [`std::str::FromStr`]/[`std::fmt::Display`] pair below — `match`
 /// sites over user-facing names must not be duplicated elsewhere, so
@@ -33,7 +36,9 @@ pub enum KernelKind {
     /// prefetching (§V-B1–B5 on commodity x86). Resolves to `Vector`
     /// on hosts without AVX2+FMA (and on non-x86 targets).
     Simd,
-    /// Runtime ISA dispatch: `Simd` when available, else `Vector`.
+    /// Runtime dispatch: on SIMD-capable hosts, size/kernel-aware
+    /// routing between `Simd` and the portable backends
+    /// ([`auto::AutoKernels`]); else `Vector`.
     Auto,
 }
 
@@ -53,10 +58,13 @@ impl KernelKind {
         simd::simd_available()
     }
 
-    /// Resolves runtime dispatch to a concrete backend: `Auto` picks
-    /// `Simd` when the host supports it and `Vector` otherwise; `Simd`
-    /// likewise degrades to `Vector` on hosts without AVX2+FMA. The
-    /// resolved kind is what engines record in trace metadata.
+    /// Resolves runtime dispatch to a concrete backend for *reporting*:
+    /// `Auto` names `Simd` when the host supports it and `Vector`
+    /// otherwise; `Simd` likewise degrades to `Vector` on hosts without
+    /// AVX2+FMA. The resolved kind is what engines record in trace
+    /// metadata. Note that dispatch itself goes through [`Self::kernels`],
+    /// where `Auto` keeps its size/kernel-aware routing
+    /// ([`auto::AutoKernels`]) rather than pinning one backend.
     pub fn resolve(self) -> KernelKind {
         match self {
             KernelKind::Scalar | KernelKind::Vector => self,
@@ -98,13 +106,21 @@ impl KernelKind {
         Self::env_override().unwrap_or(self).resolve()
     }
 
-    /// The implementation behind this kind (dispatch resolved first).
+    /// The implementation behind this kind. `Scalar`/`Vector` name
+    /// their backends directly; `Simd` degrades to the portable vector
+    /// backend on hosts without AVX2+FMA; `Auto` dispatches through
+    /// [`auto::AutoKernels`], which routes each call to the backend
+    /// measured fastest for that kernel and input size (falling back to
+    /// `Vector` outright on hosts where SIMD can never win).
     pub fn kernels(self) -> &'static dyn Kernels {
-        match self.resolve() {
+        match self {
             KernelKind::Scalar => &scalar::ScalarKernels,
             KernelKind::Vector => &vector::VectorKernels,
+            KernelKind::Simd | KernelKind::Auto if !Self::simd_available() => {
+                &vector::VectorKernels
+            }
             KernelKind::Simd => &simd::SimdKernels,
-            KernelKind::Auto => unreachable!("resolve() returns a concrete backend"),
+            KernelKind::Auto => &auto::AutoKernels,
         }
     }
 }

@@ -1,0 +1,191 @@
+//! Size- and kernel-aware runtime dispatch for [`crate::KernelKind::Auto`].
+//!
+//! BENCH_5 showed that a single "best backend" does not exist: the
+//! explicit-SIMD backend wins by up to 4.7× on the large FMA-bound
+//! kernels but *loses* to the portable backends on `newview_tt` (a pure
+//! 16-wide LUT product with no matrix work to amortize the staging
+//! round-trip) and, before the NT-store size gate, on small inputs of
+//! the streamed kernels. `AutoKernels` therefore routes every call to
+//! the backend measured fastest for that kernel shape and input size,
+//! instead of resolving `Auto` to one backend for the whole engine.
+//!
+//! Correctness note: all backends share the underflow-scaling rule
+//! (`crate::scaling::scale_site`) and produce bit-identical scaling
+//! counters, so routing different kernels of one likelihood evaluation
+//! to different backends cannot change any counter or downstream
+//! scaling decision; log-likelihoods agree to the usual ≤1e-12
+//! cross-backend tolerance.
+//!
+//! The crossover constants below are calibrated against the plf
+//! microbench on the reference host (see BENCH_6.json): they only steer
+//! performance, never correctness, so a host where the true crossover
+//! differs still computes exact results.
+
+use super::{scalar, simd, vector, Kernels};
+use crate::layout::{EigenBasis, FusedPmat, Lut16x16};
+use crate::SITE_STRIDE;
+
+/// The size/kernel-aware dispatcher behind [`crate::KernelKind::Auto`]
+/// on SIMD-capable hosts (on other hosts `Auto` resolves straight to
+/// the vector backend and this type is never dispatched to).
+pub struct AutoKernels;
+
+/// Below this many sites `newview_ti` runs portably: the per-call
+/// staging overhead of the intrinsics path only amortizes once the
+/// input stops fitting hot in L1/L2 (BENCH_5: Simd 0.87× scalar at 1k
+/// patterns, >1.9× from 10k up).
+const SIMD_MIN_NEWVIEW_TI: usize = 4096;
+
+/// `newview_tt` is a pure per-site 16-wide LUT product — no matvec for
+/// the FMA chains to win back the staging round-trip — so the portable
+/// backend stays ahead at every measured size (BENCH_5: Simd 0.63–0.99×
+/// scalar at 1k–100k). Routed portably at all sizes.
+const SIMD_MIN_NEWVIEW_TT: usize = usize::MAX;
+
+#[inline]
+fn simd_or_vector(n_sites: usize, simd_min: usize) -> &'static dyn Kernels {
+    if n_sites >= simd_min && simd::simd_available() {
+        &simd::SimdKernels
+    } else {
+        &vector::VectorKernels
+    }
+}
+
+impl Kernels for AutoKernels {
+    fn newview_tt(
+        &self,
+        lut_l: &Lut16x16,
+        lut_r: &Lut16x16,
+        codes_l: &[u8],
+        codes_r: &[u8],
+        out: &mut [f64],
+        scale_out: &mut [u32],
+    ) {
+        simd_or_vector(scale_out.len(), SIMD_MIN_NEWVIEW_TT)
+            .newview_tt(lut_l, lut_r, codes_l, codes_r, out, scale_out)
+    }
+
+    fn newview_ti(
+        &self,
+        lut_l: &Lut16x16,
+        codes_l: &[u8],
+        p_r: &FusedPmat,
+        v_r: &[f64],
+        scale_r: &[u32],
+        out: &mut [f64],
+        scale_out: &mut [u32],
+    ) {
+        simd_or_vector(scale_out.len(), SIMD_MIN_NEWVIEW_TI)
+            .newview_ti(lut_l, codes_l, p_r, v_r, scale_r, out, scale_out)
+    }
+
+    fn newview_ii(
+        &self,
+        p_l: &FusedPmat,
+        v_l: &[f64],
+        scale_l: &[u32],
+        p_r: &FusedPmat,
+        v_r: &[f64],
+        scale_r: &[u32],
+        out: &mut [f64],
+        scale_out: &mut [u32],
+    ) {
+        simd_or_vector(scale_out.len(), 0)
+            .newview_ii(p_l, v_l, scale_l, p_r, v_r, scale_r, out, scale_out)
+    }
+
+    fn evaluate_ti(
+        &self,
+        pi_tip: &Lut16x16,
+        codes_q: &[u8],
+        p: &FusedPmat,
+        v_r: &[f64],
+        scale_r: &[u32],
+        weights: &[u32],
+    ) -> f64 {
+        simd_or_vector(weights.len(), 0).evaluate_ti(pi_tip, codes_q, p, v_r, scale_r, weights)
+    }
+
+    fn evaluate_ii(
+        &self,
+        pi_w: &[f64; SITE_STRIDE],
+        v_q: &[f64],
+        scale_q: &[u32],
+        p: &FusedPmat,
+        v_r: &[f64],
+        scale_r: &[u32],
+        weights: &[u32],
+    ) -> f64 {
+        simd_or_vector(weights.len(), 0).evaluate_ii(pi_w, v_q, scale_q, p, v_r, scale_r, weights)
+    }
+
+    fn derivative_sum_ti(&self, basis: &EigenBasis, codes_q: &[u8], v_r: &[f64], out: &mut [f64]) {
+        simd_or_vector(out.len() / SITE_STRIDE, 0).derivative_sum_ti(basis, codes_q, v_r, out)
+    }
+
+    fn derivative_sum_ii(&self, basis: &EigenBasis, v_q: &[f64], v_r: &[f64], out: &mut [f64]) {
+        simd_or_vector(out.len() / SITE_STRIDE, 0).derivative_sum_ii(basis, v_q, v_r, out)
+    }
+
+    fn derivative_core(
+        &self,
+        sumtable: &[f64],
+        lambda_rate: &[f64; SITE_STRIDE],
+        t: f64,
+        weights: &[u32],
+    ) -> (f64, f64) {
+        simd_or_vector(weights.len(), 0).derivative_core(sumtable, lambda_rate, t, weights)
+    }
+}
+
+// Referenced so the scalar backend stays reachable from the dispatch
+// module even while no crossover currently routes to it; keeping the
+// import alive documents that `scalar` is a legal routing target.
+#[allow(dead_code)]
+const SCALAR_REFERENCE: &scalar::ScalarKernels = &scalar::ScalarKernels;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scaling::SCALE_THRESHOLD;
+    use crate::{AlignedVec, KernelKind};
+
+    /// Auto must agree bit-for-bit on scaling counters with every
+    /// concrete backend at sizes straddling each crossover constant.
+    #[test]
+    fn auto_matches_concrete_backends_across_crossovers() {
+        use phylo_models::{DiscreteGamma, Gtr, GtrParams, ProbMatrix};
+        let g = Gtr::new(GtrParams {
+            rates: [1.0, 2.0, 1.0, 1.0, 2.0, 1.0],
+            freqs: [0.25; 4],
+        });
+        let rates = *DiscreteGamma::new(0.5).rates();
+        let p = FusedPmat::from_prob(&ProbMatrix::new(g.eigen(), &rates, 0.1));
+        for n in [1usize, 7, SIMD_MIN_NEWVIEW_TI - 1, SIMD_MIN_NEWVIEW_TI + 1] {
+            let mut v = AlignedVec::zeroed(n * SITE_STRIDE);
+            for (i, x) in v.iter_mut().enumerate() {
+                // Straddle the scaling threshold so some sites rescale.
+                *x = if i % 48 == 0 {
+                    SCALE_THRESHOLD / 2.0
+                } else {
+                    0.5 + (i % 7) as f64 * 0.05
+                };
+            }
+            let scale = vec![2u32; n];
+            let run = |k: &dyn Kernels| {
+                let mut out = AlignedVec::zeroed(n * SITE_STRIDE);
+                let mut sc = vec![0u32; n];
+                k.newview_ii(&p, &v, &scale, &p, &v, &scale, &mut out, &mut sc);
+                (out, sc)
+            };
+            let (oa, sa) = run(&AutoKernels);
+            for kind in [KernelKind::Scalar, KernelKind::Vector, KernelKind::Simd] {
+                let (ob, sb) = run(kind.kernels());
+                assert_eq!(sa, sb, "n={n} {kind}: scaling counters differ");
+                for (a, b) in oa.iter().zip(ob.iter()) {
+                    assert!((a - b).abs() <= 1e-12 * (1.0 + a.abs()), "n={n} {kind}");
+                }
+            }
+        }
+    }
+}

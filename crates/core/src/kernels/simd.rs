@@ -268,13 +268,24 @@ mod x86 {
         unsafe { _mm256_stream_pd(s.as_mut_ptr(), v) }
     }
 
-    /// Whether `out` can take streaming stores at every site offset:
-    /// base 32-byte aligned (the 128-byte site stride preserves it).
-    /// Engine-owned buffers are 64-byte aligned and always qualify;
-    /// arbitrary test slices fall back to regular stores.
+    /// Minimum number of sites before non-temporal stores pay off. NT
+    /// stores bypass the cache entirely, so for outputs that still fit
+    /// in L2 (and will be re-read by the parent `newview`/`evaluate`
+    /// within a few kernel calls) they trade a cache hit on the reader
+    /// for nothing — BENCH_5 measured the Simd backend *losing* to
+    /// scalar at 1k patterns on exactly the streamed kernels. 4096
+    /// sites × 128 B = 512 KiB, about where outputs stop fitting in a
+    /// per-core L2 and the reader was going to miss anyway.
+    const NT_MIN_SITES: usize = 4096;
+
+    /// Whether `out` should take streaming stores: every site offset
+    /// must be 32-byte aligned (engine-owned buffers are 64-byte
+    /// aligned and always qualify; the 128-byte site stride preserves
+    /// alignment), and the output must be large enough
+    /// ([`NT_MIN_SITES`]) that bypassing the cache wins.
     #[inline]
-    fn stream_ok(out: &[f64]) -> bool {
-        (out.as_ptr() as usize).is_multiple_of(32)
+    fn stream_ok(out: &[f64], n_sites: usize) -> bool {
+        (out.as_ptr() as usize).is_multiple_of(32) && n_sites >= NT_MIN_SITES
     }
 
     /// §V-B5 epilogue: `sfence` after non-temporal stores. NT stores
@@ -369,7 +380,7 @@ mod x86 {
         scale_out: &mut [u32],
     ) {
         let n = scale_out.len();
-        let nt = stream_ok(out);
+        let nt = stream_ok(out, n);
         for i in 0..n {
             let l = &lut_l.rows[codes_l[i] as usize];
             let r = &lut_r.rows[codes_r[i] as usize];
@@ -393,7 +404,7 @@ mod x86 {
         scale_out: &mut [u32],
     ) {
         let n = scale_out.len();
-        let nt = stream_ok(out);
+        let nt = stream_ok(out, n);
         for i in 0..n {
             prefetch_site(v_r, i + PREFETCH_SITES);
             let l = &lut_l.rows[codes_l[i] as usize];
@@ -420,7 +431,7 @@ mod x86 {
         scale_out: &mut [u32],
     ) {
         let n = scale_out.len();
-        let nt = stream_ok(out);
+        let nt = stream_ok(out, n);
         for i in 0..n {
             prefetch_site(v_l, i + PREFETCH_SITES);
             prefetch_site(v_r, i + PREFETCH_SITES);
@@ -525,7 +536,7 @@ mod x86 {
         out: &mut [f64],
     ) {
         let n = out.len() / SITE_STRIDE;
-        let nt = stream_ok(out);
+        let nt = stream_ok(out, n);
         for i in 0..n {
             prefetch_site(v_r, i + PREFETCH_SITES);
             let le = &basis.tip_left.rows[codes_q[i] as usize];
@@ -542,7 +553,7 @@ mod x86 {
     #[target_feature(enable = "avx2", enable = "fma")]
     pub(super) fn derivative_sum_ii(basis: &EigenBasis, v_q: &[f64], v_r: &[f64], out: &mut [f64]) {
         let n = out.len() / SITE_STRIDE;
-        let nt = stream_ok(out);
+        let nt = stream_ok(out, n);
         for i in 0..n {
             prefetch_site(v_q, i + PREFETCH_SITES);
             prefetch_site(v_r, i + PREFETCH_SITES);

@@ -4,8 +4,9 @@
 //!
 //! * §V-B3 *re-organized loops* — the four per-category 1×4 · 4×4
 //!   products are executed simultaneously as one fused 16-wide loop
-//!   (`fused_matvec`), expressed with fixed-size arrays and
-//!   `mul_add` so LLVM lowers it to broadcast + FMA vector code;
+//!   (`fused_matvec`), expressed with fixed-size arrays and a
+//!   target-gated [`fma`] helper so LLVM lowers it to broadcast +
+//!   mul/add vector code (FMA where the target has it);
 //! * §V-B2 *memory alignment* — all CLA inputs come from 64-byte
 //!   aligned [`crate::AlignedVec`] storage with a 128-byte site stride;
 //! * §V-B4 *site blocking* — `evaluate` and `derivativeCore` process
@@ -22,6 +23,24 @@ use crate::{NUM_RATES, NUM_STATES, SITE_BLOCK, SITE_STRIDE};
 /// Vectorized kernel set.
 pub struct VectorKernels;
 
+/// Fused multiply-add that is only contracted to an FMA instruction when
+/// the target actually has one. `f64::mul_add` is an *exact* fused
+/// operation: on targets without hardware FMA it lowers to a libm
+/// `fma()` call, which costs ~10× a mul+add (the BENCH_5 regression).
+/// Plain `a * b + c` lets LLVM emit mul+add everywhere and still fuse
+/// opportunistically under `-C target-feature=+fma`.
+#[inline(always)]
+fn fma(a: f64, b: f64, c: f64) -> f64 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        a * b + c
+    }
+}
+
 /// One fused 16-wide matrix application: `acc[4k + a] = Σ_b
 /// P_k[a][b] · v[4k + b]`, computed as four broadcast-FMA passes over
 /// the fused columns.
@@ -34,7 +53,7 @@ fn fused_matvec(p: &FusedPmat, v: &[f64]) -> [f64; SITE_STRIDE] {
             let x = v[4 * k + b];
             for a in 0..NUM_STATES {
                 let m = 4 * k + a;
-                acc[m] = col[m].mul_add(x, acc[m]);
+                acc[m] = fma(col[m], x, acc[m]);
             }
         }
     }
@@ -52,7 +71,7 @@ fn fused_project(table: &[[f64; SITE_STRIDE]; NUM_STATES], v: &[f64]) -> [f64; S
             let x = v[4 * k + s];
             for j in 0..NUM_STATES {
                 let m = 4 * k + j;
-                acc[m] = col[m].mul_add(x, acc[m]);
+                acc[m] = fma(col[m], x, acc[m]);
             }
         }
     }
@@ -147,7 +166,7 @@ impl Kernels for VectorKernels {
                 let x = fused_matvec(p, vr);
                 let mut site = 0.0;
                 for m in 0..SITE_STRIDE {
-                    site = piq[m].mul_add(x[m], site);
+                    site = fma(piq[m], x[m], site);
                 }
                 *slot = site;
             }
@@ -185,7 +204,7 @@ impl Kernels for VectorKernels {
                 let x = fused_matvec(p, vr);
                 let mut site = 0.0;
                 for m in 0..SITE_STRIDE {
-                    site = (pi_w[m] * vq[m]).mul_add(x[m], site);
+                    site = fma(pi_w[m] * vq[m], x[m], site);
                 }
                 *slot = site;
             }
@@ -249,9 +268,9 @@ impl Kernels for VectorKernels {
                 let mut l1 = 0.0;
                 let mut l2 = 0.0;
                 for m in 0..SITE_STRIDE {
-                    l = s[m].mul_add(e[m], l);
-                    l1 = s[m].mul_add(d1[m], l1);
-                    l2 = s[m].mul_add(d2[m], l2);
+                    l = fma(s[m], e[m], l);
+                    l1 = fma(s[m], d1[m], l1);
+                    l2 = fma(s[m], d2[m], l2);
                 }
                 bl[bi] = l;
                 bl1[bi] = l1;

@@ -29,6 +29,14 @@
 use crate::{NUM_RATES, NUM_STATES, SITE_STRIDE};
 use phylo_models::{Eigensystem, ProbMatrix};
 
+/// The index range of pattern `i`'s 16 doubles in a pattern-major
+/// buffer — the one place the `i · SITE_STRIDE` arithmetic for
+/// site-indexed and class-indexed CLA views lives.
+#[inline]
+pub fn site_range(i: usize) -> std::ops::Range<usize> {
+    i * SITE_STRIDE..(i + 1) * SITE_STRIDE
+}
+
 /// A transition-probability matrix in fused `(rate, state)` layout:
 /// `cols[b][4k + a] = P_k[a][b]`.
 #[derive(Clone, Debug, PartialEq)]

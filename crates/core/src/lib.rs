@@ -45,6 +45,7 @@ pub mod metrics;
 pub mod naive;
 pub mod nstate;
 pub mod recompute;
+pub mod repeats;
 pub mod scaling;
 pub mod span;
 pub(crate) mod sync;
@@ -54,6 +55,7 @@ pub use aligned::AlignedVec;
 pub use engine::{EngineConfig, LikelihoodEngine};
 pub use instrument::{KernelId, KernelStats, LatencyHistogram, RegionStats};
 pub use kernels::{KernelKind, Kernels};
+pub use repeats::{RepeatStats, SiteRepeats};
 pub use span::{SpanGuard, TrackSnapshot};
 pub use trace::{TraceEvent, TRACE_VERSION};
 

@@ -413,6 +413,7 @@ mod tests {
             EngineConfig {
                 kernel: crate::KernelKind::Vector,
                 alpha,
+                ..EngineConfig::default()
             },
         );
         dna.set_model(params);
@@ -434,6 +435,7 @@ mod tests {
             EngineConfig {
                 kernel: crate::KernelKind::Scalar,
                 alpha,
+                ..EngineConfig::default()
             },
         );
         dna.set_model(params);

@@ -21,6 +21,9 @@ use crate::engine::EngineConfig;
 use crate::instrument::{KernelId, KernelStats};
 use crate::kernels::Kernels;
 use crate::layout::{FusedPmat, Lut16x16};
+use crate::repeats::{
+    ClassSource, RepeatKey, RepeatScratch, RepeatStats, RepeatTable, SiteRepeats,
+};
 use crate::SITE_STRIDE;
 use phylo_bio::CompressedAlignment;
 use phylo_models::{DiscreteGamma, Eigensystem, Gtr, GtrParams, ProbMatrix};
@@ -91,6 +94,18 @@ pub struct RecomputingEngine {
     /// entries; callers invalidate explicitly on mutation).
     version: u64,
     stats: KernelStats,
+    /// Site-repeat compression mode (resolved at construction).
+    repeats_mode: SiteRepeats,
+    /// Per-inner-node repeat tables. Unlike CLAs these are *not*
+    /// pooled: a table costs ~12 bytes/site versus a CLA's 128, and
+    /// keeping them resident is what lets evicted CLAs be recomputed
+    /// over classes instead of sites.
+    repeat_tables: Vec<Option<RepeatTable>>,
+    repeat_valid: Vec<Option<RepeatKey>>,
+    repeat_stamps: Vec<u64>,
+    next_repeat_stamp: u64,
+    repeat_scratch: Option<Box<RepeatScratch>>,
+    repeat_stats: RepeatStats,
 }
 
 const FREE: usize = usize::MAX;
@@ -149,6 +164,13 @@ impl RecomputingEngine {
             orientation: vec![(usize::MAX, 0); tree.num_inner()],
             version: 1,
             stats: KernelStats::new(),
+            repeats_mode: config.site_repeats.effective(),
+            repeat_tables: vec![None; tree.num_inner()],
+            repeat_valid: vec![None; tree.num_inner()],
+            repeat_stamps: vec![0; tree.num_inner()],
+            next_repeat_stamp: 1,
+            repeat_scratch: None,
+            repeat_stats: RepeatStats::default(),
         }
     }
 
@@ -174,8 +196,21 @@ impl RecomputingEngine {
     }
 
     /// Invalidates every cached CLA (call after mutating the tree).
+    /// Repeat tables are *not* cleared: their validity is tracked
+    /// separately against child identity and table stamps, so
+    /// branch-length-only changes reuse them.
     pub fn invalidate_all(&mut self) {
         self.version += 1;
+    }
+
+    /// The resolved site-repeat compression mode.
+    pub fn site_repeats(&self) -> SiteRepeats {
+        self.repeats_mode
+    }
+
+    /// Cumulative repeat-compression counters.
+    pub fn repeat_stats(&self) -> &RepeatStats {
+        &self.repeat_stats
     }
 
     fn inner_idx(&self, node: NodeId) -> usize {
@@ -227,7 +262,19 @@ impl RecomputingEngine {
 
         for d in &schedule {
             let idx = self.inner_idx(d.node);
-            let ch = children(tree, d.node, d.toward_edge);
+            // Canonical child order: tip first, then by node id. Hoisted
+            // out of `run_newview` so the repeat table and the kernel
+            // dispatch agree on which child is "left".
+            let mut ch = children(tree, d.node, d.toward_edge);
+            let tipness = |n: NodeId| usize::from(!tree.is_tip(n));
+            if (tipness(ch[0].1), ch[0].1) > (tipness(ch[1].1), ch[1].1) {
+                ch.swap(0, 1);
+            }
+            // Tables are ensured even for resident-and-valid nodes:
+            // parents build their classes from the children's tables.
+            if self.repeats_mode.enabled() {
+                self.ensure_repeat_table(tree, d.node, d.toward_edge, ch);
+            }
             let valid = self.resident[idx] != FREE
                 && self.orientation[idx] == (d.toward_edge, self.version);
             if !valid {
@@ -245,19 +292,63 @@ impl RecomputingEngine {
         let _ = (ra, rb);
     }
 
+    /// Builds (or revalidates) `node`'s repeat table bottom-up from its
+    /// children's class sources (same contract as the full engine's;
+    /// tips are fixed at construction here, so the epoch is constant).
+    fn ensure_repeat_table(
+        &mut self,
+        tree: &Tree,
+        node: NodeId,
+        toward_edge: EdgeId,
+        ch: [(EdgeId, NodeId); 2],
+    ) {
+        let idx = self.inner_idx(node);
+        let key = RepeatKey {
+            toward_edge,
+            child_nodes: [ch[0].1, ch[1].1],
+            child_table_stamps: [
+                self.repeat_stamp_of(tree, ch[0].1),
+                self.repeat_stamp_of(tree, ch[1].1),
+            ],
+            tip_epoch: 0,
+        };
+        if self.repeat_valid[idx].as_ref() == Some(&key) {
+            return;
+        }
+        let source = |n: NodeId| -> ClassSource<'_> {
+            if tree.is_tip(n) {
+                ClassSource::Tip(&self.tips[n])
+            } else {
+                ClassSource::Inner(
+                    self.repeat_tables[self.inner_idx(n)]
+                        .as_ref()
+                        .expect("child repeat table built before parent (post-order)"),
+                )
+            }
+        };
+        let table = RepeatTable::build(source(ch[0].1), source(ch[1].1));
+        self.repeat_tables[idx] = Some(table);
+        self.repeat_valid[idx] = Some(key);
+        self.repeat_stamps[idx] = self.next_repeat_stamp;
+        self.next_repeat_stamp += 1;
+    }
+
+    fn repeat_stamp_of(&self, tree: &Tree, node: NodeId) -> u64 {
+        if tree.is_tip(node) {
+            0
+        } else {
+            self.repeat_stamps[self.inner_idx(node)]
+        }
+    }
+
     fn run_newview(
         &mut self,
         tree: &Tree,
         node: NodeId,
-        mut ch: [(EdgeId, NodeId); 2],
+        ch: [(EdgeId, NodeId); 2],
         toward: EdgeId,
         pinned: &[bool],
     ) {
-        // Canonicalize: tip first.
-        let tipness = |n: NodeId| usize::from(!tree.is_tip(n));
-        if (tipness(ch[0].1), ch[0].1) > (tipness(ch[1].1), ch[1].1) {
-            ch.swap(0, 1);
-        }
         let [(e_l, n_l), (e_r, n_r)] = ch;
         let idx = self.inner_idx(node);
         let slot = if self.resident[idx] != FREE {
@@ -265,8 +356,20 @@ impl RecomputingEngine {
         } else {
             self.acquire_slot(node, pinned)
         };
+        let compress = self.repeats_mode.enabled()
+            && self.repeat_tables[idx]
+                .as_ref()
+                .is_some_and(|t| t.compresses(self.repeats_mode));
         let mut out = std::mem::replace(&mut self.slots[slot], Cla::new(0));
         let (ov, os) = out.buffers_mut();
+        self.repeat_stats.newview_calls += 1;
+        if compress {
+            self.run_newview_compressed(tree, ch, idx, ov, os);
+            self.slots[slot] = out;
+            self.orientation[idx] = (toward, self.version);
+            self.stats.record(KernelId::Newview, self.num_patterns);
+            return;
+        }
         match (tree.is_tip(n_l), tree.is_tip(n_r)) {
             (true, true) => {
                 let lut_l = Lut16x16::tip_prob(&self.fused_pmat(tree.length(e_l)));
@@ -309,6 +412,84 @@ impl RecomputingEngine {
         self.slots[slot] = out;
         self.orientation[idx] = (toward, self.version);
         self.stats.record(KernelId::Newview, self.num_patterns);
+    }
+
+    /// Compressed `newview` over repeat classes (see [`crate::repeats`]
+    /// for the bit-identity argument).
+    fn run_newview_compressed(
+        &mut self,
+        tree: &Tree,
+        ch: [(EdgeId, NodeId); 2],
+        idx: usize,
+        out_v: &mut [f64],
+        out_s: &mut [u32],
+    ) {
+        if self.repeat_scratch.is_none() {
+            self.repeat_scratch = Some(Box::new(RepeatScratch::new(self.num_patterns)));
+        }
+        let mut scratch = self.repeat_scratch.take().expect("repeat scratch");
+        let (sites, classes) = {
+            let table = self.repeat_tables[idx]
+                .as_ref()
+                .expect("repeat table built");
+            let [(e_l, n_l), (e_r, n_r)] = ch;
+            match (tree.is_tip(n_l), tree.is_tip(n_r)) {
+                (true, true) => {
+                    let lut_l = Lut16x16::tip_prob(&self.fused_pmat(tree.length(e_l)));
+                    let lut_r = Lut16x16::tip_prob(&self.fused_pmat(tree.length(e_r)));
+                    scratch.newview_tt(
+                        self.kernel,
+                        table,
+                        &lut_l,
+                        &lut_r,
+                        &self.tips[n_l],
+                        &self.tips[n_r],
+                        out_v,
+                        out_s,
+                    );
+                }
+                (true, false) => {
+                    let lut_l = Lut16x16::tip_prob(&self.fused_pmat(tree.length(e_l)));
+                    let p_r = self.fused_pmat(tree.length(e_r));
+                    let cr = &self.slots[self.slot_of(n_r)];
+                    scratch.newview_ti(
+                        self.kernel,
+                        table,
+                        &lut_l,
+                        &self.tips[n_l],
+                        &p_r,
+                        cr.values(),
+                        cr.scale(),
+                        out_v,
+                        out_s,
+                    );
+                }
+                (false, false) => {
+                    let p_l = self.fused_pmat(tree.length(e_l));
+                    let p_r = self.fused_pmat(tree.length(e_r));
+                    let cl = &self.slots[self.slot_of(n_l)];
+                    let cr = &self.slots[self.slot_of(n_r)];
+                    scratch.newview_ii(
+                        self.kernel,
+                        table,
+                        &p_l,
+                        cl.values(),
+                        cl.scale(),
+                        &p_r,
+                        cr.values(),
+                        cr.scale(),
+                        out_v,
+                        out_s,
+                    );
+                }
+                (false, true) => unreachable!("children canonicalized tip-first"),
+            }
+            (table.num_sites() as u64, table.num_classes() as u64)
+        };
+        self.repeat_scratch = Some(scratch);
+        self.repeat_stats.compressed_calls += 1;
+        self.repeat_stats.sites += sites;
+        self.repeat_stats.classes += classes;
     }
 
     fn slot_of(&self, node: NodeId) -> usize {
@@ -502,5 +683,61 @@ mod tests {
     fn tiny_pool_rejected() {
         let (tree, aln) = dataset(8, 11);
         RecomputingEngine::new(&tree, &aln, EngineConfig::default(), 2);
+    }
+
+    #[test]
+    fn site_repeats_bit_identical_under_memory_cap() {
+        // Repeat-heavy alignment: 12 prototype columns cycled across 96
+        // patterns, so every inner node sees heavy class collapse.
+        use rand::Rng;
+        let mut rng = SmallRng::seed_from_u64(21);
+        let names = default_names(10);
+        let tree = random_tree(&names, 0.12, &mut rng).unwrap();
+        let protos: Vec<Vec<usize>> = (0..12)
+            .map(|_| (0..10).map(|_| rng.random_range(0..4usize)).collect())
+            .collect();
+        let rows: Vec<Vec<phylo_bio::DnaCode>> = (0..10)
+            .map(|taxon| {
+                (0..96)
+                    .map(|p| phylo_bio::DnaCode::from_state(protos[p % 12][taxon]))
+                    .collect()
+            })
+            .collect();
+        let aln =
+            CompressedAlignment::from_parts(tree.tip_names().to_vec(), rows, vec![1; 96]).unwrap();
+        let cfg_of = |site_repeats| EngineConfig {
+            site_repeats,
+            ..EngineConfig::default()
+        };
+        let pool = min_pool_slots_any_root(&tree);
+        for root in [0usize, 4, 9] {
+            let mut off = RecomputingEngine::new(&tree, &aln, cfg_of(SiteRepeats::Off), pool);
+            let mut on = RecomputingEngine::new(&tree, &aln, cfg_of(SiteRepeats::On), pool);
+            let a = off.log_likelihood(&tree, root);
+            let b = on.log_likelihood(&tree, root);
+            assert_eq!(a.to_bits(), b.to_bits(), "root {root}: {a} vs {b}");
+            assert!(
+                on.repeat_stats().compressed_calls > 0,
+                "compression engaged nothing at root {root}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeat_tables_survive_invalidate_all() {
+        let (tree, aln) = dataset(10, 13);
+        let cfg = EngineConfig {
+            site_repeats: SiteRepeats::On,
+            ..EngineConfig::default()
+        };
+        let mut rec = RecomputingEngine::new(&tree, &aln, cfg, tree.num_inner());
+        rec.log_likelihood(&tree, 0);
+        let stamp_before = rec.next_repeat_stamp;
+        // Branch-length-style invalidation recomputes CLAs but must
+        // reuse the class tables (they only depend on tip patterns and
+        // topology).
+        rec.invalidate_all();
+        rec.log_likelihood(&tree, 0);
+        assert_eq!(rec.next_repeat_stamp, stamp_before, "tables were rebuilt");
     }
 }

@@ -1,0 +1,634 @@
+//! Site-repeat compression for the PLF kernels.
+//!
+//! Distinct alignment *patterns* (global column dedup, done in
+//! `phylo-bio`) are not the end of redundancy: below any given inner
+//! node, many sites induce the *same* character pattern over just the
+//! subtree's tips, so their conditional likelihoods at that node are
+//! identical. BEAGLE and libpll exploit this as "site repeats": compute
+//! each unique per-node repeat class once in `newview`, then expand the
+//! result to all member sites.
+//!
+//! The classes are built incrementally bottom-up, which is what makes
+//! detection cheap: a site's class at a node is determined entirely by
+//! the pair of its children's class ids — a tip child contributes its
+//! 4-bit character code, an inner child the site's class id in that
+//! child's own [`RepeatTable`]. One hash pass per node over `(left
+//! class, right class)` pairs assigns dense ids in first-occurrence
+//! order.
+//!
+//! # Bit-identity contract
+//!
+//! Compression must be invisible to every downstream consumer:
+//!
+//! * **Values**: sites of one class have bit-identical child inputs
+//!   (induction over the tree; base case tips), and every kernel is a
+//!   deterministic per-site function of its inputs, so computing the
+//!   class once and copying the 128-byte site to each member yields the
+//!   exact bytes the uncompressed kernel would have produced.
+//! * **Per-site scaling counters**: a site's output counter is `(own
+//!   rescale bump) + (sum of child counters)`; both are class
+//!   functions, so the expanded counter array is bit-identical too.
+//! * **The global `core.scaling.events` metric**: the kernel's
+//!   [`crate::scaling::scale_site`] fires once per *class*, so the
+//!   engine re-weights it by multiplicity — adding `own_bump_c ·
+//!   (mult_c − 1)` per class — keeping the process-wide total equal to
+//!   the uncompressed run's. See
+//!   [`RepeatTable::extra_scaling_events`].
+//!
+//! Because expansion materializes the full per-site CLA, `evaluate_*`
+//! and `derivative_sum_*` run unchanged over identical inputs: the
+//! whole likelihood, not just the CLA, is bit-identical with
+//! compression on or off.
+
+use crate::kernels::Kernels;
+use crate::layout::{site_range, FusedPmat, Lut16x16};
+use crate::{AlignedVec, SITE_STRIDE};
+use phylo_tree::{EdgeId, NodeId};
+use std::collections::HashMap;
+
+/// Whether engines compress repeated sites, gated per
+/// [`crate::EngineConfig`] and overridable process-wide through the
+/// `PHYLOMIC_SITE_REPEATS` environment variable (mirroring
+/// `PHYLOMIC_KERNELS`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SiteRepeats {
+    /// Never compress: the uncompressed reference path.
+    Off,
+    /// Compress whenever a node has any repeated site at all.
+    On,
+    /// Compress only where profitable: the kernel saving must clear the
+    /// gather/expand overhead (see [`RepeatTable::profitable`]).
+    Auto,
+}
+
+impl SiteRepeats {
+    /// Every variant, in parse/display order.
+    pub const ALL: [SiteRepeats; 3] = [SiteRepeats::Off, SiteRepeats::On, SiteRepeats::Auto];
+
+    /// The `PHYLOMIC_SITE_REPEATS` environment override, parsed once
+    /// per process. Returns `None` when the variable is unset or empty.
+    ///
+    /// # Panics
+    /// Panics on an unparseable value: a mistyped mode must not
+    /// silently fall back to the default.
+    pub fn env_override() -> Option<SiteRepeats> {
+        static OVERRIDE: std::sync::OnceLock<Option<SiteRepeats>> = std::sync::OnceLock::new();
+        *OVERRIDE.get_or_init(|| {
+            let v = std::env::var("PHYLOMIC_SITE_REPEATS").ok()?;
+            let v = v.trim();
+            if v.is_empty() {
+                return None;
+            }
+            Some(
+                v.parse().unwrap_or_else(|e: SiteRepeatsParseError| {
+                    panic!("PHYLOMIC_SITE_REPEATS: {e}")
+                }),
+            )
+        })
+    }
+
+    /// The mode an engine configured with `self` actually runs:
+    /// `PHYLOMIC_SITE_REPEATS` (when set) wins.
+    pub fn effective(self) -> SiteRepeats {
+        Self::env_override().unwrap_or(self)
+    }
+
+    /// Whether this mode builds repeat tables at all.
+    pub fn enabled(self) -> bool {
+        self != SiteRepeats::Off
+    }
+}
+
+/// An unrecognized site-repeats mode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SiteRepeatsParseError(String);
+
+impl std::fmt::Display for SiteRepeatsParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown site-repeats mode {:?} (expected off, on or auto)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for SiteRepeatsParseError {}
+
+impl std::str::FromStr for SiteRepeats {
+    type Err = SiteRepeatsParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(SiteRepeats::Off),
+            "on" => Ok(SiteRepeats::On),
+            "auto" => Ok(SiteRepeats::Auto),
+            other => Err(SiteRepeatsParseError(other.to_string())),
+        }
+    }
+}
+
+impl std::fmt::Display for SiteRepeats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SiteRepeats::Off => "off",
+            SiteRepeats::On => "on",
+            SiteRepeats::Auto => "auto",
+        })
+    }
+}
+
+/// One child's per-site class ids for repeat-class construction: a tip
+/// contributes its 4-bit character codes, an inner node the site→class
+/// map of its own table.
+#[derive(Clone, Copy)]
+pub enum ClassSource<'a> {
+    /// Tip child: 4-bit ambiguity codes, one per site.
+    Tip(&'a [u8]),
+    /// Inner child: the child's repeat table (must cover the same
+    /// sites).
+    Inner(&'a RepeatTable),
+}
+
+impl ClassSource<'_> {
+    #[inline]
+    fn class(&self, site: usize) -> u32 {
+        match self {
+            ClassSource::Tip(codes) => codes[site] as u32,
+            ClassSource::Inner(table) => table.site2class[site],
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ClassSource::Tip(codes) => codes.len(),
+            ClassSource::Inner(table) => table.num_sites(),
+        }
+    }
+}
+
+/// Per-node repeat index table: the partition of this engine slice's
+/// sites into classes with identical induced subtree patterns at one
+/// inner node (for its current orientation).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RepeatTable {
+    /// Dense class id per site, ids assigned in first-occurrence order.
+    site2class: Vec<u32>,
+    /// Representative (first-occurrence) site per class.
+    repr: Vec<u32>,
+    /// Number of member sites per class.
+    mult: Vec<u32>,
+}
+
+impl RepeatTable {
+    /// Builds the table for a node from its two children's class
+    /// sources, in one hash pass over the `(left, right)` class pairs.
+    pub fn build(left: ClassSource<'_>, right: ClassSource<'_>) -> Self {
+        let n = left.len();
+        debug_assert_eq!(n, right.len(), "children cover different site ranges");
+        let mut site2class = Vec::with_capacity(n);
+        let mut repr = Vec::new();
+        let mut mult: Vec<u32> = Vec::new();
+        let mut ids: HashMap<u64, u32> = HashMap::with_capacity(n.min(1 << 16));
+        for i in 0..n {
+            let key = (u64::from(left.class(i)) << 32) | u64::from(right.class(i));
+            let next = repr.len() as u32;
+            let id = *ids.entry(key).or_insert(next);
+            if id == next {
+                repr.push(i as u32);
+                mult.push(0);
+            }
+            mult[id as usize] += 1;
+            site2class.push(id);
+        }
+        RepeatTable {
+            site2class,
+            repr,
+            mult,
+        }
+    }
+
+    /// Number of sites covered.
+    pub fn num_sites(&self) -> usize {
+        self.site2class.len()
+    }
+
+    /// Number of distinct repeat classes.
+    pub fn num_classes(&self) -> usize {
+        self.repr.len()
+    }
+
+    /// Dense class id per site.
+    pub fn site2class(&self) -> &[u32] {
+        &self.site2class
+    }
+
+    /// Representative (first-occurrence) site per class.
+    pub fn repr_sites(&self) -> &[u32] {
+        &self.repr
+    }
+
+    /// Member count per class.
+    pub fn multiplicities(&self) -> &[u32] {
+        &self.mult
+    }
+
+    /// `classes / sites`: 1.0 means no repeats, small means highly
+    /// compressible.
+    pub fn ratio(&self) -> f64 {
+        if self.num_sites() == 0 {
+            1.0
+        } else {
+            self.num_classes() as f64 / self.num_sites() as f64
+        }
+    }
+
+    /// Whether compressing this node pays for the gather/expand copies:
+    /// requires at least a 20% site reduction (`classes ≤ 0.8 · sites`).
+    /// Each skipped class saves a full kernel site (~2 fused matvecs)
+    /// against one extra 128-byte copy per site, so the break-even
+    /// sits well above this threshold; 20% keeps marginal nodes on the
+    /// reference path.
+    pub fn profitable(&self) -> bool {
+        self.num_classes() * 5 <= self.num_sites() * 4
+    }
+
+    /// Whether a node with this table runs compressed under `mode`.
+    pub fn compresses(&self, mode: SiteRepeats) -> bool {
+        match mode {
+            SiteRepeats::Off => false,
+            SiteRepeats::On => self.num_classes() < self.num_sites(),
+            SiteRepeats::Auto => self.profitable(),
+        }
+    }
+
+    /// Gathers tip codes at the class representatives into `out`
+    /// (resized to `num_classes`).
+    pub fn gather_codes(&self, codes: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        out.extend(self.repr.iter().map(|&s| codes[s as usize]));
+    }
+
+    /// Gathers CLA sites and scaling counters at the class
+    /// representatives into the leading `num_classes` entries of
+    /// `out_v`/`out_s`.
+    pub fn gather_sites(
+        &self,
+        values: &[f64],
+        scale: &[u32],
+        out_v: &mut [f64],
+        out_s: &mut [u32],
+    ) {
+        for (c, &s) in self.repr.iter().enumerate() {
+            let s = s as usize;
+            out_v[site_range(c)].copy_from_slice(&values[site_range(s)]);
+            out_s[c] = scale[s];
+        }
+    }
+
+    /// Expands class-indexed kernel output (`num_classes` sites in
+    /// `comp_v`/`comp_s`) to the full per-site buffers. Pure 128-byte
+    /// copies: expanded CLAs are bit-identical to the uncompressed
+    /// kernel's output (see the module docs for why).
+    pub fn expand(&self, comp_v: &[f64], comp_s: &[u32], out_v: &mut [f64], out_s: &mut [u32]) {
+        for (i, &c) in self.site2class.iter().enumerate() {
+            let c = c as usize;
+            out_v[site_range(i)].copy_from_slice(&comp_v[site_range(c)]);
+            out_s[i] = comp_s[c];
+        }
+    }
+
+    /// The multiplicity-weighted correction for the global
+    /// `core.scaling.events` metric: the kernel rescaled each class at
+    /// most once, so the engine adds `own_bump_c · (mult_c − 1)` per
+    /// class, where `own_bump_c = comp_s[c] − input_scale_sum[c]` (the
+    /// class's own rescale bump net of the child counters it inherited,
+    /// always 0 or 1). `input_scale_sum` is the per-class sum of the
+    /// gathered child counters (all zeros for tip-tip nodes).
+    pub fn extra_scaling_events(&self, comp_s: &[u32], input_scale_sum: &[u32]) -> u64 {
+        let mut extra = 0u64;
+        for (c, &m) in self.mult.iter().enumerate() {
+            let own = comp_s[c] - input_scale_sum[c];
+            debug_assert!(own <= 1, "per-class rescale bump must be 0 or 1");
+            extra += u64::from(own) * u64::from(m - 1);
+        }
+        extra
+    }
+}
+
+/// Cache key describing the state a node's repeat table was built in.
+/// Deliberately smaller than the CLA cache key: tables depend only on
+/// topology and tip bindings — never on branch lengths or the model —
+/// so Newton branch smoothing (the search hot path) reuses them across
+/// every CLA recomputation.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct RepeatKey {
+    /// Orientation the table's children were taken for.
+    pub toward_edge: EdgeId,
+    /// The two children, canonicalized tip-first.
+    pub child_nodes: [NodeId; 2],
+    /// Children's own table stamps (0 for tips); a rebuilt child table
+    /// cascades invalidation upward.
+    pub child_table_stamps: [u64; 2],
+    /// Tip-binding epoch: re-binding alignment rows to tree tips
+    /// invalidates every table.
+    pub tip_epoch: u64,
+}
+
+/// Reusable class-indexed staging buffers for compressed `newview`
+/// calls: gathered child inputs and the kernel's per-class output,
+/// all sized for the engine's full pattern count (classes ≤ sites).
+/// Kernel-facing slices stay whole-site and 64-byte-base aligned, so
+/// the explicit-SIMD backend's buffer contract holds for the
+/// compressed views too.
+pub(crate) struct RepeatScratch {
+    v_l: AlignedVec,
+    v_r: AlignedVec,
+    s_l: Vec<u32>,
+    s_r: Vec<u32>,
+    /// Per-class sum of gathered child counters (the inherited part of
+    /// the output counter), for the multiplicity correction.
+    in_s: Vec<u32>,
+    codes_l: Vec<u8>,
+    codes_r: Vec<u8>,
+    out_v: AlignedVec,
+    out_s: Vec<u32>,
+}
+
+impl RepeatScratch {
+    /// Allocates scratch for up to `num_patterns` classes.
+    pub(crate) fn new(num_patterns: usize) -> Self {
+        RepeatScratch {
+            v_l: AlignedVec::zeroed(num_patterns * SITE_STRIDE),
+            v_r: AlignedVec::zeroed(num_patterns * SITE_STRIDE),
+            s_l: vec![0; num_patterns],
+            s_r: vec![0; num_patterns],
+            in_s: vec![0; num_patterns],
+            codes_l: Vec::with_capacity(num_patterns),
+            codes_r: Vec::with_capacity(num_patterns),
+            out_v: AlignedVec::zeroed(num_patterns * SITE_STRIDE),
+            out_s: vec![0; num_patterns],
+        }
+    }
+
+    /// Expands the per-class kernel output into the full per-site CLA
+    /// buffers and re-weights the global scaling-events metric by class
+    /// multiplicity (see the module docs' bit-identity contract).
+    fn finish(&mut self, table: &RepeatTable, nc: usize, out_v: &mut [f64], out_s: &mut [u32]) {
+        table.expand(
+            &self.out_v[..nc * SITE_STRIDE],
+            &self.out_s[..nc],
+            out_v,
+            out_s,
+        );
+        let extra = table.extra_scaling_events(&self.out_s[..nc], &self.in_s[..nc]);
+        if extra > 0 {
+            crate::scaling::add_scaling_events(extra);
+        }
+    }
+
+    /// Compressed tip-tip `newview`: gathers representative codes, runs
+    /// the kernel over `num_classes` sites, expands.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn newview_tt(
+        &mut self,
+        kernel: &dyn Kernels,
+        table: &RepeatTable,
+        lut_l: &Lut16x16,
+        lut_r: &Lut16x16,
+        codes_l: &[u8],
+        codes_r: &[u8],
+        out_v: &mut [f64],
+        out_s: &mut [u32],
+    ) {
+        let nc = table.num_classes();
+        table.gather_codes(codes_l, &mut self.codes_l);
+        table.gather_codes(codes_r, &mut self.codes_r);
+        kernel.newview_tt(
+            lut_l,
+            lut_r,
+            &self.codes_l,
+            &self.codes_r,
+            &mut self.out_v[..nc * SITE_STRIDE],
+            &mut self.out_s[..nc],
+        );
+        self.in_s[..nc].fill(0);
+        self.finish(table, nc, out_v, out_s);
+    }
+
+    /// Compressed tip-inner `newview`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn newview_ti(
+        &mut self,
+        kernel: &dyn Kernels,
+        table: &RepeatTable,
+        lut_l: &Lut16x16,
+        codes_l: &[u8],
+        p_r: &FusedPmat,
+        v_r: &[f64],
+        scale_r: &[u32],
+        out_v: &mut [f64],
+        out_s: &mut [u32],
+    ) {
+        let nc = table.num_classes();
+        table.gather_codes(codes_l, &mut self.codes_l);
+        table.gather_sites(v_r, scale_r, &mut self.v_r, &mut self.s_r);
+        kernel.newview_ti(
+            lut_l,
+            &self.codes_l,
+            p_r,
+            &self.v_r[..nc * SITE_STRIDE],
+            &self.s_r[..nc],
+            &mut self.out_v[..nc * SITE_STRIDE],
+            &mut self.out_s[..nc],
+        );
+        self.in_s[..nc].copy_from_slice(&self.s_r[..nc]);
+        self.finish(table, nc, out_v, out_s);
+    }
+
+    /// Compressed inner-inner `newview`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn newview_ii(
+        &mut self,
+        kernel: &dyn Kernels,
+        table: &RepeatTable,
+        p_l: &FusedPmat,
+        v_l: &[f64],
+        scale_l: &[u32],
+        p_r: &FusedPmat,
+        v_r: &[f64],
+        scale_r: &[u32],
+        out_v: &mut [f64],
+        out_s: &mut [u32],
+    ) {
+        let nc = table.num_classes();
+        table.gather_sites(v_l, scale_l, &mut self.v_l, &mut self.s_l);
+        table.gather_sites(v_r, scale_r, &mut self.v_r, &mut self.s_r);
+        kernel.newview_ii(
+            p_l,
+            &self.v_l[..nc * SITE_STRIDE],
+            &self.s_l[..nc],
+            p_r,
+            &self.v_r[..nc * SITE_STRIDE],
+            &self.s_r[..nc],
+            &mut self.out_v[..nc * SITE_STRIDE],
+            &mut self.out_s[..nc],
+        );
+        for c in 0..nc {
+            self.in_s[c] = self.s_l[c] + self.s_r[c];
+        }
+        self.finish(table, nc, out_v, out_s);
+    }
+}
+
+/// Cumulative per-engine compression effectiveness, surfaced through
+/// trace metadata and the CLI summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RepeatStats {
+    /// Total `newview` calls (compressed or not).
+    pub newview_calls: u64,
+    /// Calls that ran over repeat classes instead of all sites.
+    pub compressed_calls: u64,
+    /// Sites covered by compressed calls.
+    pub sites: u64,
+    /// Classes actually computed by compressed calls.
+    pub classes: u64,
+}
+
+impl RepeatStats {
+    /// `classes / sites` over all compressed calls — the achieved
+    /// kernel-work ratio (1.0 = nothing saved; `None` before any
+    /// compressed call).
+    pub fn ratio(&self) -> Option<f64> {
+        (self.sites > 0).then(|| self.classes as f64 / self.sites as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_display_parse_round_trips_all_variants() {
+        for mode in SiteRepeats::ALL {
+            let name = mode.to_string();
+            let back: SiteRepeats = name.parse().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(back, mode, "{name} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn unknown_mode_names_are_rejected_with_the_full_menu() {
+        let err = "maybe".parse::<SiteRepeats>().unwrap_err();
+        let msg = err.to_string();
+        for mode in SiteRepeats::ALL {
+            assert!(msg.contains(&mode.to_string()), "{msg} missing {mode}");
+        }
+    }
+
+    #[test]
+    fn tip_tip_classes_follow_code_pairs() {
+        let l = [1u8, 2, 1, 1, 2];
+        let r = [4u8, 8, 4, 8, 8];
+        let t = RepeatTable::build(ClassSource::Tip(&l), ClassSource::Tip(&r));
+        // Pairs: (1,4) (2,8) (1,4) (1,8) (2,8) → classes 0 1 0 2 1.
+        assert_eq!(t.site2class(), &[0, 1, 0, 2, 1]);
+        assert_eq!(t.repr_sites(), &[0, 1, 3]);
+        assert_eq!(t.multiplicities(), &[2, 2, 1]);
+        assert_eq!(t.num_classes(), 3);
+    }
+
+    #[test]
+    fn all_distinct_sites_yield_no_compression() {
+        let l: Vec<u8> = (0..8).map(|i| 1 << (i % 4)).collect();
+        let r: Vec<u8> = (0..8).map(|i| 1 << ((i / 4) % 4)).collect();
+        let t = RepeatTable::build(ClassSource::Tip(&l), ClassSource::Tip(&r));
+        // (l, r) pairs cycle with period 8 here, all distinct.
+        assert_eq!(t.num_classes(), 8);
+        assert!(!t.compresses(SiteRepeats::On));
+        assert!(!t.compresses(SiteRepeats::Auto));
+        assert_eq!(t.ratio(), 1.0);
+    }
+
+    #[test]
+    fn fully_repeated_sites_collapse_to_one_class() {
+        let codes = [5u8; 32];
+        let t = RepeatTable::build(ClassSource::Tip(&codes), ClassSource::Tip(&codes));
+        assert_eq!(t.num_classes(), 1);
+        assert_eq!(t.multiplicities(), &[32]);
+        assert!(t.compresses(SiteRepeats::On));
+        assert!(t.compresses(SiteRepeats::Auto));
+    }
+
+    #[test]
+    fn bottom_up_composition_distinguishes_subtree_patterns() {
+        // Two tips glued into a cherry, then paired with a third tip:
+        // sites 0 and 3 repeat at the cherry AND with tip c equal, so
+        // they share a class at the parent; site 2 shares the cherry
+        // class but differs at c.
+        let a = [1u8, 2, 1, 1];
+        let b = [4u8, 4, 4, 4];
+        let cherry = RepeatTable::build(ClassSource::Tip(&a), ClassSource::Tip(&b));
+        assert_eq!(cherry.site2class(), &[0, 1, 0, 0]);
+        let c = [8u8, 8, 2, 8];
+        let parent = RepeatTable::build(ClassSource::Tip(&c), ClassSource::Inner(&cherry));
+        assert_eq!(parent.site2class(), &[0, 1, 2, 0]);
+        assert_eq!(parent.multiplicities(), &[2, 1, 1]);
+    }
+
+    #[test]
+    fn gather_and_expand_round_trip_bit_identically() {
+        let l = [1u8, 2, 1, 2, 1];
+        let r = [4u8, 4, 4, 4, 4];
+        let t = RepeatTable::build(ClassSource::Tip(&l), ClassSource::Tip(&r));
+        assert_eq!(t.num_classes(), 2);
+        let n = t.num_sites();
+        // A fake per-class kernel result.
+        let comp_v: Vec<f64> = (0..t.num_classes() * SITE_STRIDE)
+            .map(|i| i as f64 + 0.25)
+            .collect();
+        let comp_s = [3u32, 7];
+        let mut out_v = vec![0.0; n * SITE_STRIDE];
+        let mut out_s = vec![0u32; n];
+        t.expand(&comp_v, &comp_s, &mut out_v, &mut out_s);
+        assert_eq!(out_s, [3, 7, 3, 7, 3]);
+        for (i, &c) in t.site2class().iter().enumerate() {
+            assert_eq!(
+                out_v[i * SITE_STRIDE..(i + 1) * SITE_STRIDE],
+                comp_v[c as usize * SITE_STRIDE..(c as usize + 1) * SITE_STRIDE]
+            );
+        }
+        // Gathering the expansion back at the representatives recovers
+        // the compressed buffers exactly.
+        let mut back_v = vec![0.0; t.num_classes() * SITE_STRIDE];
+        let mut back_s = vec![0u32; t.num_classes()];
+        t.gather_sites(&out_v, &out_s, &mut back_v, &mut back_s);
+        assert_eq!(back_v, comp_v);
+        assert_eq!(back_s, &comp_s[..]);
+    }
+
+    #[test]
+    fn extra_scaling_events_weights_own_bumps_by_multiplicity() {
+        let l = [1u8, 1, 2, 1, 2, 2];
+        let r = [4u8; 6];
+        let t = RepeatTable::build(ClassSource::Tip(&l), ClassSource::Tip(&r));
+        assert_eq!(t.multiplicities(), &[3, 3]);
+        // Class 0: inherited 2, bumped (3 = 2 + 1). Class 1: inherited
+        // 5, no bump.
+        let comp_s = [3u32, 5];
+        let inherited = [2u32, 5];
+        // Only class 0 bumped; its 2 non-representative members were
+        // skipped by the kernel.
+        assert_eq!(t.extra_scaling_events(&comp_s, &inherited), 2);
+    }
+
+    #[test]
+    fn profitability_threshold_sits_at_twenty_percent() {
+        // 10 sites / 8 classes: exactly at the threshold.
+        let l: Vec<u8> = (0..10).map(|i| 1 << (i.min(7) % 4)).collect();
+        let r: Vec<u8> = (0..10).map(|i| 1 << ((i.min(7) / 4) % 4)).collect();
+        let t = RepeatTable::build(ClassSource::Tip(&l), ClassSource::Tip(&r));
+        assert_eq!(t.num_classes(), 8);
+        assert!(t.profitable());
+        assert!(t.compresses(SiteRepeats::Auto));
+    }
+}

@@ -38,8 +38,9 @@ use std::fmt::Write as _;
 ///
 /// Version history: 1 = kernel + region events; 2 = meta/span/metric
 /// events, kernel quantile fields; 3 = meta carries the resolved kernel
-/// backend so reports attribute timings to an ISA.
-pub const TRACE_VERSION: u64 = 3;
+/// backend so reports attribute timings to an ISA; 4 = meta carries the
+/// resolved site-repeat compression mode.
+pub const TRACE_VERSION: u64 = 4;
 
 /// One line of a trace file.
 #[derive(Clone, Debug, PartialEq)]
@@ -51,6 +52,9 @@ pub enum TraceEvent {
         /// The resolved kernel backend the run used (`"scalar"`,
         /// `"vector"`, `"simd"`); empty when read from a pre-v3 trace.
         backend: String,
+        /// The resolved site-repeat compression mode (`"on"`, `"off"`
+        /// or `"auto"`); empty when read from a pre-v4 trace.
+        site_repeats: String,
     },
     /// Accumulated timing of one kernel at one source.
     Kernel {
@@ -150,11 +154,16 @@ impl TraceEvent {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(160);
         match self {
-            TraceEvent::Meta { version, backend } => {
+            TraceEvent::Meta {
+                version,
+                backend,
+                site_repeats,
+            } => {
                 let _ = write!(
                     s,
-                    r#"{{"type":"meta","version":{version},"backend":"{}"}}"#,
-                    escape(backend)
+                    r#"{{"type":"meta","version":{version},"backend":"{}","site_repeats":"{}"}}"#,
+                    escape(backend),
+                    escape(site_repeats)
                 );
             }
             TraceEvent::Kernel {
@@ -301,18 +310,23 @@ impl TraceEvent {
                 }
             }
         };
+        // Absent string fields default to empty so meta events from
+        // older schema versions still parse (backend is pre-v3,
+        // site_repeats pre-v4).
+        let get_str_or_empty = |k: &str| -> Result<String, TraceError> {
+            match fields.iter().find(|(key, _)| key == k) {
+                Some((_, JsonValue::Str(s))) => Ok(s.clone()),
+                Some((_, JsonValue::Int(_))) => {
+                    Err(TraceError(format!("field {k:?} must be a string")))
+                }
+                None => Ok(String::new()),
+            }
+        };
         match get_str("type")? {
             "meta" => Ok(TraceEvent::Meta {
                 version: get_u64("version")?,
-                // Absent in pre-v3 traces: default to empty rather
-                // than reject the document.
-                backend: match fields.iter().find(|(key, _)| key == "backend") {
-                    Some((_, JsonValue::Str(s))) => s.clone(),
-                    Some((_, JsonValue::Int(_))) => {
-                        return Err(TraceError("field \"backend\" must be a string".into()))
-                    }
-                    None => String::new(),
-                },
+                backend: get_str_or_empty("backend")?,
+                site_repeats: get_str_or_empty("site_repeats")?,
             }),
             "kernel" => {
                 let name = get_str("kernel")?;
@@ -667,6 +681,7 @@ mod tests {
             TraceEvent::Meta {
                 version: TRACE_VERSION,
                 backend: "simd".into(),
+                site_repeats: "on".into(),
             },
             TraceEvent::Span {
                 source: "worker1".into(),
@@ -821,12 +836,14 @@ mod tests {
         // The unknown event type and unknown kernel were dropped; the
         // recognizable events survived, extra key ignored.
         assert_eq!(events.len(), 2);
-        // Pre-v3 meta without a backend parses with an empty backend.
+        // Pre-v3/v4 meta without a backend or site_repeats parses with
+        // empty strings.
         assert_eq!(
             events[0],
             TraceEvent::Meta {
                 version: 99,
-                backend: String::new()
+                backend: String::new(),
+                site_repeats: String::new(),
             }
         );
         assert!(

@@ -24,7 +24,15 @@ fn single_pattern_engine_works() {
     let a = aln(&[("a", "A"), ("b", "C"), ("c", "G")]);
     let tree = newick::parse("(a:0.2,b:0.3,c:0.4);").unwrap();
     for kernel in [KernelKind::Scalar, KernelKind::Vector, KernelKind::Simd] {
-        let mut e = LikelihoodEngine::new(&tree, &a, EngineConfig { kernel, alpha: 1.0 });
+        let mut e = LikelihoodEngine::new(
+            &tree,
+            &a,
+            EngineConfig {
+                kernel,
+                alpha: 1.0,
+                ..EngineConfig::default()
+            },
+        );
         let ll = e.log_likelihood(&tree, 0);
         assert!(ll.is_finite() && ll < 0.0, "{kernel:?}: {ll}");
     }
@@ -49,6 +57,7 @@ fn pattern_count_not_multiple_of_block_is_exact() {
             EngineConfig {
                 kernel: KernelKind::Scalar,
                 alpha: 0.8,
+                ..EngineConfig::default()
             },
         );
         let mut v = LikelihoodEngine::new(
@@ -57,6 +66,7 @@ fn pattern_count_not_multiple_of_block_is_exact() {
             EngineConfig {
                 kernel: KernelKind::Vector,
                 alpha: 0.8,
+                ..EngineConfig::default()
             },
         );
         let ls = s.log_likelihood(&tree, 0);

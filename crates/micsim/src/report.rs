@@ -84,6 +84,9 @@ pub struct TraceReport {
     /// `"vector"`, …); `None` for pre-v3 traces, which did not record
     /// it.
     pub backend: Option<String>,
+    /// Resolved site-repeat compression mode from the `meta` event
+    /// (`"on"` / `"off"`); `None` for pre-v4 traces.
+    pub site_repeats: Option<String>,
     /// Per-kernel aggregates, descending by total time.
     pub kernels: Vec<KernelRow>,
     /// Summed kernel time across all sources, ns.
@@ -108,6 +111,7 @@ impl TraceReport {
     pub fn from_events(events: &[TraceEvent]) -> TraceReport {
         let mut version = None;
         let mut backend = None;
+        let mut site_repeats = None;
         // kernel -> (calls, sites, total, Σcalls·p50, Σcalls·p95, Σcalls·p99)
         let mut per_kernel: BTreeMap<&'static str, (KernelId, [u64; 3], [u128; 3])> =
             BTreeMap::new();
@@ -123,10 +127,14 @@ impl TraceReport {
                 TraceEvent::Meta {
                     version: v,
                     backend: b,
+                    site_repeats: sr,
                 } => {
                     version = Some(*v);
                     if !b.is_empty() {
                         backend = Some(b.clone());
+                    }
+                    if !sr.is_empty() {
+                        site_repeats = Some(sr.clone());
                     }
                 }
                 TraceEvent::Kernel {
@@ -265,6 +273,7 @@ impl TraceReport {
         TraceReport {
             version,
             backend,
+            site_repeats,
             kernels,
             total_kernel_ns,
             regions,
@@ -290,6 +299,9 @@ impl TraceReport {
         }
         if let Some(b) = &self.backend {
             let _ = writeln!(s, "kernel backend: {b}");
+        }
+        if let Some(sr) = &self.site_repeats {
+            let _ = writeln!(s, "site repeats: {sr}");
         }
 
         let _ = writeln!(s, "\n== kernel time shares ==");
@@ -426,8 +438,9 @@ mod tests {
     fn forkjoin_events() -> Vec<TraceEvent> {
         vec![
             TraceEvent::Meta {
-                version: 3,
+                version: 4,
                 backend: "simd".into(),
+                site_repeats: "on".into(),
             },
             kernel_event("worker0", KernelId::Newview, 10, 1000, 6_000_000),
             kernel_event("worker1", KernelId::Newview, 10, 500, 3_000_000),
@@ -460,8 +473,9 @@ mod tests {
     #[test]
     fn report_computes_shares_imbalance_and_overhead() {
         let r = TraceReport::from_events(&forkjoin_events());
-        assert_eq!(r.version, Some(3));
+        assert_eq!(r.version, Some(4));
         assert_eq!(r.backend.as_deref(), Some("simd"));
+        assert_eq!(r.site_repeats.as_deref(), Some("on"));
         assert_eq!(r.total_kernel_ns, 10_500_000);
         // newview dominates and sorts first.
         assert_eq!(r.kernels[0].kernel, KernelId::Newview);

@@ -371,7 +371,15 @@ mod tests {
         let mut reference: Option<(Tree, f64)> = None;
         for kernel in [KernelKind::Scalar, KernelKind::Vector, KernelKind::Simd] {
             let mut tree = start.clone();
-            let mut engine = LikelihoodEngine::new(&tree, &ca, EngineConfig { kernel, alpha: 0.8 });
+            let mut engine = LikelihoodEngine::new(
+                &tree,
+                &ca,
+                EngineConfig {
+                    kernel,
+                    alpha: 0.8,
+                    ..EngineConfig::default()
+                },
+            );
             let result = search.run(&mut engine, &mut tree);
             match &reference {
                 None => reference = Some((tree, result.log_likelihood)),

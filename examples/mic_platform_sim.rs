@@ -41,6 +41,7 @@ fn main() {
         EngineConfig {
             kernel: KernelKind::Vector,
             alpha: 0.9,
+            ..EngineConfig::default()
         },
         MlSearch::new(SearchConfig {
             max_rounds: 4,

@@ -41,6 +41,7 @@ fn main() {
     let config = EngineConfig {
         kernel: KernelKind::Vector,
         alpha: 0.7,
+        ..EngineConfig::default()
     };
     let search = MlSearch::new(SearchConfig {
         max_rounds: 8,

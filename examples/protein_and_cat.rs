@@ -145,6 +145,7 @@ fn cat_demo() {
         phylomic::plf::EngineConfig {
             kernel: phylomic::plf::KernelKind::Vector,
             alpha: 0.5,
+            ..phylomic::plf::EngineConfig::default()
         },
     );
     gamma_engine.set_model(*gtr.params());

@@ -46,6 +46,7 @@ fn main() {
         EngineConfig {
             kernel: KernelKind::Vector,
             alpha: 0.8,
+            ..EngineConfig::default()
         },
     );
 

@@ -19,7 +19,7 @@ use phylomic::plf::trace::{
     events_from_metrics, events_from_spans, events_from_stats, write_jsonl, TraceEvent,
     TRACE_VERSION,
 };
-use phylomic::plf::{metrics, span, EngineConfig, KernelKind, LikelihoodEngine};
+use phylomic::plf::{metrics, span, EngineConfig, KernelKind, LikelihoodEngine, SiteRepeats};
 use phylomic::search::{MlSearch, SearchConfig};
 use phylomic::tree::build::{default_names, random_tree};
 use phylomic::tree::{newick, Tree};
@@ -68,10 +68,12 @@ USAGE:
   phylomic simulate --taxa N --sites M --out FILE [--alpha A] [--seed S]
   phylomic evaluate --alignment FILE --tree FILE [--alpha A]
                     [--kernels scalar|vector|simd|auto]
+                    [--site-repeats on|off|auto]
                     [--trace-out FILE] [--chrome-out FILE]
   phylomic search   --alignment FILE [--tree FILE | --start random|parsimony]
                     [--scheme serial|forkjoin|replicated] [--threads N] [--rounds R]
-                    [--alpha A] [--kernels K] [--checkpoint FILE] [--out FILE]
+                    [--alpha A] [--kernels K] [--site-repeats M]
+                    [--checkpoint FILE] [--out FILE]
                     [--seed S] [--no-model-opt] [--trace-out FILE] [--chrome-out FILE]
                     [--inject-fault SPEC] [--degrade]
   phylomic bootstrap --alignment FILE [--replicates N] [--rounds R] [--seed S]
@@ -84,6 +86,11 @@ SIMD when the CPU supports it, portable vector code otherwise; --kernel
 is accepted as a synonym). The PHYLOMIC_KERNELS environment variable
 overrides the flag. The resolved backend is recorded in the JSONL trace
 meta event.
+--site-repeats controls site-repeat compression in newview: 'on' always
+compresses, 'off' never, 'auto' (default) compresses per node when the
+unique-class count makes it profitable. Likelihoods are bit-identical
+either way. The PHYLOMIC_SITE_REPEATS environment variable overrides
+the flag; the resolved mode is recorded in the trace meta event.
 --trace-out dumps kernel timings, fork-join region latencies, spans and
 metrics as JSONL, in the format micsim's measured-cost calibration
 (`MeasuredHostCosts::from_jsonl`) and `trace-report` consume.
@@ -124,14 +131,15 @@ fn write_trace(path: &str, events: &[TraceEvent]) -> Result<(), String> {
 }
 
 /// Wraps per-source kernel/region events into a full trace document:
-/// schema marker (with the resolved kernel backend, so `trace-report`
-/// attributes timings to an ISA) first, then the kernel aggregates,
-/// then every closed span from every thread track, then a process-wide
-/// metrics snapshot.
-fn full_trace(backend: KernelKind, kernel_events: Vec<TraceEvent>) -> Vec<TraceEvent> {
+/// schema marker (with the resolved kernel backend and site-repeat
+/// mode, so `trace-report` attributes timings to a configuration)
+/// first, then the kernel aggregates, then every closed span from
+/// every thread track, then a process-wide metrics snapshot.
+fn full_trace(config: EngineConfig, kernel_events: Vec<TraceEvent>) -> Vec<TraceEvent> {
     let mut out = vec![TraceEvent::Meta {
         version: TRACE_VERSION,
-        backend: backend.effective().to_string(),
+        backend: config.kernel.effective().to_string(),
+        site_repeats: config.site_repeats.effective().to_string(),
     }];
     out.extend(kernel_events);
     out.extend(events_from_spans(&span::snapshot_all()));
@@ -210,6 +218,18 @@ fn kernel_of(opts: &Opts) -> Result<KernelKind, String> {
     value.parse().map_err(|e| format!("--{flag}: {e}"))
 }
 
+/// Parses `--site-repeats`. Defaults to `auto` — compress when the
+/// class count makes it profitable. All name handling goes through
+/// `SiteRepeats`' `FromStr`; the `PHYLOMIC_SITE_REPEATS` environment
+/// variable still overrides whatever is chosen here (applied at engine
+/// construction).
+fn site_repeats_of(opts: &Opts) -> Result<SiteRepeats, String> {
+    match opts.get("site-repeats") {
+        None => Ok(SiteRepeats::Auto),
+        Some(v) => v.parse().map_err(|e| format!("--site-repeats: {e}")),
+    }
+}
+
 fn load_alignment(path: &str) -> Result<Alignment, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let aln = if path.ends_with(".phy") {
@@ -266,14 +286,12 @@ fn cmd_evaluate(opts: &Opts) -> Result<(), String> {
     let tree = load_tree(require(opts, "tree")?)?;
     let alpha: f64 = get(opts, "alpha", 1.0)?;
     let compressed = CompressedAlignment::from_alignment(&aln);
-    let mut engine = LikelihoodEngine::new(
-        &tree,
-        &compressed,
-        EngineConfig {
-            kernel: kernel_of(opts)?,
-            alpha,
-        },
-    );
+    let config = EngineConfig {
+        kernel: kernel_of(opts)?,
+        alpha,
+        site_repeats: site_repeats_of(opts)?,
+    };
+    let mut engine = LikelihoodEngine::new(&tree, &compressed, config);
     let ll = engine.log_likelihood(&tree, 0);
     println!(
         "patterns {} (from {} sites)  alpha {alpha}  logL {ll:.6}",
@@ -283,10 +301,7 @@ fn cmd_evaluate(opts: &Opts) -> Result<(), String> {
     if let Some(path) = opts.get("trace-out") {
         write_trace(
             path,
-            &full_trace(
-                engine.kernel_kind(),
-                events_from_stats("serial", engine.stats()),
-            ),
+            &full_trace(config, events_from_stats("serial", engine.stats())),
         )?;
     }
     if let Some(path) = opts.get("chrome-out") {
@@ -329,6 +344,7 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
     let config = EngineConfig {
         kernel: kernel_of(opts)?,
         alpha,
+        site_repeats: site_repeats_of(opts)?,
     };
     let search = MlSearch::new(SearchConfig {
         max_rounds: rounds,
@@ -441,7 +457,7 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
         None => println!("{}", result.newick),
     }
     if let Some(path) = opts.get("trace-out") {
-        write_trace(path, &full_trace(config.kernel, trace_events))?;
+        write_trace(path, &full_trace(config, trace_events))?;
     }
     if let Some(path) = opts.get("chrome-out") {
         write_chrome(path)?;
@@ -467,6 +483,7 @@ fn cmd_bootstrap(opts: &Opts) -> Result<(), String> {
     let config = EngineConfig {
         kernel: kernel_of(opts)?,
         alpha: get(opts, "alpha", 1.0)?,
+        site_repeats: site_repeats_of(opts)?,
     };
     let search = MlSearch::new(SearchConfig {
         max_rounds: rounds.max(3),

@@ -518,3 +518,86 @@ fn bootstrap_produces_annotated_tree() {
     assert_eq!(tree.num_taxa(), 6);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn site_repeats_flag_parses_and_matches_off() {
+    let dir = tmpdir().join("site-repeats");
+    std::fs::create_dir_all(&dir).unwrap();
+    let phy = dir.join("sr.phy");
+    let out = bin()
+        .args([
+            "simulate",
+            "--taxa",
+            "8",
+            "--sites",
+            "600",
+            "--seed",
+            "9",
+            "--out",
+            phy.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let tree = format!("{}.tree", phy.display());
+
+    let eval = |mode: &str| -> (bool, String, String) {
+        let out = bin()
+            .args([
+                "evaluate",
+                "--alignment",
+                phy.to_str().unwrap(),
+                "--tree",
+                &tree,
+                "--site-repeats",
+                mode,
+            ])
+            .output()
+            .unwrap();
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (ok_on, out_on, err_on) = eval("on");
+    assert!(ok_on, "{err_on}");
+    let (ok_off, out_off, _) = eval("off");
+    assert!(ok_off);
+    // Same logL line either way: compression is bit-identical.
+    assert_eq!(out_on, out_off, "on vs off output differs");
+
+    // An unknown mode is a structured CLI error, not a panic.
+    let (ok_bad, _, err_bad) = eval("sometimes");
+    assert!(!ok_bad);
+    assert!(err_bad.contains("--site-repeats"), "{err_bad}");
+
+    // The resolved mode lands in the trace meta event.
+    let trace = dir.join("sr.jsonl");
+    let out = bin()
+        .args([
+            "evaluate",
+            "--alignment",
+            phy.to_str().unwrap(),
+            "--tree",
+            &tree,
+            "--site-repeats",
+            "on",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let first_line = std::fs::read_to_string(&trace)
+        .unwrap()
+        .lines()
+        .next()
+        .unwrap()
+        .to_string();
+    assert!(
+        first_line.contains(r#""site_repeats":"on""#),
+        "{first_line}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

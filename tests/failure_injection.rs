@@ -66,7 +66,15 @@ fn branch_length_extremes_keep_likelihood_finite() {
     let aln = toy_aln(64);
     let mut tree = newick::parse("(a:0.1,b:0.1,(c:0.1,d:0.1):0.1);").unwrap();
     for kernel in [KernelKind::Scalar, KernelKind::Vector] {
-        let mut engine = LikelihoodEngine::new(&tree, &aln, EngineConfig { kernel, alpha: 1.0 });
+        let mut engine = LikelihoodEngine::new(
+            &tree,
+            &aln,
+            EngineConfig {
+                kernel,
+                alpha: 1.0,
+                ..EngineConfig::default()
+            },
+        );
         for e in 0..tree.num_edges() {
             tree.set_length(e, BL_MIN).unwrap();
         }
@@ -111,6 +119,7 @@ fn extreme_alpha_values_work_at_bounds_and_panic_beyond() {
             EngineConfig {
                 kernel: KernelKind::Vector,
                 alpha,
+                ..EngineConfig::default()
             },
         );
         assert!(engine.log_likelihood(&tree, 0).is_finite(), "alpha {alpha}");
@@ -170,7 +179,15 @@ fn deep_tree_underflow_is_scaled_not_zeroed() {
         .collect();
     let aln = CompressedAlignment::from_alignment(&Alignment::new(seqs).unwrap());
     for kernel in [KernelKind::Scalar, KernelKind::Vector] {
-        let mut engine = LikelihoodEngine::new(&tree, &aln, EngineConfig { kernel, alpha: 0.5 });
+        let mut engine = LikelihoodEngine::new(
+            &tree,
+            &aln,
+            EngineConfig {
+                kernel,
+                alpha: 0.5,
+                ..EngineConfig::default()
+            },
+        );
         let ll = engine.log_likelihood(&tree, 0);
         assert!(ll.is_finite() && ll < 0.0, "{kernel:?}: logL {ll}");
     }

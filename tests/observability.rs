@@ -45,6 +45,7 @@ fn traced_forkjoin_search() -> Vec<TraceEvent> {
     let mut events = vec![TraceEvent::Meta {
         version: TRACE_VERSION,
         backend: KernelKind::Auto.effective().to_string(),
+        site_repeats: phylomic::plf::SiteRepeats::Auto.effective().to_string(),
     }];
     for (i, stats) in fj.take_stats_per_worker().iter().enumerate() {
         events.extend(events_from_stats(&format!("worker{i}"), stats));

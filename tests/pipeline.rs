@@ -69,7 +69,11 @@ fn kernels_and_schemes_agree_end_to_end() {
 
     let mut results = Vec::new();
     for kernel in [KernelKind::Scalar, KernelKind::Vector] {
-        let cfg = EngineConfig { kernel, alpha: 1.0 };
+        let cfg = EngineConfig {
+            kernel,
+            alpha: 1.0,
+            ..EngineConfig::default()
+        };
         // Serial.
         let mut t = start.clone();
         let mut e = LikelihoodEngine::new(&t, &aln, cfg);
@@ -142,7 +146,15 @@ fn likelihood_invariant_under_pattern_compression() {
 fn virtual_root_invariance_full_pipeline() {
     let (tree, aln) = simulated(4004, 12, 800);
     for kernel in [KernelKind::Scalar, KernelKind::Vector] {
-        let mut engine = LikelihoodEngine::new(&tree, &aln, EngineConfig { kernel, alpha: 0.6 });
+        let mut engine = LikelihoodEngine::new(
+            &tree,
+            &aln,
+            EngineConfig {
+                kernel,
+                alpha: 0.6,
+                ..EngineConfig::default()
+            },
+        );
         let reference = engine.log_likelihood(&tree, 0);
         for e in tree.edge_ids().skip(1) {
             let ll = engine.log_likelihood(&tree, e);

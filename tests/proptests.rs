@@ -342,11 +342,192 @@ proptest! {
         let gtr = Gtr::new(GtrParams::jc69());
         let gamma = DiscreteGamma::new(alpha);
         let aln = phylomic::seqgen::simulate_compressed(&tree, gtr.eigen(), &gamma, 64, &mut rng);
-        let mut engine = LikelihoodEngine::new(&tree, &aln, EngineConfig { kernel: KernelKind::Vector, alpha });
+        let mut engine = LikelihoodEngine::new(&tree, &aln, EngineConfig { kernel: KernelKind::Vector, alpha, ..EngineConfig::default() });
         let reference = engine.log_likelihood(&tree, 0);
         for e in tree.edge_ids() {
             let ll = engine.log_likelihood(&tree, e);
             prop_assert!((ll - reference).abs() < 1e-8, "edge {e}: {ll} vs {reference}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Site-repeat compression: the compressed newview path must be
+// bit-identical to the uncompressed one — same log-likelihood bits and
+// same per-site scaling counters at every inner node — for any
+// alignment, any backend, any repeat density.
+// ---------------------------------------------------------------------------
+
+use phylomic::plf::SiteRepeats;
+
+/// An alignment whose patterns cycle through `protos` prototype
+/// columns: `protos == 1` is 100% repeats, `protos >= width` is 0%.
+fn proto_alignment(tree: &Tree, protos: usize, width: usize, seed: u64) -> CompressedAlignment {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let taxa = tree.num_taxa();
+    let cols: Vec<Vec<usize>> = (0..protos)
+        .map(|_| (0..taxa).map(|_| rng.random_range(0..4)).collect())
+        .collect();
+    let rows: Vec<Vec<DnaCode>> = (0..taxa)
+        .map(|taxon| {
+            (0..width)
+                .map(|p| DnaCode::from_state(cols[p % protos][taxon]))
+                .collect()
+        })
+        .collect();
+    CompressedAlignment::from_parts(tree.tip_names().to_vec(), rows, vec![1; width]).unwrap()
+}
+
+/// Builds one engine per repeats mode (same kernel/alpha) and checks
+/// log-likelihood bits and every inner node's per-site scale array are
+/// identical at each of the given virtual roots.
+fn assert_on_off_identical(
+    tree: &Tree,
+    aln: &CompressedAlignment,
+    kernel: KernelKind,
+    alpha: f64,
+    roots: &[usize],
+) {
+    let mk = |site_repeats| {
+        LikelihoodEngine::new(
+            tree,
+            aln,
+            EngineConfig {
+                kernel,
+                alpha,
+                site_repeats,
+            },
+        )
+    };
+    let mut off = mk(SiteRepeats::Off);
+    let mut on = mk(SiteRepeats::On);
+    for &root in roots {
+        let a = off.log_likelihood(tree, root);
+        let b = on.log_likelihood(tree, root);
+        prop_assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{:?} root {}: logL {} vs {}",
+            kernel,
+            root,
+            a,
+            b
+        );
+        for inner in 0..off.num_inner() {
+            prop_assert_eq!(
+                off.cla_scale(inner),
+                on.cla_scale(inner),
+                "{:?} root {} inner {}: scale arrays differ",
+                kernel,
+                root,
+                inner
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn site_repeats_on_off_bit_identical(
+        seed in 0u64..500,
+        protos in 1usize..24,
+        width in 1usize..48,
+        alpha in 0.2f64..3.0,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let names = default_names(8);
+        let tree: Tree = random_tree(&names, 0.2, &mut rng).unwrap();
+        let aln = proto_alignment(&tree, protos.min(width), width, seed ^ 0xabc);
+        assert_on_off_identical(&tree, &aln, KernelKind::Vector, alpha, &[0, 3]);
+    }
+}
+
+#[test]
+fn site_repeats_remainder_tails_every_backend() {
+    // Widths around the 8-site kernel block and single-site edge, at
+    // 100% repeats (1 prototype) and 0% repeats (all-distinct), on
+    // every backend.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(77);
+    let names = default_names(6);
+    let tree: Tree = random_tree(&names, 0.15, &mut rng).unwrap();
+    for width in [1usize, 7, 8, 9, 31] {
+        for protos in [1usize, width] {
+            let aln = proto_alignment(&tree, protos, width, 7 + width as u64);
+            for kernel in BACKENDS {
+                assert_on_off_identical(&tree, &aln, kernel, 0.8, &[0, 2]);
+            }
+        }
+    }
+}
+
+#[test]
+fn site_repeats_identical_under_forced_scaling() {
+    // A deep caterpillar with long branches drives sites below the
+    // rescale threshold; the compressed path must reproduce the exact
+    // per-site scaling counters, not just the final likelihood.
+    use phylomic::tree::build::caterpillar;
+    // Conditional likelihoods decay roughly 4× per caterpillar level;
+    // 2⁻²⁵⁶ needs ~130 levels.
+    let names = default_names(170);
+    let tree = caterpillar(&names, 2.0).unwrap();
+    // Repeat-heavy: 5 prototype columns over 40 patterns.
+    let aln = proto_alignment(&tree, 5, 40, 13);
+    for kernel in BACKENDS {
+        assert_on_off_identical(&tree, &aln, kernel, 0.5, &[0]);
+    }
+    // Sanity: scaling actually fired on this dataset.
+    let mut e = LikelihoodEngine::new(
+        &tree,
+        &aln,
+        EngineConfig {
+            kernel: KernelKind::Scalar,
+            alpha: 0.5,
+            site_repeats: SiteRepeats::On,
+        },
+    );
+    e.log_likelihood(&tree, 0);
+    let scaled: u32 = (0..e.num_inner())
+        .map(|i| e.cla_scale(i).iter().sum::<u32>())
+        .sum();
+    assert!(scaled > 0, "dataset failed to trigger rescaling");
+}
+
+#[test]
+fn site_repeats_forkjoin_matches_serial() {
+    use phylomic::parallel::ForkJoinEvaluator;
+    use phylomic::search::Evaluator as _;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(91);
+    let names = default_names(9);
+    let tree: Tree = random_tree(&names, 0.18, &mut rng).unwrap();
+    // 97 patterns: indivisible by any worker count, so slices have
+    // uneven widths and per-slice repeat tables differ.
+    let aln = proto_alignment(&tree, 11, 97, 19);
+    let cfg = |site_repeats| EngineConfig {
+        kernel: KernelKind::Vector,
+        alpha: 0.9,
+        site_repeats,
+    };
+    let mut serial_on = LikelihoodEngine::new(&tree, &aln, cfg(SiteRepeats::On));
+    for workers in [2usize, 3, 4] {
+        let mut fj_on = ForkJoinEvaluator::new(&tree, &aln, cfg(SiteRepeats::On), workers);
+        let mut fj_off = ForkJoinEvaluator::new(&tree, &aln, cfg(SiteRepeats::Off), workers);
+        for root in [0usize, 4, 8] {
+            let s = serial_on.log_likelihood(&tree, root);
+            let a = fj_on.log_likelihood(&tree, root);
+            let b = fj_off.log_likelihood(&tree, root);
+            // Same partitioning on vs off: bit-identical.
+            assert_eq!(a.to_bits(), b.to_bits(), "workers {workers} root {root}");
+            // Fork-join vs serial: partial sums associate differently.
+            assert!(
+                (a - s).abs() < 1e-10,
+                "workers {workers} root {root}: {a} vs {s}"
+            );
         }
     }
 }
