@@ -4,8 +4,12 @@
 //! Times all eight PLF kernels under every kernel backend —
 //! `scalar`, `vector`, `simd`, and the size-aware `auto` dispatcher —
 //! across the alignment widths the paper varies in Table III, and
-//! writes `BENCH_6.json` with ns/site per kernel per backend plus the
-//! speedup of each backend over the scalar reference.
+//! writes `BENCH_7.json` with ns/site per kernel per backend plus the
+//! speedup of each backend over the scalar reference, host provenance
+//! (git revision, CPU model, core count, SIMD flags), and — via the
+//! analytical cost model ([`plf_core::cost`]) and the calibrated host
+//! roofline ([`plf_prof::roofline`]) — each cell's achieved GFLOP/s
+//! and % of the attainable roof.
 //!
 //! Methodology: per (kernel, backend, size) the kernel runs `WARMUP`
 //! untimed rounds, then `REPS` timed rounds; the minimum and maximum
@@ -35,7 +39,7 @@
 //!
 //! Run: `cargo run --release -p phylo-bench --bin plf-microbench`
 //! Flags: `--quick` (10 000 patterns only), `--out PATH`
-//! (default `BENCH_6.json`).
+//! (default `BENCH_7.json`).
 
 use phylo_bio::{CompressedAlignment, DnaCode};
 use phylo_models::{DiscreteGamma, Gtr, GtrParams, ProbMatrix};
@@ -43,7 +47,10 @@ use phylo_tree::build::{default_names, random_tree};
 use plf_core::cla::Cla;
 use plf_core::layout::{EigenBasis, FusedPmat, Lut16x16};
 use plf_core::repeats::{ClassSource, RepeatTable};
-use plf_core::{AlignedVec, EngineConfig, KernelKind, LikelihoodEngine, SiteRepeats, SITE_STRIDE};
+use plf_core::{
+    AlignedVec, EngineConfig, KernelKind, KernelOp, LikelihoodEngine, SiteRepeats, SITE_STRIDE,
+};
+use plf_prof::{host, roofline, HostRoofline};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
@@ -285,6 +292,32 @@ struct Cell {
     ns: [f64; 4],
 }
 
+impl Cell {
+    /// The cost-model entry point for this row.
+    fn op(&self) -> KernelOp {
+        KernelOp::from_name(self.kernel).expect("KERNELS names match the cost model")
+    }
+
+    /// Achieved GFLOP/s of one backend: modeled flops/site over
+    /// measured ns/site.
+    fn gflops(&self, backend: usize) -> f64 {
+        let per_site = self.op().cost(1);
+        per_site.flops as f64 / self.ns[backend]
+    }
+
+    /// Fraction of the attainable roof for one backend; `None` when
+    /// uncalibrated.
+    fn pct_roof(&self, backend: usize, roof: &Option<HostRoofline>) -> Option<f64> {
+        let roof = roof.as_ref()?;
+        if roof.peak_mflops == 0 || roof.peak_mbps == 0 {
+            return None;
+        }
+        let ai = self.op().cost(1).arithmetic_intensity();
+        let attainable = (roof.peak_mflops as f64 / 1e3).min(ai * roof.peak_mbps as f64 / 1e3);
+        (attainable > 0.0).then(|| self.gflops(backend) / attainable)
+    }
+}
+
 /// Repeat-heavy `newview_ii`: both children cycle `REPEAT_PROTOS`
 /// prototype site vectors, so the parent has exactly `REPEAT_PROTOS`
 /// repeat classes. Returns (ns/site uncompressed, ns/site compressed,
@@ -448,7 +481,7 @@ fn repeat_engine_bench(patterns: usize) -> EngineRepeatBench {
 
 fn main() {
     let mut quick = false;
-    let mut out_path = String::from("BENCH_6.json");
+    let mut out_path = String::from("BENCH_7.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -478,6 +511,26 @@ fn main() {
             "UNAVAILABLE (simd falls back to vector)"
         }
     );
+    println!(
+        "host: {} ({} cores, simd {}), git {}",
+        host::cpu_model(),
+        host::cores(),
+        host::simd_flags(),
+        host::git_rev()
+    );
+    // Calibrated peaks, if `phylomic calibrate` has been run on this
+    // host; without them the roofline columns print as '-'.
+    let roof = roofline::load_cached(std::path::Path::new(roofline::CACHE_FILE));
+    match &roof {
+        Some(r) => println!(
+            "roofline: {:.2} GFLOP/s peak, {:.2} GB/s peak (ridge {:.3} flop/byte, from {})",
+            r.peak_mflops as f64 / 1e3,
+            r.peak_mbps as f64 / 1e3,
+            r.ridge(),
+            roofline::CACHE_FILE
+        ),
+        None => println!("roofline: uncalibrated — run `phylomic calibrate` for % of roof columns"),
+    }
     println!();
 
     let mut cells: Vec<Cell> = Vec::new();
@@ -516,11 +569,40 @@ fn main() {
                 ns[3],
                 ns[0] / ns[3],
             );
-            cells.push(Cell {
+            let cell = Cell {
                 kernel,
                 patterns: n,
                 ns,
-            });
+            };
+            let cost = cell.op().cost(1);
+            let pct = |b: usize| match cell.pct_roof(b, &roof) {
+                Some(f) => format!("{:>5.1}%", f * 100.0),
+                None => "    -".to_string(),
+            };
+            let bound = match &roof {
+                Some(r) if r.peak_mbps > 0 && cost.arithmetic_intensity() < r.ridge() => {
+                    "memory-bound"
+                }
+                Some(_) => "compute-bound",
+                None => "",
+            };
+            println!(
+                "  {:<18} scalar {:>7.3} GF/s {}  vector {:>7.3} GF/s {}  \
+                 simd {:>7.3} GF/s {}  auto {:>7.3} GF/s {}  (AI {:.3}{}{})",
+                "  % of roofline",
+                cell.gflops(0),
+                pct(0),
+                cell.gflops(1),
+                pct(1),
+                cell.gflops(2),
+                pct(2),
+                cell.gflops(3),
+                pct(3),
+                cost.arithmetic_intensity(),
+                if bound.is_empty() { "" } else { ", " },
+                bound,
+            );
+            cells.push(cell);
         }
         println!();
     }
@@ -546,7 +628,13 @@ fn main() {
     );
     println!();
 
-    let json = render_json(&cells, simd, (repeat_n, rk_classes, rk_off, rk_on), &eng);
+    let json = render_json(
+        &cells,
+        simd,
+        &roof,
+        (repeat_n, rk_classes, rk_off, rk_on),
+        &eng,
+    );
     std::fs::write(&out_path, json).unwrap_or_else(|e| {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(2);
@@ -618,17 +706,43 @@ fn main() {
 
 /// Hand-rolled JSON (the workspace has no serde): one record per
 /// (kernel, size) with ns/site per backend and speedups vs scalar,
-/// plus the site-repeat section.
+/// modeled GFLOP/s and % of the calibrated roof, plus host
+/// provenance, the roofline, and the site-repeat section. The
+/// `results` rows keep the `kernel`/`patterns`/`ns_per_site` shape of
+/// schemas /1 and /2 so `plf-prof`'s trend parser reads all history.
 fn render_json(
     cells: &[Cell],
     simd: bool,
+    roof: &Option<HostRoofline>,
     repeat_kernel: (usize, usize, f64, f64),
     eng: &EngineRepeatBench,
 ) -> String {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"plf-microbench/2\",");
+    let _ = writeln!(s, "  \"schema\": \"plf-microbench/3\",");
     let _ = writeln!(s, "  \"host_simd\": {simd},");
+    let _ = writeln!(
+        s,
+        "  \"provenance\": {{\"git_rev\": \"{}\", \"cpu_model\": \"{}\", \
+         \"cores\": {}, \"simd_flags\": \"{}\"}},",
+        esc(&host::git_rev()),
+        esc(&host::cpu_model()),
+        host::cores(),
+        esc(&host::simd_flags()),
+    );
+    match roof {
+        Some(r) => {
+            let _ = writeln!(
+                s,
+                "  \"roofline\": {{\"peak_mflops\": {}, \"peak_mbps\": {}}},",
+                r.peak_mflops, r.peak_mbps
+            );
+        }
+        None => {
+            let _ = writeln!(s, "  \"roofline\": null,");
+        }
+    }
     let _ = writeln!(
         s,
         "  \"backends\": [\"scalar\", \"vector\", \"simd\", \"auto\"],"
@@ -640,7 +754,9 @@ fn render_json(
             "    {{\"kernel\": \"{}\", \"patterns\": {}, \
              \"ns_per_site\": {{\"scalar\": {:.3}, \"vector\": {:.3}, \"simd\": {:.3}, \
              \"auto\": {:.3}}}, \
-             \"speedup_vs_scalar\": {{\"vector\": {:.3}, \"simd\": {:.3}, \"auto\": {:.3}}}}}",
+             \"speedup_vs_scalar\": {{\"vector\": {:.3}, \"simd\": {:.3}, \"auto\": {:.3}}}, \
+             \"gflops\": {{\"scalar\": {:.3}, \"vector\": {:.3}, \"simd\": {:.3}, \
+             \"auto\": {:.3}}}, \"arithmetic_intensity\": {:.4}",
             c.kernel,
             c.patterns,
             c.ns[0],
@@ -650,7 +766,30 @@ fn render_json(
             c.ns[0] / c.ns[1],
             c.ns[0] / c.ns[2],
             c.ns[0] / c.ns[3],
+            c.gflops(0),
+            c.gflops(1),
+            c.gflops(2),
+            c.gflops(3),
+            c.op().cost(1).arithmetic_intensity(),
         );
+        if roof.is_some() {
+            let _ = write!(s, ", \"pct_roof\": {{");
+            for (b, name) in ["scalar", "vector", "simd", "auto"].iter().enumerate() {
+                if b > 0 {
+                    s.push_str(", ");
+                }
+                match c.pct_roof(b, roof) {
+                    Some(f) => {
+                        let _ = write!(s, "\"{name}\": {:.4}", f);
+                    }
+                    None => {
+                        let _ = write!(s, "\"{name}\": null");
+                    }
+                }
+            }
+            s.push('}');
+        }
+        s.push('}');
         s.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
     }
     s.push_str("  ],\n");

@@ -13,7 +13,8 @@
 //! reduce the returned partial log-likelihoods/derivatives.
 
 use crate::cla::Cla;
-use crate::instrument::{KernelId, KernelStats};
+use crate::cost::KernelOp;
+use crate::instrument::KernelStats;
 use crate::kernels::{KernelKind, Kernels};
 use crate::layout::{EigenBasis, FusedPmat, Lut16x16};
 use crate::repeats::{
@@ -462,24 +463,26 @@ impl LikelihoodEngine {
         let (out_v, out_s) = out.buffers_mut();
         self.repeat_stats.newview_calls += 1;
         if compress {
-            self.run_newview_compressed(tree, ch, idx, out_v, out_s);
+            let (op, classes) = self.run_newview_compressed(tree, ch, idx, out_v, out_s);
             self.clas[idx] = out;
             self.stamps[idx] = self.next_stamp;
             self.next_stamp += 1;
             self.valid[idx] = Some(key.clone());
+            let cost = crate::cost::newview_compressed(op, self.num_patterns as u64, classes);
             self.stats
-                .record_timed(KernelId::Newview, self.num_patterns, elapsed_ns(t0));
+                .record_op_cost(op, self.num_patterns, elapsed_ns(t0), cost);
             return;
         }
         let [(e_l, n_l), (e_r, n_r)] = ch;
         let t_l = tree.length(e_l);
         let t_r = tree.length(e_r);
-        match (tree.is_tip(n_l), tree.is_tip(n_r)) {
+        let op = match (tree.is_tip(n_l), tree.is_tip(n_r)) {
             (true, true) => {
                 let lut_l = Lut16x16::tip_prob(&self.fused_pmat(t_l));
                 let lut_r = Lut16x16::tip_prob(&self.fused_pmat(t_r));
                 self.kernel
                     .newview_tt(&lut_l, &lut_r, self.tip(n_l), self.tip(n_r), out_v, out_s);
+                KernelOp::NewviewTt
             }
             (true, false) => {
                 let lut_l = Lut16x16::tip_prob(&self.fused_pmat(t_l));
@@ -494,6 +497,7 @@ impl LikelihoodEngine {
                     out_v,
                     out_s,
                 );
+                KernelOp::NewviewTi
             }
             (false, false) => {
                 let p_l = self.fused_pmat(t_l);
@@ -510,15 +514,16 @@ impl LikelihoodEngine {
                     out_v,
                     out_s,
                 );
+                KernelOp::NewviewIi
             }
             (false, true) => unreachable!("children are canonicalized tip-first"),
-        }
+        };
         self.clas[idx] = out;
         self.stamps[idx] = self.next_stamp;
         self.next_stamp += 1;
         self.valid[idx] = Some(key.clone());
         self.stats
-            .record_timed(KernelId::Newview, self.num_patterns, elapsed_ns(t0));
+            .record_op_timed(op, self.num_patterns, elapsed_ns(t0));
     }
 
     /// The compressed `newview` path: gather the children's buffers at
@@ -532,19 +537,19 @@ impl LikelihoodEngine {
         idx: usize,
         out_v: &mut [f64],
         out_s: &mut [u32],
-    ) {
+    ) -> (KernelOp, u64) {
         if self.repeat_scratch.is_none() {
             self.repeat_scratch = Some(Box::new(RepeatScratch::new(self.num_patterns)));
         }
         let mut scratch = self.repeat_scratch.take().expect("repeat scratch");
-        let (sites, classes) = {
+        let (op, sites, classes) = {
             let table = self.repeat_tables[idx]
                 .as_ref()
                 .expect("repeat table built");
             let [(e_l, n_l), (e_r, n_r)] = ch;
             let t_l = tree.length(e_l);
             let t_r = tree.length(e_r);
-            match (tree.is_tip(n_l), tree.is_tip(n_r)) {
+            let op = match (tree.is_tip(n_l), tree.is_tip(n_r)) {
                 (true, true) => {
                     let lut_l = Lut16x16::tip_prob(&self.fused_pmat(t_l));
                     let lut_r = Lut16x16::tip_prob(&self.fused_pmat(t_r));
@@ -558,6 +563,7 @@ impl LikelihoodEngine {
                         out_v,
                         out_s,
                     );
+                    KernelOp::NewviewTt
                 }
                 (true, false) => {
                     let lut_l = Lut16x16::tip_prob(&self.fused_pmat(t_l));
@@ -574,6 +580,7 @@ impl LikelihoodEngine {
                         out_v,
                         out_s,
                     );
+                    KernelOp::NewviewTi
                 }
                 (false, false) => {
                     let p_l = self.fused_pmat(t_l);
@@ -592,10 +599,11 @@ impl LikelihoodEngine {
                         out_v,
                         out_s,
                     );
+                    KernelOp::NewviewIi
                 }
                 (false, true) => unreachable!("children are canonicalized tip-first"),
-            }
-            (table.num_sites() as u64, table.num_classes() as u64)
+            };
+            (op, table.num_sites() as u64, table.num_classes() as u64)
         };
         self.repeat_scratch = Some(scratch);
         self.repeat_stats.compressed_calls += 1;
@@ -603,6 +611,7 @@ impl LikelihoodEngine {
         self.repeat_stats.classes += classes;
         repeat_sites_counter().add(sites);
         repeat_classes_counter().add(classes);
+        (op, classes)
     }
 
     /// Log-likelihood (partial, over this engine's pattern slice) with
@@ -622,20 +631,21 @@ impl LikelihoodEngine {
         let p = self.fused_pmat(t);
         // Canonicalize: tip on the q (left) side.
         let (q, r) = if tree.is_tip(a) { (a, b) } else { (b, a) };
-        let ll = if tree.is_tip(q) {
+        let (ll, op) = if tree.is_tip(q) {
             let cla_r = &self.clas[self.inner_idx(r)];
-            self.kernel.evaluate_ti(
+            let ll = self.kernel.evaluate_ti(
                 &self.tip_pi,
                 self.tip(q),
                 &p,
                 cla_r.values(),
                 cla_r.scale(),
                 &self.weights,
-            )
+            );
+            (ll, KernelOp::EvaluateTi)
         } else {
             let cla_q = &self.clas[self.inner_idx(q)];
             let cla_r = &self.clas[self.inner_idx(r)];
-            self.kernel.evaluate_ii(
+            let ll = self.kernel.evaluate_ii(
                 &self.pi_w,
                 cla_q.values(),
                 cla_q.scale(),
@@ -643,10 +653,11 @@ impl LikelihoodEngine {
                 cla_r.values(),
                 cla_r.scale(),
                 &self.weights,
-            )
+            );
+            (ll, KernelOp::EvaluateIi)
         };
         self.stats
-            .record_timed(KernelId::Evaluate, self.num_patterns, elapsed_ns(t0));
+            .record_op_timed(op, self.num_patterns, elapsed_ns(t0));
         ll
     }
 
@@ -669,10 +680,11 @@ impl LikelihoodEngine {
         // is disjoint from the CLAs.
         let sumtable = std::mem::replace(&mut self.sumtable, AlignedVec::zeroed(0));
         let mut sumtable = sumtable;
-        if tree.is_tip(q) {
+        let op = if tree.is_tip(q) {
             let cla_r = &self.clas[self.inner_idx(r)];
             self.kernel
                 .derivative_sum_ti(&self.basis, self.tip(q), cla_r.values(), &mut sumtable);
+            KernelOp::DerivativeSumTi
         } else {
             let cla_q = &self.clas[self.inner_idx(q)];
             let cla_r = &self.clas[self.inner_idx(r)];
@@ -682,11 +694,12 @@ impl LikelihoodEngine {
                 cla_r.values(),
                 &mut sumtable,
             );
-        }
+            KernelOp::DerivativeSumIi
+        };
         self.sumtable = sumtable;
         self.sum_edge = Some((edge, self.model_version));
         self.stats
-            .record_timed(KernelId::DerivativeSum, self.num_patterns, elapsed_ns(t0));
+            .record_op_timed(op, self.num_patterns, elapsed_ns(t0));
     }
 
     /// First and second derivative of the (partial) log-likelihood with
@@ -709,7 +722,7 @@ impl LikelihoodEngine {
             self.kernel
                 .derivative_core(&self.sumtable, &self.basis.lambda_rate, t, &self.weights);
         self.stats
-            .record_timed(KernelId::DerivativeCore, self.num_patterns, elapsed_ns(t0));
+            .record_op_timed(KernelOp::DerivativeCore, self.num_patterns, elapsed_ns(t0));
         out
     }
 }
@@ -744,6 +757,7 @@ fn repeat_classes_counter() -> &'static crate::metrics::Counter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instrument::KernelId;
     use crate::naive;
     use phylo_bio::{Alignment, Sequence};
     use phylo_tree::newick;

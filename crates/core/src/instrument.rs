@@ -10,6 +10,8 @@
 //! timings (exported as a JSONL trace by [`crate::trace`]) instead of
 //! operation counts alone.
 
+use crate::cost::{KernelCost, KernelOp};
+
 /// The four PLF kernels of §IV.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum KernelId {
@@ -251,6 +253,61 @@ impl RegionStats {
     }
 }
 
+/// Work, wall time and analytical roofline cost of one concrete
+/// kernel entry point ([`KernelOp`]), aggregated over invocations.
+///
+/// `flops`/`bytes_*` come from the cost model ([`crate::cost`]), not
+/// measurement: the engine knows analytically how much arithmetic and
+/// traffic each call performs, so achieved GFLOP/s and GB/s are
+/// `flops / total_ns` and `bytes / total_ns` with no hot-path hooks
+/// beyond the existing timing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCost {
+    /// Number of invocations.
+    pub calls: u64,
+    /// Pattern-sites processed (full width; compression does not
+    /// shrink this — it shrinks the cost fields instead).
+    pub sites: u64,
+    /// Total wall time across invocations.
+    pub total_ns: u64,
+    /// Modeled floating-point operations.
+    pub flops: u64,
+    /// Modeled bytes read.
+    pub bytes_read: u64,
+    /// Modeled bytes written.
+    pub bytes_written: u64,
+}
+
+impl OpCost {
+    /// Achieved GFLOP/s over the recorded wall time (0.0 when untimed).
+    pub fn gflops(&self) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.total_ns as f64
+        }
+    }
+
+    /// Achieved GB/s (read + write) over the recorded wall time.
+    pub fn gbps(&self) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            (self.bytes_read + self.bytes_written) as f64 / self.total_ns as f64
+        }
+    }
+
+    /// Arithmetic intensity in flops per byte (0.0 when no traffic).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.bytes_read + self.bytes_written;
+        if bytes == 0 {
+            0.0
+        } else {
+            self.flops as f64 / bytes as f64
+        }
+    }
+}
+
 /// Per-kernel work counters and wall-clock timings for one engine
 /// (single-threaded; workers merge their stats after a parallel
 /// region).
@@ -258,6 +315,7 @@ impl RegionStats {
 pub struct KernelStats {
     counts: [KernelCount; 4],
     timing: [LatencyHistogram; 4],
+    ops: [OpCost; 8],
     regions: RegionStats,
 }
 
@@ -285,6 +343,30 @@ impl KernelStats {
         self.timing[kernel.index()].record_ns(ns);
     }
 
+    /// Records one timed invocation of a concrete kernel entry point:
+    /// updates the paper-kernel counters/timing *and* the per-op
+    /// roofline aggregate using the analytical cost model.
+    #[inline]
+    pub fn record_op_timed(&mut self, op: KernelOp, sites: usize, ns: u64) {
+        self.record_op_cost(op, sites, ns, op.cost(sites as u64));
+    }
+
+    /// Like [`KernelStats::record_op_timed`] but with an explicit cost
+    /// (the site-repeat-compressed paths run the kernel over classes,
+    /// so their cost differs from `op.cost(sites)`).
+    #[inline]
+    pub fn record_op_cost(&mut self, op: KernelOp, sites: usize, ns: u64, cost: KernelCost) {
+        self.record_timed(op.kernel_id(), sites, ns);
+        let o = &mut self.ops[op.index()];
+        o.calls += 1;
+        o.sites += sites as u64;
+        o.total_ns = o.total_ns.saturating_add(ns);
+        o.flops = o.flops.saturating_add(cost.flops);
+        o.bytes_read = o.bytes_read.saturating_add(cost.bytes_read);
+        o.bytes_written = o.bytes_written.saturating_add(cost.bytes_written);
+        crate::cost::record_global(&cost);
+    }
+
     /// Records one parallel region's fork/join latencies.
     #[inline]
     pub fn record_region(&mut self, fork_ns: u64, join_ns: u64) {
@@ -301,6 +383,11 @@ impl KernelStats {
         &self.timing[kernel.index()]
     }
 
+    /// Aggregated roofline cost of one concrete kernel entry point.
+    pub fn op(&self, op: KernelOp) -> OpCost {
+        self.ops[op.index()]
+    }
+
     /// Fork/join latency statistics of the parallel regions this
     /// stats block has seen (all zero for serial engines).
     pub fn regions(&self) -> &RegionStats {
@@ -313,6 +400,15 @@ impl KernelStats {
             self.counts[i].calls += other.counts[i].calls;
             self.counts[i].sites += other.counts[i].sites;
             self.timing[i].merge(&other.timing[i]);
+        }
+        for i in 0..8 {
+            let (a, b) = (&mut self.ops[i], &other.ops[i]);
+            a.calls += b.calls;
+            a.sites += b.sites;
+            a.total_ns = a.total_ns.saturating_add(b.total_ns);
+            a.flops = a.flops.saturating_add(b.flops);
+            a.bytes_read = a.bytes_read.saturating_add(b.bytes_read);
+            a.bytes_written = a.bytes_written.saturating_add(b.bytes_written);
         }
         self.regions.merge(&other.regions);
     }
@@ -342,6 +438,14 @@ impl KernelStats {
         let mut out = self.clone();
         for c in out.counts.iter_mut() {
             c.sites = (c.sites as f64 * factor).round() as u64;
+        }
+        // The modeled cost is linear in sites, so it scales with them.
+        for o in out.ops.iter_mut() {
+            let scale = |v: u64| (v as f64 * factor).round() as u64;
+            o.sites = scale(o.sites);
+            o.flops = scale(o.flops);
+            o.bytes_read = scale(o.bytes_read);
+            o.bytes_written = scale(o.bytes_written);
         }
         out
     }
@@ -468,6 +572,40 @@ mod tests {
         assert_eq!(h.min_ns(), None);
         assert_eq!(h.max_ns(), None);
         assert_eq!(h.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn op_records_feed_both_levels() {
+        let mut s = KernelStats::new();
+        s.record_op_timed(KernelOp::NewviewIi, 1000, 272_000);
+        s.record_op_timed(KernelOp::EvaluateIi, 1000, 500);
+        // Paper-kernel level sees the grouped calls.
+        assert_eq!(s.get(KernelId::Newview).calls, 1);
+        assert_eq!(s.get(KernelId::Evaluate).sites, 1000);
+        assert_eq!(s.timing(KernelId::Newview).count(), 1);
+        // Op level carries the modeled cost: 272 flops/site over
+        // 272 ns/1000 sites is exactly 1 GFLOP/s.
+        let nv = s.op(KernelOp::NewviewIi);
+        assert_eq!(nv.calls, 1);
+        assert_eq!(nv.flops, 272_000);
+        assert_eq!(nv.bytes_read, 264_000);
+        assert!((nv.gflops() - 1.0).abs() < 1e-12);
+        assert!(nv.arithmetic_intensity() > 0.0);
+        // Merge and scale preserve the op aggregates.
+        let mut t = KernelStats::new();
+        t.record_op_timed(KernelOp::NewviewIi, 500, 100);
+        s.merge(&t);
+        assert_eq!(s.op(KernelOp::NewviewIi).calls, 2);
+        assert_eq!(s.op(KernelOp::NewviewIi).sites, 1500);
+        let scaled = s.scale_sites(2.0);
+        assert_eq!(scaled.op(KernelOp::NewviewIi).sites, 3000);
+        assert_eq!(
+            scaled.op(KernelOp::NewviewIi).flops,
+            2 * s.op(KernelOp::NewviewIi).flops
+        );
+        // Untimed ops report zero rates rather than dividing by zero.
+        assert_eq!(KernelStats::new().op(KernelOp::NewviewTt).gflops(), 0.0);
+        assert_eq!(KernelStats::new().op(KernelOp::NewviewTt).gbps(), 0.0);
     }
 
     #[test]

@@ -37,6 +37,7 @@
 pub mod aligned;
 pub mod cat;
 pub mod cla;
+pub mod cost;
 pub mod engine;
 pub mod instrument;
 pub mod kernels;
@@ -52,8 +53,9 @@ pub(crate) mod sync;
 pub mod trace;
 
 pub use aligned::AlignedVec;
+pub use cost::{KernelCost, KernelOp};
 pub use engine::{EngineConfig, LikelihoodEngine};
-pub use instrument::{KernelId, KernelStats, LatencyHistogram, RegionStats};
+pub use instrument::{KernelId, KernelStats, LatencyHistogram, OpCost, RegionStats};
 pub use kernels::{KernelKind, Kernels};
 pub use repeats::{RepeatStats, SiteRepeats};
 pub use span::{SpanGuard, TrackSnapshot};

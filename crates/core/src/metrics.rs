@@ -31,10 +31,21 @@ impl Counter {
         self.add(1);
     }
 
-    /// Adds `n`.
+    /// Adds `n`, saturating at `u64::MAX` instead of wrapping.
+    ///
+    /// The roofline flop/byte accumulators make overflow reachable in
+    /// principle (a month-long run counts ~10^18 flops); a counter
+    /// that wrapped would silently report nonsense, while a pinned
+    /// `u64::MAX` is unambiguous. The correction is a second relaxed
+    /// store, so a concurrent `add` racing the saturation point may
+    /// briefly observe the wrapped value — acceptable for
+    /// observability counters, and the counter still settles at MAX.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        let prev = self.0.fetch_add(n, Ordering::Relaxed);
+        if prev.checked_add(n).is_none() {
+            self.0.store(u64::MAX, Ordering::Relaxed);
+        }
     }
 
     /// Current value.
@@ -267,5 +278,43 @@ mod tests {
     fn kind_mismatch_panics() {
         counter("test.metrics.mismatch");
         gauge("test.metrics.mismatch");
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let c = counter("test.metrics.saturate");
+        c.add(u64::MAX - 1);
+        c.add(10); // would wrap to 8
+        assert_eq!(c.get(), u64::MAX);
+        c.inc(); // stays pinned
+        assert_eq!(c.get(), u64::MAX);
+        // Exact fill without overflow is untouched.
+        let c2 = counter("test.metrics.saturate.exact");
+        c2.add(u64::MAX);
+        assert_eq!(c2.get(), u64::MAX);
+    }
+
+    #[test]
+    fn registered_histogram_quantiles_on_empty_and_single_sample() {
+        // Empty: every quantile is None, extremes absent.
+        let h = histogram("test.metrics.hist.empty");
+        let copy = h.load();
+        assert_eq!(copy.count(), 0);
+        assert_eq!(copy.quantile_ns(0.5), None);
+        assert_eq!(copy.quantile_ns(0.0), None);
+        assert_eq!(copy.quantile_ns(1.0), None);
+        assert_eq!(copy.min_ns(), None);
+        assert_eq!(copy.max_ns(), None);
+
+        // Single sample: every quantile collapses to the sample.
+        let h = histogram("test.metrics.hist.single");
+        h.record_ns(777);
+        let copy = h.load();
+        assert_eq!(copy.count(), 1);
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(copy.quantile_ns(q), Some(777), "q = {q}");
+        }
+        assert_eq!(copy.min_ns(), Some(777));
+        assert_eq!(copy.max_ns(), Some(777));
     }
 }

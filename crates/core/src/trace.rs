@@ -8,6 +8,10 @@
 //!   engine's) accumulated invocations of one kernel: call count,
 //!   total pattern-sites, total/min/max wall time, and p50/p95/p99
 //!   latency estimates in nanoseconds.
+//! * `op` — one source's accumulated invocations of one concrete
+//!   kernel entry point ([`crate::cost::KernelOp`]) with its modeled
+//!   roofline cost: calls, sites, wall time, flops, bytes read and
+//!   written. Achieved GFLOP/s and GB/s are ratios of these fields.
 //! * `region` — one source's parallel-region synchronization totals:
 //!   region count plus total/max fork- and join-barrier latencies.
 //! * `span` — one closed hierarchical span ([`crate::span`]) with its
@@ -39,8 +43,10 @@ use std::fmt::Write as _;
 /// Version history: 1 = kernel + region events; 2 = meta/span/metric
 /// events, kernel quantile fields; 3 = meta carries the resolved kernel
 /// backend so reports attribute timings to an ISA; 4 = meta carries the
-/// resolved site-repeat compression mode.
-pub const TRACE_VERSION: u64 = 4;
+/// resolved site-repeat compression mode; 5 = `op` events with modeled
+/// roofline cost, and meta carries `spans_dropped` plus the host
+/// roofline (`roofline_mflops` / `roofline_mbps`, 0 = uncalibrated).
+pub const TRACE_VERSION: u64 = 5;
 
 /// One line of a trace file.
 #[derive(Clone, Debug, PartialEq)]
@@ -55,6 +61,17 @@ pub enum TraceEvent {
         /// The resolved site-repeat compression mode (`"on"`, `"off"`
         /// or `"auto"`); empty when read from a pre-v4 trace.
         site_repeats: String,
+        /// Span events lost to per-thread ring overflow before export
+        /// (summed over tracks); 0 when nothing was dropped or when
+        /// read from a pre-v5 trace.
+        spans_dropped: u64,
+        /// Calibrated host peak in MFLOP/s (`plf-prof` FMA probe);
+        /// 0 when the host was not calibrated or pre-v5. Integer
+        /// milli-G units keep the flat integer trace grammar.
+        roofline_mflops: u64,
+        /// Calibrated host STREAM-triad bandwidth in MB/s; 0 when
+        /// uncalibrated or pre-v5.
+        roofline_mbps: u64,
     },
     /// Accumulated timing of one kernel at one source.
     Kernel {
@@ -78,6 +95,26 @@ pub enum TraceEvent {
         p95_ns: u64,
         /// 99th-percentile latency estimate, ns (0 if unknown).
         p99_ns: u64,
+    },
+    /// Accumulated cost-model roofline numbers of one concrete kernel
+    /// entry point at one source (schema v5).
+    Op {
+        /// Where the stats came from (e.g. `"serial"`, `"worker3"`).
+        source: String,
+        /// Which entry point.
+        op: crate::cost::KernelOp,
+        /// Invocation count.
+        calls: u64,
+        /// Total pattern-sites across the invocations.
+        sites: u64,
+        /// Summed wall time of the invocations, nanoseconds.
+        total_ns: u64,
+        /// Modeled floating-point operations.
+        flops: u64,
+        /// Modeled bytes read.
+        bytes_read: u64,
+        /// Modeled bytes written.
+        bytes_written: u64,
     },
     /// Accumulated fork/join latency of one source's parallel regions.
     Region {
@@ -158,10 +195,13 @@ impl TraceEvent {
                 version,
                 backend,
                 site_repeats,
+                spans_dropped,
+                roofline_mflops,
+                roofline_mbps,
             } => {
                 let _ = write!(
                     s,
-                    r#"{{"type":"meta","version":{version},"backend":"{}","site_repeats":"{}"}}"#,
+                    r#"{{"type":"meta","version":{version},"backend":"{}","site_repeats":"{}","spans_dropped":{spans_dropped},"roofline_mflops":{roofline_mflops},"roofline_mbps":{roofline_mbps}}}"#,
                     escape(backend),
                     escape(site_repeats)
                 );
@@ -191,6 +231,29 @@ impl TraceEvent {
                     p50_ns,
                     p95_ns,
                     p99_ns
+                );
+            }
+            TraceEvent::Op {
+                source,
+                op,
+                calls,
+                sites,
+                total_ns,
+                flops,
+                bytes_read,
+                bytes_written,
+            } => {
+                let _ = write!(
+                    s,
+                    r#"{{"type":"op","source":"{}","op":"{}","calls":{},"sites":{},"total_ns":{},"flops":{},"bytes_read":{},"bytes_written":{}}}"#,
+                    escape(source),
+                    op.name(),
+                    calls,
+                    sites,
+                    total_ns,
+                    flops,
+                    bytes_read,
+                    bytes_written
                 );
             }
             TraceEvent::Region {
@@ -327,6 +390,10 @@ impl TraceEvent {
                 version: get_u64("version")?,
                 backend: get_str_or_empty("backend")?,
                 site_repeats: get_str_or_empty("site_repeats")?,
+                // Pre-v5 metas carry none of these; default to 0.
+                spans_dropped: get_u64_or_0("spans_dropped")?,
+                roofline_mflops: get_u64_or_0("roofline_mflops")?,
+                roofline_mbps: get_u64_or_0("roofline_mbps")?,
             }),
             "kernel" => {
                 let name = get_str("kernel")?;
@@ -348,6 +415,25 @@ impl TraceEvent {
                     p50_ns: get_u64_or_0("p50_ns")?,
                     p95_ns: get_u64_or_0("p95_ns")?,
                     p99_ns: get_u64_or_0("p99_ns")?,
+                })
+            }
+            "op" => {
+                let name = get_str("op")?;
+                let Some(op) = crate::cost::KernelOp::from_name(name) else {
+                    // An entry point this reader predates.
+                    return Ok(TraceEvent::Unknown {
+                        event_type: format!("op:{name}"),
+                    });
+                };
+                Ok(TraceEvent::Op {
+                    source: get_str("source")?.to_string(),
+                    op,
+                    calls: get_u64("calls")?,
+                    sites: get_u64("sites")?,
+                    total_ns: get_u64("total_ns")?,
+                    flops: get_u64_or_0("flops")?,
+                    bytes_read: get_u64_or_0("bytes_read")?,
+                    bytes_written: get_u64_or_0("bytes_written")?,
                 })
             }
             "region" => Ok(TraceEvent::Region {
@@ -402,8 +488,10 @@ impl std::fmt::Display for TraceError {
 impl std::error::Error for TraceError {}
 
 /// Converts one source's [`KernelStats`] into trace events: one
-/// `kernel` event per kernel with at least one call, plus one `region`
-/// event if any parallel regions were recorded.
+/// `kernel` event per kernel with at least one call, one `op` event
+/// per concrete entry point with at least one call (carrying the
+/// modeled roofline cost), plus one `region` event if any parallel
+/// regions were recorded.
 pub fn events_from_stats(source: &str, stats: &KernelStats) -> Vec<TraceEvent> {
     let mut out = Vec::new();
     for kernel in KernelId::ALL {
@@ -423,6 +511,22 @@ pub fn events_from_stats(source: &str, stats: &KernelStats) -> Vec<TraceEvent> {
             p50_ns: h.p50_ns().unwrap_or(0),
             p95_ns: h.p95_ns().unwrap_or(0),
             p99_ns: h.p99_ns().unwrap_or(0),
+        });
+    }
+    for op in crate::cost::KernelOp::ALL {
+        let o = stats.op(op);
+        if o.calls == 0 {
+            continue;
+        }
+        out.push(TraceEvent::Op {
+            source: source.to_string(),
+            op,
+            calls: o.calls,
+            sites: o.sites,
+            total_ns: o.total_ns,
+            flops: o.flops,
+            bytes_read: o.bytes_read,
+            bytes_written: o.bytes_written,
         });
     }
     let r = stats.regions();
@@ -682,6 +786,9 @@ mod tests {
                 version: TRACE_VERSION,
                 backend: "simd".into(),
                 site_repeats: "on".into(),
+                spans_dropped: 3,
+                roofline_mflops: 12_400,
+                roofline_mbps: 21_000,
             },
             TraceEvent::Span {
                 source: "worker1".into(),
@@ -844,6 +951,9 @@ mod tests {
                 version: 99,
                 backend: String::new(),
                 site_repeats: String::new(),
+                spans_dropped: 0,
+                roofline_mflops: 0,
+                roofline_mbps: 0,
             }
         );
         assert!(
@@ -855,6 +965,52 @@ mod tests {
             TraceEvent::from_json(r#"{"type":"gpu_kernel","source":"x"}"#).unwrap(),
             TraceEvent::Unknown {
                 event_type: "gpu_kernel".into()
+            }
+        );
+    }
+
+    #[test]
+    fn op_event_roundtrips_and_unknown_op_degrades() {
+        let e = TraceEvent::Op {
+            source: "worker0".into(),
+            op: crate::cost::KernelOp::NewviewIi,
+            calls: 12,
+            sites: 12_000,
+            total_ns: 3_264_000,
+            flops: 3_264_000,
+            bytes_read: 3_168_000,
+            bytes_written: 1_584_000,
+        };
+        let line = e.to_json();
+        assert!(line.contains(r#""op":"newview_ii""#), "{line}");
+        assert_eq!(TraceEvent::from_json(&line).unwrap(), e);
+        // An op name from a future schema degrades to Unknown instead
+        // of failing the whole file.
+        assert_eq!(
+            TraceEvent::from_json(
+                r#"{"type":"op","source":"s","op":"newview_quantum","calls":1,"sites":1,"total_ns":1,"flops":1,"bytes_read":1,"bytes_written":1}"#
+            )
+            .unwrap(),
+            TraceEvent::Unknown {
+                event_type: "op:newview_quantum".into()
+            }
+        );
+    }
+
+    #[test]
+    fn v4_meta_lines_parse_under_v5_reader() {
+        // Exactly what a v4 writer produced: no spans_dropped, no
+        // roofline fields.
+        let line = r#"{"type":"meta","version":4,"backend":"vector","site_repeats":"off"}"#;
+        assert_eq!(
+            TraceEvent::from_json(line).unwrap(),
+            TraceEvent::Meta {
+                version: 4,
+                backend: "vector".into(),
+                site_repeats: "off".into(),
+                spans_dropped: 0,
+                roofline_mflops: 0,
+                roofline_mbps: 0,
             }
         );
     }

@@ -10,7 +10,7 @@
 
 use crate::calibration::MeasuredHostCosts;
 use plf_core::trace::{parse_jsonl, TraceEvent};
-use plf_core::KernelId;
+use plf_core::{KernelId, KernelOp};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -33,6 +33,101 @@ pub struct KernelRow {
     pub p95_ns: u64,
     /// Call-weighted mean of the sources' p99 latencies, ns.
     pub p99_ns: u64,
+}
+
+/// One concrete kernel entry point's aggregate across every source,
+/// with the modeled roofline cost carried by v5 `op` events.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpRow {
+    /// Which entry point.
+    pub op: KernelOp,
+    /// Invocations summed over sources.
+    pub calls: u64,
+    /// Pattern-sites summed over sources.
+    pub sites: u64,
+    /// Wall time summed over sources, nanoseconds.
+    pub total_ns: u64,
+    /// Modeled floating-point operations.
+    pub flops: u64,
+    /// Modeled bytes read from the site-major arrays.
+    pub bytes_read: u64,
+    /// Modeled bytes written.
+    pub bytes_written: u64,
+}
+
+impl OpRow {
+    /// Achieved GFLOP/s (`flops / total_ns`); 0 with no timing.
+    pub fn gflops(&self) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.total_ns as f64
+        }
+    }
+
+    /// Achieved GB/s over read+write traffic; 0 with no timing.
+    pub fn gbps(&self) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            (self.bytes_read + self.bytes_written) as f64 / self.total_ns as f64
+        }
+    }
+
+    /// Arithmetic intensity, flops per byte of traffic.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.bytes_read + self.bytes_written;
+        if bytes == 0 {
+            0.0
+        } else {
+            self.flops as f64 / bytes as f64
+        }
+    }
+}
+
+/// Calibrated machine peaks from the `meta` event, used to place each
+/// op on the roofline. Zero fields mean "not calibrated".
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Roofline {
+    /// Single-core FMA peak, MFLOP/s.
+    pub peak_mflops: u64,
+    /// Single-core STREAM-triad bandwidth, MB/s.
+    pub peak_mbps: u64,
+}
+
+impl Roofline {
+    /// True when both peaks were measured.
+    pub fn is_calibrated(&self) -> bool {
+        self.peak_mflops > 0 && self.peak_mbps > 0
+    }
+
+    /// The ridge point: arithmetic intensity (flop/byte) above which
+    /// the machine is compute-bound.
+    pub fn ridge(&self) -> f64 {
+        if self.peak_mbps == 0 {
+            0.0
+        } else {
+            self.peak_mflops as f64 / self.peak_mbps as f64
+        }
+    }
+
+    /// Attainable GFLOP/s at intensity `ai`:
+    /// `min(peak_flops, ai × peak_bandwidth)`.
+    pub fn attainable_gflops(&self, ai: f64) -> f64 {
+        let peak = self.peak_mflops as f64 / 1e3;
+        let bw_limited = ai * self.peak_mbps as f64 / 1e3;
+        peak.min(bw_limited)
+    }
+
+    /// Fraction of the attainable roof an op achieves; `None` when the
+    /// roofline is uncalibrated or the op has no timing.
+    pub fn fraction_of_roof(&self, row: &OpRow) -> Option<f64> {
+        if !self.is_calibrated() || row.total_ns == 0 {
+            return None;
+        }
+        let attainable = self.attainable_gflops(row.arithmetic_intensity());
+        (attainable > 0.0).then(|| row.gflops() / attainable)
+    }
 }
 
 /// Fork/join synchronization totals and the derived overhead fraction.
@@ -87,8 +182,17 @@ pub struct TraceReport {
     /// Resolved site-repeat compression mode from the `meta` event
     /// (`"on"` / `"off"`); `None` for pre-v4 traces.
     pub site_repeats: Option<String>,
+    /// Spans lost to ring-buffer overflow, from the v5 `meta` event
+    /// (0 for older traces).
+    pub spans_dropped: u64,
+    /// Calibrated host peaks from the v5 `meta` event; uncalibrated
+    /// (all-zero) for older traces or hosts without `HOST_ROOFLINE.json`.
+    pub roofline: Roofline,
     /// Per-kernel aggregates, descending by total time.
     pub kernels: Vec<KernelRow>,
+    /// Per-entry-point aggregates with modeled costs, descending by
+    /// total time; empty for pre-v5 traces.
+    pub ops: Vec<OpRow>,
     /// Summed kernel time across all sources, ns.
     pub total_kernel_ns: u64,
     /// Fork/join summary; `None` for serial traces.
@@ -112,9 +216,12 @@ impl TraceReport {
         let mut version = None;
         let mut backend = None;
         let mut site_repeats = None;
+        let mut spans_dropped = 0u64;
+        let mut roofline = Roofline::default();
         // kernel -> (calls, sites, total, Σcalls·p50, Σcalls·p95, Σcalls·p99)
         let mut per_kernel: BTreeMap<&'static str, (KernelId, [u64; 3], [u128; 3])> =
             BTreeMap::new();
+        let mut per_op: BTreeMap<usize, OpRow> = BTreeMap::new();
         let mut per_worker: BTreeMap<String, (u64, u64)> = BTreeMap::new();
         let mut region_count = 0u64;
         let mut fork_total = 0u64;
@@ -128,6 +235,9 @@ impl TraceReport {
                     version: v,
                     backend: b,
                     site_repeats: sr,
+                    spans_dropped: sd,
+                    roofline_mflops,
+                    roofline_mbps,
                 } => {
                     version = Some(*v);
                     if !b.is_empty() {
@@ -136,6 +246,39 @@ impl TraceReport {
                     if !sr.is_empty() {
                         site_repeats = Some(sr.clone());
                     }
+                    spans_dropped += sd;
+                    if *roofline_mflops > 0 {
+                        roofline.peak_mflops = *roofline_mflops;
+                    }
+                    if *roofline_mbps > 0 {
+                        roofline.peak_mbps = *roofline_mbps;
+                    }
+                }
+                TraceEvent::Op {
+                    op,
+                    calls,
+                    sites,
+                    total_ns,
+                    flops,
+                    bytes_read,
+                    bytes_written,
+                    ..
+                } => {
+                    let row = per_op.entry(op.index()).or_insert(OpRow {
+                        op: *op,
+                        calls: 0,
+                        sites: 0,
+                        total_ns: 0,
+                        flops: 0,
+                        bytes_read: 0,
+                        bytes_written: 0,
+                    });
+                    row.calls += calls;
+                    row.sites += sites;
+                    row.total_ns += total_ns;
+                    row.flops += flops;
+                    row.bytes_read += bytes_read;
+                    row.bytes_written += bytes_written;
                 }
                 TraceEvent::Kernel {
                     source,
@@ -223,6 +366,8 @@ impl TraceReport {
             })
             .collect();
         kernels.sort_by_key(|k| std::cmp::Reverse(k.total_ns));
+        let mut ops: Vec<OpRow> = per_op.into_values().collect();
+        ops.sort_by_key(|o| std::cmp::Reverse(o.total_ns));
 
         let workers: Vec<WorkerRow> = per_worker
             .into_iter()
@@ -274,7 +419,10 @@ impl TraceReport {
             version,
             backend,
             site_repeats,
+            spans_dropped,
+            roofline,
             kernels,
+            ops,
             total_kernel_ns,
             regions,
             workers,
@@ -303,6 +451,13 @@ impl TraceReport {
         if let Some(sr) = &self.site_repeats {
             let _ = writeln!(s, "site repeats: {sr}");
         }
+        if self.spans_dropped > 0 {
+            let _ = writeln!(
+                s,
+                "WARNING: {} spans dropped to ring-buffer overflow; span totals undercount",
+                self.spans_dropped
+            );
+        }
 
         let _ = writeln!(s, "\n== kernel time shares ==");
         let _ = writeln!(
@@ -325,6 +480,53 @@ impl TraceReport {
             );
         }
         let _ = writeln!(s, "total kernel time {:.3} ms", ms(self.total_kernel_ns));
+
+        if !self.ops.is_empty() {
+            let _ = writeln!(s, "\n== op roofline (modeled flops/bytes) ==");
+            if self.roofline.is_calibrated() {
+                let _ = writeln!(
+                    s,
+                    "host peaks: {:.2} GFLOP/s compute, {:.2} GB/s bandwidth (ridge {:.3} flop/byte)",
+                    self.roofline.peak_mflops as f64 / 1e3,
+                    self.roofline.peak_mbps as f64 / 1e3,
+                    self.roofline.ridge()
+                );
+            } else {
+                let _ = writeln!(
+                    s,
+                    "host peaks: uncalibrated (run `phylomic calibrate` to enable % of roof)"
+                );
+            }
+            let _ = writeln!(
+                s,
+                "{:<20} {:>10} {:>9} {:>9} {:>7} {:>7} {:>8}",
+                "op", "calls", "GFLOP/s", "GB/s", "AI", "% roof", "bound"
+            );
+            for o in &self.ops {
+                let (pct, bound) = match self.roofline.fraction_of_roof(o) {
+                    Some(f) => (
+                        format!("{:.1}", f * 100.0),
+                        if o.arithmetic_intensity() < self.roofline.ridge() {
+                            "memory"
+                        } else {
+                            "compute"
+                        },
+                    ),
+                    None => ("-".to_string(), "-"),
+                };
+                let _ = writeln!(
+                    s,
+                    "{:<20} {:>10} {:>9.3} {:>9.3} {:>7.3} {:>7} {:>8}",
+                    o.op.name(),
+                    o.calls,
+                    o.gflops(),
+                    o.gbps(),
+                    o.arithmetic_intensity(),
+                    pct,
+                    bound
+                );
+            }
+        }
 
         if let Some(r) = &self.regions {
             let _ = writeln!(s, "\n== fork/join regions ==");
@@ -408,6 +610,154 @@ impl TraceReport {
         }
         s
     }
+
+    /// Renders the report as a single JSON object
+    /// (`phylomic trace-report --format json`), for downstream tooling
+    /// that would otherwise scrape the text tables.
+    pub fn render_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn opt_str(v: &Option<String>) -> String {
+            match v {
+                Some(s) => format!("\"{}\"", esc(s)),
+                None => "null".into(),
+            }
+        }
+        let mut s = String::new();
+        s.push('{');
+        let _ = write!(
+            s,
+            "\"version\":{},",
+            self.version.map_or("null".into(), |v| v.to_string())
+        );
+        let _ = write!(s, "\"backend\":{},", opt_str(&self.backend));
+        let _ = write!(s, "\"site_repeats\":{},", opt_str(&self.site_repeats));
+        let _ = write!(s, "\"spans_dropped\":{},", self.spans_dropped);
+        let _ = write!(
+            s,
+            "\"roofline\":{{\"peak_mflops\":{},\"peak_mbps\":{}}},",
+            self.roofline.peak_mflops, self.roofline.peak_mbps
+        );
+        let _ = write!(s, "\"total_kernel_ns\":{},", self.total_kernel_ns);
+        s.push_str("\"kernels\":[");
+        for (i, k) in self.kernels.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"kernel\":\"{}\",\"calls\":{},\"sites\":{},\"total_ns\":{},\"share\":{:.6},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+                k.kernel.paper_name(),
+                k.calls,
+                k.sites,
+                k.total_ns,
+                k.share,
+                k.p50_ns,
+                k.p95_ns,
+                k.p99_ns
+            );
+        }
+        s.push_str("],\"ops\":[");
+        for (i, o) in self.ops.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let pct = match self.roofline.fraction_of_roof(o) {
+                Some(f) => format!("{:.6}", f),
+                None => "null".into(),
+            };
+            let _ = write!(
+                s,
+                "{{\"op\":\"{}\",\"calls\":{},\"sites\":{},\"total_ns\":{},\"flops\":{},\"bytes_read\":{},\"bytes_written\":{},\"gflops\":{:.6},\"gbps\":{:.6},\"arithmetic_intensity\":{:.6},\"fraction_of_roof\":{}}}",
+                o.op.name(),
+                o.calls,
+                o.sites,
+                o.total_ns,
+                o.flops,
+                o.bytes_read,
+                o.bytes_written,
+                o.gflops(),
+                o.gbps(),
+                o.arithmetic_intensity(),
+                pct
+            );
+        }
+        s.push_str("],\"regions\":");
+        match &self.regions {
+            Some(r) => {
+                let _ = write!(
+                    s,
+                    "{{\"count\":{},\"fork_total_ns\":{},\"join_total_ns\":{},\"wall_ns\":{},\"overhead_fraction\":{:.6}}}",
+                    r.count, r.fork_total_ns, r.join_total_ns, r.wall_ns, r.overhead_fraction
+                );
+            }
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"workers\":[");
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"source\":\"{}\",\"busy_ns\":{},\"sites\":{}}}",
+                esc(&w.source),
+                w.busy_ns,
+                w.sites
+            );
+        }
+        s.push_str("],\"imbalance\":");
+        match self.imbalance {
+            Some(i) => {
+                let _ = write!(s, "{i:.6}");
+            }
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"spans\":[");
+        for (i, sp) in self.spans.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"count\":{},\"total_ns\":{}}}",
+                esc(&sp.name),
+                sp.count,
+                sp.total_ns
+            );
+        }
+        s.push_str("],\"metrics\":[");
+        for (i, (name, kind, value)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"kind\":\"{}\",\"value\":{}}}",
+                esc(name),
+                esc(kind),
+                value
+            );
+        }
+        s.push_str("]}");
+        s.push('\n');
+        s
+    }
 }
 
 #[cfg(test)]
@@ -438,14 +788,37 @@ mod tests {
     fn forkjoin_events() -> Vec<TraceEvent> {
         vec![
             TraceEvent::Meta {
-                version: 4,
+                version: 5,
                 backend: "simd".into(),
                 site_repeats: "on".into(),
+                spans_dropped: 2,
+                roofline_mflops: 10_000,
+                roofline_mbps: 20_000,
             },
             kernel_event("worker0", KernelId::Newview, 10, 1000, 6_000_000),
             kernel_event("worker1", KernelId::Newview, 10, 500, 3_000_000),
             kernel_event("worker0", KernelId::Evaluate, 5, 500, 1_000_000),
             kernel_event("worker1", KernelId::Evaluate, 5, 250, 500_000),
+            TraceEvent::Op {
+                source: "worker0".into(),
+                op: KernelOp::NewviewIi,
+                calls: 10,
+                sites: 1000,
+                total_ns: 6_000_000,
+                flops: 272_000,
+                bytes_read: 264_000,
+                bytes_written: 132_000,
+            },
+            TraceEvent::Op {
+                source: "worker1".into(),
+                op: KernelOp::NewviewIi,
+                calls: 10,
+                sites: 500,
+                total_ns: 3_000_000,
+                flops: 136_000,
+                bytes_read: 132_000,
+                bytes_written: 66_000,
+            },
             TraceEvent::Region {
                 source: "master".into(),
                 count: 15,
@@ -473,7 +846,7 @@ mod tests {
     #[test]
     fn report_computes_shares_imbalance_and_overhead() {
         let r = TraceReport::from_events(&forkjoin_events());
-        assert_eq!(r.version, Some(4));
+        assert_eq!(r.version, Some(5));
         assert_eq!(r.backend.as_deref(), Some("simd"));
         assert_eq!(r.site_repeats.as_deref(), Some("on"));
         assert_eq!(r.total_kernel_ns, 10_500_000);
@@ -491,6 +864,96 @@ mod tests {
         assert!(r.costs.is_some());
         assert_eq!(r.spans[0].name, "search");
         assert_eq!(r.metrics[0].0, "spr.moves.accepted");
+    }
+
+    #[test]
+    fn op_rows_merge_sources_and_place_on_roofline() {
+        let r = TraceReport::from_events(&forkjoin_events());
+        assert_eq!(r.spans_dropped, 2);
+        assert_eq!(
+            r.roofline,
+            Roofline {
+                peak_mflops: 10_000,
+                peak_mbps: 20_000,
+            }
+        );
+        assert_eq!(r.ops.len(), 1);
+        let o = &r.ops[0];
+        assert_eq!(o.op, KernelOp::NewviewIi);
+        assert_eq!((o.calls, o.sites, o.total_ns), (20, 1500, 9_000_000));
+        assert_eq!(o.flops, 408_000);
+        assert_eq!(o.bytes_read + o.bytes_written, 594_000);
+        // 408 kflop / 9 ms ≈ 0.04533 GFLOP/s; AI = 408/594 flop/byte.
+        assert!((o.gflops() - 408.0 / 9000.0).abs() < 1e-9);
+        assert!((o.arithmetic_intensity() - 408.0 / 594.0).abs() < 1e-9);
+        // Ridge = 10/20 = 0.5 flop/byte; AI ≈ 0.687 > ridge → compute
+        // bound, attainable = 10 GFLOP/s.
+        let f = r.roofline.fraction_of_roof(o).unwrap();
+        assert!((f - o.gflops() / 10.0).abs() < 1e-9, "{f}");
+        // Render shows the roofline table and the drop warning.
+        let text = r.render();
+        assert!(text.contains("op roofline"), "{text}");
+        assert!(text.contains("newview_ii"), "{text}");
+        assert!(text.contains("compute"), "{text}");
+        assert!(text.contains("2 spans dropped"), "{text}");
+    }
+
+    #[test]
+    fn uncalibrated_roofline_renders_placeholders() {
+        let events = vec![TraceEvent::Op {
+            source: "serial".into(),
+            op: KernelOp::EvaluateIi,
+            calls: 1,
+            sites: 100,
+            total_ns: 10_000,
+            flops: 18_100,
+            bytes_read: 26_800,
+            bytes_written: 0,
+        }];
+        let r = TraceReport::from_events(&events);
+        assert!(!r.roofline.is_calibrated());
+        assert!(r.roofline.fraction_of_roof(&r.ops[0]).is_none());
+        let text = r.render();
+        assert!(text.contains("uncalibrated"), "{text}");
+        assert!(!text.contains("spans dropped"), "{text}");
+    }
+
+    #[test]
+    fn render_json_roundtrips_key_fields() {
+        let r = TraceReport::from_events(&forkjoin_events());
+        let json = r.render_json();
+        // Structural smoke checks: scraping tools key on these fields.
+        for needle in [
+            r#""version":5"#,
+            r#""backend":"simd""#,
+            r#""spans_dropped":2"#,
+            r#""peak_mflops":10000"#,
+            r#""kernel":"newview""#,
+            r#""op":"newview_ii""#,
+            r#""flops":408000"#,
+            r#""imbalance":"#,
+            r#""overhead_fraction":"#,
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Balanced braces/brackets outside strings → parseable shape.
+        let (mut depth, mut in_str, mut esc_next) = (0i64, false, false);
+        for c in json.chars() {
+            if esc_next {
+                esc_next = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc_next = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
     }
 
     #[test]

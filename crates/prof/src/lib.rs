@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+//! `plf-prof` — host performance profiling support for the PLF
+//! workspace.
+//!
+//! Three concerns live here, all std-only:
+//!
+//! * [`roofline`] — machine calibration: a STREAM-triad bandwidth
+//!   probe and an FMA peak-FLOP probe (single core, matching the
+//!   single-threaded microbench cells), cached to
+//!   [`roofline::CACHE_FILE`] with host provenance so `trace-report`
+//!   and `plf-microbench` can place each kernel on the roofline
+//!   without re-measuring.
+//! * [`perf`] — optional Linux `perf_event_open` hardware counters
+//!   (cycles, instructions, LLC misses) behind the `perf-counters`
+//!   cargo feature, degrading to `None` wherever the syscall is
+//!   unavailable.
+//! * [`trend`] — cross-PR performance trend tracking: aggregates the
+//!   committed `BENCH_*.json` files into a trend table and gates new
+//!   results against the best prior PR per (kernel, backend, size)
+//!   cell, with an audited waiver list for accepted regressions.
+//!
+//! [`json`] is the minimal recursive JSON reader the other modules
+//! share (the workspace has no serde).
+
+pub mod host;
+pub mod json;
+pub mod perf;
+pub mod roofline;
+pub mod trend;
+
+pub use roofline::HostRoofline;

@@ -1,0 +1,529 @@
+//! Cross-PR performance trend tracking over committed `BENCH_*.json`.
+//!
+//! Each PR that runs `plf-microbench` commits a `BENCH_<n>.json`
+//! artifact. This module aggregates every such file in a directory
+//! into one trend table — per (kernel, backend, pattern-count) cell, a
+//! series of ns/site values ordered by PR number — and gates the
+//! newest file against history: a cell that is more than
+//! [`DEFAULT_TOLERANCE`] slower than the **best prior** PR fails the
+//! gate unless the regression is waived.
+//!
+//! Waivers are an audited allowlist (`trend_waivers.txt`, same idiom
+//! as the xtask lint allowlists): one `kernel backend patterns` triple
+//! per line with a mandatory `#` comment citing why the regression is
+//! accepted. Comparing against the best *prior* PR (not the immediate
+//! predecessor) stops slow drift: two back-to-back 8% regressions fail
+//! even though each is under the per-step tolerance.
+//!
+//! All `plf-microbench/*` schemas share the `results` array shape, so
+//! one parser covers the whole history.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Gate tolerance: a cell may be at most 10% slower than the best
+/// prior PR. Wide enough for shared-VM timing noise on the trimmed
+/// mean, tight enough to catch real codegen regressions.
+pub const DEFAULT_TOLERANCE: f64 = 0.10;
+
+/// One (kernel, backend, size) measurement from one bench file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchCell {
+    /// Kernel entry-point name (`"newview_ii"` …).
+    pub kernel: String,
+    /// Backend name (`"scalar"`, `"vector"`, `"simd"`, `"auto"`).
+    pub backend: String,
+    /// Pattern count of the cell.
+    pub patterns: u64,
+    /// Trimmed-mean nanoseconds per site.
+    pub ns_per_site: f64,
+}
+
+/// One parsed `BENCH_<n>.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchFile {
+    /// The `<n>` from the filename — the PR ordering key.
+    pub seq: u64,
+    /// Filename, for reporting.
+    pub name: String,
+    /// Schema marker (`"plf-microbench/2"` …).
+    pub schema: String,
+    /// Every cell in the file.
+    pub cells: Vec<BenchCell>,
+}
+
+/// Parses one bench document (any `plf-microbench/*` schema).
+pub fn parse_bench(name: &str, seq: u64, text: &str) -> Result<BenchFile, String> {
+    let v = Json::parse(text).map_err(|e| format!("{name}: {e}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{name}: missing schema"))?;
+    if !schema.starts_with("plf-microbench/") {
+        return Err(format!("{name}: foreign schema {schema:?}"));
+    }
+    let rows = v
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{name}: missing results array"))?;
+    let mut cells = Vec::new();
+    for row in rows {
+        let kernel = row
+            .get("kernel")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{name}: result row without kernel"))?;
+        let patterns = row
+            .get("patterns")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{name}: result row without patterns"))?;
+        let ns = row
+            .get("ns_per_site")
+            .ok_or_else(|| format!("{name}: result row without ns_per_site"))?;
+        let Json::Obj(backends) = ns else {
+            return Err(format!("{name}: ns_per_site is not an object"));
+        };
+        for (backend, value) in backends {
+            let ns_per_site = value
+                .as_f64()
+                .ok_or_else(|| format!("{name}: non-numeric ns_per_site.{backend}"))?;
+            cells.push(BenchCell {
+                kernel: kernel.to_string(),
+                backend: backend.clone(),
+                patterns,
+                ns_per_site,
+            });
+        }
+    }
+    Ok(BenchFile {
+        seq,
+        name: name.to_string(),
+        schema: schema.to_string(),
+        cells,
+    })
+}
+
+/// Loads every `BENCH_<n>.json` in `dir`, ascending by `<n>`.
+/// Unparseable files are hard errors — a corrupt committed artifact
+/// should fail CI loudly, not silently narrow the history.
+pub fn scan_dir(dir: &Path) -> Result<Vec<BenchFile>, String> {
+    let mut files = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(seq) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let text = std::fs::read_to_string(entry.path()).map_err(|e| format!("{name}: {e}"))?;
+        files.push(parse_bench(&name, seq, &text)?);
+    }
+    files.sort_by_key(|f| f.seq);
+    Ok(files)
+}
+
+/// One audited accepted regression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Waiver {
+    /// Kernel name the waiver covers.
+    pub kernel: String,
+    /// Backend the waiver covers.
+    pub backend: String,
+    /// Pattern count the waiver covers.
+    pub patterns: u64,
+}
+
+/// Parses a waiver file: `kernel backend patterns # reason` per line;
+/// blank lines and `#`-leading lines are comments. Malformed lines
+/// are errors — a typo in a waiver must not silently disable it.
+pub fn parse_waivers(text: &str) -> Result<Vec<Waiver>, String> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let [kernel, backend, patterns] = parts[..] else {
+            return Err(format!(
+                "waiver line {}: expected `kernel backend patterns`, got {raw:?}",
+                i + 1
+            ));
+        };
+        let patterns = patterns
+            .parse::<u64>()
+            .map_err(|e| format!("waiver line {}: bad pattern count: {e}", i + 1))?;
+        out.push(Waiver {
+            kernel: kernel.to_string(),
+            backend: backend.to_string(),
+            patterns,
+        });
+    }
+    Ok(out)
+}
+
+/// One cell of the newest file that exceeded tolerance vs history.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Kernel name.
+    pub kernel: String,
+    /// Backend name.
+    pub backend: String,
+    /// Pattern count.
+    pub patterns: u64,
+    /// Best (lowest) prior ns/site and the file it came from.
+    pub best_prior: f64,
+    /// Best prior file name.
+    pub best_prior_file: String,
+    /// Newest ns/site.
+    pub latest: f64,
+    /// Whether an entry in the waiver list covers this cell.
+    pub waived: bool,
+}
+
+impl Regression {
+    /// Slowdown factor vs the best prior PR.
+    pub fn ratio(&self) -> f64 {
+        self.latest / self.best_prior
+    }
+}
+
+/// Outcome of gating the newest file against history.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GateReport {
+    /// Every over-tolerance cell, waived or not.
+    pub regressions: Vec<Regression>,
+    /// Cells compared (newest cells that have at least one prior).
+    pub compared: usize,
+}
+
+impl GateReport {
+    /// The gate fails on any unwaived regression.
+    pub fn failed(&self) -> bool {
+        self.regressions.iter().any(|r| !r.waived)
+    }
+
+    /// Human-readable summary, one line per regression.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for r in &self.regressions {
+            let _ = writeln!(
+                s,
+                "{} {} {} @ {}: {:.3} ns/site vs best prior {:.3} ({}) = {:.2}x",
+                if r.waived { "WAIVED" } else { "FAIL" },
+                r.kernel,
+                r.backend,
+                r.patterns,
+                r.latest,
+                r.best_prior,
+                r.best_prior_file,
+                r.ratio()
+            );
+        }
+        let _ = writeln!(
+            s,
+            "trend gate: {} cells compared, {} regressions ({} waived)",
+            self.compared,
+            self.regressions.len(),
+            self.regressions.iter().filter(|r| r.waived).count()
+        );
+        s
+    }
+}
+
+type CellKey = (String, String, u64);
+
+fn key(c: &BenchCell) -> CellKey {
+    (c.kernel.clone(), c.backend.clone(), c.patterns)
+}
+
+/// Gates the newest of `files` against all earlier ones. With fewer
+/// than two files there is nothing to compare and the gate passes.
+pub fn gate(files: &[BenchFile], tolerance: f64, waivers: &[Waiver]) -> GateReport {
+    let Some((latest, prior)) = files.split_last() else {
+        return GateReport::default();
+    };
+    if prior.is_empty() {
+        return GateReport::default();
+    }
+    // Best prior value per cell key across the whole history.
+    let mut best: BTreeMap<CellKey, (f64, &str)> = BTreeMap::new();
+    for f in prior {
+        for c in &f.cells {
+            let entry = best.entry(key(c)).or_insert((c.ns_per_site, &f.name));
+            if c.ns_per_site < entry.0 {
+                *entry = (c.ns_per_site, &f.name);
+            }
+        }
+    }
+    let mut report = GateReport::default();
+    for c in &latest.cells {
+        let Some(&(best_prior, best_file)) = best.get(&key(c)) else {
+            continue; // first measurement of this cell
+        };
+        report.compared += 1;
+        if c.ns_per_site > (1.0 + tolerance) * best_prior {
+            report.regressions.push(Regression {
+                kernel: c.kernel.clone(),
+                backend: c.backend.clone(),
+                patterns: c.patterns,
+                best_prior,
+                best_prior_file: best_file.to_string(),
+                latest: c.ns_per_site,
+                waived: waivers.iter().any(|w| {
+                    w.kernel == c.kernel && w.backend == c.backend && w.patterns == c.patterns
+                }),
+            });
+        }
+    }
+    report
+}
+
+/// All series across the history: cell key → ns/site per file
+/// (`None` where a file lacks the cell).
+fn series(files: &[BenchFile]) -> BTreeMap<CellKey, Vec<Option<f64>>> {
+    let mut out: BTreeMap<CellKey, Vec<Option<f64>>> = BTreeMap::new();
+    for (i, f) in files.iter().enumerate() {
+        for c in &f.cells {
+            let row = out.entry(key(c)).or_insert_with(|| vec![None; files.len()]);
+            row[i] = Some(c.ns_per_site);
+        }
+    }
+    out
+}
+
+/// Renders `BENCH_TREND.json`.
+pub fn render_trend_json(files: &[BenchFile]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"plf-bench-trend/1\",\n  \"files\": [");
+    for (i, f) in files.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{{\"seq\": {}, \"name\": \"{}\"}}", f.seq, f.name);
+    }
+    s.push_str("],\n  \"series\": [\n");
+    let all = series(files);
+    for (i, ((kernel, backend, patterns), values)) in all.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"kernel\": \"{kernel}\", \"backend\": \"{backend}\", \
+             \"patterns\": {patterns}, \"ns_per_site\": ["
+        );
+        for (j, v) in values.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            match v {
+                Some(x) => {
+                    let _ = write!(s, "{x:.3}");
+                }
+                None => s.push_str("null"),
+            }
+        }
+        s.push_str("]}");
+        s.push_str(if i + 1 == all.len() { "\n" } else { ",\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Renders the trend as a markdown document: one table per pattern
+/// count, kernels × backends as rows, PRs as columns, newest-vs-best
+/// delta in the last column.
+pub fn render_trend_markdown(files: &[BenchFile]) -> String {
+    let mut s = String::from("# Kernel performance trend (ns/site)\n");
+    let _ = writeln!(
+        s,
+        "\nLower is better. Generated by `cargo xtask bench-trend` from {} committed bench file(s).\n",
+        files.len()
+    );
+    let all = series(files);
+    let mut sizes: Vec<u64> = all.keys().map(|(_, _, p)| *p).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    for patterns in sizes {
+        let _ = writeln!(s, "## {patterns} patterns\n");
+        s.push_str("| kernel | backend |");
+        for f in files {
+            let _ = write!(s, " {} |", f.name.trim_end_matches(".json"));
+        }
+        s.push_str(" vs best |\n|---|---|");
+        for _ in files {
+            s.push_str("---|");
+        }
+        s.push_str("---|\n");
+        for ((kernel, backend, p), values) in &all {
+            if *p != patterns {
+                continue;
+            }
+            let _ = write!(s, "| {kernel} | {backend} |");
+            for v in values {
+                match v {
+                    Some(x) => {
+                        let _ = write!(s, " {x:.2} |");
+                    }
+                    None => s.push_str(" – |"),
+                }
+            }
+            let newest = values.last().and_then(|v| *v);
+            let best_prior = values[..values.len().saturating_sub(1)]
+                .iter()
+                .filter_map(|v| *v)
+                .fold(f64::INFINITY, f64::min);
+            match (newest, best_prior.is_finite()) {
+                (Some(n), true) => {
+                    let _ = writeln!(s, " {:+.1}% |", (n / best_prior - 1.0) * 100.0);
+                }
+                _ => s.push_str(" – |\n"),
+            }
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(seq: u64, cells: &[(&str, &str, u64, f64)]) -> BenchFile {
+        BenchFile {
+            seq,
+            name: format!("BENCH_{seq}.json"),
+            schema: "plf-microbench/2".into(),
+            cells: cells
+                .iter()
+                .map(|&(kernel, backend, patterns, ns)| BenchCell {
+                    kernel: kernel.into(),
+                    backend: backend.into(),
+                    patterns,
+                    ns_per_site: ns,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn parses_real_microbench_shape() {
+        let doc = r#"{
+          "schema": "plf-microbench/2",
+          "host_simd": true,
+          "backends": ["scalar", "vector"],
+          "results": [
+            {"kernel": "newview_ii", "patterns": 1000,
+             "ns_per_site": {"scalar": 5.600, "vector": 2.100},
+             "speedup_vs_scalar": {"vector": 2.667}}
+          ],
+          "site_repeats": {"kernel_newview_ii": {"sites": 100000}}
+        }"#;
+        let f = parse_bench("BENCH_6.json", 6, doc).unwrap();
+        assert_eq!(f.seq, 6);
+        assert_eq!(f.cells.len(), 2);
+        assert_eq!(f.cells[0].kernel, "newview_ii");
+        assert_eq!(f.cells[1].backend, "vector");
+        assert!((f.cells[1].ns_per_site - 2.1).abs() < 1e-12);
+        assert!(parse_bench("x", 1, r#"{"schema": "other/1", "results": []}"#).is_err());
+    }
+
+    #[test]
+    fn synthetic_20pct_regression_fails_gate() {
+        let history = vec![
+            file(5, &[("newview_ii", "simd", 1000, 1.00)]),
+            file(6, &[("newview_ii", "simd", 1000, 1.20)]),
+        ];
+        let report = gate(&history, DEFAULT_TOLERANCE, &[]);
+        assert!(report.failed());
+        assert_eq!(report.regressions.len(), 1);
+        let r = &report.regressions[0];
+        assert!((r.ratio() - 1.2).abs() < 1e-12);
+        assert_eq!(r.best_prior_file, "BENCH_5.json");
+        assert!(report.render().contains("FAIL newview_ii simd @ 1000"));
+    }
+
+    #[test]
+    fn waived_regression_passes_but_is_reported() {
+        let history = vec![
+            file(5, &[("derivative_sum_ii", "simd", 1000, 1.00)]),
+            file(6, &[("derivative_sum_ii", "simd", 1000, 1.71)]),
+        ];
+        let waivers = parse_waivers("derivative_sum_ii simd 1000  # accepted trade-off\n").unwrap();
+        let report = gate(&history, DEFAULT_TOLERANCE, &waivers);
+        assert!(!report.failed());
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].waived);
+        assert!(report.render().contains("WAIVED"));
+    }
+
+    #[test]
+    fn gate_compares_against_best_prior_not_predecessor() {
+        // 8% + 8% drift: each step under tolerance, sum over it.
+        let history = vec![
+            file(4, &[("evaluate_ii", "auto", 10000, 1.00)]),
+            file(5, &[("evaluate_ii", "auto", 10000, 1.08)]),
+            file(6, &[("evaluate_ii", "auto", 10000, 1.1664)]),
+        ];
+        assert!(gate(&history, DEFAULT_TOLERANCE, &[]).failed());
+    }
+
+    #[test]
+    fn improvements_and_new_cells_pass() {
+        let history = vec![
+            file(5, &[("newview_ii", "simd", 1000, 2.00)]),
+            file(
+                6,
+                &[
+                    ("newview_ii", "simd", 1000, 1.50),
+                    ("newview_ii", "auto", 1000, 1.40), // new backend
+                ],
+            ),
+        ];
+        let report = gate(&history, DEFAULT_TOLERANCE, &[]);
+        assert!(!report.failed());
+        assert!(report.regressions.is_empty());
+        assert_eq!(report.compared, 1);
+        // Single or empty history trivially passes.
+        assert!(!gate(&history[..1], DEFAULT_TOLERANCE, &[]).failed());
+        assert!(!gate(&[], DEFAULT_TOLERANCE, &[]).failed());
+    }
+
+    #[test]
+    fn waiver_parser_rejects_malformed_lines() {
+        assert!(parse_waivers("# pure comment\n\nk b 100 # ok\n").is_ok());
+        assert!(parse_waivers("k b # missing patterns\n").is_err());
+        assert!(parse_waivers("k b ten # not a number\n").is_err());
+    }
+
+    #[test]
+    fn trend_renderers_cover_all_cells() {
+        let history = vec![
+            file(5, &[("newview_ii", "simd", 1000, 2.00)]),
+            file(
+                6,
+                &[
+                    ("newview_ii", "simd", 1000, 1.50),
+                    ("evaluate_ii", "auto", 10000, 3.25),
+                ],
+            ),
+        ];
+        let json = render_trend_json(&history);
+        assert!(json.contains("\"schema\": \"plf-bench-trend/1\""), "{json}");
+        assert!(json.contains("[2.000, 1.500]"), "{json}");
+        assert!(json.contains("[null, 3.250]"), "{json}");
+        // The trend json parses with our own reader.
+        let v = Json::parse(&json).unwrap();
+        assert_eq!(v.get("series").unwrap().as_arr().unwrap().len(), 2);
+        let md = render_trend_markdown(&history);
+        assert!(md.contains("## 1000 patterns"), "{md}");
+        assert!(
+            md.contains("| newview_ii | simd | 2.00 | 1.50 | -25.0% |"),
+            "{md}"
+        );
+        assert!(md.contains("– |"), "{md}");
+    }
+}

@@ -47,6 +47,8 @@ fn main() -> ExitCode {
         "search" => cmd_search(&opts),
         "bootstrap" => cmd_bootstrap(&opts),
         "trace-report" => cmd_trace_report(&opts),
+        "calibrate" => cmd_calibrate(&opts),
+        "bench-trend" => cmd_bench_trend(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -78,7 +80,9 @@ USAGE:
                     [--inject-fault SPEC] [--degrade]
   phylomic bootstrap --alignment FILE [--replicates N] [--rounds R] [--seed S]
                     [--out FILE]
-  phylomic trace-report --trace FILE
+  phylomic trace-report --trace FILE [--format text|json]
+  phylomic calibrate [--out FILE] [--force]
+  phylomic bench-trend [--dir DIR] [--gate]
 
 Alignments: PHYLIP when the path ends in .phy, FASTA otherwise.
 --kernels picks the PLF kernel backend (default auto: explicit AVX2+FMA
@@ -98,7 +102,19 @@ metrics as JSONL, in the format micsim's measured-cost calibration
 trace-event JSON, loadable in Perfetto / chrome://tracing, one track
 per worker thread.
 trace-report prints per-kernel time shares, fork/join overhead, worker
-load imbalance and the calibration cost table from a --trace-out file.
+load imbalance, the calibration cost table, and — for v5 traces — the
+modeled per-op roofline placement (GFLOP/s, GB/s, arithmetic intensity,
+% of the calibrated roof). --format json emits the same report as one
+JSON object for tooling.
+calibrate measures single-core peak bandwidth (STREAM triad) and peak
+FLOP/s (FMA chains) and caches them with host provenance in
+HOST_ROOFLINE.json (--out overrides, --force re-measures); once the
+cache exists, evaluate/search stamp the peaks into the trace meta so
+trace-report can compute % of roofline.
+bench-trend aggregates the committed BENCH_*.json microbench artifacts
+into a per-cell history table; --gate fails when the newest file is
+>10% slower than the best prior PR on any unwaived cell (waivers:
+crates/xtask/trend_waivers.txt).
 --checkpoint works with every scheme; under replicated, rank 0 writes
 and all ranks resume from the same snapshot.
 --inject-fault scripts deterministic failures into a replicated or
@@ -136,13 +152,24 @@ fn write_trace(path: &str, events: &[TraceEvent]) -> Result<(), String> {
 /// first, then the kernel aggregates, then every closed span from
 /// every thread track, then a process-wide metrics snapshot.
 fn full_trace(config: EngineConfig, kernel_events: Vec<TraceEvent>) -> Vec<TraceEvent> {
+    let tracks = span::snapshot_all();
+    // If a cached calibration exists next to the working directory, stamp
+    // its peaks into the meta so trace-report can place kernels on the
+    // host roofline without re-calibrating.
+    let (roofline_mflops, roofline_mbps) =
+        plf_prof::roofline::load_cached(std::path::Path::new(plf_prof::roofline::CACHE_FILE))
+            .map(|r| (r.peak_mflops, r.peak_mbps))
+            .unwrap_or((0, 0));
     let mut out = vec![TraceEvent::Meta {
         version: TRACE_VERSION,
         backend: config.kernel.effective().to_string(),
         site_repeats: config.site_repeats.effective().to_string(),
+        spans_dropped: tracks.iter().map(|t| t.dropped).sum(),
+        roofline_mflops,
+        roofline_mbps,
     }];
     out.extend(kernel_events);
-    out.extend(events_from_spans(&span::snapshot_all()));
+    out.extend(events_from_spans(&tracks));
     out.extend(events_from_metrics("process", &metrics::snapshot()));
     out
 }
@@ -162,7 +189,96 @@ fn cmd_trace_report(opts: &Opts) -> Result<(), String> {
     let path = require(opts, "trace")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let report = phylomic::micsim::TraceReport::from_jsonl(&text).map_err(|e| e.to_string())?;
-    print!("{}", report.render());
+    match opts.get("format").map(String::as_str) {
+        None | Some("text") => print!("{}", report.render()),
+        Some("json") => print!("{}", report.render_json()),
+        Some(other) => return Err(format!("--format must be text or json, got {other:?}")),
+    }
+    Ok(())
+}
+
+fn cmd_calibrate(opts: &Opts) -> Result<(), String> {
+    let out = opts
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or(plf_prof::roofline::CACHE_FILE);
+    let path = std::path::Path::new(out);
+    let force = opts.contains_key("force");
+    let (r, source) = match plf_prof::roofline::load_cached(path) {
+        Some(cached) if !force => (cached, "cached"),
+        _ => {
+            println!("calibrating single-core roofline (a few seconds)...");
+            let fresh = plf_prof::roofline::measure();
+            fresh.save(path).map_err(|e| format!("{out}: {e}"))?;
+            (fresh, "measured")
+        }
+    };
+    println!(
+        "roofline ({source}, {out}): {:.2} GFLOP/s peak compute, {:.2} GB/s peak bandwidth, \
+         ridge {:.3} flop/byte",
+        r.peak_mflops as f64 / 1e3,
+        r.peak_mbps as f64 / 1e3,
+        r.ridge()
+    );
+    println!(
+        "host: {} ({} cores, simd {}), git {}",
+        r.cpu_model, r.cores, r.simd, r.git_rev
+    );
+    match plf_prof::perf::PerfGroup::open() {
+        Some(mut g) => {
+            // Sample the counters over one triad-sized spin so the
+            // user sees the perf path working end to end.
+            g.reset_and_enable();
+            let mut x = 0u64;
+            for i in 0..1_000_000u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(x);
+            match g.disable_and_read() {
+                Some(c) => println!(
+                    "perf counters: cycles {} instructions {} llc-misses {} (ipc {:.2})",
+                    c.cycles,
+                    c.instructions,
+                    c.llc_misses,
+                    c.ipc()
+                ),
+                None => println!("perf counters: opened but unreadable; ignoring"),
+            }
+        }
+        None => println!(
+            "perf counters: unavailable ({})",
+            if plf_prof::perf::compiled_in() {
+                "kernel refused perf_event_open; try lowering perf_event_paranoid"
+            } else {
+                "build without --features perf-counters"
+            }
+        ),
+    }
+    Ok(())
+}
+
+fn cmd_bench_trend(opts: &Opts) -> Result<(), String> {
+    let dir = opts.get("dir").map(String::as_str).unwrap_or(".");
+    let files = plf_prof::trend::scan_dir(std::path::Path::new(dir))?;
+    if files.is_empty() {
+        return Err(format!("no BENCH_*.json files in {dir}"));
+    }
+    print!("{}", plf_prof::trend::render_trend_markdown(&files));
+    if opts.contains_key("gate") {
+        // Waivers live next to the BENCH files' repo, not the cwd:
+        // `bench-trend --dir /path/to/repo --gate` from anywhere must
+        // still honor that repo's audited waiver list.
+        let waiver_path = std::path::Path::new(dir).join("crates/xtask/trend_waivers.txt");
+        let waivers = match std::fs::read_to_string(&waiver_path) {
+            Ok(text) => plf_prof::trend::parse_waivers(&text)?,
+            Err(_) => Vec::new(),
+        };
+        let report = plf_prof::trend::gate(&files, plf_prof::trend::DEFAULT_TOLERANCE, &waivers);
+        print!("{}", report.render());
+        if report.failed() {
+            return Err("trend gate failed".into());
+        }
+    }
     Ok(())
 }
 
@@ -175,7 +291,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --option, found {key:?}"));
         };
-        if name == "no-model-opt" || name == "degrade" {
+        if matches!(name, "no-model-opt" | "degrade" | "force" | "gate") {
             opts.insert(name.to_string(), "true".to_string());
             continue;
         }

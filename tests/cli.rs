@@ -601,3 +601,52 @@ fn site_repeats_flag_parses_and_matches_off() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn bench_trend_gate_honors_waivers_relative_to_dir() {
+    // A regressed cell that is waived must pass the gate even when the
+    // process cwd is NOT the repo: waivers resolve against --dir.
+    let dir = tmpdir().join("trend-dir");
+    std::fs::create_dir_all(dir.join("crates/xtask")).unwrap();
+    let bench = |ns: f64| {
+        format!(
+            concat!(
+                "{{\"schema\": \"plf-microbench/1\", \"results\": [\n",
+                "  {{\"kernel\": \"newview_ii\", \"patterns\": 1000, ",
+                "\"ns_per_site\": {{\"scalar\": {ns}}}}}\n",
+                "]}}\n"
+            ),
+            ns = ns
+        )
+    };
+    std::fs::write(dir.join("BENCH_1.json"), bench(10.0)).unwrap();
+    std::fs::write(dir.join("BENCH_2.json"), bench(15.0)).unwrap();
+
+    // Without a waiver file the 1.5x regression fails the gate.
+    let out = bin()
+        .args(["bench-trend", "--dir", dir.to_str().unwrap(), "--gate"])
+        .current_dir(std::env::temp_dir())
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("FAIL newview_ii"));
+
+    std::fs::write(
+        dir.join("crates/xtask/trend_waivers.txt"),
+        "newview_ii scalar 1000 # synthetic fixture\n",
+    )
+    .unwrap();
+    let out = bin()
+        .args(["bench-trend", "--dir", dir.to_str().unwrap(), "--gate"])
+        .current_dir(std::env::temp_dir())
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stdout: {stdout} stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("WAIVED newview_ii"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -46,6 +46,9 @@ fn traced_forkjoin_search() -> Vec<TraceEvent> {
         version: TRACE_VERSION,
         backend: KernelKind::Auto.effective().to_string(),
         site_repeats: phylomic::plf::SiteRepeats::Auto.effective().to_string(),
+        spans_dropped: span::snapshot_all().iter().map(|t| t.dropped).sum(),
+        roofline_mflops: 0,
+        roofline_mbps: 0,
     }];
     for (i, stats) in fj.take_stats_per_worker().iter().enumerate() {
         events.extend(events_from_stats(&format!("worker{i}"), stats));
@@ -119,6 +122,14 @@ fn traced_search_roundtrips_and_reports() {
     assert!(report.costs.is_some());
     let rendered = report.render();
     assert!(rendered.contains("kernel time shares"), "{rendered}");
+
+    // v5 op events carry modeled roofline costs into the report.
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Op { flops, .. } if *flops > 0)));
+    assert!(!report.ops.is_empty());
+    assert!(rendered.contains("op roofline"), "{rendered}");
+    assert!(report.render_json().contains(r#""ops":[{"op":"#));
 }
 
 #[test]
