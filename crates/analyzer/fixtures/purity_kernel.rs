@@ -1,0 +1,32 @@
+// Purity-rule fixture: analyzed under a synthetic `/src/kernels/`
+// path so `newview_tt` is discovered as a kernel entry point. Seeds
+// one violation per category (panic, alloc, index) in a helper two
+// hops down the call chain, plus a cold fn that must NOT be flagged.
+
+pub fn newview_tt(left: &[f64], out: &mut [f64]) -> f64 {
+    accumulate(left, out)
+}
+
+fn accumulate(src: &[f64], out: &mut [f64]) -> f64 {
+    let mut acc = 0.0;
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = lookup(src, i); // seeded: lookup indexes + unwraps
+        acc += *o;
+    }
+    acc
+}
+
+fn lookup(table: &[f64], i: usize) -> f64 {
+    let scratch = vec![0.0; 4]; // seeded: alloc in hot path
+    let _ = scratch;
+    let v = table[i]; // seeded: bounds-checked indexing
+    table.first().copied().unwrap() + v // seeded: panic on empty
+}
+
+// Not reachable from any entry point: none of its sites may be
+// reported, however impure.
+pub fn cold_path() -> Vec<String> {
+    let mut v = Vec::new();
+    v.push(format!("{}", f64::NAN));
+    v
+}

@@ -1,0 +1,16 @@
+// Worker-tier purity fixture: analyzed under the synthetic path
+// `crates/parallel/src/forkjoin.rs` so `worker_loop` roots the worker
+// tier. The tier checks panic + alloc but NOT indexing — the `codes`
+// slice access must stay unreported.
+
+pub fn worker_loop(commands: &[u32], codes: &[u8]) {
+    for &cmd in commands {
+        let _ = codes[cmd as usize]; // indexing: exempt in this tier
+        dispatch(cmd);
+    }
+}
+
+fn dispatch(cmd: u32) {
+    let name = cmd.to_string(); // seeded: alloc in worker steady state
+    assert!(!name.is_empty(), "empty command name"); // seeded: panic
+}

@@ -1,0 +1,89 @@
+//! The rule families and the shared allowlist machinery.
+//!
+//! Every allowlist follows the `relaxed_allowlist.txt` convention:
+//! one `<path substring> <key substring>` pair per line, `#` starts a
+//! comment, and each entry is an audit decision whose justification
+//! lives in the comment above it. A finding is suppressed when some
+//! entry's path is a substring of the finding's file AND its key is a
+//! substring of the finding's key.
+
+pub mod fpdet;
+pub mod inventory;
+pub mod purity;
+pub mod safety;
+
+/// One parsed allowlist.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<(String, String)>,
+}
+
+impl Allowlist {
+    /// Parses the `<path substring> <key substring>` format.
+    pub fn parse(text: &str) -> Allowlist {
+        let entries = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .filter_map(|l| {
+                let mut it = l.split_whitespace();
+                Some((it.next()?.to_string(), it.next()?.to_string()))
+            })
+            .collect();
+        Allowlist { entries }
+    }
+
+    /// Whether a finding at `path` with audit `key` is covered.
+    pub fn covers(&self, path: &str, key: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|(p, k)| path.contains(p.as_str()) && key.contains(k.as_str()))
+    }
+}
+
+/// All audit files the rules consume, loaded from `crates/xtask/`.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlists {
+    /// Hot-path purity audits (`<path> <fn:category>`).
+    pub purity: Allowlist,
+    /// FP-determinism audits (`<path> <fn:category>`).
+    pub fpdet: Allowlist,
+    /// Audited relaxed mutating atomic ops (`<path> <site text>`).
+    pub relaxed: Allowlist,
+    /// Audited `unsafe impl Send/Sync` types (`<path> <Type>`).
+    pub unsafe_impl: Allowlist,
+}
+
+impl Allowlists {
+    /// Loads every audit file under `<root>/crates/xtask/`. Missing
+    /// files parse as empty (everything is then flagged).
+    pub fn load(root: &std::path::Path) -> Allowlists {
+        let read = |name: &str| {
+            std::fs::read_to_string(root.join("crates/xtask").join(name)).unwrap_or_default()
+        };
+        Allowlists {
+            purity: Allowlist::parse(&read("purity_allowlist.txt")),
+            fpdet: Allowlist::parse(&read("fpdet_allowlist.txt")),
+            relaxed: Allowlist::parse(&read("relaxed_allowlist.txt")),
+            unsafe_impl: Allowlist::parse(&read("unsafe_impl_registry.txt")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_skips_comments_and_matches_by_substring() {
+        let list = Allowlist::parse(
+            "# comment\n\ncrates/core/src/metrics.rs self.0.fetch_add\ncrates/parallel fired.swap\n",
+        );
+        assert_eq!(list.entries.len(), 2);
+        assert!(list.covers(
+            "crates/core/src/metrics.rs",
+            "self.0.fetch_add(1,Ordering::Relaxed)"
+        ));
+        assert!(!list.covers("crates/core/src/span.rs", "self.0.fetch_add"));
+    }
+}

@@ -1,0 +1,210 @@
+//! The PR 3 unsafe-invariant lints, migrated from line scanning to
+//! token trees:
+//!
+//! 1. **SAFETY comments** — every unsafe site (block, fn, impl) needs
+//!    a comment containing `SAFETY` on its line or within
+//!    [`SAFETY_WINDOW`] lines above.
+//! 2. **No relaxed publishing** — mutating atomic ops with
+//!    `Ordering::Relaxed` anywhere in the (possibly multi-line) call
+//!    must be audited in `relaxed_allowlist.txt`. Token trees close
+//!    the old scanner's gap: the ordering is found in the argument
+//!    group, not on "the same line".
+//! 3. **Audited `unsafe impl Send/Sync`** — every such impl must be
+//!    registered in `unsafe_impl_registry.txt`.
+//! 4. **`#![deny(unsafe_op_in_unsafe_fn)]`** — required in *every*
+//!    workspace crate root (not just crates that currently contain
+//!    unsafe code: the attribute is a tripwire for unsafe code that
+//!    arrives later).
+
+use crate::graph::{CallGraph, CallKind};
+use crate::item::{FileItems, FnItem};
+use crate::report::Finding;
+use crate::rules::Allowlists;
+
+/// How many lines above an unsafe site a `SAFETY` comment may sit
+/// (same window as the PR 3 scanner).
+pub const SAFETY_WINDOW: u32 = 10;
+
+/// Mutating atomic operations (method names).
+const MUTATING_OPS: &[&str] = &[
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "fetch_min",
+    "fetch_max",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Runs rules 1–3 per file plus rule 2 over fn bodies.
+pub fn run(
+    files: &[FileItems],
+    fns: &[FnItem],
+    graph: &CallGraph,
+    allow: &Allowlists,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        // Rule 1: SAFETY comment near every unsafe site.
+        for site in &file.unsafe_sites {
+            if !file.lexed.comment_near(site.line, SAFETY_WINDOW, "SAFETY") {
+                findings.push(Finding {
+                    rule: "safety",
+                    file: file.file.clone(),
+                    line: site.line,
+                    key: format!("{}:safety_comment", site.kind.name()),
+                    message: format!(
+                        "unsafe {} ({}) has no SAFETY comment within {} lines — state the \
+                         invariant that makes it sound",
+                        site.kind.name(),
+                        site.container,
+                        SAFETY_WINDOW
+                    ),
+                });
+            }
+        }
+        // Rule 3: unsafe impl Send/Sync must be registered.
+        for imp in &file.impls {
+            if !imp.is_unsafe {
+                continue;
+            }
+            let Some(trait_name) = &imp.trait_name else {
+                continue;
+            };
+            if trait_name != "Send" && trait_name != "Sync" {
+                continue;
+            }
+            let self_type = imp.self_type.clone().unwrap_or_else(|| "?".into());
+            if allow.unsafe_impl.covers(&file.file, &self_type) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: "safety",
+                file: file.file.clone(),
+                line: imp.line,
+                key: self_type.clone(),
+                message: format!(
+                    "`unsafe impl {trait_name} for {self_type}` is not registered in \
+                     crates/xtask/unsafe_impl_registry.txt — register it with the invariant \
+                     that makes the marker sound"
+                ),
+            });
+        }
+        // Rule 4: deny(unsafe_op_in_unsafe_fn) in every crate root.
+        let is_crate_root = file.file.ends_with("src/lib.rs") || file.file.ends_with("src/main.rs");
+        if is_crate_root {
+            let has = file
+                .inner_attrs
+                .iter()
+                .any(|a| a.text.contains("deny") && a.text.contains("unsafe_op_in_unsafe_fn"));
+            if !has {
+                findings.push(Finding {
+                    rule: "safety",
+                    file: file.file.clone(),
+                    line: 1,
+                    key: "unsafe_op_in_unsafe_fn".into(),
+                    message: "crate root is missing #![deny(unsafe_op_in_unsafe_fn)] — required \
+                              workspace-wide so unsafe fns never get implicit unsafe bodies"
+                        .into(),
+                });
+            }
+        }
+    }
+    // Rule 2: relaxed mutating atomic ops, from fn bodies.
+    for (i, f) in fns.iter().enumerate() {
+        if f.is_test_ctx || !f.file.contains("/src/") {
+            continue;
+        }
+        for call in &graph.facts[i].calls {
+            if call.kind != CallKind::Method
+                || !call.args_have_relaxed
+                || !MUTATING_OPS.contains(&call.name.as_str())
+            {
+                continue;
+            }
+            if allow.relaxed.covers(&f.file, &call.receiver) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: "safety",
+                file: f.file.clone(),
+                line: call.line,
+                key: call.receiver.clone(),
+                message: format!(
+                    "mutating atomic op `{}` with Ordering::Relaxed in `{}` — relaxed \
+                     mutations must not publish data; audit in \
+                     crates/xtask/relaxed_allowlist.txt with the reason",
+                    call.receiver,
+                    f.qualified()
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::CallGraph;
+    use crate::item::extract;
+    use crate::rules::Allowlist;
+
+    fn run_on(path: &str, src: &str, relaxed: &str, registry: &str) -> Vec<Finding> {
+        let mut items = extract(path, src, &[]);
+        let fns = std::mem::take(&mut items.fns);
+        let graph = CallGraph::build(&fns);
+        let allow = Allowlists {
+            relaxed: Allowlist::parse(relaxed),
+            unsafe_impl: Allowlist::parse(registry),
+            ..Allowlists::default()
+        };
+        run(&[items], &fns, &graph, &allow)
+    }
+
+    #[test]
+    fn safety_comment_required_within_window() {
+        let with = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
+        assert!(run_on("crates/x/src/a.rs", with, "", "").is_empty());
+        let without = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let findings = run_on("crates/x/src/a.rs", without, "", "");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].key, "block:safety_comment");
+    }
+
+    #[test]
+    fn relaxed_mutation_spanning_lines_is_caught() {
+        // The PR 3 line scanner missed exactly this shape: the op and
+        // the ordering on different lines.
+        let src = "// SAFETY-free file: no unsafe here.\nfn f(a: &AtomicU32) {\n    a.store(\n        1,\n        Ordering::Relaxed,\n    );\n}\n";
+        let findings = run_on("crates/x/src/a.rs", src, "", "");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].key, "a.store");
+        assert_eq!(findings[0].line, 3);
+        assert!(run_on("crates/x/src/a.rs", src, "crates/x a.store\n", "").is_empty());
+    }
+
+    #[test]
+    fn unsafe_impl_send_sync_needs_registry() {
+        let src = "// SAFETY: single-writer protocol.\nunsafe impl Sync for Ring {}\n";
+        let findings = run_on("crates/x/src/a.rs", src, "", "");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].key, "Ring");
+        assert!(run_on("crates/x/src/a.rs", src, "", "crates/x Ring\n").is_empty());
+    }
+
+    #[test]
+    fn crate_roots_need_the_deny_attr() {
+        let findings = run_on("crates/x/src/lib.rs", "pub fn f() {}\n", "", "");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].key, "unsafe_op_in_unsafe_fn");
+        let ok = "#![deny(unsafe_op_in_unsafe_fn)]\npub fn f() {}\n";
+        assert!(run_on("crates/x/src/lib.rs", ok, "", "").is_empty());
+        // Non-root files are exempt.
+        assert!(run_on("crates/x/src/other.rs", "pub fn f() {}\n", "", "").is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! Token trees: the lexer's flat stream grouped by `()`/`[]`/`{}`.
+//!
+//! This is the same shape rustc's `proc_macro::TokenStream` exposes,
+//! and it is the foundation every rule walks: a group is one atomic
+//! unit (a call's argument list, a function body, an attribute), so
+//! rules stop caring about line boundaries — the precision limit that
+//! capped the PR 3 line scanner.
+
+use crate::lex::{Delim, Tok, Token};
+
+/// One node of a token tree.
+#[derive(Clone, Debug)]
+pub enum Tt {
+    /// A leaf token (never `Open`/`Close`).
+    Tok(Token),
+    /// A delimited group and everything inside it.
+    Group(Group),
+}
+
+/// A delimited group.
+#[derive(Clone, Debug)]
+pub struct Group {
+    pub delim: Delim,
+    /// Line of the opening delimiter.
+    pub open_line: u32,
+    /// Line of the closing delimiter (or of the last token when the
+    /// file ends unbalanced).
+    pub close_line: u32,
+    pub items: Vec<Tt>,
+}
+
+impl Tt {
+    /// The source line this node starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            Tt::Tok(t) => t.line,
+            Tt::Group(g) => g.open_line,
+        }
+    }
+
+    /// The leaf token, if this is one.
+    pub fn tok(&self) -> Option<&Tok> {
+        match self {
+            Tt::Tok(t) => Some(&t.tok),
+            Tt::Group(_) => None,
+        }
+    }
+
+    /// Whether this leaf is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(self.tok(), Some(Tok::Ident(s)) if s == name)
+    }
+
+    /// Whether this leaf is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self.tok(), Some(Tok::Punct(p)) if *p == c)
+    }
+
+    /// The group, if this node is one with the given delimiter.
+    pub fn group(&self, delim: Delim) -> Option<&Group> {
+        match self {
+            Tt::Group(g) if g.delim == delim => Some(g),
+            _ => None,
+        }
+    }
+}
+
+/// Builds token trees from a flat token stream. Unbalanced input is
+/// tolerated: a stray closer is dropped, an unclosed group ends at
+/// end of file.
+pub fn build(tokens: Vec<Token>) -> Vec<Tt> {
+    // Stack of open groups; index 0 is the virtual file-level group.
+    let mut stack: Vec<(Delim, u32, Vec<Tt>)> = vec![(Delim::Brace, 0, Vec::new())];
+    let mut last_line = 1;
+    for t in tokens {
+        last_line = t.line;
+        match t.tok {
+            Tok::Open(d) => stack.push((d, t.line, Vec::new())),
+            Tok::Close(d) => {
+                // Pop to the innermost matching group; drop stray
+                // closers that match nothing.
+                if stack.len() > 1 && stack.last().is_some_and(|(od, _, _)| *od == d) {
+                    let (delim, open_line, items) = stack.pop().unwrap_or((d, t.line, Vec::new()));
+                    let group = Tt::Group(Group {
+                        delim,
+                        open_line,
+                        close_line: t.line,
+                        items,
+                    });
+                    if let Some(top) = stack.last_mut() {
+                        top.2.push(group);
+                    }
+                }
+            }
+            _ => {
+                if let Some(top) = stack.last_mut() {
+                    top.2.push(Tt::Tok(t));
+                }
+            }
+        }
+    }
+    // Flatten unclosed groups back into their parents so no token is
+    // lost on malformed input.
+    while stack.len() > 1 {
+        let (delim, open_line, items) = match stack.pop() {
+            Some(g) => g,
+            None => break,
+        };
+        if let Some(top) = stack.last_mut() {
+            top.2.push(Tt::Group(Group {
+                delim,
+                open_line,
+                close_line: last_line,
+                items,
+            }));
+        }
+    }
+    stack.pop().map(|(_, _, items)| items).unwrap_or_default()
+}
+
+/// Reconstructs approximate source text for a token-tree slice —
+/// used for allowlist keys (e.g. `self.buckets[bucket].fetch_add`)
+/// and diagnostics. Identifiers are space-free around `.`/`::` so the
+/// result matches hand-written audit entries.
+pub fn render(tts: &[Tt]) -> String {
+    let mut out = String::new();
+    for tt in tts {
+        match tt {
+            Tt::Tok(t) => match &t.tok {
+                Tok::Ident(s) => out.push_str(s),
+                Tok::Lifetime(s) => {
+                    out.push('\'');
+                    out.push_str(s);
+                }
+                Tok::Literal(_) => out.push_str("\"…\""),
+                Tok::Num(s) => out.push_str(s),
+                Tok::Punct(c) => out.push(*c),
+                // Leaves never carry delimiters (build() consumes
+                // them into groups), but tolerate malformed input.
+                Tok::Open(_) | Tok::Close(_) => {}
+            },
+            Tt::Group(g) => {
+                let (open, close) = match g.delim {
+                    Delim::Paren => ('(', ')'),
+                    Delim::Bracket => ('[', ']'),
+                    Delim::Brace => ('{', '}'),
+                };
+                out.push(open);
+                out.push_str(&render(&g.items));
+                out.push(close);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn trees(src: &str) -> Vec<Tt> {
+        build(lex(src).tokens)
+    }
+
+    #[test]
+    fn groups_nest_and_record_lines() {
+        let tts = trees("fn f() {\n  g(1, [2]);\n}\n");
+        // fn, f, (), {}
+        assert_eq!(tts.len(), 4);
+        let body = tts[3].group(Delim::Brace).expect("body group");
+        assert_eq!(body.open_line, 1);
+        assert_eq!(body.close_line, 3);
+        let call_args = body.items[1].group(Delim::Paren).expect("call args");
+        assert_eq!(call_args.open_line, 2);
+    }
+
+    #[test]
+    fn unbalanced_input_keeps_all_tokens() {
+        let tts = trees("fn f( {");
+        // Unclosed groups flatten; nothing is dropped or looped.
+        assert!(!tts.is_empty());
+        let tts = trees(") fn }");
+        assert!(tts.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn render_reconstructs_receiver_chains() {
+        let tts = trees("self.buckets[bucket].fetch_add(1, Ordering::Relaxed)");
+        assert_eq!(
+            render(&tts),
+            "self.buckets[bucket].fetch_add(1,Ordering::Relaxed)"
+        );
+    }
+}

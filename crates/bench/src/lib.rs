@@ -8,6 +8,7 @@
 //! dataset shape — and packages the measured kernel invocation counts
 //! and AllReduce counts as a [`WorkloadTrace`]. The `micsim` model then
 //! extrapolates that trace across the Table III alignment sizes.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use micsim::WorkloadTrace;
 use phylo_bio::CompressedAlignment;

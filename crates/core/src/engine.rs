@@ -218,8 +218,17 @@ impl LikelihoodEngine {
     }
 
     /// Replaces the substitution model parameters (invalidates CLAs).
+    ///
+    /// Callers must pass validated parameters — checkpoint restore and
+    /// the optimizer proposals run [`GtrParams::validate`] at their
+    /// boundaries. The re-check here is debug-only so the fork-join
+    /// model-broadcast path stays panic-free in release builds.
     pub fn set_model(&mut self, params: GtrParams) {
-        params.validate().expect("invalid GTR parameters");
+        debug_assert!(
+            params.validate().is_ok(),
+            "invalid GTR parameters: {:?}",
+            params.validate().err()
+        );
         self.params = params;
         self.rebuild_model_tables();
     }
@@ -538,10 +547,10 @@ impl LikelihoodEngine {
         out_v: &mut [f64],
         out_s: &mut [u32],
     ) -> (KernelOp, u64) {
-        if self.repeat_scratch.is_none() {
-            self.repeat_scratch = Some(Box::new(RepeatScratch::new(self.num_patterns)));
-        }
-        let mut scratch = self.repeat_scratch.take().expect("repeat scratch");
+        let mut scratch = self
+            .repeat_scratch
+            .take()
+            .unwrap_or_else(|| Box::new(RepeatScratch::new(self.num_patterns)));
         let (op, sites, classes) = {
             let table = self.repeat_tables[idx]
                 .as_ref()

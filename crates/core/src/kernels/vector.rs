@@ -290,3 +290,21 @@ impl Kernels for VectorKernels {
         (dlnl, d2lnl)
     }
 }
+
+/// CI tripwire, compiled only under the `seed-hotpath-bug` feature
+/// (see Cargo.toml): a deliberately impure kernel entry point the
+/// analyzer must flag. The name matches a PLF entry point so the
+/// purity rule roots reachability here; the raw `mul_add` outside the
+/// `fma` helper reproduces the libm-collapse shape the fpdet rule
+/// pins; the `unwrap` and unchecked indexing seed the panic/index
+/// categories. `cargo xtask lint --cfg-feature seed-hotpath-bug`
+/// must fail on this fn — CI asserts that it does.
+#[cfg(feature = "seed-hotpath-bug")]
+pub fn derivative_core(sumtable: &[f64], lambda: &[f64], t: f64) -> f64 {
+    let scale = lambda.first().copied().unwrap() * t;
+    let mut acc = 0.0;
+    for i in 0..sumtable.len() {
+        acc = sumtable[i].mul_add(scale, acc);
+    }
+    acc
+}

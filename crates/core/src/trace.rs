@@ -687,7 +687,7 @@ fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, TraceError>
                 return Err(err("expected string or integer value"));
             }
             let n: u64 = std::str::from_utf8(&bytes[start..i])
-                .unwrap()
+                .map_err(|_| err("invalid utf-8 in integer"))?
                 .parse()
                 .map_err(|_| err("integer out of range"))?;
             JsonValue::Int(n)

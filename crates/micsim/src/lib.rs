@@ -30,6 +30,7 @@
 //! search ([`workload::WorkloadTrace`]), scaled across alignment sizes
 //! exactly as the paper scales its INDELible datasets. The calibrated
 //! constants are centralized and documented in [`calibration`].
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod calibration;
 pub mod energy;

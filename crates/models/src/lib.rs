@@ -18,6 +18,7 @@
 //!   §VII extension ([`rates::CatRates`]),
 //! * Brent's 1-D minimizer used for model-parameter optimization
 //!   ([`math::brent`]).
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod gtr;
 pub mod math;

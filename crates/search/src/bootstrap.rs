@@ -13,7 +13,7 @@ use phylo_tree::consensus::split_frequencies;
 use phylo_tree::Tree;
 use plf_core::{EngineConfig, LikelihoodEngine};
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Bootstrap run configuration.
 #[derive(Clone, Copy, Debug)]
@@ -46,7 +46,7 @@ impl Default for BootstrapConfig {
 #[derive(Clone, Debug)]
 pub struct BootstrapResult {
     /// Split → fraction of replicates containing it.
-    pub split_frequencies: HashMap<Vec<String>, f64>,
+    pub split_frequencies: BTreeMap<Vec<String>, f64>,
     /// The replicate trees (for consensus building).
     pub trees: Vec<Tree>,
 }

@@ -18,7 +18,7 @@ use phylo_tree::moves::{nni_swap, NniVariant};
 use phylo_tree::tree::{BL_MAX, BL_MIN};
 use phylo_tree::Tree;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Sampler configuration.
 #[derive(Clone, Copy, Debug)]
@@ -76,7 +76,7 @@ pub struct McmcResult {
     pub topology_moves: (usize, usize),
     /// Posterior frequency of every split seen after burn-in
     /// (keyed by the canonical name set, as in `Tree::splits`).
-    pub split_frequencies: HashMap<Vec<String>, f64>,
+    pub split_frequencies: BTreeMap<Vec<String>, f64>,
     /// The final state of the chain.
     pub final_newick: String,
 }
@@ -111,7 +111,7 @@ pub fn run_mcmc<E: Evaluator + ?Sized, R: Rng>(
     let mut samples = Vec::new();
     let mut branch_acc = (0usize, 0usize);
     let mut topo_acc = (0usize, 0usize);
-    let mut split_counts: HashMap<Vec<String>, usize> = HashMap::new();
+    let mut split_counts: BTreeMap<Vec<String>, usize> = BTreeMap::new();
     let mut recorded = 0usize;
 
     let internal: Vec<usize> = tree.internal_edges().collect();

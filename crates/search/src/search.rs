@@ -118,6 +118,11 @@ impl MlSearch {
         on_progress: impl FnMut(&crate::checkpoint::Checkpoint) -> Result<(), String>,
     ) -> Result<SearchResult, String> {
         if let Some(cp) = resume {
+            // The checkpoint came from disk: validate it here at the
+            // boundary so the engine's hot paths can assume the model
+            // parameters are sound.
+            cp.validate()
+                .map_err(|e| format!("invalid checkpoint: {e}"))?;
             *tree = cp.tree().map_err(|e| e.to_string())?;
             evaluator.set_model(cp.params);
             evaluator.set_alpha(cp.alpha);

@@ -7,7 +7,7 @@
 //! it with support values — the summary downstream users expect next
 //! to an MCMC run.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One consensus split with its support.
 #[derive(Clone, Debug, PartialEq)]
@@ -26,7 +26,7 @@ pub struct SupportedSplit {
 /// `phylo_search::mcmc::McmcResult::split_frequencies` or by counting
 /// `Tree::splits()` over a tree sample.
 pub fn majority_splits(
-    frequencies: &HashMap<Vec<String>, f64>,
+    frequencies: &BTreeMap<Vec<String>, f64>,
     threshold: f64,
 ) -> Vec<SupportedSplit> {
     assert!(
@@ -52,8 +52,8 @@ pub fn majority_splits(
 
 /// Counts split frequencies across a sample of trees (all over the
 /// same taxa).
-pub fn split_frequencies(trees: &[crate::Tree]) -> HashMap<Vec<String>, f64> {
-    let mut counts: HashMap<Vec<String>, usize> = HashMap::new();
+pub fn split_frequencies(trees: &[crate::Tree]) -> BTreeMap<Vec<String>, f64> {
+    let mut counts: BTreeMap<Vec<String>, usize> = BTreeMap::new();
     for t in trees {
         for s in t.splits() {
             *counts.entry(s).or_insert(0) += 1;
@@ -167,6 +167,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn sub_half_threshold_rejected() {
-        majority_splits(&HashMap::new(), 0.3);
+        majority_splits(&BTreeMap::new(), 0.3);
     }
 }

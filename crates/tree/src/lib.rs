@@ -15,6 +15,7 @@
 //!   `newview` calls;
 //! * [`moves`] — NNI and SPR topology moves for tree search;
 //! * [`error`] — error type.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod build;
 pub mod consensus;

@@ -1,9 +1,14 @@
 //! Workspace automation tasks (`cargo xtask <task>`).
 //!
-//! Currently one task: [`lint`](crate::lint), the source-level
-//! concurrency/unsafe invariant checker. See `crates/xtask/src/lint.rs`
-//! for the rule definitions and `relaxed_allowlist.txt` /
-//! `unsafe_impl_registry.txt` for the audit trails.
+//! `cargo xtask lint` drives the `plf-analyzer` crate (token-tree
+//! static analysis: hot-path purity, FP-determinism, unsafe-invariant
+//! rules and the unsafe inventory drift gate). The audit files live
+//! next to this crate: `relaxed_allowlist.txt`,
+//! `unsafe_impl_registry.txt`, `purity_allowlist.txt`,
+//! `fpdet_allowlist.txt` and `unsafe_inventory.json`.
+//!
+//! [`scan`] is the PR 3 line scanner, retained for its comment/string
+//! stripping used by scan-parity tests.
+#![deny(unsafe_op_in_unsafe_fn)]
 
-pub mod lint;
 pub mod scan;

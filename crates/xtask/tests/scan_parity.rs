@@ -1,0 +1,130 @@
+//! Edge-case tests for the xtask line scanner, pinning parity with
+//! the `plf-analyzer` lexer: both front ends must agree on what is
+//! code and what is comment, or a SAFETY-comment audit could pass
+//! under one tool and fail under the other.
+
+use plf_analyzer::lex::{lex, Tok};
+use std::collections::BTreeSet;
+use xtask::scan::{has_token, scan};
+
+/// Lines (1-based) whose *code* carries the identifier, per the xtask
+/// scanner.
+fn scan_code_lines(src: &str, ident: &str) -> BTreeSet<u32> {
+    scan(src)
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| has_token(&l.code, ident))
+        .map(|(i, _)| i as u32 + 1)
+        .collect()
+}
+
+/// Lines whose code carries the identifier, per the analyzer lexer.
+fn lex_code_lines(src: &str, ident: &str) -> BTreeSet<u32> {
+    lex(src)
+        .tokens
+        .iter()
+        .filter(|t| matches!(&t.tok, Tok::Ident(s) if s == ident))
+        .map(|t| t.line)
+        .collect()
+}
+
+/// Lines whose *comment* text contains the needle, per each front end.
+fn comment_lines(src: &str, needle: &str) -> (BTreeSet<u32>, BTreeSet<u32>) {
+    let from_scan = scan(src)
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.comment.contains(needle))
+        .map(|(i, _)| i as u32 + 1)
+        .collect();
+    let from_lex = lex(src)
+        .comments
+        .iter()
+        .filter(|(_, text)| text.contains(needle))
+        .map(|(line, _)| *line)
+        .collect();
+    (from_scan, from_lex)
+}
+
+fn assert_parity(src: &str) {
+    assert_eq!(
+        scan_code_lines(src, "unsafe"),
+        lex_code_lines(src, "unsafe"),
+        "code-token disagreement on:\n{src}"
+    );
+    let (s, l) = comment_lines(src, "SAFETY");
+    assert_eq!(s, l, "comment disagreement on:\n{src}");
+}
+
+#[test]
+fn byte_raw_strings_hide_their_contents() {
+    let src = "let b = br#\"unsafe { /* SAFETY */ }\"#;\nunsafe { op() } // SAFETY: real\n";
+    // Neither front end may see the `unsafe` inside the byte raw
+    // string, and both must see the real one on line 2.
+    assert_eq!(scan_code_lines(src, "unsafe"), BTreeSet::from([2]));
+    assert_eq!(lex_code_lines(src, "unsafe"), BTreeSet::from([2]));
+    let (s, l) = comment_lines(src, "SAFETY");
+    assert_eq!(s, BTreeSet::from([2]));
+    assert_eq!(l, BTreeSet::from([2]));
+}
+
+#[test]
+fn nested_block_comments_spanning_lines_stay_comments() {
+    let src = "fn a() {}\n/* outer SAFETY\n   /* inner, still comment: unsafe */\n   back at depth one */\nunsafe fn b() {}\n";
+    // The `unsafe` on line 3 is inside a doubly-nested block comment;
+    // only line 5's is code.
+    assert_eq!(scan_code_lines(src, "unsafe"), BTreeSet::from([5]));
+    assert_eq!(lex_code_lines(src, "unsafe"), BTreeSet::from([5]));
+    // The comment text on line 2 is visible to both.
+    let (s, l) = comment_lines(src, "SAFETY");
+    assert!(s.contains(&2), "{s:?}");
+    assert!(l.contains(&2), "{l:?}");
+    assert_parity(src);
+}
+
+#[test]
+fn unbalanced_nesting_does_not_resurface_early() {
+    // Two opens, one close: everything after stays comment.
+    let src = "/* one /* two */ still comment\nunsafe\n";
+    assert_eq!(scan_code_lines(src, "unsafe"), BTreeSet::new());
+    assert_eq!(lex_code_lines(src, "unsafe"), BTreeSet::new());
+}
+
+#[test]
+fn lifetimes_labels_and_char_literals_disambiguate() {
+    let src = "fn f<'a>(x: &'a str) -> char {\n    let q = 'q';\n    let esc = '\\'';\n    'outer: loop { break 'outer; }\n    q\n}\n// SAFETY: none needed\n";
+    // A char literal containing a comment-opener must not start a
+    // comment; a lifetime must not start a char literal that would
+    // swallow the rest of the line.
+    let tricky = "let c = '/'; let s = '*'; unsafe { op::<'static>() } // SAFETY: here\n";
+    for src in [src, tricky] {
+        assert_parity(src);
+    }
+    assert_eq!(scan_code_lines(tricky, "unsafe"), BTreeSet::from([1]));
+    assert_eq!(lex_code_lines(tricky, "unsafe"), BTreeSet::from([1]));
+}
+
+#[test]
+fn parity_on_real_workspace_sources() {
+    // The strongest parity statement: both front ends agree on every
+    // line of the real workspace — the same sources the SAFETY audit
+    // runs over.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf();
+    let mut checked = 0usize;
+    for path in plf_analyzer::collect_rs_files(&root) {
+        let src = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(
+            scan_code_lines(&src, "unsafe"),
+            lex_code_lines(&src, "unsafe"),
+            "front ends disagree on {}",
+            path.display()
+        );
+        let (s, l) = comment_lines(&src, "SAFETY");
+        assert_eq!(s, l, "front ends disagree on {}", path.display());
+        checked += 1;
+    }
+    assert!(checked > 100, "only {checked} files checked");
+}

@@ -9,6 +9,7 @@
 //! reports, or baseline comparisons.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
