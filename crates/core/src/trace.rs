@@ -45,8 +45,12 @@ use std::fmt::Write as _;
 /// backend so reports attribute timings to an ISA; 4 = meta carries the
 /// resolved site-repeat compression mode; 5 = `op` events with modeled
 /// roofline cost, and meta carries `spans_dropped` plus the host
-/// roofline (`roofline_mflops` / `roofline_mbps`, 0 = uncalibrated).
-pub const TRACE_VERSION: u64 = 5;
+/// roofline (`roofline_mflops` / `roofline_mbps`, 0 = uncalibrated);
+/// 6 = meta carries the resolved replicated-search transport and its
+/// measured per-collective wire time (`transport`, `wire_ops`,
+/// `wire_ns`), so `trace-report` can place the measured AllReduce
+/// latency next to micsim's modeled interconnect cost.
+pub const TRACE_VERSION: u64 = 6;
 
 /// One line of a trace file.
 #[derive(Clone, Debug, PartialEq)]
@@ -72,6 +76,16 @@ pub enum TraceEvent {
         /// Calibrated host STREAM-triad bandwidth in MB/s; 0 when
         /// uncalibrated or pre-v5.
         roofline_mbps: u64,
+        /// The replicated-search transport that ran the collectives
+        /// (`"threads"`, `"uds"`, `"tcp"`); empty for non-replicated
+        /// runs or pre-v6 traces.
+        transport: String,
+        /// Collectives measured at the communicator call boundary,
+        /// summed over ranks; 0 for non-replicated runs or pre-v6.
+        wire_ops: u64,
+        /// Total wall time those collectives spent "on the wire",
+        /// nanoseconds summed over ranks; 0 when `wire_ops` is 0.
+        wire_ns: u64,
     },
     /// Accumulated timing of one kernel at one source.
     Kernel {
@@ -198,12 +212,16 @@ impl TraceEvent {
                 spans_dropped,
                 roofline_mflops,
                 roofline_mbps,
+                transport,
+                wire_ops,
+                wire_ns,
             } => {
                 let _ = write!(
                     s,
-                    r#"{{"type":"meta","version":{version},"backend":"{}","site_repeats":"{}","spans_dropped":{spans_dropped},"roofline_mflops":{roofline_mflops},"roofline_mbps":{roofline_mbps}}}"#,
+                    r#"{{"type":"meta","version":{version},"backend":"{}","site_repeats":"{}","spans_dropped":{spans_dropped},"roofline_mflops":{roofline_mflops},"roofline_mbps":{roofline_mbps},"transport":"{}","wire_ops":{wire_ops},"wire_ns":{wire_ns}}}"#,
                     escape(backend),
-                    escape(site_repeats)
+                    escape(site_repeats),
+                    escape(transport)
                 );
             }
             TraceEvent::Kernel {
@@ -394,6 +412,10 @@ impl TraceEvent {
                 spans_dropped: get_u64_or_0("spans_dropped")?,
                 roofline_mflops: get_u64_or_0("roofline_mflops")?,
                 roofline_mbps: get_u64_or_0("roofline_mbps")?,
+                // Pre-v6: no transport/wire fields.
+                transport: get_str_or_empty("transport")?,
+                wire_ops: get_u64_or_0("wire_ops")?,
+                wire_ns: get_u64_or_0("wire_ns")?,
             }),
             "kernel" => {
                 let name = get_str("kernel")?;
@@ -789,6 +811,9 @@ mod tests {
                 spans_dropped: 3,
                 roofline_mflops: 12_400,
                 roofline_mbps: 21_000,
+                transport: "uds".into(),
+                wire_ops: 42,
+                wire_ns: 9_000_000,
             },
             TraceEvent::Span {
                 source: "worker1".into(),
@@ -954,6 +979,9 @@ mod tests {
                 spans_dropped: 0,
                 roofline_mflops: 0,
                 roofline_mbps: 0,
+                transport: String::new(),
+                wire_ops: 0,
+                wire_ns: 0,
             }
         );
         assert!(
@@ -998,9 +1026,9 @@ mod tests {
     }
 
     #[test]
-    fn v4_meta_lines_parse_under_v5_reader() {
+    fn v4_meta_lines_parse_under_v6_reader() {
         // Exactly what a v4 writer produced: no spans_dropped, no
-        // roofline fields.
+        // roofline fields, no transport/wire fields.
         let line = r#"{"type":"meta","version":4,"backend":"vector","site_repeats":"off"}"#;
         assert_eq!(
             TraceEvent::from_json(line).unwrap(),
@@ -1011,6 +1039,9 @@ mod tests {
                 spans_dropped: 0,
                 roofline_mflops: 0,
                 roofline_mbps: 0,
+                transport: String::new(),
+                wire_ops: 0,
+                wire_ns: 0,
             }
         );
     }

@@ -70,6 +70,14 @@ pub fn allreduce_latency_s(ic: crate::model::Interconnect) -> f64 {
     }
 }
 
+/// Mean *measured* collective latency from a v6 trace meta's wire
+/// fields, seconds — the empirical counterpart the modeled
+/// [`allreduce_latency_s`] is validated against (`trace-report` prints
+/// both side by side). `None` when the run recorded no collectives.
+pub fn measured_allreduce_latency_s(wire_ops: u64, wire_ns: u64) -> Option<f64> {
+    (wire_ops > 0).then(|| wire_ns as f64 / wire_ops as f64 / 1e9)
+}
+
 /// Offload-mode invocation latency, seconds: the full per-invocation
 /// round trip of the offload runtime — runtime call, PCIe doorbell,
 /// argument/result marshalling for P-matrices and reduced values, and

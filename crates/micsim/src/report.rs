@@ -188,6 +188,15 @@ pub struct TraceReport {
     /// Calibrated host peaks from the v5 `meta` event; uncalibrated
     /// (all-zero) for older traces or hosts without `HOST_ROOFLINE.json`.
     pub roofline: Roofline,
+    /// The replicated-search transport from the v6 `meta` event
+    /// (`"threads"`, `"uds"`); `None` for non-replicated runs and
+    /// pre-v6 traces.
+    pub transport: Option<String>,
+    /// Measured collectives from the v6 `meta` event (summed over
+    /// ranks); 0 for non-replicated runs and pre-v6 traces.
+    pub wire_ops: u64,
+    /// Total measured in-collective wall time, ns (summed over ranks).
+    pub wire_ns: u64,
     /// Per-kernel aggregates, descending by total time.
     pub kernels: Vec<KernelRow>,
     /// Per-entry-point aggregates with modeled costs, descending by
@@ -218,6 +227,9 @@ impl TraceReport {
         let mut site_repeats = None;
         let mut spans_dropped = 0u64;
         let mut roofline = Roofline::default();
+        let mut transport = None;
+        let mut wire_ops = 0u64;
+        let mut wire_ns = 0u64;
         // kernel -> (calls, sites, total, Σcalls·p50, Σcalls·p95, Σcalls·p99)
         let mut per_kernel: BTreeMap<&'static str, (KernelId, [u64; 3], [u128; 3])> =
             BTreeMap::new();
@@ -238,6 +250,9 @@ impl TraceReport {
                     spans_dropped: sd,
                     roofline_mflops,
                     roofline_mbps,
+                    transport: tp,
+                    wire_ops: wo,
+                    wire_ns: wn,
                 } => {
                     version = Some(*v);
                     if !b.is_empty() {
@@ -253,6 +268,11 @@ impl TraceReport {
                     if *roofline_mbps > 0 {
                         roofline.peak_mbps = *roofline_mbps;
                     }
+                    if !tp.is_empty() {
+                        transport = Some(tp.clone());
+                    }
+                    wire_ops += wo;
+                    wire_ns += wn;
                 }
                 TraceEvent::Op {
                     op,
@@ -421,6 +441,9 @@ impl TraceReport {
             site_repeats,
             spans_dropped,
             roofline,
+            transport,
+            wire_ops,
+            wire_ns,
             kernels,
             ops,
             total_kernel_ns,
@@ -450,6 +473,21 @@ impl TraceReport {
         }
         if let Some(sr) = &self.site_repeats {
             let _ = writeln!(s, "site repeats: {sr}");
+        }
+        if let Some(tp) = &self.transport {
+            let _ = writeln!(s, "transport: {tp}");
+            if self.wire_ops > 0 {
+                let measured_us = self.wire_ns as f64 / self.wire_ops as f64 / 1e3;
+                let modeled_us = crate::calibration::allreduce_latency_s(
+                    crate::model::Interconnect::SharedMemory,
+                ) * 1e6;
+                let _ = writeln!(
+                    s,
+                    "collectives: {} measured, mean {measured_us:.2} µs on the wire \
+                     (micsim modeled shared-memory allreduce: {modeled_us:.2} µs)",
+                    self.wire_ops
+                );
+            }
         }
         if self.spans_dropped > 0 {
             let _ = writeln!(
@@ -647,6 +685,12 @@ impl TraceReport {
         );
         let _ = write!(s, "\"backend\":{},", opt_str(&self.backend));
         let _ = write!(s, "\"site_repeats\":{},", opt_str(&self.site_repeats));
+        let _ = write!(s, "\"transport\":{},", opt_str(&self.transport));
+        let _ = write!(
+            s,
+            "\"wire_ops\":{},\"wire_ns\":{},",
+            self.wire_ops, self.wire_ns
+        );
         let _ = write!(s, "\"spans_dropped\":{},", self.spans_dropped);
         let _ = write!(
             s,
@@ -788,12 +832,15 @@ mod tests {
     fn forkjoin_events() -> Vec<TraceEvent> {
         vec![
             TraceEvent::Meta {
-                version: 5,
+                version: 6,
                 backend: "simd".into(),
                 site_repeats: "on".into(),
                 spans_dropped: 2,
                 roofline_mflops: 10_000,
                 roofline_mbps: 20_000,
+                transport: "uds".into(),
+                wire_ops: 40,
+                wire_ns: 400_000,
             },
             kernel_event("worker0", KernelId::Newview, 10, 1000, 6_000_000),
             kernel_event("worker1", KernelId::Newview, 10, 500, 3_000_000),
@@ -846,7 +893,7 @@ mod tests {
     #[test]
     fn report_computes_shares_imbalance_and_overhead() {
         let r = TraceReport::from_events(&forkjoin_events());
-        assert_eq!(r.version, Some(5));
+        assert_eq!(r.version, Some(6));
         assert_eq!(r.backend.as_deref(), Some("simd"));
         assert_eq!(r.site_repeats.as_deref(), Some("on"));
         assert_eq!(r.total_kernel_ns, 10_500_000);
@@ -924,7 +971,7 @@ mod tests {
         let json = r.render_json();
         // Structural smoke checks: scraping tools key on these fields.
         for needle in [
-            r#""version":5"#,
+            r#""version":6"#,
             r#""backend":"simd""#,
             r#""spans_dropped":2"#,
             r#""peak_mflops":10000"#,

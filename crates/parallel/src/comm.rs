@@ -63,13 +63,27 @@ pub enum CommError {
         /// Configured per-group maximum.
         max_len: usize,
     },
+    /// A collective reply did not arrive within the configured read
+    /// timeout (socket transports only; the in-thread transports
+    /// detect death through the poisoned barrier instead). A local
+    /// backstop: the caller cannot name the culprit, only that *it*
+    /// gave up waiting.
+    Timeout {
+        /// The waiting rank (the caller).
+        rank: usize,
+        /// The timeout that elapsed, in milliseconds.
+        millis: u64,
+    },
 }
 
 impl CommError {
-    /// The rank whose failure caused this error.
+    /// The rank whose failure caused this error (for
+    /// [`Self::Timeout`], the rank that gave up waiting).
     pub fn failed_rank(&self) -> usize {
         match *self {
-            CommError::PeerFailed { rank } | CommError::PayloadTooLarge { rank, .. } => rank,
+            CommError::PeerFailed { rank }
+            | CommError::PayloadTooLarge { rank, .. }
+            | CommError::Timeout { rank, .. } => rank,
         }
     }
 }
@@ -81,6 +95,10 @@ impl std::fmt::Display for CommError {
             CommError::PayloadTooLarge { rank, len, max_len } => write!(
                 f,
                 "rank {rank} allreduce payload of {len} doubles exceeds group max_len {max_len}"
+            ),
+            CommError::Timeout { rank, millis } => write!(
+                f,
+                "rank {rank} timed out after {millis} ms waiting for a collective reply"
             ),
         }
     }
@@ -120,16 +138,47 @@ pub trait Comm {
     }
 }
 
+/// Default AllReduce payload contract, in doubles. Every transport
+/// (Self/Thread/Socket) enforces the same bound so the choice of
+/// `--transport` or rank count can never change error behavior: the
+/// ExaML-style reductions carry 1–2 doubles, so 8 is generous.
+pub const DEFAULT_MAX_LEN: usize = 8;
+
 /// The trivial single-rank communicator.
-#[derive(Debug, Default)]
+///
+/// Enforces the same `max_len` payload contract as the multi-rank
+/// transports: an oversized payload returns
+/// [`CommError::PayloadTooLarge`] and latches the communicator dead
+/// (every later collective fails with [`CommError::PeerFailed`]),
+/// exactly like a poisoned [`ThreadCommGroup`].
+#[derive(Debug)]
 pub struct SelfComm {
     stats: CommStats,
+    max_len: usize,
+    poisoned: bool,
+}
+
+impl Default for SelfComm {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SelfComm {
-    /// Creates a size-1 communicator.
+    /// Creates a size-1 communicator with the [`DEFAULT_MAX_LEN`]
+    /// payload contract.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_max_len(DEFAULT_MAX_LEN)
+    }
+
+    /// Creates a size-1 communicator with an explicit payload bound
+    /// (the contract-parity tests sweep this).
+    pub fn with_max_len(max_len: usize) -> Self {
+        SelfComm {
+            stats: CommStats::default(),
+            max_len,
+            poisoned: false,
+        }
     }
 }
 
@@ -141,11 +190,26 @@ impl Comm for SelfComm {
         1
     }
     fn try_allreduce_sum(&mut self, buf: &mut [f64]) -> Result<(), CommError> {
+        if self.poisoned {
+            return Err(CommError::PeerFailed { rank: 0 });
+        }
+        let len = buf.len();
+        if len > self.max_len {
+            self.poisoned = true;
+            return Err(CommError::PayloadTooLarge {
+                rank: 0,
+                len,
+                max_len: self.max_len,
+            });
+        }
         self.stats.allreduces += 1;
-        self.stats.bytes += (buf.len() * 8) as u64;
+        self.stats.bytes += (len * 8) as u64;
         Ok(())
     }
     fn try_barrier(&mut self) -> Result<(), CommError> {
+        if self.poisoned {
+            return Err(CommError::PeerFailed { rank: 0 });
+        }
         self.stats.barriers += 1;
         Ok(())
     }
@@ -226,6 +290,7 @@ impl ThreadCommGroup {
             max_len: self.max_len,
             token: BarrierToken::new(),
             stats: CommStats::default(),
+            wire: crate::transport::WireStats::default(),
             fault_plan: self.fault_plan.clone(),
         }
     }
@@ -244,6 +309,7 @@ pub struct ThreadComm {
     max_len: usize,
     token: BarrierToken,
     stats: CommStats,
+    wire: crate::transport::WireStats,
     fault_plan: Option<Arc<FaultPlan>>,
 }
 
@@ -272,6 +338,15 @@ impl ThreadComm {
             shared: Arc::clone(&self.shared),
             rank: self.rank,
         }
+    }
+
+    /// Per-collective wall-time measured at the call boundary (the
+    /// in-thread analogue of [`SocketComm`]'s wire time, used by the
+    /// EXPERIMENTS.md latency comparison).
+    ///
+    /// [`SocketComm`]: crate::transport::SocketComm
+    pub fn measured_wire(&self) -> crate::transport::WireStats {
+        self.wire
     }
 
     fn wait(&mut self) -> Result<(), CommError> {
@@ -315,9 +390,13 @@ impl Comm for ThreadComm {
     fn try_allreduce_sum(&mut self, buf: &mut [f64]) -> Result<(), CommError> {
         let len = buf.len();
         if let Some(plan) = &self.fault_plan {
-            if plan.dies_at_allreduce(self.rank, self.stats.allreduces + 1) {
-                // Scripted rank death: mark the group before unwinding
-                // so no sibling spins forever at the barrier.
+            // In-thread transport has no process to SIGKILL, so a
+            // scripted `kill9` degrades to the same simulated death as
+            // `die`: mark the group before unwinding so no sibling
+            // spins forever at the barrier.
+            if plan.dies_at_allreduce(self.rank, self.stats.allreduces + 1)
+                || plan.kills_at_allreduce(self.rank, self.stats.allreduces + 1)
+            {
                 self.shared.barrier.poison(self.rank);
                 return Err(CommError::PeerFailed { rank: self.rank });
             }
@@ -333,6 +412,7 @@ impl Comm for ThreadComm {
                 max_len: self.max_len,
             });
         }
+        let t0 = std::time::Instant::now();
         // Deposit into our slot.
         self.shared.slots[self.rank].0.with_mut(|p| {
             // SAFETY: only rank `self.rank` writes slot `self.rank`,
@@ -355,6 +435,7 @@ impl Comm for ThreadComm {
             });
         }
         self.wait()?;
+        self.wire.record(t0.elapsed().as_nanos() as u64);
         self.stats.allreduces += 1;
         self.stats.bytes += (len * 8) as u64;
         if self.rank == 0 {
@@ -364,7 +445,9 @@ impl Comm for ThreadComm {
     }
 
     fn try_barrier(&mut self) -> Result<(), CommError> {
+        let t0 = std::time::Instant::now();
         self.wait()?;
+        self.wire.record(t0.elapsed().as_nanos() as u64);
         self.stats.barriers += 1;
         Ok(())
     }

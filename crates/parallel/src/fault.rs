@@ -47,6 +47,19 @@ pub enum FaultKind {
         /// Number of consecutive failing attempts.
         count: u64,
     },
+    /// Rank `rank`'s whole OS process is SIGKILLed immediately before
+    /// its `allreduce`-th AllReduce (1-based). Under the socket
+    /// transport this is a real `kill(getpid(), SIGKILL)` — no unwind,
+    /// no poison frame, the peers learn of the death only from the
+    /// closed connection. The in-thread transport has no process per
+    /// rank, so it degrades to the same simulated death as
+    /// [`FaultKind::RankDeath`].
+    RankKill9 {
+        /// The rank whose process is killed.
+        rank: usize,
+        /// Its fatal AllReduce ordinal, 1-based.
+        allreduce: u64,
+    },
 }
 
 /// One scripted fault plus its fired latch.
@@ -105,6 +118,12 @@ impl FaultPlan {
         Self::new().with(FaultKind::CheckpointWrite { attempt, count })
     }
 
+    /// Convenience: rank `rank`'s process is SIGKILLed at its
+    /// `allreduce`-th AllReduce.
+    pub fn rank_kill9(rank: usize, allreduce: u64) -> Self {
+        Self::new().with(FaultKind::RankKill9 { rank, allreduce })
+    }
+
     /// Number of scripted faults (fired or not).
     pub fn len(&self) -> usize {
         self.faults.len()
@@ -119,6 +138,8 @@ impl FaultPlan {
     /// `,`-separated list of `key=value` pairs.
     ///
     /// * `rank=R,allreduce=N` — rank `R` dies at its `N`-th AllReduce.
+    /// * `rank=R,kill9=N` — rank `R`'s process is SIGKILLed at its
+    ///   `N`-th AllReduce (simulated death under `--transport threads`).
     /// * `rank=R,region=N` — fork-join worker `R` panics in its `N`-th
     ///   region's job.
     /// * `ckpt-write=N[,count=K]` — checkpoint write attempts
@@ -155,18 +176,23 @@ impl FaultPlan {
                 let rank = take(&mut kv, "rank")
                     .ok_or_else(|| format!("fault {part:?} needs rank= or ckpt-write="))?
                     as usize;
-                match (take(&mut kv, "allreduce"), take(&mut kv, "region")) {
-                    (Some(n), None) if n > 0 => FaultKind::RankDeath { rank, allreduce: n },
-                    (None, Some(n)) if n > 0 => FaultKind::JobPanic {
+                match (
+                    take(&mut kv, "allreduce"),
+                    take(&mut kv, "region"),
+                    take(&mut kv, "kill9"),
+                ) {
+                    (Some(n), None, None) if n > 0 => FaultKind::RankDeath { rank, allreduce: n },
+                    (None, Some(n), None) if n > 0 => FaultKind::JobPanic {
                         worker: rank,
                         region: n,
                     },
-                    (Some(0), None) | (None, Some(0)) => {
-                        return Err("allreduce/region ordinals are 1-based".into())
+                    (None, None, Some(n)) if n > 0 => FaultKind::RankKill9 { rank, allreduce: n },
+                    (Some(0), None, None) | (None, Some(0), None) | (None, None, Some(0)) => {
+                        return Err("allreduce/region/kill9 ordinals are 1-based".into())
                     }
                     _ => {
                         return Err(format!(
-                            "fault {part:?} needs exactly one of allreduce= or region="
+                            "fault {part:?} needs exactly one of allreduce=, region=, or kill9="
                         ))
                     }
                 }
@@ -190,6 +216,19 @@ impl FaultPlan {
     pub fn dies_at_allreduce(&self, rank: usize, n: u64) -> bool {
         self.faults.iter().any(|f| {
             matches!(f.kind, FaultKind::RankDeath { rank: r, allreduce } if r == rank && allreduce == n)
+                && f.fire_once()
+        })
+    }
+
+    /// Injection hook for [`crate::transport::SocketComm`] (and, as a
+    /// simulated death, [`crate::comm::ThreadComm`]): is `rank`'s
+    /// process SIGKILLed right before its `n`-th AllReduce? Fires at
+    /// most once per scripted fault — though under a real kill the
+    /// latch dies with the process, so the supervisor must also gate
+    /// re-injection by attempt (degraded respawns run fault-free).
+    pub fn kills_at_allreduce(&self, rank: usize, n: u64) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f.kind, FaultKind::RankKill9 { rank: r, allreduce } if r == rank && allreduce == n)
                 && f.fire_once()
         })
     }
@@ -233,6 +272,12 @@ mod tests {
         assert_eq!(p.len(), 1);
         assert!(p.dies_at_allreduce(2, 40));
 
+        let p = FaultPlan::parse("rank=3,kill9=25").unwrap();
+        assert_eq!(p.len(), 1);
+        assert!(!p.dies_at_allreduce(3, 25), "kill9 is not a soft death");
+        assert!(p.kills_at_allreduce(3, 25));
+        assert!(!p.kills_at_allreduce(3, 25), "kill9 is one-shot");
+
         let p = FaultPlan::parse("rank=1,region=5; ckpt-write=3,count=2").unwrap();
         assert_eq!(p.len(), 2);
         assert!(p.job_panics(1, 5));
@@ -256,6 +301,9 @@ mod tests {
             "rank=2,allreduce=40,bogus=1",
             "rank 2",
             "rank=2,rank=3,allreduce=1",
+            "rank=2,kill9=0",
+            "rank=2,allreduce=1,kill9=2",
+            "kill9=5",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "accepted: {bad:?}");
         }

@@ -33,6 +33,7 @@ pub mod forkjoin;
 pub mod replicated;
 pub mod slot;
 pub(crate) mod sync;
+pub mod transport;
 
 pub use barrier::{Poisoned, SenseBarrier};
 pub use comm::{AbortHandle, Comm, CommError, CommStats, SelfComm, ThreadCommGroup};
@@ -43,3 +44,6 @@ pub use replicated::{
     ReplicatedOutcome,
 };
 pub use slot::RegionProtocol;
+#[cfg(unix)]
+pub use transport::{run_rank, run_sharded_ft, ChildRankArgs, Endpoint, RankSpec, SocketComm};
+pub use transport::{CommTransport, TransportConfig, TransportKind, WireStats};

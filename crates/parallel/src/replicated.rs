@@ -9,8 +9,9 @@
 //! reductions are deterministic, all ranks take bit-identical search
 //! decisions and stay in lockstep without any coordination messages.
 
-use crate::comm::{Comm, CommError, CommStats, ThreadCommGroup};
+use crate::comm::{Comm, CommError, CommStats, ThreadCommGroup, DEFAULT_MAX_LEN};
 use crate::fault::FaultPlan;
+use crate::transport::WireStats;
 use phylo_bio::CompressedAlignment;
 use phylo_models::GtrParams;
 use phylo_search::checkpoint::{Checkpoint, RetryPolicy};
@@ -96,10 +97,19 @@ pub struct ReplicatedOutcome {
     /// Per-rank final log-likelihoods (must all agree; exposed so
     /// tests can assert lockstep).
     pub rank_likelihoods: Vec<f64>,
-    /// Kernel statistics merged over all ranks.
+    /// Kernel statistics merged over all ranks (under the socket
+    /// transport, rank 0's only — children report likelihoods and
+    /// comm/wire stats, not full kernel counters).
     pub kernel_stats: KernelStats,
     /// Communication statistics of rank 0.
     pub comm_stats: CommStats,
+    /// The transport that ran the collectives (`"threads"` or a
+    /// socket kind name such as `"uds"`).
+    pub transport: String,
+    /// Per-collective wall-time at the communicator call boundary,
+    /// merged over all ranks (wire time under the socket transport;
+    /// barrier/handoff time in-thread).
+    pub wire: WireStats,
 }
 
 /// Configuration of a fault-tolerant replicated run
@@ -159,6 +169,10 @@ pub enum ReplicatedError {
     Checkpoint(String),
     /// Degradation ran out of ranks: the last survivor failed too.
     NoSurvivors,
+    /// The transport layer itself failed outside any collective
+    /// (socket bind/accept/handshake, child spawn, or a missing final
+    /// report) — only the socket transport emits this.
+    Transport(String),
 }
 
 impl std::fmt::Display for ReplicatedError {
@@ -172,6 +186,7 @@ impl std::fmt::Display for ReplicatedError {
             ReplicatedError::NoSurvivors => {
                 write!(f, "all ranks failed; nothing left to degrade onto")
             }
+            ReplicatedError::Transport(msg) => write!(f, "transport error: {msg}"),
         }
     }
 }
@@ -285,12 +300,13 @@ fn attempt_replicated(
             _ => None,
         };
     let ranges = crate::forkjoin::split_ranges(aln.num_patterns(), num_ranks);
-    let mut group = ThreadCommGroup::new(num_ranks, 8).with_fault_plan(ft.fault_plan.clone());
+    let mut group =
+        ThreadCommGroup::new(num_ranks, DEFAULT_MAX_LEN).with_fault_plan(ft.fault_plan.clone());
     let resume_ref = resume.as_ref();
     let ckpt_path = ft.checkpoint.as_deref();
     let retry = ft.retry;
 
-    type RankOk = (SearchResult, f64, KernelStats, CommStats);
+    type RankOk = (SearchResult, f64, KernelStats, CommStats, WireStats);
     let rank_results: Vec<Result<RankOk, ReplicatedError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .into_iter()
@@ -338,8 +354,9 @@ fn attempt_replicated(
                                 .map_err(ReplicatedError::Checkpoint)?;
                             let final_ll = eval.log_likelihood(&local_tree, 0);
                             let comm_stats = eval.comm_stats();
-                            let (engine, _) = eval.into_parts();
-                            Ok((result, final_ll, engine.stats().clone(), comm_stats))
+                            let (engine, comm) = eval.into_parts();
+                            let wire = comm.measured_wire();
+                            Ok((result, final_ll, engine.stats().clone(), comm_stats, wire))
                         },
                     ));
                     match caught {
@@ -382,7 +399,9 @@ fn attempt_replicated(
             Err(e @ ReplicatedError::Checkpoint(_)) => {
                 ckpt_err.get_or_insert(e);
             }
-            Err(ReplicatedError::NoSurvivors) => unreachable!("ranks never emit NoSurvivors"),
+            Err(ReplicatedError::NoSurvivors | ReplicatedError::Transport(_)) => {
+                unreachable!("ranks never emit NoSurvivors/Transport")
+            }
         }
     }
     if let Some(e) = ckpt_err {
@@ -396,8 +415,10 @@ fn attempt_replicated(
     }
 
     let mut kernel_stats = KernelStats::new();
-    for (_, _, s, _) in &oks {
+    let mut wire = WireStats::default();
+    for (_, _, s, _, w) in &oks {
         kernel_stats.merge(s);
+        wire.merge(w);
     }
     let rank_likelihoods: Vec<f64> = oks.iter().map(|o| o.1).collect();
     let comm_stats = oks[0].3;
@@ -408,6 +429,8 @@ fn attempt_replicated(
         rank_likelihoods,
         kernel_stats,
         comm_stats,
+        transport: "threads".to_string(),
+        wire,
     })
 }
 

@@ -1,0 +1,2150 @@
+//! Real-transport communicators: the [`Comm`] collectives over OS
+//! processes and sockets.
+//!
+//! [`crate::comm::ThreadComm`] shares memory between threads of one
+//! process; this module adds [`SocketComm`], the same deterministic
+//! collectives over a length-prefixed frame protocol on Unix domain
+//! sockets (TCP loopback behind the `tcp-transport` feature). Rank 0
+//! lives in the supervisor process and hosts a reduction *hub*; every
+//! rank (including rank 0) connects to the hub, deposits its
+//! contribution, and receives the rank-order sum — bit-identical to
+//! the in-thread reduction, so replicated searches stay in lockstep
+//! across transports.
+//!
+//! # Failure model
+//!
+//! A dead peer must surface as a structured error, never a hang:
+//!
+//! * every stream carries read/write timeouts
+//!   ([`TransportConfig`]); a silent peer bounds the caller's wait and
+//!   returns [`CommError::Timeout`] as a local backstop;
+//! * the hub poisons the group on the first EOF, protocol violation,
+//!   misuse, or abort frame, and broadcasts a `Poison` frame so every
+//!   blocked rank fails promptly with [`CommError::PeerFailed`] —
+//!   the socket equivalent of the poisoned
+//!   [`crate::barrier::SenseBarrier`];
+//! * a rank that must abandon the run (panic, checkpoint failure)
+//!   sends an `Abort` frame before dying, so the supervisor can
+//!   classify the cause (checkpoint beats panic beats collective,
+//!   same priority as the in-thread supervisor);
+//! * child processes are owned by a kill-on-drop [`ChildSet`]: no
+//!   orphan can outlive the supervisor.
+//!
+//! Per-collective sequence numbers detect de-synchronized ranks (a
+//! lockstep violation poisons the group instead of silently summing
+//! mismatched collectives).
+
+use crate::comm::{Comm, SelfComm, ThreadComm};
+use std::time::Duration;
+
+/// Measured time spent inside collectives ("on the wire"), per rank.
+///
+/// For [`SocketComm`] this is the frame round-trip through the hub;
+/// for [`ThreadComm`] the deposit/barrier/sum window. `micsim`'s
+/// modeled AllReduce latency can be validated against
+/// [`WireStats::mean_ns`] of a real run (see `trace-report`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Completed collectives measured.
+    pub ops: u64,
+    /// Total nanoseconds across all measured collectives.
+    pub total_ns: u64,
+    /// Slowest single collective, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl WireStats {
+    /// Records one collective of `ns` nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        self.ops += 1;
+        self.total_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Mean nanoseconds per collective (0 when nothing was measured).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.ops).unwrap_or(0)
+    }
+
+    /// Accumulates another rank's measurements.
+    pub fn merge(&mut self, other: &WireStats) {
+        self.ops += other.ops;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// A [`Comm`] that knows what transport backs it and how long its
+/// collectives took. Implemented by every communicator in this crate
+/// so callers (the CLI, the trace writer) can report the resolved
+/// transport uniformly.
+pub trait CommTransport: Comm {
+    /// Short transport name recorded in the trace meta event
+    /// (`"self"`, `"threads"`, `"uds"`, `"tcp"`).
+    fn transport_name(&self) -> &'static str;
+    /// Measured wire time of this participant's collectives.
+    fn wire_stats(&self) -> WireStats;
+}
+
+impl CommTransport for SelfComm {
+    fn transport_name(&self) -> &'static str {
+        "self"
+    }
+    fn wire_stats(&self) -> WireStats {
+        // Single-rank collectives never touch a wire.
+        WireStats::default()
+    }
+}
+
+impl CommTransport for ThreadComm {
+    fn transport_name(&self) -> &'static str {
+        "threads"
+    }
+    fn wire_stats(&self) -> WireStats {
+        self.measured_wire()
+    }
+}
+
+/// Which transport backs a replicated run (`--transport`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process threads over shared memory (the PR 4 scheme).
+    Threads,
+    /// One OS process per rank over Unix domain sockets.
+    Uds,
+    /// One OS process per rank over TCP loopback.
+    #[cfg(feature = "tcp-transport")]
+    Tcp,
+}
+
+impl TransportKind {
+    /// The flag spelling / trace meta name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransportKind::Threads => "threads",
+            TransportKind::Uds => "uds",
+            #[cfg(feature = "tcp-transport")]
+            TransportKind::Tcp => "tcp",
+        }
+    }
+
+    /// True when ranks are OS processes joined by sockets.
+    pub fn is_socket(&self) -> bool {
+        !matches!(self, TransportKind::Threads)
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for TransportKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threads" => Ok(TransportKind::Threads),
+            "uds" => Ok(TransportKind::Uds),
+            #[cfg(feature = "tcp-transport")]
+            "tcp" => Ok(TransportKind::Tcp),
+            #[cfg(not(feature = "tcp-transport"))]
+            "tcp" => Err("tcp transport requires the `tcp-transport` cargo feature".into()),
+            other => Err(format!(
+                "unknown transport {other:?} (expected threads, uds or tcp)"
+            )),
+        }
+    }
+}
+
+/// Socket-transport tuning: payload contract and the timeouts that
+/// turn silent peers into structured errors.
+#[derive(Clone, Debug)]
+pub struct TransportConfig {
+    /// Maximum AllReduce payload in doubles (the same contract
+    /// [`crate::comm::ThreadCommGroup::new`] enforces; both the client
+    /// and the hub check it).
+    pub max_len: usize,
+    /// How long a rank waits for a collective reply before giving up
+    /// with [`CommError::Timeout`].
+    pub read_timeout: Duration,
+    /// How long a frame write may block.
+    pub write_timeout: Duration,
+    /// How long the hub waits for all ranks to connect, and a rank
+    /// retries connecting to a not-yet-listening hub.
+    pub accept_deadline: Duration,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            max_len: crate::comm::DEFAULT_MAX_LEN,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            accept_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+impl TransportConfig {
+    /// The default configuration with the `PHYLOMIC_WIRE_TIMEOUT_MS`
+    /// environment override applied to the read/write timeouts (the
+    /// kill-matrix tests shrink them so dead-peer detection is fast).
+    pub fn from_env() -> Self {
+        let mut cfg = TransportConfig::default();
+        if let Ok(v) = std::env::var("PHYLOMIC_WIRE_TIMEOUT_MS") {
+            if let Ok(ms) = v.trim().parse::<u64>() {
+                let ms = ms.max(1);
+                cfg.read_timeout = Duration::from_millis(ms);
+                cfg.write_timeout = Duration::from_millis(ms);
+            }
+        }
+        cfg
+    }
+}
+
+/// The length-prefixed wire protocol shared by clients and the hub.
+///
+/// Every frame is a fixed 21-byte little-endian header —
+/// `magic:u32 | kind:u8 | rank:u32 | seq:u64 | len:u32` — followed by
+/// `len` payload bytes. `seq` is the sender's per-rank collective
+/// ordinal (1-based, shared between AllReduce and Barrier); the hub
+/// rejects any gap or replay as a lockstep violation.
+#[cfg(unix)]
+pub mod frame {
+    use std::io::{self, Read, Write};
+
+    /// Frame magic, `"PLFR"`.
+    pub const MAGIC: u32 = 0x504C_4652;
+    /// Header size in bytes.
+    pub const HEADER_LEN: usize = 21;
+    /// Upper bound on a frame payload; anything larger is a protocol
+    /// violation (collective payloads are ≤ `max_len * 8` bytes,
+    /// abort messages are truncated).
+    pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+    /// Frame discriminator.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    #[repr(u8)]
+    pub enum Kind {
+        /// Client → hub: claim a rank (header `rank`), no payload.
+        Hello = 1,
+        /// Hub → client: handshake ack, payload `size:u32 max_len:u32`.
+        HelloAck = 2,
+        /// Client → hub: AllReduce contribution, payload f64-LE array.
+        AllReduce = 3,
+        /// Hub → client: the rank-order sum for `seq`.
+        Sum = 4,
+        /// Client → hub: barrier arrival, no payload.
+        Barrier = 5,
+        /// Hub → client: barrier release for `seq`.
+        BarrierOk = 6,
+        /// Hub → client: the group is dead; payload encodes the
+        /// [`super::PoisonCause`].
+        Poison = 7,
+        /// Client → hub: the client rejected its own oversized
+        /// payload; payload `len:u64` (the oversize length).
+        Misuse = 8,
+        /// Client → hub: structured abandonment (panic or checkpoint
+        /// failure); payload is the encoded [`super::PoisonCause`]
+        /// (an `Abort` variant carrying the class and message).
+        Abort = 9,
+        /// Client → hub: final per-rank report; payload is the encoded
+        /// [`super::RankReport`].
+        Result = 10,
+    }
+
+    impl Kind {
+        fn from_u8(b: u8) -> Option<Kind> {
+            Some(match b {
+                1 => Kind::Hello,
+                2 => Kind::HelloAck,
+                3 => Kind::AllReduce,
+                4 => Kind::Sum,
+                5 => Kind::Barrier,
+                6 => Kind::BarrierOk,
+                7 => Kind::Poison,
+                8 => Kind::Misuse,
+                9 => Kind::Abort,
+                10 => Kind::Result,
+                _ => return None,
+            })
+        }
+    }
+
+    /// One decoded frame.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct Frame {
+        /// Frame discriminator.
+        pub kind: Kind,
+        /// Sending rank (0 for hub-originated frames).
+        pub rank: u32,
+        /// Per-rank collective ordinal (0 for non-collective frames).
+        pub seq: u64,
+        /// Payload bytes, already length-validated.
+        pub payload: Vec<u8>,
+    }
+
+    impl Frame {
+        /// A payload-free frame.
+        pub fn control(kind: Kind, rank: u32, seq: u64) -> Frame {
+            Frame {
+                kind,
+                rank,
+                seq,
+                payload: Vec::new(),
+            }
+        }
+    }
+
+    /// Writes one frame (header + payload) and flushes.
+    pub fn write_frame(w: &mut impl Write, f: &Frame) -> io::Result<()> {
+        debug_assert!(f.payload.len() <= MAX_PAYLOAD as usize);
+        let mut head = [0u8; HEADER_LEN];
+        head[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        head[4] = f.kind as u8;
+        head[5..9].copy_from_slice(&f.rank.to_le_bytes());
+        head[9..17].copy_from_slice(&f.seq.to_le_bytes());
+        head[17..21].copy_from_slice(&(f.payload.len() as u32).to_le_bytes());
+        w.write_all(&head)?;
+        w.write_all(&f.payload)?;
+        w.flush()
+    }
+
+    /// Reads one frame, validating magic, kind, and payload bound.
+    pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
+        let mut head = [0u8; HEADER_LEN];
+        r.read_exact(&mut head)?;
+        let magic = u32::from_le_bytes(head[0..4].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad frame magic {magic:#x}"),
+            ));
+        }
+        let kind = Kind::from_u8(head[4]).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad frame kind {}", head[4]),
+            )
+        })?;
+        let rank = u32::from_le_bytes(head[5..9].try_into().unwrap());
+        let seq = u64::from_le_bytes(head[9..17].try_into().unwrap());
+        let len = u32::from_le_bytes(head[17..21].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame payload {len} exceeds cap {MAX_PAYLOAD}"),
+            ));
+        }
+        let mut payload = vec![0u8; len as usize];
+        r.read_exact(&mut payload)?;
+        Ok(Frame {
+            kind,
+            rank,
+            seq,
+            payload,
+        })
+    }
+
+    /// Encodes an f64 slice as little-endian bytes.
+    pub fn doubles_to_bytes(buf: &[f64]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(buf.len() * 8);
+        for v in buf {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a little-endian f64 array; errors on a ragged length.
+    pub fn bytes_to_doubles(b: &[u8]) -> io::Result<Vec<f64>> {
+        if !b.len().is_multiple_of(8) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("f64 payload of {} bytes is not a multiple of 8", b.len()),
+            ));
+        }
+        Ok(b.chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+#[cfg(unix)]
+pub use unix_impl::*;
+
+#[cfg(unix)]
+mod unix_impl {
+    use super::frame::{self, Frame, Kind};
+    use super::{CommTransport, TransportConfig, TransportKind, WireStats};
+    use crate::comm::{Comm, CommError, CommStats};
+    use crate::fault::FaultPlan;
+    use crate::replicated::{FtConfig, ReplicatedError, ReplicatedEvaluator, ReplicatedOutcome};
+    use phylo_bio::CompressedAlignment;
+    use phylo_search::checkpoint::Checkpoint;
+    use phylo_search::{Evaluator, MlSearch};
+    use phylo_tree::Tree;
+    use plf_core::{EngineConfig, KernelStats, LikelihoodEngine};
+    use std::collections::BTreeMap;
+    use std::io;
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::path::{Path, PathBuf};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// Why a socket group died. Carried in `Poison` frames and used by
+    /// the supervisor for cause classification (checkpoint > panic >
+    /// collective, mirroring the in-thread supervisor).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum PoisonCause {
+        /// A rank's connection died (EOF, protocol violation, real
+        /// `kill -9`).
+        Peer {
+            /// The dead rank.
+            rank: usize,
+        },
+        /// A rank passed an oversized payload.
+        Misuse {
+            /// The misusing rank.
+            rank: usize,
+            /// Payload length it passed (doubles).
+            len: usize,
+            /// The group contract it violated.
+            max_len: usize,
+        },
+        /// A rank abandoned the run deliberately and said why.
+        Abort {
+            /// The aborting rank.
+            rank: usize,
+            /// Panic or checkpoint failure.
+            class: AbortClass,
+            /// Human-readable cause.
+            message: String,
+        },
+    }
+
+    /// Why a rank sent an `Abort` frame.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum AbortClass {
+        /// The rank body panicked outside the collectives.
+        Panic,
+        /// Loading or durably writing the checkpoint failed.
+        Checkpoint,
+    }
+
+    impl PoisonCause {
+        /// The rank whose failure killed the group.
+        pub fn failed_rank(&self) -> usize {
+            match *self {
+                PoisonCause::Peer { rank }
+                | PoisonCause::Misuse { rank, .. }
+                | PoisonCause::Abort { rank, .. } => rank,
+            }
+        }
+
+        /// What a *peer* of the failed rank observes: always
+        /// [`CommError::PeerFailed`] (misuse surfaces as
+        /// `PayloadTooLarge` only on the misusing rank itself, exactly
+        /// like the in-thread transport).
+        pub fn as_peer_error(&self) -> CommError {
+            CommError::PeerFailed {
+                rank: self.failed_rank(),
+            }
+        }
+
+        /// Wire encoding: `tag:u8 rank:u64 a:u64 b:u64 msg...`.
+        pub fn encode(&self) -> Vec<u8> {
+            let (tag, rank, a, b, msg): (u8, usize, u64, u64, &str) = match self {
+                PoisonCause::Peer { rank } => (1, *rank, 0, 0, ""),
+                PoisonCause::Misuse { rank, len, max_len } => {
+                    (2, *rank, *len as u64, *max_len as u64, "")
+                }
+                PoisonCause::Abort {
+                    rank,
+                    class: AbortClass::Panic,
+                    message,
+                } => (3, *rank, 0, 0, message.as_str()),
+                PoisonCause::Abort {
+                    rank,
+                    class: AbortClass::Checkpoint,
+                    message,
+                } => (4, *rank, 0, 0, message.as_str()),
+            };
+            let mut out = Vec::with_capacity(25 + msg.len());
+            out.push(tag);
+            out.extend_from_slice(&(rank as u64).to_le_bytes());
+            out.extend_from_slice(&a.to_le_bytes());
+            out.extend_from_slice(&b.to_le_bytes());
+            // Bound the message so the frame respects MAX_PAYLOAD.
+            let msg = &msg.as_bytes()[..msg.len().min(4096)];
+            out.extend_from_slice(msg);
+            out
+        }
+
+        /// Decodes [`Self::encode`]'s format.
+        pub fn decode(b: &[u8]) -> Option<PoisonCause> {
+            if b.len() < 25 {
+                return None;
+            }
+            let tag = b[0];
+            let rank = u64::from_le_bytes(b[1..9].try_into().ok()?) as usize;
+            let a = u64::from_le_bytes(b[9..17].try_into().ok()?);
+            let bb = u64::from_le_bytes(b[17..25].try_into().ok()?);
+            let message = String::from_utf8_lossy(&b[25..]).into_owned();
+            Some(match tag {
+                1 => PoisonCause::Peer { rank },
+                2 => PoisonCause::Misuse {
+                    rank,
+                    len: a as usize,
+                    max_len: bb as usize,
+                },
+                3 => PoisonCause::Abort {
+                    rank,
+                    class: AbortClass::Panic,
+                    message,
+                },
+                4 => PoisonCause::Abort {
+                    rank,
+                    class: AbortClass::Checkpoint,
+                    message,
+                },
+                _ => return None,
+            })
+        }
+    }
+
+    /// A rank's final report, sent in the `Result` frame so the
+    /// supervisor can assert lockstep and aggregate wire metrics
+    /// without re-running anything.
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub struct RankReport {
+        /// The rank's final reduced log-likelihood (must agree across
+        /// ranks — the lockstep invariant).
+        pub final_ll: f64,
+        /// Collective counts of this rank.
+        pub comm: CommStats,
+        /// Measured wire time of this rank.
+        pub wire: WireStats,
+    }
+
+    impl RankReport {
+        /// Wire encoding: 7 little-endian u64-sized fields.
+        pub fn encode(&self) -> Vec<u8> {
+            let mut out = Vec::with_capacity(56);
+            out.extend_from_slice(&self.final_ll.to_le_bytes());
+            for v in [
+                self.comm.allreduces,
+                self.comm.bytes,
+                self.comm.barriers,
+                self.wire.ops,
+                self.wire.total_ns,
+                self.wire.max_ns,
+            ] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out
+        }
+
+        /// Decodes [`Self::encode`]'s format.
+        pub fn decode(b: &[u8]) -> Option<RankReport> {
+            if b.len() != 56 {
+                return None;
+            }
+            let u = |i: usize| u64::from_le_bytes(b[i..i + 8].try_into().unwrap());
+            Some(RankReport {
+                final_ll: f64::from_le_bytes(b[0..8].try_into().unwrap()),
+                comm: CommStats {
+                    allreduces: u(8),
+                    bytes: u(16),
+                    barriers: u(24),
+                },
+                wire: WireStats {
+                    ops: u(32),
+                    total_ns: u(40),
+                    max_ns: u(48),
+                },
+            })
+        }
+    }
+
+    /// Where the hub listens, in a form that survives `exec` into a
+    /// child process (`uds:/path` or `tcp:127.0.0.1:port`).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum Endpoint {
+        /// A Unix-domain socket path.
+        Uds(PathBuf),
+        /// A TCP loopback address.
+        #[cfg(feature = "tcp-transport")]
+        Tcp(std::net::SocketAddr),
+    }
+
+    impl std::fmt::Display for Endpoint {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                Endpoint::Uds(p) => write!(f, "uds:{}", p.display()),
+                #[cfg(feature = "tcp-transport")]
+                Endpoint::Tcp(a) => write!(f, "tcp:{a}"),
+            }
+        }
+    }
+
+    impl std::str::FromStr for Endpoint {
+        type Err = String;
+        fn from_str(s: &str) -> Result<Self, Self::Err> {
+            if let Some(p) = s.strip_prefix("uds:") {
+                return Ok(Endpoint::Uds(PathBuf::from(p)));
+            }
+            #[cfg(feature = "tcp-transport")]
+            if let Some(a) = s.strip_prefix("tcp:") {
+                return a
+                    .parse()
+                    .map(Endpoint::Tcp)
+                    .map_err(|e| format!("bad tcp endpoint {a:?}: {e}"));
+            }
+            Err(format!(
+                "bad endpoint {s:?} (expected uds:PATH or tcp:ADDR)"
+            ))
+        }
+    }
+
+    /// A connected stream of either flavor. All frame I/O goes through
+    /// this so the hub and client are transport-agnostic.
+    #[derive(Debug)]
+    pub(crate) enum Stream {
+        Uds(UnixStream),
+        #[cfg(feature = "tcp-transport")]
+        Tcp(std::net::TcpStream),
+    }
+
+    impl Stream {
+        /// Connects to `ep`, retrying while the hub is not yet
+        /// listening, until `deadline` elapses.
+        fn connect(ep: &Endpoint, deadline: Duration) -> io::Result<Stream> {
+            let until = Instant::now() + deadline;
+            loop {
+                let attempt = match ep {
+                    Endpoint::Uds(p) => UnixStream::connect(p).map(Stream::Uds),
+                    #[cfg(feature = "tcp-transport")]
+                    Endpoint::Tcp(a) => std::net::TcpStream::connect(a).map(Stream::Tcp),
+                };
+                match attempt {
+                    Ok(s) => return Ok(s),
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::NotFound | io::ErrorKind::ConnectionRefused
+                        ) && Instant::now() < until =>
+                    {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        fn set_timeouts(&self, read: Option<Duration>, write: Option<Duration>) -> io::Result<()> {
+            match self {
+                Stream::Uds(s) => {
+                    s.set_read_timeout(read)?;
+                    s.set_write_timeout(write)
+                }
+                #[cfg(feature = "tcp-transport")]
+                Stream::Tcp(s) => {
+                    s.set_read_timeout(read)?;
+                    s.set_write_timeout(write)
+                }
+            }
+        }
+
+        fn try_clone(&self) -> io::Result<Stream> {
+            match self {
+                Stream::Uds(s) => s.try_clone().map(Stream::Uds),
+                #[cfg(feature = "tcp-transport")]
+                Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            }
+        }
+
+        fn shutdown(&self) -> io::Result<()> {
+            match self {
+                Stream::Uds(s) => s.shutdown(std::net::Shutdown::Both),
+                #[cfg(feature = "tcp-transport")]
+                Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            }
+        }
+    }
+
+    impl io::Read for Stream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self {
+                Stream::Uds(s) => io::Read::read(s, buf),
+                #[cfg(feature = "tcp-transport")]
+                Stream::Tcp(s) => io::Read::read(s, buf),
+            }
+        }
+    }
+
+    impl io::Write for Stream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            match self {
+                Stream::Uds(s) => io::Write::write(s, buf),
+                #[cfg(feature = "tcp-transport")]
+                Stream::Tcp(s) => io::Write::write(s, buf),
+            }
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            match self {
+                Stream::Uds(s) => io::Write::flush(s),
+                #[cfg(feature = "tcp-transport")]
+                Stream::Tcp(s) => io::Write::flush(s),
+            }
+        }
+    }
+
+    /// The hub's listening socket of either flavor.
+    pub(crate) enum Listener {
+        Uds(UnixListener),
+        #[cfg(feature = "tcp-transport")]
+        Tcp(std::net::TcpListener),
+    }
+
+    impl Listener {
+        /// Binds a fresh endpoint for one attempt. UDS sockets get a
+        /// pid- and tag-unique path under `dir` so degraded reruns
+        /// never race a stale socket file.
+        pub(crate) fn bind(
+            kind: TransportKind,
+            dir: &Path,
+            tag: &str,
+        ) -> io::Result<(Listener, Endpoint)> {
+            match kind {
+                TransportKind::Threads => {
+                    Err(io::Error::other("threads transport has no socket endpoint"))
+                }
+                TransportKind::Uds => {
+                    let path = dir.join(format!("phylomic-{}-{tag}.sock", std::process::id()));
+                    let _ = std::fs::remove_file(&path);
+                    let l = UnixListener::bind(&path)?;
+                    Ok((Listener::Uds(l), Endpoint::Uds(path)))
+                }
+                #[cfg(feature = "tcp-transport")]
+                TransportKind::Tcp => {
+                    let l = std::net::TcpListener::bind("127.0.0.1:0")?;
+                    let addr = l.local_addr()?;
+                    Ok((Listener::Tcp(l), Endpoint::Tcp(addr)))
+                }
+            }
+        }
+
+        fn set_nonblocking(&self, v: bool) -> io::Result<()> {
+            match self {
+                Listener::Uds(l) => l.set_nonblocking(v),
+                #[cfg(feature = "tcp-transport")]
+                Listener::Tcp(l) => l.set_nonblocking(v),
+            }
+        }
+
+        fn accept(&self) -> io::Result<Stream> {
+            match self {
+                Listener::Uds(l) => l.accept().map(|(s, _)| Stream::Uds(s)),
+                #[cfg(feature = "tcp-transport")]
+                Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            }
+        }
+    }
+
+    /// Kills the calling process with `SIGKILL`: no unwinding, no
+    /// destructors, no atexit — the real job-scheduler kill the
+    /// fault-tolerance stack must survive. Used by the scripted
+    /// `kill9=` fault so the process-kill tests exercise genuine
+    /// process death rather than a simulated one.
+    pub fn sigkill_self() -> ! {
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        {
+            let pid = std::process::id() as u64;
+            // SAFETY: raw `kill(getpid(), SIGKILL)` via the x86_64
+            // Linux syscall ABI (rax=62 SYS_kill, rdi=pid, rsi=sig;
+            // rcx/r11 are kernel-clobbered). No memory is passed to
+            // the kernel and the call does not return on success, so
+            // no Rust invariants can be observed violated afterwards.
+            unsafe {
+                core::arch::asm!(
+                    "syscall",
+                    in("rax") 62u64,
+                    in("rdi") pid,
+                    in("rsi") 9u64,
+                    out("rcx") _,
+                    out("r11") _,
+                    options(nostack),
+                );
+            }
+        }
+        // Non-x86_64/Linux targets (and the unreachable fallthrough):
+        // abort() is the closest portable approximation — immediate
+        // death without unwinding.
+        std::process::abort()
+    }
+
+    /// One rank's socket communicator: the [`Comm`] collectives as
+    /// frame round-trips through the supervisor's hub.
+    pub struct SocketComm {
+        stream: Stream,
+        rank: usize,
+        size: usize,
+        max_len: usize,
+        seq: u64,
+        stats: CommStats,
+        wire: WireStats,
+        /// First failure; replayed on every later collective so the
+        /// group stays dead exactly like a poisoned barrier.
+        dead: Option<CommError>,
+        fault_plan: Option<Arc<FaultPlan>>,
+        kind_name: &'static str,
+        read_timeout: Duration,
+    }
+
+    impl SocketComm {
+        /// Connects to the hub at `ep`, claims `rank`, and completes
+        /// the handshake (validating the hub's group size and payload
+        /// contract against this rank's expectation).
+        pub fn connect(
+            ep: &Endpoint,
+            rank: usize,
+            ranks: usize,
+            tcfg: &TransportConfig,
+            fault_plan: Option<Arc<FaultPlan>>,
+        ) -> io::Result<SocketComm> {
+            let mut stream = Stream::connect(ep, tcfg.accept_deadline)?;
+            stream.set_timeouts(Some(tcfg.read_timeout), Some(tcfg.write_timeout))?;
+            frame::write_frame(&mut stream, &Frame::control(Kind::Hello, rank as u32, 0))?;
+            let ack = frame::read_frame(&mut stream)?;
+            if ack.kind != Kind::HelloAck || ack.payload.len() != 8 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("handshake rejected (got {:?})", ack.kind),
+                ));
+            }
+            let size = u32::from_le_bytes(ack.payload[0..4].try_into().unwrap()) as usize;
+            let max_len = u32::from_le_bytes(ack.payload[4..8].try_into().unwrap()) as usize;
+            if size != ranks {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("hub group size {size} != expected {ranks}"),
+                ));
+            }
+            let kind_name = match ep {
+                Endpoint::Uds(_) => "uds",
+                #[cfg(feature = "tcp-transport")]
+                Endpoint::Tcp(_) => "tcp",
+            };
+            Ok(SocketComm {
+                stream,
+                rank,
+                size,
+                max_len,
+                seq: 0,
+                stats: CommStats::default(),
+                wire: WireStats::default(),
+                dead: None,
+                fault_plan,
+                kind_name,
+                read_timeout: tcfg.read_timeout,
+            })
+        }
+
+        /// A detached sender for `Abort` frames, usable while the
+        /// communicator itself is owned by the evaluator (the socket
+        /// analogue of [`crate::comm::AbortHandle`]).
+        pub fn abort_sender(&self) -> io::Result<AbortSender> {
+            Ok(AbortSender {
+                stream: self.stream.try_clone()?,
+                rank: self.rank as u32,
+            })
+        }
+
+        /// Sends this rank's final [`RankReport`]. The hub treats an
+        /// EOF *after* a report as a clean exit, so call this last.
+        pub fn send_result(&mut self, final_ll: f64) -> io::Result<()> {
+            let report = RankReport {
+                final_ll,
+                comm: self.stats,
+                wire: self.wire,
+            };
+            frame::write_frame(
+                &mut self.stream,
+                &Frame {
+                    kind: Kind::Result,
+                    rank: self.rank as u32,
+                    seq: 0,
+                    payload: report.encode(),
+                },
+            )
+        }
+
+        fn fail(&mut self, e: CommError) -> CommError {
+            self.dead.get_or_insert(e.clone());
+            e
+        }
+
+        fn io_to_comm(&self, e: &io::Error) -> CommError {
+            match e.kind() {
+                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => CommError::Timeout {
+                    rank: self.rank,
+                    millis: self.read_timeout.as_millis() as u64,
+                },
+                // EOF or a hard error on the hub connection: the
+                // supervisor (rank 0's process) is gone.
+                _ => CommError::PeerFailed { rank: 0 },
+            }
+        }
+
+        /// Sends a collective frame and waits for the matching reply;
+        /// a `Poison` frame or any stream failure becomes the
+        /// appropriate [`CommError`].
+        fn roundtrip(&mut self, send: Frame, want: Kind) -> Result<Frame, CommError> {
+            if let Err(e) = frame::write_frame(&mut self.stream, &send) {
+                let ce = self.io_to_comm(&e);
+                return Err(self.fail(ce));
+            }
+            match frame::read_frame(&mut self.stream) {
+                Ok(f) if f.kind == want && f.seq == send.seq => Ok(f),
+                Ok(f) if f.kind == Kind::Poison => {
+                    let ce = PoisonCause::decode(&f.payload)
+                        .map(|c| c.as_peer_error())
+                        .unwrap_or(CommError::PeerFailed { rank: 0 });
+                    Err(self.fail(ce))
+                }
+                Ok(_) => Err(self.fail(CommError::PeerFailed { rank: 0 })),
+                Err(e) => {
+                    let ce = self.io_to_comm(&e);
+                    Err(self.fail(ce))
+                }
+            }
+        }
+    }
+
+    impl Comm for SocketComm {
+        fn rank(&self) -> usize {
+            self.rank
+        }
+
+        fn size(&self) -> usize {
+            self.size
+        }
+
+        fn try_allreduce_sum(&mut self, buf: &mut [f64]) -> Result<(), CommError> {
+            if let Some(e) = &self.dead {
+                return Err(e.clone());
+            }
+            let n = self.stats.allreduces + 1;
+            if let Some(plan) = &self.fault_plan {
+                if plan.kills_at_allreduce(self.rank, n) {
+                    // Real process death: the hub sees a raw EOF, the
+                    // exact signature of a scheduler kill.
+                    sigkill_self();
+                }
+                if plan.dies_at_allreduce(self.rank, n) {
+                    // Simulated death (plan portability with the
+                    // threads transport): close the connection so the
+                    // hub poisons the group, then unwind locally.
+                    let _ = self.stream.shutdown();
+                    let rank = self.rank;
+                    return Err(self.fail(CommError::PeerFailed { rank }));
+                }
+            }
+            let len = buf.len();
+            if len > self.max_len {
+                // Tell the hub (so peers fail promptly with a named
+                // culprit), then report the contract violation
+                // locally — identical split to ThreadComm.
+                let mut f = Frame::control(Kind::Misuse, self.rank as u32, self.seq + 1);
+                f.payload = (len as u64).to_le_bytes().to_vec();
+                let _ = frame::write_frame(&mut self.stream, &f);
+                let (rank, max_len) = (self.rank, self.max_len);
+                return Err(self.fail(CommError::PayloadTooLarge { rank, len, max_len }));
+            }
+            self.seq += 1;
+            let t0 = Instant::now();
+            let reply = self.roundtrip(
+                Frame {
+                    kind: Kind::AllReduce,
+                    rank: self.rank as u32,
+                    seq: self.seq,
+                    payload: frame::doubles_to_bytes(buf),
+                },
+                Kind::Sum,
+            )?;
+            let sum = match frame::bytes_to_doubles(&reply.payload) {
+                Ok(v) if v.len() == len => v,
+                _ => return Err(self.fail(CommError::PeerFailed { rank: 0 })),
+            };
+            buf.copy_from_slice(&sum);
+            self.wire.record(t0.elapsed().as_nanos() as u64);
+            self.stats.allreduces += 1;
+            self.stats.bytes += (len * 8) as u64;
+            Ok(())
+        }
+
+        fn try_barrier(&mut self) -> Result<(), CommError> {
+            if let Some(e) = &self.dead {
+                return Err(e.clone());
+            }
+            self.seq += 1;
+            let t0 = Instant::now();
+            self.roundtrip(
+                Frame::control(Kind::Barrier, self.rank as u32, self.seq),
+                Kind::BarrierOk,
+            )?;
+            self.wire.record(t0.elapsed().as_nanos() as u64);
+            self.stats.barriers += 1;
+            Ok(())
+        }
+
+        fn stats(&self) -> CommStats {
+            self.stats
+        }
+    }
+
+    impl CommTransport for SocketComm {
+        fn transport_name(&self) -> &'static str {
+            self.kind_name
+        }
+        fn wire_stats(&self) -> WireStats {
+            self.wire
+        }
+    }
+
+    /// Detached `Abort`-frame sender (see [`SocketComm::abort_sender`]).
+    pub struct AbortSender {
+        stream: Stream,
+        rank: u32,
+    }
+
+    impl AbortSender {
+        /// Tells the hub this rank is abandoning the run. Best-effort:
+        /// if the hub is already gone there is nobody left to inform.
+        pub fn abort(&mut self, class: AbortClass, message: &str) {
+            let cause = PoisonCause::Abort {
+                rank: self.rank as usize,
+                class,
+                message: message.to_string(),
+            };
+            let mut f = Frame::control(Kind::Abort, self.rank, 0);
+            f.payload = cause.encode();
+            let _ = frame::write_frame(&mut self.stream, &f);
+        }
+    }
+
+    /// What the hub observed by the time the group finished or died.
+    #[derive(Clone, Debug)]
+    pub struct HubOutcome {
+        /// Per-rank final reports, rank order; `None` for ranks that
+        /// never reported (died, or the group was poisoned first).
+        pub results: Vec<Option<RankReport>>,
+        /// Why the group died, if it did.
+        pub poison: Option<PoisonCause>,
+    }
+
+    /// One in-flight collective being assembled by the hub.
+    struct Assembly {
+        kind: CollectiveKind,
+        contrib: Vec<Option<Vec<f64>>>,
+        done: usize,
+    }
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    enum CollectiveKind {
+        AllReduce(usize),
+        Barrier,
+    }
+
+    struct HubState {
+        poison: Option<PoisonCause>,
+        pending: BTreeMap<u64, Assembly>,
+        last_seq: Vec<u64>,
+        results: Vec<Option<RankReport>>,
+        eof: Vec<bool>,
+        /// Bumped on every deposit/report so the dispatcher's idle
+        /// watchdog can tell progress from a wedged group.
+        progress: u64,
+    }
+
+    impl HubState {
+        fn set_poison(&mut self, cause: PoisonCause) {
+            // First poisoner wins, like the sense barrier.
+            if self.poison.is_none() {
+                self.poison = Some(cause);
+            }
+            self.progress += 1;
+        }
+    }
+
+    struct HubShared {
+        state: Mutex<HubState>,
+        cv: Condvar,
+    }
+
+    /// Per-connection reader: validates frames from one rank and
+    /// deposits them into the shared state. Exits on poison, clean
+    /// EOF-after-result, or any connection failure (which poisons).
+    fn hub_reader(rank: usize, mut stream: Stream, shared: Arc<HubShared>, max_len: usize) {
+        loop {
+            match frame::read_frame(&mut stream) {
+                Ok(f) => {
+                    let mut st = shared.state.lock().unwrap();
+                    if st.poison.is_some() {
+                        return;
+                    }
+                    if f.rank as usize != rank {
+                        st.set_poison(PoisonCause::Peer { rank });
+                        shared.cv.notify_all();
+                        return;
+                    }
+                    match f.kind {
+                        Kind::AllReduce | Kind::Barrier => {
+                            if f.seq != st.last_seq[rank] + 1 {
+                                // Lockstep violation: gap or replay.
+                                st.set_poison(PoisonCause::Peer { rank });
+                                shared.cv.notify_all();
+                                return;
+                            }
+                            st.last_seq[rank] = f.seq;
+                            let (ckind, vals) = if f.kind == Kind::AllReduce {
+                                match frame::bytes_to_doubles(&f.payload) {
+                                    Ok(v) if v.len() <= max_len => {
+                                        (CollectiveKind::AllReduce(v.len()), v)
+                                    }
+                                    _ => {
+                                        st.set_poison(PoisonCause::Misuse {
+                                            rank,
+                                            len: f.payload.len() / 8,
+                                            max_len,
+                                        });
+                                        shared.cv.notify_all();
+                                        return;
+                                    }
+                                }
+                            } else {
+                                (CollectiveKind::Barrier, Vec::new())
+                            };
+                            let ranks = st.eof.len();
+                            let entry = st.pending.entry(f.seq).or_insert_with(|| Assembly {
+                                kind: ckind,
+                                contrib: vec![None; ranks],
+                                done: 0,
+                            });
+                            if entry.kind != ckind || entry.contrib[rank].is_some() {
+                                st.set_poison(PoisonCause::Peer { rank });
+                                shared.cv.notify_all();
+                                return;
+                            }
+                            entry.contrib[rank] = Some(vals);
+                            entry.done += 1;
+                            st.progress += 1;
+                            shared.cv.notify_all();
+                        }
+                        Kind::Misuse => {
+                            let len = f
+                                .payload
+                                .get(0..8)
+                                .map(|b| u64::from_le_bytes(b.try_into().unwrap()) as usize)
+                                .unwrap_or(0);
+                            st.set_poison(PoisonCause::Misuse { rank, len, max_len });
+                            shared.cv.notify_all();
+                            return;
+                        }
+                        Kind::Abort => {
+                            let cause = PoisonCause::decode(&f.payload)
+                                .unwrap_or(PoisonCause::Peer { rank });
+                            st.set_poison(cause);
+                            shared.cv.notify_all();
+                            return;
+                        }
+                        Kind::Result => {
+                            match RankReport::decode(&f.payload) {
+                                Some(r) => st.results[rank] = Some(r),
+                                None => {
+                                    st.set_poison(PoisonCause::Peer { rank });
+                                    shared.cv.notify_all();
+                                    return;
+                                }
+                            }
+                            st.progress += 1;
+                            shared.cv.notify_all();
+                        }
+                        // Hub-originated kinds arriving *at* the hub
+                        // are a protocol violation.
+                        Kind::Hello
+                        | Kind::HelloAck
+                        | Kind::Sum
+                        | Kind::BarrierOk
+                        | Kind::Poison => {
+                            st.set_poison(PoisonCause::Peer { rank });
+                            shared.cv.notify_all();
+                            return;
+                        }
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                    ) =>
+                {
+                    // Poll tick: keep reading unless the group died.
+                    let st = shared.state.lock().unwrap();
+                    if st.poison.is_some() || st.eof.iter().all(|&b| b) {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    let mut st = shared.state.lock().unwrap();
+                    let clean =
+                        e.kind() == io::ErrorKind::UnexpectedEof && st.results[rank].is_some();
+                    if clean {
+                        st.eof[rank] = true;
+                        st.progress += 1;
+                    } else if st.poison.is_none() {
+                        // A raw EOF before the report IS rank death —
+                        // this is where a real `kill -9` lands.
+                        st.set_poison(PoisonCause::Peer { rank });
+                    }
+                    shared.cv.notify_all();
+                    return;
+                }
+            }
+        }
+    }
+
+    enum HubAction {
+        Complete(u64, Assembly),
+        Poisoned(PoisonCause),
+        Done,
+    }
+
+    /// Reply loop: waits for complete collectives, sums them in rank
+    /// order (bit-identical to [`crate::comm::ThreadComm`]'s
+    /// reduction), and broadcasts replies. Exits by broadcasting
+    /// `Poison` or after every rank reported and disconnected. An idle
+    /// watchdog poisons a silently wedged group so the hub itself can
+    /// never hang.
+    fn hub_dispatch(
+        shared: &HubShared,
+        writers: &mut [Stream],
+        tcfg: &TransportConfig,
+    ) -> HubOutcome {
+        let ranks = writers.len();
+        let idle_limit = tcfg.read_timeout + Duration::from_secs(5);
+        let mut seen_progress = 0u64;
+        let mut last_change = Instant::now();
+        loop {
+            let action = {
+                let mut st = shared.state.lock().unwrap();
+                loop {
+                    if let Some(c) = st.poison.clone() {
+                        break HubAction::Poisoned(c);
+                    }
+                    let complete = st
+                        .pending
+                        .iter()
+                        .next()
+                        .filter(|(_, a)| a.done == ranks)
+                        .map(|(&s, _)| s);
+                    if let Some(seq) = complete {
+                        let a = st.pending.remove(&seq).unwrap();
+                        break HubAction::Complete(seq, a);
+                    }
+                    if st.results.iter().all(Option::is_some) && st.eof.iter().all(|&b| b) {
+                        break HubAction::Done;
+                    }
+                    if st.progress != seen_progress {
+                        seen_progress = st.progress;
+                        last_change = Instant::now();
+                    } else if last_change.elapsed() > idle_limit {
+                        let missing = st
+                            .results
+                            .iter()
+                            .position(Option::is_none)
+                            .unwrap_or_default();
+                        st.set_poison(PoisonCause::Peer { rank: missing });
+                        continue;
+                    }
+                    let (guard, _) = shared
+                        .cv
+                        .wait_timeout(st, Duration::from_millis(100))
+                        .unwrap();
+                    st = guard;
+                }
+            };
+            match action {
+                HubAction::Complete(seq, a) => {
+                    let reply = match a.kind {
+                        CollectiveKind::AllReduce(len) => {
+                            let mut sum = vec![0.0f64; len];
+                            // Rank order: the determinism contract.
+                            for r in 0..ranks {
+                                let c = a.contrib[r].as_ref().expect("complete assembly");
+                                for (o, &v) in sum.iter_mut().zip(c) {
+                                    *o += v;
+                                }
+                            }
+                            Frame {
+                                kind: Kind::Sum,
+                                rank: 0,
+                                seq,
+                                payload: frame::doubles_to_bytes(&sum),
+                            }
+                        }
+                        CollectiveKind::Barrier => Frame::control(Kind::BarrierOk, 0, seq),
+                    };
+                    for (r, w) in writers.iter_mut().enumerate() {
+                        if frame::write_frame(w, &reply).is_err() {
+                            let mut st = shared.state.lock().unwrap();
+                            st.set_poison(PoisonCause::Peer { rank: r });
+                            shared.cv.notify_all();
+                            break;
+                        }
+                    }
+                }
+                HubAction::Poisoned(cause) => {
+                    let mut f = Frame::control(Kind::Poison, cause.failed_rank() as u32, 0);
+                    f.payload = cause.encode();
+                    for w in writers.iter_mut() {
+                        // Best-effort: already-dead connections are
+                        // exactly the ones that do not need telling.
+                        let _ = frame::write_frame(w, &f);
+                        let _ = w.shutdown();
+                    }
+                    let st = shared.state.lock().unwrap();
+                    return HubOutcome {
+                        results: st.results.clone(),
+                        poison: Some(cause),
+                    };
+                }
+                HubAction::Done => {
+                    for w in writers.iter_mut() {
+                        let _ = w.shutdown();
+                    }
+                    let st = shared.state.lock().unwrap();
+                    return HubOutcome {
+                        results: st.results.clone(),
+                        poison: None,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Runs the hub to completion: accepts `ranks` handshakes, spawns
+    /// one reader per connection, dispatches replies, joins readers.
+    pub(crate) fn run_hub(listener: Listener, ranks: usize, tcfg: &TransportConfig) -> HubOutcome {
+        let empty = |cause: Option<PoisonCause>| HubOutcome {
+            results: vec![None; ranks],
+            poison: cause,
+        };
+        // Accept phase: nonblocking accept polled against the deadline
+        // so a rank that dies before connecting cannot park the hub.
+        if listener.set_nonblocking(true).is_err() {
+            return empty(Some(PoisonCause::Peer { rank: 0 }));
+        }
+        let deadline = Instant::now() + tcfg.accept_deadline;
+        let mut conns: Vec<Option<Stream>> = (0..ranks).map(|_| None).collect();
+        let mut connected = 0usize;
+        while connected < ranks && Instant::now() < deadline {
+            match listener.accept() {
+                Ok(mut s) => {
+                    if s.set_timeouts(Some(tcfg.read_timeout), Some(tcfg.write_timeout))
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    match frame::read_frame(&mut s) {
+                        Ok(f)
+                            if f.kind == Kind::Hello
+                                && (f.rank as usize) < ranks
+                                && conns[f.rank as usize].is_none() =>
+                        {
+                            let mut ack = Frame::control(Kind::HelloAck, 0, 0);
+                            ack.payload.extend_from_slice(&(ranks as u32).to_le_bytes());
+                            ack.payload
+                                .extend_from_slice(&(tcfg.max_len as u32).to_le_bytes());
+                            if frame::write_frame(&mut s, &ack).is_ok() {
+                                conns[f.rank as usize] = Some(s);
+                                connected += 1;
+                            }
+                        }
+                        _ => {} // bad handshake: drop the connection
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => break,
+            }
+        }
+        if connected < ranks {
+            let missing = conns.iter().position(Option::is_none).unwrap_or_default();
+            let cause = PoisonCause::Peer { rank: missing };
+            let mut f = Frame::control(Kind::Poison, missing as u32, 0);
+            f.payload = cause.encode();
+            for s in conns.iter_mut().flatten() {
+                let _ = frame::write_frame(s, &f);
+                let _ = s.shutdown();
+            }
+            return empty(Some(cause));
+        }
+        let shared = Arc::new(HubShared {
+            state: Mutex::new(HubState {
+                poison: None,
+                pending: BTreeMap::new(),
+                last_seq: vec![0; ranks],
+                results: vec![None; ranks],
+                eof: vec![false; ranks],
+                progress: 0,
+            }),
+            cv: Condvar::new(),
+        });
+        let mut writers = Vec::with_capacity(ranks);
+        let mut readers = Vec::with_capacity(ranks);
+        for (r, slot) in conns.into_iter().enumerate() {
+            let stream = slot.expect("all ranks connected");
+            let writer = match stream.try_clone() {
+                Ok(w) => w,
+                Err(_) => {
+                    shared
+                        .state
+                        .lock()
+                        .unwrap()
+                        .set_poison(PoisonCause::Peer { rank: r });
+                    break;
+                }
+            };
+            // Readers poll on a short timeout so they notice poison
+            // promptly even when their rank goes silent.
+            let _ = stream.set_timeouts(Some(Duration::from_millis(100)), Some(tcfg.write_timeout));
+            writers.push(writer);
+            let shared = Arc::clone(&shared);
+            let max_len = tcfg.max_len;
+            readers.push(std::thread::spawn(move || {
+                hub_reader(r, stream, shared, max_len)
+            }));
+        }
+        let out = hub_dispatch(&shared, &mut writers, tcfg);
+        for h in readers {
+            let _ = h.join();
+        }
+        out
+    }
+
+    /// Kill-on-drop ownership of the spawned rank processes: whatever
+    /// path the supervisor exits by (success, classified error, panic),
+    /// no child outlives it.
+    #[derive(Debug, Default)]
+    pub struct ChildSet {
+        children: Vec<(usize, std::process::Child)>,
+    }
+
+    impl ChildSet {
+        /// An empty set.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Takes ownership of `child` (rank `rank`).
+        pub fn push(&mut self, rank: usize, child: std::process::Child) {
+            self.children.push((rank, child));
+        }
+
+        /// OS pids of the still-owned children.
+        pub fn pids(&self) -> Vec<u32> {
+            self.children.iter().map(|(_, c)| c.id()).collect()
+        }
+
+        /// Polls for voluntary exits until `deadline`, then kills and
+        /// reaps whatever is left. Returns true when every child
+        /// exited on its own.
+        pub fn reap(&mut self, deadline: Duration) -> bool {
+            let until = Instant::now() + deadline;
+            let mut all_voluntary = true;
+            loop {
+                self.children
+                    .retain_mut(|(_, c)| !matches!(c.try_wait(), Ok(Some(_))));
+                if self.children.is_empty() {
+                    return all_voluntary;
+                }
+                if Instant::now() >= until {
+                    all_voluntary = false;
+                    for (_, c) in &mut self.children {
+                        let _ = c.kill();
+                        let _ = c.wait();
+                    }
+                    self.children.clear();
+                    return all_voluntary;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+
+    impl Drop for ChildSet {
+        fn drop(&mut self) {
+            for (_, c) in &mut self.children {
+                // Idempotent on already-reaped children; kill errors
+                // on exited-but-unwaited ones are fine — wait() below
+                // is the part that prevents zombies.
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+        }
+    }
+
+    /// Everything a spawner needs to exec one child rank.
+    #[derive(Clone, Debug)]
+    pub struct RankSpec {
+        /// The child's rank in `1..ranks` (rank 0 is the supervisor).
+        pub rank: usize,
+        /// Group size of this attempt.
+        pub ranks: usize,
+        /// 1-based attempt ordinal; degraded respawns increment it so
+        /// the spawner can withhold one-shot fault injection from
+        /// reruns (a fresh process has fresh fault latches).
+        pub attempt: u32,
+        /// Where the hub listens.
+        pub endpoint: Endpoint,
+    }
+
+    type Rank0Ok = (
+        phylo_search::SearchResult,
+        KernelStats,
+        CommStats,
+        WireStats,
+    );
+
+    /// Fault-tolerant replicated search over OS processes.
+    ///
+    /// The process analogue of
+    /// [`crate::replicated::run_replicated_ft`]: rank 0 runs in the
+    /// calling thread of the supervisor process (which also hosts the
+    /// hub); ranks `1..n` are spawned via `spawn_child`, which execs
+    /// the CLI's hidden `_rank` entry so every process rebuilds
+    /// identical, seeded search inputs. With [`FtConfig::degrade`], a
+    /// rank failure re-splits over one fewer rank, reloads the
+    /// checkpoint, and respawns — against *real* process death,
+    /// including `kill -9`.
+    ///
+    /// `TransportKind::Threads` is rejected here — callers route it to
+    /// [`crate::replicated::run_replicated_ft`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_sharded_ft(
+        tree: &Tree,
+        aln: &CompressedAlignment,
+        config: EngineConfig,
+        search: MlSearch,
+        ft: &FtConfig,
+        kind: TransportKind,
+        tcfg: &TransportConfig,
+        socket_dir: &Path,
+        spawn_child: &mut dyn FnMut(&RankSpec) -> io::Result<std::process::Child>,
+    ) -> Result<ReplicatedOutcome, ReplicatedError> {
+        assert!(ft.num_ranks >= 1);
+        if !kind.is_socket() {
+            return Err(ReplicatedError::Transport(
+                "run_sharded_ft needs a socket transport (uds/tcp)".into(),
+            ));
+        }
+        let mut ranks = ft.num_ranks;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match attempt_sharded(
+                tree,
+                aln,
+                config,
+                search,
+                ranks,
+                attempt,
+                ft,
+                kind,
+                tcfg,
+                socket_dir,
+                spawn_child,
+            ) {
+                Ok(out) => return Ok(out),
+                Err(e) => {
+                    let recoverable = matches!(
+                        e,
+                        ReplicatedError::Comm(_) | ReplicatedError::RankPanicked { .. }
+                    );
+                    if !(ft.degrade && recoverable) {
+                        return Err(e);
+                    }
+                    if ranks <= 1 {
+                        return Err(ReplicatedError::NoSurvivors);
+                    }
+                    ranks -= 1;
+                    plf_core::metrics::counter("replicated.degrades").inc();
+                }
+            }
+        }
+    }
+
+    /// One attempt at `ranks` processes: bind, spawn hub + children,
+    /// run rank 0 locally, join, reap, classify.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_sharded(
+        tree: &Tree,
+        aln: &CompressedAlignment,
+        config: EngineConfig,
+        search: MlSearch,
+        ranks: usize,
+        attempt: u32,
+        ft: &FtConfig,
+        kind: TransportKind,
+        tcfg: &TransportConfig,
+        socket_dir: &Path,
+        spawn_child: &mut dyn FnMut(&RankSpec) -> io::Result<std::process::Child>,
+    ) -> Result<ReplicatedOutcome, ReplicatedError> {
+        let tag = format!("r{ranks}-a{attempt}");
+        let (listener, endpoint) = Listener::bind(kind, socket_dir, &tag)
+            .map_err(|e| ReplicatedError::Transport(format!("bind {kind}: {e}")))?;
+        let verbose = std::env::var("PHYLOMIC_TRANSPORT_VERBOSE").as_deref() == Ok("1");
+        let hub = {
+            let tcfg = tcfg.clone();
+            std::thread::spawn(move || run_hub(listener, ranks, &tcfg))
+        };
+        let mut children = ChildSet::new();
+        let mut spawn_err = None;
+        for rank in 1..ranks {
+            let spec = RankSpec {
+                rank,
+                ranks,
+                attempt,
+                endpoint: endpoint.clone(),
+            };
+            match spawn_child(&spec) {
+                Ok(c) => {
+                    if verbose {
+                        println!("transport: spawned rank {rank} pid {}", c.id());
+                    }
+                    children.push(rank, c);
+                }
+                Err(e) => {
+                    spawn_err = Some(ReplicatedError::Transport(format!(
+                        "spawning rank {rank}: {e}"
+                    )));
+                    break;
+                }
+            }
+        }
+        let rank0 = match spawn_err {
+            // A failed spawn leaves the hub one Hello short; it exits
+            // at its accept deadline and the children are killed on
+            // drop. Rank 0 never starts.
+            Some(e) => Err(e),
+            None => run_rank0(tree, aln, config, search, ranks, &endpoint, ft, tcfg),
+        };
+        let hub_out = hub.join().unwrap_or(HubOutcome {
+            results: vec![None; ranks],
+            poison: Some(PoisonCause::Peer { rank: 0 }),
+        });
+        // The hub has exited, so surviving children are either done or
+        // already failing on a dead socket; give them a moment to exit
+        // voluntarily, then enforce kill-on-drop semantics.
+        children.reap(Duration::from_secs(5));
+        match &endpoint {
+            Endpoint::Uds(p) => {
+                let _ = std::fs::remove_file(p);
+            }
+            #[cfg(feature = "tcp-transport")]
+            Endpoint::Tcp(_) => {}
+        }
+        classify_sharded(rank0, hub_out, kind)
+    }
+
+    /// Rank 0's body, run in the supervisor: the same shape as one
+    /// rank of the in-thread supervisor, over a [`SocketComm`].
+    #[allow(clippy::too_many_arguments)]
+    fn run_rank0(
+        tree: &Tree,
+        aln: &CompressedAlignment,
+        config: EngineConfig,
+        search: MlSearch,
+        ranks: usize,
+        endpoint: &Endpoint,
+        ft: &FtConfig,
+        tcfg: &TransportConfig,
+    ) -> Result<Rank0Ok, ReplicatedError> {
+        let comm = SocketComm::connect(endpoint, 0, ranks, tcfg, ft.fault_plan.clone())
+            .map_err(|e| ReplicatedError::Transport(format!("rank 0 connect: {e}")))?;
+        let mut panic_aborter = comm
+            .abort_sender()
+            .map_err(|e| ReplicatedError::Transport(format!("rank 0 abort channel: {e}")))?;
+        let mut saver_aborter = comm
+            .abort_sender()
+            .map_err(|e| ReplicatedError::Transport(format!("rank 0 abort channel: {e}")))?;
+        // Load before any collective: every rank (children included)
+        // loads before its first collective, and rank 0 can only write
+        // a *new* snapshot after a full round of collectives — so all
+        // ranks provably resume from the same snapshot.
+        let resume = match &ft.checkpoint {
+            Some(p) if p.exists() => Some(Checkpoint::load(p).map_err(|e| {
+                ReplicatedError::Checkpoint(format!("loading {}: {e}", p.display()))
+            })?),
+            _ => None,
+        };
+        let range = crate::forkjoin::split_ranges(aln.num_patterns(), ranks)[0].clone();
+        let ckpt_path = ft.checkpoint.as_deref();
+        let retry = ft.retry;
+        let plan = ft.fault_plan.clone();
+        let caught = catch_unwind(AssertUnwindSafe(
+            move || -> Result<Rank0Ok, ReplicatedError> {
+                let mut local_tree = tree.clone();
+                let engine = LikelihoodEngine::with_range(&local_tree, aln, config, range);
+                let mut eval = ReplicatedEvaluator::new(engine, comm);
+                let mut ckpt_attempts: u64 = 0;
+                let result = search
+                    .run_resumable(&mut eval, &mut local_tree, resume.as_ref(), |cp| {
+                        let Some(path) = ckpt_path else { return Ok(()) };
+                        let saved = match &plan {
+                            Some(plan) => cp.save_with_retry_injected(path, &retry, &mut || {
+                                ckpt_attempts += 1;
+                                plan.checkpoint_write_error(ckpt_attempts)
+                            }),
+                            None => cp.save_with_retry(path, &retry),
+                        };
+                        saved.map_err(|e| {
+                            let msg = format!("checkpoint write to {} failed: {e}", path.display());
+                            // Tell the hub first so the children fail
+                            // promptly with the true cause.
+                            saver_aborter.abort(AbortClass::Checkpoint, &msg);
+                            msg
+                        })
+                    })
+                    .map_err(ReplicatedError::Checkpoint)?;
+                let final_ll = eval.log_likelihood(&local_tree, 0);
+                let (engine, mut comm) = eval.into_parts();
+                let wire = comm.wire_stats();
+                let comm_stats = comm.stats();
+                comm.send_result(final_ll)
+                    .map_err(|e| ReplicatedError::Transport(format!("rank 0 result: {e}")))?;
+                Ok((result, engine.stats().clone(), comm_stats, wire))
+            },
+        ));
+        match caught {
+            Ok(r) => r,
+            Err(payload) => {
+                if let Some(ce) = payload.downcast_ref::<CommError>() {
+                    // The hub learned of the failure through the wire
+                    // already (poison or our EOF); no abort needed.
+                    return Err(ReplicatedError::Comm(ce.clone()));
+                }
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                panic_aborter.abort(AbortClass::Panic, &message);
+                Err(ReplicatedError::RankPanicked { rank: 0, message })
+            }
+        }
+    }
+
+    /// Merges the supervisor-side result with the hub's observation,
+    /// with the in-thread supervisor's cause priority: checkpoint >
+    /// panic > collective > transport plumbing.
+    fn classify_sharded(
+        rank0: Result<Rank0Ok, ReplicatedError>,
+        hub: HubOutcome,
+        kind: TransportKind,
+    ) -> Result<ReplicatedOutcome, ReplicatedError> {
+        let poison_err = hub.poison.as_ref().map(|c| match c {
+            PoisonCause::Peer { rank } => {
+                ReplicatedError::Comm(CommError::PeerFailed { rank: *rank })
+            }
+            PoisonCause::Misuse { rank, len, max_len } => {
+                ReplicatedError::Comm(CommError::PayloadTooLarge {
+                    rank: *rank,
+                    len: *len,
+                    max_len: *max_len,
+                })
+            }
+            PoisonCause::Abort {
+                rank,
+                class: AbortClass::Panic,
+                message,
+            } => ReplicatedError::RankPanicked {
+                rank: *rank,
+                message: message.clone(),
+            },
+            PoisonCause::Abort {
+                class: AbortClass::Checkpoint,
+                message,
+                ..
+            } => ReplicatedError::Checkpoint(message.clone()),
+        });
+        let mut ckpt = None;
+        let mut panic = None;
+        let mut comm = None;
+        let mut transport = None;
+        let mut rank0_ok = None;
+        for e in [rank0.map(|ok| rank0_ok = Some(ok)).err(), poison_err] {
+            match e {
+                Some(e @ ReplicatedError::Checkpoint(_)) => ckpt.get_or_insert(e),
+                Some(e @ ReplicatedError::RankPanicked { .. }) => panic.get_or_insert(e),
+                Some(e @ ReplicatedError::Comm(_)) => comm.get_or_insert(e),
+                Some(e) => transport.get_or_insert(e),
+                None => continue,
+            };
+        }
+        if let Some(e) = ckpt.or(panic).or(comm).or(transport) {
+            return Err(e);
+        }
+        let (result, kernel_stats, comm_stats, _wire0) =
+            rank0_ok.expect("no error implies rank 0 completed");
+        let mut rank_likelihoods = Vec::with_capacity(hub.results.len());
+        let mut wire = WireStats::default();
+        for (r, report) in hub.results.iter().enumerate() {
+            match report {
+                Some(rep) => {
+                    rank_likelihoods.push(rep.final_ll);
+                    wire.merge(&rep.wire);
+                }
+                None => {
+                    return Err(ReplicatedError::Transport(format!(
+                        "rank {r} finished without reporting"
+                    )))
+                }
+            }
+        }
+        Ok(ReplicatedOutcome {
+            result,
+            rank_likelihoods,
+            // Child kernel stats stay in their processes; these are
+            // rank 0's (documented on ReplicatedOutcome).
+            kernel_stats,
+            comm_stats,
+            transport: kind.name().to_string(),
+            wire,
+        })
+    }
+
+    /// Inputs of a child rank process (the CLI's hidden `_rank`
+    /// subcommand builds these from its pass-through flags; seeded
+    /// determinism guarantees they equal the supervisor's).
+    pub struct ChildRankArgs<'a> {
+        /// This process's rank in `1..ranks`.
+        pub rank: usize,
+        /// Group size.
+        pub ranks: usize,
+        /// Where the hub listens.
+        pub endpoint: Endpoint,
+        /// Starting tree (identical on every rank).
+        pub tree: &'a Tree,
+        /// The full alignment; this rank evaluates its
+        /// `split_ranges` slice.
+        pub aln: &'a CompressedAlignment,
+        /// Engine configuration.
+        pub config: EngineConfig,
+        /// The search (deterministic; keeps ranks in lockstep).
+        pub search: MlSearch,
+        /// Checkpoint to resume from if it exists (children never
+        /// write it — rank 0 is the single writer).
+        pub checkpoint: Option<&'a Path>,
+        /// Socket tuning; must match the supervisor's.
+        pub tcfg: TransportConfig,
+        /// Scripted faults for this process (only passed on the first
+        /// attempt; a respawned child runs fault-free).
+        pub fault_plan: Option<Arc<FaultPlan>>,
+    }
+
+    /// Body of a child rank process: connect, resume, search in
+    /// lockstep, report, exit. Errors are returned for the CLI to
+    /// print; the *classification* travels through the hub (Abort
+    /// frames / EOF), not the exit code.
+    pub fn run_rank(a: ChildRankArgs<'_>) -> Result<(), String> {
+        let ChildRankArgs {
+            rank,
+            ranks,
+            endpoint,
+            tree,
+            aln,
+            config,
+            search,
+            checkpoint,
+            tcfg,
+            fault_plan,
+        } = a;
+        let comm = SocketComm::connect(&endpoint, rank, ranks, &tcfg, fault_plan)
+            .map_err(|e| format!("rank {rank} connect to {endpoint}: {e}"))?;
+        let mut aborter = comm
+            .abort_sender()
+            .map_err(|e| format!("rank {rank} abort channel: {e}"))?;
+        let resume = match checkpoint {
+            Some(p) if p.exists() => match Checkpoint::load(p) {
+                Ok(cp) => Some(cp),
+                Err(e) => {
+                    let msg = format!("rank {rank} loading {}: {e}", p.display());
+                    aborter.abort(AbortClass::Checkpoint, &msg);
+                    return Err(msg);
+                }
+            },
+            _ => None,
+        };
+        let range = crate::forkjoin::split_ranges(aln.num_patterns(), ranks)[rank].clone();
+        let caught = catch_unwind(AssertUnwindSafe(move || -> Result<(), String> {
+            let mut local_tree = tree.clone();
+            let engine = LikelihoodEngine::with_range(&local_tree, aln, config, range);
+            let mut eval = ReplicatedEvaluator::new(engine, comm);
+            search
+                .run_resumable(&mut eval, &mut local_tree, resume.as_ref(), |_| Ok(()))
+                .map_err(|e| format!("rank {rank} search: {e}"))?;
+            let final_ll = eval.log_likelihood(&local_tree, 0);
+            let (_engine, mut comm) = eval.into_parts();
+            comm.send_result(final_ll)
+                .map_err(|e| format!("rank {rank} result: {e}"))
+        }));
+        match caught {
+            Ok(r) => r,
+            Err(payload) => {
+                if let Some(ce) = payload.downcast_ref::<CommError>() {
+                    // Expected lockstep failure path: the hub already
+                    // knows (it poisoned us, or sees our EOF).
+                    return Err(format!("rank {rank} collective failed: {ce}"));
+                }
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                aborter.abort(AbortClass::Panic, &message);
+                Err(format!("rank {rank} panicked: {message}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_stats_record_mean_and_merge() {
+        let mut w = WireStats::default();
+        assert_eq!(w.mean_ns(), 0, "empty stats have a zero mean");
+        w.record(100);
+        w.record(300);
+        assert_eq!(w.ops, 2);
+        assert_eq!(w.total_ns, 400);
+        assert_eq!(w.max_ns, 300);
+        assert_eq!(w.mean_ns(), 200);
+
+        let mut other = WireStats::default();
+        other.record(1_000);
+        w.merge(&other);
+        assert_eq!(w.ops, 3);
+        assert_eq!(w.total_ns, 1_400);
+        assert_eq!(w.max_ns, 1_000);
+    }
+
+    #[test]
+    fn transport_kind_parses_and_prints() {
+        assert_eq!(
+            "threads".parse::<TransportKind>(),
+            Ok(TransportKind::Threads)
+        );
+        assert_eq!("uds".parse::<TransportKind>(), Ok(TransportKind::Uds));
+        assert!(!TransportKind::Threads.is_socket());
+        assert!(TransportKind::Uds.is_socket());
+        assert_eq!(TransportKind::Uds.to_string(), "uds");
+        #[cfg(not(feature = "tcp-transport"))]
+        assert!("tcp"
+            .parse::<TransportKind>()
+            .unwrap_err()
+            .contains("tcp-transport"));
+        assert!("mpi".parse::<TransportKind>().is_err());
+    }
+
+    #[test]
+    fn transport_config_env_override_applies_to_timeouts() {
+        // Set + clear around the call; tests in this module run
+        // single-threaded per process most of the time but keep the
+        // window tiny regardless.
+        std::env::set_var("PHYLOMIC_WIRE_TIMEOUT_MS", "250");
+        let cfg = TransportConfig::from_env();
+        std::env::remove_var("PHYLOMIC_WIRE_TIMEOUT_MS");
+        assert_eq!(cfg.read_timeout, Duration::from_millis(250));
+        assert_eq!(cfg.write_timeout, Duration::from_millis(250));
+        assert_eq!(
+            cfg.accept_deadline,
+            TransportConfig::default().accept_deadline
+        );
+    }
+
+    #[cfg(unix)]
+    mod wire {
+        use super::super::frame::{self, Frame, Kind};
+        use super::super::*;
+        use crate::comm::{CommError, CommStats};
+
+        #[test]
+        fn frame_roundtrips_through_a_buffer() {
+            let f = Frame {
+                kind: Kind::AllReduce,
+                rank: 3,
+                seq: 41,
+                payload: frame::doubles_to_bytes(&[1.5, -2.25]),
+            };
+            let mut buf = Vec::new();
+            frame::write_frame(&mut buf, &f).unwrap();
+            assert_eq!(buf.len(), frame::HEADER_LEN + 16);
+            let g = frame::read_frame(&mut buf.as_slice()).unwrap();
+            assert_eq!(g.kind, Kind::AllReduce);
+            assert_eq!(g.rank, 3);
+            assert_eq!(g.seq, 41);
+            assert_eq!(
+                frame::bytes_to_doubles(&g.payload).unwrap(),
+                vec![1.5, -2.25]
+            );
+        }
+
+        #[test]
+        fn frame_reader_rejects_garbage() {
+            // Bad magic.
+            let mut buf = Vec::new();
+            frame::write_frame(&mut buf, &Frame::control(Kind::Barrier, 0, 1)).unwrap();
+            buf[0] ^= 0xFF;
+            assert!(frame::read_frame(&mut buf.as_slice()).is_err());
+
+            // Unknown kind.
+            let mut buf = Vec::new();
+            frame::write_frame(&mut buf, &Frame::control(Kind::Barrier, 0, 1)).unwrap();
+            buf[4] = 0xEE;
+            assert!(frame::read_frame(&mut buf.as_slice()).is_err());
+
+            // Truncated payload.
+            let f = Frame {
+                kind: Kind::AllReduce,
+                rank: 0,
+                seq: 1,
+                payload: vec![0u8; 16],
+            };
+            let mut buf = Vec::new();
+            frame::write_frame(&mut buf, &f).unwrap();
+            buf.truncate(buf.len() - 3);
+            assert!(frame::read_frame(&mut buf.as_slice()).is_err());
+
+            // Odd-length double payload.
+            assert!(frame::bytes_to_doubles(&[0u8; 9]).is_err());
+        }
+
+        #[test]
+        fn poison_cause_roundtrips_all_variants() {
+            for cause in [
+                PoisonCause::Peer { rank: 2 },
+                PoisonCause::Misuse {
+                    rank: 1,
+                    len: 99,
+                    max_len: 8,
+                },
+                PoisonCause::Abort {
+                    rank: 0,
+                    class: AbortClass::Panic,
+                    message: "boom 😀".to_string(),
+                },
+                PoisonCause::Abort {
+                    rank: 3,
+                    class: AbortClass::Checkpoint,
+                    message: String::new(),
+                },
+            ] {
+                let bytes = cause.encode();
+                assert_eq!(PoisonCause::decode(&bytes), Some(cause.clone()));
+                assert_eq!(
+                    cause.as_peer_error(),
+                    CommError::PeerFailed {
+                        rank: cause.failed_rank()
+                    }
+                );
+            }
+            assert_eq!(PoisonCause::decode(&[1, 2, 3]), None, "short buffer");
+            let mut bad = PoisonCause::Peer { rank: 0 }.encode();
+            bad[0] = 99;
+            assert_eq!(PoisonCause::decode(&bad), None, "unknown tag");
+        }
+
+        #[test]
+        fn poison_cause_truncates_giant_messages() {
+            let cause = PoisonCause::Abort {
+                rank: 0,
+                class: AbortClass::Panic,
+                message: "x".repeat(1 << 16),
+            };
+            let bytes = cause.encode();
+            assert!(bytes.len() <= 25 + 4096);
+            match PoisonCause::decode(&bytes).unwrap() {
+                PoisonCause::Abort { message, .. } => assert_eq!(message.len(), 4096),
+                other => panic!("wrong variant: {other:?}"),
+            }
+        }
+
+        #[test]
+        fn rank_report_roundtrips() {
+            let r = RankReport {
+                final_ll: -1234.5678,
+                comm: CommStats {
+                    allreduces: 7,
+                    bytes: 56,
+                    barriers: 2,
+                },
+                wire: WireStats {
+                    ops: 9,
+                    total_ns: 12345,
+                    max_ns: 5000,
+                },
+            };
+            let bytes = r.encode();
+            assert_eq!(bytes.len(), 56);
+            assert_eq!(RankReport::decode(&bytes), Some(r));
+            assert_eq!(RankReport::decode(&bytes[..55]), None);
+        }
+
+        #[test]
+        fn endpoint_roundtrips_through_display() {
+            let ep = Endpoint::Uds(std::path::PathBuf::from("/tmp/phylomic-1.sock"));
+            let s = ep.to_string();
+            assert_eq!(s, "uds:/tmp/phylomic-1.sock");
+            assert_eq!(s.parse::<Endpoint>(), Ok(ep));
+            assert!("bogus:/x".parse::<Endpoint>().is_err());
+        }
+
+        #[test]
+        fn child_set_kills_on_drop() {
+            let mut set = ChildSet::new();
+            let child = std::process::Command::new("sleep")
+                .arg("600")
+                .spawn()
+                .expect("spawn sleep");
+            let pid = child.id();
+            set.push(1, child);
+            assert_eq!(set.pids(), vec![pid]);
+            drop(set);
+            // After Drop the process must be gone (kill + wait, so no
+            // zombie either).
+            let alive = std::path::Path::new(&format!("/proc/{pid}")).exists();
+            assert!(!alive, "child {pid} survived ChildSet::drop");
+        }
+
+        #[test]
+        fn child_set_reaps_exited_children_without_killing() {
+            let mut set = ChildSet::new();
+            let child = std::process::Command::new("true").spawn().expect("spawn");
+            set.push(1, child);
+            assert!(set.reap(Duration::from_secs(5)), "true exits promptly");
+            assert!(set.pids().is_empty());
+        }
+    }
+}

@@ -59,11 +59,16 @@ impl Json {
     }
 
     /// The value as a non-negative integer, if it is one exactly.
+    ///
+    /// Numbers at or above 2^53 are rejected even when integral: they
+    /// pass through an `f64` during parsing, which cannot represent
+    /// every integer past that point, so `Some` here could silently
+    /// hand back a rounded neighbor of what the document said (2^53
+    /// itself is excluded because `9007199254740993` parses to it).
     pub fn as_u64(&self) -> Option<u64> {
+        const LIMIT: f64 = 9_007_199_254_740_992.0; // 2^53
         match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
-                Some(*n as u64)
-            }
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < LIMIT => Some(*n as u64),
             _ => None,
         }
     }
@@ -227,19 +232,41 @@ impl Parser<'_> {
                         Some(b't') => out.push('\t'),
                         Some(b'r') => out.push('\r'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            // Surrogate pairs never appear in the
-                            // ASCII-only documents this reads.
-                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            let hi = self.hex4(self.pos + 1)?;
                             self.pos += 4;
+                            match hi {
+                                // High surrogate: JSON encodes
+                                // non-BMP characters as a \uXXXX
+                                // pair; the low half must follow
+                                // immediately.
+                                0xD800..=0xDBFF => {
+                                    if self.bytes.get(self.pos + 1..self.pos + 3)
+                                        != Some(b"\\u".as_slice())
+                                    {
+                                        return Err(format!(
+                                            "lone high surrogate \\u{hi:04X} at byte {}",
+                                            self.pos
+                                        ));
+                                    }
+                                    let lo = self.hex4(self.pos + 3)?;
+                                    if !(0xDC00..=0xDFFF).contains(&lo) {
+                                        return Err(format!(
+                                            "high surrogate \\u{hi:04X} followed by \\u{lo:04X}, \
+                                             not a low surrogate"
+                                        ));
+                                    }
+                                    self.pos += 6;
+                                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    out.push(char::from_u32(code).ok_or("bad surrogate pair")?);
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(format!(
+                                        "lone low surrogate \\u{hi:04X} at byte {}",
+                                        self.pos
+                                    ))
+                                }
+                                _ => out.push(char::from_u32(hi).ok_or("bad \\u escape")?),
+                            }
                         }
                         other => return Err(format!("bad escape {:?}", other.map(|c| c as char))),
                     }
@@ -259,6 +286,13 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+
+    /// Four hex digits starting at byte `at`, as a UTF-16 code unit.
+    fn hex4(&self, at: usize) -> Result<u32, String> {
+        let hex = self.bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+        u32::from_str_radix(std::str::from_utf8(hex).map_err(|e| e.to_string())?, 16)
+            .map_err(|e| e.to_string())
     }
 
     fn number(&mut self) -> Result<Json, String> {
@@ -323,5 +357,50 @@ mod tests {
         assert_eq!(Json::parse("3.5").unwrap().as_u64(), None);
         assert_eq!(Json::parse("-2").unwrap().as_u64(), None);
         assert_eq!(Json::parse("12").unwrap().as_u64(), Some(12));
+    }
+
+    #[test]
+    fn as_u64_rejects_integers_past_f64_exactness() {
+        // 2^53 - 1 is the last integer every neighbor of which is
+        // exactly representable; from 2^53 up, the f64 parse may have
+        // rounded (9007199254740993 parses to exactly 2^53), so
+        // returning a u64 would invent digits.
+        assert_eq!(
+            Json::parse("9007199254740991").unwrap().as_u64(),
+            Some(9007199254740991)
+        );
+        assert_eq!(Json::parse("9007199254740992").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("9007199254740993").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("18446744073709551615").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_lone_halves_are_rejected() {
+        // U+1F600 GRINNING FACE as its JSON surrogate pair.
+        let v = Json::parse(r#""\uD83D\uDE00""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        // Pair embedded mid-string, mixed with other escapes
+        // (U+1D11E MUSICAL SYMBOL G CLEF).
+        let v = Json::parse(r#""ok\t\uD834\uDD1E!""#).unwrap();
+        assert_eq!(v.as_str(), Some("ok\t\u{1D11E}!"));
+        // Raw multi-byte UTF-8 still passes through verbatim, and BMP
+        // escapes still decode directly.
+        assert_eq!(
+            Json::parse("\"\u{E9}\u{1F600}\"").unwrap().as_str(),
+            Some("\u{E9}\u{1F600}")
+        );
+        assert_eq!(Json::parse(r#""\u00e9""#).unwrap().as_str(), Some("\u{E9}"));
+
+        // Lone halves and malformed pairs are errors, not mojibake.
+        for bad in [
+            r#""\uD83D""#,       // lone high surrogate at end
+            r#""\uD83Dx""#,      // high surrogate followed by text
+            r#""\uD83D\n""#,     // high surrogate, non-\u escape
+            r#""\uDE00""#,       // lone low surrogate
+            r#""\uD83D\uD83D""#, // high followed by high
+            r#""\uD83DA""#,      // high followed by BMP escape
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad}");
+        }
     }
 }

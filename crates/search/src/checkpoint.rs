@@ -89,12 +89,38 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
+    /// Doubling stops at `base_backoff * 2^MAX_SHIFT`: a shift clamp,
+    /// not just a duration cap, so the `1 << k` can never overflow no
+    /// matter how large `attempts` is configured.
+    const MAX_SHIFT: u32 = 6;
+
+    /// Hard ceiling on any single sleep, whatever `base_backoff` says.
+    const MAX_SLEEP: Duration = Duration::from_secs(30);
+
+    /// Ceiling on the *sum* of sleeps across one `save_with_retry`
+    /// call. Once spent, remaining retries fire back-to-back: a
+    /// checkpoint writer configured with `attempts: 80` must not
+    /// stall a search for minutes.
+    const MAX_TOTAL_SLEEP: Duration = Duration::from_secs(120);
+
     /// A policy that never retries (single attempt).
     pub fn none() -> Self {
         RetryPolicy {
             attempts: 1,
             base_backoff: Duration::ZERO,
         }
+    }
+
+    /// The sleep after failed attempt number `attempt` (1-based):
+    /// `base_backoff * 2^(attempt-1)` with the exponent clamped to
+    /// [`Self::MAX_SHIFT`] and the product capped at
+    /// [`Self::MAX_SLEEP`]. Total fuzz across a call is further
+    /// bounded by [`Self::MAX_TOTAL_SLEEP`] in the retry loop.
+    pub fn backoff_after(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(Self::MAX_SHIFT);
+        self.base_backoff
+            .saturating_mul(1u32 << shift)
+            .min(Self::MAX_SLEEP)
     }
 }
 
@@ -289,6 +315,7 @@ impl Checkpoint {
         assert!(policy.attempts >= 1, "retry policy needs >= 1 attempt");
         let text = self.to_text();
         let mut attempt = 0u32;
+        let mut slept = Duration::ZERO;
         loop {
             attempt += 1;
             let result = match inject() {
@@ -299,8 +326,11 @@ impl Checkpoint {
                 Ok(()) => return Ok(()),
                 Err(e) if attempt >= policy.attempts => return Err(e),
                 Err(_) => {
-                    let exp = (attempt - 1).min(6);
-                    std::thread::sleep(policy.base_backoff.saturating_mul(1 << exp));
+                    let nap = policy
+                        .backoff_after(attempt)
+                        .min(RetryPolicy::MAX_TOTAL_SLEEP.saturating_sub(slept));
+                    slept += nap;
+                    std::thread::sleep(nap);
                 }
             }
         }
@@ -427,6 +457,55 @@ mod tests {
         // The previously saved checkpoint is untouched (failed
         // attempts never went through the rename).
         assert_eq!(Checkpoint::load(&path).unwrap(), cp);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retry_backoff_is_clamped_at_large_attempt_counts() {
+        // Regression: the retry loop used to compute `1 << (attempt-1)`
+        // from the raw attempt number; a policy with dozens of attempts
+        // would overflow the shift (panic in debug, garbage sleeps in
+        // release). The shift is now clamped, every sleep is capped,
+        // and an `attempts: 80` policy with a tiny base must run all
+        // 80 attempts promptly instead of stalling or panicking.
+        let policy = RetryPolicy {
+            attempts: 80,
+            base_backoff: Duration::from_nanos(1),
+        };
+        for attempt in 1..=80 {
+            let nap = policy.backoff_after(attempt);
+            assert!(
+                nap <= Duration::from_nanos(64),
+                "attempt {attempt}: shift not clamped, slept {nap:?}"
+            );
+        }
+        // Doubling a large base saturates at the per-sleep ceiling
+        // rather than multiplying into minutes.
+        let slow = RetryPolicy {
+            attempts: 80,
+            base_backoff: Duration::from_secs(3600),
+        };
+        assert_eq!(slow.backoff_after(80), RetryPolicy::MAX_SLEEP);
+
+        let dir = std::env::temp_dir().join(format!("phylomic-cp-r80-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r80.ckp");
+        let cp = sample();
+        let mut calls = 0u32;
+        let t0 = std::time::Instant::now();
+        let err = cp
+            .save_with_retry_injected(&path, &policy, &mut || {
+                calls += 1;
+                Some(std::io::Error::other("injected EIO"))
+            })
+            .unwrap_err();
+        assert_eq!(calls, 80);
+        assert!(err.to_string().contains("injected EIO"));
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "80 nanosecond-scale retries took {:?}",
+            t0.elapsed()
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -49,6 +49,11 @@ fn main() -> ExitCode {
         "trace-report" => cmd_trace_report(&opts),
         "calibrate" => cmd_calibrate(&opts),
         "bench-trend" => cmd_bench_trend(&opts),
+        // Hidden: the socket transport's child-rank entry. The
+        // supervisor (`search --transport uds`) spawns these; not part
+        // of the user-facing surface.
+        #[cfg(unix)]
+        "_rank" => cmd_rank(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -77,7 +82,7 @@ USAGE:
                     [--alpha A] [--kernels K] [--site-repeats M]
                     [--checkpoint FILE] [--out FILE]
                     [--seed S] [--no-model-opt] [--trace-out FILE] [--chrome-out FILE]
-                    [--inject-fault SPEC] [--degrade]
+                    [--inject-fault SPEC] [--degrade] [--transport threads|uds]
   phylomic bootstrap --alignment FILE [--replicates N] [--rounds R] [--seed S]
                     [--out FILE]
   phylomic trace-report --trace FILE [--format text|json]
@@ -124,7 +129,17 @@ region) or 'ckpt-write=1,count=2' (first two checkpoint write attempts
 fail); faults are ';'-separated and each fires exactly once.
 --degrade makes a replicated run survive rank failures: the pattern
 ranges are re-split over the survivors, the last checkpoint is
-reloaded, and the search resumes with fewer ranks.";
+reloaded, and the search resumes with fewer ranks.
+--transport (replicated only) picks what backs the ranks: 'threads'
+(default) runs them as in-process threads; 'uds' spawns one OS process
+per rank joined over Unix domain sockets (rank 0 runs in the
+supervisor), with identical results — and real process isolation, so
+--degrade recovery works against actual kill -9 process death
+('rank=R,kill9=N' in --inject-fault SIGKILLs rank R's process at its
+N-th AllReduce). 'tcp' is available when built with the tcp-transport
+feature. The resolved transport and measured per-collective wire time
+are recorded in the trace meta and shown by trace-report next to
+micsim's modeled AllReduce latency.";
 
 /// Writes `content` to `path` atomically and durably (same-directory
 /// temp file + fsync + rename + parent-dir fsync), so a crash
@@ -147,11 +162,17 @@ fn write_trace(path: &str, events: &[TraceEvent]) -> Result<(), String> {
 }
 
 /// Wraps per-source kernel/region events into a full trace document:
-/// schema marker (with the resolved kernel backend and site-repeat
-/// mode, so `trace-report` attributes timings to a configuration)
+/// schema marker (with the resolved kernel backend, site-repeat mode
+/// and — for replicated runs — the transport and its measured wire
+/// time, so `trace-report` attributes timings to a configuration)
 /// first, then the kernel aggregates, then every closed span from
 /// every thread track, then a process-wide metrics snapshot.
-fn full_trace(config: EngineConfig, kernel_events: Vec<TraceEvent>) -> Vec<TraceEvent> {
+fn full_trace(
+    config: EngineConfig,
+    transport: &str,
+    wire: phylomic::parallel::WireStats,
+    kernel_events: Vec<TraceEvent>,
+) -> Vec<TraceEvent> {
     let tracks = span::snapshot_all();
     // If a cached calibration exists next to the working directory, stamp
     // its peaks into the meta so trace-report can place kernels on the
@@ -167,6 +188,9 @@ fn full_trace(config: EngineConfig, kernel_events: Vec<TraceEvent>) -> Vec<Trace
         spans_dropped: tracks.iter().map(|t| t.dropped).sum(),
         roofline_mflops,
         roofline_mbps,
+        transport: transport.to_string(),
+        wire_ops: wire.ops,
+        wire_ns: wire.total_ns,
     }];
     out.extend(kernel_events);
     out.extend(events_from_spans(&tracks));
@@ -417,7 +441,12 @@ fn cmd_evaluate(opts: &Opts) -> Result<(), String> {
     if let Some(path) = opts.get("trace-out") {
         write_trace(
             path,
-            &full_trace(config, events_from_stats("serial", engine.stats())),
+            &full_trace(
+                config,
+                "",
+                Default::default(),
+                events_from_stats("serial", engine.stats()),
+            ),
         )?;
     }
     if let Some(path) = opts.get("chrome-out") {
@@ -426,17 +455,25 @@ fn cmd_evaluate(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_search(opts: &Opts) -> Result<(), String> {
-    span::set_thread_label("serial");
+/// Deterministic search inputs shared by the `search` supervisor and
+/// the hidden `_rank` child entry: both rebuild byte-identical inputs
+/// from the same flags (seeded tree construction included), which is
+/// what keeps the OS-process ranks in lockstep with rank 0.
+struct SearchInputs {
+    aln: Alignment,
+    compressed: CompressedAlignment,
+    tree: Tree,
+    config: EngineConfig,
+    search: MlSearch,
+}
+
+fn search_inputs(opts: &Opts) -> Result<SearchInputs, String> {
     let aln = load_alignment(require(opts, "alignment")?)?;
     let compressed = CompressedAlignment::from_alignment(&aln);
     let seed: u64 = get(opts, "seed", 1)?;
     let alpha: f64 = get(opts, "alpha", 1.0)?;
     let rounds: usize = get(opts, "rounds", 20)?;
-    let threads: usize = get(opts, "threads", 1)?;
-    let scheme = opts.get("scheme").map(String::as_str).unwrap_or("serial");
-
-    let mut tree = match opts.get("tree") {
+    let tree = match opts.get("tree") {
         Some(path) => load_tree(path)?,
         None => match opts.get("start").map(String::as_str).unwrap_or("random") {
             "parsimony" => phylomic::search::parsimony::stepwise_addition_tree(
@@ -467,15 +504,86 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
         optimize_model: !opts.contains_key("no-model-opt"),
         ..Default::default()
     });
+    Ok(SearchInputs {
+        aln,
+        compressed,
+        tree,
+        config,
+        search,
+    })
+}
 
-    let fault_plan = match opts.get("inject-fault") {
-        Some(spec) => Some(std::sync::Arc::new(
+fn fault_plan_of(opts: &Opts) -> Result<Option<std::sync::Arc<FaultPlan>>, String> {
+    match opts.get("inject-fault") {
+        Some(spec) => Ok(Some(std::sync::Arc::new(
             FaultPlan::parse(spec).map_err(|e| format!("--inject-fault: {e}"))?,
-        )),
-        None => None,
-    };
+        ))),
+        None => Ok(None),
+    }
+}
+
+/// Child-rank process body (hidden `_rank` subcommand): rebuild the
+/// supervisor's inputs from the pass-through flags, connect to the
+/// hub, run the lockstep search over this rank's slice, report, exit.
+#[cfg(unix)]
+fn cmd_rank(opts: &Opts) -> Result<(), String> {
+    use phylomic::parallel::{ChildRankArgs, Endpoint, TransportConfig};
+    span::set_thread_label("rank");
+    // A peer's death reaches this process as a CommError panic payload
+    // that run_rank catches and reports through the hub; keep the
+    // default hook's backtrace spam off the shared stderr for that
+    // expected path (genuine panics still print).
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if info
+            .payload()
+            .downcast_ref::<phylomic::parallel::CommError>()
+            .is_none()
+        {
+            prev_hook(info);
+        }
+    }));
+    let inputs = search_inputs(opts)?;
+    let rank: usize = require(opts, "rank-id")?
+        .parse()
+        .map_err(|e| format!("--rank-id: {e}"))?;
+    let ranks: usize = require(opts, "ranks")?
+        .parse()
+        .map_err(|e| format!("--ranks: {e}"))?;
+    let endpoint: Endpoint = require(opts, "endpoint")?
+        .parse()
+        .map_err(|e: String| format!("--endpoint: {e}"))?;
+    let ckpt = opts.get("checkpoint").map(std::path::PathBuf::from);
+    phylomic::parallel::run_rank(ChildRankArgs {
+        rank,
+        ranks,
+        endpoint,
+        tree: &inputs.tree,
+        aln: &inputs.compressed,
+        config: inputs.config,
+        search: inputs.search,
+        checkpoint: ckpt.as_deref(),
+        tcfg: TransportConfig::from_env(),
+        fault_plan: fault_plan_of(opts)?,
+    })
+}
+
+fn cmd_search(opts: &Opts) -> Result<(), String> {
+    span::set_thread_label("serial");
+    let threads: usize = get(opts, "threads", 1)?;
+    let scheme = opts.get("scheme").map(String::as_str).unwrap_or("serial");
+    let SearchInputs {
+        aln: _aln,
+        compressed,
+        mut tree,
+        config,
+        search,
+    } = search_inputs(opts)?;
+    let fault_plan = fault_plan_of(opts)?;
     let start = std::time::Instant::now();
     let mut trace_events: Vec<TraceEvent> = Vec::new();
+    let mut trace_transport = String::new();
+    let mut trace_wire = phylomic::parallel::WireStats::default();
     let result = match scheme {
         "serial" => {
             if fault_plan.is_some() {
@@ -531,6 +639,11 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
             result
         }
         "replicated" => {
+            let transport: phylomic::parallel::TransportKind =
+                match opts.get("transport").map(String::as_str) {
+                    None => phylomic::parallel::TransportKind::Threads,
+                    Some(v) => v.parse().map_err(|e| format!("--transport: {e}"))?,
+                };
             let ft = FtConfig {
                 degrade: opts.contains_key("degrade"),
                 checkpoint: opts.get("checkpoint").map(std::path::PathBuf::from),
@@ -551,9 +664,22 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
                     prev_hook(info);
                 }
             }));
-            let out = run_replicated_ft(&tree, &compressed, config, search, &ft)
-                .map_err(|e| e.to_string())?;
+            let out = if transport.is_socket() {
+                #[cfg(unix)]
+                {
+                    run_sharded(opts, &tree, &compressed, config, search, &ft, transport)?
+                }
+                #[cfg(not(unix))]
+                {
+                    return Err("socket transports require a unix host".into());
+                }
+            } else {
+                run_replicated_ft(&tree, &compressed, config, search, &ft)
+                    .map_err(|e| e.to_string())?
+            };
             trace_events = events_from_stats("replicated", &out.kernel_stats);
+            trace_transport = out.transport.clone();
+            trace_wire = out.wire;
             out.result
         }
         other => return Err(format!("unknown --scheme {other:?}")),
@@ -573,12 +699,87 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
         None => println!("{}", result.newick),
     }
     if let Some(path) = opts.get("trace-out") {
-        write_trace(path, &full_trace(config, trace_events))?;
+        write_trace(
+            path,
+            &full_trace(config, &trace_transport, trace_wire, trace_events),
+        )?;
     }
     if let Some(path) = opts.get("chrome-out") {
         write_chrome(path)?;
     }
     Ok(())
+}
+
+/// Supervisor side of `search --scheme replicated --transport uds`:
+/// re-execs this binary's hidden `_rank` entry for ranks `1..n`,
+/// passing through every flag the ranks need to rebuild identical
+/// inputs, and runs rank 0 (plus the frame hub) in this process.
+#[cfg(unix)]
+fn run_sharded(
+    opts: &Opts,
+    tree: &Tree,
+    compressed: &CompressedAlignment,
+    config: EngineConfig,
+    search: MlSearch,
+    ft: &FtConfig,
+    transport: phylomic::parallel::TransportKind,
+) -> Result<phylomic::parallel::ReplicatedOutcome, String> {
+    use phylomic::parallel::{run_sharded_ft, RankSpec, TransportConfig};
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    // Flags a child needs to rebuild the supervisor's exact inputs.
+    const PASS_THROUGH: &[&str] = &[
+        "alignment",
+        "tree",
+        "start",
+        "seed",
+        "alpha",
+        "rounds",
+        "kernels",
+        "kernel",
+        "site-repeats",
+        "checkpoint",
+    ];
+    let mut spawn = |spec: &RankSpec| {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("_rank")
+            .arg("--rank-id")
+            .arg(spec.rank.to_string())
+            .arg("--ranks")
+            .arg(spec.ranks.to_string())
+            .arg("--endpoint")
+            .arg(spec.endpoint.to_string())
+            // The supervisor owns the console; children stay quiet.
+            .stdout(std::process::Stdio::null());
+        for key in PASS_THROUGH {
+            if let Some(v) = opts.get(*key) {
+                cmd.arg(format!("--{key}")).arg(v);
+            }
+        }
+        if opts.contains_key("no-model-opt") {
+            cmd.arg("--no-model-opt");
+        }
+        // One-shot fault semantics across processes: a respawned
+        // (degraded) child starts with fresh latches, so the scripted
+        // faults ride along only on the first attempt.
+        if spec.attempt == 1 {
+            if let Some(v) = opts.get("inject-fault") {
+                cmd.arg("--inject-fault").arg(v);
+            }
+        }
+        cmd.spawn()
+    };
+    run_sharded_ft(
+        tree,
+        compressed,
+        config,
+        search,
+        ft,
+        transport,
+        &TransportConfig::from_env(),
+        &std::env::temp_dir(),
+        &mut spawn,
+    )
+    .map_err(|e| e.to_string())
 }
 
 fn cmd_bootstrap(opts: &Opts) -> Result<(), String> {

@@ -49,6 +49,9 @@ fn traced_forkjoin_search() -> Vec<TraceEvent> {
         spans_dropped: span::snapshot_all().iter().map(|t| t.dropped).sum(),
         roofline_mflops: 0,
         roofline_mbps: 0,
+        transport: String::new(),
+        wire_ops: 0,
+        wire_ns: 0,
     }];
     for (i, stats) in fj.take_stats_per_worker().iter().enumerate() {
         events.extend(events_from_stats(&format!("worker{i}"), stats));
